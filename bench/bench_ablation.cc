@@ -1,0 +1,106 @@
+// Ablation study over the Step-3 transformation families (DESIGN.md calls
+// these out as the design choices worth isolating):
+//
+//   arg 0: query       0=§5.2 scope, 1=§5.3 key join, 2=§5.4 path
+//   arg 1: ablation    0=all-on, 1=-scope_reduction, 2=-merge,
+//                      3=-join_introduction, 4=-join_elimination,
+//                      5=-asr_rewriting, 6=-remove_restrictions,
+//                      7=-reduce_to_fixpoint
+//
+// Counters: number of equivalent queries produced and the chosen plan's
+// estimated cost under the engine cost model — so the contribution of each
+// family to both search-space size and final quality can be read off.
+
+#include "bench/bench_common.h"
+
+namespace sqo::bench {
+namespace {
+
+const char* QueryFor(int64_t index) {
+  static const std::string q0 = workload::QueryScopeReduction();
+  static const std::string q1 = workload::QueryJoinElimination();
+  static const std::string q2 = workload::QueryAsrDirect();
+  switch (index) {
+    case 0:
+      return q0.c_str();
+    case 1:
+      return q1.c_str();
+    default:
+      return q2.c_str();
+  }
+}
+
+core::OptimizerOptions OptionsFor(int64_t ablation) {
+  core::OptimizerOptions options;
+  switch (ablation) {
+    case 1:
+      options.scope_reduction = false;
+      break;
+    case 2:
+      options.merge_equal_variables = false;
+      break;
+    case 3:
+      options.join_introduction = false;
+      break;
+    case 4:
+      options.join_elimination = false;
+      break;
+    case 5:
+      options.asr_rewriting = false;
+      break;
+    case 6:
+      options.remove_restrictions = false;
+      break;
+    case 7:
+      options.reduce_to_fixpoint = false;
+      break;
+    default:
+      break;
+  }
+  return options;
+}
+
+World& AblationWorld(int64_t ablation) {
+  // One pipeline per ablation configuration (compiled once, reused).
+  static auto* cache = new std::map<int64_t, World>();
+  auto it = cache->find(ablation);
+  if (it == cache->end()) {
+    core::PipelineOptions options;
+    options.optimizer = OptionsFor(ablation);
+    workload::GeneratorConfig config;
+    config.n_students = 200;
+    World world = World::Make(config, options);
+    it = cache->emplace(ablation, std::move(world)).first;
+  }
+  return it->second;
+}
+
+void BM_Ablation(benchmark::State& state) {
+  World& world = AblationWorld(state.range(1));
+  const char* oql = QueryFor(state.range(0));
+  size_t alternatives = 0;
+  double best_cost = 0;
+  for (auto _ : state) {
+    auto result = world.pipeline->OptimizeText(oql, world.cost_model.get());
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    alternatives = result->alternatives.size();
+    best_cost = result->alternatives.empty()
+                    ? 0
+                    : result->alternatives[result->best_index].cost;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["alternatives"] =
+      benchmark::Counter(static_cast<double>(alternatives));
+  state.counters["best_cost"] = benchmark::Counter(best_cost);
+}
+BENCHMARK(BM_Ablation)
+    ->ArgsProduct({{0, 1, 2}, {0, 1, 2, 3, 4, 5, 6, 7}})
+    ->ArgNames({"query", "ablation"});
+
+}  // namespace
+}  // namespace sqo::bench
+
+BENCHMARK_MAIN();

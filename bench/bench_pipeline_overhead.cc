@@ -1,0 +1,157 @@
+// §4.1 — Complexity of the optimization steps (Figure 2):
+//   Step 1 (schema translation)  : linear in schema size
+//   Step 2 (query translation)   : linear in query size
+//   Step 3 (semantic optimization): grows with the number of applicable ICs
+//   Step 4 (change mapping)      : linear in query size
+//
+// Each benchmark sweeps the relevant size knob so the scaling shape can be
+// read off the time column.
+
+#include <benchmark/benchmark.h>
+
+#include "datalog/parser.h"
+#include "odl/parser.h"
+#include "oql/parser.h"
+#include "sqo/optimizer.h"
+#include "sqo/pipeline.h"
+#include "sqo/semantic_compiler.h"
+#include "translate/change_mapper.h"
+#include "translate/query_translator.h"
+#include "translate/schema_translator.h"
+#include "workload/university.h"
+
+namespace sqo::bench {
+namespace {
+
+// ---- Step 1: schema translation, sweeping the number of classes. ----
+std::string SyntheticOdl(int64_t n_classes) {
+  std::string odl;
+  for (int64_t i = 0; i < n_classes; ++i) {
+    odl += "interface C" + std::to_string(i) +
+           " { attribute long a; attribute string b; attribute double c; };\n";
+  }
+  return odl;
+}
+
+void BM_Step1_SchemaTranslation(benchmark::State& state) {
+  auto ast = odl::ParseOdl(SyntheticOdl(state.range(0)));
+  auto schema = odl::Schema::Resolve(*ast);
+  for (auto _ : state) {
+    auto translated = translate::TranslateSchema(*schema);
+    benchmark::DoNotOptimize(translated);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Step1_SchemaTranslation)
+    ->RangeMultiplier(2)
+    ->Range(8, 128)
+    ->Complexity(benchmark::oN);
+
+// ---- Step 2: query translation, sweeping the length of the from chain. --
+translate::TranslatedSchema& UniversitySchema() {
+  static auto* schema = [] {
+    auto ast = odl::ParseOdl(workload::UniversityOdl());
+    auto resolved = odl::Schema::Resolve(*ast);
+    return new translate::TranslatedSchema(
+        std::move(translate::TranslateSchema(*resolved)).value());
+  }();
+  return *schema;
+}
+
+std::string ChainQuery(int64_t hops) {
+  // Alternate takes / is_taken_by to build arbitrarily long chains.
+  std::string from = "x0 in Student";
+  for (int64_t i = 0; i < hops; ++i) {
+    const bool fwd = i % 2 == 0;
+    from += ", x" + std::to_string(i + 1) + " in x" + std::to_string(i) +
+            (fwd ? ".takes" : ".is_taken_by");
+  }
+  return "select x0.name from " + from;
+}
+
+void BM_Step2_QueryTranslation(benchmark::State& state) {
+  auto parsed = oql::ParseOql(ChainQuery(state.range(0)));
+  for (auto _ : state) {
+    auto translated = translate::TranslateQuery(UniversitySchema(), *parsed);
+    benchmark::DoNotOptimize(translated);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Step2_QueryTranslation)
+    ->RangeMultiplier(2)
+    ->Range(2, 32)
+    ->Complexity(benchmark::oN);
+
+// ---- Step 3: optimization, sweeping the number of user ICs applicable to
+// the query's relations. ----
+std::string ManyIcs(int64_t n) {
+  std::string ics{workload::UniversityIcs()};
+  for (int64_t i = 0; i < n; ++i) {
+    ics += "ICX" + std::to_string(i) + ": Salary > " + std::to_string(100 + i) +
+           " <- faculty(oid: X, salary: Salary).\n";
+  }
+  return ics;
+}
+
+void BM_Step3_Optimization(benchmark::State& state) {
+  auto pipeline = core::Pipeline::Create(workload::UniversityOdl(),
+                                         ManyIcs(state.range(0)),
+                                         {workload::UniversityAsr()});
+  if (!pipeline.ok()) {
+    state.SkipWithError(pipeline.status().ToString().c_str());
+    return;
+  }
+  auto parsed = oql::ParseOql(
+      "select x.name from x in Faculty where x.salary > 60K");
+  for (auto _ : state) {
+    auto result = pipeline->OptimizeParsed(*parsed);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Step3_Optimization)
+    ->RangeMultiplier(2)
+    ->Range(1, 64)
+    ->Complexity();
+
+// ---- Semantic compilation (the amortized, per-schema part of Step 3). ----
+void BM_Step3_SemanticCompilation(benchmark::State& state) {
+  std::string ics = ManyIcs(state.range(0));
+  auto parsed = datalog::ParseProgram(ics, &UniversitySchema().catalog);
+  for (auto _ : state) {
+    auto compiled =
+        core::CompileSemantics(&UniversitySchema(), *parsed, {}, {});
+    benchmark::DoNotOptimize(compiled);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Step3_SemanticCompilation)
+    ->RangeMultiplier(2)
+    ->Range(1, 64)
+    ->Complexity(benchmark::oN);
+
+// ---- Step 4: change mapping, sweeping query size. ----
+void BM_Step4_ChangeMapping(benchmark::State& state) {
+  auto parsed = oql::ParseOql(ChainQuery(state.range(0)));
+  auto translated = translate::TranslateQuery(UniversitySchema(), *parsed);
+  // Optimized = original plus one added restriction on the head attribute.
+  datalog::Query optimized = translated->query;
+  optimized.body.push_back(datalog::Literal::Pos(datalog::Atom::Comparison(
+      datalog::CmpOp::kGt, translated->query.head_args[0],
+      datalog::Term::String("a"))));
+  translate::ChangeMapper mapper(&UniversitySchema(), &translated->map);
+  for (auto _ : state) {
+    auto mapped = mapper.Apply(*parsed, translated->query, optimized);
+    benchmark::DoNotOptimize(mapped);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Step4_ChangeMapping)
+    ->RangeMultiplier(2)
+    ->Range(2, 32)
+    ->Complexity(benchmark::oN);
+
+}  // namespace
+}  // namespace sqo::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,156 @@
+// Interactive SQO shell over the university schema: type OQL queries and
+// see Steps 2–4 plus the evaluated answers of the chosen rewriting.
+//
+//   $ build/examples/sqo_shell
+//   oql> select x.name from x in Person where x.age < 30
+//   ...
+//   oql> \residues faculty      -- dump residues attached to a relation
+//   oql> \ics                   -- list all compiled integrity constraints
+//   oql> \plan select ...       -- show the evaluator's plan for a query
+//   oql> \quit
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "engine/cost_model.h"
+#include "engine/database.h"
+#include "engine/planner.h"
+#include "oql/parser.h"
+#include "workload/university.h"
+
+namespace {
+
+void RunQuery(const sqo::core::Pipeline& pipeline, const sqo::engine::Database& db,
+              const sqo::engine::EngineCostModel& cost_model,
+              const std::string& oql, bool plan_only) {
+  // Disjunctive conditions go through the union pipeline with per-disjunct
+  // contradiction elimination.
+  auto parsed = sqo::oql::ParseOqlDisjunctive(oql);
+  if (parsed.ok() && parsed->size() > 1) {
+    auto dres = pipeline.OptimizeDisjunctiveText(oql, &cost_model);
+    if (!dres.ok()) {
+      std::printf("error: %s\n", dres.status().ToString().c_str());
+      return;
+    }
+    std::printf("%zu disjuncts, %zu live after elimination\n",
+                dres->disjuncts.size(), dres->live.size());
+    size_t total = 0;
+    for (size_t i = 0; i < dres->disjuncts.size(); ++i) {
+      const auto& d = dres->disjuncts[i];
+      if (d.contradiction) {
+        std::printf("  [%zu] ELIMINATED: %s\n", i,
+                    d.contradiction_reason.c_str());
+        continue;
+      }
+      const auto& best = d.alternatives[d.best_index];
+      auto rows = db.Run(best.datalog);
+      std::printf("  [%zu] %s -> %zu rows\n", i,
+                  best.datalog.ToString().c_str(),
+                  rows.ok() ? rows->size() : 0);
+      if (rows.ok()) total += rows->size();
+    }
+    std::printf("[union <= %zu rows before dedup]\n", total);
+    return;
+  }
+  auto result = pipeline.OptimizeText(oql, &cost_model);
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  std::printf("datalog: %s\n", result->original_datalog.ToString().c_str());
+  if (result->contradiction) {
+    std::printf("CONTRADICTION — the query is provably empty:\n  %s\n",
+                result->contradiction_reason.c_str());
+    return;
+  }
+  const sqo::core::Alternative& best = result->alternatives[result->best_index];
+  std::printf("%zu equivalent queries; chosen (est. cost %.1f):\n  %s\n",
+              result->alternatives.size(), best.cost,
+              best.datalog.ToString().c_str());
+  for (const std::string& step : best.derivation) {
+    std::printf("    . %s\n", step.c_str());
+  }
+  if (best.oql_ok && !best.derivation.empty()) {
+    std::printf("optimized OQL:\n%s\n", best.oql.ToString().c_str());
+  }
+  if (plan_only) {
+    std::printf("%s", sqo::engine::PlanQuery(best.datalog, db.store())
+                          .ToString()
+                          .c_str());
+    return;
+  }
+  sqo::engine::EvalStats stats;
+  auto rows = db.Run(best.datalog, &stats);
+  if (!rows.ok()) {
+    std::printf("evaluation error: %s\n", rows.status().ToString().c_str());
+    return;
+  }
+  const size_t shown = std::min<size_t>(rows->size(), 10);
+  for (size_t i = 0; i < shown; ++i) {
+    std::string line;
+    for (const sqo::Value& v : (*rows)[i]) line += v.ToString() + "  ";
+    std::printf("  %s\n", line.c_str());
+  }
+  if (rows->size() > shown) {
+    std::printf("  ... (%zu rows total)\n", rows->size());
+  }
+  std::printf("[%zu rows; %s]\n", rows->size(), stats.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  auto pipeline_or = sqo::workload::MakeUniversityPipeline();
+  if (!pipeline_or.ok()) {
+    std::fprintf(stderr, "%s\n", pipeline_or.status().ToString().c_str());
+    return 1;
+  }
+  const sqo::core::Pipeline& pipeline = *pipeline_or;
+  sqo::engine::Database db(&pipeline.schema());
+  sqo::workload::GeneratorConfig config;
+  if (auto s = sqo::workload::PopulateUniversity(config, pipeline, &db);
+      !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  sqo::engine::EngineCostModel cost_model(&db.store());
+
+  std::printf(
+      "sqo shell — university schema loaded (%zu objects, %zu residues)\n"
+      "commands: \\ics  \\residues <relation>  \\plan <oql>  \\quit\n",
+      db.store().object_count(), pipeline.compiled().total_residues());
+
+  std::string line;
+  while (true) {
+    std::printf("oql> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+    if (line == "\\quit" || line == "\\q") break;
+    if (line == "\\ics") {
+      for (const sqo::datalog::Clause& ic : pipeline.compiled().all_ics) {
+        std::printf("[%s] %s\n", ic.label.c_str(), ic.ToString().c_str());
+      }
+      continue;
+    }
+    if (line.rfind("\\residues ", 0) == 0) {
+      const std::string relation = line.substr(10);
+      const auto* residues = pipeline.compiled().ResiduesFor(relation);
+      if (residues == nullptr) {
+        std::printf("no residues attached to '%s'\n", relation.c_str());
+        continue;
+      }
+      for (const sqo::core::Residue& r : *residues) {
+        std::printf("%s   [%s]\n", r.ToString().c_str(), r.source.c_str());
+      }
+      continue;
+    }
+    if (line.rfind("\\plan ", 0) == 0) {
+      RunQuery(pipeline, db, cost_model, line.substr(6), /*plan_only=*/true);
+      continue;
+    }
+    RunQuery(pipeline, db, cost_model, line, /*plan_only=*/false);
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+#include "common/cmp.h"
+
+namespace sqo {
+
+CmpOp NegateOp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return CmpOp::kNe;
+    case CmpOp::kNe:
+      return CmpOp::kEq;
+    case CmpOp::kLt:
+      return CmpOp::kGe;
+    case CmpOp::kLe:
+      return CmpOp::kGt;
+    case CmpOp::kGt:
+      return CmpOp::kLe;
+    case CmpOp::kGe:
+      return CmpOp::kLt;
+  }
+  return CmpOp::kEq;
+}
+
+CmpOp FlipOp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return CmpOp::kEq;
+    case CmpOp::kNe:
+      return CmpOp::kNe;
+    case CmpOp::kLt:
+      return CmpOp::kGt;
+    case CmpOp::kLe:
+      return CmpOp::kGe;
+    case CmpOp::kGt:
+      return CmpOp::kLt;
+    case CmpOp::kGe:
+      return CmpOp::kLe;
+  }
+  return op;
+}
+
+std::string_view CmpOpSymbol(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool EvalCmp(CmpOp op, int three_way) {
+  switch (op) {
+    case CmpOp::kEq:
+      return three_way == 0;
+    case CmpOp::kNe:
+      return three_way != 0;
+    case CmpOp::kLt:
+      return three_way < 0;
+    case CmpOp::kLe:
+      return three_way <= 0;
+    case CmpOp::kGt:
+      return three_way > 0;
+    case CmpOp::kGe:
+      return three_way >= 0;
+  }
+  return false;
+}
+
+}  // namespace sqo

@@ -1,0 +1,26 @@
+#ifndef SQO_COMMON_CMP_H_
+#define SQO_COMMON_CMP_H_
+
+#include <string_view>
+
+namespace sqo {
+
+/// Comparison operators shared by the OQL surface syntax and the DATALOG
+/// evaluable atoms (`X = Y`, `A θ k`, `A θ B` in the paper's notation).
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// The logical negation of an operator: ¬(a < b) ⇔ a ≥ b, etc.
+CmpOp NegateOp(CmpOp op);
+
+/// The operator with operands swapped: a < b ⇔ b > a.
+CmpOp FlipOp(CmpOp op);
+
+/// ASCII rendering: "=", "!=", "<", "<=", ">", ">=".
+std::string_view CmpOpSymbol(CmpOp op);
+
+/// Applies `op` to a three-way comparison result in {-1, 0, +1}.
+bool EvalCmp(CmpOp op, int three_way);
+
+}  // namespace sqo
+
+#endif  // SQO_COMMON_CMP_H_

@@ -1,0 +1,143 @@
+#ifndef SQO_COMMON_STATUS_H_
+#define SQO_COMMON_STATUS_H_
+
+#include <cstdlib>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace sqo {
+
+/// Error categories produced by the library. Kept deliberately coarse:
+/// callers dispatch on category, humans read the message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kParseError,        // lexical / syntactic error in ODL, OQL or IC text
+  kSemanticError,     // well-formed input that violates schema rules
+  kNotFound,          // lookup of a class / relation / method failed
+  kUnsupported,       // valid ODMG construct outside the implemented subset
+  kInternal,          // invariant violation inside the library
+};
+
+/// Returns a stable human-readable name for a status code ("ParseError", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// Exception-free error propagation, modeled after absl::Status.
+///
+/// The library never throws across its public API; every fallible operation
+/// returns `Status` or `Result<T>`. An OK status carries no message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message. A `kOk` code
+  /// produces an OK status and the message is dropped.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(code == StatusCode::kOk ? "" : std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Formats as "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Convenience factories mirroring the StatusCode enumerators.
+Status InvalidArgumentError(std::string message);
+Status ParseError(std::string message);
+Status SemanticError(std::string message);
+Status NotFoundError(std::string message);
+Status UnsupportedError(std::string message);
+Status InternalError(std::string message);
+
+/// Either a value of type T or an error `Status`. Modeled after
+/// absl::StatusOr. Accessing the value of an errored result aborts.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return my_t;` in functions returning
+  /// Result<T>, matching StatusOr ergonomics.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Implicit from error status: allows `return ParseError(...);`.
+  /// Must not be an OK status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    if (status_.ok()) {
+      std::fprintf(stderr, "Result<T> constructed from OK status without a value\n");
+      std::abort();
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error status; OK when a value is present.
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckHasValue();
+    return *value_;
+  }
+  T& value() & {
+    CheckHasValue();
+    return *value_;
+  }
+  T&& value() && {
+    CheckHasValue();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckHasValue() const {
+    if (!value_.has_value()) {
+      std::fprintf(stderr, "Result<T>::value() on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace sqo
+
+/// Propagates a non-OK Status from an expression, absl-style.
+#define SQO_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::sqo::Status sqo_status_ = (expr);          \
+    if (!sqo_status_.ok()) return sqo_status_;   \
+  } while (0)
+
+/// Evaluates a Result<T> expression, propagating errors; on success binds
+/// the unwrapped value to `lhs`. `lhs` may include a declaration.
+#define SQO_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  SQO_ASSIGN_OR_RETURN_IMPL_(SQO_CONCAT_(sqo_result_, __LINE__), lhs, rexpr)
+
+#define SQO_CONCAT_INNER_(a, b) a##b
+#define SQO_CONCAT_(a, b) SQO_CONCAT_INNER_(a, b)
+#define SQO_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                               \
+  if (!result.ok()) return result.status();            \
+  lhs = std::move(result).value()
+
+#endif  // SQO_COMMON_STATUS_H_

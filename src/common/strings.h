@@ -1,0 +1,31 @@
+#ifndef SQO_COMMON_STRINGS_H_
+#define SQO_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sqo {
+
+/// Joins `parts` with `sep`: StrJoin({"a","b"}, ", ") == "a, b".
+std::string StrJoin(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `s` on the single character `sep`, keeping empty pieces.
+std::vector<std::string> StrSplit(std::string_view s, char sep);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view s);
+
+/// True if `s` starts with `prefix` / ends with `suffix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Trims ASCII whitespace from both ends.
+std::string_view StripWhitespace(std::string_view s);
+
+}  // namespace sqo
+
+#endif  // SQO_COMMON_STRINGS_H_

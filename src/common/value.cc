@@ -1,0 +1,137 @@
+#include "common/value.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace sqo {
+
+std::string_view ValueKindName(ValueKind kind) {
+  switch (kind) {
+    case ValueKind::kNull:
+      return "null";
+    case ValueKind::kInt:
+      return "int";
+    case ValueKind::kDouble:
+      return "double";
+    case ValueKind::kString:
+      return "string";
+    case ValueKind::kBool:
+      return "bool";
+    case ValueKind::kOid:
+      return "oid";
+  }
+  return "unknown";
+}
+
+bool Value::Equals(const Value& other) const {
+  if (is_numeric() && other.is_numeric()) {
+    if (kind() == ValueKind::kInt && other.kind() == ValueKind::kInt) {
+      return AsInt() == other.AsInt();
+    }
+    return AsNumeric() == other.AsNumeric();
+  }
+  if (kind() != other.kind()) return false;
+  switch (kind()) {
+    case ValueKind::kNull:
+      return true;
+    case ValueKind::kString:
+      return AsString() == other.AsString();
+    case ValueKind::kBool:
+      return AsBool() == other.AsBool();
+    case ValueKind::kOid:
+      return AsOid() == other.AsOid();
+    default:
+      return false;  // numeric handled above
+  }
+}
+
+std::optional<int> Value::Compare(const Value& other) const {
+  if (is_numeric() && other.is_numeric()) {
+    if (kind() == ValueKind::kInt && other.kind() == ValueKind::kInt) {
+      int64_t a = AsInt(), b = other.AsInt();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    double a = AsNumeric(), b = other.AsNumeric();
+    if (std::isnan(a) || std::isnan(b)) return std::nullopt;
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  if (kind() == ValueKind::kString && other.kind() == ValueKind::kString) {
+    int c = AsString().compare(other.AsString());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  return std::nullopt;
+}
+
+bool Value::TotalOrder(const Value& a, const Value& b) {
+  // Numeric kinds collapse into one bucket so that TotalOrder is consistent
+  // with Equals (1 == 1.0 must not be both < and >).
+  auto bucket = [](ValueKind k) {
+    return k == ValueKind::kDouble ? ValueKind::kInt : k;
+  };
+  if (bucket(a.kind()) != bucket(b.kind())) {
+    return static_cast<int>(bucket(a.kind())) < static_cast<int>(bucket(b.kind()));
+  }
+  switch (bucket(a.kind())) {
+    case ValueKind::kNull:
+      return false;
+    case ValueKind::kInt:
+      return a.AsNumeric() < b.AsNumeric();
+    case ValueKind::kString:
+      return a.AsString() < b.AsString();
+    case ValueKind::kBool:
+      return a.AsBool() < b.AsBool();
+    case ValueKind::kOid:
+      return a.AsOid() < b.AsOid();
+    default:
+      return false;
+  }
+}
+
+size_t Value::Hash() const {
+  switch (kind()) {
+    case ValueKind::kNull:
+      return 0x9e3779b97f4a7c15ull;
+    case ValueKind::kInt:
+      // Hash via the double representation so 1 and 1.0 collide, matching
+      // Equals. Integers beyond 2^53 lose precision identically on both
+      // sides, preserving consistency.
+      return std::hash<double>()(static_cast<double>(AsInt()));
+    case ValueKind::kDouble:
+      return std::hash<double>()(AsDoubleExact());
+    case ValueKind::kString:
+      return std::hash<std::string>()(AsString());
+    case ValueKind::kBool:
+      return std::hash<bool>()(AsBool()) ^ 0x5bd1e995u;
+    case ValueKind::kOid:
+      return std::hash<uint64_t>()(AsOid().raw()) ^ 0x2545f4914f6cdd1dull;
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (kind()) {
+    case ValueKind::kNull:
+      return "null";
+    case ValueKind::kInt:
+      return std::to_string(AsInt());
+    case ValueKind::kDouble: {
+      char buf[48];
+      double d = AsDoubleExact();
+      if (d == static_cast<int64_t>(d) && std::abs(d) < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%.1f", d);
+      } else {
+        std::snprintf(buf, sizeof(buf), "%g", d);
+      }
+      return buf;
+    }
+    case ValueKind::kString:
+      return "\"" + AsString() + "\"";
+    case ValueKind::kBool:
+      return AsBool() ? "true" : "false";
+    case ValueKind::kOid:
+      return "@" + std::to_string(AsOid().raw());
+  }
+  return "?";
+}
+
+}  // namespace sqo

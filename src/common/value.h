@@ -1,0 +1,121 @@
+#ifndef SQO_COMMON_VALUE_H_
+#define SQO_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <variant>
+
+namespace sqo {
+
+/// An object identifier. OIDs are opaque handles minted by the object store;
+/// value 0 is reserved as "invalid". The DATALOG layer treats OIDs as
+/// uninterpreted constants that support only equality, exactly matching the
+/// ODMG notion of object identity.
+class Oid {
+ public:
+  constexpr Oid() : raw_(0) {}
+  constexpr explicit Oid(uint64_t raw) : raw_(raw) {}
+
+  constexpr uint64_t raw() const { return raw_; }
+  constexpr bool valid() const { return raw_ != 0; }
+
+  friend constexpr bool operator==(Oid a, Oid b) { return a.raw_ == b.raw_; }
+  friend constexpr bool operator!=(Oid a, Oid b) { return a.raw_ != b.raw_; }
+  /// Arbitrary-but-stable order so OIDs can live in ordered containers.
+  friend constexpr bool operator<(Oid a, Oid b) { return a.raw_ < b.raw_; }
+
+ private:
+  uint64_t raw_;
+};
+
+/// Discriminator for `Value`.
+enum class ValueKind {
+  kNull = 0,
+  kInt,
+  kDouble,
+  kString,
+  kBool,
+  kOid,
+};
+
+/// Returns a stable name for a value kind ("int", "string", ...).
+std::string_view ValueKindName(ValueKind kind);
+
+/// A typed runtime value: the constant domain shared by the DATALOG
+/// representation (constants in atoms) and the execution engine (attribute
+/// values). Numeric values (`kInt`, `kDouble`) compare with each other under
+/// the usual numeric order; strings compare lexicographically; booleans and
+/// OIDs support equality only (plus an arbitrary stable order used by
+/// containers, exposed separately as `TotalOrder`).
+class Value {
+ public:
+  /// Null / absent value.
+  Value() : rep_(std::monostate{}) {}
+
+  static Value Int(int64_t v) { return Value(Rep(std::in_place_index<1>, v)); }
+  static Value Double(double v) { return Value(Rep(std::in_place_index<2>, v)); }
+  static Value String(std::string v) {
+    return Value(Rep(std::in_place_index<3>, std::move(v)));
+  }
+  static Value Bool(bool v) { return Value(Rep(std::in_place_index<4>, v)); }
+  static Value FromOid(Oid v) { return Value(Rep(std::in_place_index<5>, v)); }
+
+  ValueKind kind() const { return static_cast<ValueKind>(rep_.index()); }
+  bool is_null() const { return kind() == ValueKind::kNull; }
+  bool is_numeric() const {
+    return kind() == ValueKind::kInt || kind() == ValueKind::kDouble;
+  }
+
+  int64_t AsInt() const { return std::get<1>(rep_); }
+  double AsDoubleExact() const { return std::get<2>(rep_); }
+  const std::string& AsString() const { return std::get<3>(rep_); }
+  bool AsBool() const { return std::get<4>(rep_); }
+  Oid AsOid() const { return std::get<5>(rep_); }
+
+  /// Numeric view of an int or double value. Must be numeric.
+  double AsNumeric() const {
+    return kind() == ValueKind::kInt ? static_cast<double>(std::get<1>(rep_))
+                                     : std::get<2>(rep_);
+  }
+
+  /// Semantic equality: 1 == 1.0; distinct kinds outside the numeric pair
+  /// are never equal.
+  bool Equals(const Value& other) const;
+
+  /// Three-way semantic comparison. Returns -1/0/+1 for comparable pairs
+  /// (numeric vs numeric, string vs string) and std::nullopt for pairs with
+  /// no defined order (bool, OID, null, or mixed kinds).
+  std::optional<int> Compare(const Value& other) const;
+
+  /// Arbitrary but stable total order across all kinds, for use as a
+  /// container comparator. Orders first by kind, then by value.
+  static bool TotalOrder(const Value& a, const Value& b);
+
+  /// Hash consistent with `Equals` (ints and doubles with equal numeric
+  /// value hash identically).
+  size_t Hash() const;
+
+  /// Renders for diagnostics: strings quoted, OIDs as `@<raw>`.
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b) { return a.Equals(b); }
+  friend bool operator!=(const Value& a, const Value& b) { return !a.Equals(b); }
+
+ private:
+  using Rep =
+      std::variant<std::monostate, int64_t, double, std::string, bool, Oid>;
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+
+  Rep rep_;
+};
+
+/// std::hash adapter for Value.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace sqo
+
+#endif  // SQO_COMMON_VALUE_H_

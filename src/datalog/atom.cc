@@ -1,0 +1,73 @@
+#include "datalog/atom.h"
+
+#include <algorithm>
+
+namespace sqo::datalog {
+
+
+
+
+
+void Atom::CollectVariables(std::vector<std::string>* out) const {
+  for (const Term& t : args_) {
+    if (t.is_variable() &&
+        std::find(out->begin(), out->end(), t.var_name()) == out->end()) {
+      out->push_back(t.var_name());
+    }
+  }
+}
+
+bool Atom::operator==(const Atom& other) const {
+  if (is_comparison_ != other.is_comparison_) return false;
+  if (is_comparison_) {
+    if (op_ != other.op_) return false;
+  } else {
+    if (predicate_ != other.predicate_) return false;
+  }
+  return args_ == other.args_;
+}
+
+size_t Atom::Hash() const {
+  size_t h = is_comparison_ ? static_cast<size_t>(op_) * 0x9e3779b9u + 7
+                            : std::hash<std::string>()(predicate_);
+  for (const Term& t : args_) h = h * 1099511628211ull + t.Hash();
+  return h;
+}
+
+std::string Atom::ToString() const {
+  if (is_comparison_) {
+    return lhs().ToString() + " " + std::string(CmpOpSymbol(op_)) + " " +
+           rhs().ToString();
+  }
+  std::string out = predicate_ + "(";
+  for (size_t i = 0; i < args_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+Literal::Literal(bool pos, Atom a) : positive(pos), atom(std::move(a)) {
+  if (!positive && atom.is_comparison()) {
+    // Normalize ¬(a θ b) to a ¬θ b so comparison literals are always
+    // positive; downstream reasoning (the solver) only sees positive
+    // comparison atoms.
+    atom = Atom::Comparison(NegateOp(atom.op()), atom.lhs(), atom.rhs());
+    positive = true;
+  }
+}
+
+Literal Literal::Complement() const {
+  if (atom.is_comparison()) {
+    return Literal::Pos(Atom::Comparison(NegateOp(atom.op()), atom.lhs(), atom.rhs()));
+  }
+  return Literal(!positive, atom);
+}
+
+std::string Literal::ToString() const {
+  if (positive) return atom.ToString();
+  return "not " + atom.ToString();
+}
+
+}  // namespace sqo::datalog

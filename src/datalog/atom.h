@@ -1,0 +1,109 @@
+#ifndef SQO_DATALOG_ATOM_H_
+#define SQO_DATALOG_ATOM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/cmp.h"
+#include "datalog/term.h"
+
+namespace sqo::datalog {
+
+/// Comparison operators of evaluable ("built-in") atoms: X = Y, A θ k, A θ B
+/// in the paper's notation. Shared with the OQL surface syntax.
+using sqo::CmpOp;
+using sqo::CmpOpSymbol;
+using sqo::EvalCmp;
+using sqo::FlipOp;
+using sqo::NegateOp;
+
+/// An atom: either a predicate atom `p(t1, ..., tn)` over a database
+/// relation, or an evaluable comparison `t1 θ t2`.
+class Atom {
+ public:
+  /// Creates a predicate atom.
+  static Atom Pred(std::string predicate, std::vector<Term> args) {
+    Atom a;
+    a.predicate_ = std::move(predicate);
+    a.args_ = std::move(args);
+    a.is_comparison_ = false;
+    return a;
+  }
+
+  /// Creates an evaluable comparison atom `lhs op rhs`.
+  static Atom Comparison(CmpOp op, Term lhs, Term rhs) {
+    Atom a;
+    a.is_comparison_ = true;
+    a.op_ = op;
+    a.args_ = {std::move(lhs), std::move(rhs)};
+    return a;
+  }
+
+  bool is_comparison() const { return is_comparison_; }
+  bool is_predicate() const { return !is_comparison_; }
+
+  /// Predicate name. Requires is_predicate().
+  const std::string& predicate() const { return predicate_; }
+
+  /// Comparison operator. Requires is_comparison().
+  CmpOp op() const { return op_; }
+  const Term& lhs() const { return args_[0]; }
+  const Term& rhs() const { return args_[1]; }
+
+  const std::vector<Term>& args() const { return args_; }
+  std::vector<Term>& mutable_args() { return args_; }
+  size_t arity() const { return args_.size(); }
+
+  /// Collects the distinct variable names occurring in this atom, in order
+  /// of first occurrence, appending to `out` (no duplicates added).
+  void CollectVariables(std::vector<std::string>* out) const;
+
+  bool operator==(const Atom& other) const;
+  bool operator!=(const Atom& other) const { return !(*this == other); }
+  size_t Hash() const;
+
+  /// `p(X, 3)` or `X < 3`.
+  std::string ToString() const;
+
+ private:
+  Atom() = default;
+
+  bool is_comparison_ = false;
+  std::string predicate_;  // empty for comparisons
+  CmpOp op_ = CmpOp::kEq;  // meaningful for comparisons only
+  std::vector<Term> args_;
+};
+
+/// A literal: an atom with a polarity. Negative predicate literals
+/// (¬c(X,...)) appear in queries via scope reduction (paper §5.2) and in
+/// contrapositive integrity constraints (IC6'). Negative comparison literals
+/// are normalized away at construction time by flipping the operator, so a
+/// well-formed literal is negative only if its atom is a predicate atom.
+struct Literal {
+  bool positive = true;
+  Atom atom;
+
+  Literal() : atom(Atom::Pred("", {})) {}
+  Literal(bool pos, Atom a);
+
+  /// Positive literal shorthand.
+  static Literal Pos(Atom a) { return Literal(true, std::move(a)); }
+  /// Negative literal shorthand (comparisons get normalized to positive).
+  static Literal Neg(Atom a) { return Literal(false, std::move(a)); }
+
+  /// The logical complement: ¬L. For comparisons this flips the operator.
+  Literal Complement() const;
+
+  bool operator==(const Literal& other) const {
+    return positive == other.positive && atom == other.atom;
+  }
+  bool operator!=(const Literal& other) const { return !(*this == other); }
+  size_t Hash() const { return atom.Hash() * 2 + (positive ? 1 : 0); }
+
+  /// `p(X)` or `not p(X)` or `X < 3`.
+  std::string ToString() const;
+};
+
+}  // namespace sqo::datalog
+
+#endif  // SQO_DATALOG_ATOM_H_

@@ -1,0 +1,196 @@
+#include "datalog/clause.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/strings.h"
+
+namespace sqo::datalog {
+
+namespace {
+
+void CollectLiteralVars(const Literal& lit, std::vector<std::string>* out) {
+  lit.atom.CollectVariables(out);
+}
+
+Term RenameTerm(const Term& t, std::map<std::string, Term>* renaming,
+                FreshVarGen* gen) {
+  if (!t.is_variable()) return t;
+  auto it = renaming->find(t.var_name());
+  if (it == renaming->end()) {
+    it = renaming->emplace(t.var_name(), gen->NextVar()).first;
+  }
+  return it->second;
+}
+
+Atom RenameAtom(const Atom& a, std::map<std::string, Term>* renaming,
+                FreshVarGen* gen) {
+  std::vector<Term> args;
+  args.reserve(a.arity());
+  for (const Term& t : a.args()) args.push_back(RenameTerm(t, renaming, gen));
+  if (a.is_comparison()) {
+    return Atom::Comparison(a.op(), std::move(args[0]), std::move(args[1]));
+  }
+  return Atom::Pred(a.predicate(), std::move(args));
+}
+
+}  // namespace
+
+std::vector<std::string> Clause::Variables() const {
+  std::vector<std::string> out;
+  if (head.has_value()) CollectLiteralVars(*head, &out);
+  for (const Literal& lit : body) CollectLiteralVars(lit, &out);
+  return out;
+}
+
+std::set<std::string> Clause::VariableSet() const {
+  auto vars = Variables();
+  return std::set<std::string>(vars.begin(), vars.end());
+}
+
+Clause Clause::RenamedApart(FreshVarGen* gen) const {
+  std::map<std::string, Term> renaming;
+  Clause out;
+  out.label = label;
+  if (head.has_value()) {
+    out.head = Literal(head->positive, RenameAtom(head->atom, &renaming, gen));
+  }
+  out.body.reserve(body.size());
+  for (const Literal& lit : body) {
+    out.body.push_back(Literal(lit.positive, RenameAtom(lit.atom, &renaming, gen)));
+  }
+  return out;
+}
+
+Clause Clause::Substituted(const Substitution& subst) const {
+  Clause out;
+  out.label = label;
+  if (head.has_value()) out.head = subst.ApplyToLiteral(*head);
+  out.body.reserve(body.size());
+  for (const Literal& lit : body) out.body.push_back(subst.ApplyToLiteral(lit));
+  return out;
+}
+
+std::string Clause::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(body.size());
+  for (const Literal& lit : body) parts.push_back(lit.ToString());
+  std::string head_str = head.has_value() ? head->ToString() : "false";
+  if (body.empty()) return head_str + ".";
+  return head_str + " <- " + StrJoin(parts, ", ") + ".";
+}
+
+std::vector<std::string> Query::Variables() const {
+  std::vector<std::string> out;
+  for (const Term& t : head_args) {
+    if (t.is_variable() &&
+        std::find(out.begin(), out.end(), t.var_name()) == out.end()) {
+      out.push_back(t.var_name());
+    }
+  }
+  for (const Literal& lit : body) CollectLiteralVars(lit, &out);
+  return out;
+}
+
+std::set<std::string> Query::VariableSet() const {
+  auto vars = Variables();
+  return std::set<std::string>(vars.begin(), vars.end());
+}
+
+std::vector<Atom> Query::Comparisons() const {
+  std::vector<Atom> out;
+  for (const Literal& lit : body) {
+    if (lit.positive && lit.atom.is_comparison()) out.push_back(lit.atom);
+  }
+  return out;
+}
+
+Query Query::Substituted(const Substitution& subst) const {
+  Query out;
+  out.name = name;
+  out.head_args.reserve(head_args.size());
+  for (const Term& t : head_args) out.head_args.push_back(subst.Apply(t));
+  out.body.reserve(body.size());
+  for (const Literal& lit : body) out.body.push_back(subst.ApplyToLiteral(lit));
+  return out;
+}
+
+std::string Query::ToString() const {
+  std::vector<std::string> args;
+  args.reserve(head_args.size());
+  for (const Term& t : head_args) args.push_back(t.ToString());
+  std::vector<std::string> lits;
+  lits.reserve(body.size());
+  for (const Literal& lit : body) lits.push_back(lit.ToString());
+  return name + "(" + StrJoin(args, ", ") + ") :- " + StrJoin(lits, ", ") + ".";
+}
+
+std::string Query::CanonicalKey() const {
+  // Pass 1: order body literals by a name-blind shape.
+  auto shape = [](const Literal& lit) {
+    std::string s = lit.positive ? "+" : "-";
+    if (lit.atom.is_comparison()) {
+      s += "cmp";
+      s += CmpOpSymbol(lit.atom.op());
+    } else {
+      s += lit.atom.predicate();
+      s += "/" + std::to_string(lit.atom.arity());
+    }
+    for (const Term& t : lit.atom.args()) {
+      s += t.is_variable() ? "|V" : "|" + t.ToString();
+    }
+    return s;
+  };
+  std::vector<size_t> order(body.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<std::string> shapes;
+  shapes.reserve(body.size());
+  for (const Literal& lit : body) shapes.push_back(shape(lit));
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return shapes[a] < shapes[b]; });
+
+  // Pass 2: canonical numbering by first occurrence over head, then ordered
+  // body.
+  std::map<std::string, std::string> canon;
+  auto canon_name = [&](const std::string& v) -> const std::string& {
+    auto it = canon.find(v);
+    if (it == canon.end()) {
+      it = canon.emplace(v, "$" + std::to_string(canon.size())).first;
+    }
+    return it->second;
+  };
+  auto render_term = [&](const Term& t) {
+    return t.is_variable() ? canon_name(t.var_name()) : t.ToString();
+  };
+  auto render_literal = [&](const Literal& lit) {
+    std::string s = lit.positive ? "" : "not ";
+    if (lit.atom.is_comparison()) {
+      s += render_term(lit.atom.lhs()) + std::string(CmpOpSymbol(lit.atom.op())) +
+           render_term(lit.atom.rhs());
+    } else {
+      s += lit.atom.predicate() + "(";
+      for (size_t i = 0; i < lit.atom.arity(); ++i) {
+        if (i > 0) s += ",";
+        s += render_term(lit.atom.args()[i]);
+      }
+      s += ")";
+    }
+    return s;
+  };
+
+  std::string key = "(";
+  for (size_t i = 0; i < head_args.size(); ++i) {
+    if (i > 0) key += ",";
+    key += render_term(head_args[i]);
+  }
+  key += ")<-";
+  std::vector<std::string> rendered;
+  rendered.reserve(body.size());
+  for (size_t idx : order) rendered.push_back(render_literal(body[idx]));
+  // Re-sort after numbering for stability when shapes tie.
+  std::sort(rendered.begin(), rendered.end());
+  key += StrJoin(rendered, ";");
+  return key;
+}
+
+}  // namespace sqo::datalog

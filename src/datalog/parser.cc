@@ -1,0 +1,408 @@
+#include "datalog/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace sqo::datalog {
+
+namespace {
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+}  // namespace
+
+Parser::Parser(std::string_view text, const RelationCatalog* catalog)
+    : text_(text), catalog_(catalog) {
+  Lex();
+}
+
+void Parser::Lex() {
+  size_t i = 0, line = 1;
+  const std::string& s = text_;
+  auto push = [&](Token t) {
+    t.line = line;
+    tokens_.push_back(std::move(t));
+  };
+  while (i < s.size()) {
+    char c = s[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments: "--" or "%" at start of token position... '%' is a numeric
+    // suffix, so comments are "--" and "//" only.
+    if ((c == '-' && i + 1 < s.size() && s[i + 1] == '-') ||
+        (c == '/' && i + 1 < s.size() && s[i + 1] == '/')) {
+      while (i < s.size() && s[i] != '\n') ++i;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < s.size() && IsIdentChar(s[i])) ++i;
+      std::string word = s.substr(start, i - start);
+      Token t;
+      t.text = word;
+      t.kind = (std::isupper(static_cast<unsigned char>(word[0])) || word[0] == '_')
+                   ? Token::kVariable
+                   : Token::kIdent;
+      push(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < s.size() &&
+         std::isdigit(static_cast<unsigned char>(s[i + 1])))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < s.size() && (std::isdigit(static_cast<unsigned char>(s[i])) ||
+                              (s[i] == '.' && i + 1 < s.size() &&
+                               std::isdigit(static_cast<unsigned char>(s[i + 1]))))) {
+        if (s[i] == '.') is_float = true;
+        ++i;
+      }
+      std::string num = s.substr(start, i - start);
+      double scale = 1.0;
+      bool force_double = false;
+      if (i < s.size() && (s[i] == 'K' || s[i] == 'k')) {
+        scale = 1000.0;
+        ++i;
+      } else if (i < s.size() && s[i] == 'M') {
+        scale = 1000000.0;
+        ++i;
+      } else if (i < s.size() && s[i] == '%') {
+        scale = 0.01;
+        force_double = true;
+        ++i;
+      }
+      Token t;
+      t.kind = Token::kNumber;
+      t.text = num;
+      if (is_float || force_double) {
+        t.value = sqo::Value::Double(std::strtod(num.c_str(), nullptr) * scale);
+      } else {
+        t.value = sqo::Value::Int(static_cast<int64_t>(
+            std::strtoll(num.c_str(), nullptr, 10) * static_cast<int64_t>(scale)));
+      }
+      push(std::move(t));
+      continue;
+    }
+    if (c == '"') {
+      size_t start = ++i;
+      std::string contents;
+      bool closed = false;
+      while (i < s.size()) {
+        if (s[i] == '\\' && i + 1 < s.size()) {
+          contents += s[i + 1];
+          i += 2;
+          continue;
+        }
+        if (s[i] == '"') {
+          closed = true;
+          ++i;
+          break;
+        }
+        contents += s[i++];
+      }
+      Token t;
+      if (!closed) {
+        t.kind = Token::kError;
+        t.text = "unterminated string starting at offset " + std::to_string(start);
+      } else {
+        t.kind = Token::kString;
+        t.text = contents;
+        t.value = sqo::Value::String(contents);
+      }
+      push(std::move(t));
+      continue;
+    }
+    auto two = [&](char a, char b) {
+      return c == a && i + 1 < s.size() && s[i + 1] == b;
+    };
+    Token t;
+    if (two('<', '-') || two(':', '-')) {
+      t.kind = Token::kArrow;
+      i += 2;
+    } else if (two('<', '=')) {
+      t.kind = Token::kCmp;
+      t.op = CmpOp::kLe;
+      i += 2;
+    } else if (two('>', '=')) {
+      t.kind = Token::kCmp;
+      t.op = CmpOp::kGe;
+      i += 2;
+    } else if (two('!', '=') || two('<', '>')) {
+      t.kind = Token::kCmp;
+      t.op = CmpOp::kNe;
+      i += 2;
+    } else if (two('=', '=')) {
+      t.kind = Token::kCmp;
+      t.op = CmpOp::kEq;
+      i += 2;
+    } else {
+      switch (c) {
+        case '(':
+          t.kind = Token::kLParen;
+          break;
+        case ')':
+          t.kind = Token::kRParen;
+          break;
+        case ',':
+          t.kind = Token::kComma;
+          break;
+        case '.':
+          t.kind = Token::kDot;
+          break;
+        case ':':
+          t.kind = Token::kColon;
+          break;
+        case '=':
+          t.kind = Token::kCmp;
+          t.op = CmpOp::kEq;
+          break;
+        case '<':
+          t.kind = Token::kCmp;
+          t.op = CmpOp::kLt;
+          break;
+        case '>':
+          t.kind = Token::kCmp;
+          t.op = CmpOp::kGt;
+          break;
+        default:
+          t.kind = Token::kError;
+          t.text = std::string("unexpected character '") + c + "'";
+          break;
+      }
+      ++i;
+    }
+    push(std::move(t));
+  }
+  Token end;
+  end.kind = Token::kEnd;
+  end.line = line;
+  tokens_.push_back(std::move(end));
+}
+
+const Parser::Token& Parser::Peek(size_t ahead) const {
+  size_t idx = pos_ + ahead;
+  if (idx >= tokens_.size()) idx = tokens_.size() - 1;
+  return tokens_[idx];
+}
+
+Parser::Token Parser::Consume() {
+  Token t = Peek();
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::ConsumeIf(Token::Kind kind) {
+  if (Peek().kind == kind) {
+    Consume();
+    return true;
+  }
+  return false;
+}
+
+sqo::Status Parser::Expect(Token::Kind kind, std::string_view what) {
+  if (Peek().kind != kind) {
+    return ErrorAt(Peek(), "expected " + std::string(what));
+  }
+  Consume();
+  return sqo::Status::Ok();
+}
+
+sqo::Status Parser::ErrorAt(const Token& tok, std::string message) const {
+  std::string detail = message + " at line " + std::to_string(tok.line);
+  if (!tok.text.empty()) detail += " near '" + tok.text + "'";
+  if (tok.kind == Token::kError) detail += " (" + tok.text + ")";
+  return sqo::ParseError(std::move(detail));
+}
+
+sqo::Result<Term> Parser::ParseTerm() {
+  const Token& tok = Peek();
+  switch (tok.kind) {
+    case Token::kVariable: {
+      Token t = Consume();
+      if (t.text == "_") return anon_gen_.NextVar();
+      return Term::Var(t.text);
+    }
+    case Token::kNumber:
+    case Token::kString: {
+      Token t = Consume();
+      return Term::Const(t.value);
+    }
+    case Token::kIdent: {
+      Token t = Consume();
+      if (t.text == "true") return Term::Bool(true);
+      if (t.text == "false") return Term::Bool(false);
+      // Bare lower-case identifier in term position: a symbolic string
+      // constant, DATALOG-style.
+      return Term::String(t.text);
+    }
+    default:
+      return ErrorAt(tok, "expected a term");
+  }
+}
+
+sqo::Result<Atom> Parser::ParsePredicateAtom(std::string name) {
+  SQO_RETURN_IF_ERROR(Expect(Token::kLParen, "'('"));
+  // Detect named-argument form: IDENT ':' ...
+  bool named = Peek().kind == Token::kIdent && Peek(1).kind == Token::kColon;
+  if (named) {
+    if (catalog_ == nullptr) {
+      return ErrorAt(Peek(),
+                     "named arguments for '" + name + "' require a relation catalog");
+    }
+    const RelationSignature* sig = catalog_->Find(name);
+    if (sig == nullptr) {
+      return ErrorAt(Peek(), "unknown relation '" + name + "'");
+    }
+    std::vector<std::optional<Term>> slots(sig->arity());
+    while (true) {
+      if (Peek().kind != Token::kIdent) {
+        return ErrorAt(Peek(), "expected attribute name");
+      }
+      Token attr = Consume();
+      SQO_RETURN_IF_ERROR(Expect(Token::kColon, "':'"));
+      SQO_ASSIGN_OR_RETURN(Term term, ParseTerm());
+      auto idx = sig->AttributeIndex(attr.text);
+      if (!idx.has_value()) {
+        return ErrorAt(attr, "relation '" + name + "' has no attribute '" +
+                                 attr.text + "'");
+      }
+      if (slots[*idx].has_value()) {
+        return ErrorAt(attr, "attribute '" + attr.text + "' given twice");
+      }
+      slots[*idx] = std::move(term);
+      if (!ConsumeIf(Token::kComma)) break;
+    }
+    SQO_RETURN_IF_ERROR(Expect(Token::kRParen, "')'"));
+    std::vector<Term> args;
+    args.reserve(slots.size());
+    for (auto& slot : slots) {
+      args.push_back(slot.has_value() ? *std::move(slot) : anon_gen_.NextVar());
+    }
+    return Atom::Pred(std::move(name), std::move(args));
+  }
+
+  std::vector<Term> args;
+  if (Peek().kind != Token::kRParen) {
+    while (true) {
+      SQO_ASSIGN_OR_RETURN(Term term, ParseTerm());
+      args.push_back(std::move(term));
+      if (!ConsumeIf(Token::kComma)) break;
+    }
+  }
+  SQO_RETURN_IF_ERROR(Expect(Token::kRParen, "')'"));
+  if (catalog_ != nullptr) {
+    const RelationSignature* sig = catalog_->Find(name);
+    if (sig != nullptr && sig->arity() != args.size()) {
+      return sqo::ParseError(sqo::StrFormat(
+          "relation '%s' has arity %zu but %zu positional arguments given "
+          "(use named arguments for partial atoms)",
+          name.c_str(), sig->arity(), args.size()));
+    }
+  }
+  return Atom::Pred(std::move(name), std::move(args));
+}
+
+sqo::Result<Literal> Parser::ParseLiteral() {
+  bool negated = false;
+  if (Peek().kind == Token::kIdent && Peek().text == "not") {
+    negated = true;
+    Consume();
+  }
+  // Predicate atom: IDENT '('.
+  if (Peek().kind == Token::kIdent && Peek(1).kind == Token::kLParen) {
+    Token name = Consume();
+    SQO_ASSIGN_OR_RETURN(Atom atom, ParsePredicateAtom(name.text));
+    return Literal(!negated, std::move(atom));
+  }
+  // Otherwise: comparison `term op term`.
+  SQO_ASSIGN_OR_RETURN(Term lhs, ParseTerm());
+  if (Peek().kind != Token::kCmp) {
+    return ErrorAt(Peek(), "expected comparison operator");
+  }
+  Token op = Consume();
+  SQO_ASSIGN_OR_RETURN(Term rhs, ParseTerm());
+  Atom cmp = Atom::Comparison(op.op, std::move(lhs), std::move(rhs));
+  return Literal(!negated, std::move(cmp));
+}
+
+sqo::Result<Clause> Parser::ParseClause() {
+  Clause clause;
+  // Optional label: IDENT ':' not followed by '-' (":-" lexes as kArrow).
+  if ((Peek().kind == Token::kIdent || Peek().kind == Token::kVariable) &&
+      Peek(1).kind == Token::kColon) {
+    clause.label = Consume().text;
+    Consume();  // ':'
+  }
+  // Headless denial: starts with arrow.
+  if (ConsumeIf(Token::kArrow)) {
+    clause.head = std::nullopt;
+  } else if (Peek().kind == Token::kIdent && Peek().text == "false" &&
+             Peek(1).kind == Token::kArrow) {
+    Consume();
+    Consume();
+    clause.head = std::nullopt;
+  } else {
+    SQO_ASSIGN_OR_RETURN(Literal head, ParseLiteral());
+    clause.head = std::move(head);
+    if (ConsumeIf(Token::kDot)) return clause;  // fact
+    SQO_RETURN_IF_ERROR(Expect(Token::kArrow, "'<-' or '.'"));
+  }
+  while (true) {
+    SQO_ASSIGN_OR_RETURN(Literal lit, ParseLiteral());
+    clause.body.push_back(std::move(lit));
+    if (!ConsumeIf(Token::kComma)) break;
+  }
+  SQO_RETURN_IF_ERROR(Expect(Token::kDot, "'.'"));
+  return clause;
+}
+
+sqo::Result<std::vector<Clause>> Parser::ParseProgram() {
+  std::vector<Clause> clauses;
+  while (Peek().kind != Token::kEnd) {
+    SQO_ASSIGN_OR_RETURN(Clause clause, ParseClause());
+    clauses.push_back(std::move(clause));
+  }
+  return clauses;
+}
+
+sqo::Result<Query> Parser::ParseQuery() {
+  SQO_ASSIGN_OR_RETURN(Clause clause, ParseClause());
+  if (!clause.head.has_value() || !clause.head->positive ||
+      clause.head->atom.is_comparison()) {
+    return sqo::ParseError("a query must have a positive predicate head");
+  }
+  Query q;
+  q.name = clause.head->atom.predicate();
+  q.head_args = clause.head->atom.args();
+  q.body = std::move(clause.body);
+  return q;
+}
+
+sqo::Result<std::vector<Clause>> ParseProgram(std::string_view text,
+                                              const RelationCatalog* catalog) {
+  return Parser(text, catalog).ParseProgram();
+}
+
+sqo::Result<Clause> ParseClauseText(std::string_view text,
+                                    const RelationCatalog* catalog) {
+  return Parser(text, catalog).ParseClause();
+}
+
+sqo::Result<Query> ParseQueryText(std::string_view text,
+                                  const RelationCatalog* catalog) {
+  return Parser(text, catalog).ParseQuery();
+}
+
+}  // namespace sqo::datalog

@@ -1,0 +1,112 @@
+#ifndef SQO_DATALOG_PARSER_H_
+#define SQO_DATALOG_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/clause.h"
+#include "datalog/signature.h"
+
+namespace sqo::datalog {
+
+/// Parser for the textual DATALOG dialect used for integrity constraints,
+/// rules and test fixtures. The dialect mirrors the paper's notation in
+/// ASCII:
+///
+///   IC4: Age >= 30 <- faculty(oid: X, age: Age).
+///   IC5: person(X, Name, Age) <- faculty(X, Name, Age).
+///   IC7: X1 = X2 <- faculty(oid: X1, name: N), faculty(oid: X2, name: N).
+///   <- p(X), q(X).                      -- denial (headless constraint)
+///   value = 3000 <- employee(oid: O, salary: 30K),
+///                   taxes_withheld(oid: O, rate: 10%, value: Value).
+///
+/// Lexical conventions (paper §2): identifiers starting with an upper-case
+/// letter are variables; `_` is an anonymous variable (each occurrence
+/// fresh); lower-case identifiers are predicate names, attribute names, or
+/// bare string constants depending on position. Numbers accept the paper's
+/// `K`/`M` magnitude suffixes (40K = 40000) and `%` (10% = 0.10). Strings
+/// are double-quoted. `<-` and `:-` are interchangeable; a clause may be
+/// prefixed with a `label:`.
+///
+/// Predicate atoms come in two forms:
+///   * positional — `faculty(X, N, S, A)`; if a catalog is supplied the
+///     arity must equal the relation's full arity;
+///   * named — `faculty(oid: X, age: A)`; requires a catalog; unmentioned
+///     attributes become fresh anonymous variables. This is how the paper's
+///     abbreviated atoms ("we only include those attributes which appear in
+///     a query") are written unambiguously.
+class Parser {
+ public:
+  /// `catalog` may be null, in which case only positional atoms are
+  /// accepted and arities are unchecked.
+  explicit Parser(std::string_view text, const RelationCatalog* catalog = nullptr);
+
+  /// Parses a sequence of clauses (rules, ICs, facts, denials).
+  sqo::Result<std::vector<Clause>> ParseProgram();
+
+  /// Parses exactly one clause.
+  sqo::Result<Clause> ParseClause();
+
+  /// Parses a query written as a clause with a predicate head, e.g.
+  /// `q(Name) :- student(X, Name), Age < 30.`.
+  sqo::Result<Query> ParseQuery();
+
+ private:
+  struct Token {
+    enum Kind {
+      kIdent,     // lower-case identifier
+      kVariable,  // upper-case identifier or '_'
+      kNumber,
+      kString,
+      kLParen,
+      kRParen,
+      kComma,
+      kDot,
+      kColon,
+      kArrow,  // "<-" or ":-"
+      kCmp,    // = != < <= > >=
+      kEnd,
+      kError,
+    };
+    Kind kind = kEnd;
+    std::string text;
+    sqo::Value value;  // for kNumber / kString
+    CmpOp op = CmpOp::kEq;
+    size_t line = 1;
+  };
+
+  void Lex();
+  const Token& Peek(size_t ahead = 0) const;
+  Token Consume();
+  bool ConsumeIf(Token::Kind kind);
+  sqo::Status Expect(Token::Kind kind, std::string_view what);
+  sqo::Status ErrorAt(const Token& tok, std::string message) const;
+
+  sqo::Result<Literal> ParseLiteral();
+  sqo::Result<Atom> ParsePredicateAtom(std::string name);
+  sqo::Result<Term> ParseTerm();
+
+  std::string text_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  const RelationCatalog* catalog_;
+  FreshVarGen anon_gen_{"_A"};
+};
+
+/// Convenience: parse a whole program in one call.
+sqo::Result<std::vector<Clause>> ParseProgram(
+    std::string_view text, const RelationCatalog* catalog = nullptr);
+
+/// Convenience: parse one clause.
+sqo::Result<Clause> ParseClauseText(std::string_view text,
+                                    const RelationCatalog* catalog = nullptr);
+
+/// Convenience: parse one query.
+sqo::Result<Query> ParseQueryText(std::string_view text,
+                                  const RelationCatalog* catalog = nullptr);
+
+}  // namespace sqo::datalog
+
+#endif  // SQO_DATALOG_PARSER_H_

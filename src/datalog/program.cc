@@ -1,0 +1,110 @@
+#include "datalog/program.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+
+namespace sqo::datalog {
+
+sqo::Result<Program> Program::Create(std::vector<Clause> clauses,
+                                     const RelationCatalog* catalog,
+                                     std::vector<std::string> exempt_predicates) {
+  Program program(catalog, std::move(exempt_predicates));
+  for (Clause& clause : clauses) {
+    SQO_RETURN_IF_ERROR(program.Append(std::move(clause)));
+  }
+  return program;
+}
+
+sqo::Status Program::Validate(const Clause& clause) const {
+  auto describe = [&clause]() {
+    return clause.label.empty() ? clause.ToString() : clause.label;
+  };
+
+  // Predicate atoms must be cataloged with matching arity.
+  auto check_atom = [&](const Atom& atom) -> sqo::Status {
+    if (!atom.is_predicate()) return sqo::Status::Ok();
+    if (std::find(exempt_.begin(), exempt_.end(), atom.predicate()) !=
+        exempt_.end()) {
+      return sqo::Status::Ok();
+    }
+    if (catalog_ == nullptr) return sqo::Status::Ok();
+    const RelationSignature* sig = catalog_->Find(atom.predicate());
+    if (sig == nullptr) {
+      return sqo::SemanticError("clause '" + describe() +
+                                "' uses unknown relation '" + atom.predicate() +
+                                "'");
+    }
+    if (sig->arity() != atom.arity()) {
+      return sqo::SemanticError(
+          "clause '" + describe() + "': relation '" + atom.predicate() +
+          "' has arity " + std::to_string(sig->arity()) + ", atom has " +
+          std::to_string(atom.arity()));
+    }
+    return sqo::Status::Ok();
+  };
+  if (clause.head.has_value()) SQO_RETURN_IF_ERROR(check_atom(clause.head->atom));
+  for (const Literal& lit : clause.body) {
+    SQO_RETURN_IF_ERROR(check_atom(lit.atom));
+  }
+
+  // Range restriction over the body.
+  std::set<std::string> positive_vars;
+  for (const Literal& lit : clause.body) {
+    if (lit.positive && lit.atom.is_predicate()) {
+      std::vector<std::string> vars;
+      lit.atom.CollectVariables(&vars);
+      positive_vars.insert(vars.begin(), vars.end());
+    }
+  }
+  for (const Literal& lit : clause.body) {
+    if (!lit.atom.is_comparison()) continue;
+    std::vector<std::string> vars;
+    lit.atom.CollectVariables(&vars);
+    for (const std::string& v : vars) {
+      if (positive_vars.count(v) == 0) {
+        return sqo::SemanticError("clause '" + describe() +
+                                  "' is not range-restricted: variable '" + v +
+                                  "' occurs only in evaluable atoms");
+      }
+    }
+  }
+  return sqo::Status::Ok();
+}
+
+sqo::Status Program::Append(Clause clause) {
+  SQO_RETURN_IF_ERROR(Validate(clause));
+  if (!clause.label.empty() && FindLabel(clause.label) != nullptr) {
+    return sqo::SemanticError("duplicate clause label '" + clause.label + "'");
+  }
+  clauses_.push_back(std::move(clause));
+  return sqo::Status::Ok();
+}
+
+std::vector<const Clause*> Program::WithLabelPrefix(
+    std::string_view prefix) const {
+  std::vector<const Clause*> out;
+  for (const Clause& clause : clauses_) {
+    if (sqo::StartsWith(clause.label, prefix)) out.push_back(&clause);
+  }
+  return out;
+}
+
+const Clause* Program::FindLabel(std::string_view label) const {
+  for (const Clause& clause : clauses_) {
+    if (clause.label == label) return &clause;
+  }
+  return nullptr;
+}
+
+std::string Program::ToString() const {
+  std::string out;
+  for (const Clause& clause : clauses_) {
+    if (!clause.label.empty()) out += clause.label + ": ";
+    out += clause.ToString() + "\n";
+  }
+  return out;
+}
+
+}  // namespace sqo::datalog

@@ -1,0 +1,61 @@
+#ifndef SQO_DATALOG_PROGRAM_H_
+#define SQO_DATALOG_PROGRAM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/clause.h"
+#include "datalog/signature.h"
+
+namespace sqo::datalog {
+
+/// A validated bundle of DATALOG clauses over a relation catalog: the unit
+/// in which integrity-constraint sets travel through the library (loaded
+/// from text, extended by inference, handed to the semantic compiler).
+///
+/// Validation enforces:
+///   * every predicate atom refers to a cataloged relation with matching
+///     arity (special method-fact predicates like `monotone`/`point` are
+///     exempted via `exempt_predicates`);
+///   * range restriction: every variable of an evaluable body atom occurs
+///     in some positive predicate body atom (denials and rules alike), so
+///     clause bodies are evaluable bottom-up;
+///   * labels are unique when present (duplicates get suffixed reports).
+class Program {
+ public:
+  /// Builds a validated program. `exempt_predicates` lists predicates that
+  /// bypass catalog lookup (defaults to the method-fact predicates).
+  static sqo::Result<Program> Create(
+      std::vector<Clause> clauses, const RelationCatalog* catalog,
+      std::vector<std::string> exempt_predicates = {"monotone", "point"});
+
+  const std::vector<Clause>& clauses() const { return clauses_; }
+  size_t size() const { return clauses_.size(); }
+
+  /// Clauses whose label starts with `prefix`.
+  std::vector<const Clause*> WithLabelPrefix(std::string_view prefix) const;
+
+  /// First clause with exactly this label, or nullptr.
+  const Clause* FindLabel(std::string_view label) const;
+
+  /// Appends another clause, re-running validation for it.
+  sqo::Status Append(Clause clause);
+
+  /// One clause per line, labels included.
+  std::string ToString() const;
+
+ private:
+  Program(const RelationCatalog* catalog, std::vector<std::string> exempt)
+      : catalog_(catalog), exempt_(std::move(exempt)) {}
+
+  sqo::Status Validate(const Clause& clause) const;
+
+  const RelationCatalog* catalog_;
+  std::vector<std::string> exempt_;
+  std::vector<Clause> clauses_;
+};
+
+}  // namespace sqo::datalog
+
+#endif  // SQO_DATALOG_PROGRAM_H_

@@ -1,0 +1,57 @@
+#include "datalog/signature.h"
+
+#include "common/strings.h"
+
+namespace sqo::datalog {
+
+std::string_view RelationKindName(RelationKind kind) {
+  switch (kind) {
+    case RelationKind::kClass:
+      return "class";
+    case RelationKind::kStructure:
+      return "structure";
+    case RelationKind::kRelationship:
+      return "relationship";
+    case RelationKind::kMethod:
+      return "method";
+    case RelationKind::kAsr:
+      return "asr";
+  }
+  return "unknown";
+}
+
+std::optional<size_t> RelationSignature::AttributeIndex(
+    std::string_view attr) const {
+  for (size_t i = 0; i < attributes.size(); ++i) {
+    if (attributes[i] == attr) return i;
+  }
+  return std::nullopt;
+}
+
+std::string RelationSignature::ToString() const {
+  return name + "(" + StrJoin(attributes, ", ") + ")";
+}
+
+sqo::Status RelationCatalog::Add(RelationSignature signature) {
+  auto [it, inserted] = relations_.emplace(signature.name, std::move(signature));
+  if (!inserted) {
+    return sqo::InvalidArgumentError("duplicate relation name: " + it->first);
+  }
+  return sqo::Status::Ok();
+}
+
+const RelationSignature* RelationCatalog::Find(std::string_view name) const {
+  auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+sqo::Result<const RelationSignature*> RelationCatalog::Get(
+    std::string_view name) const {
+  const RelationSignature* sig = Find(name);
+  if (sig == nullptr) {
+    return sqo::NotFoundError("unknown relation: " + std::string(name));
+  }
+  return sig;
+}
+
+}  // namespace sqo::datalog

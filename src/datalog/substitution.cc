@@ -1,0 +1,50 @@
+#include "datalog/substitution.h"
+
+namespace sqo::datalog {
+
+Term Substitution::Apply(const Term& term) const {
+  const Term* current = &term;
+  // Follow variable chains; bounded by the number of bindings, so cycles
+  // (which Bind callers must not create) would terminate via the guard.
+  size_t steps = 0;
+  while (current->is_variable() && steps <= bindings_.size()) {
+    auto it = bindings_.find(current->var_name());
+    if (it == bindings_.end()) break;
+    current = &it->second;
+    ++steps;
+  }
+  return *current;
+}
+
+Atom Substitution::ApplyToAtom(const Atom& atom) const {
+  std::vector<Term> args;
+  args.reserve(atom.arity());
+  for (const Term& t : atom.args()) args.push_back(Apply(t));
+  if (atom.is_comparison()) {
+    return Atom::Comparison(atom.op(), std::move(args[0]), std::move(args[1]));
+  }
+  return Atom::Pred(atom.predicate(), std::move(args));
+}
+
+Literal Substitution::ApplyToLiteral(const Literal& literal) const {
+  return Literal(literal.positive, ApplyToAtom(literal.atom));
+}
+
+const Term* Substitution::Lookup(const std::string& var) const {
+  auto it = bindings_.find(var);
+  return it == bindings_.end() ? nullptr : &it->second;
+}
+
+std::string Substitution::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [var, term] : bindings_) {
+    if (!first) out += ", ";
+    first = false;
+    out += var + " -> " + term.ToString();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace sqo::datalog

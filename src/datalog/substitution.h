@@ -1,0 +1,64 @@
+#ifndef SQO_DATALOG_SUBSTITUTION_H_
+#define SQO_DATALOG_SUBSTITUTION_H_
+
+#include <map>
+#include <string>
+
+#include "datalog/atom.h"
+#include "datalog/term.h"
+
+namespace sqo::datalog {
+
+/// A substitution: a finite mapping from variable names to terms.
+///
+/// Bindings are applied with path compression semantics: `Apply` follows
+/// chains (X ↦ Y, Y ↦ 3 gives Apply(X) = 3) so composition never needs an
+/// explicit pass. Deterministic iteration (std::map) keeps output stable.
+class Substitution {
+ public:
+  Substitution() = default;
+
+  bool empty() const { return bindings_.empty(); }
+  size_t size() const { return bindings_.size(); }
+
+  /// True if `var` has a binding (possibly to another variable).
+  bool Contains(const std::string& var) const {
+    return bindings_.count(var) > 0;
+  }
+
+  /// Binds `var` to `term`. Overwrites an existing binding; callers that
+  /// need unification semantics should use `Unify`/`Match` instead of
+  /// binding directly.
+  void Bind(const std::string& var, Term term) {
+    bindings_.insert_or_assign(var, std::move(term));
+  }
+
+  /// Resolves `term` through the substitution, following variable chains.
+  /// An unbound variable resolves to itself.
+  Term Apply(const Term& term) const;
+
+  /// Applies to every argument of `atom`.
+  Atom ApplyToAtom(const Atom& atom) const;
+
+  /// Applies to the literal's atom, preserving polarity.
+  Literal ApplyToLiteral(const Literal& literal) const;
+
+  /// Removes the binding for `var` if present. Used by the matcher's
+  /// backtracking trail.
+  void EraseBinding(const std::string& var) { bindings_.erase(var); }
+
+  /// Raw binding (unresolved), or nullptr if unbound.
+  const Term* Lookup(const std::string& var) const;
+
+  const std::map<std::string, Term>& bindings() const { return bindings_; }
+
+  /// `{X -> 3, Y -> Z}`.
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, Term> bindings_;
+};
+
+}  // namespace sqo::datalog
+
+#endif  // SQO_DATALOG_SUBSTITUTION_H_

@@ -1,0 +1,27 @@
+#include "datalog/term.h"
+
+namespace sqo::datalog {
+
+bool Term::operator==(const Term& other) const {
+  if (is_variable() != other.is_variable()) return false;
+  if (is_variable()) return var_name() == other.var_name();
+  return constant().Equals(other.constant());
+}
+
+bool Term::operator<(const Term& other) const {
+  if (is_variable() != other.is_variable()) return is_variable();
+  if (is_variable()) return var_name() < other.var_name();
+  return sqo::Value::TotalOrder(constant(), other.constant());
+}
+
+size_t Term::Hash() const {
+  if (is_variable()) return std::hash<std::string>()(var_name()) * 31 + 1;
+  return constant().Hash() * 31 + 2;
+}
+
+std::string Term::ToString() const {
+  if (is_variable()) return var_name();
+  return constant().ToString();
+}
+
+}  // namespace sqo::datalog

@@ -1,0 +1,72 @@
+#ifndef SQO_DATALOG_TERM_H_
+#define SQO_DATALOG_TERM_H_
+
+#include <string>
+#include <variant>
+
+#include "common/value.h"
+
+namespace sqo::datalog {
+
+/// A DATALOG term: either a variable or a constant.
+///
+/// Following the paper's conventions (§2), variables are written starting
+/// with an upper-case letter and constants are typed `Value`s. There are no
+/// function symbols — the object model's structures are flattened into
+/// relations by the schema translation, so first-order terms never nest.
+class Term {
+ public:
+  /// Creates a variable term. `name` should start with an upper-case letter
+  /// or '_' by convention; this is not enforced here (the parser enforces it
+  /// for textual input).
+  static Term Var(std::string name) { return Term(VarRep{std::move(name)}); }
+
+  /// Creates a constant term holding `value`.
+  static Term Const(sqo::Value value) { return Term(std::move(value)); }
+
+  /// Convenience constant factories.
+  static Term Int(int64_t v) { return Const(sqo::Value::Int(v)); }
+  static Term Double(double v) { return Const(sqo::Value::Double(v)); }
+  static Term String(std::string v) { return Const(sqo::Value::String(std::move(v))); }
+  static Term Bool(bool v) { return Const(sqo::Value::Bool(v)); }
+  static Term FromOid(sqo::Oid v) { return Const(sqo::Value::FromOid(v)); }
+
+  bool is_variable() const { return std::holds_alternative<VarRep>(rep_); }
+  bool is_constant() const { return !is_variable(); }
+
+  /// Name of a variable term. Requires is_variable().
+  const std::string& var_name() const { return std::get<VarRep>(rep_).name; }
+
+  /// Value of a constant term. Requires is_constant().
+  const sqo::Value& constant() const { return std::get<sqo::Value>(rep_); }
+
+  bool operator==(const Term& other) const;
+  bool operator!=(const Term& other) const { return !(*this == other); }
+
+  /// Stable total order (variables before constants; by name / TotalOrder).
+  bool operator<(const Term& other) const;
+
+  size_t Hash() const;
+
+  /// Variable name as-is, or the constant's diagnostic rendering.
+  std::string ToString() const;
+
+ private:
+  struct VarRep {
+    std::string name;
+    bool operator==(const VarRep& o) const { return name == o.name; }
+  };
+  using Rep = std::variant<VarRep, sqo::Value>;
+
+  explicit Term(Rep rep) : rep_(std::move(rep)) {}
+
+  Rep rep_;
+};
+
+struct TermHash {
+  size_t operator()(const Term& t) const { return t.Hash(); }
+};
+
+}  // namespace sqo::datalog
+
+#endif  // SQO_DATALOG_TERM_H_

@@ -1,0 +1,80 @@
+#include "datalog/unify.h"
+
+namespace sqo::datalog {
+
+bool UnifyTerms(const Term& a, const Term& b, Substitution* subst) {
+  Term ra = subst->Apply(a);
+  Term rb = subst->Apply(b);
+  if (ra == rb) return true;
+  if (ra.is_variable()) {
+    subst->Bind(ra.var_name(), rb);
+    return true;
+  }
+  if (rb.is_variable()) {
+    subst->Bind(rb.var_name(), ra);
+    return true;
+  }
+  return false;  // distinct constants
+}
+
+bool UnifyAtoms(const Atom& a, const Atom& b, Substitution* subst) {
+  if (!a.is_predicate() || !b.is_predicate()) return false;
+  if (a.predicate() != b.predicate() || a.arity() != b.arity()) return false;
+  for (size_t i = 0; i < a.arity(); ++i) {
+    if (!UnifyTerms(a.args()[i], b.args()[i], subst)) return false;
+  }
+  return true;
+}
+
+bool Matcher::MatchTerm(const Term& pattern, const Term& target) {
+  Term rp = subst_.Apply(pattern);
+  if (rp.is_variable() && bindable_.count(rp.var_name()) > 0) {
+    if (rp == target) return true;
+    subst_.Bind(rp.var_name(), target);
+    trail_.push_back(rp.var_name());
+    return true;
+  }
+  // Frozen variable or constant: must be identical to the target, or
+  // equivalent under the caller-supplied background theory.
+  if (rp == target) return true;
+  return frozen_equiv_ != nullptr && frozen_equiv_(rp, target);
+}
+
+bool Matcher::MatchAtom(const Atom& pattern, const Atom& target) {
+  if (pattern.is_comparison() != target.is_comparison()) return false;
+  if (pattern.is_comparison()) {
+    if (pattern.op() != target.op()) return false;
+  } else {
+    if (pattern.predicate() != target.predicate() ||
+        pattern.arity() != target.arity()) {
+      return false;
+    }
+  }
+  size_t mark = Mark();
+  for (size_t i = 0; i < pattern.arity(); ++i) {
+    if (!MatchTerm(pattern.args()[i], target.args()[i])) {
+      RollbackTo(mark);
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Matcher::MatchLiteral(const Literal& pattern, const Literal& target) {
+  if (pattern.positive != target.positive) return false;
+  return MatchAtom(pattern.atom, target.atom);
+}
+
+void Matcher::RollbackTo(size_t mark) {
+  while (trail_.size() > mark) {
+    // Rebind-free trail: each trail entry was unbound before, so erasing
+    // restores the prior state exactly.
+    const std::string& var = trail_.back();
+    // Substitution has no Erase; emulate via rebuilding would be costly, so
+    // Substitution exposes EraseBinding for the matcher's use.
+    subst_.EraseBinding(var);
+    trail_.pop_back();
+  }
+}
+
+}  // namespace sqo::datalog

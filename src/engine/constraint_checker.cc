@@ -1,0 +1,154 @@
+#include "engine/constraint_checker.h"
+
+#include <set>
+
+#include "common/strings.h"
+
+namespace sqo::engine {
+
+using datalog::Atom;
+using datalog::Clause;
+using datalog::CmpOp;
+using datalog::Literal;
+using datalog::Query;
+using datalog::Substitution;
+using datalog::Term;
+
+namespace {
+
+/// Evaluates a ground comparison between two values; unorderable pairs
+/// fail order comparisons (a violation-side choice: such an IC head is
+/// considered not satisfied).
+bool HoldsGround(CmpOp op, const sqo::Value& lhs, const sqo::Value& rhs) {
+  if (op == CmpOp::kEq || op == CmpOp::kNe) {
+    return datalog::EvalCmp(op, lhs.Equals(rhs) ? 0 : 1);
+  }
+  auto cmp = lhs.Compare(rhs);
+  return cmp.has_value() && datalog::EvalCmp(op, *cmp);
+}
+
+/// True if any tuple matches `atom` under the current instantiation:
+/// constant arguments are fixed, variable arguments are wildcards. Runs a
+/// zero-projection query over the atom.
+sqo::Result<bool> TupleExists(const Database& db, const Atom& atom) {
+  Query probe;
+  probe.name = "exists";
+  probe.body.push_back(Literal::Pos(atom));
+  EvalOptions options;
+  options.distinct = true;  // the empty projection collapses to ≤ 1 row
+  SQO_ASSIGN_OR_RETURN(auto rows, db.Run(probe, nullptr, options));
+  return !rows.empty();
+}
+
+}  // namespace
+
+namespace {
+
+/// True if some method atom's receiver variable is bound by no stored
+/// (class / structure / relationship / ASR) body atom — the body cannot be
+/// enumerated.
+bool HasUnenumerableMethodAtom(const Database& db, const Clause& ic) {
+  std::set<std::string> stored_vars;
+  for (const Literal& lit : ic.body) {
+    if (!lit.positive || !lit.atom.is_predicate()) continue;
+    const datalog::RelationSignature* sig =
+        db.schema().catalog.Find(lit.atom.predicate());
+    if (sig == nullptr || sig->kind == datalog::RelationKind::kMethod) continue;
+    std::vector<std::string> vars;
+    lit.atom.CollectVariables(&vars);
+    stored_vars.insert(vars.begin(), vars.end());
+  }
+  for (const Literal& lit : ic.body) {
+    if (!lit.positive || !lit.atom.is_predicate()) continue;
+    const datalog::RelationSignature* sig =
+        db.schema().catalog.Find(lit.atom.predicate());
+    if (sig == nullptr || sig->kind != datalog::RelationKind::kMethod) continue;
+    const Term& receiver = lit.atom.args()[0];
+    if (receiver.is_variable() && stored_vars.count(receiver.var_name()) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+sqo::Result<CheckReport> CheckConstraints(
+    const Database& db, const std::vector<Clause>& ics, size_t max_violations) {
+  CheckReport report;
+  std::vector<Violation>& violations = report.violations;
+
+  for (const Clause& ic : ics) {
+    if (violations.size() >= max_violations) break;
+    if (ic.body.empty()) continue;  // facts carry no data obligation here
+    if (HasUnenumerableMethodAtom(db, ic)) {
+      report.skipped.push_back(ic.label.empty() ? ic.ToString() : ic.label);
+      continue;
+    }
+
+    // Evaluate the body, projecting every body variable so the head can be
+    // instantiated per match.
+    std::vector<std::string> body_vars;
+    for (const Literal& lit : ic.body) lit.atom.CollectVariables(&body_vars);
+    Query body_query;
+    body_query.name = "icbody";
+    for (const std::string& v : body_vars) {
+      body_query.head_args.push_back(Term::Var(v));
+    }
+    body_query.body = ic.body;
+
+    EvalOptions options;
+    options.distinct = true;
+    auto rows_or = db.Run(body_query, nullptr, options);
+    if (!rows_or.ok()) {
+      return sqo::InvalidArgumentError(
+          "cannot evaluate body of IC '" +
+          (ic.label.empty() ? ic.ToString() : ic.label) +
+          "': " + rows_or.status().ToString());
+    }
+
+    for (const auto& row : *rows_or) {
+      if (violations.size() >= max_violations) break;
+      Substitution subst;
+      for (size_t i = 0; i < body_vars.size(); ++i) {
+        subst.Bind(body_vars[i], Term::Const(row[i]));
+      }
+
+      bool satisfied = false;
+      std::string failed_head;
+      if (!ic.head.has_value()) {
+        satisfied = false;  // denial: any body match violates
+        failed_head = "false";
+      } else {
+        Literal head = subst.ApplyToLiteral(*ic.head);
+        failed_head = head.ToString();
+        if (head.atom.is_comparison()) {
+          // Head-only variables cannot appear in a well-formed evaluable
+          // head; if they do, the comparison cannot hold for all values.
+          satisfied = head.atom.lhs().is_constant() &&
+                      head.atom.rhs().is_constant() &&
+                      HoldsGround(head.atom.op(), head.atom.lhs().constant(),
+                                  head.atom.rhs().constant());
+        } else {
+          SQO_ASSIGN_OR_RETURN(bool exists, TupleExists(db, head.atom));
+          satisfied = head.positive ? exists : !exists;
+        }
+      }
+
+      if (!satisfied) {
+        Violation violation;
+        violation.ic_label = ic.label.empty() ? ic.ToString() : ic.label;
+        std::vector<std::string> binding;
+        for (size_t i = 0; i < body_vars.size(); ++i) {
+          binding.push_back(body_vars[i] + " = " + row[i].ToString());
+        }
+        violation.description =
+            "head " + failed_head + " fails for {" + StrJoin(binding, ", ") + "}";
+        violations.push_back(std::move(violation));
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace sqo::engine

@@ -1,0 +1,57 @@
+#ifndef SQO_ENGINE_CONSTRAINT_CHECKER_H_
+#define SQO_ENGINE_CONSTRAINT_CHECKER_H_
+
+#include <string>
+#include <vector>
+
+#include "datalog/clause.h"
+#include "engine/database.h"
+
+namespace sqo::engine {
+
+/// One integrity-constraint violation found in the data.
+struct Violation {
+  std::string ic_label;
+  /// Human-readable rendering: the instantiated body match and the failed
+  /// head.
+  std::string description;
+
+  std::string ToString() const { return "[" + ic_label + "] " + description; }
+};
+
+/// Validates that the database satisfies every constraint in `ics`.
+///
+/// SQO is only sound on databases that satisfy the integrity constraints it
+/// compiles from (§2: "or else the database would violate the IC") — this
+/// checker closes the loop, letting applications verify data after bulk
+/// loads and letting tests assert the generator's output is consistent.
+///
+/// For each IC `H ← B`, the body is evaluated as a conjunctive query; for
+/// every match σ the head is checked:
+///   * evaluable head: `Hσ` must hold;
+///   * positive predicate head: a tuple matching `Hσ` must exist
+///     (head-only variables are existential wildcards);
+///   * negated predicate head: no tuple matching `Hσ` may exist (head-only
+///     variables are universal, i.e. not-exists);
+///   * denial (no head): any body match is a violation.
+///
+/// The outcome: found violations plus the labels of constraints that are
+/// unverifiable by enumeration — bodies containing a method atom whose
+/// receiver is not bound by any stored relation (methods are computed, not
+/// stored, so their "relation" cannot be scanned; such ICs hold by the
+/// method-registration contract).
+struct CheckReport {
+  std::vector<Violation> violations;
+  std::vector<std::string> skipped;
+
+  bool consistent() const { return violations.empty(); }
+};
+
+/// Stops after `max_violations` findings.
+sqo::Result<CheckReport> CheckConstraints(
+    const Database& db, const std::vector<datalog::Clause>& ics,
+    size_t max_violations = 16);
+
+}  // namespace sqo::engine
+
+#endif  // SQO_ENGINE_CONSTRAINT_CHECKER_H_

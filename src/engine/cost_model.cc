@@ -1,0 +1,5 @@
+#include "engine/cost_model.h"
+
+// EngineCostModel is header-only today; this file anchors the vtable.
+
+namespace sqo::engine {}  // namespace sqo::engine

@@ -1,0 +1,28 @@
+#include "engine/database.h"
+
+namespace sqo::engine {
+
+sqo::Status Database::CreateKeyIndexes() {
+  const odl::Schema& odl_schema = schema().schema;
+  for (const odl::ClassInfo& cls : odl_schema.classes()) {
+    // Keys are inherited: index the declaring class and every subclass
+    // relation so key probes work at any level of the hierarchy.
+    const odl::ClassInfo* cur = &cls;
+    while (cur != nullptr) {
+      for (const std::string& key : cur->keys) {
+        SQO_RETURN_IF_ERROR(
+            store_.CreateIndex(schema().RelationFor(cls.name), key));
+      }
+      cur = cur->super.empty() ? nullptr : odl_schema.FindClass(cur->super);
+    }
+  }
+  return sqo::Status::Ok();
+}
+
+sqo::Result<std::vector<std::vector<sqo::Value>>> Database::Run(
+    const datalog::Query& query, EvalStats* stats, EvalOptions options) const {
+  Evaluator evaluator(&store_, options);
+  return evaluator.Evaluate(query, stats);
+}
+
+}  // namespace sqo::engine

@@ -1,0 +1,41 @@
+#ifndef SQO_ENGINE_DATABASE_H_
+#define SQO_ENGINE_DATABASE_H_
+
+#include <vector>
+
+#include "engine/evaluator.h"
+#include "engine/object_store.h"
+
+namespace sqo::engine {
+
+/// Convenience facade bundling an ObjectStore with evaluation: the
+/// "database" a user of the library populates and queries. Also creates
+/// hash indexes for every declared ODL key (the physical structure §5.3's
+/// optimization assumes).
+class Database {
+ public:
+  /// `schema` must outlive the database.
+  explicit Database(const translate::TranslatedSchema* schema)
+      : store_(schema) {}
+
+  ObjectStore& store() { return store_; }
+  const ObjectStore& store() const { return store_; }
+  const translate::TranslatedSchema& schema() const { return store_.schema(); }
+
+  /// Builds a hash index on every (class, key attribute) declared in the
+  /// ODL schema. Call once (before or after loading; indexes are
+  /// maintained incrementally afterwards).
+  sqo::Status CreateKeyIndexes();
+
+  /// Plans and evaluates a DATALOG query. `stats` may be null.
+  sqo::Result<std::vector<std::vector<sqo::Value>>> Run(
+      const datalog::Query& query, EvalStats* stats = nullptr,
+      EvalOptions options = {}) const;
+
+ private:
+  ObjectStore store_;
+};
+
+}  // namespace sqo::engine
+
+#endif  // SQO_ENGINE_DATABASE_H_

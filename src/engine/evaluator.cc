@@ -1,0 +1,525 @@
+#include "engine/evaluator.h"
+
+#include <functional>
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+
+namespace sqo::engine {
+
+using datalog::Atom;
+using datalog::CmpOp;
+using datalog::Literal;
+using datalog::Query;
+using datalog::RelationKind;
+using datalog::RelationSignature;
+using datalog::Term;
+
+namespace {
+
+/// Variable bindings with a trail for chronological backtracking.
+class Env {
+ public:
+  const sqo::Value* Lookup(const std::string& var) const {
+    auto it = bindings_.find(var);
+    return it == bindings_.end() ? nullptr : &it->second;
+  }
+
+  void Bind(const std::string& var, sqo::Value value) {
+    bindings_.emplace(var, std::move(value));
+    trail_.push_back(var);
+  }
+
+  size_t Mark() const { return trail_.size(); }
+
+  void Rollback(size_t mark) {
+    while (trail_.size() > mark) {
+      bindings_.erase(trail_.back());
+      trail_.pop_back();
+    }
+  }
+
+ private:
+  std::map<std::string, sqo::Value> bindings_;
+  std::vector<std::string> trail_;
+};
+
+/// Resolved view of a term: a concrete value, or unbound.
+const sqo::Value* Resolve(const Term& t, const Env& env, sqo::Value* storage) {
+  if (t.is_constant()) {
+    *storage = t.constant();
+    return storage;
+  }
+  return env.Lookup(t.var_name());
+}
+
+class Execution {
+ public:
+  Execution(const ObjectStore& store, const Query& query,
+            const EvalOptions& options, EvalStats& stats)
+      : store_(store), query_(query), options_(options), stats_(stats) {
+    for (const Term& t : query.head_args) {
+      if (t.is_variable()) var_occurrences_[t.var_name()] += 2;
+    }
+    for (const Literal& lit : query.body) {
+      std::vector<std::string> vars;
+      lit.atom.CollectVariables(&vars);
+      for (const std::string& v : vars) ++var_occurrences_[v];
+    }
+  }
+
+  sqo::Status Run(const std::vector<size_t>& order,
+                  std::vector<std::vector<sqo::Value>>* out) {
+    order_ = &order;
+    out_ = out;
+    // Selection pushdown: pre-bind variables equated to constants so index
+    // probes and OID lookups see them from the start; the equality literal
+    // itself then passes trivially.
+    for (const Literal& lit : query_.body) {
+      if (!lit.positive || !lit.atom.is_comparison() ||
+          lit.atom.op() != CmpOp::kEq) {
+        continue;
+      }
+      const Term& l = lit.atom.lhs();
+      const Term& r = lit.atom.rhs();
+      if (l.is_variable() && r.is_constant() &&
+          env_.Lookup(l.var_name()) == nullptr) {
+        env_.Bind(l.var_name(), r.constant());
+      } else if (r.is_variable() && l.is_constant() &&
+                 env_.Lookup(r.var_name()) == nullptr) {
+        env_.Bind(r.var_name(), l.constant());
+      }
+    }
+    return Step(0);
+  }
+
+ private:
+  /// Unifies `atom`'s arguments against `row`; returns false on mismatch.
+  bool UnifyRow(const Atom& atom, const ObjectStore::Row& row) {
+    for (size_t i = 0; i < atom.arity(); ++i) {
+      sqo::Value tmp;
+      const sqo::Value* bound = Resolve(atom.args()[i], env_, &tmp);
+      if (bound != nullptr) {
+        ++stats_.comparisons;
+        if (!bound->Equals(row[i])) return false;
+      } else {
+        env_.Bind(atom.args()[i].var_name(), row[i]);
+      }
+    }
+    return true;
+  }
+
+  bool UnifyOidPair(const Atom& atom, sqo::Oid src, sqo::Oid dst) {
+    sqo::Value pair[2] = {sqo::Value::FromOid(src), sqo::Value::FromOid(dst)};
+    for (size_t i = 0; i < 2; ++i) {
+      sqo::Value tmp;
+      const sqo::Value* bound = Resolve(atom.args()[i], env_, &tmp);
+      if (bound != nullptr) {
+        ++stats_.comparisons;
+        if (!bound->Equals(pair[i])) return false;
+      } else {
+        env_.Bind(atom.args()[i].var_name(), pair[i]);
+      }
+    }
+    return true;
+  }
+
+  /// Existence check for a (possibly partially bound) atom; unbound
+  /// variables act as wildcards and are never bound.
+  sqo::Result<bool> Exists(const Atom& atom, const RelationSignature& sig) {
+    auto matches_row = [&](const ObjectStore::Row& row) {
+      for (size_t i = 0; i < atom.arity(); ++i) {
+        sqo::Value tmp;
+        const sqo::Value* bound = Resolve(atom.args()[i], env_, &tmp);
+        if (bound != nullptr) {
+          ++stats_.comparisons;
+          if (!bound->Equals(row[i])) return false;
+        }
+      }
+      return true;
+    };
+    switch (sig.kind) {
+      case RelationKind::kClass:
+      case RelationKind::kStructure: {
+        sqo::Value tmp;
+        const sqo::Value* oid = Resolve(atom.args()[0], env_, &tmp);
+        if (oid != nullptr) {
+          if (oid->kind() != sqo::ValueKind::kOid) return false;
+          bool attrs_bound = false;
+          for (size_t i = 1; i < atom.arity() && !attrs_bound; ++i) {
+            sqo::Value atmp;
+            attrs_bound = Resolve(atom.args()[i], env_, &atmp) != nullptr;
+          }
+          if (!attrs_bound) {
+            // Pure membership test: no object fetch needed.
+            return store_.IsMember(sig.name, oid->AsOid());
+          }
+          auto row = store_.RowAs(sig.name, oid->AsOid());
+          if (!row.has_value()) return false;
+          ++stats_.objects_fetched;
+          return matches_row(*row);
+        }
+        ++stats_.extent_scans;
+        for (sqo::Oid candidate : store_.Extent(sig.name)) {
+          auto row = store_.RowAs(sig.name, candidate);
+          ++stats_.objects_fetched;
+          if (matches_row(*row)) return true;
+        }
+        return false;
+      }
+      case RelationKind::kRelationship:
+      case RelationKind::kAsr: {
+        sqo::Value stmp, dtmp;
+        const sqo::Value* src = Resolve(atom.args()[0], env_, &stmp);
+        const sqo::Value* dst = Resolve(atom.args()[1], env_, &dtmp);
+        if (src != nullptr && src->kind() != sqo::ValueKind::kOid) return false;
+        if (dst != nullptr && dst->kind() != sqo::ValueKind::kOid) return false;
+        if (src != nullptr) {
+          const auto& nbrs = store_.Neighbors(sig.name, src->AsOid());
+          stats_.relationship_traversals += nbrs.size();
+          if (dst == nullptr) return !nbrs.empty();
+          for (sqo::Oid n : nbrs) {
+            if (n == dst->AsOid()) return true;
+          }
+          return false;
+        }
+        if (dst != nullptr) {
+          const auto& nbrs = store_.ReverseNeighbors(sig.name, dst->AsOid());
+          stats_.relationship_traversals += nbrs.size();
+          return !nbrs.empty();
+        }
+        return store_.PairCount(sig.name) > 0;
+      }
+      case RelationKind::kMethod: {
+        std::vector<sqo::Value> args;
+        sqo::Value rtmp;
+        const sqo::Value* receiver = Resolve(atom.args()[0], env_, &rtmp);
+        if (receiver == nullptr || receiver->kind() != sqo::ValueKind::kOid) {
+          return sqo::UnsupportedError(
+              "negated method atom requires a bound receiver");
+        }
+        for (size_t i = 1; i + 1 < atom.arity(); ++i) {
+          sqo::Value tmp;
+          const sqo::Value* arg = Resolve(atom.args()[i], env_, &tmp);
+          if (arg == nullptr) {
+            return sqo::UnsupportedError(
+                "negated method atom requires bound arguments");
+          }
+          args.push_back(*arg);
+        }
+        ++stats_.method_invocations;
+        SQO_ASSIGN_OR_RETURN(sqo::Value result, store_.InvokeMethod(
+                                                    sig.name,
+                                                    receiver->AsOid(), args));
+        sqo::Value vtmp;
+        const sqo::Value* expected = Resolve(atom.args().back(), env_, &vtmp);
+        if (expected == nullptr) return true;  // some result always exists
+        ++stats_.comparisons;
+        return expected->Equals(result);
+      }
+    }
+    return false;
+  }
+
+  /// Finds "membership guards" downstream of plan position `k`: negated
+  /// class/structure literals over the scan variable whose attribute
+  /// arguments are pure wildcards. These evaluate as cheap extent-
+  /// membership pre-filters during the scan — the paper's §5.2 plan that
+  /// "first identifies objects in Person but not in Faculty, then
+  /// retrieves only those instances". Returns (plan position, relation).
+  std::vector<std::pair<size_t, std::string>> FindGuards(
+      size_t k, const std::string& scan_var) const {
+    std::vector<std::pair<size_t, std::string>> guards;
+    for (size_t j = k + 1; j < order_->size(); ++j) {
+      const Literal& lit = query_.body[(*order_)[j]];
+      if (lit.positive || !lit.atom.is_predicate() || lit.atom.args().empty()) {
+        continue;
+      }
+      const RelationSignature* sig =
+          store_.schema().catalog.Find(lit.atom.predicate());
+      if (sig == nullptr || (sig->kind != RelationKind::kClass &&
+                             sig->kind != RelationKind::kStructure)) {
+        continue;
+      }
+      const Term& oid = lit.atom.args()[0];
+      if (!oid.is_variable() || oid.var_name() != scan_var) continue;
+      bool wildcards = true;
+      for (size_t ai = 1; ai < lit.atom.arity(); ++ai) {
+        const Term& t = lit.atom.args()[ai];
+        auto occ = t.is_variable() ? var_occurrences_.find(t.var_name())
+                                   : var_occurrences_.end();
+        if (!t.is_variable() || occ == var_occurrences_.end() ||
+            occ->second != 1) {
+          wildcards = false;
+          break;
+        }
+      }
+      if (wildcards) guards.emplace_back(j, sig->name);
+    }
+    return guards;
+  }
+
+  bool PassesGuards(const std::vector<std::pair<size_t, std::string>>& guards,
+                    sqo::Oid oid) {
+    for (const auto& [pos, rel] : guards) {
+      ++stats_.negation_checks;
+      if (store_.IsMember(rel, oid)) return false;
+    }
+    return true;
+  }
+
+  sqo::Status Step(size_t k) {
+    if (k == order_->size()) return EmitTuple();
+    if (consumed_.count(k) > 0) return Step(k + 1);
+    const Literal& lit = query_.body[(*order_)[k]];
+    const Atom& atom = lit.atom;
+
+    if (atom.is_comparison()) {
+      sqo::Value ltmp, rtmp;
+      const sqo::Value* lhs = Resolve(atom.lhs(), env_, &ltmp);
+      const sqo::Value* rhs = Resolve(atom.rhs(), env_, &rtmp);
+      if (lhs == nullptr || rhs == nullptr) {
+        return sqo::InvalidArgumentError(
+            "comparison over unbound variables: " + atom.ToString() +
+            " (unsafe query)");
+      }
+      ++stats_.comparisons;
+      bool pass;
+      if (atom.op() == CmpOp::kEq || atom.op() == CmpOp::kNe) {
+        pass = datalog::EvalCmp(atom.op(), lhs->Equals(*rhs) ? 0 : 1);
+      } else {
+        auto cmp = lhs->Compare(*rhs);
+        if (!cmp.has_value()) {
+          return sqo::InvalidArgumentError("unorderable comparison: " +
+                                           atom.ToString());
+        }
+        pass = datalog::EvalCmp(atom.op(), *cmp);
+      }
+      if (!pass) return sqo::Status::Ok();
+      return Step(k + 1);
+    }
+
+    const RelationSignature* sig = store_.schema().catalog.Find(atom.predicate());
+    if (sig == nullptr || sig->arity() != atom.arity()) {
+      return sqo::NotFoundError("unknown relation in query: " + atom.ToString());
+    }
+
+    if (!lit.positive) {
+      ++stats_.negation_checks;
+      SQO_ASSIGN_OR_RETURN(bool exists, Exists(atom, *sig));
+      if (exists) return sqo::Status::Ok();
+      return Step(k + 1);
+    }
+
+    switch (sig->kind) {
+      case RelationKind::kClass:
+      case RelationKind::kStructure: {
+        sqo::Value tmp;
+        const sqo::Value* oid = Resolve(atom.args()[0], env_, &tmp);
+        if (oid != nullptr) {
+          if (oid->kind() != sqo::ValueKind::kOid) return sqo::Status::Ok();
+          auto row = store_.RowAs(sig->name, oid->AsOid());
+          if (!row.has_value()) return sqo::Status::Ok();
+          ++stats_.objects_fetched;
+          size_t mark = env_.Mark();
+          if (UnifyRow(atom, *row)) SQO_RETURN_IF_ERROR(Step(k + 1));
+          env_.Rollback(mark);
+          return sqo::Status::Ok();
+        }
+        // Membership guards let the scan skip excluded objects before
+        // fetching them (§5.2).
+        std::vector<std::pair<size_t, std::string>> guards =
+            FindGuards(k, atom.args()[0].var_name());
+        for (const auto& [pos, rel] : guards) consumed_.insert(pos);
+        auto release_guards = [&]() {
+          for (const auto& [pos, rel] : guards) consumed_.erase(pos);
+        };
+        // Indexed access on the first bound, indexed attribute.
+        for (size_t i = 1; i < atom.arity(); ++i) {
+          sqo::Value vtmp;
+          const sqo::Value* v = Resolve(atom.args()[i], env_, &vtmp);
+          if (v == nullptr || !store_.HasIndex(sig->name, i)) continue;
+          ++stats_.index_probes;
+          const std::vector<sqo::Oid>* oids = store_.IndexLookup(sig->name, i, *v);
+          if (oids != nullptr) {
+            for (sqo::Oid candidate : *oids) {
+              if (!PassesGuards(guards, candidate)) continue;
+              auto row = store_.RowAs(sig->name, candidate);
+              ++stats_.objects_fetched;
+              size_t mark = env_.Mark();
+              if (UnifyRow(atom, *row)) {
+                sqo::Status status = Step(k + 1);
+                if (!status.ok()) {
+                  release_guards();
+                  return status;
+                }
+              }
+              env_.Rollback(mark);
+            }
+          }
+          release_guards();
+          return sqo::Status::Ok();
+        }
+        // Extent scan.
+        ++stats_.extent_scans;
+        for (sqo::Oid candidate : store_.Extent(sig->name)) {
+          if (!PassesGuards(guards, candidate)) continue;
+          auto row = store_.RowAs(sig->name, candidate);
+          ++stats_.objects_fetched;
+          size_t mark = env_.Mark();
+          if (UnifyRow(atom, *row)) {
+            sqo::Status status = Step(k + 1);
+            if (!status.ok()) {
+              release_guards();
+              return status;
+            }
+          }
+          env_.Rollback(mark);
+        }
+        release_guards();
+        return sqo::Status::Ok();
+      }
+      case RelationKind::kRelationship:
+      case RelationKind::kAsr: {
+        sqo::Value stmp, dtmp;
+        const sqo::Value* src = Resolve(atom.args()[0], env_, &stmp);
+        const sqo::Value* dst = Resolve(atom.args()[1], env_, &dtmp);
+        if (src != nullptr && src->kind() != sqo::ValueKind::kOid) {
+          return sqo::Status::Ok();
+        }
+        if (dst != nullptr && dst->kind() != sqo::ValueKind::kOid) {
+          return sqo::Status::Ok();
+        }
+        if (src != nullptr) {
+          const auto& nbrs = store_.Neighbors(sig->name, src->AsOid());
+          stats_.relationship_traversals += nbrs.size();
+          for (sqo::Oid n : nbrs) {
+            size_t mark = env_.Mark();
+            if (UnifyOidPair(atom, src->AsOid(), n)) {
+              SQO_RETURN_IF_ERROR(Step(k + 1));
+            }
+            env_.Rollback(mark);
+          }
+          return sqo::Status::Ok();
+        }
+        if (dst != nullptr) {
+          const auto& nbrs = store_.ReverseNeighbors(sig->name, dst->AsOid());
+          stats_.relationship_traversals += nbrs.size();
+          for (sqo::Oid n : nbrs) {
+            size_t mark = env_.Mark();
+            if (UnifyOidPair(atom, n, dst->AsOid())) {
+              SQO_RETURN_IF_ERROR(Step(k + 1));
+            }
+            env_.Rollback(mark);
+          }
+          return sqo::Status::Ok();
+        }
+        const auto& pairs = store_.Pairs(sig->name);
+        stats_.relationship_traversals += pairs.size();
+        for (const auto& [s, d] : pairs) {
+          size_t mark = env_.Mark();
+          if (UnifyOidPair(atom, s, d)) SQO_RETURN_IF_ERROR(Step(k + 1));
+          env_.Rollback(mark);
+        }
+        return sqo::Status::Ok();
+      }
+      case RelationKind::kMethod: {
+        sqo::Value rtmp;
+        const sqo::Value* receiver = Resolve(atom.args()[0], env_, &rtmp);
+        if (receiver == nullptr) {
+          return sqo::InvalidArgumentError(
+              "method atom with unbound receiver: " + atom.ToString());
+        }
+        if (receiver->kind() != sqo::ValueKind::kOid) return sqo::Status::Ok();
+        std::vector<sqo::Value> args;
+        for (size_t i = 1; i + 1 < atom.arity(); ++i) {
+          sqo::Value atmp;
+          const sqo::Value* arg = Resolve(atom.args()[i], env_, &atmp);
+          if (arg == nullptr) {
+            return sqo::InvalidArgumentError(
+                "method atom with unbound argument: " + atom.ToString());
+          }
+          args.push_back(*arg);
+        }
+        ++stats_.method_invocations;
+        SQO_ASSIGN_OR_RETURN(
+            sqo::Value result,
+            store_.InvokeMethod(sig->name, receiver->AsOid(), args));
+        sqo::Value vtmp;
+        const sqo::Value* expected = Resolve(atom.args().back(), env_, &vtmp);
+        if (expected != nullptr) {
+          ++stats_.comparisons;
+          if (!expected->Equals(result)) return sqo::Status::Ok();
+          return Step(k + 1);
+        }
+        size_t mark = env_.Mark();
+        env_.Bind(atom.args().back().var_name(), result);
+        SQO_RETURN_IF_ERROR(Step(k + 1));
+        env_.Rollback(mark);
+        return sqo::Status::Ok();
+      }
+    }
+    return sqo::Status::Ok();
+  }
+
+  sqo::Status EmitTuple() {
+    std::vector<sqo::Value> tuple;
+    tuple.reserve(query_.head_args.size());
+    for (const Term& t : query_.head_args) {
+      sqo::Value tmp;
+      const sqo::Value* v = Resolve(t, env_, &tmp);
+      if (v == nullptr) {
+        return sqo::InvalidArgumentError(
+            "projected variable never bound: " + t.ToString());
+      }
+      tuple.push_back(*v);
+    }
+    ++stats_.tuples_emitted;
+    if (options_.max_tuples != 0 && stats_.tuples_emitted > options_.max_tuples) {
+      return sqo::InternalError("result limit exceeded");
+    }
+    if (options_.distinct) {
+      std::string key;
+      for (const sqo::Value& v : tuple) key += v.ToString() + "\x1f";
+      if (!dedup_.insert(std::move(key)).second) return sqo::Status::Ok();
+    }
+    ++stats_.results;
+    out_->push_back(std::move(tuple));
+    return sqo::Status::Ok();
+  }
+
+  const ObjectStore& store_;
+  const Query& query_;
+  const EvalOptions& options_;
+  EvalStats& stats_;
+  Env env_;
+  const std::vector<size_t>* order_ = nullptr;
+  std::vector<std::vector<sqo::Value>>* out_ = nullptr;
+  std::set<std::string> dedup_;
+  std::map<std::string, int> var_occurrences_;
+  std::set<size_t> consumed_;
+};
+
+}  // namespace
+
+sqo::Result<std::vector<std::vector<sqo::Value>>> Evaluator::Evaluate(
+    const Query& query, EvalStats* stats, const std::vector<size_t>* order) const {
+  EvalStats local;
+  EvalStats& s = stats != nullptr ? *stats : local;
+  std::vector<size_t> plan_order;
+  if (order != nullptr) {
+    plan_order = *order;
+  } else {
+    plan_order = PlanQuery(query, *store_).order;
+  }
+  if (plan_order.size() != query.body.size()) {
+    return sqo::InvalidArgumentError("evaluation order size mismatch");
+  }
+  std::vector<std::vector<sqo::Value>> out;
+  Execution exec(*store_, query, options_, s);
+  SQO_RETURN_IF_ERROR(exec.Run(plan_order, &out));
+  return out;
+}
+
+}  // namespace sqo::engine

@@ -1,0 +1,47 @@
+#ifndef SQO_ENGINE_EVALUATOR_H_
+#define SQO_ENGINE_EVALUATOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/clause.h"
+#include "engine/object_store.h"
+#include "engine/planner.h"
+#include "engine/statistics.h"
+
+namespace sqo::engine {
+
+struct EvalOptions {
+  /// Deduplicate result tuples (DATALOG set semantics). OQL `select`
+  /// without `distinct` would use false.
+  bool distinct = true;
+
+  /// Safety valve for runaway joins in tests/benches (0 = unlimited).
+  uint64_t max_tuples = 0;
+};
+
+/// Tuple-at-a-time evaluator for conjunctive DATALOG queries over an
+/// ObjectStore: index nested-loop joins ordered by the greedy planner,
+/// anti-joins for negated literals, and registered-method invocation for
+/// method atoms. Fills `EvalStats` with the instrumentation counters the
+/// benchmarks report.
+class Evaluator {
+ public:
+  explicit Evaluator(const ObjectStore* store, EvalOptions options = {})
+      : store_(store), options_(options) {}
+
+  /// Evaluates `query`, returning the result tuples (one row per head-arg
+  /// vector). A custom literal order may be supplied; otherwise the
+  /// planner chooses. `stats` may be null.
+  sqo::Result<std::vector<std::vector<sqo::Value>>> Evaluate(
+      const datalog::Query& query, EvalStats* stats,
+      const std::vector<size_t>* order = nullptr) const;
+
+ private:
+  const ObjectStore* store_;
+  EvalOptions options_;
+};
+
+}  // namespace sqo::engine
+
+#endif  // SQO_ENGINE_EVALUATOR_H_

@@ -1,0 +1,120 @@
+#include "engine/ic_discovery.h"
+
+#include <set>
+
+#include "common/strings.h"
+
+namespace sqo::engine {
+
+using datalog::Atom;
+using datalog::Clause;
+using datalog::CmpOp;
+using datalog::Literal;
+using datalog::RelationKind;
+using datalog::RelationSignature;
+using datalog::Term;
+
+namespace {
+
+/// Capitalized variable name for an attribute ("salary" → "Salary").
+std::string AttrVar(const std::string& attr) {
+  std::string v = attr;
+  v[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(v[0])));
+  return v;
+}
+
+/// Builds `c(X, _, ..., Var@pos, ...)`.
+Atom ClassAtom(const RelationSignature& sig, size_t pos, const Term& at_pos,
+               int* anon) {
+  std::vector<Term> args;
+  args.reserve(sig.arity());
+  for (size_t i = 0; i < sig.arity(); ++i) {
+    if (i == pos) {
+      args.push_back(at_pos);
+    } else if (i == 0) {
+      args.push_back(Term::Var("X" + std::to_string(++*anon)));
+    } else {
+      args.push_back(Term::Var("_D" + std::to_string(++*anon)));
+    }
+  }
+  return Atom::Pred(sig.name, std::move(args));
+}
+
+}  // namespace
+
+std::vector<Clause> DiscoverConstraints(const Database& db,
+                                        const DiscoveryOptions& options) {
+  std::vector<Clause> out;
+  const ObjectStore& store = db.store();
+  int anon = 0;
+
+  for (const auto& [name, sig] : db.schema().catalog.relations()) {
+    if (sig.kind != RelationKind::kClass &&
+        sig.kind != RelationKind::kStructure) {
+      continue;
+    }
+    const auto& extent = store.Extent(sig.name);
+    if (extent.size() < options.min_extent) continue;
+
+    for (size_t pos = 1; pos < sig.arity(); ++pos) {
+      // One pass: min/max over numerics, distinctness for key proposal.
+      bool numeric = true;
+      bool has_value = false;
+      double min_value = 0, max_value = 0;
+      bool all_distinct = true;
+      std::set<std::string> seen;
+      for (sqo::Oid oid : extent) {
+        auto value_or = store.AttributeOf(sig.name, oid, pos);
+        if (!value_or.ok()) continue;
+        const sqo::Value& value = *value_or;
+        if (value.is_null()) {
+          numeric = false;
+          all_distinct = false;
+          break;
+        }
+        if (!seen.insert(value.ToString()).second) all_distinct = false;
+        if (!value.is_numeric()) {
+          numeric = false;
+          continue;
+        }
+        const double v = value.AsNumeric();
+        if (!has_value || v < min_value) min_value = v;
+        if (!has_value || v > max_value) max_value = v;
+        has_value = true;
+      }
+
+      if (options.ranges && numeric && has_value) {
+        const std::string attr = sig.attributes[pos];
+        Term var = Term::Var(AttrVar(attr));
+        Clause lower;
+        lower.label = "discovered:range:" + sig.name + "." + attr + ":min";
+        lower.head = Literal::Pos(
+            Atom::Comparison(CmpOp::kGe, var, Term::Double(min_value)));
+        lower.body = {Literal::Pos(ClassAtom(sig, pos, var, &anon))};
+        out.push_back(std::move(lower));
+        Clause upper;
+        upper.label = "discovered:range:" + sig.name + "." + attr + ":max";
+        upper.head = Literal::Pos(
+            Atom::Comparison(CmpOp::kLe, var, Term::Double(max_value)));
+        upper.body = {Literal::Pos(ClassAtom(sig, pos, var, &anon))};
+        out.push_back(std::move(upper));
+      }
+
+      if (options.keys && all_distinct && !extent.empty()) {
+        const std::string attr = sig.attributes[pos];
+        Term shared = Term::Var(AttrVar(attr));
+        Clause key;
+        key.label = "discovered:key:" + sig.name + "." + attr;
+        Atom a1 = ClassAtom(sig, pos, shared, &anon);
+        Atom a2 = ClassAtom(sig, pos, shared, &anon);
+        key.head = Literal::Pos(
+            Atom::Comparison(CmpOp::kEq, a1.args()[0], a2.args()[0]));
+        key.body = {Literal::Pos(std::move(a1)), Literal::Pos(std::move(a2))};
+        out.push_back(std::move(key));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace sqo::engine

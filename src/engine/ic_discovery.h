@@ -1,0 +1,42 @@
+#ifndef SQO_ENGINE_IC_DISCOVERY_H_
+#define SQO_ENGINE_IC_DISCOVERY_H_
+
+#include <vector>
+
+#include "datalog/clause.h"
+#include "engine/database.h"
+
+namespace sqo::engine {
+
+struct DiscoveryOptions {
+  /// Propose `attr >= min` / `attr <= max` range constraints for numeric
+  /// attributes of class relations.
+  bool ranges = true;
+
+  /// Propose key constraints (IC7 shape) for attributes whose values are
+  /// distinct across a class extent.
+  bool keys = true;
+
+  /// Skip extents smaller than this — tiny extents make every attribute
+  /// look like a key and every range look tight.
+  size_t min_extent = 8;
+};
+
+/// Mines candidate integrity constraints from the current database state:
+/// the inverse of the paper's pipeline, closing the loop for applications
+/// whose schemas lack declared semantics. The proposals are *soft*
+/// constraints — true of the data now, not enforced going forward — so
+/// callers should either re-validate after updates (CheckConstraints) or
+/// treat optimized results as snapshot-consistent. Labels are prefixed
+/// "discovered:" so downstream tooling can distinguish them from declared
+/// knowledge.
+///
+/// Soundness note: feeding discovered ICs to the semantic compiler is
+/// exactly as sound as the ICs are true; on a frozen database they are
+/// exact, which is what the benchmarks and tests use.
+std::vector<datalog::Clause> DiscoverConstraints(
+    const Database& db, const DiscoveryOptions& options = {});
+
+}  // namespace sqo::engine
+
+#endif  // SQO_ENGINE_IC_DISCOVERY_H_

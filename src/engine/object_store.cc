@@ -1,0 +1,434 @@
+#include "engine/object_store.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace sqo::engine {
+
+using datalog::RelationKind;
+using datalog::RelationSignature;
+
+namespace {
+const std::vector<sqo::Oid>& EmptyOids() {
+  static const std::vector<sqo::Oid> empty;
+  return empty;
+}
+const std::vector<std::pair<sqo::Oid, sqo::Oid>>& EmptyPairs() {
+  static const std::vector<std::pair<sqo::Oid, sqo::Oid>> empty;
+  return empty;
+}
+}  // namespace
+
+std::vector<std::string> ObjectStore::MemberRelations(
+    const std::string& exact_relation) const {
+  std::vector<std::string> out;
+  const RelationSignature* sig = schema_->catalog.Find(exact_relation);
+  if (sig == nullptr) return out;
+  if (sig->kind == RelationKind::kStructure) {
+    out.push_back(exact_relation);
+    return out;
+  }
+  const odl::ClassInfo* cls = schema_->schema.FindClass(sig->owner);
+  while (cls != nullptr) {
+    out.push_back(schema_->RelationFor(cls->name));
+    cls = cls->super.empty() ? nullptr : schema_->schema.FindClass(cls->super);
+  }
+  return out;
+}
+
+sqo::Result<sqo::Oid> ObjectStore::CreateInstance(
+    const std::string& type_name, const std::map<std::string, sqo::Value>& attrs,
+    bool is_struct) {
+  const std::string relation = schema_->RelationFor(type_name);
+  const RelationSignature* sig = schema_->catalog.Find(relation);
+  if (sig == nullptr ||
+      (is_struct && sig->kind != RelationKind::kStructure) ||
+      (!is_struct && sig->kind != RelationKind::kClass)) {
+    return sqo::NotFoundError("unknown " +
+                              std::string(is_struct ? "struct" : "class") +
+                              " '" + type_name + "'");
+  }
+  sqo::Oid oid(next_oid_++);
+  Row row(sig->arity());
+  row[0] = sqo::Value::FromOid(oid);
+  for (const auto& [name, value] : attrs) {
+    auto pos = sig->AttributeIndex(sqo::ToLower(name));
+    if (!pos.has_value() || *pos == 0) {
+      return sqo::InvalidArgumentError("type '" + type_name +
+                                       "' has no attribute '" + name + "'");
+    }
+    row[*pos] = value;
+  }
+  ObjectRecord record;
+  record.exact_relation = relation;
+  record.row = std::move(row);
+  const Row& stored = objects_.emplace(oid.raw(), std::move(record))
+                          .first->second.row;
+
+  for (const std::string& member : MemberRelations(relation)) {
+    extents_[member].push_back(oid);
+    // Maintain any indexes on the member relation.
+    auto idx_it = indexes_.find(member);
+    if (idx_it != indexes_.end()) {
+      for (auto& [pos, index] : idx_it->second) {
+        if (pos < stored.size()) index[stored[pos]].push_back(oid);
+      }
+    }
+  }
+  return oid;
+}
+
+sqo::Result<sqo::Oid> ObjectStore::CreateObject(
+    const std::string& class_name, const std::map<std::string, sqo::Value>& attrs) {
+  return CreateInstance(class_name, attrs, /*is_struct=*/false);
+}
+
+sqo::Result<sqo::Oid> ObjectStore::CreateStruct(
+    const std::string& struct_name, const std::map<std::string, sqo::Value>& fields) {
+  return CreateInstance(struct_name, fields, /*is_struct=*/true);
+}
+
+sqo::Status ObjectStore::InsertPair(const std::string& rel, sqo::Oid src,
+                                    sqo::Oid dst, bool enforce_cardinality) {
+  const RelationSignature* sig = schema_->catalog.Find(rel);
+  RelData& data = rels_[rel];
+  if (data.pair_set.count({src.raw(), dst.raw()}) > 0) {
+    return sqo::Status::Ok();  // already related
+  }
+  if (enforce_cardinality && sig != nullptr) {
+    if (sig->functional_src_to_dst && data.fwd.count(src.raw()) > 0 &&
+        !data.fwd.at(src.raw()).empty()) {
+      return sqo::SemanticError("cardinality violation: '" + rel +
+                                "' is to-one from its source");
+    }
+    if (sig->functional_dst_to_src && data.bwd.count(dst.raw()) > 0 &&
+        !data.bwd.at(dst.raw()).empty()) {
+      return sqo::SemanticError("cardinality violation: '" + rel +
+                                "' is to-one from its target");
+    }
+  }
+  data.pair_set.insert({src.raw(), dst.raw()});
+  data.pairs.emplace_back(src, dst);
+  data.fwd[src.raw()].push_back(dst);
+  data.bwd[dst.raw()].push_back(src);
+  return sqo::Status::Ok();
+}
+
+sqo::Status ObjectStore::Relate(const std::string& relationship, sqo::Oid src,
+                                sqo::Oid dst) {
+  const std::string rel = sqo::ToLower(relationship);
+  const RelationSignature* sig = schema_->catalog.Find(rel);
+  if (sig == nullptr || sig->kind != RelationKind::kRelationship) {
+    return sqo::NotFoundError("unknown relationship '" + relationship + "'");
+  }
+  if (!IsMember(schema_->RelationFor(sig->owner), src)) {
+    return sqo::SemanticError("Relate('" + rel + "'): source object is not a " +
+                              sig->owner);
+  }
+  if (!IsMember(schema_->RelationFor(sig->target), dst)) {
+    return sqo::SemanticError("Relate('" + rel + "'): target object is not a " +
+                              sig->target);
+  }
+  SQO_RETURN_IF_ERROR(InsertPair(rel, src, dst, /*enforce_cardinality=*/true));
+
+  // Maintain the declared inverse.
+  const std::string inverse = InverseOf(rel, *sig);
+  if (!inverse.empty()) {
+    SQO_RETURN_IF_ERROR(
+        InsertPair(inverse, dst, src, /*enforce_cardinality=*/true));
+  }
+  return sqo::Status::Ok();
+}
+
+std::string ObjectStore::InverseOf(const std::string& rel,
+                                   const RelationSignature& sig) {
+  auto it = inverse_of_.find(rel);
+  if (it != inverse_of_.end()) return it->second;
+  const odl::ResolvedRelationship* decl =
+      schema_->schema.FindRelationship(sig.owner, sig.display_name);
+  std::string inverse = (decl != nullptr && !decl->inverse.empty())
+                            ? sqo::ToLower(decl->inverse)
+                            : "";
+  inverse_of_[rel] = inverse;
+  return inverse;
+}
+
+void ObjectStore::ErasePair(const std::string& rel, sqo::Oid src, sqo::Oid dst) {
+  auto it = rels_.find(rel);
+  if (it == rels_.end()) return;
+  RelData& data = it->second;
+  if (data.pair_set.erase({src.raw(), dst.raw()}) == 0) return;
+  auto drop = [](std::vector<sqo::Oid>& v, sqo::Oid x) {
+    v.erase(std::remove(v.begin(), v.end(), x), v.end());
+  };
+  data.pairs.erase(std::remove(data.pairs.begin(), data.pairs.end(),
+                               std::make_pair(src, dst)),
+                   data.pairs.end());
+  auto fit = data.fwd.find(src.raw());
+  if (fit != data.fwd.end()) drop(fit->second, dst);
+  auto bit = data.bwd.find(dst.raw());
+  if (bit != data.bwd.end()) drop(bit->second, src);
+}
+
+sqo::Status ObjectStore::Unrelate(const std::string& relationship, sqo::Oid src,
+                                  sqo::Oid dst) {
+  const std::string rel = sqo::ToLower(relationship);
+  const RelationSignature* sig = schema_->catalog.Find(rel);
+  if (sig == nullptr || sig->kind != RelationKind::kRelationship) {
+    return sqo::NotFoundError("unknown relationship '" + relationship + "'");
+  }
+  ErasePair(rel, src, dst);
+  const std::string inverse = InverseOf(rel, *sig);
+  if (!inverse.empty()) ErasePair(inverse, dst, src);
+  return sqo::Status::Ok();
+}
+
+sqo::Status ObjectStore::UpdateAttribute(sqo::Oid oid,
+                                         const std::string& attribute,
+                                         sqo::Value value) {
+  auto it = objects_.find(oid.raw());
+  if (it == objects_.end()) {
+    return sqo::NotFoundError("no object @" + std::to_string(oid.raw()));
+  }
+  ObjectRecord& record = it->second;
+  const RelationSignature* sig = schema_->catalog.Find(record.exact_relation);
+  auto pos = sig->AttributeIndex(sqo::ToLower(attribute));
+  if (!pos.has_value() || *pos == 0) {
+    return sqo::InvalidArgumentError("type '" + sig->display_name +
+                                     "' has no attribute '" + attribute + "'");
+  }
+  const sqo::Value old_value = record.row[*pos];
+  record.row[*pos] = std::move(value);
+  // Maintain indexes on every member relation covering this position.
+  for (const std::string& member : MemberRelations(record.exact_relation)) {
+    auto idx_it = indexes_.find(member);
+    if (idx_it == indexes_.end()) continue;
+    auto pit = idx_it->second.find(*pos);
+    if (pit == idx_it->second.end()) continue;
+    auto old_bucket = pit->second.find(old_value);
+    if (old_bucket != pit->second.end()) {
+      auto& oids = old_bucket->second;
+      oids.erase(std::remove(oids.begin(), oids.end(), oid), oids.end());
+      if (oids.empty()) pit->second.erase(old_bucket);
+    }
+    pit->second[record.row[*pos]].push_back(oid);
+  }
+  return sqo::Status::Ok();
+}
+
+sqo::Status ObjectStore::DeleteObject(sqo::Oid oid) {
+  auto it = objects_.find(oid.raw());
+  if (it == objects_.end()) {
+    return sqo::NotFoundError("no object @" + std::to_string(oid.raw()));
+  }
+  const ObjectRecord record = std::move(it->second);
+
+  // Drop relationship pairs touching the object.
+  for (auto& [rel, data] : rels_) {
+    std::vector<std::pair<sqo::Oid, sqo::Oid>> doomed;
+    for (const auto& pair : data.pairs) {
+      if (pair.first == oid || pair.second == oid) doomed.push_back(pair);
+    }
+    for (const auto& [src, dst] : doomed) ErasePair(rel, src, dst);
+  }
+
+  // Remove from extents and indexes.
+  for (const std::string& member : MemberRelations(record.exact_relation)) {
+    auto ext_it = extents_.find(member);
+    if (ext_it != extents_.end()) {
+      auto& oids = ext_it->second;
+      oids.erase(std::remove(oids.begin(), oids.end(), oid), oids.end());
+    }
+    auto idx_it = indexes_.find(member);
+    if (idx_it == indexes_.end()) continue;
+    for (auto& [pos, index] : idx_it->second) {
+      if (pos >= record.row.size()) continue;
+      auto bucket = index.find(record.row[pos]);
+      if (bucket == index.end()) continue;
+      auto& oids = bucket->second;
+      oids.erase(std::remove(oids.begin(), oids.end(), oid), oids.end());
+      if (oids.empty()) index.erase(bucket);
+    }
+  }
+
+  objects_.erase(oid.raw());
+  return sqo::Status::Ok();
+}
+
+sqo::Status ObjectStore::RegisterMethod(const std::string& method, MethodFn fn) {
+  const std::string rel = sqo::ToLower(method);
+  const RelationSignature* sig = schema_->catalog.Find(rel);
+  if (sig == nullptr || sig->kind != RelationKind::kMethod) {
+    return sqo::NotFoundError("unknown method '" + method + "'");
+  }
+  methods_[rel] = std::move(fn);
+  return sqo::Status::Ok();
+}
+
+sqo::Status ObjectStore::CreateIndex(const std::string& relation,
+                                     const std::string& attribute) {
+  const std::string rel = sqo::ToLower(relation);
+  const RelationSignature* sig = schema_->catalog.Find(rel);
+  if (sig == nullptr || (sig->kind != RelationKind::kClass &&
+                         sig->kind != RelationKind::kStructure)) {
+    return sqo::NotFoundError("cannot index relation '" + relation + "'");
+  }
+  auto pos = sig->AttributeIndex(sqo::ToLower(attribute));
+  if (!pos.has_value() || *pos == 0) {
+    return sqo::InvalidArgumentError("relation '" + rel +
+                                     "' has no indexable attribute '" +
+                                     attribute + "'");
+  }
+  HashIndex index;
+  for (sqo::Oid oid : Extent(rel)) {
+    auto row = RowAs(rel, oid);
+    index[(*row)[*pos]].push_back(oid);
+  }
+  indexes_[rel][*pos] = std::move(index);
+  return sqo::Status::Ok();
+}
+
+sqo::Status ObjectStore::Materialize(const core::AsrDefinition& asr) {
+  rels_.erase(asr.name);
+  // Walk the path breadth-first from every source of the first hop.
+  const RelData* first = nullptr;
+  auto it = rels_.find(asr.path.front());
+  if (it != rels_.end()) first = &it->second;
+  std::vector<std::pair<sqo::Oid, sqo::Oid>> frontier;
+  if (first != nullptr) {
+    frontier.assign(first->pairs.begin(), first->pairs.end());
+  }
+  for (size_t hop = 1; hop < asr.path.size(); ++hop) {
+    std::vector<std::pair<sqo::Oid, sqo::Oid>> next;
+    for (const auto& [origin, mid] : frontier) {
+      for (sqo::Oid dst : Neighbors(asr.path[hop], mid)) {
+        next.emplace_back(origin, dst);
+      }
+    }
+    frontier = std::move(next);
+  }
+  for (const auto& [src, dst] : frontier) {
+    SQO_RETURN_IF_ERROR(InsertPair(asr.name, src, dst,
+                                   /*enforce_cardinality=*/false));
+  }
+  return sqo::Status::Ok();
+}
+
+const std::vector<sqo::Oid>& ObjectStore::Extent(const std::string& relation) const {
+  auto it = extents_.find(relation);
+  return it == extents_.end() ? EmptyOids() : it->second;
+}
+
+bool ObjectStore::IsMember(const std::string& relation, sqo::Oid oid) const {
+  auto it = objects_.find(oid.raw());
+  if (it == objects_.end()) return false;
+  for (const std::string& member : MemberRelations(it->second.exact_relation)) {
+    if (member == relation) return true;
+  }
+  return false;
+}
+
+std::optional<ObjectStore::Row> ObjectStore::RowAs(const std::string& relation,
+                                                   sqo::Oid oid) const {
+  auto it = objects_.find(oid.raw());
+  if (it == objects_.end()) return std::nullopt;
+  if (!IsMember(relation, oid)) return std::nullopt;
+  const RelationSignature* sig = schema_->catalog.Find(relation);
+  if (sig == nullptr) return std::nullopt;
+  const Row& full = it->second.row;
+  if (sig->arity() > full.size()) return std::nullopt;
+  return Row(full.begin(), full.begin() + static_cast<long>(sig->arity()));
+}
+
+sqo::Result<sqo::Value> ObjectStore::AttributeOf(const std::string& relation,
+                                                 sqo::Oid oid, size_t pos) const {
+  auto it = objects_.find(oid.raw());
+  if (it == objects_.end() || !IsMember(relation, oid)) {
+    return sqo::NotFoundError("object @" + std::to_string(oid.raw()) +
+                              " is not a member of '" + relation + "'");
+  }
+  const Row& full = it->second.row;
+  if (pos >= full.size()) {
+    return sqo::InvalidArgumentError("attribute position out of range");
+  }
+  return full[pos];
+}
+
+const std::vector<std::pair<sqo::Oid, sqo::Oid>>& ObjectStore::Pairs(
+    const std::string& relation) const {
+  auto it = rels_.find(relation);
+  return it == rels_.end() ? EmptyPairs() : it->second.pairs;
+}
+
+const std::vector<sqo::Oid>& ObjectStore::Neighbors(const std::string& relation,
+                                                    sqo::Oid src) const {
+  auto it = rels_.find(relation);
+  if (it == rels_.end()) return EmptyOids();
+  auto fit = it->second.fwd.find(src.raw());
+  return fit == it->second.fwd.end() ? EmptyOids() : fit->second;
+}
+
+const std::vector<sqo::Oid>& ObjectStore::ReverseNeighbors(
+    const std::string& relation, sqo::Oid dst) const {
+  auto it = rels_.find(relation);
+  if (it == rels_.end()) return EmptyOids();
+  auto bit = it->second.bwd.find(dst.raw());
+  return bit == it->second.bwd.end() ? EmptyOids() : bit->second;
+}
+
+sqo::Result<sqo::Value> ObjectStore::InvokeMethod(
+    const std::string& method, sqo::Oid receiver,
+    const std::vector<sqo::Value>& args) const {
+  auto it = methods_.find(sqo::ToLower(method));
+  if (it == methods_.end()) {
+    return sqo::NotFoundError("method '" + method + "' has no implementation");
+  }
+  return it->second(*this, receiver, args);
+}
+
+bool ObjectStore::HasIndex(const std::string& relation, size_t pos) const {
+  auto it = indexes_.find(relation);
+  return it != indexes_.end() && it->second.count(pos) > 0;
+}
+
+const std::vector<sqo::Oid>* ObjectStore::IndexLookup(
+    const std::string& relation, size_t pos, const sqo::Value& value) const {
+  auto it = indexes_.find(relation);
+  if (it == indexes_.end()) return nullptr;
+  auto pit = it->second.find(pos);
+  if (pit == it->second.end()) return nullptr;
+  auto vit = pit->second.find(value);
+  return vit == pit->second.end() ? nullptr : &vit->second;
+}
+
+size_t ObjectStore::ExtentSize(const std::string& relation) const {
+  return Extent(relation).size();
+}
+
+size_t ObjectStore::PairCount(const std::string& relation) const {
+  return Pairs(relation).size();
+}
+
+double ObjectStore::AvgFanout(const std::string& relation) const {
+  auto it = rels_.find(relation);
+  if (it == rels_.end() || it->second.fwd.empty()) return 0.0;
+  return static_cast<double>(it->second.pairs.size()) /
+         static_cast<double>(it->second.fwd.size());
+}
+
+double ObjectStore::AvgReverseFanout(const std::string& relation) const {
+  auto it = rels_.find(relation);
+  if (it == rels_.end() || it->second.bwd.empty()) return 0.0;
+  return static_cast<double>(it->second.pairs.size()) /
+         static_cast<double>(it->second.bwd.size());
+}
+
+size_t ObjectStore::IndexDistinct(const std::string& relation, size_t pos) const {
+  auto it = indexes_.find(relation);
+  if (it == indexes_.end()) return 0;
+  auto pit = it->second.find(pos);
+  return pit == it->second.end() ? 0 : pit->second.size();
+}
+
+}  // namespace sqo::engine

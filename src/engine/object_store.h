@@ -1,0 +1,196 @@
+#ifndef SQO_ENGINE_OBJECT_STORE_H_
+#define SQO_ENGINE_OBJECT_STORE_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "sqo/asr.h"
+#include "translate/schema_translator.h"
+
+namespace sqo::engine {
+
+/// An in-memory ODMG-style object store bound to a translated schema.
+///
+/// Storage model:
+///   * every object/structure instance gets a fresh OID and one full row
+///     aligned with its exact type's relation signature (row[0] is the OID);
+///   * class extents are maintained for the exact class and every ancestor
+///     (the paper's "object databases that maintain the extents of
+///     classes"), so a Faculty object is enumerable via person, employee
+///     and faculty;
+///   * relationships are stored as OID pairs with forward/backward
+///     adjacency; declared inverses are maintained automatically and
+///     declared cardinalities are enforced on insert;
+///   * methods are registered C++ callbacks, invoked by OID;
+///   * hash indexes can be built on any (class relation, attribute);
+///   * access support relations are materialized from their path
+///     definition and then behave like relationships.
+class ObjectStore {
+ public:
+  using Row = std::vector<sqo::Value>;
+  using MethodFn = std::function<sqo::Result<sqo::Value>(
+      const ObjectStore&, sqo::Oid receiver,
+      const std::vector<sqo::Value>& args)>;
+
+  /// `schema` must outlive the store.
+  explicit ObjectStore(const translate::TranslatedSchema* schema)
+      : schema_(schema) {}
+
+  ObjectStore(const ObjectStore&) = delete;
+  ObjectStore& operator=(const ObjectStore&) = delete;
+
+  // ---- Population ----
+
+  /// Creates an object of ODL class `class_name`. `attrs` maps attribute
+  /// names (any case) to values; struct-valued attributes take the OID of
+  /// a previously created structure instance. Missing attributes are null.
+  sqo::Result<sqo::Oid> CreateObject(const std::string& class_name,
+                                     const std::map<std::string, sqo::Value>& attrs);
+
+  /// Creates a structure instance.
+  sqo::Result<sqo::Oid> CreateStruct(const std::string& struct_name,
+                                     const std::map<std::string, sqo::Value>& fields);
+
+  /// Adds (src, dst) to a relationship (by ODL or relation name). Enforces
+  /// endpoint class membership and declared cardinalities; maintains the
+  /// declared inverse.
+  sqo::Status Relate(const std::string& relationship, sqo::Oid src, sqo::Oid dst);
+
+  /// Removes (src, dst) from a relationship, and the mirrored pair from
+  /// its declared inverse. No-op if the pair is absent.
+  sqo::Status Unrelate(const std::string& relationship, sqo::Oid src, sqo::Oid dst);
+
+  /// Updates one attribute of an existing object/structure, maintaining
+  /// any indexes. The attribute is addressed by name on the object's exact
+  /// type.
+  sqo::Status UpdateAttribute(sqo::Oid oid, const std::string& attribute,
+                              sqo::Value value);
+
+  /// Deletes an object: removes it from every extent and index, and drops
+  /// every relationship pair (either endpoint) that references it.
+  /// Structure instances referenced by the object's attributes are not
+  /// cascaded (structures may be shared in this store).
+  sqo::Status DeleteObject(sqo::Oid oid);
+
+  /// Registers the implementation of a method (by ODL or relation name).
+  sqo::Status RegisterMethod(const std::string& method, MethodFn fn);
+
+  /// Builds (or rebuilds) a hash index on `relation`.`attribute`.
+  /// Maintained incrementally by subsequent CreateObject calls.
+  sqo::Status CreateIndex(const std::string& relation, const std::string& attribute);
+
+  /// Materializes an access support relation from its path definition; the
+  /// result is queryable like a relationship under `asr.name`. Call after
+  /// loading data (re-call to refresh).
+  sqo::Status Materialize(const core::AsrDefinition& asr);
+
+  // ---- Reads ----
+
+  /// OIDs of all members of a class/structure relation (subclass instances
+  /// included). Empty for unknown relations.
+  const std::vector<sqo::Oid>& Extent(const std::string& relation) const;
+
+  /// True if `oid` is a member of class/structure relation `relation`.
+  bool IsMember(const std::string& relation, sqo::Oid oid) const;
+
+  /// The row of `oid` viewed as `relation` (a prefix of its exact row).
+  /// nullopt if the object is not a member of that relation.
+  std::optional<Row> RowAs(const std::string& relation, sqo::Oid oid) const;
+
+  /// Number of attributes readable when viewing `oid` as `relation`
+  /// without copying: position `pos` of the view.
+  sqo::Result<sqo::Value> AttributeOf(const std::string& relation, sqo::Oid oid,
+                                      size_t pos) const;
+
+  /// All (src, dst) pairs of a relationship or materialized ASR.
+  const std::vector<std::pair<sqo::Oid, sqo::Oid>>& Pairs(
+      const std::string& relation) const;
+
+  /// Forward / backward adjacency.
+  const std::vector<sqo::Oid>& Neighbors(const std::string& relation,
+                                         sqo::Oid src) const;
+  const std::vector<sqo::Oid>& ReverseNeighbors(const std::string& relation,
+                                                sqo::Oid dst) const;
+
+  /// Invokes a registered method.
+  sqo::Result<sqo::Value> InvokeMethod(const std::string& method, sqo::Oid receiver,
+                                       const std::vector<sqo::Value>& args) const;
+
+  bool HasIndex(const std::string& relation, size_t pos) const;
+
+  /// Index probe; nullptr when no index or no entry.
+  const std::vector<sqo::Oid>* IndexLookup(const std::string& relation, size_t pos,
+                                           const sqo::Value& value) const;
+
+  // ---- Statistics (for the planner / cost model) ----
+
+  size_t ExtentSize(const std::string& relation) const;
+  size_t PairCount(const std::string& relation) const;
+  /// Average out-degree (pairs / distinct sources); ≥ 0.
+  double AvgFanout(const std::string& relation) const;
+  double AvgReverseFanout(const std::string& relation) const;
+  /// Distinct values at an indexed position (0 when unindexed).
+  size_t IndexDistinct(const std::string& relation, size_t pos) const;
+
+  const translate::TranslatedSchema& schema() const { return *schema_; }
+  size_t object_count() const { return objects_.size(); }
+
+ private:
+  struct ObjectRecord {
+    std::string exact_relation;  // relation of the exact type
+    Row row;                     // full row, aligned with that relation
+  };
+
+  struct RelData {
+    std::vector<std::pair<sqo::Oid, sqo::Oid>> pairs;
+    std::map<uint64_t, std::vector<sqo::Oid>> fwd;
+    std::map<uint64_t, std::vector<sqo::Oid>> bwd;
+    std::set<std::pair<uint64_t, uint64_t>> pair_set;
+  };
+
+  struct ValueEq {
+    bool operator()(const sqo::Value& a, const sqo::Value& b) const {
+      return a.Equals(b);
+    }
+  };
+  using HashIndex =
+      std::unordered_map<sqo::Value, std::vector<sqo::Oid>, sqo::ValueHash, ValueEq>;
+
+  /// Relations (exact + ancestors/struct) an instance row belongs to.
+  std::vector<std::string> MemberRelations(const std::string& exact_relation) const;
+
+  /// Inserts a pair into `rel` (no inverse handling).
+  sqo::Status InsertPair(const std::string& rel, sqo::Oid src, sqo::Oid dst,
+                         bool enforce_cardinality);
+
+  /// Removes a pair from `rel` (no inverse handling).
+  void ErasePair(const std::string& rel, sqo::Oid src, sqo::Oid dst);
+
+  /// Resolves the declared inverse relation of `rel` ("" if none), cached.
+  std::string InverseOf(const std::string& rel, const datalog::RelationSignature& sig);
+
+  sqo::Result<sqo::Oid> CreateInstance(const std::string& type_name,
+                                       const std::map<std::string, sqo::Value>& attrs,
+                                       bool is_struct);
+
+  const translate::TranslatedSchema* schema_;
+  std::map<uint64_t, ObjectRecord> objects_;
+  std::map<std::string, std::vector<sqo::Oid>> extents_;
+  std::map<std::string, RelData> rels_;
+  std::map<std::string, std::map<size_t, HashIndex>> indexes_;
+  std::map<std::string, MethodFn> methods_;
+  /// relation name of a relationship -> relation name of its inverse ("")
+  std::map<std::string, std::string> inverse_of_;
+  uint64_t next_oid_ = 1;
+};
+
+}  // namespace sqo::engine
+
+#endif  // SQO_ENGINE_OBJECT_STORE_H_

@@ -1,0 +1,43 @@
+#ifndef SQO_ENGINE_PLANNER_H_
+#define SQO_ENGINE_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "datalog/clause.h"
+#include "engine/object_store.h"
+
+namespace sqo::engine {
+
+/// A greedy left-deep plan: the order in which the evaluator processes the
+/// query's body literals, plus the cost/cardinality estimates that chose it.
+struct Plan {
+  /// Body literal indexes in execution order.
+  std::vector<size_t> order;
+
+  /// Estimated total work (rows touched; lower is better).
+  double cost = 0.0;
+
+  /// Estimated result cardinality.
+  double cardinality = 1.0;
+
+  /// Per-step description, for EXPLAIN-style output.
+  std::vector<std::string> steps;
+
+  std::string ToString() const;
+};
+
+/// Plans a conjunctive DATALOG query against the store's statistics
+/// (extent sizes, relationship fanouts, index availability). Greedy:
+/// repeatedly pick the placeable literal with the lowest estimated
+/// per-step cost, preferring filters as soon as their variables are bound.
+///
+/// Placement rules: comparisons need both sides bound; method atoms need
+/// receiver and argument terms bound; negated atoms need every variable
+/// they share with the rest of the query bound (their private variables
+/// are anti-join wildcards).
+Plan PlanQuery(const datalog::Query& query, const ObjectStore& store);
+
+}  // namespace sqo::engine
+
+#endif  // SQO_ENGINE_PLANNER_H_

@@ -1,0 +1,95 @@
+#ifndef SQO_ODL_AST_H_
+#define SQO_ODL_AST_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sqo::odl {
+
+/// Base/primitive types of the ODMG-93 subset, plus named references to
+/// structs and interfaces.
+enum class BaseType {
+  kLong,     // 64-bit integer (covers ODMG long/short/octet)
+  kFloat,    // double precision (covers ODMG float/double/real)
+  kString,
+  kBoolean,
+  kVoid,     // method return only
+  kNamed,    // struct or interface, by name
+};
+
+/// A (possibly named) type reference in the AST, before resolution.
+struct TypeRef {
+  BaseType base = BaseType::kLong;
+  std::string name;  // for kNamed
+
+  bool is_named() const { return base == BaseType::kNamed; }
+  std::string ToString() const;
+};
+
+/// Collection wrapper on relationship target types: `Set<Section>` etc.
+/// The distinction between set/list/bag does not affect SQO (paper §4.3);
+/// all three translate to a binary relation with a to-many cardinality.
+enum class CollectionKind { kNone, kSet, kList, kBag };
+
+/// `attribute string name;` or `attribute Address address;`
+struct AttributeDecl {
+  TypeRef type;
+  std::string name;
+  size_t line = 0;
+};
+
+/// `relationship Set<Section> takes inverse Section::is_taken_by;`
+struct RelationshipDecl {
+  CollectionKind collection = CollectionKind::kNone;  // kNone => to-one
+  std::string target;  // target interface name
+  std::string name;
+  /// inverse: (class, relationship) pair, if declared.
+  std::optional<std::pair<std::string, std::string>> inverse;
+  size_t line = 0;
+
+  bool to_many() const { return collection != CollectionKind::kNone; }
+};
+
+/// One method parameter: `in float rate`.
+struct ParamDecl {
+  TypeRef type;
+  std::string name;
+};
+
+/// `float taxes_withheld(in float rate);`
+struct MethodDecl {
+  TypeRef return_type;
+  std::string name;
+  std::vector<ParamDecl> params;
+  size_t line = 0;
+};
+
+/// `interface Employee : Person { extent employees; ... };`
+struct InterfaceDecl {
+  std::string name;
+  std::optional<std::string> super;   // single inheritance (see DESIGN.md)
+  std::optional<std::string> extent;  // extent name, if maintained
+  std::vector<std::string> keys;      // key attribute names
+  std::vector<AttributeDecl> attributes;
+  std::vector<RelationshipDecl> relationships;
+  std::vector<MethodDecl> methods;
+  size_t line = 0;
+};
+
+/// Top-level `struct Address { string street; string city; };`
+struct StructDecl {
+  std::string name;
+  std::vector<AttributeDecl> fields;
+  size_t line = 0;
+};
+
+/// A parsed ODL schema document.
+struct SchemaAst {
+  std::vector<StructDecl> structs;
+  std::vector<InterfaceDecl> interfaces;
+};
+
+}  // namespace sqo::odl
+
+#endif  // SQO_ODL_AST_H_

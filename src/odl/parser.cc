@@ -1,0 +1,328 @@
+#include "odl/parser.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace sqo::odl {
+
+namespace {
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool KeywordEq(std::string_view a, std::string_view b) {
+  return sqo::ToLower(a) == sqo::ToLower(b);
+}
+}  // namespace
+
+std::string TypeRef::ToString() const {
+  switch (base) {
+    case BaseType::kLong:
+      return "long";
+    case BaseType::kFloat:
+      return "float";
+    case BaseType::kString:
+      return "string";
+    case BaseType::kBoolean:
+      return "boolean";
+    case BaseType::kVoid:
+      return "void";
+    case BaseType::kNamed:
+      return name;
+  }
+  return "?";
+}
+
+OdlParser::OdlParser(std::string_view text) : text_(text) { Lex(); }
+
+void OdlParser::Lex() {
+  size_t i = 0, line = 1;
+  const std::string& s = text_;
+  auto push = [&](Token t) {
+    t.line = line;
+    tokens_.push_back(std::move(t));
+  };
+  while (i < s.size()) {
+    char c = s[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < s.size() && s[i + 1] == '/') {
+      while (i < s.size() && s[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < s.size() && s[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < s.size() && !(s[i] == '*' && s[i + 1] == '/')) {
+        if (s[i] == '\n') ++line;
+        ++i;
+      }
+      i = (i + 1 < s.size()) ? i + 2 : s.size();
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < s.size() && IsIdentChar(s[i])) ++i;
+      Token t;
+      t.kind = Token::kIdent;
+      t.text = s.substr(start, i - start);
+      push(std::move(t));
+      continue;
+    }
+    Token t;
+    if (c == ':' && i + 1 < s.size() && s[i + 1] == ':') {
+      t.kind = Token::kScope;
+      i += 2;
+    } else {
+      switch (c) {
+        case '{':
+          t.kind = Token::kLBrace;
+          break;
+        case '}':
+          t.kind = Token::kRBrace;
+          break;
+        case '(':
+          t.kind = Token::kLParen;
+          break;
+        case ')':
+          t.kind = Token::kRParen;
+          break;
+        case '<':
+          t.kind = Token::kLAngle;
+          break;
+        case '>':
+          t.kind = Token::kRAngle;
+          break;
+        case ';':
+          t.kind = Token::kSemicolon;
+          break;
+        case ',':
+          t.kind = Token::kComma;
+          break;
+        case ':':
+          t.kind = Token::kColon;
+          break;
+        default:
+          t.kind = Token::kError;
+          t.text = std::string("unexpected character '") + c + "'";
+          break;
+      }
+      ++i;
+    }
+    push(std::move(t));
+  }
+  Token end;
+  end.kind = Token::kEnd;
+  end.line = line;
+  tokens_.push_back(std::move(end));
+}
+
+const OdlParser::Token& OdlParser::Peek(size_t ahead) const {
+  size_t idx = pos_ + ahead;
+  if (idx >= tokens_.size()) idx = tokens_.size() - 1;
+  return tokens_[idx];
+}
+
+OdlParser::Token OdlParser::Consume() {
+  Token t = Peek();
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool OdlParser::ConsumeIf(Token::Kind kind) {
+  if (Peek().kind == kind) {
+    Consume();
+    return true;
+  }
+  return false;
+}
+
+bool OdlParser::ConsumeKeyword(std::string_view keyword) {
+  if (PeekKeyword(keyword)) {
+    Consume();
+    return true;
+  }
+  return false;
+}
+
+bool OdlParser::PeekKeyword(std::string_view keyword) const {
+  return Peek().kind == Token::kIdent && KeywordEq(Peek().text, keyword);
+}
+
+sqo::Status OdlParser::Expect(Token::Kind kind, std::string_view what) {
+  if (Peek().kind != kind) return ErrorAt(Peek(), "expected " + std::string(what));
+  Consume();
+  return sqo::Status::Ok();
+}
+
+sqo::Result<std::string> OdlParser::ExpectIdent(std::string_view what) {
+  if (Peek().kind != Token::kIdent) {
+    return ErrorAt(Peek(), "expected " + std::string(what));
+  }
+  return Consume().text;
+}
+
+sqo::Status OdlParser::ErrorAt(const Token& tok, std::string message) const {
+  std::string detail = "ODL: " + message + " at line " + std::to_string(tok.line);
+  if (!tok.text.empty()) detail += " near '" + tok.text + "'";
+  return sqo::ParseError(std::move(detail));
+}
+
+sqo::Result<TypeRef> OdlParser::ParseType() {
+  SQO_ASSIGN_OR_RETURN(std::string name, ExpectIdent("a type name"));
+  std::string lower = sqo::ToLower(name);
+  TypeRef t;
+  if (lower == "long" || lower == "short" || lower == "octet" || lower == "int") {
+    t.base = BaseType::kLong;
+  } else if (lower == "float" || lower == "double" || lower == "real") {
+    t.base = BaseType::kFloat;
+  } else if (lower == "string") {
+    t.base = BaseType::kString;
+  } else if (lower == "boolean" || lower == "bool") {
+    t.base = BaseType::kBoolean;
+  } else if (lower == "void") {
+    t.base = BaseType::kVoid;
+  } else {
+    t.base = BaseType::kNamed;
+    t.name = name;
+  }
+  return t;
+}
+
+sqo::Result<StructDecl> OdlParser::ParseStruct() {
+  StructDecl decl;
+  decl.line = Peek().line;
+  Consume();  // "struct"
+  SQO_ASSIGN_OR_RETURN(decl.name, ExpectIdent("struct name"));
+  SQO_RETURN_IF_ERROR(Expect(Token::kLBrace, "'{'"));
+  while (!ConsumeIf(Token::kRBrace)) {
+    AttributeDecl field;
+    field.line = Peek().line;
+    SQO_ASSIGN_OR_RETURN(field.type, ParseType());
+    SQO_ASSIGN_OR_RETURN(field.name, ExpectIdent("field name"));
+    SQO_RETURN_IF_ERROR(Expect(Token::kSemicolon, "';'"));
+    decl.fields.push_back(std::move(field));
+  }
+  ConsumeIf(Token::kSemicolon);
+  return decl;
+}
+
+sqo::Result<InterfaceDecl> OdlParser::ParseInterface() {
+  InterfaceDecl decl;
+  decl.line = Peek().line;
+  Consume();  // "interface" or "class"
+  SQO_ASSIGN_OR_RETURN(decl.name, ExpectIdent("interface name"));
+  if (ConsumeIf(Token::kColon) || ConsumeKeyword("extends")) {
+    SQO_ASSIGN_OR_RETURN(std::string super, ExpectIdent("superclass name"));
+    decl.super = std::move(super);
+  }
+  SQO_RETURN_IF_ERROR(Expect(Token::kLBrace, "'{'"));
+  while (!ConsumeIf(Token::kRBrace)) {
+    size_t line = Peek().line;
+    if (PeekKeyword("extent")) {
+      Consume();
+      SQO_ASSIGN_OR_RETURN(std::string extent, ExpectIdent("extent name"));
+      decl.extent = std::move(extent);
+      SQO_RETURN_IF_ERROR(Expect(Token::kSemicolon, "';'"));
+      continue;
+    }
+    if (PeekKeyword("key") || PeekKeyword("keys")) {
+      Consume();
+      while (true) {
+        SQO_ASSIGN_OR_RETURN(std::string key, ExpectIdent("key attribute"));
+        decl.keys.push_back(std::move(key));
+        if (!ConsumeIf(Token::kComma)) break;
+      }
+      SQO_RETURN_IF_ERROR(Expect(Token::kSemicolon, "';'"));
+      continue;
+    }
+    if (PeekKeyword("attribute")) {
+      Consume();
+      AttributeDecl attr;
+      attr.line = line;
+      SQO_ASSIGN_OR_RETURN(attr.type, ParseType());
+      SQO_ASSIGN_OR_RETURN(attr.name, ExpectIdent("attribute name"));
+      SQO_RETURN_IF_ERROR(Expect(Token::kSemicolon, "';'"));
+      decl.attributes.push_back(std::move(attr));
+      continue;
+    }
+    if (PeekKeyword("relationship")) {
+      Consume();
+      RelationshipDecl rel;
+      rel.line = line;
+      if (PeekKeyword("set") || PeekKeyword("list") || PeekKeyword("bag")) {
+        std::string coll = sqo::ToLower(Consume().text);
+        rel.collection = coll == "set"    ? CollectionKind::kSet
+                         : coll == "list" ? CollectionKind::kList
+                                          : CollectionKind::kBag;
+        SQO_RETURN_IF_ERROR(Expect(Token::kLAngle, "'<'"));
+        SQO_ASSIGN_OR_RETURN(rel.target, ExpectIdent("target class"));
+        SQO_RETURN_IF_ERROR(Expect(Token::kRAngle, "'>'"));
+      } else {
+        SQO_ASSIGN_OR_RETURN(rel.target, ExpectIdent("target class"));
+      }
+      SQO_ASSIGN_OR_RETURN(rel.name, ExpectIdent("relationship name"));
+      if (ConsumeKeyword("inverse")) {
+        SQO_ASSIGN_OR_RETURN(std::string cls, ExpectIdent("inverse class"));
+        SQO_RETURN_IF_ERROR(Expect(Token::kScope, "'::'"));
+        SQO_ASSIGN_OR_RETURN(std::string relname, ExpectIdent("inverse relationship"));
+        rel.inverse = std::make_pair(std::move(cls), std::move(relname));
+      }
+      SQO_RETURN_IF_ERROR(Expect(Token::kSemicolon, "';'"));
+      decl.relationships.push_back(std::move(rel));
+      continue;
+    }
+    // Otherwise: a method declaration `type name ( params ) ;`.
+    MethodDecl method;
+    method.line = line;
+    SQO_ASSIGN_OR_RETURN(method.return_type, ParseType());
+    SQO_ASSIGN_OR_RETURN(method.name, ExpectIdent("method name"));
+    SQO_RETURN_IF_ERROR(Expect(Token::kLParen, "'('"));
+    if (Peek().kind != Token::kRParen) {
+      while (true) {
+        ParamDecl param;
+        ConsumeKeyword("in");  // parameter mode, optional; only `in` supported
+        SQO_ASSIGN_OR_RETURN(param.type, ParseType());
+        SQO_ASSIGN_OR_RETURN(param.name, ExpectIdent("parameter name"));
+        method.params.push_back(std::move(param));
+        if (!ConsumeIf(Token::kComma)) break;
+      }
+    }
+    SQO_RETURN_IF_ERROR(Expect(Token::kRParen, "')'"));
+    SQO_RETURN_IF_ERROR(Expect(Token::kSemicolon, "';'"));
+    decl.methods.push_back(std::move(method));
+  }
+  ConsumeIf(Token::kSemicolon);
+  return decl;
+}
+
+sqo::Result<SchemaAst> OdlParser::ParseSchema() {
+  SchemaAst ast;
+  while (Peek().kind != Token::kEnd) {
+    if (PeekKeyword("struct")) {
+      SQO_ASSIGN_OR_RETURN(StructDecl s, ParseStruct());
+      ast.structs.push_back(std::move(s));
+    } else if (PeekKeyword("interface") || PeekKeyword("class")) {
+      SQO_ASSIGN_OR_RETURN(InterfaceDecl i, ParseInterface());
+      ast.interfaces.push_back(std::move(i));
+    } else {
+      return ErrorAt(Peek(), "expected 'struct' or 'interface'");
+    }
+  }
+  return ast;
+}
+
+sqo::Result<SchemaAst> ParseOdl(std::string_view text) {
+  return OdlParser(text).ParseSchema();
+}
+
+}  // namespace sqo::odl

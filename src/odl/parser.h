@@ -1,0 +1,84 @@
+#ifndef SQO_ODL_PARSER_H_
+#define SQO_ODL_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "odl/ast.h"
+
+namespace sqo::odl {
+
+/// Recursive-descent parser for the ODMG-93 ODL subset. Accepted grammar
+/// (keywords case-insensitive, names case-sensitive):
+///
+///   schema      := (struct_decl | interface_decl)*
+///   struct_decl := "struct" Name "{" (type name ";")* "}" ";"?
+///   interface_decl :=
+///       "interface" Name [(":" | "extends") Name] "{" member* "}" ";"?
+///   member      := "extent" name ";"
+///                | ("key" | "keys") name ("," name)* ";"
+///                | "attribute" type name ";"
+///                | "relationship" rel_type name
+///                      ["inverse" Name "::" name] ";"
+///                | type name "(" [param ("," param)*] ")" ";"
+///   param       := ["in"] type name
+///   rel_type    := Name | ("set"|"list"|"bag") "<" Name ">"
+///   type        := "long"|"short"|"float"|"double"|"real"|"string"
+///                | "boolean"|"void"|Name
+class OdlParser {
+ public:
+  explicit OdlParser(std::string_view text);
+
+  /// Parses a complete schema document.
+  sqo::Result<SchemaAst> ParseSchema();
+
+ private:
+  struct Token {
+    enum Kind {
+      kIdent,
+      kLBrace,
+      kRBrace,
+      kLParen,
+      kRParen,
+      kLAngle,
+      kRAngle,
+      kSemicolon,
+      kComma,
+      kColon,
+      kScope,  // "::"
+      kEnd,
+      kError,
+    };
+    Kind kind = kEnd;
+    std::string text;
+    size_t line = 1;
+  };
+
+  void Lex();
+  const Token& Peek(size_t ahead = 0) const;
+  Token Consume();
+  bool ConsumeIf(Token::Kind kind);
+  /// Consumes an identifier equal (case-insensitively) to `keyword`.
+  bool ConsumeKeyword(std::string_view keyword);
+  bool PeekKeyword(std::string_view keyword) const;
+  sqo::Status Expect(Token::Kind kind, std::string_view what);
+  sqo::Result<std::string> ExpectIdent(std::string_view what);
+  sqo::Status ErrorAt(const Token& tok, std::string message) const;
+
+  sqo::Result<StructDecl> ParseStruct();
+  sqo::Result<InterfaceDecl> ParseInterface();
+  sqo::Result<TypeRef> ParseType();
+
+  std::string text_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+/// Convenience wrapper.
+sqo::Result<SchemaAst> ParseOdl(std::string_view text);
+
+}  // namespace sqo::odl
+
+#endif  // SQO_ODL_PARSER_H_

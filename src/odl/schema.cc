@@ -1,0 +1,383 @@
+#include "odl/schema.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+
+namespace sqo::odl {
+
+namespace {
+
+/// Orders a declaration's attributes simple-first then struct-typed,
+/// preserving relative order within each group (paper §4.2 rule 1).
+std::vector<AttributeDecl> OrderSimpleFirst(const std::vector<AttributeDecl>& in) {
+  std::vector<AttributeDecl> out;
+  out.reserve(in.size());
+  for (const AttributeDecl& a : in) {
+    if (!a.type.is_named()) out.push_back(a);
+  }
+  for (const AttributeDecl& a : in) {
+    if (a.type.is_named()) out.push_back(a);
+  }
+  return out;
+}
+
+}  // namespace
+
+sqo::Result<Schema> Schema::Resolve(const SchemaAst& ast) {
+  Schema schema;
+
+  // Index declarations and reject duplicates.
+  std::map<std::string, const StructDecl*> struct_decls;
+  std::map<std::string, const InterfaceDecl*> iface_decls;
+  for (const StructDecl& s : ast.structs) {
+    if (!struct_decls.emplace(s.name, &s).second) {
+      return sqo::SemanticError("duplicate struct '" + s.name + "'");
+    }
+  }
+  for (const InterfaceDecl& i : ast.interfaces) {
+    if (struct_decls.count(i.name) > 0 ||
+        !iface_decls.emplace(i.name, &i).second) {
+      return sqo::SemanticError("duplicate type name '" + i.name + "'");
+    }
+  }
+
+  // Resolve structs; fields may reference other structs but not classes,
+  // and struct nesting must be acyclic.
+  for (const StructDecl& s : ast.structs) {
+    StructInfo info;
+    info.name = s.name;
+    for (const AttributeDecl& f : OrderSimpleFirst(s.fields)) {
+      ResolvedAttribute field;
+      field.name = f.name;
+      field.base = f.type.base;
+      field.declared_in = s.name;
+      if (f.type.is_named()) {
+        if (struct_decls.count(f.type.name) == 0) {
+          return sqo::SemanticError("struct '" + s.name + "' field '" + f.name +
+                                    "' has unknown struct type '" + f.type.name +
+                                    "'");
+        }
+        field.struct_name = f.type.name;
+      } else if (f.type.base == BaseType::kVoid) {
+        return sqo::SemanticError("struct field '" + f.name + "' cannot be void");
+      }
+      if (std::any_of(info.fields.begin(), info.fields.end(),
+                      [&](const ResolvedAttribute& x) { return x.name == field.name; })) {
+        return sqo::SemanticError("struct '" + s.name + "' has duplicate field '" +
+                                  field.name + "'");
+      }
+      info.fields.push_back(std::move(field));
+    }
+    schema.struct_index_[info.name] = schema.structs_.size();
+    schema.structs_.push_back(std::move(info));
+  }
+
+  // Struct nesting acyclicity (DFS with colors).
+  {
+    std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+    std::vector<std::pair<std::string, bool>> stack;
+    for (const StructInfo& s : schema.structs_) {
+      if (color[s.name] != 0) continue;
+      stack.push_back({s.name, false});
+      while (!stack.empty()) {
+        auto [name, done] = stack.back();
+        stack.pop_back();
+        if (done) {
+          color[name] = 2;
+          continue;
+        }
+        if (color[name] == 1) continue;
+        color[name] = 1;
+        stack.push_back({name, true});
+        const StructInfo* info = schema.FindStruct(name);
+        for (const ResolvedAttribute& f : info->fields) {
+          if (!f.is_struct()) continue;
+          if (color[f.struct_name] == 1) {
+            return sqo::SemanticError("cyclic struct nesting involving '" +
+                                      f.struct_name + "'");
+          }
+          if (color[f.struct_name] == 0) stack.push_back({f.struct_name, false});
+        }
+      }
+    }
+  }
+
+  // Hierarchy validation: supers exist, no cycles.
+  for (const InterfaceDecl& i : ast.interfaces) {
+    if (i.super.has_value() && iface_decls.count(*i.super) == 0) {
+      return sqo::SemanticError("class '" + i.name + "' extends unknown class '" +
+                                *i.super + "'");
+    }
+  }
+  for (const InterfaceDecl& i : ast.interfaces) {
+    std::set<std::string> seen{i.name};
+    const InterfaceDecl* cur = &i;
+    while (cur->super.has_value()) {
+      if (!seen.insert(*cur->super).second) {
+        return sqo::SemanticError("inheritance cycle involving '" + *cur->super +
+                                  "'");
+      }
+      cur = iface_decls.at(*cur->super);
+    }
+  }
+
+  // Resolve classes bottom-up the hierarchy (supers before subs) so that
+  // all_attributes can be copied from the resolved super.
+  std::vector<const InterfaceDecl*> order;
+  {
+    std::set<std::string> resolved;
+    while (order.size() < ast.interfaces.size()) {
+      bool progressed = false;
+      for (const InterfaceDecl& i : ast.interfaces) {
+        if (resolved.count(i.name) > 0) continue;
+        if (!i.super.has_value() || resolved.count(*i.super) > 0) {
+          order.push_back(&i);
+          resolved.insert(i.name);
+          progressed = true;
+        }
+      }
+      if (!progressed) {
+        return sqo::InternalError("hierarchy ordering failed");
+      }
+    }
+  }
+
+  std::map<std::string, ClassInfo> resolved_classes;
+  for (const InterfaceDecl* decl : order) {
+    ClassInfo info;
+    info.name = decl->name;
+    info.super = decl->super.value_or("");
+    info.extent = decl->extent;
+    info.keys = decl->keys;
+
+    std::set<std::string> member_names;
+    if (!info.super.empty()) {
+      const ClassInfo& super_info = resolved_classes.at(info.super);
+      info.all_attributes = super_info.all_attributes;
+      for (const ResolvedAttribute& a : info.all_attributes) {
+        member_names.insert(a.name);
+      }
+    }
+
+    for (const AttributeDecl& a : OrderSimpleFirst(decl->attributes)) {
+      ResolvedAttribute attr;
+      attr.name = a.name;
+      attr.base = a.type.base;
+      attr.declared_in = decl->name;
+      if (a.type.is_named()) {
+        if (struct_decls.count(a.type.name) == 0) {
+          if (iface_decls.count(a.type.name) > 0) {
+            return sqo::SemanticError(
+                "attribute '" + decl->name + "." + a.name + "' has class type '" +
+                a.type.name + "'; object-valued properties must be relationships");
+          }
+          return sqo::SemanticError("attribute '" + decl->name + "." + a.name +
+                                    "' has unknown type '" + a.type.name + "'");
+        }
+        attr.struct_name = a.type.name;
+      } else if (a.type.base == BaseType::kVoid) {
+        return sqo::SemanticError("attribute '" + a.name + "' cannot be void");
+      }
+      if (!member_names.insert(attr.name).second) {
+        return sqo::SemanticError("class '" + decl->name +
+                                  "' redeclares member '" + attr.name + "'");
+      }
+      info.own_attributes.push_back(attr);
+      info.all_attributes.push_back(std::move(attr));
+    }
+
+    for (const RelationshipDecl& r : decl->relationships) {
+      if (iface_decls.count(r.target) == 0) {
+        return sqo::SemanticError("relationship '" + decl->name + "." + r.name +
+                                  "' targets unknown class '" + r.target + "'");
+      }
+      if (!member_names.insert(r.name).second) {
+        return sqo::SemanticError("class '" + decl->name +
+                                  "' redeclares member '" + r.name + "'");
+      }
+      ResolvedRelationship rel;
+      rel.name = r.name;
+      rel.source = decl->name;
+      rel.target = r.target;
+      rel.to_many = r.to_many();
+      info.relationships.push_back(std::move(rel));
+    }
+
+    for (const MethodDecl& m : decl->methods) {
+      if (!member_names.insert(m.name).second) {
+        return sqo::SemanticError("class '" + decl->name +
+                                  "' redeclares member '" + m.name + "'");
+      }
+      ResolvedMethod method;
+      method.name = m.name;
+      method.owner = decl->name;
+      method.return_base = m.return_type.base;
+      if (m.return_type.is_named()) {
+        if (struct_decls.count(m.return_type.name) == 0) {
+          return sqo::SemanticError("method '" + decl->name + "." + m.name +
+                                    "' returns unknown type '" +
+                                    m.return_type.name + "'");
+        }
+        method.return_struct = m.return_type.name;
+      }
+      for (const ParamDecl& p : m.params) {
+        if (p.type.is_named() || p.type.base == BaseType::kVoid) {
+          return sqo::SemanticError(
+              "method '" + decl->name + "." + m.name + "' parameter '" + p.name +
+              "' must have a base type (user-provided arguments, §4.2 rule 4)");
+        }
+        method.params.push_back(p);
+      }
+      info.methods.push_back(std::move(method));
+    }
+
+    // Keys must name visible attributes.
+    for (const std::string& key : info.keys) {
+      bool found = std::any_of(
+          info.all_attributes.begin(), info.all_attributes.end(),
+          [&](const ResolvedAttribute& a) { return a.name == key; });
+      if (!found) {
+        return sqo::SemanticError("class '" + decl->name + "' key '" + key +
+                                  "' is not an attribute");
+      }
+    }
+
+    resolved_classes.emplace(info.name, std::move(info));
+  }
+
+  // Emit classes in declaration order.
+  for (const InterfaceDecl& i : ast.interfaces) {
+    schema.class_index_[i.name] = schema.classes_.size();
+    schema.classes_.push_back(std::move(resolved_classes.at(i.name)));
+  }
+
+  // Verify inverse relationships (needs all classes resolved) and set
+  // one_to_one flags.
+  for (const InterfaceDecl& i : ast.interfaces) {
+    ClassInfo& cls = schema.classes_[schema.class_index_.at(i.name)];
+    for (const RelationshipDecl& r : i.relationships) {
+      if (!r.inverse.has_value()) continue;
+      const auto& [inv_class, inv_name] = *r.inverse;
+      if (inv_class != r.target) {
+        return sqo::SemanticError(
+            "relationship '" + i.name + "." + r.name + "': inverse must be on "
+            "the target class '" + r.target + "', got '" + inv_class + "'");
+      }
+      const ClassInfo* target = schema.FindClass(r.target);
+      const ResolvedRelationship* inv = nullptr;
+      for (const ResolvedRelationship& cand : target->relationships) {
+        if (cand.name == inv_name) {
+          inv = &cand;
+          break;
+        }
+      }
+      if (inv == nullptr) {
+        return sqo::SemanticError("relationship '" + i.name + "." + r.name +
+                                  "': inverse '" + inv_class + "::" + inv_name +
+                                  "' does not exist");
+      }
+      if (!schema.IsSubclassOf(i.name, inv->target)) {
+        return sqo::SemanticError(
+            "relationship '" + i.name + "." + r.name + "': inverse '" + inv_name +
+            "' targets '" + inv->target + "', which is not a supertype of '" +
+            i.name + "'");
+      }
+      ResolvedRelationship* mine = nullptr;
+      for (ResolvedRelationship& cand : cls.relationships) {
+        if (cand.name == r.name) {
+          mine = &cand;
+          break;
+        }
+      }
+      mine->inverse = inv_name;
+      mine->one_to_one = !mine->to_many && !inv->to_many;
+    }
+  }
+
+  return schema;
+}
+
+const ClassInfo* Schema::FindClass(std::string_view name) const {
+  auto it = class_index_.find(name);
+  return it == class_index_.end() ? nullptr : &classes_[it->second];
+}
+
+const StructInfo* Schema::FindStruct(std::string_view name) const {
+  auto it = struct_index_.find(name);
+  return it == struct_index_.end() ? nullptr : &structs_[it->second];
+}
+
+bool Schema::IsSubclassOf(std::string_view sub, std::string_view super) const {
+  const ClassInfo* cur = FindClass(sub);
+  while (cur != nullptr) {
+    if (cur->name == super) return true;
+    cur = cur->super.empty() ? nullptr : FindClass(cur->super);
+  }
+  return false;
+}
+
+std::vector<const ClassInfo*> Schema::DirectSubclasses(
+    std::string_view name) const {
+  std::vector<const ClassInfo*> out;
+  for (const ClassInfo& c : classes_) {
+    if (c.super == name) out.push_back(&c);
+  }
+  return out;
+}
+
+std::vector<const ClassInfo*> Schema::TransitiveSubclasses(
+    std::string_view name) const {
+  std::vector<const ClassInfo*> out;
+  for (const ClassInfo& c : classes_) {
+    if (c.name != name && IsSubclassOf(c.name, name)) out.push_back(&c);
+  }
+  return out;
+}
+
+const ResolvedRelationship* Schema::FindRelationship(
+    std::string_view class_name, std::string_view rel_name) const {
+  const ClassInfo* cur = FindClass(class_name);
+  while (cur != nullptr) {
+    for (const ResolvedRelationship& r : cur->relationships) {
+      if (r.name == rel_name) return &r;
+    }
+    cur = cur->super.empty() ? nullptr : FindClass(cur->super);
+  }
+  return nullptr;
+}
+
+const ResolvedMethod* Schema::FindMethod(std::string_view class_name,
+                                         std::string_view method_name) const {
+  const ClassInfo* cur = FindClass(class_name);
+  while (cur != nullptr) {
+    for (const ResolvedMethod& m : cur->methods) {
+      if (m.name == method_name) return &m;
+    }
+    cur = cur->super.empty() ? nullptr : FindClass(cur->super);
+  }
+  return nullptr;
+}
+
+const ResolvedAttribute* Schema::FindAttribute(std::string_view class_name,
+                                               std::string_view attr_name) const {
+  const ClassInfo* cls = FindClass(class_name);
+  if (cls == nullptr) return nullptr;
+  for (const ResolvedAttribute& a : cls->all_attributes) {
+    if (a.name == attr_name) return &a;
+  }
+  return nullptr;
+}
+
+const ResolvedAttribute* Schema::FindStructField(
+    std::string_view struct_name, std::string_view field_name) const {
+  const StructInfo* s = FindStruct(struct_name);
+  if (s == nullptr) return nullptr;
+  for (const ResolvedAttribute& f : s->fields) {
+    if (f.name == field_name) return &f;
+  }
+  return nullptr;
+}
+
+}  // namespace sqo::odl

@@ -1,0 +1,128 @@
+#ifndef SQO_ODL_SCHEMA_H_
+#define SQO_ODL_SCHEMA_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "odl/ast.h"
+
+namespace sqo::odl {
+
+/// A resolved attribute: simple (base-typed) or structure-valued.
+struct ResolvedAttribute {
+  std::string name;
+  BaseType base = BaseType::kLong;
+  std::string struct_name;  // set iff base == kNamed (a struct type)
+  std::string declared_in;  // class or struct that declared it
+
+  bool is_struct() const { return base == BaseType::kNamed; }
+};
+
+/// A resolved relationship with verified inverse and cardinality.
+struct ResolvedRelationship {
+  std::string name;
+  std::string source;  // owning class
+  std::string target;  // target class
+  bool to_many = false;
+  /// Name of the inverse relationship on the target class, or "" if the
+  /// relationship is unidirectional.
+  std::string inverse;
+
+  /// True if this relationship and its inverse are both to-one (the
+  /// one-to-one case whose ICs §4.2 rule 4 generates). Meaningful only when
+  /// an inverse exists; the flag is resolved by Schema::Resolve.
+  bool one_to_one = false;
+};
+
+/// A resolved method signature. Parameters are base-typed user inputs; the
+/// return is a base value or a struct (returned by OID in the DATALOG
+/// representation, per §4.2 rule 4).
+struct ResolvedMethod {
+  std::string name;
+  std::string owner;  // declaring class
+  std::vector<ParamDecl> params;
+  BaseType return_base = BaseType::kLong;
+  std::string return_struct;  // set iff return_base == kNamed
+};
+
+/// A resolved class: its place in the hierarchy, full inherited attribute
+/// list (superclass attributes form a prefix, which is what makes the
+/// subclass-hierarchy ICs of §4.2 rule 2 positional), and own members.
+struct ClassInfo {
+  std::string name;
+  std::string super;  // "" for a root class
+  std::optional<std::string> extent;
+  std::vector<std::string> keys;
+  /// Own attributes, ordered simple-first then struct (paper §4.2 rule 1).
+  std::vector<ResolvedAttribute> own_attributes;
+  /// Inherited prefix + own attributes.
+  std::vector<ResolvedAttribute> all_attributes;
+  std::vector<ResolvedRelationship> relationships;  // own only
+  std::vector<ResolvedMethod> methods;              // own only
+};
+
+/// A resolved struct type.
+struct StructInfo {
+  std::string name;
+  /// Fields ordered simple-first then struct.
+  std::vector<ResolvedAttribute> fields;
+};
+
+/// A fully resolved object schema. Construction validates the AST:
+/// hierarchy acyclicity, type resolution, inverse-relationship consistency,
+/// cardinality agreement, key attribute existence, member-name uniqueness.
+class Schema {
+ public:
+  /// An empty schema (no classes). Useful as a default member; populate via
+  /// Resolve.
+  Schema() = default;
+
+  /// Resolves and validates a parsed schema document.
+  static sqo::Result<Schema> Resolve(const SchemaAst& ast);
+
+  const ClassInfo* FindClass(std::string_view name) const;
+  const StructInfo* FindStruct(std::string_view name) const;
+
+  /// Classes in declaration order (supertypes are not necessarily first;
+  /// use IsSubclassOf for hierarchy queries).
+  const std::vector<ClassInfo>& classes() const { return classes_; }
+  const std::vector<StructInfo>& structs() const { return structs_; }
+
+  /// Reflexive subclass test: IsSubclassOf(X, X) is true.
+  bool IsSubclassOf(std::string_view sub, std::string_view super) const;
+
+  /// Direct subclasses of `name`, in declaration order.
+  std::vector<const ClassInfo*> DirectSubclasses(std::string_view name) const;
+
+  /// All proper descendants of `name`.
+  std::vector<const ClassInfo*> TransitiveSubclasses(std::string_view name) const;
+
+  /// Finds a relationship visible on `class_name` (own or inherited).
+  const ResolvedRelationship* FindRelationship(std::string_view class_name,
+                                               std::string_view rel_name) const;
+
+  /// Finds a method visible on `class_name` (own or inherited).
+  const ResolvedMethod* FindMethod(std::string_view class_name,
+                                   std::string_view method_name) const;
+
+  /// Finds an attribute visible on `class_name` (inherited included).
+  const ResolvedAttribute* FindAttribute(std::string_view class_name,
+                                         std::string_view attr_name) const;
+
+  /// Finds a field of struct `struct_name`.
+  const ResolvedAttribute* FindStructField(std::string_view struct_name,
+                                           std::string_view field_name) const;
+
+ private:
+  std::vector<ClassInfo> classes_;
+  std::vector<StructInfo> structs_;
+  std::map<std::string, size_t, std::less<>> class_index_;
+  std::map<std::string, size_t, std::less<>> struct_index_;
+};
+
+}  // namespace sqo::odl
+
+#endif  // SQO_ODL_SCHEMA_H_

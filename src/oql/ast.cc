@@ -1,0 +1,196 @@
+#include "oql/ast.h"
+
+#include "common/strings.h"
+
+namespace sqo::oql {
+
+bool PathStep::operator==(const PathStep& other) const {
+  return name == other.name && call_args == other.call_args;
+}
+
+bool StructField::operator==(const StructField& other) const {
+  return name == other.name && value == other.value;
+}
+
+Expr Expr::Literal(sqo::Value v) {
+  Expr e;
+  e.kind = Kind::kLiteral;
+  e.literal = std::move(v);
+  return e;
+}
+
+Expr Expr::Ident(std::string name) {
+  Expr e;
+  e.kind = Kind::kPath;
+  e.base = std::move(name);
+  return e;
+}
+
+Expr Expr::Path(std::string base, std::vector<PathStep> steps) {
+  Expr e;
+  e.kind = Kind::kPath;
+  e.base = std::move(base);
+  e.steps = std::move(steps);
+  return e;
+}
+
+bool Expr::operator==(const Expr& other) const {
+  if (kind != other.kind) return false;
+  switch (kind) {
+    case Kind::kLiteral:
+      return literal == other.literal;
+    case Kind::kPath:
+      return base == other.base && steps == other.steps;
+    case Kind::kStruct:
+      return ctor_name == other.ctor_name && fields == other.fields;
+    case Kind::kCollection:
+      return ctor_name == other.ctor_name && elements == other.elements;
+  }
+  return false;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kLiteral: {
+      // OQL renders strings with double quotes, which Value::ToString
+      // already does.
+      return literal.ToString();
+    }
+    case Kind::kPath: {
+      std::string out = base;
+      for (const PathStep& step : steps) {
+        out += "." + step.name;
+        if (step.is_call()) {
+          std::vector<std::string> args;
+          args.reserve(step.call_args->size());
+          for (const Expr& a : *step.call_args) args.push_back(a.ToString());
+          out += "(" + StrJoin(args, ", ") + ")";
+        }
+      }
+      return out;
+    }
+    case Kind::kStruct: {
+      std::vector<std::string> parts;
+      parts.reserve(fields.size());
+      for (const StructField& f : fields) {
+        parts.push_back(f.name + ": " + f.value.front().ToString());
+      }
+      return ctor_name + "(" + StrJoin(parts, ", ") + ")";
+    }
+    case Kind::kCollection: {
+      std::vector<std::string> parts;
+      parts.reserve(elements.size());
+      for (const Expr& e : elements) parts.push_back(e.ToString());
+      return ctor_name + "(" + StrJoin(parts, ", ") + ")";
+    }
+  }
+  return "?";
+}
+
+Predicate Predicate::Comparison(Expr l, sqo::CmpOp op, Expr r) {
+  Predicate p;
+  p.kind = Kind::kComparison;
+  p.op = op;
+  p.lhs.push_back(std::move(l));
+  p.rhs.push_back(std::move(r));
+  return p;
+}
+
+Predicate Predicate::Membership(Expr element, Expr collection, bool positive) {
+  Predicate p;
+  p.kind = Kind::kMembership;
+  p.positive = positive;
+  p.element.push_back(std::move(element));
+  p.collection.push_back(std::move(collection));
+  return p;
+}
+
+Predicate Predicate::Exists(std::string var, Expr collection,
+                            std::vector<Predicate> inner) {
+  Predicate p;
+  p.kind = Kind::kExists;
+  p.var = std::move(var);
+  p.collection.push_back(std::move(collection));
+  p.inner = std::move(inner);
+  return p;
+}
+
+bool Predicate::operator==(const Predicate& other) const {
+  if (kind != other.kind) return false;
+  switch (kind) {
+    case Kind::kComparison:
+      return op == other.op && lhs == other.lhs && rhs == other.rhs;
+    case Kind::kMembership:
+      return positive == other.positive && element == other.element &&
+             collection == other.collection;
+    case Kind::kExists:
+      return var == other.var && collection == other.collection &&
+             inner == other.inner;
+  }
+  return false;
+}
+
+std::string Predicate::ToString() const {
+  switch (kind) {
+    case Kind::kComparison:
+      return lhs.front().ToString() + " " + std::string(sqo::CmpOpSymbol(op)) +
+             " " + rhs.front().ToString();
+    case Kind::kMembership:
+      return element.front().ToString() + (positive ? " in " : " not in ") +
+             collection.front().ToString();
+    case Kind::kExists: {
+      std::string out = "exists " + var + " in " +
+                        collection.front().ToString() + " : (";
+      for (size_t i = 0; i < inner.size(); ++i) {
+        if (i > 0) out += " and ";
+        out += inner[i].ToString();
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+FromEntry FromEntry::Range(std::string var, Expr domain, bool positive) {
+  FromEntry f;
+  f.var = std::move(var);
+  f.domain.push_back(std::move(domain));
+  f.positive = positive;
+  return f;
+}
+
+bool FromEntry::operator==(const FromEntry& other) const {
+  return var == other.var && domain == other.domain && positive == other.positive;
+}
+
+std::string FromEntry::ToString() const {
+  return var + (positive ? " in " : " not in ") + domain.front().ToString();
+}
+
+bool SelectQuery::operator==(const SelectQuery& other) const {
+  return distinct == other.distinct && select_list == other.select_list &&
+         from == other.from && where == other.where;
+}
+
+std::string SelectQuery::ToString() const {
+  std::vector<std::string> sel;
+  sel.reserve(select_list.size());
+  for (const Expr& e : select_list) sel.push_back(e.ToString());
+  std::string out = "select ";
+  if (distinct) out += "distinct ";
+  out += StrJoin(sel, ", ");
+  out += "\nfrom ";
+  std::vector<std::string> ranges;
+  ranges.reserve(from.size());
+  for (const FromEntry& f : from) ranges.push_back(f.ToString());
+  out += StrJoin(ranges, ",\n     ");
+  if (!where.empty()) {
+    std::vector<std::string> preds;
+    preds.reserve(where.size());
+    for (const Predicate& p : where) preds.push_back(p.ToString());
+    out += "\nwhere " + StrJoin(preds, " and ");
+  }
+  return out;
+}
+
+}  // namespace sqo::oql

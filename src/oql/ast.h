@@ -1,0 +1,137 @@
+#ifndef SQO_OQL_AST_H_
+#define SQO_OQL_AST_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/cmp.h"
+#include "common/value.h"
+
+namespace sqo::oql {
+
+struct Expr;
+
+/// One step of a path expression: an attribute/relationship name, or a
+/// method call with user-provided arguments (`taxes_withheld(10%)`).
+struct PathStep {
+  std::string name;
+  /// Present iff this step is a method call; may be an empty vector for a
+  /// zero-argument call.
+  std::optional<std::vector<Expr>> call_args;
+
+  bool is_call() const { return call_args.has_value(); }
+  bool operator==(const PathStep& other) const;
+};
+
+/// A named field of a struct constructor: `city: w.address.city`.
+struct StructField {
+  std::string name;
+  std::vector<Expr> value;  // exactly one element (vector for value semantics)
+
+  bool operator==(const StructField& other) const;
+};
+
+/// An OQL value expression of the restricted subset: a literal, a (possibly
+/// multi-step) path expression with optional method-call steps, or a
+/// constructor (struct / list / set / bag). Constructors may appear only in
+/// the select clause; they are never translated to DATALOG (§4.3) — Step 4
+/// preserves them by editing the original AST in place.
+struct Expr {
+  enum class Kind { kLiteral, kPath, kStruct, kCollection };
+
+  Kind kind = Kind::kLiteral;
+
+  // kLiteral
+  sqo::Value literal;
+
+  // kPath: `base.step1.step2...`; `base` alone is a bare identifier.
+  std::string base;
+  std::vector<PathStep> steps;
+
+  // kStruct: constructor type name ("struct" when anonymous) and fields.
+  // kCollection: "list" / "set" / "bag" and element expressions.
+  std::string ctor_name;
+  std::vector<StructField> fields;
+  std::vector<Expr> elements;
+
+  static Expr Literal(sqo::Value v);
+  static Expr Ident(std::string name);
+  static Expr Path(std::string base, std::vector<PathStep> steps);
+
+  bool is_bare_ident() const { return kind == Kind::kPath && steps.empty(); }
+
+  bool operator==(const Expr& other) const;
+
+  /// Renders back to OQL surface syntax.
+  std::string ToString() const;
+};
+
+/// A where-clause predicate: a comparison between expressions, a
+/// membership test (`e in p`, `e not in p`), or an existential quantifier
+/// (`exists v in p : predicate`) — the extension the paper lists as future
+/// work ("we intend to consider larger classes of OQL queries, e.g.,
+/// existentially quantified queries"). Conjunctive query bodies are
+/// implicitly existential, so a positive `exists` translates to ordinary
+/// atoms over a fresh, unprojected variable. Membership predicates appear
+/// in optimized queries when the change mapper cannot add a from-clause
+/// range (the variable is already bound).
+struct Predicate {
+  enum class Kind { kComparison, kMembership, kExists };
+
+  Kind kind = Kind::kComparison;
+
+  // kComparison
+  sqo::CmpOp op = sqo::CmpOp::kEq;
+  std::vector<Expr> lhs;  // exactly one element
+  std::vector<Expr> rhs;  // exactly one element
+
+  // kMembership: element [not] in collection
+  bool positive = true;
+  std::vector<Expr> element;     // exactly one element
+  std::vector<Expr> collection;  // exactly one element
+
+  // kExists: exists <var> in <collection> : <inner>. `inner` holds the
+  // quantified conjunction (one or more predicates).
+  std::string var;
+  std::vector<Predicate> inner;
+
+  static Predicate Comparison(Expr l, sqo::CmpOp op, Expr r);
+  static Predicate Membership(Expr element, Expr collection, bool positive);
+  static Predicate Exists(std::string var, Expr collection,
+                          std::vector<Predicate> inner);
+
+  bool operator==(const Predicate& other) const;
+  std::string ToString() const;
+};
+
+/// One from-clause range: `x in Students` (positive, declares `x`) or the
+/// SQO-introduced `x not in Faculty` (negative, constrains an existing
+/// variable — paper §5.2 and ALGORITHM DATALOG_to_OQL case 2).
+struct FromEntry {
+  std::string var;
+  std::vector<Expr> domain;  // exactly one element: extent name or path
+  bool positive = true;
+
+  static FromEntry Range(std::string var, Expr domain, bool positive = true);
+
+  bool operator==(const FromEntry& other) const;
+  std::string ToString() const;
+};
+
+/// A select-from-where OQL query (the subset of §4.3).
+struct SelectQuery {
+  bool distinct = false;
+  std::vector<Expr> select_list;
+  std::vector<FromEntry> from;
+  std::vector<Predicate> where;  // conjunctive
+
+  bool operator==(const SelectQuery& other) const;
+
+  /// Renders to OQL text, formatted clause-per-line like the paper.
+  std::string ToString() const;
+};
+
+}  // namespace sqo::oql
+
+#endif  // SQO_OQL_AST_H_

@@ -1,0 +1,454 @@
+#include "oql/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace sqo::oql {
+
+namespace {
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+}  // namespace
+
+OqlParser::OqlParser(std::string_view text) : text_(text) { Lex(); }
+
+void OqlParser::Lex() {
+  size_t i = 0, line = 1;
+  const std::string& s = text_;
+  auto push = [&](Token t) {
+    t.line = line;
+    tokens_.push_back(std::move(t));
+  };
+  while (i < s.size()) {
+    char c = s[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if ((c == '-' && i + 1 < s.size() && s[i + 1] == '-') ||
+        (c == '/' && i + 1 < s.size() && s[i + 1] == '/')) {
+      while (i < s.size() && s[i] != '\n') ++i;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < s.size() && IsIdentChar(s[i])) ++i;
+      Token t;
+      t.kind = Token::kIdent;
+      t.text = s.substr(start, i - start);
+      push(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < s.size() && (std::isdigit(static_cast<unsigned char>(s[i])) ||
+                              (s[i] == '.' && i + 1 < s.size() &&
+                               std::isdigit(static_cast<unsigned char>(s[i + 1]))))) {
+        if (s[i] == '.') is_float = true;
+        ++i;
+      }
+      std::string num = s.substr(start, i - start);
+      double scale = 1.0;
+      bool force_double = false;
+      if (i < s.size() && (s[i] == 'K' || s[i] == 'k')) {
+        scale = 1000.0;
+        ++i;
+      } else if (i < s.size() && s[i] == 'M') {
+        scale = 1000000.0;
+        ++i;
+      } else if (i < s.size() && s[i] == '%') {
+        scale = 0.01;
+        force_double = true;
+        ++i;
+      }
+      Token t;
+      t.kind = Token::kNumber;
+      t.text = num;
+      if (is_float || force_double) {
+        t.value = sqo::Value::Double(std::strtod(num.c_str(), nullptr) * scale);
+      } else {
+        t.value = sqo::Value::Int(static_cast<int64_t>(
+            std::strtoll(num.c_str(), nullptr, 10) * static_cast<int64_t>(scale)));
+      }
+      push(std::move(t));
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      ++i;
+      std::string contents;
+      bool closed = false;
+      while (i < s.size()) {
+        if (s[i] == '\\' && i + 1 < s.size()) {
+          contents += s[i + 1];
+          i += 2;
+          continue;
+        }
+        if (s[i] == quote) {
+          closed = true;
+          ++i;
+          break;
+        }
+        contents += s[i++];
+      }
+      Token t;
+      if (!closed) {
+        t.kind = Token::kError;
+        t.text = "unterminated string";
+      } else {
+        t.kind = Token::kString;
+        t.text = contents;
+        t.value = sqo::Value::String(contents);
+      }
+      push(std::move(t));
+      continue;
+    }
+    auto two = [&](char a, char b) {
+      return c == a && i + 1 < s.size() && s[i + 1] == b;
+    };
+    Token t;
+    if (two('<', '=')) {
+      t.kind = Token::kCmp;
+      t.op = sqo::CmpOp::kLe;
+      i += 2;
+    } else if (two('>', '=')) {
+      t.kind = Token::kCmp;
+      t.op = sqo::CmpOp::kGe;
+      i += 2;
+    } else if (two('!', '=') || two('<', '>')) {
+      t.kind = Token::kCmp;
+      t.op = sqo::CmpOp::kNe;
+      i += 2;
+    } else if (two('=', '=')) {
+      t.kind = Token::kCmp;
+      t.op = sqo::CmpOp::kEq;
+      i += 2;
+    } else {
+      switch (c) {
+        case '(':
+          t.kind = Token::kLParen;
+          break;
+        case ')':
+          t.kind = Token::kRParen;
+          break;
+        case ',':
+          t.kind = Token::kComma;
+          break;
+        case '.':
+          t.kind = Token::kDot;
+          break;
+        case ':':
+          t.kind = Token::kColon;
+          break;
+        case '=':
+          t.kind = Token::kCmp;
+          t.op = sqo::CmpOp::kEq;
+          break;
+        case '<':
+          t.kind = Token::kCmp;
+          t.op = sqo::CmpOp::kLt;
+          break;
+        case '>':
+          t.kind = Token::kCmp;
+          t.op = sqo::CmpOp::kGt;
+          break;
+        default:
+          t.kind = Token::kError;
+          t.text = std::string("unexpected character '") + c + "'";
+          break;
+      }
+      ++i;
+    }
+    push(std::move(t));
+  }
+  Token end;
+  end.kind = Token::kEnd;
+  end.line = line;
+  tokens_.push_back(std::move(end));
+}
+
+const OqlParser::Token& OqlParser::Peek(size_t ahead) const {
+  size_t idx = pos_ + ahead;
+  if (idx >= tokens_.size()) idx = tokens_.size() - 1;
+  return tokens_[idx];
+}
+
+OqlParser::Token OqlParser::Consume() {
+  Token t = Peek();
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool OqlParser::ConsumeIf(Token::Kind kind) {
+  if (Peek().kind == kind) {
+    Consume();
+    return true;
+  }
+  return false;
+}
+
+bool OqlParser::PeekKeyword(std::string_view keyword, size_t ahead) const {
+  return Peek(ahead).kind == Token::kIdent &&
+         sqo::ToLower(Peek(ahead).text) == sqo::ToLower(keyword);
+}
+
+bool OqlParser::ConsumeKeyword(std::string_view keyword) {
+  if (PeekKeyword(keyword)) {
+    Consume();
+    return true;
+  }
+  return false;
+}
+
+sqo::Status OqlParser::Expect(Token::Kind kind, std::string_view what) {
+  if (Peek().kind != kind) return ErrorAt(Peek(), "expected " + std::string(what));
+  Consume();
+  return sqo::Status::Ok();
+}
+
+sqo::Status OqlParser::ErrorAt(const Token& tok, std::string message) const {
+  std::string detail = "OQL: " + message + " at line " + std::to_string(tok.line);
+  if (!tok.text.empty()) detail += " near '" + tok.text + "'";
+  return sqo::ParseError(std::move(detail));
+}
+
+sqo::Result<std::vector<Expr>> OqlParser::ParseCallArgs() {
+  std::vector<Expr> args;
+  Consume();  // '('
+  if (Peek().kind != Token::kRParen) {
+    while (true) {
+      SQO_ASSIGN_OR_RETURN(Expr arg, ParseExpr());
+      args.push_back(std::move(arg));
+      if (!ConsumeIf(Token::kComma)) break;
+    }
+  }
+  SQO_RETURN_IF_ERROR(Expect(Token::kRParen, "')'"));
+  return args;
+}
+
+sqo::Result<Expr> OqlParser::ParsePath(std::string base) {
+  Expr e = Expr::Ident(std::move(base));
+  while (ConsumeIf(Token::kDot)) {
+    if (Peek().kind != Token::kIdent) {
+      return ErrorAt(Peek(), "expected a property or method name after '.'");
+    }
+    PathStep step;
+    step.name = Consume().text;
+    if (Peek().kind == Token::kLParen) {
+      SQO_ASSIGN_OR_RETURN(std::vector<Expr> args, ParseCallArgs());
+      step.call_args = std::move(args);
+    }
+    e.steps.push_back(std::move(step));
+  }
+  return e;
+}
+
+sqo::Result<Expr> OqlParser::ParseExpr() {
+  const Token& tok = Peek();
+  if (tok.kind == Token::kNumber || tok.kind == Token::kString) {
+    return Expr::Literal(Consume().value);
+  }
+  if (tok.kind != Token::kIdent) {
+    return ErrorAt(tok, "expected an expression");
+  }
+  std::string lower = sqo::ToLower(tok.text);
+  if (lower == "true" || lower == "false") {
+    Consume();
+    return Expr::Literal(sqo::Value::Bool(lower == "true"));
+  }
+  // Collection constructors.
+  if ((lower == "list" || lower == "set" || lower == "bag") &&
+      Peek(1).kind == Token::kLParen) {
+    Expr e;
+    e.kind = Expr::Kind::kCollection;
+    e.ctor_name = lower;
+    Consume();  // name
+    SQO_ASSIGN_OR_RETURN(e.elements, ParseCallArgs());
+    return e;
+  }
+  // Struct constructors: `struct(f: e, ...)` or `Name(f: e, ...)` — detected
+  // by the `ident ( ident :` lookahead.
+  if (Peek(1).kind == Token::kLParen &&
+      (lower == "struct" ||
+       (Peek(2).kind == Token::kIdent && Peek(3).kind == Token::kColon))) {
+    Expr e;
+    e.kind = Expr::Kind::kStruct;
+    e.ctor_name = Consume().text;
+    Consume();  // '('
+    while (true) {
+      if (Peek().kind != Token::kIdent) {
+        return ErrorAt(Peek(), "expected a field name in struct constructor");
+      }
+      StructField field;
+      field.name = Consume().text;
+      SQO_RETURN_IF_ERROR(Expect(Token::kColon, "':'"));
+      SQO_ASSIGN_OR_RETURN(Expr value, ParseExpr());
+      field.value.push_back(std::move(value));
+      e.fields.push_back(std::move(field));
+      if (!ConsumeIf(Token::kComma)) break;
+    }
+    SQO_RETURN_IF_ERROR(Expect(Token::kRParen, "')'"));
+    return e;
+  }
+  return ParsePath(Consume().text);
+}
+
+sqo::Result<FromEntry> OqlParser::ParseFromEntry() {
+  if (Peek().kind != Token::kIdent) {
+    return ErrorAt(Peek(), "expected a from-clause range");
+  }
+  // Paper style: `x in Domain` / `x not in Domain`.
+  if (PeekKeyword("in", 1) ||
+      (PeekKeyword("not", 1) && PeekKeyword("in", 2))) {
+    std::string var = Consume().text;
+    bool positive = !ConsumeKeyword("not");
+    ConsumeKeyword("in");
+    SQO_ASSIGN_OR_RETURN(Expr domain, ParseExpr());
+    if (domain.kind != Expr::Kind::kPath) {
+      return sqo::ParseError("OQL: from-clause domain must be an extent or path");
+    }
+    return FromEntry::Range(std::move(var), std::move(domain), positive);
+  }
+  // SQL-92 style: `Domain [as] x`.
+  SQO_ASSIGN_OR_RETURN(Expr domain, ParseExpr());
+  if (domain.kind != Expr::Kind::kPath) {
+    return sqo::ParseError("OQL: from-clause domain must be an extent or path");
+  }
+  ConsumeKeyword("as");
+  if (Peek().kind != Token::kIdent) {
+    return ErrorAt(Peek(), "expected a range variable name");
+  }
+  std::string var = Consume().text;
+  return FromEntry::Range(std::move(var), std::move(domain), true);
+}
+
+sqo::Result<Predicate> OqlParser::ParsePredicate() {
+  // exists v in <collection> : <pred>   or   : ( <pred> and <pred> ... )
+  if (PeekKeyword("exists")) {
+    Consume();
+    if (Peek().kind != Token::kIdent) {
+      return ErrorAt(Peek(), "expected a quantified variable after 'exists'");
+    }
+    std::string var = Consume().text;
+    if (!ConsumeKeyword("in")) {
+      return ErrorAt(Peek(), "expected 'in' in exists quantifier");
+    }
+    SQO_ASSIGN_OR_RETURN(Expr collection, ParseExpr());
+    SQO_RETURN_IF_ERROR(Expect(Token::kColon, "':'"));
+    std::vector<Predicate> inner;
+    if (ConsumeIf(Token::kLParen)) {
+      while (true) {
+        SQO_ASSIGN_OR_RETURN(Predicate p, ParsePredicate());
+        inner.push_back(std::move(p));
+        if (!ConsumeKeyword("and")) break;
+      }
+      SQO_RETURN_IF_ERROR(Expect(Token::kRParen, "')'"));
+    } else {
+      SQO_ASSIGN_OR_RETURN(Predicate p, ParsePredicate());
+      inner.push_back(std::move(p));
+    }
+    return Predicate::Exists(std::move(var), std::move(collection),
+                             std::move(inner));
+  }
+  SQO_ASSIGN_OR_RETURN(Expr lhs, ParseExpr());
+  if (PeekKeyword("in") || (PeekKeyword("not") && PeekKeyword("in", 1))) {
+    bool positive = !ConsumeKeyword("not");
+    ConsumeKeyword("in");
+    SQO_ASSIGN_OR_RETURN(Expr collection, ParseExpr());
+    return Predicate::Membership(std::move(lhs), std::move(collection), positive);
+  }
+  if (Peek().kind != Token::kCmp) {
+    return ErrorAt(Peek(), "expected a comparison or membership predicate");
+  }
+  Token op = Consume();
+  SQO_ASSIGN_OR_RETURN(Expr rhs, ParseExpr());
+  return Predicate::Comparison(std::move(lhs), op.op, std::move(rhs));
+}
+
+sqo::Result<std::vector<SelectQuery>> OqlParser::ParseQueries() {
+  SelectQuery base;
+  if (!ConsumeKeyword("select")) {
+    return ErrorAt(Peek(), "expected 'select'");
+  }
+  base.distinct = ConsumeKeyword("distinct");
+  while (true) {
+    SQO_ASSIGN_OR_RETURN(Expr e, ParseExpr());
+    base.select_list.push_back(std::move(e));
+    if (!ConsumeIf(Token::kComma)) break;
+  }
+  if (!ConsumeKeyword("from")) {
+    return ErrorAt(Peek(), "expected 'from'");
+  }
+  while (true) {
+    SQO_ASSIGN_OR_RETURN(FromEntry entry, ParseFromEntry());
+    base.from.push_back(std::move(entry));
+    if (ConsumeIf(Token::kComma)) continue;
+    // Paper style: ranges separated by whitespace only. Continue if the
+    // next tokens look like the start of another range.
+    if (Peek().kind == Token::kIdent && !PeekKeyword("where") &&
+        (PeekKeyword("in", 1) || (PeekKeyword("not", 1) && PeekKeyword("in", 2)))) {
+      continue;
+    }
+    break;
+  }
+  std::vector<std::vector<Predicate>> disjuncts;
+  if (ConsumeKeyword("where")) {
+    disjuncts.emplace_back();
+    while (true) {
+      SQO_ASSIGN_OR_RETURN(Predicate p, ParsePredicate());
+      disjuncts.back().push_back(std::move(p));
+      if (ConsumeKeyword("and")) continue;
+      if (ConsumeKeyword("or")) {
+        disjuncts.emplace_back();
+        continue;
+      }
+      break;
+    }
+  }
+  if (Peek().kind != Token::kEnd) {
+    return ErrorAt(Peek(), "unexpected trailing input");
+  }
+  std::vector<SelectQuery> out;
+  if (disjuncts.empty()) {
+    out.push_back(std::move(base));
+    return out;
+  }
+  for (std::vector<Predicate>& conj : disjuncts) {
+    SelectQuery q = base;
+    q.where = std::move(conj);
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+sqo::Result<SelectQuery> OqlParser::ParseQuery() {
+  SQO_ASSIGN_OR_RETURN(std::vector<SelectQuery> queries, ParseQueries());
+  if (queries.size() != 1) {
+    return sqo::UnsupportedError(
+        "OQL: disjunctive conditions need the union pipeline "
+        "(Pipeline::OptimizeDisjunctiveText)");
+  }
+  return std::move(queries.front());
+}
+
+sqo::Result<SelectQuery> ParseOql(std::string_view text) {
+  return OqlParser(text).ParseQuery();
+}
+
+sqo::Result<std::vector<SelectQuery>> ParseOqlDisjunctive(std::string_view text) {
+  return OqlParser(text).ParseQueries();
+}
+
+}  // namespace sqo::oql

@@ -1,0 +1,99 @@
+#ifndef SQO_OQL_PARSER_H_
+#define SQO_OQL_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "oql/ast.h"
+
+namespace sqo::oql {
+
+/// Recursive-descent parser for the OQL select-from-where subset of §4.3.
+/// Grammar (keywords case-insensitive):
+///
+///   query     := "select" ["distinct"] expr ("," expr)*
+///                "from" range (( "," | ε ) range)*
+///                ["where" predicate ("and" predicate)*]
+///   range     := ident ["not"] "in" path            -- paper style
+///              | path ["as"] ident                  -- SQL-92 style
+///   predicate := expr cmp expr
+///              | expr ["not"] "in" path
+///   expr      := literal | path | ctor
+///   ctor      := ("struct" | Name) "(" field ":" expr ("," field ":" expr)* ")"
+///              | ("list" | "set" | "bag") "(" [expr ("," expr)*] ")"
+///   path      := ident ("." ident ["(" [expr ("," expr)*] ")"])*
+///   literal   := number ["K" | "M" | "%"] | string | "true" | "false"
+///   cmp       := "=" | "==" | "!=" | "<>" | "<" | "<=" | ">" | ">="
+///
+/// The paper separates from-clause ranges by whitespace only
+/// ("from x in Student y in x.Takes ..."); both that and comma separation
+/// are accepted. `10%` parses as 0.10 and `40K` as 40000, matching the
+/// paper's literals.
+class OqlParser {
+ public:
+  explicit OqlParser(std::string_view text);
+
+  /// Parses one select-from-where query. Rejects top-level `or` — use
+  /// ParseQueries for disjunctive conditions.
+  sqo::Result<SelectQuery> ParseQuery();
+
+  /// Parses a query whose condition may be a disjunction of conjunctions
+  /// (`... where C1 and C2 or C3 ...`, with `or` binding weaker than
+  /// `and`). Returns one SelectQuery per disjunct, sharing the select and
+  /// from clauses — the DATALOG image of a union of conjunctive queries,
+  /// which is how the paper's "set expressions … can be represented in
+  /// DATALOG" plays out for union. A query without `or` yields exactly one
+  /// element.
+  sqo::Result<std::vector<SelectQuery>> ParseQueries();
+
+ private:
+  struct Token {
+    enum Kind {
+      kIdent,
+      kNumber,
+      kString,
+      kLParen,
+      kRParen,
+      kComma,
+      kDot,
+      kColon,
+      kCmp,
+      kEnd,
+      kError,
+    };
+    Kind kind = kEnd;
+    std::string text;
+    sqo::Value value;
+    sqo::CmpOp op = sqo::CmpOp::kEq;
+    size_t line = 1;
+  };
+
+  void Lex();
+  const Token& Peek(size_t ahead = 0) const;
+  Token Consume();
+  bool ConsumeIf(Token::Kind kind);
+  bool PeekKeyword(std::string_view keyword, size_t ahead = 0) const;
+  bool ConsumeKeyword(std::string_view keyword);
+  sqo::Status Expect(Token::Kind kind, std::string_view what);
+  sqo::Status ErrorAt(const Token& tok, std::string message) const;
+
+  sqo::Result<Expr> ParseExpr();
+  sqo::Result<Expr> ParsePath(std::string base);
+  sqo::Result<std::vector<Expr>> ParseCallArgs();
+  sqo::Result<FromEntry> ParseFromEntry();
+  sqo::Result<Predicate> ParsePredicate();
+
+  std::string text_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+/// Convenience wrappers.
+sqo::Result<SelectQuery> ParseOql(std::string_view text);
+sqo::Result<std::vector<SelectQuery>> ParseOqlDisjunctive(std::string_view text);
+
+}  // namespace sqo::oql
+
+#endif  // SQO_OQL_PARSER_H_

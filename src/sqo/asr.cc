@@ -1,0 +1,80 @@
+#include "sqo/asr.h"
+
+#include "common/strings.h"
+
+namespace sqo::core {
+
+using datalog::Atom;
+using datalog::Clause;
+using datalog::Literal;
+using datalog::RelationKind;
+using datalog::RelationSignature;
+using datalog::Term;
+
+sqo::Status RegisterAsr(AsrDefinition def, translate::TranslatedSchema* schema,
+                        std::vector<AsrDefinition>* registry) {
+  if (def.path.size() < 2) {
+    return sqo::InvalidArgumentError(
+        "an access support relation needs a path of at least two "
+        "relationships");
+  }
+  if (schema->catalog.Find(def.name) != nullptr) {
+    return sqo::InvalidArgumentError("relation name collision: ASR '" +
+                                     def.name + "'");
+  }
+
+  // Validate the chain and derive functionality.
+  bool fwd_functional = true;
+  bool bwd_functional = true;
+  std::string prev_target;  // class name reached so far
+  for (size_t i = 0; i < def.path.size(); ++i) {
+    const RelationSignature* sig = schema->catalog.Find(def.path[i]);
+    if (sig == nullptr || sig->kind != RelationKind::kRelationship) {
+      return sqo::InvalidArgumentError("ASR path element '" + def.path[i] +
+                                       "' is not a relationship relation");
+    }
+    if (i > 0 && !schema->schema.IsSubclassOf(prev_target, sig->owner) &&
+        !schema->schema.IsSubclassOf(sig->owner, prev_target)) {
+      return sqo::InvalidArgumentError(
+          "ASR path does not chain: '" + def.path[i - 1] + "' ends at '" +
+          prev_target + "' but '" + def.path[i] + "' starts at '" + sig->owner +
+          "'");
+    }
+    prev_target = sig->target;
+    fwd_functional = fwd_functional && sig->functional_src_to_dst;
+    bwd_functional = bwd_functional && sig->functional_dst_to_src;
+  }
+
+  // Build the view clause asr(X0, Xk) <- r1(X0,X1), ..., rk(X(k-1),Xk).
+  def.path_vars.clear();
+  for (size_t i = 0; i <= def.path.size(); ++i) {
+    def.path_vars.push_back("X" + std::to_string(i));
+  }
+  Clause view;
+  view.label = "asr_def:" + def.name;
+  view.head = Literal::Pos(Atom::Pred(
+      def.name,
+      {Term::Var(def.path_vars.front()), Term::Var(def.path_vars.back())}));
+  for (size_t i = 0; i < def.path.size(); ++i) {
+    view.body.push_back(Literal::Pos(
+        Atom::Pred(def.path[i], {Term::Var(def.path_vars[i]),
+                                 Term::Var(def.path_vars[i + 1])})));
+  }
+  def.view = std::move(view);
+
+  RelationSignature sig;
+  sig.name = def.name;
+  sig.kind = RelationKind::kAsr;
+  sig.display_name = def.display_name.empty() ? def.name : def.display_name;
+  sig.owner = schema->catalog.Find(def.path.front())->owner;
+  sig.target = prev_target;
+  sig.attributes = {"src", "dst"};
+  sig.functional_src_to_dst = fwd_functional;
+  sig.functional_dst_to_src = bwd_functional;
+  SQO_RETURN_IF_ERROR(schema->catalog.Add(std::move(sig)));
+
+  registry->push_back(std::move(def));
+  return sqo::Status::Ok();
+}
+
+}  // namespace sqo::core

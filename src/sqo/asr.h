@@ -1,0 +1,47 @@
+#ifndef SQO_SQO_ASR_H_
+#define SQO_SQO_ASR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/clause.h"
+#include "translate/schema_translator.h"
+
+namespace sqo::core {
+
+/// An access support relation (Kemper–Moerkotte [9], paper §5.4): a
+/// materialized binary view relating the first and last objects of a
+/// relationship path. The canonical extension is modeled: `asr(X0, Xk) ←
+/// r1(X0,X1), ..., rk(X(k-1),Xk)`.
+struct AsrDefinition {
+  /// DATALOG relation name (lower-case), e.g. "asr_takes_ta".
+  std::string name;
+
+  /// OQL-visible virtual relationship name used when Step 4 renders a
+  /// range over the ASR (an OQL extension; see DESIGN.md).
+  std::string display_name;
+
+  /// The path: relationship relation names, in traversal order (each
+  /// element's target class must be compatible with the next element's
+  /// source class).
+  std::vector<std::string> path;
+
+  /// The materialized-view definition clause (filled by RegisterAsr).
+  datalog::Clause view;
+
+  /// Path variables X0..Xk as used in `view` (filled by RegisterAsr).
+  std::vector<std::string> path_vars;
+};
+
+/// Validates `def` against the schema (path elements exist, are
+/// relationships, and chain type-correctly), fills in its view clause,
+/// registers an `asr` relation signature in the schema's catalog (with
+/// functionality flags derived from the path), and appends the definition
+/// to `registry`.
+sqo::Status RegisterAsr(AsrDefinition def, translate::TranslatedSchema* schema,
+                        std::vector<AsrDefinition>* registry);
+
+}  // namespace sqo::core
+
+#endif  // SQO_SQO_ASR_H_

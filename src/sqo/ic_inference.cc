@@ -1,0 +1,328 @@
+#include "sqo/ic_inference.h"
+
+#include <set>
+
+#include "common/strings.h"
+#include "datalog/signature.h"
+#include "datalog/unify.h"
+#include "solver/constraint_set.h"
+
+namespace sqo::core {
+
+using datalog::Atom;
+using datalog::Clause;
+using datalog::CmpOp;
+using datalog::Literal;
+using datalog::RelationKind;
+using datalog::RelationSignature;
+using datalog::Term;
+
+sqo::Status ExtractMethodFacts(std::vector<Clause>* clauses,
+                               InferenceInput* input) {
+  std::vector<Clause> kept;
+  for (Clause& clause : *clauses) {
+    const bool is_fact = clause.body.empty() && clause.head.has_value() &&
+                         clause.head->positive &&
+                         clause.head->atom.is_predicate();
+    const std::string pred = is_fact ? clause.head->atom.predicate() : "";
+    if (pred == "monotone") {
+      const auto& args = clause.head->atom.args();
+      if (args.size() != 3 || !args[0].is_constant() || !args[1].is_constant() ||
+          !args[2].is_constant()) {
+        return sqo::InvalidArgumentError(
+            "monotone/3 expects (method, attribute, increasing|nondecreasing)");
+      }
+      MethodMonotonicity m;
+      m.method = args[0].constant().AsString();
+      m.attribute = args[1].constant().AsString();
+      const std::string mode = args[2].constant().AsString();
+      if (mode == "increasing" || mode == "strict") {
+        m.strict = true;
+      } else if (mode == "nondecreasing") {
+        m.strict = false;
+      } else {
+        return sqo::InvalidArgumentError("monotone/3: unknown mode '" + mode +
+                                         "'");
+      }
+      input->monotonicities.push_back(std::move(m));
+      continue;
+    }
+    if (pred == "point") {
+      const auto& args = clause.head->atom.args();
+      if (args.size() < 3) {
+        return sqo::InvalidArgumentError(
+            "point expects (method, attr_value, args..., result)");
+      }
+      for (const Term& t : args) {
+        if (!t.is_constant()) {
+          return sqo::InvalidArgumentError("point arguments must be constants");
+        }
+      }
+      MethodPointFact p;
+      p.method = args[0].constant().AsString();
+      p.attr_value = args[1].constant();
+      for (size_t i = 2; i + 1 < args.size(); ++i) {
+        p.args.push_back(args[i].constant());
+      }
+      p.result = args.back().constant();
+      input->point_facts.push_back(std::move(p));
+      continue;
+    }
+    kept.push_back(std::move(clause));
+  }
+  *clauses = std::move(kept);
+  return sqo::Status::Ok();
+}
+
+namespace {
+
+/// Matches an IC of the "range constraint" shape: comparison head
+/// `Var θ const` (or flipped) and a body that is a single positive class /
+/// structure atom containing Var. Returns the atom, the bound, and the
+/// variable's attribute position.
+struct RangeIc {
+  const Clause* ic = nullptr;
+  const Atom* class_atom = nullptr;
+  std::string attr;          // attribute name at the variable's position
+  CmpOp op = CmpOp::kEq;     // normalized: Var op bound
+  sqo::Value bound;
+};
+
+std::vector<RangeIc> FindRangeIcs(const std::vector<Clause>& ics,
+                                  const datalog::RelationCatalog& catalog) {
+  std::vector<RangeIc> out;
+  for (const Clause& ic : ics) {
+    if (!ic.head.has_value() || !ic.head->positive ||
+        !ic.head->atom.is_comparison()) {
+      continue;
+    }
+    if (ic.body.size() != 1 || !ic.body[0].positive ||
+        !ic.body[0].atom.is_predicate()) {
+      continue;
+    }
+    const Atom& body_atom = ic.body[0].atom;
+    const RelationSignature* sig = catalog.Find(body_atom.predicate());
+    if (sig == nullptr || (sig->kind != RelationKind::kClass &&
+                           sig->kind != RelationKind::kStructure)) {
+      continue;
+    }
+    const Atom& head = ic.head->atom;
+    Term var = head.lhs();
+    Term bound = head.rhs();
+    CmpOp op = head.op();
+    if (var.is_constant() && bound.is_variable()) {
+      std::swap(var, bound);
+      op = datalog::FlipOp(op);
+    }
+    if (!var.is_variable() || !bound.is_constant()) continue;
+    for (size_t pos = 1; pos < body_atom.arity(); ++pos) {
+      const Term& arg = body_atom.args()[pos];
+      if (arg.is_variable() && arg.var_name() == var.var_name()) {
+        RangeIc r;
+        r.ic = &ic;
+        r.class_atom = &body_atom;
+        r.attr = sig->attributes[pos];
+        r.op = op;
+        r.bound = bound.constant();
+        out.push_back(r);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Clause> InferConstraints(const InferenceInput& input,
+                                     const translate::TranslatedSchema& schema,
+                                     const InferenceOptions& options) {
+  std::vector<Clause> derived;
+  std::set<std::string> seen;
+  for (const Clause& ic : input.ics) seen.insert(ic.ToString());
+  auto emit = [&](Clause c) {
+    if (derived.size() >= options.max_derived) return;
+    if (seen.insert(c.ToString()).second) derived.push_back(std::move(c));
+  };
+  const datalog::RelationCatalog& catalog = schema.catalog;
+
+  // ---- Pass A: method result bounds (IC1 + IC2 + fact ⊢ IC3). ----
+  if (options.method_bounds) {
+    std::vector<RangeIc> ranges = FindRangeIcs(input.ics, catalog);
+    for (const MethodMonotonicity& mono : input.monotonicities) {
+      const RelationSignature* m_sig = catalog.Find(sqo::ToLower(mono.method));
+      if (m_sig == nullptr || m_sig->kind != RelationKind::kMethod) continue;
+      for (const MethodPointFact& point : input.point_facts) {
+        if (sqo::ToLower(point.method) != m_sig->name) continue;
+        if (point.args.size() + 2 != m_sig->arity()) continue;
+        for (const RangeIc& range : ranges) {
+          if (range.attr != mono.attribute) continue;
+          // The receiver class must support the method.
+          const RelationSignature* c_sig =
+              catalog.Find(range.class_atom->predicate());
+          if (!schema.schema.IsSubclassOf(c_sig->owner, m_sig->owner)) continue;
+
+          // Classify the range against the point: strictly above, at-or-
+          // above, strictly below, at-or-below.
+          solver::ConstraintSet cs;
+          Term attr_var = Term::Var("A");
+          cs.AddConstraint(range.op, attr_var, Term::Const(range.bound));
+          CmpOp result_op;
+          if (cs.Implies(Atom::Comparison(CmpOp::kGt, attr_var,
+                                          Term::Const(point.attr_value)))) {
+            result_op = mono.strict ? CmpOp::kGt : CmpOp::kGe;
+          } else if (cs.Implies(Atom::Comparison(CmpOp::kGe, attr_var,
+                                                 Term::Const(point.attr_value)))) {
+            result_op = CmpOp::kGe;
+          } else if (cs.Implies(Atom::Comparison(CmpOp::kLt, attr_var,
+                                                 Term::Const(point.attr_value)))) {
+            result_op = mono.strict ? CmpOp::kLt : CmpOp::kLe;
+          } else if (cs.Implies(Atom::Comparison(CmpOp::kLe, attr_var,
+                                                 Term::Const(point.attr_value)))) {
+            result_op = CmpOp::kLe;
+          } else {
+            continue;  // range does not bound the point from either side
+          }
+
+          // Derived: Value op result ← m(Oid, point args..., Value),
+          //                            class(Oid, _...).
+          datalog::FreshVarGen anon("_E");
+          std::vector<Term> m_args;
+          m_args.push_back(Term::Var("Oid"));
+          for (const sqo::Value& v : point.args) m_args.push_back(Term::Const(v));
+          m_args.push_back(Term::Var("Value"));
+          std::vector<Term> c_args;
+          c_args.push_back(Term::Var("Oid"));
+          for (size_t i = 1; i < c_sig->arity(); ++i) {
+            c_args.push_back(anon.NextVar());
+          }
+          Clause out;
+          out.label = "derived:method_bound:" + m_sig->name + ":" +
+                      (range.ic->label.empty() ? c_sig->name : range.ic->label);
+          out.head = Literal::Pos(Atom::Comparison(
+              result_op, Term::Var("Value"), Term::Const(point.result)));
+          out.body = {
+              Literal::Pos(Atom::Pred(m_sig->name, std::move(m_args))),
+              Literal::Pos(Atom::Pred(c_sig->name, std::move(c_args)))};
+          emit(std::move(out));
+        }
+      }
+    }
+  }
+
+  // ---- Pass B: superclass body augmentation (IC4 + IC5 ⊢ IC6). ----
+  if (options.superclass_augmentation) {
+    std::vector<Clause> sources(input.ics);
+    sources.insert(sources.end(), derived.begin(), derived.end());
+    for (const Clause& source : sources) {
+      const Clause* ic = &source;
+      if (!ic->head.has_value() || !ic->head->atom.is_comparison()) continue;
+      // Augment range constraints only (a single class atom in the body):
+      // composing the hierarchy with multi-atom ICs (FDs, keys) adds noise
+      // without enabling new optimizations.
+      size_t positive_atoms = 0;
+      for (const Literal& lit : ic->body) {
+        if (lit.positive && lit.atom.is_predicate()) ++positive_atoms;
+      }
+      if (positive_atoms != 1) continue;
+      for (size_t i = 0; i < ic->body.size(); ++i) {
+        const Literal& lit = ic->body[i];
+        if (!lit.positive || !lit.atom.is_predicate()) continue;
+        const RelationSignature* sig = catalog.Find(lit.atom.predicate());
+        if (sig == nullptr || sig->kind != RelationKind::kClass) continue;
+        const odl::ClassInfo* cls = schema.schema.FindClass(sig->owner);
+        if (cls == nullptr) continue;
+        // Walk proper ancestors; each superclass relation shares the
+        // subclass atom's positional prefix.
+        const odl::ClassInfo* anc =
+            cls->super.empty() ? nullptr : schema.schema.FindClass(cls->super);
+        while (anc != nullptr) {
+          const std::string anc_rel = schema.RelationFor(anc->name);
+          const RelationSignature* anc_sig = catalog.Find(anc_rel);
+          std::vector<Term> args(lit.atom.args().begin(),
+                                 lit.atom.args().begin() +
+                                     static_cast<long>(anc_sig->arity()));
+          Atom anc_atom = Atom::Pred(anc_rel, std::move(args));
+          bool present = false;
+          for (const Literal& other : ic->body) {
+            if (other.positive && other.atom == anc_atom) {
+              present = true;
+              break;
+            }
+          }
+          if (!present) {
+            Clause out = *ic;
+            out.label = "derived:super:" +
+                        (ic->label.empty() ? sig->name : ic->label) + ":" +
+                        anc_rel;
+            out.body.push_back(Literal::Pos(std::move(anc_atom)));
+            emit(std::move(out));
+          }
+          anc = anc->super.empty() ? nullptr : schema.schema.FindClass(anc->super);
+        }
+      }
+    }
+  }
+
+  // ---- Pass C: contrapositives (IC6 ⊢ IC6'). ----
+  if (options.contrapositives) {
+    std::vector<Clause> sources(input.ics);
+    sources.insert(sources.end(), derived.begin(), derived.end());
+    for (const Clause& source : sources) {
+      const Clause* ic = &source;
+      if (!ic->head.has_value() || !ic->head->positive ||
+          !ic->head->atom.is_comparison()) {
+        continue;
+      }
+      if (ic->body.size() < 2 || ic->body.size() > 4) continue;
+      for (size_t i = 0; i < ic->body.size(); ++i) {
+        const Literal& pivot = ic->body[i];
+        if (!pivot.positive || !pivot.atom.is_predicate()) continue;
+        // The remaining body must still anchor on some positive predicate
+        // atom for residues to attach to.
+        bool anchored = false;
+        for (size_t j = 0; j < ic->body.size(); ++j) {
+          if (j != i && ic->body[j].positive && ic->body[j].atom.is_predicate()) {
+            anchored = true;
+            break;
+          }
+        }
+        if (!anchored) continue;
+        Clause out;
+        out.label = "derived:contra:" +
+                    (ic->label.empty() ? pivot.atom.predicate() : ic->label);
+        out.head = Literal::Neg(pivot.atom);
+        for (size_t j = 0; j < ic->body.size(); ++j) {
+          if (j != i) out.body.push_back(ic->body[j]);
+        }
+        out.body.push_back(ic->head->Complement());
+        // Range restriction: every variable of the body's evaluable atoms
+        // must occur in a positive predicate atom of the body, or the
+        // derived clause is unevaluable (the pivot's private variables end
+        // up free in the negated head's complement — e.g. contrapositives
+        // of key constraints).
+        std::set<std::string> positive_vars;
+        std::vector<std::string> cmp_vars;
+        for (const Literal& lit : out.body) {
+          if (lit.positive && lit.atom.is_predicate()) {
+            std::vector<std::string> vars;
+            lit.atom.CollectVariables(&vars);
+            positive_vars.insert(vars.begin(), vars.end());
+          } else if (lit.atom.is_comparison()) {
+            lit.atom.CollectVariables(&cmp_vars);
+          }
+        }
+        bool range_restricted = true;
+        for (const std::string& v : cmp_vars) {
+          if (positive_vars.count(v) == 0) range_restricted = false;
+        }
+        if (!range_restricted) continue;
+        emit(std::move(out));
+      }
+    }
+  }
+
+  return derived;
+}
+
+}  // namespace sqo::core

@@ -1,0 +1,73 @@
+#ifndef SQO_SQO_IC_INFERENCE_H_
+#define SQO_SQO_IC_INFERENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "datalog/clause.h"
+#include "translate/schema_translator.h"
+
+namespace sqo::core {
+
+/// A declared monotonicity property of a method with respect to one
+/// receiver attribute (the paper's IC2, abstracted): with all user
+/// arguments fixed, the method's result is nondecreasing (or strictly
+/// increasing) in the attribute.
+struct MethodMonotonicity {
+  std::string method;     // DATALOG relation name of the method
+  std::string attribute;  // receiver attribute name (lower-case)
+  bool strict = false;    // strictly increasing vs nondecreasing
+};
+
+/// A known point of a method's behaviour (the paper's employee fact): with
+/// the receiver attribute at `attr_value` and the user arguments at `args`,
+/// the method evaluates to `result`.
+struct MethodPointFact {
+  std::string method;
+  sqo::Value attr_value;
+  std::vector<sqo::Value> args;
+  sqo::Value result;
+};
+
+/// Inputs to bounded IC inference.
+struct InferenceInput {
+  /// Base constraints: schema-generated plus user-declared.
+  std::vector<datalog::Clause> ics;
+  std::vector<MethodMonotonicity> monotonicities;
+  std::vector<MethodPointFact> point_facts;
+};
+
+struct InferenceOptions {
+  /// Derive method result bounds from monotonicity + point facts + class
+  /// attribute ranges (IC1 + IC2 + fact ⊢ IC3, §5.1).
+  bool method_bounds = true;
+  /// Add superclass atoms to IC bodies via the subclass hierarchy
+  /// (IC4 + IC5 ⊢ IC6, §5.2).
+  bool superclass_augmentation = true;
+  /// Generate predicate-headed contrapositives of evaluable-headed ICs
+  /// (IC6 ⊢ IC6', §5.2).
+  bool contrapositives = true;
+  /// Cap on the number of derived constraints.
+  size_t max_derived = 512;
+};
+
+/// Extracts `monotone(m, attr, increasing|nondecreasing).` and
+/// `point(m, attr_value, arg1, ..., result).` facts from a parsed clause
+/// stream (the textual declaration form), removing them from `clauses`.
+sqo::Status ExtractMethodFacts(std::vector<datalog::Clause>* clauses,
+                               InferenceInput* input);
+
+/// Bounded forward inference: derives new integrity constraints from the
+/// input per the enabled options. Returns only the *derived* clauses (with
+/// "derived:" label prefixes); callers append them to the base set before
+/// semantic compilation. Deterministic; complexity is quadratic in the
+/// number of ICs per pass with a hard cap.
+std::vector<datalog::Clause> InferConstraints(
+    const InferenceInput& input, const translate::TranslatedSchema& schema,
+    const InferenceOptions& options = {});
+
+}  // namespace sqo::core
+
+#endif  // SQO_SQO_IC_INFERENCE_H_

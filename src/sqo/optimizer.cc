@@ -1,0 +1,796 @@
+#include "sqo/optimizer.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <set>
+
+#include "common/strings.h"
+#include "datalog/unify.h"
+
+namespace sqo::core {
+
+using datalog::Atom;
+using datalog::CmpOp;
+using datalog::Literal;
+using datalog::Matcher;
+using datalog::Query;
+using datalog::RelationKind;
+using datalog::RelationSignature;
+using datalog::Substitution;
+using datalog::Term;
+
+std::string Consequence::ToString() const {
+  std::string out = is_denial ? "false" : literal.ToString();
+  if (!source.empty()) out += " [" + source + "]";
+  return out;
+}
+
+namespace {
+
+/// Collects the distinct variable names of a literal.
+std::set<std::string> LiteralVars(const Literal& lit) {
+  std::vector<std::string> v;
+  lit.atom.CollectVariables(&v);
+  return std::set<std::string>(v.begin(), v.end());
+}
+
+/// Returns the solver view of a query: its positive comparison atoms.
+solver::ConstraintSet QueryConstraints(const Query& query) {
+  solver::ConstraintSet cs;
+  cs.AddComparisons(query.body);
+  return cs;
+}
+
+/// Recursive backtracking match of residue remainder literals against the
+/// query. Calls `on_match` for every complete solution.
+void MatchRemainder(const std::vector<Literal>& remainder, size_t k,
+                    Matcher* matcher, const Query& query,
+                    const solver::ConstraintSet::EqualityView& qcs,
+                    const std::set<std::string>& bindable,
+                    const std::function<void()>& on_match) {
+  if (k == remainder.size()) {
+    on_match();
+    return;
+  }
+  const Literal& lit = remainder[k];
+  if (lit.atom.is_comparison()) {
+    // Syntactic candidates: query comparison atoms with the same (or the
+    // flipped) operator.
+    for (const Literal& ql : query.body) {
+      if (!ql.positive || !ql.atom.is_comparison()) continue;
+      size_t mark = matcher->Mark();
+      if (matcher->MatchAtom(lit.atom, ql.atom)) {
+        MatchRemainder(remainder, k + 1, matcher, query, qcs, bindable, on_match);
+      }
+      matcher->RollbackTo(mark);
+      Atom flipped = Atom::Comparison(datalog::FlipOp(lit.atom.op()),
+                                      lit.atom.rhs(), lit.atom.lhs());
+      if (flipped.op() != lit.atom.op() || flipped.lhs() != lit.atom.lhs()) {
+        mark = matcher->Mark();
+        if (matcher->MatchAtom(flipped, ql.atom)) {
+          MatchRemainder(remainder, k + 1, matcher, query, qcs, bindable,
+                         on_match);
+        }
+        matcher->RollbackTo(mark);
+      }
+    }
+    // Semantic candidate: if the comparison is fully instantiated over
+    // query terms, ask the solver whether the query implies it.
+    Atom inst = matcher->subst().ApplyToAtom(lit.atom);
+    std::vector<std::string> vars;
+    inst.CollectVariables(&vars);
+    bool fully_bound = true;
+    for (const std::string& v : vars) {
+      if (bindable.count(v) > 0) {
+        fully_bound = false;
+        break;
+      }
+    }
+    if (fully_bound && qcs.Implies(inst)) {
+      MatchRemainder(remainder, k + 1, matcher, query, qcs, bindable, on_match);
+    }
+    return;
+  }
+  // Predicate literal: match against query literals of the same polarity.
+  for (const Literal& ql : query.body) {
+    if (ql.positive != lit.positive || !ql.atom.is_predicate()) continue;
+    size_t mark = matcher->Mark();
+    if (matcher->MatchLiteral(lit, ql)) {
+      MatchRemainder(remainder, k + 1, matcher, query, qcs, bindable, on_match);
+    }
+    matcher->RollbackTo(mark);
+  }
+}
+
+/// Renames the variables of `lit` that are not bound to query terms (i.e.
+/// still carry the residue prefix and are absent from `query_vars`) to
+/// fresh names unused in the query.
+Literal FreshenUnbound(const Literal& lit, const std::set<std::string>& query_vars,
+                       int* counter) {
+  Substitution renaming;
+  std::vector<std::string> vars;
+  lit.atom.CollectVariables(&vars);
+  for (const std::string& v : vars) {
+    if (query_vars.count(v) == 0) {
+      std::string fresh;
+      do {
+        fresh = "_N" + std::to_string(++*counter);
+      } while (query_vars.count(fresh) > 0);
+      renaming.Bind(v, Term::Var(fresh));
+    }
+  }
+  return renaming.ApplyToLiteral(lit);
+}
+
+/// Variables occurring in object (OID) positions of the query: position 0
+/// of class/structure/method atoms, either position of relationship/ASR
+/// atoms. Equality reasoning between such variables enables join work to
+/// be saved (§5.3); equalities between attribute placeholders do not.
+std::set<std::string> ObjectPositionVars(const Query& q,
+                                         const datalog::RelationCatalog& catalog) {
+  std::set<std::string> out;
+  for (const Literal& lit : q.body) {
+    if (!lit.positive || !lit.atom.is_predicate()) continue;
+    const RelationSignature* sig = catalog.Find(lit.atom.predicate());
+    if (sig == nullptr) continue;
+    auto add = [&](size_t i) {
+      if (i < lit.atom.arity() && lit.atom.args()[i].is_variable()) {
+        out.insert(lit.atom.args()[i].var_name());
+      }
+    };
+    if (sig->kind == RelationKind::kRelationship ||
+        sig->kind == RelationKind::kAsr) {
+      add(0);
+      add(1);
+    } else {
+      add(0);
+    }
+  }
+  return out;
+}
+
+/// True if `lit` has any variable outside `query_vars` (an unbound /
+/// quantified residue variable).
+bool HasUnboundVars(const Literal& lit, const std::set<std::string>& query_vars) {
+  std::vector<std::string> vars;
+  lit.atom.CollectVariables(&vars);
+  for (const std::string& v : vars) {
+    if (query_vars.count(v) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Consequence> Optimizer::ImpliedConsequences(
+    const Query& query) const {
+  // Memoized: the transformation search re-derives consequences for many
+  // closely related queries (restriction-removal probes each literal).
+  const std::string cache_key = query.CanonicalKey();
+  {
+    auto it = consequence_cache_.find(cache_key);
+    if (it != consequence_cache_.end()) return it->second;
+  }
+  std::vector<Consequence> out;
+  std::set<std::string> seen;
+  const solver::ConstraintSet qcs_set = QueryConstraints(query);
+  const solver::ConstraintSet::EqualityView qcs(qcs_set);
+  const auto& equalities = qcs;
+  const std::set<std::string> query_vars = query.VariableSet();
+
+  for (const Literal& anchor : query.body) {
+    if (!anchor.positive || !anchor.atom.is_predicate()) continue;
+    const std::vector<Residue>* residues =
+        compiled_->ResiduesFor(anchor.atom.predicate());
+    if (residues == nullptr) continue;
+    for (const Residue& residue : *residues) {
+      // Residues were renamed apart at compile time (reserved "_R" prefix);
+      // their variable sets are precomputed.
+      const Atom& template_atom = residue.template_atom;
+      const std::vector<Literal>& remainder = residue.remainder;
+      const std::set<std::string>& bindable = residue.variables;
+      Matcher matcher(bindable);
+      // Match modulo the query's own equality theory, so a key residue can
+      // align Name with Name2 when the query asserts Name = Name2 (§5.3).
+      matcher.set_frozen_equiv([&equalities](const Term& a, const Term& b) {
+        return equalities.Equal(a, b);
+      });
+      if (!matcher.MatchAtom(template_atom, anchor.atom)) continue;
+
+      MatchRemainder(remainder, 0, &matcher, query, qcs, bindable, [&]() {
+        Consequence c;
+        c.source = residue.source;
+        if (!residue.head.has_value()) {
+          c.is_denial = true;
+          c.literal = Literal::Pos(Atom::Comparison(
+              CmpOp::kNe, Term::Int(0), Term::Int(0)));  // canonical "false"
+        } else {
+          Literal inst = matcher.subst().ApplyToLiteral(*residue.head);
+          // Evaluable consequences must be fully instantiated, and
+          // reflexive ones (X = X from an FD residue matching one atom
+          // twice) carry no information.
+          if (inst.atom.is_comparison()) {
+            if (HasUnboundVars(inst, query_vars)) return;
+            if (inst.atom.lhs() == inst.atom.rhs() &&
+                (inst.atom.op() == CmpOp::kEq || inst.atom.op() == CmpOp::kLe ||
+                 inst.atom.op() == CmpOp::kGe)) {
+              return;
+            }
+          }
+          c.literal = std::move(inst);
+        }
+        std::string key = c.literal.ToString() + (c.is_denial ? "!" : "");
+        // Canonicalize unbound-variable names for dedup purposes only.
+        if (seen.insert(key).second) out.push_back(std::move(c));
+      });
+    }
+  }
+  if (consequence_cache_.size() > 4096) consequence_cache_.clear();
+  consequence_cache_.emplace(cache_key, out);
+  return out;
+}
+
+bool Optimizer::CheckContradiction(const Query& query,
+                                   const std::vector<Consequence>& consequences,
+                                   std::string* reason, Query* witness) const {
+  solver::ConstraintSet cs = QueryConstraints(query);
+  *witness = query;
+  if (!cs.Satisfiable()) {
+    *reason = "the query's own restrictions are unsatisfiable";
+    return true;
+  }
+  for (const Consequence& c : consequences) {
+    if (c.is_denial) {
+      *reason = "integrity constraint denial applies [" + c.source + "]";
+      return true;
+    }
+    if (!c.literal.positive || !c.literal.atom.is_comparison()) continue;
+    cs.Add(c.literal.atom);
+    witness->body.push_back(c.literal);
+    if (!cs.Satisfiable()) {
+      *reason = "restriction " + c.literal.atom.ToString() +
+                " implied by [" + c.source +
+                "] contradicts the query's restrictions";
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Rewriting> Optimizer::Neighbors(const Rewriting& base, bool additions,
+                                            bool reductions) const {
+  std::vector<Rewriting> out;
+  const Query& q = base.query;
+  const std::set<std::string> query_vars = q.VariableSet();
+  const std::set<std::string> object_vars =
+      ObjectPositionVars(q, compiled_->schema->catalog);
+  const solver::ConstraintSet qcs = QueryConstraints(q);
+  const std::vector<Consequence> consequences = ImpliedConsequences(q);
+  int counter = 0;
+
+  auto emit = [&](Query next, std::string step) {
+    // Identical conjuncts are idempotent; drop exact duplicates.
+    std::vector<Literal> dedup;
+    for (Literal& l : next.body) {
+      if (std::find(dedup.begin(), dedup.end(), l) == dedup.end()) {
+        dedup.push_back(std::move(l));
+      }
+    }
+    next.body = std::move(dedup);
+    Rewriting r;
+    r.query = std::move(next);
+    r.derivation = base.derivation;
+    r.derivation.push_back(std::move(step));
+    out.push_back(std::move(r));
+  };
+
+  // T1: restriction addition; T2: scope reduction; T4: merges; T5: join
+  // introduction.
+  for (const Consequence& c : additions ? consequences
+                                        : std::vector<Consequence>{}) {
+    if (c.is_denial) continue;
+    const Literal& lit = c.literal;
+
+    if (lit.positive && lit.atom.is_comparison()) {
+      // Heuristic (§4.1 calls for transformation-search heuristics): an
+      // implied restriction is only promising if it interacts with the
+      // rest of the query — its variable already occurs in a comparison or
+      // in the projection. A bound on an otherwise-unused attribute can
+      // never prune anything (it is implied) but misleads cost models.
+      bool interacts = false;
+      {
+        std::vector<std::string> vars;
+        lit.atom.CollectVariables(&vars);
+        std::set<std::string> cmp_vars;
+        for (const Literal& ql : q.body) {
+          if (!ql.positive || !ql.atom.is_comparison()) continue;
+          std::vector<std::string> cv;
+          ql.atom.CollectVariables(&cv);
+          cmp_vars.insert(cv.begin(), cv.end());
+        }
+        for (const Term& t : q.head_args) {
+          if (t.is_variable()) cmp_vars.insert(t.var_name());
+        }
+        for (const std::string& v : vars) {
+          if (cmp_vars.count(v) > 0) interacts = true;
+        }
+        // Equalities between two object variables always interact: they
+        // enable OID-comparison plans and downstream removals (§5.3 Q').
+        if (lit.atom.op() == CmpOp::kEq && lit.atom.lhs().is_variable() &&
+            lit.atom.rhs().is_variable() &&
+            object_vars.count(lit.atom.lhs().var_name()) > 0 &&
+            object_vars.count(lit.atom.rhs().var_name()) > 0) {
+          interacts = true;
+        }
+      }
+      if (options_.add_restrictions && interacts && !qcs.Implies(lit.atom)) {
+        Query next = q;
+        next.body.push_back(lit);
+        emit(std::move(next),
+             "add restriction " + lit.atom.ToString() + " [" + c.source + "]");
+      }
+      // T4: key-implied variable merging (§5.3), for object variables.
+      if (options_.merge_equal_variables && lit.atom.op() == CmpOp::kEq &&
+          lit.atom.lhs().is_variable() && lit.atom.rhs().is_variable() &&
+          object_vars.count(lit.atom.lhs().var_name()) > 0 &&
+          object_vars.count(lit.atom.rhs().var_name()) > 0 &&
+          lit.atom.lhs() != lit.atom.rhs()) {
+        // Replace the variable that does not appear in the head, if
+        // possible, so projected attributes keep their names.
+        std::set<std::string> head_vars;
+        for (const Term& t : q.head_args) {
+          if (t.is_variable()) head_vars.insert(t.var_name());
+        }
+        std::string keep = lit.atom.lhs().var_name();
+        std::string drop = lit.atom.rhs().var_name();
+        if (head_vars.count(drop) > 0 && head_vars.count(keep) == 0) {
+          std::swap(keep, drop);
+        }
+        Substitution merge;
+        merge.Bind(drop, Term::Var(keep));
+        Query next = q.Substituted(merge);
+        // Drop duplicates and trivially-true comparisons produced by the
+        // merge (Z = W becomes Z = Z).
+        std::vector<Literal> dedup;
+        for (Literal& l : next.body) {
+          if (l.positive && l.atom.is_comparison() &&
+              l.atom.lhs() == l.atom.rhs() &&
+              (l.atom.op() == CmpOp::kEq || l.atom.op() == CmpOp::kLe ||
+               l.atom.op() == CmpOp::kGe)) {
+            continue;
+          }
+          if (std::find(dedup.begin(), dedup.end(), l) == dedup.end()) {
+            dedup.push_back(std::move(l));
+          }
+        }
+        next.body = std::move(dedup);
+        emit(std::move(next), "merge " + drop + " into " + keep +
+                                  " (implied " + lit.atom.ToString() + ") [" +
+                                  c.source + "]");
+      }
+      continue;
+    }
+
+    if (!lit.positive && lit.atom.is_predicate()) {
+      if (!options_.scope_reduction) continue;
+      // The excluded object must be named by the query.
+      if (lit.atom.args().empty() ||
+          !(lit.atom.args()[0].is_constant() ||
+            (lit.atom.args()[0].is_variable() &&
+             query_vars.count(lit.atom.args()[0].var_name()) > 0))) {
+        continue;
+      }
+      // Negative consequences: unbound head variables are universally
+      // quantified (contrapositive semantics). Beyond that, we keep only
+      // the OID argument and freshen every attribute position: under the
+      // attribute FDs a class tuple with this OID would have to agree with
+      // the already-matched attribute values, so "no tuple with these
+      // attributes" strengthens soundly to "no tuple with this OID at all"
+      // — exactly the paper's `x not in C` (§5.2).
+      Literal membership = lit;
+      if (membership.atom.arity() >= 1) {
+        std::vector<Term> args = membership.atom.args();
+        datalog::FreshVarGen wipe("_W" + std::to_string(++counter) + "_");
+        for (size_t ai = 1; ai < args.size(); ++ai) args[ai] = wipe.NextVar();
+        membership =
+            Literal(false, Atom::Pred(membership.atom.predicate(), std::move(args)));
+      }
+      Literal fresh = FreshenUnbound(membership, query_vars, &counter);
+      if (std::find(q.body.begin(), q.body.end(), fresh) != q.body.end()) {
+        continue;
+      }
+      // Skip if an equivalent negative literal (same predicate, same bound
+      // OID argument) is already present.
+      bool present = false;
+      for (const Literal& ql : q.body) {
+        if (!ql.positive && ql.atom.is_predicate() &&
+            ql.atom.predicate() == lit.atom.predicate() &&
+            !ql.atom.args().empty() && !lit.atom.args().empty() &&
+            ql.atom.args()[0] == lit.atom.args()[0]) {
+          present = true;
+          break;
+        }
+      }
+      if (present) continue;
+      Query next = q;
+      next.body.push_back(fresh);
+      emit(std::move(next),
+           "reduce scope: add " + fresh.ToString() + " [" + c.source + "]");
+      continue;
+    }
+
+    if (lit.positive && lit.atom.is_predicate()) {
+      if (!options_.join_introduction) continue;
+      const RelationSignature* sig =
+          compiled_->schema->catalog.Find(lit.atom.predicate());
+      if (sig == nullptr) continue;
+      if (!options_.introduce_class_atoms &&
+          sig->kind != RelationKind::kRelationship &&
+          sig->kind != RelationKind::kAsr) {
+        continue;
+      }
+      // Skip introducing the inverse of a relationship atom already in the
+      // query: the pair carries the same information, and stores maintain
+      // both directions of a declared inverse anyway.
+      if (sig->kind == RelationKind::kRelationship && lit.atom.arity() == 2) {
+        const odl::ResolvedRelationship* decl =
+            compiled_->schema->schema.FindRelationship(sig->owner,
+                                                       sig->display_name);
+        if (decl != nullptr && !decl->inverse.empty()) {
+          const std::string inv = sqo::ToLower(decl->inverse);
+          bool inverse_present = false;
+          for (const Literal& ql : q.body) {
+            if (ql.positive && ql.atom.is_predicate() &&
+                ql.atom.predicate() == inv && ql.atom.arity() == 2 &&
+                ql.atom.args()[0] == lit.atom.args()[1] &&
+                ql.atom.args()[1] == lit.atom.args()[0]) {
+              inverse_present = true;
+              break;
+            }
+          }
+          if (inverse_present) continue;
+        }
+      }
+      // Skip if an existing literal subsumes the consequence (match the
+      // consequence's unbound variables against it).
+      std::set<std::string> unbound;
+      {
+        std::vector<std::string> vars;
+        lit.atom.CollectVariables(&vars);
+        for (const std::string& v : vars) {
+          if (query_vars.count(v) == 0) unbound.insert(v);
+        }
+      }
+      bool present = false;
+      for (const Literal& ql : q.body) {
+        if (!ql.positive || !ql.atom.is_predicate()) continue;
+        Matcher m(unbound);
+        if (m.MatchAtom(lit.atom, ql.atom)) {
+          present = true;
+          break;
+        }
+      }
+      if (present) continue;
+      // Multiplicity gate: existential variables are safe only if the
+      // relation is functional from its bound arguments.
+      bool safe = unbound.empty();
+      if (!safe) {
+        auto bound_at = [&](size_t i) {
+          const Term& t = lit.atom.args()[i];
+          return t.is_constant() ||
+                 (t.is_variable() && query_vars.count(t.var_name()) > 0);
+        };
+        switch (sig->kind) {
+          case RelationKind::kClass:
+          case RelationKind::kStructure:
+            safe = bound_at(0);
+            break;
+          case RelationKind::kMethod: {
+            safe = true;
+            for (size_t i = 0; i + 1 < lit.atom.arity(); ++i) {
+              safe = safe && bound_at(i);
+            }
+            break;
+          }
+          case RelationKind::kRelationship:
+          case RelationKind::kAsr:
+            safe = (bound_at(0) && sig->functional_src_to_dst) ||
+                   (bound_at(1) && sig->functional_dst_to_src);
+            break;
+        }
+      }
+      if (!safe) continue;
+      Literal fresh = FreshenUnbound(lit, query_vars, &counter);
+      Query next = q;
+      next.body.push_back(fresh);
+      emit(std::move(next),
+           "introduce join " + fresh.atom.ToString() + " [" + c.source + "]");
+      continue;
+    }
+  }
+
+  // T3: restriction removal — a comparison implied by the rest of the query.
+  if (reductions && options_.remove_restrictions) {
+    for (size_t i = 0; i < q.body.size(); ++i) {
+      const Literal& lit = q.body[i];
+      if (!lit.positive || !lit.atom.is_comparison()) continue;
+      Query rest = q;
+      rest.body.erase(rest.body.begin() + static_cast<long>(i));
+      solver::ConstraintSet cs = QueryConstraints(rest);
+      bool implied = cs.Implies(lit.atom);
+      std::string via = "remaining restrictions";
+      if (!implied) {
+        for (const Consequence& c : ImpliedConsequences(rest)) {
+          if (c.is_denial || !c.literal.positive ||
+              !c.literal.atom.is_comparison()) {
+            continue;
+          }
+          cs.Add(c.literal.atom);
+        }
+        implied = cs.Implies(lit.atom);
+        via = "remaining restrictions plus implied consequences";
+      }
+      if (implied) {
+        emit(std::move(rest),
+             "remove redundant restriction " + lit.atom.ToString() + " (" + via +
+                 ")");
+      }
+    }
+  }
+
+  // T6: join elimination — a predicate literal implied by the rest.
+  if (reductions && options_.join_elimination) {
+    for (size_t i = 0; i < q.body.size(); ++i) {
+      const Literal& lit = q.body[i];
+      if (!lit.positive || !lit.atom.is_predicate()) continue;
+      const RelationSignature* sig =
+          compiled_->schema->catalog.Find(lit.atom.predicate());
+      if (sig == nullptr) continue;
+
+      // Solo variables: occur in this literal only (not in the head, not
+      // elsewhere in the body).
+      std::set<std::string> solo = LiteralVars(lit);
+      for (const Term& t : q.head_args) {
+        if (t.is_variable()) solo.erase(t.var_name());
+      }
+      for (size_t j = 0; j < q.body.size() && !solo.empty(); ++j) {
+        if (j == i) continue;
+        for (const std::string& v : LiteralVars(q.body[j])) solo.erase(v);
+      }
+
+      // Multiplicity gate, mirroring join introduction.
+      bool safe = solo.empty();
+      if (!safe) {
+        auto bound_at = [&](size_t pos) {
+          const Term& t = lit.atom.args()[pos];
+          return t.is_constant() ||
+                 (t.is_variable() && solo.count(t.var_name()) == 0);
+        };
+        switch (sig->kind) {
+          case RelationKind::kClass:
+          case RelationKind::kStructure:
+            safe = bound_at(0);
+            break;
+          case RelationKind::kMethod: {
+            safe = true;
+            for (size_t p = 0; p + 1 < lit.atom.arity(); ++p) {
+              safe = safe && bound_at(p);
+            }
+            break;
+          }
+          case RelationKind::kRelationship:
+          case RelationKind::kAsr:
+            safe = (bound_at(0) && sig->functional_src_to_dst) ||
+                   (bound_at(1) && sig->functional_dst_to_src);
+            break;
+        }
+      }
+      if (!safe) continue;
+
+      Query rest = q;
+      rest.body.erase(rest.body.begin() + static_cast<long>(i));
+      bool implied = false;
+      std::string source;
+      // A remaining literal that differs only in this literal's solo
+      // variables already implies it (the duplicate-atom case of §5.3
+      // after variable merging).
+      for (const Literal& other : rest.body) {
+        if (!other.positive || !other.atom.is_predicate()) continue;
+        Matcher m(solo);
+        if (m.MatchAtom(lit.atom, other.atom)) {
+          implied = true;
+          source = "subsumed by " + other.atom.ToString();
+          break;
+        }
+      }
+      if (!implied) {
+        for (const Consequence& c : ImpliedConsequences(rest)) {
+          if (c.is_denial || !c.literal.positive ||
+              !c.literal.atom.is_predicate()) {
+            continue;
+          }
+          Matcher m(solo);
+          if (m.MatchAtom(lit.atom, c.literal.atom)) {
+            implied = true;
+            source = c.source;
+            break;
+          }
+        }
+      }
+      if (implied) {
+        emit(std::move(rest), "eliminate join " + lit.atom.ToString() + " [" +
+                                  source + "]");
+      }
+    }
+  }
+
+  // T7: ASR folding — replace a matched relationship path by the ASR.
+  if (additions && options_.asr_rewriting) {
+    for (const AsrDefinition& asr : compiled_->asrs) {
+      const size_t k = asr.path.size();
+      // Candidate literal indexes per path position.
+      std::vector<std::vector<size_t>> cands(k);
+      for (size_t p = 0; p < k; ++p) {
+        for (size_t i = 0; i < q.body.size(); ++i) {
+          const Literal& lit = q.body[i];
+          if (lit.positive && lit.atom.is_predicate() &&
+              lit.atom.predicate() == asr.path[p] && lit.atom.arity() == 2) {
+            cands[p].push_back(i);
+          }
+        }
+        if (cands[p].empty()) break;
+      }
+      if (!cands.empty() && cands.back().empty()) continue;
+      bool any_empty = false;
+      for (const auto& c : cands) any_empty = any_empty || c.empty();
+      if (any_empty) continue;
+
+      // Backtracking over injective assignments with chained variables.
+      std::vector<size_t> chosen(k, 0);
+      std::function<void(size_t, Matcher*)> search = [&](size_t p,
+                                                         Matcher* matcher) {
+        if (p == k) {
+          // Emit one fold per valid cut: the path prefix r1..rc is removed
+          // and replaced by the ASR; the suffix is retained. cut == k is
+          // the full fold (§5.4 Q'); cut < k keeps suffix hops that bind
+          // head or shared variables, justified when every retained hop is
+          // functional from its target (§5.4 Q1' retains the one-to-one
+          // has_ta). Prefix interiors must be local to the removed atoms.
+          for (size_t cut = k; cut >= 1; --cut) {
+            bool suffix_ok = true;
+            for (size_t j = cut; j < k && suffix_ok; ++j) {
+              const RelationSignature* hop =
+                  compiled_->schema->catalog.Find(asr.path[j]);
+              suffix_ok = hop != nullptr && hop->functional_dst_to_src;
+            }
+            if (!suffix_ok) continue;
+            std::set<size_t> removed(chosen.begin(),
+                                     chosen.begin() + static_cast<long>(cut));
+            bool interiors_local = true;
+            for (size_t vi = 1; vi < cut && interiors_local; ++vi) {
+              Term bound = matcher->subst().Apply(Term::Var(asr.path_vars[vi]));
+              if (!bound.is_variable()) {
+                interiors_local = false;
+                break;
+              }
+              const std::string& v = bound.var_name();
+              for (const Term& t : q.head_args) {
+                if (t.is_variable() && t.var_name() == v) interiors_local = false;
+              }
+              for (size_t j = 0; j < q.body.size() && interiors_local; ++j) {
+                if (removed.count(j) > 0) continue;
+                if (LiteralVars(q.body[j]).count(v) > 0) interiors_local = false;
+              }
+            }
+            if (!interiors_local) continue;
+            Query next;
+            next.name = q.name;
+            next.head_args = q.head_args;
+            for (size_t j = 0; j < q.body.size(); ++j) {
+              if (removed.count(j) == 0) next.body.push_back(q.body[j]);
+            }
+            next.body.push_back(Literal::Pos(Atom::Pred(
+                asr.name,
+                {matcher->subst().Apply(Term::Var(asr.path_vars.front())),
+                 matcher->subst().Apply(Term::Var(asr.path_vars.back()))})));
+            emit(std::move(next),
+                 cut == k
+                     ? "fold path into access support relation " + asr.name
+                     : "fold path prefix (" + std::to_string(cut) +
+                           " hops) into access support relation " + asr.name);
+          }
+          return;
+        }
+        for (size_t idx : cands[p]) {
+          bool used = false;
+          for (size_t pp = 0; pp < p; ++pp) used = used || chosen[pp] == idx;
+          if (used) continue;
+          size_t mark = matcher->Mark();
+          Atom pattern = Atom::Pred(asr.path[p],
+                                    {Term::Var(asr.path_vars[p]),
+                                     Term::Var(asr.path_vars[p + 1])});
+          if (matcher->MatchAtom(pattern, q.body[idx].atom)) {
+            chosen[p] = idx;
+            search(p + 1, matcher);
+          }
+          matcher->RollbackTo(mark);
+        }
+      };
+      std::set<std::string> bindable(asr.path_vars.begin(), asr.path_vars.end());
+      Matcher matcher(bindable);
+      search(0, &matcher);
+    }
+  }
+
+  return out;
+}
+
+Rewriting Optimizer::ReduceToFixpoint(Rewriting base) const {
+  // Reductions strictly shrink the body, so this terminates.
+  for (size_t guard = 0; guard < 64; ++guard) {
+    std::vector<Rewriting> reduced =
+        Neighbors(base, /*additions=*/false, /*reductions=*/true);
+    if (reduced.empty()) break;
+    base = std::move(reduced.front());
+  }
+  return base;
+}
+
+sqo::Result<OptimizationOutcome> Optimizer::Optimize(const Query& query) const {
+  OptimizationOutcome outcome;
+
+  if (options_.detect_contradictions) {
+    std::vector<Consequence> consequences = ImpliedConsequences(query);
+    if (CheckContradiction(query, consequences, &outcome.contradiction_reason,
+                           &outcome.contradiction_witness)) {
+      outcome.contradiction = true;
+      Rewriting original;
+      original.query = query;
+      outcome.equivalents.push_back(std::move(original));
+      return outcome;
+    }
+  }
+
+  // Bounded breadth-first search over rewritings, deduplicated by
+  // canonical form.
+  std::set<std::string> seen;
+  std::deque<std::pair<Rewriting, int>> frontier;
+  Rewriting original;
+  original.query = query;
+  seen.insert(query.CanonicalKey());
+  outcome.equivalents.push_back(original);
+  frontier.emplace_back(std::move(original), 0);
+
+  while (!frontier.empty() &&
+         outcome.equivalents.size() < options_.max_alternatives) {
+    auto [current, depth] = std::move(frontier.front());
+    frontier.pop_front();
+    if (depth >= options_.max_depth) continue;
+    for (Rewriting& next : Neighbors(current, /*additions=*/true,
+                                     /*reductions=*/true)) {
+      std::string key = next.query.CanonicalKey();
+      if (!seen.insert(key).second) continue;
+      outcome.equivalents.push_back(next);
+      if (outcome.equivalents.size() >= options_.max_alternatives) break;
+      frontier.emplace_back(std::move(next), depth + 1);
+    }
+  }
+
+  // Normalize: reduce every alternative to a removal fixpoint, bypassing
+  // the depth bound for monotonically shrinking chains (§5.3's
+  // merge → drop attribute join → drop duplicate atom).
+  if (options_.reduce_to_fixpoint) {
+    const size_t n = outcome.equivalents.size();
+    for (size_t i = 0; i < n; ++i) {
+      Rewriting reduced = ReduceToFixpoint(outcome.equivalents[i]);
+      std::string key = reduced.query.CanonicalKey();
+      if (seen.insert(key).second) {
+        outcome.equivalents.push_back(std::move(reduced));
+      }
+    }
+  }
+  return outcome;
+}
+
+}  // namespace sqo::core

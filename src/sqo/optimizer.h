@@ -1,0 +1,117 @@
+#ifndef SQO_SQO_OPTIMIZER_H_
+#define SQO_SQO_OPTIMIZER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/clause.h"
+#include "solver/constraint_set.h"
+#include "sqo/semantic_compiler.h"
+
+namespace sqo::core {
+
+/// Knobs for Step 3. Each transformation family can be toggled; depth
+/// bounds the chaining of transformations (e.g. §5.4's join introduction
+/// followed by ASR folding needs depth ≥ 2).
+struct OptimizerOptions {
+  int max_depth = 3;
+  size_t max_alternatives = 64;
+
+  bool detect_contradictions = true;  // §5.1
+  bool add_restrictions = true;       // restriction introduction
+  bool remove_restrictions = true;    // redundant-restriction elimination
+  bool scope_reduction = true;        // §5.2: ¬subclass literals
+  bool merge_equal_variables = true;  // §5.3: key-implied OID merging
+  bool join_introduction = true;      // §5.4: implied predicate addition
+  bool join_elimination = true;       // implied predicate removal
+  bool asr_rewriting = true;          // §5.4: path folding into ASRs
+
+  /// Also introduce implied class/structure/method atoms (upcasts, struct
+  /// lookups). Sound but rarely profitable; off by default to keep the
+  /// search space focused on relationship/ASR introductions.
+  bool introduce_class_atoms = false;
+
+  /// After the bounded search, reduce every alternative to a fixpoint of
+  /// the removal transformations (redundant restrictions, implied joins),
+  /// bypassing the depth bound for monotonically shrinking chains.
+  bool reduce_to_fixpoint = true;
+};
+
+/// One semantically equivalent rewriting of the input query, with a
+/// human-readable log of the transformations that produced it.
+struct Rewriting {
+  datalog::Query query;
+  std::vector<std::string> derivation;
+};
+
+/// The result of Step 3. If `contradiction` is set the query is
+/// unsatisfiable under the integrity constraints: it need not be evaluated
+/// at all, and `contradiction_witness` is the augmented query exhibiting
+/// the conflict (the paper's Q' with both V < 1000 and V > 3000).
+struct OptimizationOutcome {
+  bool contradiction = false;
+  std::string contradiction_reason;
+  datalog::Query contradiction_witness;
+
+  /// Equivalent queries; index 0 is always the (unmodified) input.
+  std::vector<Rewriting> equivalents;
+};
+
+/// A consequence implied by the query under the compiled residues: the
+/// instantiated residue head. Variables that remained unbound after
+/// matching (existentials of the IC head) keep their canonical `_R`-prefix
+/// names; transformations rename them apart from the query when adding.
+struct Consequence {
+  datalog::Literal literal;
+  std::string source;      // originating IC label
+  bool is_denial = false;  // residue head was `false`
+
+  std::string ToString() const;
+};
+
+/// The Step-3 semantic optimizer: applies compiled residues to a query,
+/// derives implied consequences, and searches the (bounded) space of
+/// equivalent rewritings.
+class Optimizer {
+ public:
+  explicit Optimizer(const CompiledSchema* compiled, OptimizerOptions options = {})
+      : compiled_(compiled), options_(options) {}
+
+  /// Runs the full Step-3 search on `query`.
+  sqo::Result<OptimizationOutcome> Optimize(const datalog::Query& query) const;
+
+  /// Applies every attached residue to `query` and returns the implied
+  /// consequences. Exposed for tests and diagnostics.
+  std::vector<Consequence> ImpliedConsequences(const datalog::Query& query) const;
+
+ private:
+  /// Single-step rewritings of `base`. `additions` enables the growing
+  /// transformations (restriction/join/scope additions, merges, ASR folds);
+  /// `reductions` the shrinking ones (restriction removal, join
+  /// elimination).
+  std::vector<Rewriting> Neighbors(const Rewriting& base, bool additions,
+                                   bool reductions) const;
+
+  /// Applies reductions greedily until none applies.
+  Rewriting ReduceToFixpoint(Rewriting base) const;
+
+  /// True if the query's own comparisons plus its implied evaluable
+  /// consequences are jointly unsatisfiable; fills reason/witness.
+  bool CheckContradiction(const datalog::Query& query,
+                          const std::vector<Consequence>& consequences,
+                          std::string* reason,
+                          datalog::Query* witness) const;
+
+  const CompiledSchema* compiled_;
+  OptimizerOptions options_;
+
+  /// Memo for ImpliedConsequences, keyed by canonical query form. The
+  /// optimizer is not thread-safe; use one instance per thread.
+  mutable std::map<std::string, std::vector<Consequence>> consequence_cache_;
+};
+
+}  // namespace sqo::core
+
+#endif  // SQO_SQO_OPTIMIZER_H_

@@ -1,0 +1,135 @@
+#include "sqo/pipeline.h"
+
+#include "datalog/parser.h"
+#include "odl/parser.h"
+#include "oql/parser.h"
+
+namespace sqo::core {
+
+sqo::Result<Pipeline> Pipeline::Create(std::string_view odl_text,
+                                       std::string_view ic_text,
+                                       std::vector<AsrDefinition> asrs,
+                                       PipelineOptions options) {
+  Pipeline pipeline;
+  pipeline.options_ = options;
+
+  // Step 1: ODL → resolved schema → DATALOG schema + structural ICs.
+  SQO_ASSIGN_OR_RETURN(odl::SchemaAst ast, odl::ParseOdl(odl_text));
+  SQO_ASSIGN_OR_RETURN(odl::Schema schema, odl::Schema::Resolve(ast));
+  SQO_ASSIGN_OR_RETURN(translate::TranslatedSchema translated,
+                       translate::TranslateSchema(schema));
+  pipeline.schema_ = std::make_unique<translate::TranslatedSchema>(
+      std::move(translated));
+
+  // Access support relations extend the catalog before IC parsing so ICs
+  // may mention them.
+  std::vector<AsrDefinition> registry;
+  for (AsrDefinition& def : asrs) {
+    SQO_RETURN_IF_ERROR(
+        RegisterAsr(std::move(def), pipeline.schema_.get(), &registry));
+  }
+
+  // User ICs in the DATALOG dialect, resolved against the catalog for
+  // named-argument atoms.
+  SQO_ASSIGN_OR_RETURN(std::vector<datalog::Clause> user_ics,
+                       datalog::ParseProgram(ic_text,
+                                             &pipeline.schema_->catalog));
+
+  // ASR view definitions participate as ICs in both directions: the view
+  // implies its path (for unfold-style reasoning) and the path implies the
+  // view (fold). The fold direction is handled structurally by the
+  // optimizer's T7; the unfold direction is expressed as an IC so residues
+  // can chain through ASRs.
+  for (const AsrDefinition& def : registry) {
+    user_ics.push_back(def.view);
+  }
+
+  SQO_ASSIGN_OR_RETURN(
+      CompiledSchema compiled,
+      CompileSemantics(pipeline.schema_.get(), std::move(user_ics),
+                       std::move(registry), options.compiler));
+  pipeline.compiled_ = std::move(compiled);
+  return pipeline;
+}
+
+sqo::Result<PipelineResult> Pipeline::OptimizeText(
+    std::string_view oql_text, const CostModel* cost_model) const {
+  SQO_ASSIGN_OR_RETURN(oql::SelectQuery parsed, oql::ParseOql(oql_text));
+  return OptimizeParsed(parsed, cost_model);
+}
+
+sqo::Result<DisjunctiveResult> Pipeline::OptimizeDisjunctiveText(
+    std::string_view oql_text, const CostModel* cost_model) const {
+  SQO_ASSIGN_OR_RETURN(std::vector<oql::SelectQuery> disjuncts,
+                       oql::ParseOqlDisjunctive(oql_text));
+  DisjunctiveResult result;
+  for (size_t i = 0; i < disjuncts.size(); ++i) {
+    SQO_ASSIGN_OR_RETURN(PipelineResult one,
+                         OptimizeParsed(disjuncts[i], cost_model));
+    if (!one.contradiction) result.live.push_back(i);
+    result.disjuncts.push_back(std::move(one));
+  }
+  return result;
+}
+
+sqo::Result<PipelineResult> Pipeline::OptimizeParsed(
+    const oql::SelectQuery& query, const CostModel* cost_model) const {
+  PipelineResult result;
+  result.original_oql = query;
+
+  // Step 2.
+  SQO_ASSIGN_OR_RETURN(translate::TranslatedQuery translated,
+                       translate::TranslateQuery(*schema_, query));
+  result.original_datalog = translated.query;
+  result.map = translated.map;
+
+  // Step 3.
+  Optimizer optimizer(&compiled_, options_.optimizer);
+  SQO_ASSIGN_OR_RETURN(OptimizationOutcome outcome,
+                       optimizer.Optimize(translated.query));
+
+  if (outcome.contradiction) {
+    result.contradiction = true;
+    result.contradiction_reason = outcome.contradiction_reason;
+    result.contradiction_witness = outcome.contradiction_witness;
+  }
+
+  // Step 4 per equivalent query.
+  translate::ChangeMapper mapper(schema_.get(), &result.map);
+  for (const Rewriting& rewriting : outcome.equivalents) {
+    Alternative alt;
+    alt.datalog = rewriting.query;
+    alt.derivation = rewriting.derivation;
+    if (rewriting.derivation.empty()) {
+      // The original: Step 4 is the identity.
+      alt.oql_ok = true;
+      alt.oql = query;
+    } else {
+      sqo::Result<oql::SelectQuery> mapped =
+          mapper.Apply(query, translated.query, rewriting.query);
+      if (mapped.ok()) {
+        alt.oql_ok = true;
+        alt.oql = std::move(mapped).value();
+      } else {
+        alt.oql_error = mapped.status().ToString();
+      }
+    }
+    if (cost_model != nullptr) {
+      alt.cost = cost_model->EstimateCost(alt.datalog);
+    }
+    result.alternatives.push_back(std::move(alt));
+  }
+
+  if (cost_model != nullptr && !result.alternatives.empty()) {
+    int best = 0;
+    for (size_t i = 1; i < result.alternatives.size(); ++i) {
+      if (result.alternatives[i].cost < result.alternatives[best].cost) {
+        best = static_cast<int>(i);
+      }
+    }
+    result.best_index = best;
+  }
+  return result;
+}
+
+}  // namespace sqo::core

@@ -1,0 +1,127 @@
+#ifndef SQO_SQO_PIPELINE_H_
+#define SQO_SQO_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "oql/ast.h"
+#include "sqo/optimizer.h"
+#include "sqo/semantic_compiler.h"
+#include "translate/change_mapper.h"
+#include "translate/query_translator.h"
+
+namespace sqo::core {
+
+/// Interface used to rank semantically equivalent queries. The paper
+/// defers the choice to "a cost-based physical optimizer"; the engine
+/// module provides an implementation backed by database statistics.
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+
+  /// Estimated evaluation cost of `query` (lower is better).
+  virtual double EstimateCost(const datalog::Query& query) const = 0;
+};
+
+struct PipelineOptions {
+  CompilerOptions compiler;
+  OptimizerOptions optimizer;
+};
+
+/// One semantically equivalent query produced by the pipeline: the DATALOG
+/// form, the transformation log, and — when Step 4 succeeded — the
+/// corresponding OQL query with constructors preserved.
+struct Alternative {
+  datalog::Query datalog;
+  std::vector<std::string> derivation;
+
+  bool oql_ok = false;
+  oql::SelectQuery oql;   // meaningful iff oql_ok
+  std::string oql_error;  // set when Step 4 could not map the changes
+
+  double cost = 0.0;  // filled when a cost model was supplied
+};
+
+/// Full result of optimizing one query through Figure 2.
+struct PipelineResult {
+  oql::SelectQuery original_oql;
+  datalog::Query original_datalog;
+  translate::TranslationMap map;
+
+  /// When set, the query is unsatisfiable under the ICs and need not be
+  /// evaluated at all (§5.1).
+  bool contradiction = false;
+  std::string contradiction_reason;
+  datalog::Query contradiction_witness;
+
+  /// Equivalent queries; index 0 is the original.
+  std::vector<Alternative> alternatives;
+
+  /// Index of the cheapest alternative under the supplied cost model
+  /// (0 when no model was given).
+  int best_index = 0;
+};
+
+/// Result of optimizing a disjunctive (union-of-conjunctive) query: one
+/// PipelineResult per disjunct. A disjunct whose restrictions contradict
+/// the integrity constraints contributes nothing to the union and is
+/// *eliminated* — the disjunctive analogue of §5.1's contradiction
+/// detection. `live` indexes the surviving disjuncts; evaluate those and
+/// union (set semantics) for the full answer.
+struct DisjunctiveResult {
+  std::vector<PipelineResult> disjuncts;
+  std::vector<size_t> live;
+
+  bool all_eliminated() const { return live.empty(); }
+};
+
+
+/// The end-to-end optimizer of Figure 2: ODL schema + ICs in, per-query
+/// OQL → optimized OQL out.
+///
+///   Pipeline::Create(odl, ics, asrs)   — Steps 1 + semantic compilation
+///   pipeline.OptimizeText(oql, &cost)  — Steps 2, 3, 4 per query
+class Pipeline {
+ public:
+  /// Builds a pipeline from ODL text and integrity-constraint text (the
+  /// DATALOG dialect of datalog::Parser, which may include `monotone` /
+  /// `point` method facts). ASR definitions need only `name`,
+  /// `display_name` and `path`.
+  static sqo::Result<Pipeline> Create(std::string_view odl_text,
+                                      std::string_view ic_text,
+                                      std::vector<AsrDefinition> asrs = {},
+                                      PipelineOptions options = {});
+
+  /// Optimizes a single OQL query given as text.
+  sqo::Result<PipelineResult> OptimizeText(std::string_view oql_text,
+                                           const CostModel* cost_model = nullptr) const;
+
+  /// Optimizes an already-parsed OQL query.
+  sqo::Result<PipelineResult> OptimizeParsed(const oql::SelectQuery& query,
+                                             const CostModel* cost_model = nullptr) const;
+
+  /// Optimizes a query whose where clause may use `or`: each disjunct is
+  /// optimized independently and contradictory disjuncts are eliminated.
+  sqo::Result<DisjunctiveResult> OptimizeDisjunctiveText(
+      std::string_view oql_text, const CostModel* cost_model = nullptr) const;
+
+  const translate::TranslatedSchema& schema() const { return *schema_; }
+  const CompiledSchema& compiled() const { return compiled_; }
+  const PipelineOptions& options() const { return options_; }
+
+ private:
+  Pipeline() = default;
+
+  // unique_ptr: CompiledSchema holds a pointer into the translated schema,
+  // so its address must be stable across moves of the Pipeline.
+  std::unique_ptr<translate::TranslatedSchema> schema_;
+  CompiledSchema compiled_;
+  PipelineOptions options_;
+};
+
+}  // namespace sqo::core
+
+#endif  // SQO_SQO_PIPELINE_H_

@@ -1,0 +1,66 @@
+#ifndef SQO_SQO_SEMANTIC_COMPILER_H_
+#define SQO_SQO_SEMANTIC_COMPILER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sqo/asr.h"
+#include "sqo/ic_inference.h"
+#include "sqo/residue.h"
+#include "translate/schema_translator.h"
+
+namespace sqo::core {
+
+/// The output of the semantic compilation phase (paper §2): every
+/// integrity constraint — schema-generated, user-declared and inference-
+/// derived — partially subsumed against every relation it mentions, with
+/// the resulting residues attached to their relations. Computed once per
+/// schema, before any queries are posed.
+struct CompiledSchema {
+  /// Non-owning; must outlive the compiled schema.
+  const translate::TranslatedSchema* schema = nullptr;
+
+  /// All constraints: schema + user + derived (in that order).
+  std::vector<datalog::Clause> all_ics;
+
+  /// Residues indexed by the relation they are attached to.
+  std::map<std::string, std::vector<Residue>> residues;
+
+  /// Registered access support relations.
+  std::vector<AsrDefinition> asrs;
+
+  const std::vector<Residue>* ResiduesFor(const std::string& relation) const {
+    auto it = residues.find(relation);
+    return it == residues.end() ? nullptr : &it->second;
+  }
+
+  size_t total_residues() const;
+
+  /// Multi-line dump of every attached residue, for diagnostics.
+  std::string ToString() const;
+};
+
+struct CompilerOptions {
+  /// Run bounded IC inference before residue computation.
+  bool run_inference = true;
+  InferenceOptions inference;
+
+  /// Drop residues whose head is trivially true (e.g. `T = T ←`, produced
+  /// by degenerate subsumption-tree leaves of FD constraints).
+  bool drop_trivial = true;
+};
+
+/// Compiles the semantic knowledge: runs IC inference (optional), then
+/// computes residues of every constraint against every relation occurring
+/// in its body. `user_ics` may contain `monotone`/`point` method facts in
+/// their textual form; they are extracted and fed to inference.
+sqo::Result<CompiledSchema> CompileSemantics(
+    const translate::TranslatedSchema* schema,
+    std::vector<datalog::Clause> user_ics, std::vector<AsrDefinition> asrs,
+    const CompilerOptions& options = {});
+
+}  // namespace sqo::core
+
+#endif  // SQO_SQO_SEMANTIC_COMPILER_H_

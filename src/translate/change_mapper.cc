@@ -1,0 +1,284 @@
+#include "translate/change_mapper.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+
+namespace sqo::translate {
+
+using datalog::Atom;
+using datalog::Literal;
+using datalog::RelationKind;
+using datalog::RelationSignature;
+using datalog::Term;
+
+QueryDiff DiffQueries(const datalog::Query& original,
+                      const datalog::Query& optimized) {
+  QueryDiff diff;
+  std::vector<bool> matched_opt(optimized.body.size(), false);
+  for (const Literal& lit : original.body) {
+    bool found = false;
+    for (size_t j = 0; j < optimized.body.size(); ++j) {
+      if (!matched_opt[j] && optimized.body[j] == lit) {
+        matched_opt[j] = true;
+        found = true;
+        break;
+      }
+    }
+    if (!found) diff.removed.push_back(lit);
+  }
+  for (size_t j = 0; j < optimized.body.size(); ++j) {
+    if (!matched_opt[j]) diff.added.push_back(optimized.body[j]);
+  }
+  return diff;
+}
+
+namespace {
+
+/// Finds the ODL-cased spelling of a lower-cased attribute for rendering.
+std::string DisplayAttr(const TranslatedSchema& schema,
+                        const RelationSignature& sig, size_t pos) {
+  const std::string& lower = sig.attributes[pos];
+  const odl::ClassInfo* cls = schema.schema.FindClass(sig.owner);
+  if (cls != nullptr) {
+    for (const odl::ResolvedAttribute& a : cls->all_attributes) {
+      if (sqo::ToLower(a.name) == lower) return a.name;
+    }
+  }
+  const odl::StructInfo* st = schema.schema.FindStruct(sig.owner);
+  if (st != nullptr) {
+    for (const odl::ResolvedAttribute& f : st->fields) {
+      if (sqo::ToLower(f.name) == lower) return f.name;
+    }
+  }
+  return lower;
+}
+
+/// Allocates a fresh OQL identifier not colliding with existing ones.
+std::string FreshIdent(const TranslationMap& map,
+                       const std::map<std::string, std::string>& extra) {
+  std::set<std::string> taken;
+  for (const auto& [ident, var] : map.ident_to_var) taken.insert(ident);
+  for (const auto& [var, ident] : extra) taken.insert(ident);
+  for (int i = 1;; ++i) {
+    std::string cand = "w" + std::to_string(i);
+    if (taken.count(cand) == 0) return cand;
+  }
+}
+
+}  // namespace
+
+sqo::Result<oql::Expr> ChangeMapper::RenderTerm(
+    const Term& term, const datalog::Query& optimized,
+    std::map<std::string, std::string>* extra_idents) const {
+  if (term.is_constant()) return oql::Expr::Literal(term.constant());
+  const std::string& var = term.var_name();
+  auto it = map_->var_to_ident.find(var);
+  if (it != map_->var_to_ident.end()) return oql::Expr::Ident(it->second);
+  auto extra_it = extra_idents->find(var);
+  if (extra_it != extra_idents->end()) return oql::Expr::Ident(extra_it->second);
+
+  // Locate the variable inside a class / structure / method atom of the
+  // query, as ALGORITHM DATALOG_to_OQL prescribes.
+  for (const Literal& lit : optimized.body) {
+    if (!lit.positive || !lit.atom.is_predicate()) continue;
+    const RelationSignature* sig = schema_->catalog.Find(lit.atom.predicate());
+    if (sig == nullptr) continue;
+    for (size_t pos = 1; pos < lit.atom.arity(); ++pos) {
+      const Term& arg = lit.atom.args()[pos];
+      if (!arg.is_variable() || arg.var_name() != var) continue;
+      // Owner identifier from the receiver / OID position.
+      const Term& owner = lit.atom.args()[0];
+      if (!owner.is_variable()) continue;
+      std::string owner_ident;
+      auto oit = map_->var_to_ident.find(owner.var_name());
+      if (oit != map_->var_to_ident.end()) {
+        owner_ident = oit->second;
+      } else {
+        auto eit = extra_idents->find(owner.var_name());
+        if (eit == extra_idents->end()) continue;
+        owner_ident = eit->second;
+      }
+      if (sig->kind == RelationKind::kClass ||
+          sig->kind == RelationKind::kStructure) {
+        oql::PathStep step;
+        step.name = DisplayAttr(*schema_, *sig, pos);
+        return oql::Expr::Path(owner_ident, {std::move(step)});
+      }
+      if (sig->kind == RelationKind::kMethod && pos == sig->arity() - 1) {
+        // Render the method-call expression with its argument terms.
+        oql::PathStep step;
+        step.name = sig->display_name.empty() ? sig->name : sig->display_name;
+        std::vector<oql::Expr> args;
+        for (size_t ai = 1; ai + 1 < lit.atom.arity(); ++ai) {
+          SQO_ASSIGN_OR_RETURN(
+              oql::Expr arg,
+              RenderTerm(lit.atom.args()[ai], optimized, extra_idents));
+          args.push_back(std::move(arg));
+        }
+        step.call_args = std::move(args);
+        return oql::Expr::Path(owner_ident, {std::move(step)});
+      }
+    }
+  }
+  return sqo::InternalError("cannot render DATALOG variable '" + var +
+                            "' as an OQL expression");
+}
+
+sqo::Result<oql::SelectQuery> ChangeMapper::Apply(
+    const oql::SelectQuery& original_oql, const datalog::Query& original_datalog,
+    const datalog::Query& optimized) const {
+  oql::SelectQuery out = original_oql;
+  QueryDiff diff = DiffQueries(original_datalog, optimized);
+  std::map<std::string, std::string> extra_idents;  // var -> new identifier
+
+  // ---- Removals: resolve through provenance. ----
+  std::vector<bool> consumed(original_datalog.body.size(), false);
+  std::set<int> from_removals;
+  std::set<int> where_removals;
+  for (const Literal& lit : diff.removed) {
+    int body_index = -1;
+    for (size_t i = 0; i < original_datalog.body.size(); ++i) {
+      if (!consumed[i] && original_datalog.body[i] == lit) {
+        consumed[i] = true;
+        body_index = static_cast<int>(i);
+        break;
+      }
+    }
+    if (body_index < 0) {
+      return sqo::InternalError("removed literal not found in original query: " +
+                                lit.ToString());
+    }
+    auto fit = map_->body_to_from.find(body_index);
+    if (fit != map_->body_to_from.end()) {
+      from_removals.insert(fit->second);
+      continue;
+    }
+    auto wit = map_->body_to_where.find(body_index);
+    if (wit != map_->body_to_where.end()) {
+      where_removals.insert(wit->second);
+      continue;
+    }
+    // Implicit literal (lazy class atom, flattening step, method atom):
+    // nothing to edit on the OQL surface.
+  }
+
+  // ---- Additions. Class atoms first (they may introduce identifiers),
+  // then relationships/ASRs, then evaluable atoms. ----
+  auto rank = [&](const Literal& lit) {
+    if (lit.atom.is_comparison()) return 2;
+    const RelationSignature* sig = schema_->catalog.Find(lit.atom.predicate());
+    if (sig != nullptr && (sig->kind == RelationKind::kClass ||
+                           sig->kind == RelationKind::kStructure)) {
+      return 0;
+    }
+    return 1;
+  };
+  std::stable_sort(diff.added.begin(), diff.added.end(),
+                   [&](const Literal& a, const Literal& b) {
+                     return rank(a) < rank(b);
+                   });
+
+  std::vector<oql::FromEntry> new_from;
+  std::vector<oql::Predicate> new_where;
+
+  for (const Literal& lit : diff.added) {
+    if (lit.atom.is_comparison()) {
+      SQO_ASSIGN_OR_RETURN(oql::Expr lhs,
+                           RenderTerm(lit.atom.lhs(), optimized, &extra_idents));
+      SQO_ASSIGN_OR_RETURN(oql::Expr rhs,
+                           RenderTerm(lit.atom.rhs(), optimized, &extra_idents));
+      new_where.push_back(
+          oql::Predicate::Comparison(std::move(lhs), lit.atom.op(), std::move(rhs)));
+      continue;
+    }
+    const RelationSignature* sig = schema_->catalog.Find(lit.atom.predicate());
+    if (sig == nullptr) {
+      return sqo::InternalError("added literal over unknown relation: " +
+                                lit.ToString());
+    }
+    auto ident_of = [&](const Term& t) -> std::string {
+      if (!t.is_variable()) return "";
+      auto vit = map_->var_to_ident.find(t.var_name());
+      if (vit != map_->var_to_ident.end()) return vit->second;
+      auto eit = extra_idents.find(t.var_name());
+      if (eit != extra_idents.end()) return eit->second;
+      return "";
+    };
+
+    switch (sig->kind) {
+      case RelationKind::kClass:
+      case RelationKind::kStructure: {
+        const Term& oid = lit.atom.args()[0];
+        if (!oid.is_variable()) {
+          return sqo::UnsupportedError("cannot map ground class atom: " +
+                                       lit.ToString());
+        }
+        std::string ident = ident_of(oid);
+        const std::string& type_name =
+            sig->display_name.empty() ? sig->name : sig->display_name;
+        if (ident.empty()) {
+          if (!lit.positive) {
+            return sqo::UnsupportedError(
+                "negated class atom over an unbound variable: " + lit.ToString());
+          }
+          ident = FreshIdent(*map_, extra_idents);
+          extra_idents[oid.var_name()] = ident;
+        }
+        new_from.push_back(oql::FromEntry::Range(
+            ident, oql::Expr::Ident(type_name), lit.positive));
+        break;
+      }
+      case RelationKind::kRelationship:
+      case RelationKind::kAsr: {
+        const Term& src = lit.atom.args()[0];
+        const Term& dst = lit.atom.args()[1];
+        std::string src_ident = src.is_variable() ? ident_of(src) : "";
+        if (src_ident.empty()) {
+          return sqo::UnsupportedError(
+              "relationship addition needs a bound source: " + lit.ToString());
+        }
+        oql::PathStep step;
+        step.name = sig->display_name.empty() ? sig->name : sig->display_name;
+        oql::Expr domain = oql::Expr::Path(src_ident, {std::move(step)});
+        std::string dst_ident = dst.is_variable() ? ident_of(dst) : "";
+        if (dst_ident.empty() && dst.is_variable()) {
+          // Fresh target: declare a new range (paper: "Add Y in X.R").
+          dst_ident = FreshIdent(*map_, extra_idents);
+          extra_idents[dst.var_name()] = dst_ident;
+          new_from.push_back(oql::FromEntry::Range(dst_ident, std::move(domain),
+                                                   lit.positive));
+        } else {
+          // Already-bound target: express membership in the where clause.
+          SQO_ASSIGN_OR_RETURN(oql::Expr elem,
+                               RenderTerm(dst, optimized, &extra_idents));
+          new_where.push_back(oql::Predicate::Membership(
+              std::move(elem), std::move(domain), lit.positive));
+        }
+        break;
+      }
+      case RelationKind::kMethod:
+        return sqo::UnsupportedError("cannot map bare method atom addition: " +
+                                     lit.ToString());
+    }
+  }
+
+  // Apply removals (descending index so positions stay valid), then append
+  // additions.
+  for (auto it = from_removals.rbegin(); it != from_removals.rend(); ++it) {
+    if (*it >= 0 && *it < static_cast<int>(out.from.size())) {
+      out.from.erase(out.from.begin() + *it);
+    }
+  }
+  for (auto it = where_removals.rbegin(); it != where_removals.rend(); ++it) {
+    if (*it >= 0 && *it < static_cast<int>(out.where.size())) {
+      out.where.erase(out.where.begin() + *it);
+    }
+  }
+  for (oql::FromEntry& f : new_from) out.from.push_back(std::move(f));
+  for (oql::Predicate& p : new_where) out.where.push_back(std::move(p));
+  return out;
+}
+
+}  // namespace sqo::translate

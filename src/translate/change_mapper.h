@@ -1,0 +1,71 @@
+#ifndef SQO_TRANSLATE_CHANGE_MAPPER_H_
+#define SQO_TRANSLATE_CHANGE_MAPPER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/clause.h"
+#include "oql/ast.h"
+#include "translate/query_translator.h"
+#include "translate/schema_translator.h"
+
+namespace sqo::translate {
+
+/// The literal-level difference between the original DATALOG query and an
+/// optimized equivalent ("the only changes that can be made in a DATALOG
+/// query are the addition or removal of one or more literals", §4.3).
+struct QueryDiff {
+  std::vector<datalog::Literal> removed;
+  std::vector<datalog::Literal> added;
+
+  bool empty() const { return removed.empty() && added.empty(); }
+};
+
+/// Computes the multiset difference between two query bodies.
+QueryDiff DiffQueries(const datalog::Query& original,
+                      const datalog::Query& optimized);
+
+/// Step 4 (ALGORITHM DATALOG_to_OQL): maps DATALOG query modifications back
+/// onto the *original* OQL query, preserving extralogical features such as
+/// constructors. The mapping rules:
+///
+///   evaluable atom  X θ Y / A θ k / A θ B  →  add/remove in `where`
+///   c(X,...)                               →  add/remove `x in C` in `from`
+///   ¬c(X,...)                              →  add/remove `x not in C`
+///   r(X,Y)                                 →  add/remove `y in x.R` in `from`
+///   ¬r(X,Y)                                →  add/remove `y not in x.R`
+///
+/// Attribute variables are rendered by locating them inside a class /
+/// structure / method atom of the optimized query (as the paper's algorithm
+/// prescribes); OID variables render through the translation map. Literals
+/// whose class/relationship atoms never surfaced in the OQL text (they were
+/// added implicitly by path flattening) require no surface edit when
+/// removed. Access-support-relation atoms map to ranges over the ASR's
+/// virtual relationship name (an OQL extension; see DESIGN.md).
+class ChangeMapper {
+ public:
+  ChangeMapper(const TranslatedSchema* schema, const TranslationMap* map)
+      : schema_(schema), map_(map) {}
+
+  /// Applies the optimized query's changes to `original_oql`, returning the
+  /// edited OQL query. `optimized` must share variable naming with the
+  /// original DATALOG query (the optimizer guarantees this).
+  sqo::Result<oql::SelectQuery> Apply(const oql::SelectQuery& original_oql,
+                                      const datalog::Query& original_datalog,
+                                      const datalog::Query& optimized) const;
+
+ private:
+  /// Renders a DATALOG term as an OQL expression, using `optimized` to
+  /// locate attribute variables inside atoms.
+  sqo::Result<oql::Expr> RenderTerm(const datalog::Term& term,
+                                    const datalog::Query& optimized,
+                                    std::map<std::string, std::string>* extra_idents) const;
+
+  const TranslatedSchema* schema_;
+  const TranslationMap* map_;
+};
+
+}  // namespace sqo::translate
+
+#endif  // SQO_TRANSLATE_CHANGE_MAPPER_H_

@@ -1,0 +1,558 @@
+#include "translate/query_translator.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace sqo::translate {
+
+using datalog::Atom;
+using datalog::CmpOp;
+using datalog::Literal;
+using datalog::RelationKind;
+using datalog::RelationSignature;
+using datalog::Term;
+
+namespace {
+
+/// "name" → "Name"; already-capitalized input is preserved.
+std::string Capitalize(const std::string& s) {
+  std::string out = s;
+  if (!out.empty()) {
+    out[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(out[0])));
+  }
+  return out;
+}
+
+bool IsPlaceholder(const Term& t) {
+  return t.is_variable() && sqo::StartsWith(t.var_name(), "_Q");
+}
+
+}  // namespace
+
+sqo::Status QueryTranslator::DefineIdent(const std::string& ident,
+                                         const std::string& type_name,
+                                         bool synthetic) {
+  if (idents_.count(ident) > 0) {
+    return sqo::SemanticError("range variable '" + ident + "' defined twice");
+  }
+  IdentInfo info;
+  info.type_name = type_name;
+  info.oid_var = AllocVar(ident);
+  var_names_[info.oid_var] = ident;
+  if (synthetic) synthetic_.insert(ident);
+  idents_.emplace(ident, std::move(info));
+  return sqo::Status::Ok();
+}
+
+std::string QueryTranslator::AllocVar(const std::string& base) {
+  std::string name = Capitalize(base);
+  if (used_vars_.count(name) == 0) {
+    used_vars_.insert(name);
+    return name;
+  }
+  for (int i = 2;; ++i) {
+    std::string cand = name + std::to_string(i);
+    if (used_vars_.count(cand) == 0) {
+      used_vars_.insert(cand);
+      return cand;
+    }
+  }
+}
+
+sqo::Status QueryTranslator::EnsureTypeAtom(const std::string& ident) {
+  IdentInfo& info = idents_.at(ident);
+  if (info.type_atom_added) return sqo::Status::Ok();
+  const std::string rel = schema_->RelationFor(info.type_name);
+  SQO_ASSIGN_OR_RETURN(const RelationSignature* sig, schema_->catalog.Get(rel));
+  std::vector<Term> args;
+  args.reserve(sig->arity());
+  args.push_back(Term::Var(info.oid_var));
+  for (size_t i = 1; i < sig->arity(); ++i) {
+    args.push_back(Term::Var("_Q" + std::to_string(++anon_counter_)));
+  }
+  info.type_atom_added = true;
+  info.type_atom_index = static_cast<int>(body_.size());
+  body_.push_back(Literal::Pos(Atom::Pred(rel, std::move(args))));
+  return sqo::Status::Ok();
+}
+
+sqo::Result<Term> QueryTranslator::AttrTerm(const std::string& ident,
+                                            const std::string& attr) {
+  SQO_RETURN_IF_ERROR(EnsureTypeAtom(ident));
+  IdentInfo& info = idents_.at(ident);
+  if (sqo::ToLower(attr) == "oid") return Term::Var(info.oid_var);
+  const std::string rel = schema_->RelationFor(info.type_name);
+  const RelationSignature* sig = schema_->catalog.Find(rel);
+  auto pos = sig->AttributeIndex(sqo::ToLower(attr));
+  if (!pos.has_value()) {
+    return sqo::SemanticError("type '" + info.type_name + "' has no attribute '" +
+                              attr + "'");
+  }
+  Atom& atom = body_[info.type_atom_index].atom;
+  Term current = atom.args()[*pos];
+  if (IsPlaceholder(current)) {
+    Term named = Term::Var(AllocVar(attr));
+    atom.mutable_args()[*pos] = named;
+    return named;
+  }
+  return current;
+}
+
+sqo::Result<std::string> QueryTranslator::WalkToIdent(
+    const std::string& base, const std::vector<oql::PathStep>& steps,
+    size_t n_steps) {
+  if (idents_.count(base) == 0) {
+    return sqo::SemanticError("unknown range variable '" + base + "'");
+  }
+  std::string cur = base;
+  for (size_t i = 0; i < n_steps; ++i) {
+    const oql::PathStep& step = steps[i];
+    const std::string& cur_type = idents_.at(cur).type_name;
+
+    if (step.is_call()) {
+      const odl::ResolvedMethod* method =
+          schema_->schema.FindMethod(cur_type, step.name);
+      if (method == nullptr) {
+        return sqo::SemanticError("type '" + cur_type + "' has no method '" +
+                                  step.name + "'");
+      }
+      if (method->return_struct.empty()) {
+        return sqo::SemanticError(
+            "cannot traverse into the base-typed result of method '" +
+            step.name + "'");
+      }
+      std::vector<Term> args;
+      args.push_back(Term::Var(idents_.at(cur).oid_var));
+      if (step.call_args->size() != method->params.size()) {
+        return sqo::SemanticError("method '" + step.name + "' expects " +
+                                  std::to_string(method->params.size()) +
+                                  " arguments");
+      }
+      for (const oql::Expr& a : *step.call_args) {
+        SQO_ASSIGN_OR_RETURN(Term t, TranslateExpr(a));
+        args.push_back(std::move(t));
+      }
+      std::string synth = "v" + std::to_string(++synth_counter_);
+      while (idents_.count(synth) > 0) {
+        synth = "v" + std::to_string(++synth_counter_);
+      }
+      SQO_RETURN_IF_ERROR(DefineIdent(synth, method->return_struct, true));
+      args.push_back(Term::Var(idents_.at(synth).oid_var));
+      body_.push_back(
+          Literal::Pos(Atom::Pred(sqo::ToLower(method->name), std::move(args))));
+      cur = synth;
+      continue;
+    }
+
+    const std::string memo_key = cur + "." + sqo::ToLower(step.name);
+    auto memo_it = step_memo_.find(memo_key);
+    if (memo_it != step_memo_.end()) {
+      cur = memo_it->second;
+      continue;
+    }
+
+    const odl::ResolvedRelationship* rel =
+        schema_->schema.FindRelationship(cur_type, step.name);
+    if (rel != nullptr) {
+      if (rel->to_many) {
+        return sqo::SemanticError(
+            "path step '" + step.name +
+            "' traverses a to-many relationship; range over it in the from "
+            "clause instead");
+      }
+      std::string synth = "v" + std::to_string(++synth_counter_);
+      while (idents_.count(synth) > 0) {
+        synth = "v" + std::to_string(++synth_counter_);
+      }
+      SQO_RETURN_IF_ERROR(DefineIdent(synth, rel->target, true));
+      body_.push_back(Literal::Pos(
+          Atom::Pred(sqo::ToLower(rel->name),
+                     {Term::Var(idents_.at(cur).oid_var),
+                      Term::Var(idents_.at(synth).oid_var)})));
+      step_memo_[memo_key] = synth;
+      cur = synth;
+      continue;
+    }
+
+    // Structure attribute (on a class or on a struct).
+    const odl::ResolvedAttribute* attr = nullptr;
+    if (schema_->schema.FindClass(cur_type) != nullptr) {
+      attr = schema_->schema.FindAttribute(cur_type, step.name);
+    } else {
+      attr = schema_->schema.FindStructField(cur_type, step.name);
+    }
+    if (attr == nullptr) {
+      return sqo::SemanticError("type '" + cur_type + "' has no property '" +
+                                step.name + "'");
+    }
+    if (!attr->is_struct()) {
+      return sqo::SemanticError("cannot traverse into base-typed attribute '" +
+                                step.name + "'");
+    }
+    SQO_ASSIGN_OR_RETURN(Term oid_term, AttrTerm(cur, step.name));
+    // Register a synthetic identifier whose OID variable is the attribute's
+    // term in the type atom.
+    std::string synth = "v" + std::to_string(++synth_counter_);
+    while (idents_.count(synth) > 0) {
+      synth = "v" + std::to_string(++synth_counter_);
+    }
+    IdentInfo info;
+    info.type_name = attr->struct_name;
+    info.oid_var = oid_term.var_name();
+    var_names_[info.oid_var] = synth;
+    synthetic_.insert(synth);
+    idents_.emplace(synth, std::move(info));
+    step_memo_[memo_key] = synth;
+    cur = synth;
+  }
+  return cur;
+}
+
+sqo::Result<Term> QueryTranslator::TranslatePath(const oql::Expr& path) {
+  if (path.steps.empty()) {
+    auto it = idents_.find(path.base);
+    if (it == idents_.end()) {
+      return sqo::SemanticError("unknown range variable '" + path.base + "'");
+    }
+    return Term::Var(it->second.oid_var);
+  }
+  SQO_ASSIGN_OR_RETURN(
+      std::string owner, WalkToIdent(path.base, path.steps, path.steps.size() - 1));
+  const oql::PathStep& last = path.steps.back();
+  const std::string& owner_type = idents_.at(owner).type_name;
+
+  if (last.is_call()) {
+    const odl::ResolvedMethod* method =
+        schema_->schema.FindMethod(owner_type, last.name);
+    if (method == nullptr) {
+      return sqo::SemanticError("type '" + owner_type + "' has no method '" +
+                                last.name + "'");
+    }
+    if (last.call_args->size() != method->params.size()) {
+      return sqo::SemanticError("method '" + last.name + "' expects " +
+                                std::to_string(method->params.size()) +
+                                " arguments");
+    }
+    std::vector<Term> args;
+    args.push_back(Term::Var(idents_.at(owner).oid_var));
+    for (const oql::Expr& a : *last.call_args) {
+      SQO_ASSIGN_OR_RETURN(Term t, TranslateExpr(a));
+      args.push_back(std::move(t));
+    }
+    Term result = Term::Var(AllocVar("V"));
+    args.push_back(result);
+    body_.push_back(
+        Literal::Pos(Atom::Pred(sqo::ToLower(method->name), std::move(args))));
+    return result;
+  }
+
+  // Relationship in value position: allowed if to-one (denotes the target
+  // object's OID).
+  const odl::ResolvedRelationship* rel =
+      schema_->schema.FindRelationship(owner_type, last.name);
+  if (rel != nullptr) {
+    SQO_ASSIGN_OR_RETURN(std::string target,
+                         WalkToIdent(owner, {last}, 1));
+    return Term::Var(idents_.at(target).oid_var);
+  }
+
+  // Attribute (simple or struct-valued; a struct-valued attribute denotes
+  // the structure's OID).
+  return AttrTerm(owner, last.name);
+}
+
+sqo::Result<Term> QueryTranslator::TranslateExpr(const oql::Expr& expr) {
+  switch (expr.kind) {
+    case oql::Expr::Kind::kLiteral:
+      return Term::Const(expr.literal);
+    case oql::Expr::Kind::kPath:
+      return TranslatePath(expr);
+    default:
+      return sqo::UnsupportedError(
+          "constructors are only allowed in the select clause (§4.3)");
+  }
+}
+
+sqo::Status QueryTranslator::TranslateFromEntry(const oql::FromEntry& entry) {
+  const oql::Expr& domain = entry.domain.front();
+  if (domain.kind != oql::Expr::Kind::kPath) {
+    return sqo::SemanticError("from-clause domain must be an extent or a path");
+  }
+
+  if (!entry.positive) {
+    // `x not in C`: constrains an existing variable (SQO output syntax).
+    auto it = idents_.find(entry.var);
+    if (it == idents_.end()) {
+      return sqo::SemanticError("'" + entry.var +
+                                " not in ...' requires an already-bound variable");
+    }
+    if (!domain.steps.empty()) {
+      return sqo::UnsupportedError("'not in' ranges over class extents only");
+    }
+    const odl::ClassInfo* cls = schema_->schema.FindClass(domain.base);
+    if (cls == nullptr) {
+      return sqo::SemanticError("unknown class '" + domain.base + "'");
+    }
+    const std::string rel = schema_->RelationFor(cls->name);
+    const RelationSignature* sig = schema_->catalog.Find(rel);
+    std::vector<Term> args;
+    args.push_back(Term::Var(it->second.oid_var));
+    for (size_t i = 1; i < sig->arity(); ++i) {
+      args.push_back(Term::Var("_Q" + std::to_string(++anon_counter_)));
+    }
+    body_.push_back(Literal::Neg(Atom::Pred(rel, std::move(args))));
+    if (current_from_ >= 0) {
+      body_to_from_[static_cast<int>(body_.size()) - 1] = current_from_;
+    }
+    return sqo::Status::Ok();
+  }
+
+  if (domain.steps.empty()) {
+    // Range over a class name or an extent name.
+    const odl::ClassInfo* cls = schema_->schema.FindClass(domain.base);
+    if (cls == nullptr) {
+      for (const odl::ClassInfo& cand : schema_->schema.classes()) {
+        if (cand.extent.has_value() && *cand.extent == domain.base) {
+          cls = &cand;
+          break;
+        }
+      }
+    }
+    if (cls == nullptr) {
+      return sqo::SemanticError("unknown extent or class '" + domain.base + "'");
+    }
+    SQO_RETURN_IF_ERROR(DefineIdent(entry.var, cls->name, false));
+    SQO_RETURN_IF_ERROR(EnsureTypeAtom(entry.var));  // eager (Example 2)
+    if (current_from_ >= 0) {
+      body_to_from_[idents_.at(entry.var).type_atom_index] = current_from_;
+    }
+    return sqo::Status::Ok();
+  }
+
+  SQO_ASSIGN_OR_RETURN(
+      std::string owner,
+      WalkToIdent(domain.base, domain.steps, domain.steps.size() - 1));
+  const oql::PathStep& last = domain.steps.back();
+  const std::string& owner_type = idents_.at(owner).type_name;
+
+  if (last.is_call()) {
+    return sqo::UnsupportedError(
+        "ranging over a method result is not supported in the from clause");
+  }
+
+  const odl::ResolvedRelationship* rel =
+      schema_->schema.FindRelationship(owner_type, last.name);
+  if (rel != nullptr) {
+    // `y in x.Takes`: lazy target class atom, matching Example 2.
+    SQO_RETURN_IF_ERROR(DefineIdent(entry.var, rel->target, false));
+    body_.push_back(Literal::Pos(
+        Atom::Pred(sqo::ToLower(rel->name),
+                   {Term::Var(idents_.at(owner).oid_var),
+                    Term::Var(idents_.at(entry.var).oid_var)})));
+    if (current_from_ >= 0) {
+      body_to_from_[static_cast<int>(body_.size()) - 1] = current_from_;
+    }
+    step_memo_[owner + "." + sqo::ToLower(last.name)] = entry.var;
+    return sqo::Status::Ok();
+  }
+
+  const odl::ResolvedAttribute* attr = nullptr;
+  if (schema_->schema.FindClass(owner_type) != nullptr) {
+    attr = schema_->schema.FindAttribute(owner_type, last.name);
+  } else {
+    attr = schema_->schema.FindStructField(owner_type, last.name);
+  }
+  if (attr == nullptr || !attr->is_struct()) {
+    return sqo::SemanticError("from-clause range '" + entry.var + " in " +
+                              domain.ToString() +
+                              "' must end at a relationship or a structure "
+                              "attribute");
+  }
+  // `w in z.Address`: bind the struct's OID variable to the range variable
+  // and add the structure atom eagerly (Example 2 adds address(W, ...)).
+  SQO_RETURN_IF_ERROR(EnsureTypeAtom(owner));
+  IdentInfo& owner_info = idents_.at(owner);
+  const std::string owner_rel = schema_->RelationFor(owner_info.type_name);
+  const RelationSignature* owner_sig = schema_->catalog.Find(owner_rel);
+  auto pos = owner_sig->AttributeIndex(sqo::ToLower(last.name));
+  Atom& owner_atom = body_[owner_info.type_atom_index].atom;
+  Term slot = owner_atom.args()[*pos];
+
+  IdentInfo info;
+  info.type_name = attr->struct_name;
+  if (IsPlaceholder(slot)) {
+    info.oid_var = AllocVar(entry.var);
+    owner_atom.mutable_args()[*pos] = Term::Var(info.oid_var);
+  } else {
+    info.oid_var = slot.var_name();
+  }
+  var_names_[info.oid_var] = entry.var;
+  idents_.emplace(entry.var, std::move(info));
+  step_memo_[owner + "." + sqo::ToLower(last.name)] = entry.var;
+  SQO_RETURN_IF_ERROR(EnsureTypeAtom(entry.var));
+  if (current_from_ >= 0) {
+      body_to_from_[idents_.at(entry.var).type_atom_index] = current_from_;
+    }
+  return sqo::Status::Ok();
+}
+
+sqo::Status QueryTranslator::TranslateWherePredicate(const oql::Predicate& pred) {
+  if (pred.kind == oql::Predicate::Kind::kExists) {
+    // Conjunctive bodies are implicitly existential: declare the quantified
+    // variable as an ordinary (unprojected) range and inline the inner
+    // conjunction. Suppress provenance — the quantifier has no single
+    // surface clause a literal-level removal could map back to.
+    const int saved_from = current_from_;
+    const int saved_where = current_where_;
+    current_from_ = -1;
+    current_where_ = -1;
+    sqo::Status status = TranslateFromEntry(
+        oql::FromEntry::Range(pred.var, pred.collection.front()));
+    for (size_t i = 0; i < pred.inner.size() && status.ok(); ++i) {
+      status = TranslateWherePredicate(pred.inner[i]);
+    }
+    current_from_ = saved_from;
+    current_where_ = saved_where;
+    return status;
+  }
+  if (pred.kind == oql::Predicate::Kind::kComparison) {
+    SQO_ASSIGN_OR_RETURN(Term lhs, TranslateExpr(pred.lhs.front()));
+    SQO_ASSIGN_OR_RETURN(Term rhs, TranslateExpr(pred.rhs.front()));
+    body_.push_back(Literal::Pos(Atom::Comparison(pred.op, lhs, rhs)));
+    if (current_where_ >= 0) {
+      body_to_where_[static_cast<int>(body_.size()) - 1] = current_where_;
+    }
+    return sqo::Status::Ok();
+  }
+  // Membership: element must be a bound range variable.
+  const oql::Expr& elem = pred.element.front();
+  if (elem.kind != oql::Expr::Kind::kPath || !elem.steps.empty()) {
+    return sqo::UnsupportedError(
+        "membership predicates require a range variable element");
+  }
+  auto it = idents_.find(elem.base);
+  if (it == idents_.end()) {
+    return sqo::SemanticError("unknown range variable '" + elem.base + "'");
+  }
+  const oql::Expr& coll = pred.collection.front();
+  if (coll.kind != oql::Expr::Kind::kPath) {
+    return sqo::SemanticError("membership collection must be a class or path");
+  }
+  if (coll.steps.empty()) {
+    const odl::ClassInfo* cls = schema_->schema.FindClass(coll.base);
+    if (cls == nullptr) {
+      return sqo::SemanticError("unknown class '" + coll.base + "'");
+    }
+    const std::string rel = schema_->RelationFor(cls->name);
+    const RelationSignature* sig = schema_->catalog.Find(rel);
+    std::vector<Term> args;
+    args.push_back(Term::Var(it->second.oid_var));
+    for (size_t i = 1; i < sig->arity(); ++i) {
+      args.push_back(Term::Var("_Q" + std::to_string(++anon_counter_)));
+    }
+    body_.push_back(
+        Literal(pred.positive, Atom::Pred(rel, std::move(args))));
+    if (current_where_ >= 0) {
+      body_to_where_[static_cast<int>(body_.size()) - 1] = current_where_;
+    }
+    return sqo::Status::Ok();
+  }
+  // `y [not] in x.R`
+  SQO_ASSIGN_OR_RETURN(
+      std::string owner,
+      WalkToIdent(coll.base, coll.steps, coll.steps.size() - 1));
+  const oql::PathStep& last = coll.steps.back();
+  const odl::ResolvedRelationship* rel = schema_->schema.FindRelationship(
+      idents_.at(owner).type_name, last.name);
+  if (rel == nullptr) {
+    return sqo::SemanticError("membership collection '" + coll.ToString() +
+                              "' must end at a relationship");
+  }
+  body_.push_back(Literal(
+      pred.positive,
+      Atom::Pred(sqo::ToLower(rel->name), {Term::Var(idents_.at(owner).oid_var),
+                                           Term::Var(it->second.oid_var)})));
+  if (current_where_ >= 0) {
+      body_to_where_[static_cast<int>(body_.size()) - 1] = current_where_;
+    }
+  return sqo::Status::Ok();
+}
+
+sqo::Result<TranslatedQuery> QueryTranslator::Translate(
+    const oql::SelectQuery& oql_query) {
+  body_.clear();
+  idents_.clear();
+  var_names_.clear();
+  used_vars_.clear();
+  synthetic_.clear();
+  step_memo_.clear();
+  body_to_from_.clear();
+  body_to_where_.clear();
+
+  for (size_t i = 0; i < oql_query.from.size(); ++i) {
+    current_from_ = static_cast<int>(i);
+    SQO_RETURN_IF_ERROR(TranslateFromEntry(oql_query.from[i]));
+  }
+  current_from_ = -1;
+
+  // Select clause: flatten constructors to their leaf expressions (the
+  // constructors themselves are retained only in the OQL AST, §4.3).
+  std::vector<Term> head_args;
+  // Recursive lambda via explicit stack of work items.
+  std::vector<const oql::Expr*> work;
+  for (auto it = oql_query.select_list.rbegin(); it != oql_query.select_list.rend();
+       ++it) {
+    work.push_back(&*it);
+  }
+  while (!work.empty()) {
+    const oql::Expr* e = work.back();
+    work.pop_back();
+    switch (e->kind) {
+      case oql::Expr::Kind::kLiteral:
+      case oql::Expr::Kind::kPath: {
+        SQO_ASSIGN_OR_RETURN(Term t, TranslateExpr(*e));
+        head_args.push_back(std::move(t));
+        break;
+      }
+      case oql::Expr::Kind::kStruct:
+        for (auto it = e->fields.rbegin(); it != e->fields.rend(); ++it) {
+          work.push_back(&it->value.front());
+        }
+        break;
+      case oql::Expr::Kind::kCollection:
+        for (auto it = e->elements.rbegin(); it != e->elements.rend(); ++it) {
+          work.push_back(&*it);
+        }
+        break;
+    }
+  }
+
+  for (size_t i = 0; i < oql_query.where.size(); ++i) {
+    current_where_ = static_cast<int>(i);
+    SQO_RETURN_IF_ERROR(TranslateWherePredicate(oql_query.where[i]));
+  }
+  current_where_ = -1;
+
+  TranslatedQuery out;
+  out.query.name = "q";
+  out.query.head_args = std::move(head_args);
+  out.query.body = body_;
+  for (const auto& [ident, info] : idents_) {
+    out.map.var_to_ident[info.oid_var] = ident;
+    out.map.ident_to_var[ident] = info.oid_var;
+    out.map.ident_type[ident] = info.type_name;
+  }
+  out.map.synthetic_idents = synthetic_;
+  out.map.body_to_from = body_to_from_;
+  out.map.body_to_where = body_to_where_;
+  return out;
+}
+
+sqo::Result<TranslatedQuery> TranslateQuery(const TranslatedSchema& schema,
+                                            const oql::SelectQuery& oql_query) {
+  QueryTranslator translator(&schema);
+  return translator.Translate(oql_query);
+}
+
+}  // namespace sqo::translate

@@ -1,0 +1,137 @@
+#ifndef SQO_TRANSLATE_QUERY_TRANSLATOR_H_
+#define SQO_TRANSLATE_QUERY_TRANSLATOR_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/clause.h"
+#include "oql/ast.h"
+#include "translate/schema_translator.h"
+
+namespace sqo::translate {
+
+/// Bookkeeping produced by Step 2 and consumed by Step 4: how DATALOG
+/// variables relate to OQL range identifiers. Attribute-value variables are
+/// not mapped here — the change mapper recovers `x.attr` renderings from
+/// variable positions in the (optimized) query atoms, exactly as ALGORITHM
+/// DATALOG_to_OQL prescribes ("let c(X,...,A,...) be an atom in the query").
+struct TranslationMap {
+  /// OID variable ↔ OQL range identifier.
+  std::map<std::string, std::string> var_to_ident;
+  std::map<std::string, std::string> ident_to_var;
+
+  /// Range identifier → ODL type (class or struct) it ranges over.
+  std::map<std::string, std::string> ident_type;
+
+  /// Identifiers invented during path flattening (`x.Takes.Taught_by`
+  /// becomes two one-dot ranges with a synthetic middle identifier). These
+  /// do not appear in the original OQL text.
+  std::set<std::string> synthetic_idents;
+
+  /// Provenance: body-literal index → the from-entry / where-predicate index
+  /// that directly produced it. Literals added implicitly (path flattening,
+  /// lazy class atoms, method atoms) are absent — removing them needs no
+  /// OQL surface edit.
+  std::map<int, int> body_to_from;
+  std::map<int, int> body_to_where;
+};
+
+/// The product of Step 2: the DATALOG query plus the reverse map.
+struct TranslatedQuery {
+  datalog::Query query;
+  TranslationMap map;
+};
+
+/// Translates the restricted OQL select-from-where subset (§4.3) into a
+/// conjunctive DATALOG query over the Step-1 schema:
+///
+///   * from ranges over extents become eager class atoms;
+///   * ranges over relationships become relationship atoms (the target
+///     class atom is added lazily, only when the query mentions the range
+///     variable's attributes or methods — matching the paper's Example 2);
+///   * ranges over structure attributes bind the structure's OID variable
+///     and add the structure atom;
+///   * path expressions are flattened to one-dot form with synthetic
+///     intermediate identifiers; value-position traversal requires to-one
+///     relationships (to-many paths must be ranged in the from clause);
+///   * method calls become method-relation atoms with a fresh result
+///     variable (§4.2 rule 4);
+///   * constructors in the select clause are not translated — their leaf
+///     expressions are, and become head arguments (§4.3).
+///
+/// Complexity is linear in the size of the query (§4.1).
+class QueryTranslator {
+ public:
+  explicit QueryTranslator(const TranslatedSchema* schema) : schema_(schema) {}
+
+  /// Translates one parsed OQL query.
+  sqo::Result<TranslatedQuery> Translate(const oql::SelectQuery& oql_query);
+
+ private:
+  struct IdentInfo {
+    std::string type_name;  // ODL class or struct name
+    std::string oid_var;
+    bool type_atom_added = false;
+    int type_atom_index = -1;  // index into body_ when added
+  };
+
+  /// Declares a range identifier of the given ODL type; fails on redefinition.
+  sqo::Status DefineIdent(const std::string& ident, const std::string& type_name,
+                          bool synthetic);
+
+  /// Allocates a fresh, unused DATALOG variable derived from `base`.
+  std::string AllocVar(const std::string& base);
+
+  /// Adds (once) the class/structure atom for `ident` with anonymous
+  /// attribute variables.
+  sqo::Status EnsureTypeAtom(const std::string& ident);
+
+  /// Returns the term at `attr` of `ident`'s type atom, upgrading the
+  /// placeholder variable to a readable name on first access.
+  sqo::Result<datalog::Term> AttrTerm(const std::string& ident,
+                                      const std::string& attr);
+
+  /// Translates a value-position expression (literal or path) to a term.
+  sqo::Result<datalog::Term> TranslateExpr(const oql::Expr& expr);
+
+  /// Walks a path expression; returns the term it denotes (attribute value,
+  /// method result, or the OID variable of the final object).
+  sqo::Result<datalog::Term> TranslatePath(const oql::Expr& path);
+
+  /// Resolves a path prefix to an object identifier (for from-clause
+  /// domains and path interiors). `path` must denote an object/struct.
+  sqo::Result<std::string> WalkToIdent(const std::string& base,
+                                       const std::vector<oql::PathStep>& steps,
+                                       size_t n_steps);
+
+  /// Processes one from entry.
+  sqo::Status TranslateFromEntry(const oql::FromEntry& entry);
+
+  /// Processes one where predicate.
+  sqo::Status TranslateWherePredicate(const oql::Predicate& pred);
+
+  const TranslatedSchema* schema_;
+  std::map<std::string, IdentInfo> idents_;
+  std::map<std::string, std::string> var_names_;  // var -> ident (OID vars)
+  std::set<std::string> used_vars_;
+  std::set<std::string> synthetic_;
+  std::map<std::string, std::string> step_memo_;  // "ident.step" -> ident
+  std::vector<datalog::Literal> body_;
+  std::map<int, int> body_to_from_;
+  std::map<int, int> body_to_where_;
+  int current_from_ = -1;
+  int current_where_ = -1;
+  int anon_counter_ = 0;
+  int synth_counter_ = 0;
+};
+
+/// Convenience wrapper.
+sqo::Result<TranslatedQuery> TranslateQuery(const TranslatedSchema& schema,
+                                            const oql::SelectQuery& oql_query);
+
+}  // namespace sqo::translate
+
+#endif  // SQO_TRANSLATE_QUERY_TRANSLATOR_H_

@@ -1,0 +1,345 @@
+#include "translate/schema_translator.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+#include "common/strings.h"
+#include "datalog/unify.h"
+
+namespace sqo::translate {
+
+using datalog::Atom;
+using datalog::Clause;
+using datalog::CmpOp;
+using datalog::Literal;
+using datalog::RelationCatalog;
+using datalog::RelationKind;
+using datalog::RelationSignature;
+using datalog::Term;
+
+namespace {
+
+/// Variable name for an attribute: first letter upper-cased, with an
+/// optional numeric suffix to keep atoms of the same relation apart
+/// ("name" → "Name", "Name_2").
+std::string AttrVar(const std::string& attr, int copy = 0) {
+  std::string v = attr;
+  v[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(v[0])));
+  if (copy > 0) v += "_" + std::to_string(copy + 1);
+  return v;
+}
+
+/// Builds an atom `rel(vars...)` whose arguments are the attribute-derived
+/// variables of `sig`, suffixed by `copy`.
+Atom FullAtom(const RelationSignature& sig, int copy = 0) {
+  std::vector<Term> args;
+  args.reserve(sig.arity());
+  for (const std::string& attr : sig.attributes) {
+    args.push_back(Term::Var(AttrVar(attr, copy)));
+  }
+  return Atom::Pred(sig.name, std::move(args));
+}
+
+/// Builds an atom with fresh anonymous variables everywhere except the
+/// pinned positions in `pinned` (position → term).
+Atom SparseAtom(const RelationSignature& sig,
+                const std::vector<std::pair<size_t, Term>>& pinned,
+                datalog::FreshVarGen* gen) {
+  std::vector<Term> args;
+  args.reserve(sig.arity());
+  for (size_t i = 0; i < sig.arity(); ++i) {
+    const Term* pin = nullptr;
+    for (const auto& [pos, term] : pinned) {
+      if (pos == i) {
+        pin = &term;
+        break;
+      }
+    }
+    args.push_back(pin != nullptr ? *pin : gen->NextVar());
+  }
+  return Atom::Pred(sig.name, std::move(args));
+}
+
+}  // namespace
+
+std::string TranslatedSchema::RelationFor(const std::string& type_name) const {
+  auto it = type_to_relation.find(type_name);
+  return it == type_to_relation.end() ? "" : it->second;
+}
+
+sqo::Result<TranslatedSchema> TranslateSchema(const odl::Schema& schema) {
+  TranslatedSchema out;
+  out.schema = schema;
+  datalog::FreshVarGen exists_gen("_E");
+
+  auto register_type = [&](const std::string& type_name,
+                           RelationSignature sig) -> sqo::Status {
+    if (!out.relation_to_type.emplace(sig.name, type_name).second) {
+      return sqo::SemanticError("relation name collision: '" + sig.name + "'");
+    }
+    out.type_to_relation[type_name] = sig.name;
+    return out.catalog.Add(std::move(sig));
+  };
+
+  // Rule 2: one relation per structure. (Emitted before classes so class
+  // translation can mention struct relations.)
+  for (const odl::StructInfo& s : schema.structs()) {
+    RelationSignature sig;
+    sig.name = sqo::ToLower(s.name);
+    sig.kind = RelationKind::kStructure;
+    sig.display_name = s.name;
+    sig.owner = s.name;
+    sig.attributes.push_back("oid");
+    for (const odl::ResolvedAttribute& f : s.fields) {
+      sig.attributes.push_back(sqo::ToLower(f.name));
+    }
+    SQO_RETURN_IF_ERROR(register_type(s.name, std::move(sig)));
+  }
+
+  // Rule 1: one relation per class, attributes in inherited-prefix order.
+  for (const odl::ClassInfo& c : schema.classes()) {
+    RelationSignature sig;
+    sig.name = sqo::ToLower(c.name);
+    sig.kind = RelationKind::kClass;
+    sig.display_name = c.name;
+    sig.owner = c.name;
+    sig.attributes.push_back("oid");
+    for (const odl::ResolvedAttribute& a : c.all_attributes) {
+      sig.attributes.push_back(sqo::ToLower(a.name));
+    }
+    SQO_RETURN_IF_ERROR(register_type(c.name, std::move(sig)));
+  }
+
+  // Rules 3 and 4: relationships and methods.
+  for (const odl::ClassInfo& c : schema.classes()) {
+    for (const odl::ResolvedRelationship& r : c.relationships) {
+      RelationSignature sig;
+      sig.name = sqo::ToLower(r.name);
+      sig.kind = RelationKind::kRelationship;
+      sig.display_name = r.name;
+      sig.owner = c.name;
+      sig.target = r.target;
+      sig.attributes = {"src", "dst"};
+      sig.functional_src_to_dst = !r.to_many;
+      if (!r.inverse.empty()) {
+        const odl::ResolvedRelationship* inv =
+            schema.FindRelationship(r.target, r.inverse);
+        sig.functional_dst_to_src = inv != nullptr && !inv->to_many;
+      }
+      if (out.catalog.Find(sig.name) != nullptr) {
+        return sqo::SemanticError("relation name collision: relationship '" +
+                                  r.name + "'");
+      }
+      SQO_RETURN_IF_ERROR(out.catalog.Add(std::move(sig)));
+    }
+    for (const odl::ResolvedMethod& m : c.methods) {
+      RelationSignature sig;
+      sig.name = sqo::ToLower(m.name);
+      sig.kind = RelationKind::kMethod;
+      sig.display_name = m.name;
+      sig.owner = c.name;
+      if (!m.return_struct.empty()) sig.target = m.return_struct;
+      sig.attributes.push_back("oid");
+      for (const odl::ParamDecl& p : m.params) {
+        sig.attributes.push_back(sqo::ToLower(p.name));
+      }
+      sig.attributes.push_back("value");
+      if (out.catalog.Find(sig.name) != nullptr) {
+        return sqo::SemanticError("relation name collision: method '" + m.name +
+                                  "'");
+      }
+      SQO_RETURN_IF_ERROR(out.catalog.Add(std::move(sig)));
+    }
+  }
+
+  std::set<std::string> emitted;  // dedup (inverse pairs emit symmetrically)
+  auto add_constraint = [&](Clause clause) {
+    std::string key = clause.ToString();
+    if (emitted.insert(key).second) {
+      out.constraints.push_back(std::move(clause));
+    }
+  };
+
+  // --- Integrity constraints (§4.2) ---
+  for (const odl::ClassInfo& c : schema.classes()) {
+    const RelationSignature* c_sig = out.catalog.Find(sqo::ToLower(c.name));
+
+    // IC family 1a: relationship endpoints are members of their classes.
+    for (const odl::ResolvedRelationship& r : c.relationships) {
+      const std::string r_name = sqo::ToLower(r.name);
+      const RelationSignature* src_sig = out.catalog.Find(sqo::ToLower(r.source));
+      const RelationSignature* dst_sig = out.catalog.Find(sqo::ToLower(r.target));
+      Atom r_atom = Atom::Pred(r_name, {Term::Var("Oid1"), Term::Var("Oid2")});
+      {
+        Clause cl;
+        cl.label = "oid_rel:" + r_name + ":src";
+        cl.head = Literal::Pos(
+            SparseAtom(*src_sig, {{0, Term::Var("Oid1")}}, &exists_gen));
+        cl.body = {Literal::Pos(r_atom)};
+        add_constraint(std::move(cl));
+      }
+      {
+        Clause cl;
+        cl.label = "oid_rel:" + r_name + ":dst";
+        cl.head = Literal::Pos(
+            SparseAtom(*dst_sig, {{0, Term::Var("Oid2")}}, &exists_gen));
+        cl.body = {Literal::Pos(r_atom)};
+        add_constraint(std::move(cl));
+      }
+
+      // IC family 3: inverse relationships. Both classes declare the pair;
+      // emit from the lexicographically smaller relation name only so each
+      // pair yields exactly two clauses.
+      if (!r.inverse.empty() && r_name <= sqo::ToLower(r.inverse)) {
+        const std::string inv_name = sqo::ToLower(r.inverse);
+        Clause fwd;
+        fwd.label = "inverse:" + r_name;
+        fwd.head = Literal::Pos(
+            Atom::Pred(r_name, {Term::Var("Oid1"), Term::Var("Oid2")}));
+        fwd.body = {Literal::Pos(
+            Atom::Pred(inv_name, {Term::Var("Oid2"), Term::Var("Oid1")}))};
+        add_constraint(std::move(fwd));
+        Clause bwd;
+        bwd.label = "inverse:" + inv_name;
+        bwd.head = Literal::Pos(
+            Atom::Pred(inv_name, {Term::Var("Oid2"), Term::Var("Oid1")}));
+        bwd.body = {Literal::Pos(
+            Atom::Pred(r_name, {Term::Var("Oid1"), Term::Var("Oid2")}))};
+        add_constraint(std::move(bwd));
+      }
+
+      // IC family 4: functionality of to-one relationships; both directions
+      // for the one-to-one case.
+      if (!r.to_many) {
+        Clause fun;
+        fun.label = "fun:" + r_name;
+        fun.head = Literal::Pos(
+            Atom::Comparison(CmpOp::kEq, Term::Var("Oid2"), Term::Var("Oid3")));
+        fun.body = {
+            Literal::Pos(Atom::Pred(r_name, {Term::Var("Oid1"), Term::Var("Oid2")})),
+            Literal::Pos(Atom::Pred(r_name, {Term::Var("Oid1"), Term::Var("Oid3")}))};
+        add_constraint(std::move(fun));
+      }
+      if (r.one_to_one) {
+        Clause fun_inv;
+        fun_inv.label = "fun_inv:" + r_name;
+        fun_inv.head = Literal::Pos(
+            Atom::Comparison(CmpOp::kEq, Term::Var("Oid2"), Term::Var("Oid3")));
+        fun_inv.body = {
+            Literal::Pos(Atom::Pred(r_name, {Term::Var("Oid2"), Term::Var("Oid1")})),
+            Literal::Pos(Atom::Pred(r_name, {Term::Var("Oid3"), Term::Var("Oid1")}))};
+        add_constraint(std::move(fun_inv));
+      }
+    }
+
+    // IC family 1b: structure attributes — the referenced structure exists.
+    for (const odl::ResolvedAttribute& a : c.all_attributes) {
+      if (!a.is_struct()) continue;
+      auto pos = c_sig->AttributeIndex(sqo::ToLower(a.name));
+      const RelationSignature* s_sig =
+          out.catalog.Find(sqo::ToLower(a.struct_name));
+      Clause cl;
+      cl.label = "oid_struct:" + c_sig->name + "." + sqo::ToLower(a.name);
+      cl.head = Literal::Pos(
+          SparseAtom(*s_sig, {{0, Term::Var("Oid_s")}}, &exists_gen));
+      cl.body = {Literal::Pos(
+          SparseAtom(*c_sig, {{*pos, Term::Var("Oid_s")}}, &exists_gen))};
+      add_constraint(std::move(cl));
+    }
+
+    // IC family 1c: method receivers are class members; struct results exist.
+    for (const odl::ResolvedMethod& m : c.methods) {
+      const std::string m_name = sqo::ToLower(m.name);
+      const RelationSignature* m_sig = out.catalog.Find(m_name);
+      Atom m_atom = FullAtom(*m_sig);
+      {
+        Clause cl;
+        cl.label = "oid_method:" + m_name;
+        cl.head = Literal::Pos(
+            SparseAtom(*c_sig, {{0, Term::Var("Oid")}}, &exists_gen));
+        cl.body = {Literal::Pos(m_atom)};
+        add_constraint(std::move(cl));
+      }
+      if (!m.return_struct.empty()) {
+        const RelationSignature* s_sig =
+            out.catalog.Find(sqo::ToLower(m.return_struct));
+        Clause cl;
+        cl.label = "oid_method:" + m_name + ":result";
+        cl.head = Literal::Pos(
+            SparseAtom(*s_sig, {{0, Term::Var("Value")}}, &exists_gen));
+        cl.body = {Literal::Pos(m_atom)};
+        add_constraint(std::move(cl));
+      }
+    }
+
+    // IC family 2: subclass hierarchy — the inherited attributes form a
+    // positional prefix, so the super atom shares the sub atom's prefix.
+    if (!c.super.empty()) {
+      const RelationSignature* super_sig =
+          out.catalog.Find(sqo::ToLower(c.super));
+      std::vector<Term> sub_args;
+      std::vector<Term> super_args;
+      for (size_t i = 0; i < c_sig->arity(); ++i) {
+        Term v = Term::Var(AttrVar(c_sig->attributes[i]));
+        if (i < super_sig->arity()) super_args.push_back(v);
+        sub_args.push_back(std::move(v));
+      }
+      Clause cl;
+      cl.label = "subclass:" + c_sig->name;
+      cl.head = Literal::Pos(Atom::Pred(super_sig->name, std::move(super_args)));
+      cl.body = {Literal::Pos(Atom::Pred(c_sig->name, std::move(sub_args)))};
+      add_constraint(std::move(cl));
+    }
+
+    // Key constraints (IC7 pattern), for the declaring class and every
+    // subclass relation (keys are inherited): collect keys up the chain.
+    {
+      std::vector<std::string> effective_keys;
+      const odl::ClassInfo* cur = &c;
+      while (cur != nullptr) {
+        for (const std::string& k : cur->keys) {
+          if (std::find(effective_keys.begin(), effective_keys.end(), k) ==
+              effective_keys.end()) {
+            effective_keys.push_back(k);
+          }
+        }
+        cur = cur->super.empty() ? nullptr : schema.FindClass(cur->super);
+      }
+      for (const std::string& key : effective_keys) {
+        auto pos = c_sig->AttributeIndex(sqo::ToLower(key));
+        if (!pos.has_value()) continue;
+        Term shared_key = Term::Var(AttrVar(sqo::ToLower(key)));
+        Clause cl;
+        cl.label = "key:" + c_sig->name + "." + sqo::ToLower(key);
+        cl.head = Literal::Pos(
+            Atom::Comparison(CmpOp::kEq, Term::Var("Oid_a"), Term::Var("Oid_b")));
+        cl.body = {
+            Literal::Pos(SparseAtom(
+                *c_sig, {{0, Term::Var("Oid_a")}, {*pos, shared_key}}, &exists_gen)),
+            Literal::Pos(SparseAtom(
+                *c_sig, {{0, Term::Var("Oid_b")}, {*pos, shared_key}}, &exists_gen))};
+        add_constraint(std::move(cl));
+      }
+    }
+
+    // Attribute functional dependencies (IC8 pattern): the OID determines
+    // every attribute value.
+    for (size_t i = 1; i < c_sig->arity(); ++i) {
+      Clause cl;
+      cl.label = "attr_fd:" + c_sig->name + "." + c_sig->attributes[i];
+      Term shared_oid = Term::Var("Oid");
+      Term a1 = Term::Var(AttrVar(c_sig->attributes[i], 0));
+      Term a2 = Term::Var(AttrVar(c_sig->attributes[i], 1));
+      cl.head = Literal::Pos(Atom::Comparison(CmpOp::kEq, a1, a2));
+      cl.body = {
+          Literal::Pos(SparseAtom(*c_sig, {{0, shared_oid}, {i, a1}}, &exists_gen)),
+          Literal::Pos(SparseAtom(*c_sig, {{0, shared_oid}, {i, a2}}, &exists_gen))};
+      add_constraint(std::move(cl));
+    }
+  }
+
+  return out;
+}
+
+}  // namespace sqo::translate

@@ -1,0 +1,52 @@
+#ifndef SQO_TRANSLATE_SCHEMA_TRANSLATOR_H_
+#define SQO_TRANSLATE_SCHEMA_TRANSLATOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/clause.h"
+#include "datalog/signature.h"
+#include "odl/schema.h"
+
+namespace sqo::translate {
+
+/// The product of Step 1 (paper §4.2): the DATALOG relational schema plus
+/// the integrity constraints that encode the object semantics.
+struct TranslatedSchema {
+  /// The resolved ODL schema this was generated from.
+  odl::Schema schema;
+
+  /// Positional signatures for every generated relation.
+  datalog::RelationCatalog catalog;
+
+  /// Generated ICs, labeled by family:
+  ///   "oid_rel:<r>"      — OID identification for relationship endpoints
+  ///   "oid_struct:<c.a>" — OID identification for structure attributes
+  ///   "oid_method:<m>"   — OID identification for method receivers/results
+  ///   "subclass:<c2>"    — subclass hierarchy (c1 head, c2 body)
+  ///   "inverse:<r1>"     — inverse relationship (two clauses per pair)
+  ///   "fun:<r>"          — functionality of a to-one relationship
+  ///   "fun_inv:<r>"      — inverse functionality (one-to-one case)
+  ///   "key:<c.a>"        — key constraint (IC7 pattern)
+  ///   "attr_fd:<c.a>"    — OID determines attribute value (IC8 pattern)
+  std::vector<datalog::Clause> constraints;
+
+  /// ODL class/struct name → relation name (lower-cased) and back.
+  std::map<std::string, std::string> type_to_relation;
+  std::map<std::string, std::string> relation_to_type;
+
+  /// Relation name of a class/struct type; empty if unknown.
+  std::string RelationFor(const std::string& type_name) const;
+};
+
+/// Translates a resolved ODL schema into its DATALOG representation
+/// (Step 1 of Figure 2). Complexity is linear in the number of classes,
+/// structures, relationships and methods (§4.1). Fails if lower-casing
+/// produces duplicate relation names.
+sqo::Result<TranslatedSchema> TranslateSchema(const odl::Schema& schema);
+
+}  // namespace sqo::translate
+
+#endif  // SQO_TRANSLATE_SCHEMA_TRANSLATOR_H_

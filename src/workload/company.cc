@@ -1,0 +1,180 @@
+#include "workload/company.h"
+
+#include <random>
+
+namespace sqo::workload {
+
+using sqo::Value;
+
+std::string_view CompanyOdl() {
+  return R"odl(
+struct Location {
+  string city;
+  string country;
+};
+
+interface Staff {
+  extent staff;
+  key badge;
+  attribute string badge;
+  attribute string name;
+  attribute long level;
+  attribute Location location;
+  relationship Department works_in inverse Department::members;
+  relationship Set<Project> assigned inverse Project::team;
+  relationship Manager reports_to inverse Manager::reports;
+  double bonus(in double factor);
+};
+
+interface Manager : Staff {
+  extent managers;
+  attribute double budget;
+  relationship Set<Staff> reports inverse Staff::reports_to;
+  relationship Department leads inverse Department::head;
+};
+
+interface Department {
+  extent departments;
+  key dname;
+  attribute string dname;
+  relationship Set<Staff> members inverse Staff::works_in;
+  relationship Manager head inverse Manager::leads;
+  relationship Set<Project> owns inverse Project::owned_by;
+};
+
+interface Project {
+  extent projects;
+  key pname;
+  attribute string pname;
+  attribute long priority;
+  relationship Set<Staff> team inverse Staff::assigned;
+  relationship Department owned_by inverse Department::owns;
+};
+)odl";
+}
+
+std::string_view CompanyIcs() {
+  return R"ics(
+MIC1: Level >= 5 <- manager(oid: X, level: Level).
+MIC2: Budget > 100K <- manager(oid: X, budget: Budget).
+MIC3: owned_by(P, D) <- assigned(S, P).
+monotone(bonus, level, increasing).
+point(bonus, 5, 2.0, 10).
+)ics";
+}
+
+core::AsrDefinition CompanyAsr() {
+  core::AsrDefinition asr;
+  asr.name = "asr_staff_department";
+  asr.display_name = "asr_staff_department";
+  asr.path = {"assigned", "owned_by"};
+  return asr;
+}
+
+sqo::Result<core::Pipeline> MakeCompanyPipeline(core::PipelineOptions options) {
+  return core::Pipeline::Create(CompanyOdl(), CompanyIcs(), {CompanyAsr()},
+                                options);
+}
+
+sqo::Status PopulateCompany(const CompanyConfig& config,
+                            const core::Pipeline& pipeline,
+                            engine::Database* db) {
+  engine::ObjectStore& store = db->store();
+  std::mt19937_64 rng(config.seed);
+  auto rand_int = [&rng](int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(rng);
+  };
+
+  // bonus(factor) = level * factor: strictly increasing in level for
+  // positive factors, and exactly 10 at (level 5, factor 2).
+  SQO_RETURN_IF_ERROR(store.RegisterMethod(
+      "bonus",
+      [](const engine::ObjectStore& s, sqo::Oid receiver,
+         const std::vector<Value>& args) -> sqo::Result<Value> {
+        if (args.size() != 1 || !args[0].is_numeric()) {
+          return sqo::InvalidArgumentError("bonus expects one numeric factor");
+        }
+        auto pos = s.schema().catalog.Find("staff")->AttributeIndex("level");
+        SQO_ASSIGN_OR_RETURN(Value level, s.AttributeOf("staff", receiver, *pos));
+        return Value::Double(level.AsNumeric() * args[0].AsNumeric());
+      }));
+  SQO_RETURN_IF_ERROR(db->CreateKeyIndexes());
+
+  if (config.n_departments == 0 || config.n_managers < config.n_departments) {
+    return sqo::InvalidArgumentError(
+        "need at least one manager per department");
+  }
+
+  auto make_location = [&](int i) {
+    return store.CreateStruct(
+        "Location", {{"city", Value::String("city" + std::to_string(i % 11))},
+                     {"country", Value::String(i % 3 == 0 ? "us" : "ca")}});
+  };
+
+  std::vector<sqo::Oid> departments;
+  for (size_t d = 0; d < config.n_departments; ++d) {
+    SQO_ASSIGN_OR_RETURN(
+        sqo::Oid dept,
+        store.CreateObject(
+            "Department", {{"dname", Value::String("dept" + std::to_string(d))}}));
+    departments.push_back(dept);
+  }
+
+  std::vector<sqo::Oid> managers;
+  for (size_t m = 0; m < config.n_managers; ++m) {
+    SQO_ASSIGN_OR_RETURN(sqo::Oid loc, make_location(static_cast<int>(m)));
+    SQO_ASSIGN_OR_RETURN(
+        sqo::Oid manager,
+        store.CreateObject(
+            "Manager",
+            {{"badge", Value::String("M" + std::to_string(m))},
+             {"name", Value::String("manager" + std::to_string(m))},
+             {"level", Value::Int(rand_int(5, 9))},  // MIC1
+             {"location", Value::FromOid(loc)},
+             {"budget", Value::Double(110'000 + 1000.0 * rand_int(0, 400))}}));
+    managers.push_back(manager);
+    SQO_RETURN_IF_ERROR(
+        store.Relate("works_in", manager, departments[m % departments.size()]));
+    if (m < departments.size()) {
+      SQO_RETURN_IF_ERROR(store.Relate("leads", manager, departments[m]));
+    }
+  }
+
+  std::vector<sqo::Oid> projects;
+  for (size_t p = 0; p < config.n_projects; ++p) {
+    SQO_ASSIGN_OR_RETURN(
+        sqo::Oid project,
+        store.CreateObject(
+            "Project", {{"pname", Value::String("proj" + std::to_string(p))},
+                        {"priority", Value::Int(rand_int(1, 5))}}));
+    projects.push_back(project);
+    SQO_RETURN_IF_ERROR(store.Relate("owned_by", project,
+                                     departments[p % departments.size()]));
+  }
+
+  for (size_t i = 0; i < config.n_staff; ++i) {
+    SQO_ASSIGN_OR_RETURN(sqo::Oid loc, make_location(static_cast<int>(i + 100)));
+    SQO_ASSIGN_OR_RETURN(
+        sqo::Oid staff,
+        store.CreateObject(
+            "Staff", {{"badge", Value::String("S" + std::to_string(i))},
+                      {"name", Value::String("staff" + std::to_string(i))},
+                      {"level", Value::Int(rand_int(1, 8))},
+                      {"location", Value::FromOid(loc)}}));
+    SQO_RETURN_IF_ERROR(
+        store.Relate("works_in", staff, departments[i % departments.size()]));
+    SQO_RETURN_IF_ERROR(
+        store.Relate("reports_to", staff, managers[i % managers.size()]));
+    for (size_t k = 0; k < config.projects_per_staff; ++k) {
+      SQO_RETURN_IF_ERROR(store.Relate(
+          "assigned", staff, projects[(i * 13 + k * 5) % projects.size()]));
+    }
+  }
+
+  for (const core::AsrDefinition& asr : pipeline.compiled().asrs) {
+    SQO_RETURN_IF_ERROR(store.Materialize(asr));
+  }
+  return sqo::Status::Ok();
+}
+
+}  // namespace sqo::workload

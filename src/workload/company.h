@@ -1,0 +1,49 @@
+#ifndef SQO_WORKLOAD_COMPANY_H_
+#define SQO_WORKLOAD_COMPANY_H_
+
+#include <string>
+#include <string_view>
+
+#include "engine/database.h"
+#include "sqo/pipeline.h"
+
+namespace sqo::workload {
+
+/// A second, independent schema exercising the same optimizer machinery as
+/// the university workload: staff/manager hierarchy, departments, projects,
+/// a self-referential reporting relationship, a `bonus` method with
+/// monotonicity facts, and a staff→project→department access support
+/// relation. Exists to demonstrate the library is not specialized to the
+/// paper's Figure-1 schema.
+std::string_view CompanyOdl();
+
+/// Application ICs: manager level ≥ 5, manager budget > 100K, every project
+/// of an assigned staff member is owned by some department, plus the bonus
+/// method facts (strictly increasing in level; bonus(level 5, factor 2) = 10).
+std::string_view CompanyIcs();
+
+/// ASR over the path assigned · owned_by (Staff → Department).
+core::AsrDefinition CompanyAsr();
+
+/// Compiled pipeline for the company schema.
+sqo::Result<core::Pipeline> MakeCompanyPipeline(core::PipelineOptions options = {});
+
+struct CompanyConfig {
+  uint64_t seed = 7;
+  size_t n_staff = 150;     // non-manager staff
+  size_t n_managers = 15;   // one leads each department, round-robin
+  size_t n_departments = 8;
+  size_t n_projects = 25;
+  size_t projects_per_staff = 2;
+};
+
+/// Populates `db` with deterministic data consistent with CompanyIcs();
+/// registers `bonus` (level × factor), creates key indexes, materializes
+/// the ASR.
+sqo::Status PopulateCompany(const CompanyConfig& config,
+                            const core::Pipeline& pipeline,
+                            engine::Database* db);
+
+}  // namespace sqo::workload
+
+#endif  // SQO_WORKLOAD_COMPANY_H_

@@ -1,0 +1,290 @@
+#include "workload/university.h"
+
+#include <random>
+
+#include "common/strings.h"
+
+namespace sqo::workload {
+
+using sqo::Value;
+
+std::string_view UniversityOdl() {
+  return R"odl(
+struct Address {
+  string street;
+  string city;
+};
+
+interface Person {
+  extent persons;
+  key name;
+  attribute string name;
+  attribute long age;
+  attribute Address address;
+};
+
+interface Employee : Person {
+  extent employees;
+  attribute double salary;
+  double taxes_withheld(in double rate);
+};
+
+interface Faculty : Employee {
+  extent faculty;
+  attribute string rank;
+  relationship Set<Section> teaches inverse Section::is_taught_by;
+};
+
+interface Student : Person {
+  extent students;
+  attribute string student_id;
+  relationship Set<Section> takes inverse Section::is_taken_by;
+};
+
+interface TA : Student {
+  extent tas;
+  attribute string employee_id;
+  relationship Section assists inverse Section::has_ta;
+};
+
+interface Course {
+  extent courses;
+  attribute string cname;
+  relationship Set<Section> has_sections inverse Section::is_section_of;
+};
+
+interface Section {
+  extent sections;
+  attribute string number;
+  relationship Set<Student> is_taken_by inverse Student::takes;
+  relationship Faculty is_taught_by inverse Faculty::teaches;
+  relationship Course is_section_of inverse Course::has_sections;
+  relationship TA has_ta inverse TA::assists;
+};
+)odl";
+}
+
+std::string_view UniversityIcs() {
+  return R"ics(
+IC1: Salary > 40K <- faculty(oid: X, salary: Salary).
+IC4: Age >= 30 <- faculty(oid: X, age: Age).
+IC9: has_ta(V, W) <- takes(X, Y), is_section_of(Y, Z), has_sections(Z, V).
+monotone(taxes_withheld, salary, increasing).
+point(taxes_withheld, 30K, 10%, 3000).
+)ics";
+}
+
+core::AsrDefinition UniversityAsr() {
+  core::AsrDefinition asr;
+  asr.name = "asr_student_ta";
+  asr.display_name = "asr_student_ta";
+  asr.path = {"takes", "is_section_of", "has_sections", "has_ta"};
+  return asr;
+}
+
+sqo::Result<core::Pipeline> MakeUniversityPipeline(
+    core::PipelineOptions options) {
+  return core::Pipeline::Create(UniversityOdl(), UniversityIcs(),
+                                {UniversityAsr()}, options);
+}
+
+sqo::Status PopulateUniversity(const GeneratorConfig& config,
+                               const core::Pipeline& pipeline,
+                               engine::Database* db) {
+  engine::ObjectStore& store = db->store();
+  std::mt19937_64 rng(config.seed);
+  auto rand_int = [&rng](int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(rng);
+  };
+  auto rand_double = [&rng](double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(rng);
+  };
+
+  // taxes_withheld(rate) = salary * rate — strictly increasing in salary
+  // for positive rates, and exactly 3000 at (30K, 10%), matching the
+  // declared method facts.
+  SQO_RETURN_IF_ERROR(store.RegisterMethod(
+      "taxes_withheld",
+      [](const engine::ObjectStore& s, sqo::Oid receiver,
+         const std::vector<Value>& args) -> sqo::Result<Value> {
+        if (args.size() != 1 || !args[0].is_numeric()) {
+          return sqo::InvalidArgumentError(
+              "taxes_withheld expects one numeric rate");
+        }
+        const datalog::RelationSignature* emp =
+            s.schema().catalog.Find("employee");
+        auto pos = emp->AttributeIndex("salary");
+        SQO_ASSIGN_OR_RETURN(Value salary,
+                             s.AttributeOf("employee", receiver, *pos));
+        if (!salary.is_numeric()) {
+          return sqo::InvalidArgumentError("receiver has no numeric salary");
+        }
+        return Value::Double(salary.AsNumeric() * args[0].AsNumeric());
+      }));
+
+  SQO_RETURN_IF_ERROR(db->CreateKeyIndexes());
+
+  auto make_address = [&](int i) -> sqo::Result<sqo::Oid> {
+    return store.CreateStruct(
+        "Address", {{"street", Value::String(std::to_string(i) + " Main St")},
+                    {"city", Value::String("city" + std::to_string(i % 17))}});
+  };
+
+  int person_counter = 0;
+  auto unique_name = [&](const std::string& prefix) {
+    return prefix + "_" + std::to_string(++person_counter);
+  };
+
+  // Plain persons (some younger than 30, for §5.2).
+  for (size_t i = 0; i < config.n_plain_persons; ++i) {
+    SQO_ASSIGN_OR_RETURN(sqo::Oid addr, make_address(person_counter));
+    SQO_RETURN_IF_ERROR(
+        store
+            .CreateObject(
+                "Person",
+                {{"name", Value::String(unique_name("person"))},
+                 {"age", Value::Int(rand_int(config.min_person_age,
+                                             config.max_person_age))},
+                 {"address", Value::FromOid(addr)}})
+            .status());
+  }
+
+  // Students; the first three get the paper's names.
+  std::vector<sqo::Oid> students;
+  for (size_t i = 0; i < config.n_students; ++i) {
+    SQO_ASSIGN_OR_RETURN(sqo::Oid addr, make_address(person_counter));
+    std::string name;
+    if (config.include_paper_names && i == 0) {
+      name = "john";
+      ++person_counter;
+    } else if (config.include_paper_names && i == 1) {
+      name = "james";
+      ++person_counter;
+    } else if (config.include_paper_names && i == 2) {
+      name = "johnson";
+      ++person_counter;
+    } else {
+      name = unique_name("student");
+    }
+    SQO_ASSIGN_OR_RETURN(
+        sqo::Oid student,
+        store.CreateObject(
+            "Student",
+            {{"name", Value::String(name)},
+             {"age", Value::Int(rand_int(config.min_person_age, 45))},
+             {"address", Value::FromOid(addr)},
+             {"student_id", Value::String("S" + std::to_string(i))}}));
+    students.push_back(student);
+  }
+
+  // Faculty (ages ≥ 31, salaries > 40K: the data honours IC1/IC4).
+  std::vector<sqo::Oid> faculty;
+  for (size_t i = 0; i < config.n_faculty; ++i) {
+    SQO_ASSIGN_OR_RETURN(sqo::Oid addr, make_address(person_counter));
+    SQO_ASSIGN_OR_RETURN(
+        sqo::Oid prof,
+        store.CreateObject(
+            "Faculty",
+            {{"name", Value::String(unique_name("prof"))},
+             {"age", Value::Int(rand_int(config.min_faculty_age,
+                                         config.max_faculty_age))},
+             {"address", Value::FromOid(addr)},
+             {"salary", Value::Double(rand_double(config.min_faculty_salary,
+                                                  config.max_faculty_salary))},
+             {"rank", Value::String(i % 3 == 0 ? "full" : "associate")}}));
+    faculty.push_back(prof);
+  }
+  if (faculty.empty()) {
+    return sqo::InvalidArgumentError("generator needs at least one faculty");
+  }
+
+  // Courses and sections; each section taught by a professor.
+  std::vector<sqo::Oid> sections;
+  for (size_t c = 0; c < config.n_courses; ++c) {
+    SQO_ASSIGN_OR_RETURN(
+        sqo::Oid course,
+        store.CreateObject(
+            "Course", {{"cname", Value::String("course" + std::to_string(c))}}));
+    for (size_t s = 0; s < config.sections_per_course; ++s) {
+      SQO_ASSIGN_OR_RETURN(
+          sqo::Oid section,
+          store.CreateObject(
+              "Section", {{"number", Value::String(std::to_string(c) + "." +
+                                                   std::to_string(s))}}));
+      SQO_RETURN_IF_ERROR(store.Relate("has_sections", course, section));
+      SQO_RETURN_IF_ERROR(store.Relate(
+          "teaches", faculty[(c * config.sections_per_course + s) % faculty.size()],
+          section));
+      sections.push_back(section);
+    }
+  }
+  if (sections.empty()) {
+    return sqo::InvalidArgumentError("generator needs at least one section");
+  }
+
+  // One TA per section (IC9 + the one-to-one has_ta).
+  for (size_t i = 0; i < sections.size(); ++i) {
+    SQO_ASSIGN_OR_RETURN(sqo::Oid addr, make_address(person_counter));
+    SQO_ASSIGN_OR_RETURN(
+        sqo::Oid ta,
+        store.CreateObject(
+            "TA", {{"name", Value::String(unique_name("ta"))},
+                   {"age", Value::Int(rand_int(21, 35))},
+                   {"address", Value::FromOid(addr)},
+                   {"student_id", Value::String("T" + std::to_string(i))},
+                   {"employee_id", Value::String("E" + std::to_string(i))}}));
+    SQO_RETURN_IF_ERROR(store.Relate("assists", ta, sections[i]));
+    // TAs also take a section (they are students).
+    SQO_RETURN_IF_ERROR(
+        store.Relate("takes", ta, sections[(i + 1) % sections.size()]));
+  }
+
+  // Student enrollment.
+  for (size_t i = 0; i < students.size(); ++i) {
+    for (size_t k = 0; k < config.takes_per_student; ++k) {
+      SQO_RETURN_IF_ERROR(store.Relate(
+          "takes", students[i],
+          sections[(i * 31 + k * 7 + static_cast<size_t>(rand_int(0, 3))) %
+                   sections.size()]));
+    }
+  }
+
+  // Materialize every registered ASR.
+  for (const core::AsrDefinition& asr : pipeline.compiled().asrs) {
+    SQO_RETURN_IF_ERROR(store.Materialize(asr));
+  }
+  return sqo::Status::Ok();
+}
+
+std::string QueryExample2() {
+  return "select z.name, w.city\n"
+         "from x in Student, y in x.takes, z in y.is_taught_by, w in z.address\n"
+         "where x.name = \"john\" and z.taxes_withheld(10%) < 1000";
+}
+
+std::string QueryScopeReduction() {
+  return "select x.name from x in Person where x.age < 30";
+}
+
+std::string QueryJoinElimination() {
+  return "select list(s.student_id, t.employee_id)\n"
+         "from s in Student, y in s.takes, z in y.is_taught_by,\n"
+         "     t in TA, v in t.takes, w in v.is_taught_by\n"
+         "where z.name = w.name";
+}
+
+std::string QueryAsrDirect() {
+  return "select w\n"
+         "from x in Student, y in x.takes, z in y.is_section_of,\n"
+         "     v in z.has_sections, w in v.has_ta\n"
+         "where x.name = \"james\"";
+}
+
+std::string QueryAsrIndirect() {
+  return "select v\n"
+         "from x in Student, y in x.takes, z in y.is_section_of,\n"
+         "     v in z.has_sections\n"
+         "where x.name = \"johnson\"";
+}
+
+}  // namespace sqo::workload

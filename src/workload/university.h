@@ -1,0 +1,77 @@
+#ifndef SQO_WORKLOAD_UNIVERSITY_H_
+#define SQO_WORKLOAD_UNIVERSITY_H_
+
+#include <string>
+#include <string_view>
+
+#include "engine/database.h"
+#include "sqo/pipeline.h"
+
+namespace sqo::workload {
+
+/// The paper's Figure-1 university schema, in ODL. Single-inheritance
+/// rendering: Person ← {Employee ← Faculty, Student ← TA}; Course and
+/// Section with the four relationships used in §5; `taxes_withheld` on
+/// Employee; `name` is a key on Person (so the §5.3 key IC holds on
+/// Faculty by inheritance).
+std::string_view UniversityOdl();
+
+/// The paper's application-specific integrity constraints: IC1 (faculty
+/// salary > 40K), IC4 (faculty age ≥ 30), IC9 (every section of a course a
+/// student takes has a TA), plus the method facts behind IC2/IC3
+/// (monotonicity of taxes_withheld in salary, and the 30K/10% → 3000
+/// point).
+std::string_view UniversityIcs();
+
+/// The §5.4 access support relation for the path
+/// takes · is_section_of · has_sections · has_ta (Student → TA).
+core::AsrDefinition UniversityAsr();
+
+/// Builds the compiled pipeline for the university schema (Step 1 +
+/// inference + semantic compilation), with the ASR registered.
+sqo::Result<core::Pipeline> MakeUniversityPipeline(
+    core::PipelineOptions options = {});
+
+/// Knobs of the synthetic data generator. Defaults give a small but
+/// non-trivial database; benches scale them.
+struct GeneratorConfig {
+  uint64_t seed = 42;
+
+  size_t n_plain_persons = 50;  // persons that are neither students nor staff
+  size_t n_students = 200;      // plain students (TAs come on top)
+  size_t n_faculty = 20;
+  size_t n_courses = 10;
+  size_t sections_per_course = 4;  // one TA per section (maintains IC9)
+  size_t takes_per_student = 3;
+
+  int min_person_age = 17;
+  int max_person_age = 85;
+  int min_faculty_age = 31;  // maintains IC4
+  int max_faculty_age = 70;
+  double min_faculty_salary = 45'000;  // maintains IC1
+  double max_faculty_salary = 120'000;
+  double ta_salary = 18'000;
+
+  /// Names guaranteed to exist (the paper's query constants): a student
+  /// "john", a student "james", a student "johnson".
+  bool include_paper_names = true;
+};
+
+/// Populates `db` with deterministic synthetic data consistent with every
+/// constraint of UniversityIcs(): registers the `taxes_withheld`
+/// implementation (salary × rate), creates key indexes, relates students/
+/// faculty/TAs to sections, and materializes the ASR.
+sqo::Status PopulateUniversity(const GeneratorConfig& config,
+                               const core::Pipeline& pipeline,
+                               engine::Database* db);
+
+/// The paper's queries, as OQL text over the university schema.
+std::string QueryExample2();       // §4.3 Example 2 / §5.1 contradiction
+std::string QueryScopeReduction(); // §5.2: persons younger than 30
+std::string QueryJoinElimination();// §5.3: student/TA pairs via faculty name
+std::string QueryAsrDirect();      // §5.4 Q: student → TA path, name "james"
+std::string QueryAsrIndirect();    // §5.4 Q1: path without has_ta, "johnson"
+
+}  // namespace sqo::workload
+
+#endif  // SQO_WORKLOAD_UNIVERSITY_H_

@@ -1,0 +1,99 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace sqo {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.message(), "bad token");
+  EXPECT_EQ(s.ToString(), "ParseError: bad token");
+}
+
+TEST(StatusTest, OkCodeDropsMessage) {
+  Status s(StatusCode::kOk, "ignored");
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.message(), "");
+}
+
+TEST(StatusTest, FactoriesProduceMatchingCodes) {
+  EXPECT_EQ(InvalidArgumentError("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(SemanticError("x").code(), StatusCode::kSemanticError);
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(UnsupportedError("x").code(), StatusCode::kUnsupported);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(ParseError("a"), ParseError("a"));
+  EXPECT_FALSE(ParseError("a") == ParseError("b"));
+  EXPECT_FALSE(ParseError("a") == SemanticError("a"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = NotFoundError("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return InvalidArgumentError("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  SQO_ASSIGN_OR_RETURN(int half, Half(x));
+  SQO_ASSIGN_OR_RETURN(int quarter, Half(half));
+  return quarter;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3 is odd
+  EXPECT_FALSE(Quarter(7).ok());
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return InvalidArgumentError("negative");
+  return Status::Ok();
+}
+
+Status CheckAll(int a, int b) {
+  SQO_RETURN_IF_ERROR(FailIfNegative(a));
+  SQO_RETURN_IF_ERROR(FailIfNegative(b));
+  return Status::Ok();
+}
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(CheckAll(1, 2).ok());
+  EXPECT_FALSE(CheckAll(-1, 2).ok());
+  EXPECT_FALSE(CheckAll(1, -2).ok());
+}
+
+}  // namespace
+}  // namespace sqo

@@ -1,0 +1,46 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace sqo {
+namespace {
+
+TEST(StringsTest, StrJoin) {
+  EXPECT_EQ(StrJoin({}, ", "), "");
+  EXPECT_EQ(StrJoin({"a"}, ", "), "a");
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StringsTest, StrSplit) {
+  EXPECT_EQ(StrSplit("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrSplit("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(StrSplit(",a,", ','), (std::vector<std::string>{"", "a", ""}));
+}
+
+TEST(StringsTest, ToLower) {
+  EXPECT_EQ(ToLower("AbC_9"), "abc_9");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("student_id", "student"));
+  EXPECT_FALSE(StartsWith("id", "student"));
+  EXPECT_TRUE(EndsWith("student_id", "_id"));
+  EXPECT_FALSE(EndsWith("id", "student_id"));
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.5), "1.50");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  a b \n"), "a b");
+  EXPECT_EQ(StripWhitespace("\t\n "), "");
+  EXPECT_EQ(StripWhitespace("x"), "x");
+}
+
+}  // namespace
+}  // namespace sqo

@@ -1,0 +1,95 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+namespace sqo {
+namespace {
+
+TEST(ValueTest, Kinds) {
+  EXPECT_EQ(Value().kind(), ValueKind::kNull);
+  EXPECT_EQ(Value::Int(1).kind(), ValueKind::kInt);
+  EXPECT_EQ(Value::Double(1.5).kind(), ValueKind::kDouble);
+  EXPECT_EQ(Value::String("a").kind(), ValueKind::kString);
+  EXPECT_EQ(Value::Bool(true).kind(), ValueKind::kBool);
+  EXPECT_EQ(Value::FromOid(Oid(3)).kind(), ValueKind::kOid);
+}
+
+TEST(ValueTest, NumericCrossKindEquality) {
+  EXPECT_TRUE(Value::Int(1).Equals(Value::Double(1.0)));
+  EXPECT_TRUE(Value::Double(2.0).Equals(Value::Int(2)));
+  EXPECT_FALSE(Value::Int(1).Equals(Value::Double(1.5)));
+}
+
+TEST(ValueTest, DistinctKindsNeverEqual) {
+  EXPECT_FALSE(Value::Int(1).Equals(Value::String("1")));
+  EXPECT_FALSE(Value::Bool(true).Equals(Value::Int(1)));
+  EXPECT_FALSE(Value::FromOid(Oid(1)).Equals(Value::Int(1)));
+  EXPECT_FALSE(Value().Equals(Value::Int(0)));
+  EXPECT_TRUE(Value().Equals(Value()));
+}
+
+TEST(ValueTest, NumericCompare) {
+  EXPECT_EQ(Value::Int(1).Compare(Value::Int(2)), -1);
+  EXPECT_EQ(Value::Int(2).Compare(Value::Int(2)), 0);
+  EXPECT_EQ(Value::Double(3.5).Compare(Value::Int(3)), 1);
+  EXPECT_EQ(Value::Int(3).Compare(Value::Double(3.5)), -1);
+}
+
+TEST(ValueTest, StringCompare) {
+  EXPECT_EQ(Value::String("a").Compare(Value::String("b")), -1);
+  EXPECT_EQ(Value::String("b").Compare(Value::String("b")), 0);
+  EXPECT_EQ(Value::String("c").Compare(Value::String("b")), 1);
+}
+
+TEST(ValueTest, UnorderedKindsCompareToNullopt) {
+  EXPECT_EQ(Value::Bool(true).Compare(Value::Bool(false)), std::nullopt);
+  EXPECT_EQ(Value::FromOid(Oid(1)).Compare(Value::FromOid(Oid(2))), std::nullopt);
+  EXPECT_EQ(Value::Int(1).Compare(Value::String("1")), std::nullopt);
+}
+
+TEST(ValueTest, HashConsistentWithEquals) {
+  EXPECT_EQ(Value::Int(5).Hash(), Value::Double(5.0).Hash());
+  EXPECT_EQ(Value::String("xyz").Hash(), Value::String("xyz").Hash());
+}
+
+TEST(ValueTest, TotalOrderIsStrictWeak) {
+  std::vector<Value> values = {Value::Int(3),         Value::Double(1.5),
+                               Value::String("b"),    Value::String("a"),
+                               Value::Bool(false),    Value::FromOid(Oid(9)),
+                               Value::FromOid(Oid(2)), Value()};
+  std::sort(values.begin(), values.end(), Value::TotalOrder);
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_FALSE(Value::TotalOrder(values[i], values[i])) << i;
+    for (size_t j = i + 1; j < values.size(); ++j) {
+      EXPECT_FALSE(Value::TotalOrder(values[j], values[i]))
+          << values[j].ToString() << " < " << values[i].ToString();
+    }
+  }
+}
+
+TEST(ValueTest, TotalOrderConsistentWithNumericEquality) {
+  // 1 == 1.0 must not order either way.
+  EXPECT_FALSE(Value::TotalOrder(Value::Int(1), Value::Double(1.0)));
+  EXPECT_FALSE(Value::TotalOrder(Value::Double(1.0), Value::Int(1)));
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Int(42).ToString(), "42");
+  EXPECT_EQ(Value::Double(2.5).ToString(), "2.5");
+  EXPECT_EQ(Value::Double(3.0).ToString(), "3.0");
+  EXPECT_EQ(Value::String("hi").ToString(), "\"hi\"");
+  EXPECT_EQ(Value::Bool(true).ToString(), "true");
+  EXPECT_EQ(Value::FromOid(Oid(7)).ToString(), "@7");
+  EXPECT_EQ(Value().ToString(), "null");
+}
+
+TEST(OidTest, Basics) {
+  EXPECT_FALSE(Oid().valid());
+  EXPECT_TRUE(Oid(1).valid());
+  EXPECT_EQ(Oid(3), Oid(3));
+  EXPECT_NE(Oid(3), Oid(4));
+  EXPECT_LT(Oid(3), Oid(4));
+}
+
+}  // namespace
+}  // namespace sqo

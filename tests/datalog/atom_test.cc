@@ -1,0 +1,105 @@
+#include "datalog/atom.h"
+
+#include <gtest/gtest.h>
+
+namespace sqo::datalog {
+namespace {
+
+TEST(CmpOpTest, NegateIsInvolution) {
+  for (CmpOp op : {CmpOp::kEq, CmpOp::kNe, CmpOp::kLt, CmpOp::kLe, CmpOp::kGt,
+                   CmpOp::kGe}) {
+    EXPECT_EQ(NegateOp(NegateOp(op)), op);
+  }
+}
+
+TEST(CmpOpTest, FlipIsInvolution) {
+  for (CmpOp op : {CmpOp::kEq, CmpOp::kNe, CmpOp::kLt, CmpOp::kLe, CmpOp::kGt,
+                   CmpOp::kGe}) {
+    EXPECT_EQ(FlipOp(FlipOp(op)), op);
+  }
+}
+
+TEST(CmpOpTest, EvalAgreesWithNegation) {
+  for (CmpOp op : {CmpOp::kEq, CmpOp::kNe, CmpOp::kLt, CmpOp::kLe, CmpOp::kGt,
+                   CmpOp::kGe}) {
+    for (int c : {-1, 0, 1}) {
+      EXPECT_NE(EvalCmp(op, c), EvalCmp(NegateOp(op), c));
+    }
+  }
+}
+
+TEST(CmpOpTest, EvalAgreesWithFlip) {
+  for (CmpOp op : {CmpOp::kEq, CmpOp::kNe, CmpOp::kLt, CmpOp::kLe, CmpOp::kGt,
+                   CmpOp::kGe}) {
+    for (int c : {-1, 0, 1}) {
+      EXPECT_EQ(EvalCmp(op, c), EvalCmp(FlipOp(op), -c));
+    }
+  }
+}
+
+TEST(AtomTest, PredicateAtom) {
+  Atom a = Atom::Pred("student", {Term::Var("X"), Term::String("john")});
+  EXPECT_TRUE(a.is_predicate());
+  EXPECT_EQ(a.predicate(), "student");
+  EXPECT_EQ(a.arity(), 2u);
+  EXPECT_EQ(a.ToString(), "student(X, \"john\")");
+}
+
+TEST(AtomTest, ComparisonAtom) {
+  Atom a = Atom::Comparison(CmpOp::kLt, Term::Var("Age"), Term::Int(30));
+  EXPECT_TRUE(a.is_comparison());
+  EXPECT_EQ(a.op(), CmpOp::kLt);
+  EXPECT_EQ(a.ToString(), "Age < 30");
+}
+
+TEST(AtomTest, CollectVariablesDeduplicatesInOrder) {
+  Atom a = Atom::Pred("p", {Term::Var("X"), Term::Var("Y"), Term::Var("X"),
+                            Term::Int(1)});
+  std::vector<std::string> vars;
+  a.CollectVariables(&vars);
+  EXPECT_EQ(vars, (std::vector<std::string>{"X", "Y"}));
+}
+
+TEST(AtomTest, Equality) {
+  Atom a = Atom::Pred("p", {Term::Var("X")});
+  Atom b = Atom::Pred("p", {Term::Var("X")});
+  Atom c = Atom::Pred("p", {Term::Var("Y")});
+  Atom d = Atom::Pred("q", {Term::Var("X")});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+  EXPECT_NE(a, Atom::Comparison(CmpOp::kEq, Term::Var("X"), Term::Var("X")));
+}
+
+TEST(LiteralTest, NegativeComparisonNormalizes) {
+  // ¬(a < b) is stored as a >= b.
+  Literal lit = Literal::Neg(
+      Atom::Comparison(CmpOp::kLt, Term::Var("A"), Term::Int(3)));
+  EXPECT_TRUE(lit.positive);
+  EXPECT_EQ(lit.atom.op(), CmpOp::kGe);
+}
+
+TEST(LiteralTest, ComplementOfPredicateFlipsSign) {
+  Literal lit = Literal::Pos(Atom::Pred("p", {Term::Var("X")}));
+  Literal comp = lit.Complement();
+  EXPECT_FALSE(comp.positive);
+  EXPECT_EQ(comp.atom, lit.atom);
+  EXPECT_EQ(comp.Complement(), lit);
+}
+
+TEST(LiteralTest, ComplementOfComparisonNegatesOp) {
+  Literal lit = Literal::Pos(
+      Atom::Comparison(CmpOp::kGe, Term::Var("Age"), Term::Int(30)));
+  Literal comp = lit.Complement();
+  EXPECT_TRUE(comp.positive);
+  EXPECT_EQ(comp.atom.op(), CmpOp::kLt);
+}
+
+TEST(LiteralTest, ToString) {
+  EXPECT_EQ(Literal::Neg(Atom::Pred("faculty", {Term::Var("X")})).ToString(),
+            "not faculty(X)");
+  EXPECT_EQ(Literal::Pos(Atom::Pred("p", {})).ToString(), "p()");
+}
+
+}  // namespace
+}  // namespace sqo::datalog

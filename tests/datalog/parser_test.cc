@@ -1,0 +1,199 @@
+#include "datalog/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace sqo::datalog {
+namespace {
+
+RelationCatalog MakeCatalog() {
+  RelationCatalog catalog;
+  RelationSignature faculty;
+  faculty.name = "faculty";
+  faculty.kind = RelationKind::kClass;
+  faculty.attributes = {"oid", "name", "age", "salary"};
+  EXPECT_TRUE(catalog.Add(faculty).ok());
+  RelationSignature takes;
+  takes.name = "takes";
+  takes.kind = RelationKind::kRelationship;
+  takes.attributes = {"src", "dst"};
+  EXPECT_TRUE(catalog.Add(takes).ok());
+  return catalog;
+}
+
+TEST(DatalogParserTest, SimpleRule) {
+  auto clause = ParseClauseText("Age > 30 <- faculty(X, N, Age, S).");
+  ASSERT_TRUE(clause.ok()) << clause.status().ToString();
+  EXPECT_TRUE(clause->head.has_value());
+  EXPECT_TRUE(clause->head->atom.is_comparison());
+  EXPECT_EQ(clause->head->atom.op(), CmpOp::kGt);
+  ASSERT_EQ(clause->body.size(), 1u);
+  EXPECT_EQ(clause->body[0].atom.predicate(), "faculty");
+  EXPECT_EQ(clause->body[0].atom.arity(), 4u);
+}
+
+TEST(DatalogParserTest, LabelIsCaptured) {
+  auto clause = ParseClauseText("IC4: Age >= 30 <- faculty(X, N, Age, S).");
+  ASSERT_TRUE(clause.ok());
+  EXPECT_EQ(clause->label, "IC4");
+}
+
+TEST(DatalogParserTest, ColonDashArrow) {
+  auto clause = ParseClauseText("p(X) :- q(X).");
+  ASSERT_TRUE(clause.ok());
+  EXPECT_EQ(clause->body.size(), 1u);
+}
+
+TEST(DatalogParserTest, Denial) {
+  auto clause = ParseClauseText("<- p(X), q(X).");
+  ASSERT_TRUE(clause.ok());
+  EXPECT_TRUE(clause->is_denial());
+  EXPECT_EQ(clause->body.size(), 2u);
+}
+
+TEST(DatalogParserTest, FalseHeadDenial) {
+  auto clause = ParseClauseText("false <- p(X).");
+  ASSERT_TRUE(clause.ok());
+  EXPECT_TRUE(clause->is_denial());
+}
+
+TEST(DatalogParserTest, Fact) {
+  auto clause = ParseClauseText("monotone(taxes_withheld, salary, increasing).");
+  ASSERT_TRUE(clause.ok());
+  EXPECT_TRUE(clause->body.empty());
+  const Atom& head = clause->head->atom;
+  EXPECT_EQ(head.args()[0], Term::String("taxes_withheld"));
+}
+
+TEST(DatalogParserTest, NumericSuffixes) {
+  auto clause = ParseClauseText("p(40K, 2M, 10%, 1.5).");
+  ASSERT_TRUE(clause.ok());
+  const auto& args = clause->head->atom.args();
+  EXPECT_EQ(args[0], Term::Int(40000));
+  EXPECT_EQ(args[1], Term::Int(2000000));
+  EXPECT_EQ(args[2], Term::Double(0.10));
+  EXPECT_EQ(args[3], Term::Double(1.5));
+}
+
+TEST(DatalogParserTest, StringsAndBooleans) {
+  auto clause = ParseClauseText("p(\"john doe\", true, false).");
+  ASSERT_TRUE(clause.ok());
+  const auto& args = clause->head->atom.args();
+  EXPECT_EQ(args[0], Term::String("john doe"));
+  EXPECT_EQ(args[1], Term::Bool(true));
+  EXPECT_EQ(args[2], Term::Bool(false));
+}
+
+TEST(DatalogParserTest, AnonymousVariablesAreFresh) {
+  auto clause = ParseClauseText("p(_, _) .");
+  ASSERT_TRUE(clause.ok());
+  const auto& args = clause->head->atom.args();
+  ASSERT_TRUE(args[0].is_variable());
+  ASSERT_TRUE(args[1].is_variable());
+  EXPECT_NE(args[0].var_name(), args[1].var_name());
+}
+
+TEST(DatalogParserTest, NegatedLiteral) {
+  auto clause = ParseClauseText("q(X) <- person(X), not faculty(X).");
+  ASSERT_TRUE(clause.ok());
+  EXPECT_TRUE(clause->body[0].positive);
+  EXPECT_FALSE(clause->body[1].positive);
+}
+
+TEST(DatalogParserTest, ComparisonOperators) {
+  auto program = ParseProgram(
+      "a(X) <- X = 1. b(X) <- X != 1. c(X) <- X <> 1. d(X) <- X <= 1. "
+      "e(X) <- X >= 1. f(X) <- X < 1. g(X) <- X > 1.");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  ASSERT_EQ(program->size(), 7u);
+  EXPECT_EQ((*program)[0].body[0].atom.op(), CmpOp::kEq);
+  EXPECT_EQ((*program)[1].body[0].atom.op(), CmpOp::kNe);
+  EXPECT_EQ((*program)[2].body[0].atom.op(), CmpOp::kNe);
+  EXPECT_EQ((*program)[3].body[0].atom.op(), CmpOp::kLe);
+  EXPECT_EQ((*program)[4].body[0].atom.op(), CmpOp::kGe);
+  EXPECT_EQ((*program)[5].body[0].atom.op(), CmpOp::kLt);
+  EXPECT_EQ((*program)[6].body[0].atom.op(), CmpOp::kGt);
+}
+
+TEST(DatalogParserTest, NamedArgumentsExpandAgainstCatalog) {
+  RelationCatalog catalog = MakeCatalog();
+  auto clause =
+      ParseClauseText("Salary > 40K <- faculty(oid: X, salary: Salary).",
+                      &catalog);
+  ASSERT_TRUE(clause.ok()) << clause.status().ToString();
+  const Atom& atom = clause->body[0].atom;
+  ASSERT_EQ(atom.arity(), 4u);
+  EXPECT_EQ(atom.args()[0], Term::Var("X"));
+  EXPECT_TRUE(atom.args()[1].is_variable());  // name: anonymous
+  EXPECT_TRUE(atom.args()[2].is_variable());  // age: anonymous
+  EXPECT_EQ(atom.args()[3], Term::Var("Salary"));
+}
+
+TEST(DatalogParserTest, NamedArgumentsRequireCatalog) {
+  auto clause = ParseClauseText("p(a: X).");
+  EXPECT_FALSE(clause.ok());
+  EXPECT_EQ(clause.status().code(), sqo::StatusCode::kParseError);
+}
+
+TEST(DatalogParserTest, NamedArgumentsRejectUnknownAttribute) {
+  RelationCatalog catalog = MakeCatalog();
+  auto clause = ParseClauseText("X > 1 <- faculty(oid: X, rank: R).", &catalog);
+  EXPECT_FALSE(clause.ok());
+}
+
+TEST(DatalogParserTest, NamedArgumentsRejectDuplicate) {
+  RelationCatalog catalog = MakeCatalog();
+  auto clause = ParseClauseText("X > 1 <- faculty(oid: X, oid: Y).", &catalog);
+  EXPECT_FALSE(clause.ok());
+}
+
+TEST(DatalogParserTest, PositionalArityCheckedAgainstCatalog) {
+  RelationCatalog catalog = MakeCatalog();
+  auto clause = ParseClauseText("X > 1 <- faculty(X, N).", &catalog);
+  EXPECT_FALSE(clause.ok());
+  // Full arity is accepted.
+  auto ok_clause = ParseClauseText("X > 1 <- faculty(X, N, A, S).", &catalog);
+  EXPECT_TRUE(ok_clause.ok());
+}
+
+TEST(DatalogParserTest, Comments) {
+  auto program = ParseProgram(
+      "-- a comment line\n"
+      "p(X) <- q(X).  // trailing comment\n"
+      "-- final comment");
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->size(), 1u);
+}
+
+TEST(DatalogParserTest, ErrorsCarryLineNumbers) {
+  auto program = ParseProgram("p(X) <- q(X).\np(Y) <- .");
+  ASSERT_FALSE(program.ok());
+  EXPECT_NE(program.status().message().find("line 2"), std::string::npos)
+      << program.status().ToString();
+}
+
+TEST(DatalogParserTest, UnterminatedString) {
+  auto clause = ParseClauseText("p(\"abc).");
+  EXPECT_FALSE(clause.ok());
+}
+
+TEST(DatalogParserTest, QueryRequiresPredicateHead) {
+  EXPECT_FALSE(ParseQueryText("X > 3 <- p(X).").ok());
+  auto q = ParseQueryText("q(X) :- p(X), X > 3.");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->name, "q");
+  EXPECT_EQ(q->head_args.size(), 1u);
+  EXPECT_EQ(q->body.size(), 2u);
+}
+
+TEST(DatalogParserTest, ProgramParsesMultipleClauses) {
+  auto program = ParseProgram(
+      "IC1: Salary > 40K <- faculty(X, N, A, Salary).\n"
+      "IC5: person(X) <- faculty(X, N, A, S).\n");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_EQ(program->size(), 2u);
+  EXPECT_EQ((*program)[0].label, "IC1");
+  EXPECT_EQ((*program)[1].label, "IC5");
+}
+
+}  // namespace
+}  // namespace sqo::datalog

@@ -1,0 +1,131 @@
+#include "datalog/program.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+
+namespace sqo::datalog {
+namespace {
+
+RelationCatalog MakeCatalog() {
+  RelationCatalog catalog;
+  RelationSignature faculty;
+  faculty.name = "faculty";
+  faculty.kind = RelationKind::kClass;
+  faculty.attributes = {"oid", "name", "age"};
+  EXPECT_TRUE(catalog.Add(faculty).ok());
+  return catalog;
+}
+
+std::vector<Clause> Parse(const std::string& text, const RelationCatalog* c) {
+  auto parsed = ParseProgram(text, c);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return *parsed;
+}
+
+TEST(ProgramTest, AcceptsValidClauses) {
+  RelationCatalog catalog = MakeCatalog();
+  auto program = Program::Create(
+      Parse("IC4: Age >= 30 <- faculty(X, N, Age).\n"
+            "key: X1 = X2 <- faculty(X1, N, A1), faculty(X2, N, A2).",
+            &catalog),
+      &catalog);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_EQ(program->size(), 2u);
+  EXPECT_NE(program->FindLabel("IC4"), nullptr);
+  EXPECT_EQ(program->FindLabel("IC9"), nullptr);
+  EXPECT_EQ(program->WithLabelPrefix("key").size(), 1u);
+}
+
+TEST(ProgramTest, RejectsUnknownRelation) {
+  RelationCatalog catalog = MakeCatalog();
+  auto program = Program::Create(Parse("X > 1 <- student(X).", nullptr),
+                                 &catalog);
+  ASSERT_FALSE(program.ok());
+  EXPECT_NE(program.status().message().find("student"), std::string::npos);
+}
+
+TEST(ProgramTest, RejectsArityMismatch) {
+  RelationCatalog catalog = MakeCatalog();
+  auto program =
+      Program::Create(Parse("X > 1 <- faculty(X).", nullptr), &catalog);
+  ASSERT_FALSE(program.ok());
+  EXPECT_NE(program.status().message().find("arity"), std::string::npos);
+}
+
+TEST(ProgramTest, RejectsNonRangeRestrictedClause) {
+  RelationCatalog catalog = MakeCatalog();
+  // B occurs only in a body comparison — the body cannot be evaluated.
+  auto program = Program::Create(
+      Parse("X1 = X1 <- faculty(X1, N, A), A > B.", &catalog), &catalog);
+  ASSERT_FALSE(program.ok());
+  EXPECT_NE(program.status().message().find("range-restricted"),
+            std::string::npos);
+}
+
+TEST(ProgramTest, HeadOnlyVariablesAreExistentialAndAllowed) {
+  // Per the paper's footnote 1, head variables absent from the body are
+  // existentially quantified — such clauses validate.
+  RelationCatalog catalog = MakeCatalog();
+  auto program = Program::Create(
+      Parse("A > B <- faculty(X, N, A).", &catalog), &catalog);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+}
+
+TEST(ProgramTest, MethodFactsAreExempt) {
+  RelationCatalog catalog = MakeCatalog();
+  auto program = Program::Create(
+      Parse("monotone(taxes_withheld, salary, increasing).\n"
+            "point(taxes_withheld, 30K, 10%, 3000).",
+            &catalog),
+      &catalog);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+}
+
+TEST(ProgramTest, RejectsDuplicateLabels) {
+  RelationCatalog catalog = MakeCatalog();
+  auto program = Program::Create(
+      Parse("A: Age > 1 <- faculty(X, N, Age).\n"
+            "A: Age > 2 <- faculty(X, N, Age).",
+            &catalog),
+      &catalog);
+  ASSERT_FALSE(program.ok());
+  EXPECT_NE(program.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(ProgramTest, UnlabeledClausesNeverCollide) {
+  RelationCatalog catalog = MakeCatalog();
+  auto program = Program::Create(
+      Parse("Age > 1 <- faculty(X, N, Age).\nAge > 2 <- faculty(X, N, Age).",
+            &catalog),
+      &catalog);
+  EXPECT_TRUE(program.ok());
+}
+
+TEST(ProgramTest, AppendValidatesToo) {
+  RelationCatalog catalog = MakeCatalog();
+  auto program = Program::Create({}, &catalog);
+  ASSERT_TRUE(program.ok());
+  Clause bad = Parse("X > 1 <- nothing(X).", nullptr)[0];
+  EXPECT_FALSE(program->Append(bad).ok());
+  Clause good = Parse("Age > 1 <- faculty(X, N, Age).", &catalog)[0];
+  EXPECT_TRUE(program->Append(good).ok());
+  EXPECT_EQ(program->size(), 1u);
+}
+
+TEST(ProgramTest, ToStringIncludesLabels) {
+  RelationCatalog catalog = MakeCatalog();
+  auto program = Program::Create(
+      Parse("IC4: Age >= 30 <- faculty(X, N, Age).", &catalog), &catalog);
+  ASSERT_TRUE(program.ok());
+  EXPECT_NE(program->ToString().find("IC4: "), std::string::npos);
+}
+
+TEST(ProgramTest, NullCatalogSkipsLookup) {
+  auto program =
+      Program::Create(Parse("X > 1 <- whatever(X).", nullptr), nullptr);
+  EXPECT_TRUE(program.ok());
+}
+
+}  // namespace
+}  // namespace sqo::datalog

@@ -1,0 +1,69 @@
+#include "datalog/substitution.h"
+
+#include <gtest/gtest.h>
+
+namespace sqo::datalog {
+namespace {
+
+TEST(SubstitutionTest, ApplyUnboundIsIdentity) {
+  Substitution s;
+  EXPECT_EQ(s.Apply(Term::Var("X")), Term::Var("X"));
+  EXPECT_EQ(s.Apply(Term::Int(3)), Term::Int(3));
+}
+
+TEST(SubstitutionTest, ApplyFollowsChains) {
+  Substitution s;
+  s.Bind("X", Term::Var("Y"));
+  s.Bind("Y", Term::Int(3));
+  EXPECT_EQ(s.Apply(Term::Var("X")), Term::Int(3));
+  EXPECT_EQ(s.Apply(Term::Var("Y")), Term::Int(3));
+}
+
+TEST(SubstitutionTest, ApplyToAtomAndLiteral) {
+  Substitution s;
+  s.Bind("X", Term::Int(1));
+  Atom a = Atom::Pred("p", {Term::Var("X"), Term::Var("Z")});
+  Atom applied = s.ApplyToAtom(a);
+  EXPECT_EQ(applied.args()[0], Term::Int(1));
+  EXPECT_EQ(applied.args()[1], Term::Var("Z"));
+
+  Literal lit = Literal::Neg(a);
+  Literal applied_lit = s.ApplyToLiteral(lit);
+  EXPECT_FALSE(applied_lit.positive);
+  EXPECT_EQ(applied_lit.atom, applied);
+}
+
+TEST(SubstitutionTest, ApplyToComparisonKeepsOp) {
+  Substitution s;
+  s.Bind("A", Term::Int(5));
+  Atom cmp = Atom::Comparison(CmpOp::kLe, Term::Var("A"), Term::Var("B"));
+  Atom applied = s.ApplyToAtom(cmp);
+  EXPECT_EQ(applied.op(), CmpOp::kLe);
+  EXPECT_EQ(applied.lhs(), Term::Int(5));
+}
+
+TEST(SubstitutionTest, EraseBinding) {
+  Substitution s;
+  s.Bind("X", Term::Int(1));
+  EXPECT_TRUE(s.Contains("X"));
+  s.EraseBinding("X");
+  EXPECT_FALSE(s.Contains("X"));
+  EXPECT_EQ(s.Apply(Term::Var("X")), Term::Var("X"));
+}
+
+TEST(SubstitutionTest, LookupReturnsRawBinding) {
+  Substitution s;
+  s.Bind("X", Term::Var("Y"));
+  ASSERT_NE(s.Lookup("X"), nullptr);
+  EXPECT_EQ(*s.Lookup("X"), Term::Var("Y"));  // raw, not resolved
+  EXPECT_EQ(s.Lookup("Q"), nullptr);
+}
+
+TEST(SubstitutionTest, ToString) {
+  Substitution s;
+  s.Bind("X", Term::Int(1));
+  EXPECT_EQ(s.ToString(), "{X -> 1}");
+}
+
+}  // namespace
+}  // namespace sqo::datalog

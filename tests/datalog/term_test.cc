@@ -1,0 +1,46 @@
+#include "datalog/term.h"
+
+#include <gtest/gtest.h>
+
+namespace sqo::datalog {
+namespace {
+
+TEST(TermTest, VariableBasics) {
+  Term v = Term::Var("X");
+  EXPECT_TRUE(v.is_variable());
+  EXPECT_FALSE(v.is_constant());
+  EXPECT_EQ(v.var_name(), "X");
+  EXPECT_EQ(v.ToString(), "X");
+}
+
+TEST(TermTest, ConstantBasics) {
+  Term c = Term::Int(5);
+  EXPECT_TRUE(c.is_constant());
+  EXPECT_EQ(c.constant().AsInt(), 5);
+  EXPECT_EQ(Term::String("a").ToString(), "\"a\"");
+  EXPECT_EQ(Term::Bool(false).ToString(), "false");
+  EXPECT_EQ(Term::FromOid(sqo::Oid(4)).ToString(), "@4");
+}
+
+TEST(TermTest, Equality) {
+  EXPECT_EQ(Term::Var("X"), Term::Var("X"));
+  EXPECT_NE(Term::Var("X"), Term::Var("Y"));
+  EXPECT_NE(Term::Var("X"), Term::String("X"));
+  EXPECT_EQ(Term::Int(1), Term::Double(1.0));  // semantic value equality
+  EXPECT_NE(Term::Int(1), Term::Int(2));
+}
+
+TEST(TermTest, OrderVariablesBeforeConstants) {
+  EXPECT_LT(Term::Var("Z"), Term::Int(0));
+  EXPECT_LT(Term::Var("A"), Term::Var("B"));
+}
+
+TEST(TermTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Term::Var("X").Hash(), Term::Var("X").Hash());
+  EXPECT_EQ(Term::Int(3).Hash(), Term::Double(3.0).Hash());
+  // A variable named like a string constant must not collide semantically.
+  EXPECT_NE(Term::Var("X"), Term::String("X"));
+}
+
+}  // namespace
+}  // namespace sqo::datalog

@@ -1,0 +1,120 @@
+#include "datalog/unify.h"
+
+#include <gtest/gtest.h>
+
+namespace sqo::datalog {
+namespace {
+
+TEST(UnifyTest, VariableBindsToConstant) {
+  Substitution s;
+  EXPECT_TRUE(UnifyTerms(Term::Var("X"), Term::Int(3), &s));
+  EXPECT_EQ(s.Apply(Term::Var("X")), Term::Int(3));
+}
+
+TEST(UnifyTest, ConstantsUnifyIffEqual) {
+  Substitution s;
+  EXPECT_TRUE(UnifyTerms(Term::Int(3), Term::Double(3.0), &s));
+  EXPECT_FALSE(UnifyTerms(Term::Int(3), Term::Int(4), &s));
+}
+
+TEST(UnifyTest, VariableChains) {
+  Substitution s;
+  EXPECT_TRUE(UnifyTerms(Term::Var("X"), Term::Var("Y"), &s));
+  EXPECT_TRUE(UnifyTerms(Term::Var("Y"), Term::Int(5), &s));
+  EXPECT_EQ(s.Apply(Term::Var("X")), Term::Int(5));
+  // Now X and a conflicting constant must fail.
+  EXPECT_FALSE(UnifyTerms(Term::Var("X"), Term::Int(6), &s));
+}
+
+TEST(UnifyTest, AtomsUnifyArgumentwise) {
+  Substitution s;
+  Atom a = Atom::Pred("p", {Term::Var("X"), Term::Int(1)});
+  Atom b = Atom::Pred("p", {Term::String("c"), Term::Var("Y")});
+  EXPECT_TRUE(UnifyAtoms(a, b, &s));
+  EXPECT_EQ(s.Apply(Term::Var("X")), Term::String("c"));
+  EXPECT_EQ(s.Apply(Term::Var("Y")), Term::Int(1));
+}
+
+TEST(UnifyTest, AtomsMismatch) {
+  Substitution s;
+  EXPECT_FALSE(UnifyAtoms(Atom::Pred("p", {Term::Var("X")}),
+                          Atom::Pred("q", {Term::Var("X")}), &s));
+  EXPECT_FALSE(UnifyAtoms(Atom::Pred("p", {Term::Var("X")}),
+                          Atom::Pred("p", {Term::Var("X"), Term::Var("Y")}), &s));
+}
+
+TEST(MatcherTest, BindsOnlyDeclaredVariables) {
+  Matcher m({"P"});
+  // Pattern variable P binds to the frozen target variable X.
+  EXPECT_TRUE(m.MatchTerm(Term::Var("P"), Term::Var("X")));
+  // Frozen variable Q (not bindable) cannot match a different target.
+  EXPECT_FALSE(m.MatchTerm(Term::Var("Q"), Term::Var("X")));
+  // But matches itself.
+  EXPECT_TRUE(m.MatchTerm(Term::Var("Q"), Term::Var("Q")));
+}
+
+TEST(MatcherTest, BoundPatternVarIsFrozenAfterwards) {
+  Matcher m({"P"});
+  EXPECT_TRUE(m.MatchTerm(Term::Var("P"), Term::Var("X")));
+  // P now denotes the frozen X; it must not rebind to Y.
+  EXPECT_FALSE(m.MatchTerm(Term::Var("P"), Term::Var("Y")));
+  EXPECT_TRUE(m.MatchTerm(Term::Var("P"), Term::Var("X")));
+}
+
+TEST(MatcherTest, MatchAtomRollsBackOnFailure) {
+  Matcher m({"P", "Q"});
+  Atom pattern = Atom::Pred("p", {Term::Var("P"), Term::Var("Q"), Term::Int(1)});
+  Atom target = Atom::Pred("p", {Term::Var("X"), Term::Var("Y"), Term::Int(2)});
+  EXPECT_FALSE(m.MatchAtom(pattern, target));
+  // Partial bindings from the failed match must be undone.
+  EXPECT_FALSE(m.subst().Contains("P"));
+  EXPECT_FALSE(m.subst().Contains("Q"));
+}
+
+TEST(MatcherTest, ExplicitMarkRollback) {
+  Matcher m({"P"});
+  size_t mark = m.Mark();
+  EXPECT_TRUE(m.MatchTerm(Term::Var("P"), Term::Int(3)));
+  EXPECT_TRUE(m.subst().Contains("P"));
+  m.RollbackTo(mark);
+  EXPECT_FALSE(m.subst().Contains("P"));
+}
+
+TEST(MatcherTest, ComparisonOpsMustAgree) {
+  Matcher m({"A"});
+  Atom lt = Atom::Comparison(CmpOp::kLt, Term::Var("A"), Term::Int(3));
+  Atom target_lt = Atom::Comparison(CmpOp::kLt, Term::Var("X"), Term::Int(3));
+  Atom target_le = Atom::Comparison(CmpOp::kLe, Term::Var("X"), Term::Int(3));
+  EXPECT_TRUE(m.MatchAtom(lt, target_lt));
+  Matcher m2({"A"});
+  EXPECT_FALSE(m2.MatchAtom(lt, target_le));
+}
+
+TEST(MatcherTest, LiteralPolarityMustAgree) {
+  Matcher m({"P"});
+  Literal pos = Literal::Pos(Atom::Pred("p", {Term::Var("P")}));
+  Literal neg_target = Literal::Neg(Atom::Pred("p", {Term::Var("X")}));
+  EXPECT_FALSE(m.MatchLiteral(pos, neg_target));
+}
+
+TEST(MatcherTest, FrozenEquivHookExtendsMatching) {
+  Matcher m({});
+  EXPECT_FALSE(m.MatchTerm(Term::Var("X"), Term::Var("Y")));
+  m.set_frozen_equiv([](const Term& a, const Term& b) {
+    return a == Term::Var("X") && b == Term::Var("Y");
+  });
+  EXPECT_TRUE(m.MatchTerm(Term::Var("X"), Term::Var("Y")));
+  EXPECT_FALSE(m.MatchTerm(Term::Var("Y"), Term::Var("X")));  // hook one-way
+}
+
+TEST(FreshVarGenTest, DistinctAndPrefixed) {
+  FreshVarGen gen("_T");
+  std::string a = gen.Next();
+  std::string b = gen.Next();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a.substr(0, 2), "_T");
+  EXPECT_TRUE(gen.NextVar().is_variable());
+}
+
+}  // namespace
+}  // namespace sqo::datalog

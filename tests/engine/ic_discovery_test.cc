@@ -1,0 +1,111 @@
+#include "engine/ic_discovery.h"
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "datalog/parser.h"
+#include "engine/constraint_checker.h"
+#include "sqo/optimizer.h"
+#include "sqo/semantic_compiler.h"
+#include "workload/university.h"
+
+namespace sqo::engine {
+namespace {
+
+class IcDiscoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto pipeline = workload::MakeUniversityPipeline();
+    ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+    pipeline_ = std::make_unique<core::Pipeline>(std::move(pipeline).value());
+    db_ = std::make_unique<Database>(&pipeline_->schema());
+    workload::GeneratorConfig config;
+    config.n_students = 50;
+    config.n_faculty = 10;
+    ASSERT_TRUE(workload::PopulateUniversity(config, *pipeline_, db_.get()).ok());
+  }
+
+  std::unique_ptr<core::Pipeline> pipeline_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(IcDiscoveryTest, DiscoversFacultySalaryRange) {
+  auto discovered = DiscoverConstraints(*db_);
+  const datalog::Clause* min_ic = nullptr;
+  for (const datalog::Clause& ic : discovered) {
+    if (ic.label == "discovered:range:faculty.salary:min") min_ic = &ic;
+  }
+  ASSERT_NE(min_ic, nullptr);
+  // The generator draws salaries from [45K, 120K], so the mined lower bound
+  // is at least 45K — strictly stronger than the declared IC1 (> 40K).
+  ASSERT_TRUE(min_ic->head.has_value());
+  EXPECT_EQ(min_ic->head->atom.op(), datalog::CmpOp::kGe);
+  EXPECT_GE(min_ic->head->atom.rhs().constant().AsNumeric(), 45000.0);
+}
+
+TEST_F(IcDiscoveryTest, DiscoversNameKey) {
+  auto discovered = DiscoverConstraints(*db_);
+  bool person_name_key = false;
+  for (const datalog::Clause& ic : discovered) {
+    if (ic.label == "discovered:key:person.name") person_name_key = true;
+  }
+  EXPECT_TRUE(person_name_key);
+}
+
+TEST_F(IcDiscoveryTest, NoKeyForRepeatingAttribute) {
+  auto discovered = DiscoverConstraints(*db_);
+  for (const datalog::Clause& ic : discovered) {
+    // Ages repeat across persons; rank repeats across faculty.
+    EXPECT_NE(ic.label, "discovered:key:person.age");
+    EXPECT_NE(ic.label, "discovered:key:faculty.rank");
+  }
+}
+
+TEST_F(IcDiscoveryTest, AllDiscoveredConstraintsHoldOnTheData) {
+  auto discovered = DiscoverConstraints(*db_);
+  ASSERT_FALSE(discovered.empty());
+  auto report = CheckConstraints(*db_, discovered, /*max_violations=*/4);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  for (const Violation& v : report->violations) ADD_FAILURE() << v.ToString();
+  EXPECT_TRUE(report->skipped.empty());
+}
+
+TEST_F(IcDiscoveryTest, SmallExtentsAreSkipped) {
+  DiscoveryOptions options;
+  options.min_extent = 1000000;
+  EXPECT_TRUE(DiscoverConstraints(*db_, options).empty());
+}
+
+TEST_F(IcDiscoveryTest, OptionsDisableFamilies) {
+  DiscoveryOptions no_keys;
+  no_keys.keys = false;
+  for (const datalog::Clause& ic : DiscoverConstraints(*db_, no_keys)) {
+    EXPECT_FALSE(sqo::StartsWith(ic.label, "discovered:key:")) << ic.label;
+  }
+  DiscoveryOptions no_ranges;
+  no_ranges.ranges = false;
+  for (const datalog::Clause& ic : DiscoverConstraints(*db_, no_ranges)) {
+    EXPECT_FALSE(sqo::StartsWith(ic.label, "discovered:range:")) << ic.label;
+  }
+}
+
+TEST_F(IcDiscoveryTest, DiscoveredIcsDriveSqo) {
+  // Compile a fresh semantic catalog from the *discovered* constraints only
+  // and verify they enable contradiction detection — SQO with zero declared
+  // application knowledge.
+  auto discovered = DiscoverConstraints(*db_);
+  auto compiled = core::CompileSemantics(&pipeline_->schema(), discovered, {});
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  core::Optimizer optimizer(&*compiled);
+  // Query for faculty below the mined salary floor: contradiction.
+  auto query = datalog::ParseQueryText(
+      "q(X) :- faculty(oid: X, salary: S), S < 40K.",
+      &pipeline_->schema().catalog);
+  ASSERT_TRUE(query.ok());
+  auto outcome = optimizer.Optimize(*query);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->contradiction);
+}
+
+}  // namespace
+}  // namespace sqo::engine

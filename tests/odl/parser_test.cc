@@ -1,0 +1,155 @@
+#include "odl/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace sqo::odl {
+namespace {
+
+TEST(OdlParserTest, EmptySchema) {
+  auto ast = ParseOdl("");
+  ASSERT_TRUE(ast.ok());
+  EXPECT_TRUE(ast->interfaces.empty());
+  EXPECT_TRUE(ast->structs.empty());
+}
+
+TEST(OdlParserTest, StructDecl) {
+  auto ast = ParseOdl("struct Address { string street; string city; };");
+  ASSERT_TRUE(ast.ok()) << ast.status().ToString();
+  ASSERT_EQ(ast->structs.size(), 1u);
+  EXPECT_EQ(ast->structs[0].name, "Address");
+  ASSERT_EQ(ast->structs[0].fields.size(), 2u);
+  EXPECT_EQ(ast->structs[0].fields[0].name, "street");
+  EXPECT_EQ(ast->structs[0].fields[0].type.base, BaseType::kString);
+}
+
+TEST(OdlParserTest, InterfaceWithMembers) {
+  auto ast = ParseOdl(R"(
+    interface Person {
+      extent persons;
+      key name;
+      attribute string name;
+      attribute long age;
+    };
+  )");
+  ASSERT_TRUE(ast.ok()) << ast.status().ToString();
+  ASSERT_EQ(ast->interfaces.size(), 1u);
+  const InterfaceDecl& p = ast->interfaces[0];
+  EXPECT_EQ(p.name, "Person");
+  EXPECT_EQ(p.extent, "persons");
+  EXPECT_EQ(p.keys, (std::vector<std::string>{"name"}));
+  ASSERT_EQ(p.attributes.size(), 2u);
+  EXPECT_EQ(p.attributes[1].type.base, BaseType::kLong);
+  EXPECT_FALSE(p.super.has_value());
+}
+
+TEST(OdlParserTest, InheritanceColonAndExtends) {
+  auto ast = ParseOdl(
+      "interface A {};\n"
+      "interface B : A {};\n"
+      "interface C extends A {};");
+  ASSERT_TRUE(ast.ok()) << ast.status().ToString();
+  EXPECT_EQ(*ast->interfaces[1].super, "A");
+  EXPECT_EQ(*ast->interfaces[2].super, "A");
+}
+
+TEST(OdlParserTest, Relationships) {
+  auto ast = ParseOdl(R"(
+    interface Section {};
+    interface Student {
+      relationship Set<Section> takes inverse Section::is_taken_by;
+      relationship Section favorite;
+    };
+  )");
+  ASSERT_TRUE(ast.ok()) << ast.status().ToString();
+  const InterfaceDecl& s = ast->interfaces[1];
+  ASSERT_EQ(s.relationships.size(), 2u);
+  EXPECT_TRUE(s.relationships[0].to_many());
+  EXPECT_EQ(s.relationships[0].collection, CollectionKind::kSet);
+  EXPECT_EQ(s.relationships[0].target, "Section");
+  ASSERT_TRUE(s.relationships[0].inverse.has_value());
+  EXPECT_EQ(s.relationships[0].inverse->first, "Section");
+  EXPECT_EQ(s.relationships[0].inverse->second, "is_taken_by");
+  EXPECT_FALSE(s.relationships[1].to_many());
+  EXPECT_FALSE(s.relationships[1].inverse.has_value());
+}
+
+TEST(OdlParserTest, ListAndBagCollections) {
+  auto ast = ParseOdl(R"(
+    interface X {};
+    interface Y {
+      relationship List<X> l;
+      relationship Bag<X> b;
+    };
+  )");
+  ASSERT_TRUE(ast.ok());
+  EXPECT_EQ(ast->interfaces[1].relationships[0].collection, CollectionKind::kList);
+  EXPECT_EQ(ast->interfaces[1].relationships[1].collection, CollectionKind::kBag);
+}
+
+TEST(OdlParserTest, Methods) {
+  auto ast = ParseOdl(R"(
+    interface Employee {
+      double taxes_withheld(in double rate);
+      void touch();
+      long combine(in long a, in long b);
+    };
+  )");
+  ASSERT_TRUE(ast.ok()) << ast.status().ToString();
+  const InterfaceDecl& e = ast->interfaces[0];
+  ASSERT_EQ(e.methods.size(), 3u);
+  EXPECT_EQ(e.methods[0].name, "taxes_withheld");
+  ASSERT_EQ(e.methods[0].params.size(), 1u);
+  EXPECT_EQ(e.methods[0].params[0].name, "rate");
+  EXPECT_EQ(e.methods[1].return_type.base, BaseType::kVoid);
+  EXPECT_EQ(e.methods[2].params.size(), 2u);
+}
+
+TEST(OdlParserTest, Comments) {
+  auto ast = ParseOdl(R"(
+    // line comment
+    interface A {
+      /* block
+         comment */
+      attribute long x;
+    };
+  )");
+  ASSERT_TRUE(ast.ok());
+  EXPECT_EQ(ast->interfaces[0].attributes.size(), 1u);
+}
+
+TEST(OdlParserTest, KeywordsCaseInsensitive) {
+  auto ast = ParseOdl("INTERFACE A { ATTRIBUTE STRING name; EXTENT all; };");
+  ASSERT_TRUE(ast.ok()) << ast.status().ToString();
+  EXPECT_EQ(ast->interfaces[0].attributes[0].name, "name");
+}
+
+TEST(OdlParserTest, TypeAliases) {
+  auto ast = ParseOdl(
+      "interface A { attribute short s; attribute real r; attribute bool b; "
+      "attribute int i; };");
+  ASSERT_TRUE(ast.ok());
+  EXPECT_EQ(ast->interfaces[0].attributes[0].type.base, BaseType::kLong);
+  EXPECT_EQ(ast->interfaces[0].attributes[1].type.base, BaseType::kFloat);
+  EXPECT_EQ(ast->interfaces[0].attributes[2].type.base, BaseType::kBoolean);
+  EXPECT_EQ(ast->interfaces[0].attributes[3].type.base, BaseType::kLong);
+}
+
+TEST(OdlParserTest, ErrorMissingSemicolon) {
+  auto ast = ParseOdl("interface A { attribute long x }");
+  EXPECT_FALSE(ast.ok());
+  EXPECT_EQ(ast.status().code(), sqo::StatusCode::kParseError);
+}
+
+TEST(OdlParserTest, ErrorUnexpectedTopLevel) {
+  auto ast = ParseOdl("module M {};");
+  EXPECT_FALSE(ast.ok());
+}
+
+TEST(OdlParserTest, ErrorCarriesLine) {
+  auto ast = ParseOdl("interface A {\n  attribute ; \n};");
+  ASSERT_FALSE(ast.ok());
+  EXPECT_NE(ast.status().message().find("line 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sqo::odl

@@ -1,0 +1,191 @@
+#include "odl/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "odl/parser.h"
+#include "workload/university.h"
+
+namespace sqo::odl {
+namespace {
+
+sqo::Result<Schema> ResolveText(std::string_view text) {
+  auto ast = ParseOdl(text);
+  if (!ast.ok()) return ast.status();
+  return Schema::Resolve(*ast);
+}
+
+TEST(SchemaTest, ResolvesUniversitySchema) {
+  auto schema = ResolveText(workload::UniversityOdl());
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  EXPECT_EQ(schema->classes().size(), 7u);
+  EXPECT_EQ(schema->structs().size(), 1u);
+  EXPECT_NE(schema->FindClass("Faculty"), nullptr);
+  EXPECT_NE(schema->FindStruct("Address"), nullptr);
+}
+
+TEST(SchemaTest, InheritedAttributesFormPrefix) {
+  auto schema = ResolveText(workload::UniversityOdl());
+  ASSERT_TRUE(schema.ok());
+  const ClassInfo* person = schema->FindClass("Person");
+  const ClassInfo* faculty = schema->FindClass("Faculty");
+  ASSERT_NE(person, nullptr);
+  ASSERT_NE(faculty, nullptr);
+  ASSERT_GE(faculty->all_attributes.size(), person->all_attributes.size());
+  for (size_t i = 0; i < person->all_attributes.size(); ++i) {
+    EXPECT_EQ(faculty->all_attributes[i].name, person->all_attributes[i].name);
+  }
+}
+
+TEST(SchemaTest, SimpleAttributesBeforeStructs) {
+  auto schema = ResolveText(
+      "struct S { long x; };"
+      "interface A { attribute S s; attribute long a; attribute string b; };");
+  ASSERT_TRUE(schema.ok());
+  const ClassInfo* a = schema->FindClass("A");
+  ASSERT_EQ(a->own_attributes.size(), 3u);
+  EXPECT_EQ(a->own_attributes[0].name, "a");
+  EXPECT_EQ(a->own_attributes[1].name, "b");
+  EXPECT_EQ(a->own_attributes[2].name, "s");
+  EXPECT_TRUE(a->own_attributes[2].is_struct());
+}
+
+TEST(SchemaTest, IsSubclassOfIsReflexiveAndTransitive) {
+  auto schema = ResolveText(workload::UniversityOdl());
+  ASSERT_TRUE(schema.ok());
+  EXPECT_TRUE(schema->IsSubclassOf("Faculty", "Faculty"));
+  EXPECT_TRUE(schema->IsSubclassOf("Faculty", "Employee"));
+  EXPECT_TRUE(schema->IsSubclassOf("Faculty", "Person"));
+  EXPECT_TRUE(schema->IsSubclassOf("TA", "Person"));
+  EXPECT_FALSE(schema->IsSubclassOf("Person", "Faculty"));
+  EXPECT_FALSE(schema->IsSubclassOf("Student", "Employee"));
+}
+
+TEST(SchemaTest, Subclasses) {
+  auto schema = ResolveText(workload::UniversityOdl());
+  ASSERT_TRUE(schema.ok());
+  auto direct = schema->DirectSubclasses("Person");
+  ASSERT_EQ(direct.size(), 2u);
+  auto all = schema->TransitiveSubclasses("Person");
+  EXPECT_EQ(all.size(), 4u);  // Employee, Faculty, Student, TA
+}
+
+TEST(SchemaTest, FindMembersWalkInheritance) {
+  auto schema = ResolveText(workload::UniversityOdl());
+  ASSERT_TRUE(schema.ok());
+  // takes is declared on Student; visible on TA.
+  EXPECT_NE(schema->FindRelationship("TA", "takes"), nullptr);
+  EXPECT_EQ(schema->FindRelationship("Person", "takes"), nullptr);
+  // taxes_withheld declared on Employee; visible on Faculty.
+  EXPECT_NE(schema->FindMethod("Faculty", "taxes_withheld"), nullptr);
+  EXPECT_EQ(schema->FindMethod("Student", "taxes_withheld"), nullptr);
+  // name declared on Person; visible everywhere.
+  EXPECT_NE(schema->FindAttribute("TA", "name"), nullptr);
+  EXPECT_NE(schema->FindStructField("Address", "city"), nullptr);
+  EXPECT_EQ(schema->FindStructField("Address", "zip"), nullptr);
+}
+
+TEST(SchemaTest, OneToOneDetection) {
+  auto schema = ResolveText(workload::UniversityOdl());
+  ASSERT_TRUE(schema.ok());
+  const ResolvedRelationship* has_ta = schema->FindRelationship("Section", "has_ta");
+  ASSERT_NE(has_ta, nullptr);
+  EXPECT_TRUE(has_ta->one_to_one);
+  const ResolvedRelationship* takes = schema->FindRelationship("Student", "takes");
+  ASSERT_NE(takes, nullptr);
+  EXPECT_FALSE(takes->one_to_one);
+  EXPECT_TRUE(takes->to_many);
+}
+
+TEST(SchemaTest, RejectsUnknownSuper) {
+  EXPECT_FALSE(ResolveText("interface A : Missing {};").ok());
+}
+
+TEST(SchemaTest, RejectsInheritanceCycle) {
+  EXPECT_FALSE(ResolveText("interface A : B {}; interface B : A {};").ok());
+}
+
+TEST(SchemaTest, RejectsDuplicateTypeNames) {
+  EXPECT_FALSE(ResolveText("interface A {}; interface A {};").ok());
+  EXPECT_FALSE(ResolveText("struct A { long x; }; interface A {};").ok());
+}
+
+TEST(SchemaTest, RejectsClassTypedAttribute) {
+  auto schema = ResolveText(
+      "interface B {}; interface A { attribute B other; };");
+  ASSERT_FALSE(schema.ok());
+  EXPECT_NE(schema.status().message().find("relationship"), std::string::npos);
+}
+
+TEST(SchemaTest, RejectsUnknownAttributeType) {
+  EXPECT_FALSE(ResolveText("interface A { attribute Mystery m; };").ok());
+}
+
+TEST(SchemaTest, RejectsMemberRedeclaration) {
+  EXPECT_FALSE(
+      ResolveText("interface A { attribute long x; attribute string x; };").ok());
+  // Shadowing an inherited member is also rejected.
+  EXPECT_FALSE(ResolveText(
+                   "interface A { attribute long x; };"
+                   "interface B : A { attribute long x; };")
+                   .ok());
+}
+
+TEST(SchemaTest, RejectsKeyOnNonAttribute) {
+  EXPECT_FALSE(ResolveText("interface A { key missing; };").ok());
+}
+
+TEST(SchemaTest, KeyOnInheritedAttributeAllowed) {
+  auto schema = ResolveText(
+      "interface A { attribute string name; };"
+      "interface B : A { key name; };");
+  EXPECT_TRUE(schema.ok()) << schema.status().ToString();
+}
+
+TEST(SchemaTest, RejectsBadInverse) {
+  // Inverse on the wrong class.
+  EXPECT_FALSE(ResolveText(
+                   "interface B {};"
+                   "interface C {};"
+                   "interface A { relationship B r inverse C::x; };")
+                   .ok());
+  // Inverse does not exist.
+  EXPECT_FALSE(ResolveText(
+                   "interface B {};"
+                   "interface A { relationship B r inverse B::missing; };")
+                   .ok());
+  // Inverse exists but targets an unrelated class.
+  EXPECT_FALSE(ResolveText(
+                   "interface C {};"
+                   "interface B { relationship C s; };"
+                   "interface A { relationship B r inverse B::s; };")
+                   .ok());
+}
+
+TEST(SchemaTest, RejectsCyclicStructNesting) {
+  EXPECT_FALSE(ResolveText(
+                   "struct A { B b; };"
+                   "struct B { A a; };")
+                   .ok());
+}
+
+TEST(SchemaTest, NestedStructsAllowed) {
+  auto schema = ResolveText(
+      "struct Inner { long x; };"
+      "struct Outer { Inner i; string s; };"
+      "interface A { attribute Outer o; };");
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  const StructInfo* outer = schema->FindStruct("Outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->fields[0].name, "s");  // simple first
+  EXPECT_TRUE(outer->fields[1].is_struct());
+}
+
+TEST(SchemaTest, RejectsMethodWithObjectParam) {
+  EXPECT_FALSE(ResolveText(
+                   "interface B {};"
+                   "interface A { long m(in B arg); };")
+                   .ok());
+}
+
+}  // namespace
+}  // namespace sqo::odl

@@ -1,0 +1,97 @@
+#include "oql/ast.h"
+
+#include <gtest/gtest.h>
+
+namespace sqo::oql {
+namespace {
+
+TEST(ExprTest, LiteralToString) {
+  EXPECT_EQ(Expr::Literal(sqo::Value::Int(3)).ToString(), "3");
+  EXPECT_EQ(Expr::Literal(sqo::Value::String("a")).ToString(), "\"a\"");
+  EXPECT_EQ(Expr::Literal(sqo::Value::Double(0.1)).ToString(), "0.1");
+}
+
+TEST(ExprTest, PathToString) {
+  PathStep name{"name", std::nullopt};
+  EXPECT_EQ(Expr::Path("x", {name}).ToString(), "x.name");
+  PathStep call{"taxes_withheld", std::vector<Expr>{Expr::Literal(
+                                      sqo::Value::Double(0.1))}};
+  EXPECT_EQ(Expr::Path("z", {call}).ToString(), "z.taxes_withheld(0.1)");
+  PathStep noargs{"touch", std::vector<Expr>{}};
+  EXPECT_EQ(Expr::Path("z", {noargs}).ToString(), "z.touch()");
+}
+
+TEST(ExprTest, ConstructorsToString) {
+  Expr s;
+  s.kind = Expr::Kind::kStruct;
+  s.ctor_name = "struct";
+  StructField f;
+  f.name = "a";
+  f.value.push_back(Expr::Ident("x"));
+  s.fields.push_back(f);
+  EXPECT_EQ(s.ToString(), "struct(a: x)");
+
+  Expr l;
+  l.kind = Expr::Kind::kCollection;
+  l.ctor_name = "list";
+  l.elements.push_back(Expr::Ident("x"));
+  l.elements.push_back(Expr::Literal(sqo::Value::Int(1)));
+  EXPECT_EQ(l.ToString(), "list(x, 1)");
+}
+
+TEST(ExprTest, EqualityDistinguishesKinds) {
+  EXPECT_EQ(Expr::Ident("x"), Expr::Ident("x"));
+  EXPECT_FALSE(Expr::Ident("x") == Expr::Ident("y"));
+  EXPECT_FALSE(Expr::Ident("x") == Expr::Literal(sqo::Value::String("x")));
+  PathStep s1{"a", std::nullopt};
+  PathStep s2{"a", std::vector<Expr>{}};
+  // A bare step and a zero-arg call are different.
+  EXPECT_FALSE(Expr::Path("x", {s1}) == Expr::Path("x", {s2}));
+}
+
+TEST(PredicateTest, ToStringForms) {
+  Predicate cmp = Predicate::Comparison(Expr::Ident("x"), sqo::CmpOp::kLt,
+                                        Expr::Literal(sqo::Value::Int(3)));
+  EXPECT_EQ(cmp.ToString(), "x < 3");
+  Predicate in = Predicate::Membership(Expr::Ident("x"), Expr::Ident("C"), true);
+  EXPECT_EQ(in.ToString(), "x in C");
+  Predicate not_in =
+      Predicate::Membership(Expr::Ident("x"), Expr::Ident("C"), false);
+  EXPECT_EQ(not_in.ToString(), "x not in C");
+  Predicate ex = Predicate::Exists("y", Expr::Path("x", {{"takes", std::nullopt}}),
+                                   {cmp});
+  EXPECT_EQ(ex.ToString(), "exists y in x.takes : (x < 3)");
+}
+
+TEST(FromEntryTest, ToString) {
+  EXPECT_EQ(FromEntry::Range("x", Expr::Ident("Person")).ToString(),
+            "x in Person");
+  EXPECT_EQ(FromEntry::Range("x", Expr::Ident("Faculty"), false).ToString(),
+            "x not in Faculty");
+}
+
+TEST(SelectQueryTest, ToStringLayout) {
+  SelectQuery q;
+  q.distinct = true;
+  q.select_list.push_back(Expr::Path("x", {{"name", std::nullopt}}));
+  q.from.push_back(FromEntry::Range("x", Expr::Ident("Person")));
+  q.where.push_back(Predicate::Comparison(
+      Expr::Path("x", {{"age", std::nullopt}}), sqo::CmpOp::kLt,
+      Expr::Literal(sqo::Value::Int(30))));
+  EXPECT_EQ(q.ToString(),
+            "select distinct x.name\nfrom x in Person\nwhere x.age < 30");
+}
+
+TEST(SelectQueryTest, EqualityIsStructural) {
+  SelectQuery a, b;
+  a.select_list.push_back(Expr::Ident("x"));
+  b.select_list.push_back(Expr::Ident("x"));
+  a.from.push_back(FromEntry::Range("x", Expr::Ident("Person")));
+  b.from.push_back(FromEntry::Range("x", Expr::Ident("Person")));
+  EXPECT_EQ(a, b);
+  b.distinct = true;
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace sqo::oql

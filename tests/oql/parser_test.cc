@@ -1,0 +1,209 @@
+#include "oql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace sqo::oql {
+namespace {
+
+SelectQuery Parse(const std::string& text) {
+  auto q = ParseOql(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return q.ok() ? *q : SelectQuery{};
+}
+
+TEST(OqlParserTest, MinimalQuery) {
+  SelectQuery q = Parse("select x.name from x in Person");
+  ASSERT_EQ(q.select_list.size(), 1u);
+  EXPECT_EQ(q.select_list[0].base, "x");
+  ASSERT_EQ(q.select_list[0].steps.size(), 1u);
+  EXPECT_EQ(q.select_list[0].steps[0].name, "name");
+  ASSERT_EQ(q.from.size(), 1u);
+  EXPECT_EQ(q.from[0].var, "x");
+  EXPECT_TRUE(q.where.empty());
+  EXPECT_FALSE(q.distinct);
+}
+
+TEST(OqlParserTest, Distinct) {
+  EXPECT_TRUE(Parse("select distinct x from x in Person").distinct);
+}
+
+TEST(OqlParserTest, PaperExample2) {
+  SelectQuery q = Parse(
+      "select z.name, w.city\n"
+      "from x in Student y in x.takes z in y.is_taught_by w in z.address\n"
+      "where x.name = \"john\" and z.taxes_withheld(10%) < 1000");
+  EXPECT_EQ(q.select_list.size(), 2u);
+  ASSERT_EQ(q.from.size(), 4u);
+  EXPECT_EQ(q.from[1].var, "y");
+  EXPECT_EQ(q.from[1].domain.front().base, "x");
+  EXPECT_EQ(q.from[1].domain.front().steps[0].name, "takes");
+  ASSERT_EQ(q.where.size(), 2u);
+  EXPECT_EQ(q.where[0].kind, Predicate::Kind::kComparison);
+  EXPECT_EQ(q.where[0].rhs.front().literal, sqo::Value::String("john"));
+  // Method call with percent literal.
+  const Expr& call = q.where[1].lhs.front();
+  ASSERT_EQ(call.steps.size(), 1u);
+  ASSERT_TRUE(call.steps[0].is_call());
+  EXPECT_EQ(call.steps[0].call_args->front().literal, sqo::Value::Double(0.10));
+  EXPECT_EQ(q.where[1].rhs.front().literal, sqo::Value::Int(1000));
+}
+
+TEST(OqlParserTest, CommaSeparatedFrom) {
+  SelectQuery q = Parse("select x from x in A, y in x.r, z in y.s");
+  EXPECT_EQ(q.from.size(), 3u);
+}
+
+TEST(OqlParserTest, SqlStyleFrom) {
+  SelectQuery q = Parse("select p from Person as p");
+  ASSERT_EQ(q.from.size(), 1u);
+  EXPECT_EQ(q.from[0].var, "p");
+  EXPECT_EQ(q.from[0].domain.front().base, "Person");
+  SelectQuery q2 = Parse("select p from Person p");
+  EXPECT_EQ(q2.from[0].var, "p");
+}
+
+TEST(OqlParserTest, NotInFromEntry) {
+  SelectQuery q = Parse(
+      "select x.name from x in Person, x not in Faculty where x.age < 30");
+  ASSERT_EQ(q.from.size(), 2u);
+  EXPECT_TRUE(q.from[0].positive);
+  EXPECT_FALSE(q.from[1].positive);
+  EXPECT_EQ(q.from[1].var, "x");
+}
+
+TEST(OqlParserTest, MembershipPredicates) {
+  SelectQuery q = Parse(
+      "select x from x in Person where x in Faculty and x not in Student");
+  ASSERT_EQ(q.where.size(), 2u);
+  EXPECT_EQ(q.where[0].kind, Predicate::Kind::kMembership);
+  EXPECT_TRUE(q.where[0].positive);
+  EXPECT_FALSE(q.where[1].positive);
+}
+
+TEST(OqlParserTest, ListConstructor) {
+  SelectQuery q = Parse(
+      "select list(s.student_id, t.employee_id) from s in Student, t in TA");
+  ASSERT_EQ(q.select_list.size(), 1u);
+  const Expr& ctor = q.select_list[0];
+  EXPECT_EQ(ctor.kind, Expr::Kind::kCollection);
+  EXPECT_EQ(ctor.ctor_name, "list");
+  EXPECT_EQ(ctor.elements.size(), 2u);
+}
+
+TEST(OqlParserTest, StructConstructor) {
+  SelectQuery q =
+      Parse("select struct(who: x.name, old: x.age) from x in Person");
+  const Expr& ctor = q.select_list[0];
+  EXPECT_EQ(ctor.kind, Expr::Kind::kStruct);
+  ASSERT_EQ(ctor.fields.size(), 2u);
+  EXPECT_EQ(ctor.fields[0].name, "who");
+  EXPECT_EQ(ctor.fields[1].value.front().steps[0].name, "age");
+}
+
+TEST(OqlParserTest, NamedStructConstructor) {
+  SelectQuery q = Parse("select Pair(a: x.name, b: 1) from x in Person");
+  EXPECT_EQ(q.select_list[0].kind, Expr::Kind::kStruct);
+  EXPECT_EQ(q.select_list[0].ctor_name, "Pair");
+}
+
+TEST(OqlParserTest, NumericSuffixLiterals) {
+  SelectQuery q = Parse("select x from x in E where x.salary > 40K");
+  EXPECT_EQ(q.where[0].rhs.front().literal, sqo::Value::Int(40000));
+}
+
+TEST(OqlParserTest, ComparisonOperators) {
+  SelectQuery q = Parse(
+      "select x from x in E where x.a = 1 and x.b != 2 and x.c <= 3 and "
+      "x.d >= 4 and x.e < 5 and x.f > 6 and x.g <> 7");
+  ASSERT_EQ(q.where.size(), 7u);
+  EXPECT_EQ(q.where[0].op, sqo::CmpOp::kEq);
+  EXPECT_EQ(q.where[1].op, sqo::CmpOp::kNe);
+  EXPECT_EQ(q.where[2].op, sqo::CmpOp::kLe);
+  EXPECT_EQ(q.where[3].op, sqo::CmpOp::kGe);
+  EXPECT_EQ(q.where[4].op, sqo::CmpOp::kLt);
+  EXPECT_EQ(q.where[5].op, sqo::CmpOp::kGt);
+  EXPECT_EQ(q.where[6].op, sqo::CmpOp::kNe);
+}
+
+TEST(OqlParserTest, RoundTripThroughToString) {
+  const char* texts[] = {
+      "select x.name from x in Person where x.age < 30",
+      "select z.name, w.city from x in Student, y in x.takes, z in "
+      "y.is_taught_by, w in z.address where x.name = \"john\"",
+      "select list(s.student_id, t.employee_id) from s in Student, t in TA "
+      "where s.name = t.name",
+      "select x.name from x in Person, x not in Faculty where x.age < 30",
+  };
+  for (const char* text : texts) {
+    SelectQuery q1 = Parse(text);
+    SelectQuery q2 = Parse(q1.ToString());
+    EXPECT_EQ(q1, q2) << text << "\n--- printed ---\n" << q1.ToString();
+  }
+}
+
+TEST(OqlParserTest, ExistsSinglePredicate) {
+  SelectQuery q = Parse(
+      "select x.name from x in Student "
+      "where exists y in x.takes : y.number = \"1\"");
+  ASSERT_EQ(q.where.size(), 1u);
+  const Predicate& p = q.where[0];
+  EXPECT_EQ(p.kind, Predicate::Kind::kExists);
+  EXPECT_EQ(p.var, "y");
+  EXPECT_EQ(p.collection.front().base, "x");
+  ASSERT_EQ(p.inner.size(), 1u);
+  EXPECT_EQ(p.inner[0].kind, Predicate::Kind::kComparison);
+}
+
+TEST(OqlParserTest, ExistsParenthesizedConjunction) {
+  SelectQuery q = Parse(
+      "select x from x in Student "
+      "where exists y in x.takes : (y.number = \"1\" and y.number != \"2\") "
+      "and x.age < 30");
+  ASSERT_EQ(q.where.size(), 2u);
+  EXPECT_EQ(q.where[0].kind, Predicate::Kind::kExists);
+  EXPECT_EQ(q.where[0].inner.size(), 2u);
+  EXPECT_EQ(q.where[1].kind, Predicate::Kind::kComparison);
+}
+
+TEST(OqlParserTest, NestedExists) {
+  SelectQuery q = Parse(
+      "select x from x in Student where exists y in x.takes : "
+      "exists z in y.is_taken_by : z.age < 20");
+  ASSERT_EQ(q.where.size(), 1u);
+  ASSERT_EQ(q.where[0].inner.size(), 1u);
+  EXPECT_EQ(q.where[0].inner[0].kind, Predicate::Kind::kExists);
+}
+
+TEST(OqlParserTest, ExistsRoundTrip) {
+  SelectQuery q1 = Parse(
+      "select x.name from x in Student "
+      "where exists y in x.takes : (y.number = \"1\" and y.number != \"2\")");
+  SelectQuery q2 = Parse(q1.ToString());
+  EXPECT_EQ(q1, q2) << q1.ToString();
+}
+
+TEST(OqlParserTest, ExistsErrors) {
+  EXPECT_FALSE(ParseOql("select x from x in S where exists : x.a = 1").ok());
+  EXPECT_FALSE(
+      ParseOql("select x from x in S where exists y in x.r x.a = 1").ok());
+  EXPECT_FALSE(
+      ParseOql("select x from x in S where exists y x.r : x.a = 1").ok());
+}
+
+TEST(OqlParserTest, Errors) {
+  EXPECT_FALSE(ParseOql("from x in Person").ok());
+  EXPECT_FALSE(ParseOql("select x").ok());
+  EXPECT_FALSE(ParseOql("select x from x in Person where").ok());
+  EXPECT_FALSE(ParseOql("select x from x in Person trailing").ok());
+  EXPECT_FALSE(ParseOql("select x from x in Person where x.a <").ok());
+  EXPECT_FALSE(ParseOql("select x from 3 in Person").ok());
+}
+
+TEST(OqlParserTest, KeywordsCaseInsensitive) {
+  SelectQuery q = Parse("SELECT x FROM x IN Person WHERE x.age < 30");
+  EXPECT_EQ(q.from.size(), 1u);
+  EXPECT_EQ(q.where.size(), 1u);
+}
+
+}  // namespace
+}  // namespace sqo::oql

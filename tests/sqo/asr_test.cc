@@ -1,0 +1,102 @@
+#include "sqo/asr.h"
+
+#include <gtest/gtest.h>
+
+#include "odl/parser.h"
+#include "workload/university.h"
+
+namespace sqo::core {
+namespace {
+
+class AsrTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto ast = odl::ParseOdl(workload::UniversityOdl());
+    ASSERT_TRUE(ast.ok());
+    auto schema = odl::Schema::Resolve(*ast);
+    ASSERT_TRUE(schema.ok());
+    auto translated = translate::TranslateSchema(*schema);
+    ASSERT_TRUE(translated.ok());
+    schema_ = std::make_unique<translate::TranslatedSchema>(
+        std::move(translated).value());
+  }
+
+  std::unique_ptr<translate::TranslatedSchema> schema_;
+  std::vector<AsrDefinition> registry_;
+};
+
+TEST_F(AsrTest, RegistersPaperAsr) {
+  AsrDefinition def = workload::UniversityAsr();
+  ASSERT_TRUE(RegisterAsr(def, schema_.get(), &registry_).ok());
+  ASSERT_EQ(registry_.size(), 1u);
+  const AsrDefinition& asr = registry_[0];
+  // View: asr(X0, X4) <- takes(X0,X1), is_section_of(X1,X2),
+  //                      has_sections(X2,X3), has_ta(X3,X4).
+  EXPECT_EQ(asr.view.body.size(), 4u);
+  EXPECT_EQ(asr.path_vars.size(), 5u);
+  EXPECT_EQ(asr.view.head->atom.predicate(), asr.name);
+
+  const datalog::RelationSignature* sig = schema_->catalog.Find(asr.name);
+  ASSERT_NE(sig, nullptr);
+  EXPECT_EQ(sig->kind, datalog::RelationKind::kAsr);
+  EXPECT_EQ(sig->owner, "Student");
+  EXPECT_EQ(sig->target, "TA");
+  // takes is to-many, so the ASR is not functional forward; has_ta's
+  // backward functionality does not survive the to-many hops backward
+  // (is_taken_by is to-many), so not functional backward either.
+  EXPECT_FALSE(sig->functional_src_to_dst);
+  EXPECT_FALSE(sig->functional_dst_to_src);
+}
+
+TEST_F(AsrTest, FunctionalityDerivedFromPath) {
+  AsrDefinition def;
+  def.name = "asr_section_course_sections";
+  def.path = {"is_section_of", "has_sections"};
+  ASSERT_TRUE(RegisterAsr(def, schema_.get(), &registry_).ok());
+  const datalog::RelationSignature* sig =
+      schema_->catalog.Find("asr_section_course_sections");
+  // is_section_of is to-one but has_sections is to-many: not fwd functional.
+  EXPECT_FALSE(sig->functional_src_to_dst);
+}
+
+TEST_F(AsrTest, RejectsShortPath) {
+  AsrDefinition def;
+  def.name = "bad";
+  def.path = {"takes"};
+  EXPECT_FALSE(RegisterAsr(def, schema_.get(), &registry_).ok());
+}
+
+TEST_F(AsrTest, RejectsNonRelationshipElement) {
+  AsrDefinition def;
+  def.name = "bad";
+  def.path = {"takes", "faculty"};
+  EXPECT_FALSE(RegisterAsr(def, schema_.get(), &registry_).ok());
+}
+
+TEST_F(AsrTest, RejectsNonChainingPath) {
+  AsrDefinition def;
+  def.name = "bad";
+  def.path = {"takes", "has_sections"};  // Section then Course-source: no chain
+  auto status = RegisterAsr(def, schema_.get(), &registry_);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("chain"), std::string::npos);
+}
+
+TEST_F(AsrTest, RejectsNameCollision) {
+  AsrDefinition def;
+  def.name = "takes";  // collides with the relationship
+  def.path = {"takes", "is_section_of"};
+  EXPECT_FALSE(RegisterAsr(def, schema_.get(), &registry_).ok());
+}
+
+TEST_F(AsrTest, SubclassChainingAllowed) {
+  // assists starts at TA which is a subclass of Student: a path
+  // takes → ... ending at TA then assists must chain.
+  AsrDefinition def;
+  def.name = "asr_ta_course";
+  def.path = {"assists", "is_section_of"};
+  EXPECT_TRUE(RegisterAsr(def, schema_.get(), &registry_).ok());
+}
+
+}  // namespace
+}  // namespace sqo::core

@@ -1,0 +1,228 @@
+#include "sqo/ic_inference.h"
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "datalog/parser.h"
+#include "odl/parser.h"
+#include "workload/university.h"
+
+namespace sqo::core {
+namespace {
+
+using datalog::Clause;
+
+class IcInferenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto ast = odl::ParseOdl(workload::UniversityOdl());
+    ASSERT_TRUE(ast.ok());
+    auto schema = odl::Schema::Resolve(*ast);
+    ASSERT_TRUE(schema.ok());
+    auto translated = translate::TranslateSchema(*schema);
+    ASSERT_TRUE(translated.ok());
+    schema_ = std::make_unique<translate::TranslatedSchema>(
+        std::move(translated).value());
+  }
+
+  std::vector<Clause> ParseIcs(const std::string& text) {
+    auto parsed = datalog::ParseProgram(text, &schema_->catalog);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    return *parsed;
+  }
+
+  static const Clause* FindLabelPrefix(const std::vector<Clause>& ics,
+                                       const std::string& prefix) {
+    for (const Clause& ic : ics) {
+      if (sqo::StartsWith(ic.label, prefix)) return &ic;
+    }
+    return nullptr;
+  }
+
+  std::unique_ptr<translate::TranslatedSchema> schema_;
+};
+
+TEST_F(IcInferenceTest, ExtractMethodFacts) {
+  std::vector<Clause> clauses = ParseIcs(
+      "monotone(taxes_withheld, salary, increasing).\n"
+      "point(taxes_withheld, 30K, 10%, 3000).\n"
+      "IC1: Salary > 40K <- faculty(oid: X, salary: Salary).");
+  InferenceInput input;
+  ASSERT_TRUE(ExtractMethodFacts(&clauses, &input).ok());
+  EXPECT_EQ(clauses.size(), 1u);  // only IC1 remains
+  ASSERT_EQ(input.monotonicities.size(), 1u);
+  EXPECT_EQ(input.monotonicities[0].method, "taxes_withheld");
+  EXPECT_EQ(input.monotonicities[0].attribute, "salary");
+  EXPECT_TRUE(input.monotonicities[0].strict);
+  ASSERT_EQ(input.point_facts.size(), 1u);
+  EXPECT_EQ(input.point_facts[0].attr_value, sqo::Value::Int(30000));
+  ASSERT_EQ(input.point_facts[0].args.size(), 1u);
+  EXPECT_EQ(input.point_facts[0].args[0], sqo::Value::Double(0.10));
+  EXPECT_EQ(input.point_facts[0].result, sqo::Value::Int(3000));
+}
+
+TEST_F(IcInferenceTest, ExtractRejectsMalformedFacts) {
+  std::vector<Clause> clauses = ParseIcs("monotone(taxes_withheld, salary).");
+  InferenceInput input;
+  EXPECT_FALSE(ExtractMethodFacts(&clauses, &input).ok());
+  clauses = ParseIcs("monotone(taxes_withheld, salary, sideways).");
+  EXPECT_FALSE(ExtractMethodFacts(&clauses, &input).ok());
+  clauses = ParseIcs("point(m, X, 1).");
+  EXPECT_FALSE(ExtractMethodFacts(&clauses, &input).ok());
+}
+
+TEST_F(IcInferenceTest, DerivesIc3FromMethodFacts) {
+  // IC1 + monotonicity + point fact ⊢ IC3 (§5.1).
+  InferenceInput input;
+  input.ics = ParseIcs("IC1: Salary > 40K <- faculty(oid: X, salary: Salary).");
+  input.monotonicities = {{"taxes_withheld", "salary", /*strict=*/true}};
+  input.point_facts = {{"taxes_withheld",
+                        sqo::Value::Int(30000),
+                        {sqo::Value::Double(0.10)},
+                        sqo::Value::Int(3000)}};
+  std::vector<Clause> derived = InferConstraints(input, *schema_);
+  const Clause* ic3 = FindLabelPrefix(derived, "derived:method_bound:");
+  ASSERT_NE(ic3, nullptr);
+  // Head: Value > 3000 (strict, since salary > 40K > 30K and the method is
+  // strictly increasing).
+  ASSERT_TRUE(ic3->head.has_value());
+  EXPECT_EQ(ic3->head->atom.op(), datalog::CmpOp::kGt);
+  EXPECT_EQ(ic3->head->atom.rhs(), datalog::Term::Int(3000));
+  // Body: taxes_withheld(Oid, 0.10, Value) and faculty(Oid, ...).
+  ASSERT_EQ(ic3->body.size(), 2u);
+  EXPECT_EQ(ic3->body[0].atom.predicate(), "taxes_withheld");
+  EXPECT_EQ(ic3->body[0].atom.args()[1], datalog::Term::Double(0.10));
+  EXPECT_EQ(ic3->body[1].atom.predicate(), "faculty");
+}
+
+TEST_F(IcInferenceTest, NondecreasingMonotonicityWeakensToGe) {
+  InferenceInput input;
+  input.ics = ParseIcs("Salary > 40K <- faculty(oid: X, salary: Salary).");
+  input.monotonicities = {{"taxes_withheld", "salary", /*strict=*/false}};
+  input.point_facts = {{"taxes_withheld",
+                        sqo::Value::Int(30000),
+                        {sqo::Value::Double(0.10)},
+                        sqo::Value::Int(3000)}};
+  std::vector<Clause> derived = InferConstraints(input, *schema_);
+  const Clause* ic = FindLabelPrefix(derived, "derived:method_bound:");
+  ASSERT_NE(ic, nullptr);
+  EXPECT_EQ(ic->head->atom.op(), datalog::CmpOp::kGe);
+}
+
+TEST_F(IcInferenceTest, UpperBoundDirection) {
+  InferenceInput input;
+  input.ics = ParseIcs("Salary < 20K <- employee(oid: X, salary: Salary).");
+  input.monotonicities = {{"taxes_withheld", "salary", /*strict=*/true}};
+  input.point_facts = {{"taxes_withheld",
+                        sqo::Value::Int(30000),
+                        {sqo::Value::Double(0.10)},
+                        sqo::Value::Int(3000)}};
+  std::vector<Clause> derived = InferConstraints(input, *schema_);
+  const Clause* ic = FindLabelPrefix(derived, "derived:method_bound:");
+  ASSERT_NE(ic, nullptr);
+  EXPECT_EQ(ic->head->atom.op(), datalog::CmpOp::kLt);
+}
+
+TEST_F(IcInferenceTest, NoBoundWhenRangeStraddlesPoint) {
+  InferenceInput input;
+  input.ics = ParseIcs("Salary > 20K <- faculty(oid: X, salary: Salary).");
+  input.monotonicities = {{"taxes_withheld", "salary", /*strict=*/true}};
+  input.point_facts = {{"taxes_withheld",
+                        sqo::Value::Int(30000),
+                        {sqo::Value::Double(0.10)},
+                        sqo::Value::Int(3000)}};
+  std::vector<Clause> derived = InferConstraints(input, *schema_);
+  EXPECT_EQ(FindLabelPrefix(derived, "derived:method_bound:"), nullptr);
+}
+
+TEST_F(IcInferenceTest, MethodNotOnClassIsSkipped) {
+  // taxes_withheld is declared on Employee; Course is unrelated.
+  InferenceInput input;
+  input.ics = ParseIcs("Cname > \"a\" <- course(oid: X, cname: Cname).");
+  input.monotonicities = {{"taxes_withheld", "cname", /*strict=*/true}};
+  input.point_facts = {{"taxes_withheld",
+                        sqo::Value::String("a"),
+                        {sqo::Value::Double(0.10)},
+                        sqo::Value::Int(1)}};
+  std::vector<Clause> derived = InferConstraints(input, *schema_);
+  EXPECT_EQ(FindLabelPrefix(derived, "derived:method_bound:"), nullptr);
+}
+
+TEST_F(IcInferenceTest, SuperclassAugmentationDerivesIc6) {
+  // IC4 on faculty gains person (and employee) atoms sharing the prefix.
+  InferenceInput input;
+  input.ics = ParseIcs("IC4: Age >= 30 <- faculty(oid: X, age: Age).");
+  InferenceOptions options;
+  options.contrapositives = false;
+  std::vector<Clause> derived = InferConstraints(input, *schema_, options);
+  const Clause* ic6 = nullptr;
+  for (const Clause& ic : derived) {
+    if (sqo::StartsWith(ic.label, "derived:super:IC4") &&
+        ic.label.find("person") != std::string::npos) {
+      ic6 = &ic;
+    }
+  }
+  ASSERT_NE(ic6, nullptr);
+  ASSERT_EQ(ic6->body.size(), 2u);
+  EXPECT_EQ(ic6->body[1].atom.predicate(), "person");
+  // Shared OID and age variables between the two atoms.
+  EXPECT_EQ(ic6->body[0].atom.args()[0], ic6->body[1].atom.args()[0]);
+  EXPECT_EQ(ic6->body[0].atom.args()[2], ic6->body[1].atom.args()[2]);
+}
+
+TEST_F(IcInferenceTest, ContrapositiveDerivesIc6Prime) {
+  InferenceInput input;
+  input.ics = ParseIcs("IC4: Age >= 30 <- faculty(oid: X, age: Age).");
+  std::vector<Clause> derived = InferConstraints(input, *schema_);
+  // Find ¬faculty(...) <- person(...), Age < 30.
+  const Clause* ic6p = nullptr;
+  for (const Clause& ic : derived) {
+    if (!ic.head.has_value() || ic.head->positive) continue;
+    if (ic.head->atom.predicate() != "faculty") continue;
+    bool has_person = false, has_lt = false;
+    for (const auto& lit : ic.body) {
+      if (lit.atom.is_predicate() && lit.atom.predicate() == "person") {
+        has_person = true;
+      }
+      if (lit.atom.is_comparison() && lit.atom.op() == datalog::CmpOp::kLt) {
+        has_lt = true;
+      }
+    }
+    if (has_person && has_lt) ic6p = &ic;
+  }
+  ASSERT_NE(ic6p, nullptr) << "IC6' not derived";
+}
+
+TEST_F(IcInferenceTest, OptionsDisablePasses) {
+  InferenceInput input;
+  input.ics = ParseIcs("IC4: Age >= 30 <- faculty(oid: X, age: Age).");
+  InferenceOptions off;
+  off.method_bounds = false;
+  off.superclass_augmentation = false;
+  off.contrapositives = false;
+  EXPECT_TRUE(InferConstraints(input, *schema_, off).empty());
+}
+
+TEST_F(IcInferenceTest, DerivedCountIsCapped) {
+  InferenceInput input;
+  input.ics = ParseIcs("IC4: Age >= 30 <- faculty(oid: X, age: Age).");
+  InferenceOptions options;
+  options.max_derived = 2;
+  EXPECT_LE(InferConstraints(input, *schema_, options).size(), 2u);
+}
+
+TEST_F(IcInferenceTest, DeterministicOutput) {
+  InferenceInput input;
+  input.ics = ParseIcs(
+      "IC1: Salary > 40K <- faculty(oid: X, salary: Salary).\n"
+      "IC4: Age >= 30 <- faculty(oid: X, age: Age).");
+  auto a = InferConstraints(input, *schema_);
+  auto b = InferConstraints(input, *schema_);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ToString(), b[i].ToString());
+  }
+}
+
+}  // namespace
+}  // namespace sqo::core

@@ -1,0 +1,152 @@
+#include "sqo/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "oql/parser.h"
+#include "workload/university.h"
+
+namespace sqo::core {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto pipeline = workload::MakeUniversityPipeline();
+    ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+    pipeline_ = std::make_unique<Pipeline>(std::move(pipeline).value());
+  }
+
+  std::unique_ptr<Pipeline> pipeline_;
+};
+
+TEST_F(PipelineTest, CreateFromTexts) {
+  EXPECT_GT(pipeline_->compiled().total_residues(), 0u);
+  EXPECT_GT(pipeline_->schema().catalog.size(), 0u);
+  EXPECT_EQ(pipeline_->compiled().asrs.size(), 1u);
+}
+
+TEST_F(PipelineTest, CreateRejectsBadOdl) {
+  EXPECT_FALSE(Pipeline::Create("interface {", "").ok());
+}
+
+TEST_F(PipelineTest, CreateRejectsBadIcs) {
+  EXPECT_FALSE(Pipeline::Create("interface A {};", "X > <- p(X).").ok());
+}
+
+TEST_F(PipelineTest, Contradiction51) {
+  auto result = pipeline_->OptimizeText(workload::QueryExample2());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->contradiction);
+  EXPECT_FALSE(result->contradiction_reason.empty());
+  // The witness contains both V < 1000 and V > 3000 (the paper's Q').
+  EXPECT_GT(result->contradiction_witness.body.size(),
+            result->original_datalog.body.size());
+}
+
+TEST_F(PipelineTest, ScopeReduction52ProducesNotInOql) {
+  auto result = pipeline_->OptimizeText(workload::QueryScopeReduction());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->contradiction);
+  bool not_in_faculty = false;
+  for (const Alternative& alt : result->alternatives) {
+    if (!alt.oql_ok) continue;
+    for (const oql::FromEntry& entry : alt.oql.from) {
+      if (!entry.positive && entry.domain.front().base == "Faculty") {
+        not_in_faculty = true;
+      }
+    }
+  }
+  EXPECT_TRUE(not_in_faculty) << "§5.2 'x not in Faculty' missing";
+}
+
+TEST_F(PipelineTest, JoinElimination53PreservesConstructor) {
+  auto result = pipeline_->OptimizeText(workload::QueryJoinElimination());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->alternatives.size(), 1u);
+  for (const Alternative& alt : result->alternatives) {
+    if (!alt.oql_ok) continue;
+    ASSERT_EQ(alt.oql.select_list.size(), 1u);
+    EXPECT_EQ(alt.oql.select_list[0].kind, oql::Expr::Kind::kCollection)
+        << "list constructor lost in: " << alt.oql.ToString();
+  }
+}
+
+TEST_F(PipelineTest, Asr54FoldsIntoVirtualRange) {
+  auto result = pipeline_->OptimizeText(workload::QueryAsrDirect());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  bool folded = false;
+  for (const Alternative& alt : result->alternatives) {
+    for (const datalog::Literal& lit : alt.datalog.body) {
+      if (lit.atom.is_predicate() && lit.atom.predicate() == "asr_student_ta") {
+        folded = true;
+      }
+    }
+  }
+  EXPECT_TRUE(folded);
+}
+
+TEST_F(PipelineTest, BestIndexZeroWithoutCostModel) {
+  auto result = pipeline_->OptimizeText(workload::QueryScopeReduction());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->best_index, 0);
+}
+
+TEST_F(PipelineTest, CostModelSelectsBest) {
+  // A trivial cost model preferring shorter bodies.
+  class ShorterIsBetter : public CostModel {
+   public:
+    double EstimateCost(const datalog::Query& query) const override {
+      return static_cast<double>(query.body.size());
+    }
+  };
+  ShorterIsBetter model;
+  auto result = pipeline_->OptimizeText(workload::QueryJoinElimination(), &model);
+  ASSERT_TRUE(result.ok());
+  size_t best_size =
+      result->alternatives[result->best_index].datalog.body.size();
+  for (const Alternative& alt : result->alternatives) {
+    EXPECT_LE(best_size, alt.datalog.body.size());
+  }
+}
+
+TEST_F(PipelineTest, OriginalAlternativeKeepsOriginalOql) {
+  auto parsed = oql::ParseOql(workload::QueryScopeReduction());
+  ASSERT_TRUE(parsed.ok());
+  auto result = pipeline_->OptimizeParsed(*parsed);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->alternatives.empty());
+  EXPECT_TRUE(result->alternatives[0].oql_ok);
+  EXPECT_EQ(result->alternatives[0].oql, *parsed);
+}
+
+TEST_F(PipelineTest, ParseErrorSurfaces) {
+  EXPECT_FALSE(pipeline_->OptimizeText("select from where").ok());
+}
+
+TEST_F(PipelineTest, SemanticErrorSurfaces) {
+  EXPECT_FALSE(pipeline_->OptimizeText("select x.zzz from x in Person").ok());
+}
+
+TEST_F(PipelineTest, EveryAlternativeCarriesDerivationOrIsOriginal) {
+  auto result = pipeline_->OptimizeText(workload::QueryScopeReduction());
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 1; i < result->alternatives.size(); ++i) {
+    EXPECT_FALSE(result->alternatives[i].derivation.empty());
+  }
+}
+
+TEST_F(PipelineTest, PipelineWithoutInference) {
+  PipelineOptions options;
+  options.compiler.run_inference = false;
+  auto pipeline = Pipeline::Create(workload::UniversityOdl(),
+                                   workload::UniversityIcs(),
+                                   {workload::UniversityAsr()}, options);
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  // Without inference the §5.1 contradiction is not detectable.
+  auto result = pipeline->OptimizeText(workload::QueryExample2());
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->contradiction);
+}
+
+}  // namespace
+}  // namespace sqo::core

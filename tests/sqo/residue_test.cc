@@ -1,0 +1,154 @@
+#include "sqo/residue.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+
+namespace sqo::core {
+namespace {
+
+using datalog::Clause;
+using datalog::ParseClauseText;
+using datalog::RelationKind;
+using datalog::RelationSignature;
+
+RelationSignature Sig(const std::string& name,
+                      std::vector<std::string> attrs,
+                      RelationKind kind = RelationKind::kClass) {
+  RelationSignature sig;
+  sig.name = name;
+  sig.kind = kind;
+  sig.attributes = std::move(attrs);
+  return sig;
+}
+
+Clause Parse(const std::string& text) {
+  auto clause = ParseClauseText(text);
+  EXPECT_TRUE(clause.ok()) << clause.status().ToString();
+  return *clause;
+}
+
+TEST(ResidueTest, PaperExample1SingleAtomIc) {
+  // IC: Age > 30 <- faculty(Sec, Fac, Age). Residue on faculty:
+  // {T3 > 30 <- } — an unconditional invariant (paper §2, Example 1).
+  Clause ic = Parse("Age > 30 <- faculty(Sec, Fac, Age).");
+  ic.label = "IC";
+  auto residues = ComputeResidues(ic, Sig("faculty", {"sec", "fac", "age"}));
+  ASSERT_EQ(residues.size(), 1u);
+  const Residue& r = residues[0];
+  EXPECT_EQ(r.relation, "faculty");
+  EXPECT_TRUE(r.remainder.empty());
+  ASSERT_TRUE(r.head.has_value());
+  EXPECT_EQ(r.head->ToString(), "T3 > 30");
+  EXPECT_EQ(r.source, "IC");
+}
+
+TEST(ResidueTest, NoResidueForUnmentionedRelation) {
+  Clause ic = Parse("Age > 30 <- faculty(S, F, Age).");
+  EXPECT_TRUE(ComputeResidues(ic, Sig("student", {"oid", "name"})).empty());
+}
+
+TEST(ResidueTest, KeyIcYieldsRemainderResidues) {
+  // IC7: X1 = X2 <- faculty(X1, N), faculty(X2, N).
+  Clause ic = Parse("X1 = X2 <- faculty(X1, N), faculty(X2, N).");
+  auto residues = ComputeResidues(ic, Sig("faculty", {"oid", "name"}));
+  // Leaves: match first atom, match second atom (symmetric, may dedup),
+  // match both (collapses X1 = X2 and is dropped downstream as trivial;
+  // here it survives as "T1 = T1").
+  ASSERT_GE(residues.size(), 2u);
+  bool with_remainder = false;
+  bool both_matched = false;
+  for (const Residue& r : residues) {
+    if (r.remainder.size() == 1 &&
+        r.remainder[0].atom.predicate() == "faculty") {
+      with_remainder = true;
+      // The remainder shares the name variable with the template.
+      EXPECT_EQ(r.remainder[0].atom.args()[1], r.template_atom.args()[1]);
+    }
+    if (r.remainder.empty()) both_matched = true;
+  }
+  EXPECT_TRUE(with_remainder);
+  EXPECT_TRUE(both_matched);
+}
+
+TEST(ResidueTest, ConstantsInstantiateTemplate) {
+  // IC3-style: Value > 3000 <- taxes_withheld(O, 10%, Value), faculty(O).
+  Clause ic = Parse("Value > 3000 <- taxes_withheld(O, 10%, Value), faculty(O).");
+  auto residues = ComputeResidues(
+      ic, Sig("taxes_withheld", {"oid", "rate", "value"}, RelationKind::kMethod));
+  ASSERT_EQ(residues.size(), 1u);
+  const Residue& r = residues[0];
+  // The rate position is pinned to the constant 0.10.
+  EXPECT_EQ(r.template_atom.args()[1], datalog::Term::Double(0.10));
+  ASSERT_EQ(r.remainder.size(), 1u);
+  EXPECT_EQ(r.remainder[0].atom.predicate(), "faculty");
+}
+
+TEST(ResidueTest, DenialProducesHeadlessResidue) {
+  Clause ic = Parse("<- p(X), q(X).");
+  auto residues = ComputeResidues(ic, Sig("p", {"oid"}));
+  ASSERT_EQ(residues.size(), 1u);
+  EXPECT_FALSE(residues[0].head.has_value());
+  ASSERT_EQ(residues[0].remainder.size(), 1u);
+  EXPECT_EQ(residues[0].remainder[0].atom.predicate(), "q");
+  // q's variable is the template's variable.
+  EXPECT_EQ(residues[0].remainder[0].atom.args()[0],
+            residues[0].template_atom.args()[0]);
+}
+
+TEST(ResidueTest, PredicateHeadResidue) {
+  // Subclass IC: person(X, N) <- faculty(X, N, S). Residue on faculty has a
+  // person head and no remainder — the paper's upcast knowledge.
+  Clause ic = Parse("person(X, N) <- faculty(X, N, S).");
+  auto residues = ComputeResidues(ic, Sig("faculty", {"oid", "name", "salary"}));
+  ASSERT_EQ(residues.size(), 1u);
+  EXPECT_TRUE(residues[0].remainder.empty());
+  EXPECT_EQ(residues[0].head->atom.predicate(), "person");
+  EXPECT_EQ(residues[0].head->atom.args()[0], residues[0].template_atom.args()[0]);
+}
+
+TEST(ResidueTest, NegatedHeadRetained) {
+  // IC6': not faculty(X, N, A) <- person(X, N, A), A < 30.
+  Clause ic = Parse("not faculty(X, N, A) <- person(X, N, A), A < 30.");
+  auto residues = ComputeResidues(ic, Sig("person", {"oid", "name", "age"}));
+  ASSERT_EQ(residues.size(), 1u);
+  EXPECT_FALSE(residues[0].head->positive);
+  ASSERT_EQ(residues[0].remainder.size(), 1u);
+  EXPECT_TRUE(residues[0].remainder[0].atom.is_comparison());
+}
+
+TEST(ResidueTest, ArityMismatchNoResidue) {
+  Clause ic = Parse("Age > 30 <- faculty(X, Age).");
+  EXPECT_TRUE(ComputeResidues(ic, Sig("faculty", {"oid", "name", "age"})).empty());
+}
+
+TEST(ResidueTest, SharedConstantInBodyAtomsSplitsLeaves) {
+  // Two body atoms with conflicting constants cannot both match one
+  // template: the both-matched leaf is dropped.
+  Clause ic = Parse("X = Y <- p(X, 1), p(Y, 2).");
+  auto residues = ComputeResidues(ic, Sig("p", {"oid", "tag"}));
+  for (const Residue& r : residues) {
+    EXPECT_EQ(r.remainder.size(), 1u);  // never both matched
+  }
+  EXPECT_EQ(residues.size(), 2u);
+}
+
+TEST(ResidueTest, CanonicalNamesAreStable) {
+  Clause ic = Parse("A > 30 <- faculty(X, A).");
+  Clause ic2 = Parse("Zz > 30 <- faculty(Qq, Zz).");
+  auto r1 = ComputeResidues(ic, Sig("faculty", {"oid", "age"}));
+  auto r2 = ComputeResidues(ic2, Sig("faculty", {"oid", "age"}));
+  ASSERT_EQ(r1.size(), 1u);
+  ASSERT_EQ(r2.size(), 1u);
+  EXPECT_EQ(r1[0].ToString(), r2[0].ToString());
+}
+
+TEST(ResidueTest, ToStringFormat) {
+  Clause ic = Parse("Age > 30 <- faculty(X, Age).");
+  auto residues = ComputeResidues(ic, Sig("faculty", {"oid", "age"}));
+  ASSERT_EQ(residues.size(), 1u);
+  EXPECT_EQ(residues[0].ToString(), "faculty(T1, T2): {T2 > 30 <- }");
+}
+
+}  // namespace
+}  // namespace sqo::core

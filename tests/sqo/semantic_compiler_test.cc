@@ -1,0 +1,134 @@
+#include "sqo/semantic_compiler.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+#include "odl/parser.h"
+#include "workload/university.h"
+
+namespace sqo::core {
+namespace {
+
+class SemanticCompilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto ast = odl::ParseOdl(workload::UniversityOdl());
+    ASSERT_TRUE(ast.ok());
+    auto schema = odl::Schema::Resolve(*ast);
+    ASSERT_TRUE(schema.ok());
+    auto translated = translate::TranslateSchema(*schema);
+    ASSERT_TRUE(translated.ok());
+    schema_ = std::make_unique<translate::TranslatedSchema>(
+        std::move(translated).value());
+  }
+
+  sqo::Result<CompiledSchema> Compile(const std::string& ics,
+                                      CompilerOptions options = {}) {
+    auto parsed = datalog::ParseProgram(ics, &schema_->catalog);
+    if (!parsed.ok()) return parsed.status();
+    return CompileSemantics(schema_.get(), *parsed, {}, options);
+  }
+
+  std::unique_ptr<translate::TranslatedSchema> schema_;
+};
+
+TEST_F(SemanticCompilerTest, CompilesSchemaOnlyIcs) {
+  auto compiled = Compile("");
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  EXPECT_GT(compiled->total_residues(), 0u);
+  // Structural IC families attach residues to the relations they mention.
+  EXPECT_NE(compiled->ResiduesFor("takes"), nullptr);
+  EXPECT_NE(compiled->ResiduesFor("faculty"), nullptr);
+  EXPECT_EQ(compiled->ResiduesFor("no_such_relation"), nullptr);
+}
+
+TEST_F(SemanticCompilerTest, UserIcsAddResidues) {
+  auto base = Compile("");
+  auto with_user =
+      Compile("IC1: Salary > 40K <- faculty(oid: X, salary: Salary).");
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(with_user.ok());
+  EXPECT_GT(with_user->total_residues(), base->total_residues());
+  // The IC1 residue is attached to faculty with an empty remainder.
+  bool found = false;
+  for (const Residue& r : *with_user->ResiduesFor("faculty")) {
+    if (r.source == "IC1") {
+      EXPECT_TRUE(r.remainder.empty());
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(SemanticCompilerTest, InferenceRunsByDefault) {
+  auto compiled = Compile(workload::UniversityIcs().data());
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  bool derived_found = false;
+  for (const datalog::Clause& ic : compiled->all_ics) {
+    if (ic.label.rfind("derived:", 0) == 0) derived_found = true;
+  }
+  EXPECT_TRUE(derived_found);
+}
+
+TEST_F(SemanticCompilerTest, InferenceCanBeDisabled) {
+  CompilerOptions options;
+  options.run_inference = false;
+  auto compiled = Compile(workload::UniversityIcs().data(), options);
+  ASSERT_TRUE(compiled.ok());
+  for (const datalog::Clause& ic : compiled->all_ics) {
+    EXPECT_NE(ic.label.rfind("derived:", 0), 0u) << ic.label;
+  }
+}
+
+TEST_F(SemanticCompilerTest, TrivialResiduesDropped) {
+  auto compiled = Compile("");
+  ASSERT_TRUE(compiled.ok());
+  for (const auto& [rel, residues] : compiled->residues) {
+    for (const Residue& r : residues) {
+      if (!r.head.has_value() || !r.head->atom.is_comparison()) continue;
+      if (r.head->atom.op() == datalog::CmpOp::kEq) {
+        EXPECT_NE(r.head->atom.lhs(), r.head->atom.rhs())
+            << rel << ": " << r.ToString();
+      }
+    }
+  }
+}
+
+TEST_F(SemanticCompilerTest, TrivialFilterCanBeDisabled) {
+  CompilerOptions keep;
+  keep.drop_trivial = false;
+  auto with_trivial = Compile("", keep);
+  auto without = Compile("");
+  ASSERT_TRUE(with_trivial.ok());
+  ASSERT_TRUE(without.ok());
+  EXPECT_GT(with_trivial->total_residues(), without->total_residues());
+}
+
+TEST_F(SemanticCompilerTest, UnknownRelationInIcFails) {
+  auto compiled = Compile("X > 3 <- nonexistent(X).");
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_EQ(compiled.status().code(), sqo::StatusCode::kSemanticError);
+}
+
+TEST_F(SemanticCompilerTest, ToStringListsResidues) {
+  auto compiled = Compile("IC1: Salary > 40K <- faculty(oid: X, salary: Salary).");
+  ASSERT_TRUE(compiled.ok());
+  std::string dump = compiled->ToString();
+  EXPECT_NE(dump.find("faculty"), std::string::npos);
+  EXPECT_NE(dump.find("[IC1]"), std::string::npos);
+}
+
+TEST_F(SemanticCompilerTest, MethodFactsAreExtractedNotCompiled) {
+  auto compiled = Compile(
+      "monotone(taxes_withheld, salary, increasing).\n"
+      "point(taxes_withheld, 30K, 10%, 3000).");
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  for (const datalog::Clause& ic : compiled->all_ics) {
+    if (!ic.head.has_value() || !ic.head->atom.is_predicate()) continue;
+    EXPECT_NE(ic.head->atom.predicate(), "monotone");
+    EXPECT_NE(ic.head->atom.predicate(), "point");
+  }
+}
+
+}  // namespace
+}  // namespace sqo::core

@@ -1,0 +1,247 @@
+#include "translate/change_mapper.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+#include "odl/parser.h"
+#include "oql/parser.h"
+#include "workload/university.h"
+
+namespace sqo::translate {
+namespace {
+
+using datalog::Atom;
+using datalog::CmpOp;
+using datalog::Literal;
+using datalog::Query;
+using datalog::Term;
+
+class ChangeMapperTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto ast = odl::ParseOdl(workload::UniversityOdl());
+    ASSERT_TRUE(ast.ok());
+    auto schema = odl::Schema::Resolve(*ast);
+    ASSERT_TRUE(schema.ok());
+    auto translated = TranslateSchema(*schema);
+    ASSERT_TRUE(translated.ok());
+    schema_ = std::make_unique<TranslatedSchema>(std::move(translated).value());
+  }
+
+  void Load(const std::string& oql) {
+    auto parsed = oql::ParseOql(oql);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    original_oql_ = *parsed;
+    auto t = TranslateQuery(*schema_, original_oql_);
+    ASSERT_TRUE(t.ok()) << t.status().ToString();
+    original_ = t->query;
+    map_ = t->map;
+  }
+
+  sqo::Result<oql::SelectQuery> Apply(const Query& optimized) {
+    ChangeMapper mapper(schema_.get(), &map_);
+    return mapper.Apply(original_oql_, original_, optimized);
+  }
+
+  std::unique_ptr<TranslatedSchema> schema_;
+  oql::SelectQuery original_oql_;
+  Query original_;
+  TranslationMap map_;
+};
+
+TEST_F(ChangeMapperTest, DiffQueriesComputesMultisetDifference) {
+  auto a = datalog::ParseQueryText("q(X) :- p(X), r(X), X < 3.");
+  auto b = datalog::ParseQueryText("q(X) :- p(X), X < 3, s(X).");
+  ASSERT_TRUE(a.ok() && b.ok());
+  QueryDiff diff = DiffQueries(*a, *b);
+  ASSERT_EQ(diff.removed.size(), 1u);
+  EXPECT_EQ(diff.removed[0].atom.predicate(), "r");
+  ASSERT_EQ(diff.added.size(), 1u);
+  EXPECT_EQ(diff.added[0].atom.predicate(), "s");
+}
+
+TEST_F(ChangeMapperTest, DiffRespectsMultiplicity) {
+  auto a = datalog::ParseQueryText("q(X) :- p(X), p(X).");
+  auto b = datalog::ParseQueryText("q(X) :- p(X).");
+  QueryDiff diff = DiffQueries(*a, *b);
+  EXPECT_EQ(diff.removed.size(), 1u);
+  EXPECT_TRUE(diff.added.empty());
+}
+
+TEST_F(ChangeMapperTest, IdentityProducesOriginal) {
+  Load("select x.name from x in Person where x.age < 30");
+  auto mapped = Apply(original_);
+  ASSERT_TRUE(mapped.ok());
+  EXPECT_EQ(*mapped, original_oql_);
+}
+
+TEST_F(ChangeMapperTest, AddComparisonOnExistingAttributeVariable) {
+  Load("select x.name from x in Person where x.age < 30");
+  Query optimized = original_;
+  // Add Age > 10: Age is the attribute variable of person(..., Age, ...).
+  optimized.body.push_back(Literal::Pos(
+      Atom::Comparison(CmpOp::kGt, Term::Var("Age"), Term::Int(10))));
+  auto mapped = Apply(optimized);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  ASSERT_EQ(mapped->where.size(), 2u);
+  EXPECT_EQ(mapped->where[1].ToString(), "x.age > 10");
+}
+
+TEST_F(ChangeMapperTest, AddComparisonOnAnonymousAttributeVariable) {
+  Load("select x.name from x in Faculty");
+  Query optimized = original_;
+  // The salary slot is an anonymous placeholder; the mapper must find it
+  // inside the faculty atom (the paper's "let c(X,...,A,...) be an atom").
+  const Term salary_var = original_.body[0].atom.args()[4];
+  ASSERT_TRUE(salary_var.is_variable());
+  optimized.body.push_back(Literal::Pos(
+      Atom::Comparison(CmpOp::kGt, salary_var, Term::Int(40000))));
+  auto mapped = Apply(optimized);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  ASSERT_EQ(mapped->where.size(), 1u);
+  EXPECT_EQ(mapped->where[0].ToString(), "x.salary > 40000");
+}
+
+TEST_F(ChangeMapperTest, AddOidEquality) {
+  Load(
+      "select s.name from s in Student, y in s.takes, z in y.is_taught_by, "
+      "t in TA, v in t.takes, w in v.is_taught_by");
+  Query optimized = original_;
+  optimized.body.push_back(Literal::Pos(
+      Atom::Comparison(CmpOp::kEq, Term::Var("Z"), Term::Var("W"))));
+  auto mapped = Apply(optimized);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_EQ(mapped->where.back().ToString(), "z = w");
+}
+
+TEST_F(ChangeMapperTest, RemoveWhereComparison) {
+  Load("select x.name from x in Person where x.age < 30 and x.name != \"z\"");
+  Query optimized = original_;
+  // Remove the age comparison (find it by operator).
+  for (size_t i = 0; i < optimized.body.size(); ++i) {
+    if (optimized.body[i].atom.is_comparison() &&
+        optimized.body[i].atom.op() == CmpOp::kLt) {
+      optimized.body.erase(optimized.body.begin() + static_cast<long>(i));
+      break;
+    }
+  }
+  auto mapped = Apply(optimized);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  ASSERT_EQ(mapped->where.size(), 1u);
+  EXPECT_EQ(mapped->where[0].ToString(), "x.name != \"z\"");
+}
+
+TEST_F(ChangeMapperTest, AddNegatedClassAtomBecomesNotInRange) {
+  Load("select x.name from x in Person where x.age < 30");
+  Query optimized = original_;
+  optimized.body.push_back(Literal::Neg(Atom::Pred(
+      "faculty", {Term::Var("X"), Term::Var("_N1"), Term::Var("_N2"),
+                  Term::Var("_N3"), Term::Var("_N4"), Term::Var("_N5")})));
+  auto mapped = Apply(optimized);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  ASSERT_EQ(mapped->from.size(), 2u);
+  EXPECT_EQ(mapped->from[1].ToString(), "x not in Faculty");
+}
+
+TEST_F(ChangeMapperTest, RemoveFromEntryRange) {
+  Load("select x.name from x in Person, x not in Faculty where x.age < 30");
+  Query optimized = original_;
+  // Remove the negative literal.
+  for (size_t i = 0; i < optimized.body.size(); ++i) {
+    if (!optimized.body[i].positive) {
+      optimized.body.erase(optimized.body.begin() + static_cast<long>(i));
+      break;
+    }
+  }
+  auto mapped = Apply(optimized);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_EQ(mapped->from.size(), 1u);
+}
+
+TEST_F(ChangeMapperTest, AddRelationshipWithFreshTargetBecomesRange) {
+  Load("select x.name from x in Student, y in x.takes, z in y.is_section_of");
+  Query optimized = original_;
+  const std::string z_var = map_.ident_to_var.at("z");
+  optimized.body.push_back(Literal::Pos(
+      Atom::Pred("has_sections", {Term::Var(z_var), Term::Var("_J1")})));
+  auto mapped = Apply(optimized);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  ASSERT_EQ(mapped->from.size(), 4u);
+  EXPECT_EQ(mapped->from[3].ToString(), "w1 in z.has_sections");
+}
+
+TEST_F(ChangeMapperTest, AddRelationshipWithBoundTargetBecomesMembership) {
+  Load("select x.name from x in Student, y in x.takes");
+  Query optimized = original_;
+  optimized.body.push_back(Literal::Pos(
+      Atom::Pred("is_taken_by", {Term::Var("Y"), Term::Var("X")})));
+  auto mapped = Apply(optimized);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  ASSERT_EQ(mapped->where.size(), 1u);
+  EXPECT_EQ(mapped->where[0].ToString(), "x in y.is_taken_by");
+}
+
+TEST_F(ChangeMapperTest, RemoveImplicitLiteralNeedsNoSurfaceEdit) {
+  // The faculty atom for z was added lazily; removing it leaves the OQL
+  // text unchanged.
+  Load(
+      "select z.name from x in Student, y in x.takes, z in y.is_taught_by "
+      "where z.name = \"a\"");
+  Query optimized = original_;
+  for (size_t i = 0; i < optimized.body.size(); ++i) {
+    if (optimized.body[i].atom.is_predicate() &&
+        optimized.body[i].atom.predicate() == "faculty") {
+      optimized.body.erase(optimized.body.begin() + static_cast<long>(i));
+      break;
+    }
+  }
+  auto mapped = Apply(optimized);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_EQ(*mapped, original_oql_);
+}
+
+TEST_F(ChangeMapperTest, ConstructorsArePreserved) {
+  // §5.3: the list constructor must survive the rewrite.
+  Load(
+      "select list(s.student_id, t.employee_id) from s in Student, "
+      "y in s.takes, z in y.is_taught_by, t in TA, v in t.takes, "
+      "w in v.is_taught_by where z.name = w.name");
+  Query optimized = original_;
+  // Remove the name join, add the OID comparison (paper's Q').
+  for (size_t i = 0; i < optimized.body.size(); ++i) {
+    if (optimized.body[i].atom.is_comparison()) {
+      optimized.body.erase(optimized.body.begin() + static_cast<long>(i));
+      break;
+    }
+  }
+  optimized.body.push_back(Literal::Pos(
+      Atom::Comparison(CmpOp::kEq, Term::Var("Z"), Term::Var("W"))));
+  auto mapped = Apply(optimized);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  ASSERT_EQ(mapped->select_list.size(), 1u);
+  EXPECT_EQ(mapped->select_list[0].kind, oql::Expr::Kind::kCollection);
+  ASSERT_EQ(mapped->where.size(), 1u);
+  EXPECT_EQ(mapped->where[0].ToString(), "z = w");
+}
+
+TEST_F(ChangeMapperTest, RenderedMethodCallInAddedComparison) {
+  Load(
+      "select z.name from x in Student, y in x.takes, z in y.is_taught_by "
+      "where z.taxes_withheld(10%) < 1000");
+  Query optimized = original_;
+  // Find the method result variable V and add V > 3000 (the §5.1 witness).
+  Term v = Term::Var("V");
+  for (const Literal& lit : original_.body) {
+    if (lit.atom.is_predicate() && lit.atom.predicate() == "taxes_withheld") {
+      v = lit.atom.args().back();
+    }
+  }
+  optimized.body.push_back(
+      Literal::Pos(Atom::Comparison(CmpOp::kGt, v, Term::Int(3000))));
+  auto mapped = Apply(optimized);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_EQ(mapped->where.back().ToString(), "z.taxes_withheld(0.1) > 3000");
+}
+
+}  // namespace
+}  // namespace sqo::translate

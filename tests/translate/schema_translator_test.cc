@@ -1,0 +1,191 @@
+#include "translate/schema_translator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "odl/parser.h"
+#include "workload/university.h"
+
+namespace sqo::translate {
+namespace {
+
+using datalog::Clause;
+using datalog::RelationKind;
+using datalog::RelationSignature;
+
+TranslatedSchema University() {
+  auto ast = odl::ParseOdl(workload::UniversityOdl());
+  EXPECT_TRUE(ast.ok());
+  auto schema = odl::Schema::Resolve(*ast);
+  EXPECT_TRUE(schema.ok());
+  auto translated = TranslateSchema(*schema);
+  EXPECT_TRUE(translated.ok()) << translated.status().ToString();
+  return std::move(translated).value();
+}
+
+size_t CountWithPrefix(const std::vector<Clause>& ics, std::string_view prefix) {
+  size_t n = 0;
+  for (const Clause& ic : ics) {
+    if (sqo::StartsWith(ic.label, prefix)) ++n;
+  }
+  return n;
+}
+
+TEST(SchemaTranslatorTest, Rule1ClassRelations) {
+  TranslatedSchema ts = University();
+  const RelationSignature* faculty = ts.catalog.Find("faculty");
+  ASSERT_NE(faculty, nullptr);
+  EXPECT_EQ(faculty->kind, RelationKind::kClass);
+  // oid + inherited (name, age, address) + own (salary, rank); simple
+  // attributes precede struct attributes within each class, and the
+  // superclass prefix is preserved.
+  EXPECT_EQ(faculty->attributes,
+            (std::vector<std::string>{"oid", "name", "age", "address", "salary",
+                                      "rank"}));
+  EXPECT_EQ(faculty->display_name, "Faculty");
+
+  const RelationSignature* person = ts.catalog.Find("person");
+  ASSERT_NE(person, nullptr);
+  EXPECT_EQ(person->attributes,
+            (std::vector<std::string>{"oid", "name", "age", "address"}));
+}
+
+TEST(SchemaTranslatorTest, Rule2StructRelations) {
+  TranslatedSchema ts = University();
+  const RelationSignature* address = ts.catalog.Find("address");
+  ASSERT_NE(address, nullptr);
+  EXPECT_EQ(address->kind, RelationKind::kStructure);
+  EXPECT_EQ(address->attributes,
+            (std::vector<std::string>{"oid", "street", "city"}));
+}
+
+TEST(SchemaTranslatorTest, Rule3RelationshipRelations) {
+  TranslatedSchema ts = University();
+  const RelationSignature* takes = ts.catalog.Find("takes");
+  ASSERT_NE(takes, nullptr);
+  EXPECT_EQ(takes->kind, RelationKind::kRelationship);
+  EXPECT_EQ(takes->owner, "Student");
+  EXPECT_EQ(takes->target, "Section");
+  EXPECT_EQ(takes->arity(), 2u);
+  EXPECT_FALSE(takes->functional_src_to_dst);  // to-many
+  EXPECT_FALSE(takes->functional_dst_to_src);  // inverse to-many
+
+  const RelationSignature* has_ta = ts.catalog.Find("has_ta");
+  ASSERT_NE(has_ta, nullptr);
+  EXPECT_TRUE(has_ta->functional_src_to_dst);
+  EXPECT_TRUE(has_ta->functional_dst_to_src);
+
+  const RelationSignature* is_taught_by = ts.catalog.Find("is_taught_by");
+  ASSERT_NE(is_taught_by, nullptr);
+  EXPECT_TRUE(is_taught_by->functional_src_to_dst);   // one faculty
+  EXPECT_FALSE(is_taught_by->functional_dst_to_src);  // teaches is to-many
+}
+
+TEST(SchemaTranslatorTest, Rule4MethodRelations) {
+  TranslatedSchema ts = University();
+  const RelationSignature* m = ts.catalog.Find("taxes_withheld");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->kind, RelationKind::kMethod);
+  EXPECT_EQ(m->owner, "Employee");
+  EXPECT_EQ(m->attributes, (std::vector<std::string>{"oid", "rate", "value"}));
+}
+
+TEST(SchemaTranslatorTest, OidIdentificationIcs) {
+  TranslatedSchema ts = University();
+  // Each of the 8 relationships yields a src and a dst membership IC
+  // (deduplicated if identical; here all distinct).
+  EXPECT_EQ(CountWithPrefix(ts.constraints, "oid_rel:"), 16u);
+  // One per struct attribute (address on Person, inherited copies are over
+  // the subclass relations too).
+  EXPECT_GE(CountWithPrefix(ts.constraints, "oid_struct:"), 1u);
+  EXPECT_EQ(CountWithPrefix(ts.constraints, "oid_method:"), 1u);
+}
+
+TEST(SchemaTranslatorTest, SubclassIcsSharePrefix) {
+  TranslatedSchema ts = University();
+  const Clause* subclass = nullptr;
+  for (const Clause& ic : ts.constraints) {
+    if (ic.label == "subclass:faculty") subclass = &ic;
+  }
+  ASSERT_NE(subclass, nullptr);
+  // employee(Oid, Name, Age, Address, Salary) <- faculty(Oid, Name, Age,
+  // Address, Salary, Rank): head args are a prefix of body args.
+  const auto& head_args = subclass->head->atom.args();
+  const auto& body_args = subclass->body[0].atom.args();
+  EXPECT_EQ(subclass->head->atom.predicate(), "employee");
+  ASSERT_LT(head_args.size(), body_args.size());
+  for (size_t i = 0; i < head_args.size(); ++i) {
+    EXPECT_EQ(head_args[i], body_args[i]);
+  }
+}
+
+TEST(SchemaTranslatorTest, InverseIcsBothDirections) {
+  TranslatedSchema ts = University();
+  size_t inverse = CountWithPrefix(ts.constraints, "inverse:");
+  // 4 inverse pairs × 2 directions.
+  EXPECT_EQ(inverse, 8u);
+}
+
+TEST(SchemaTranslatorTest, FunctionalityIcs) {
+  TranslatedSchema ts = University();
+  // To-one relationships: is_taught_by, is_section_of, has_ta, assists.
+  EXPECT_EQ(CountWithPrefix(ts.constraints, "fun:"), 4u);
+  // One-to-one: has_ta and assists.
+  EXPECT_EQ(CountWithPrefix(ts.constraints, "fun_inv:"), 2u);
+}
+
+TEST(SchemaTranslatorTest, KeyIcsInherited) {
+  TranslatedSchema ts = University();
+  // Key name on Person propagates to person, employee, faculty, student, ta.
+  EXPECT_EQ(CountWithPrefix(ts.constraints, "key:"), 5u);
+  bool found_faculty_key = false;
+  for (const Clause& ic : ts.constraints) {
+    if (ic.label == "key:faculty.name") found_faculty_key = true;
+  }
+  EXPECT_TRUE(found_faculty_key);
+}
+
+TEST(SchemaTranslatorTest, AttributeFdsPerAttribute) {
+  TranslatedSchema ts = University();
+  size_t total_attrs = 0;
+  for (const auto& [name, sig] : ts.catalog.relations()) {
+    if (sig.kind == RelationKind::kClass) total_attrs += sig.arity() - 1;
+  }
+  EXPECT_EQ(CountWithPrefix(ts.constraints, "attr_fd:"), total_attrs);
+}
+
+TEST(SchemaTranslatorTest, TypeMaps) {
+  TranslatedSchema ts = University();
+  EXPECT_EQ(ts.RelationFor("Faculty"), "faculty");
+  EXPECT_EQ(ts.RelationFor("Address"), "address");
+  EXPECT_EQ(ts.RelationFor("Nothing"), "");
+  EXPECT_EQ(ts.relation_to_type.at("ta"), "TA");
+}
+
+TEST(SchemaTranslatorTest, RejectsLowercaseCollision) {
+  auto ast = odl::ParseOdl("interface Abc {}; interface ABC {};");
+  ASSERT_TRUE(ast.ok());
+  auto schema = odl::Schema::Resolve(*ast);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_FALSE(TranslateSchema(*schema).ok());
+}
+
+TEST(SchemaTranslatorTest, ComplexityLinearInSchemaSize) {
+  // §4.1: Step 1 is linear. Constraint count grows linearly with classes.
+  std::string odl;
+  for (int i = 0; i < 30; ++i) {
+    odl += "interface C" + std::to_string(i) +
+           " { attribute long a; attribute long b; };\n";
+  }
+  auto ast = odl::ParseOdl(odl);
+  ASSERT_TRUE(ast.ok());
+  auto schema = odl::Schema::Resolve(*ast);
+  ASSERT_TRUE(schema.ok());
+  auto ts = TranslateSchema(*schema);
+  ASSERT_TRUE(ts.ok());
+  // 2 attr FDs per class only (no keys/relationships/methods).
+  EXPECT_EQ(ts->constraints.size(), 60u);
+}
+
+}  // namespace
+}  // namespace sqo::translate
