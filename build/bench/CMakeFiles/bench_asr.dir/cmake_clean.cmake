@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_asr.dir/bench_asr.cc.o"
+  "CMakeFiles/bench_asr.dir/bench_asr.cc.o.d"
+  "bench_asr"
+  "bench_asr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_asr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_contradiction.dir/bench_contradiction.cc.o"
+  "CMakeFiles/bench_contradiction.dir/bench_contradiction.cc.o.d"
+  "bench_contradiction"
+  "bench_contradiction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_contradiction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

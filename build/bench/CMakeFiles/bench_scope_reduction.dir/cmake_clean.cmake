@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scope_reduction.dir/bench_scope_reduction.cc.o"
+  "CMakeFiles/bench_scope_reduction.dir/bench_scope_reduction.cc.o.d"
+  "bench_scope_reduction"
+  "bench_scope_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scope_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

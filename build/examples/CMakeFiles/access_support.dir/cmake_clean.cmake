@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/access_support.dir/access_support.cpp.o"
+  "CMakeFiles/access_support.dir/access_support.cpp.o.d"
+  "access_support"
+  "access_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/access_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

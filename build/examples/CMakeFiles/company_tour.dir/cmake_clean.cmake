@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/company_tour.dir/company_tour.cpp.o"
+  "CMakeFiles/company_tour.dir/company_tour.cpp.o.d"
+  "company_tour"
+  "company_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/company_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contradiction.dir/contradiction.cpp.o"
+  "CMakeFiles/contradiction.dir/contradiction.cpp.o.d"
+  "contradiction"
+  "contradiction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contradiction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_elimination.dir/join_elimination.cpp.o"
+  "CMakeFiles/join_elimination.dir/join_elimination.cpp.o.d"
+  "join_elimination"
+  "join_elimination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_elimination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

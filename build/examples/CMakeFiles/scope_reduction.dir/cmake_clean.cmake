@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scope_reduction.dir/scope_reduction.cpp.o"
+  "CMakeFiles/scope_reduction.dir/scope_reduction.cpp.o.d"
+  "scope_reduction"
+  "scope_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scope_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

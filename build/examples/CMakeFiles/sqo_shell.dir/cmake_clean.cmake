@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqo_shell.dir/sqo_shell.cpp.o"
+  "CMakeFiles/sqo_shell.dir/sqo_shell.cpp.o.d"
+  "sqo_shell"
+  "sqo_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqo_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

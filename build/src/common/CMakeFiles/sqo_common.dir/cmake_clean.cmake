@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqo_common.dir/cmp.cc.o"
+  "CMakeFiles/sqo_common.dir/cmp.cc.o.d"
+  "CMakeFiles/sqo_common.dir/status.cc.o"
+  "CMakeFiles/sqo_common.dir/status.cc.o.d"
+  "CMakeFiles/sqo_common.dir/strings.cc.o"
+  "CMakeFiles/sqo_common.dir/strings.cc.o.d"
+  "CMakeFiles/sqo_common.dir/value.cc.o"
+  "CMakeFiles/sqo_common.dir/value.cc.o.d"
+  "libsqo_common.a"
+  "libsqo_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqo_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

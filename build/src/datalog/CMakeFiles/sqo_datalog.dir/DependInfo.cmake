@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datalog/atom.cc" "src/datalog/CMakeFiles/sqo_datalog.dir/atom.cc.o" "gcc" "src/datalog/CMakeFiles/sqo_datalog.dir/atom.cc.o.d"
+  "/root/repo/src/datalog/clause.cc" "src/datalog/CMakeFiles/sqo_datalog.dir/clause.cc.o" "gcc" "src/datalog/CMakeFiles/sqo_datalog.dir/clause.cc.o.d"
+  "/root/repo/src/datalog/parser.cc" "src/datalog/CMakeFiles/sqo_datalog.dir/parser.cc.o" "gcc" "src/datalog/CMakeFiles/sqo_datalog.dir/parser.cc.o.d"
+  "/root/repo/src/datalog/program.cc" "src/datalog/CMakeFiles/sqo_datalog.dir/program.cc.o" "gcc" "src/datalog/CMakeFiles/sqo_datalog.dir/program.cc.o.d"
+  "/root/repo/src/datalog/signature.cc" "src/datalog/CMakeFiles/sqo_datalog.dir/signature.cc.o" "gcc" "src/datalog/CMakeFiles/sqo_datalog.dir/signature.cc.o.d"
+  "/root/repo/src/datalog/substitution.cc" "src/datalog/CMakeFiles/sqo_datalog.dir/substitution.cc.o" "gcc" "src/datalog/CMakeFiles/sqo_datalog.dir/substitution.cc.o.d"
+  "/root/repo/src/datalog/term.cc" "src/datalog/CMakeFiles/sqo_datalog.dir/term.cc.o" "gcc" "src/datalog/CMakeFiles/sqo_datalog.dir/term.cc.o.d"
+  "/root/repo/src/datalog/unify.cc" "src/datalog/CMakeFiles/sqo_datalog.dir/unify.cc.o" "gcc" "src/datalog/CMakeFiles/sqo_datalog.dir/unify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sqo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqo_datalog.dir/atom.cc.o"
+  "CMakeFiles/sqo_datalog.dir/atom.cc.o.d"
+  "CMakeFiles/sqo_datalog.dir/clause.cc.o"
+  "CMakeFiles/sqo_datalog.dir/clause.cc.o.d"
+  "CMakeFiles/sqo_datalog.dir/parser.cc.o"
+  "CMakeFiles/sqo_datalog.dir/parser.cc.o.d"
+  "CMakeFiles/sqo_datalog.dir/program.cc.o"
+  "CMakeFiles/sqo_datalog.dir/program.cc.o.d"
+  "CMakeFiles/sqo_datalog.dir/signature.cc.o"
+  "CMakeFiles/sqo_datalog.dir/signature.cc.o.d"
+  "CMakeFiles/sqo_datalog.dir/substitution.cc.o"
+  "CMakeFiles/sqo_datalog.dir/substitution.cc.o.d"
+  "CMakeFiles/sqo_datalog.dir/term.cc.o"
+  "CMakeFiles/sqo_datalog.dir/term.cc.o.d"
+  "CMakeFiles/sqo_datalog.dir/unify.cc.o"
+  "CMakeFiles/sqo_datalog.dir/unify.cc.o.d"
+  "libsqo_datalog.a"
+  "libsqo_datalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqo_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/constraint_checker.cc" "src/engine/CMakeFiles/sqo_engine.dir/constraint_checker.cc.o" "gcc" "src/engine/CMakeFiles/sqo_engine.dir/constraint_checker.cc.o.d"
+  "/root/repo/src/engine/cost_model.cc" "src/engine/CMakeFiles/sqo_engine.dir/cost_model.cc.o" "gcc" "src/engine/CMakeFiles/sqo_engine.dir/cost_model.cc.o.d"
+  "/root/repo/src/engine/database.cc" "src/engine/CMakeFiles/sqo_engine.dir/database.cc.o" "gcc" "src/engine/CMakeFiles/sqo_engine.dir/database.cc.o.d"
+  "/root/repo/src/engine/evaluator.cc" "src/engine/CMakeFiles/sqo_engine.dir/evaluator.cc.o" "gcc" "src/engine/CMakeFiles/sqo_engine.dir/evaluator.cc.o.d"
+  "/root/repo/src/engine/ic_discovery.cc" "src/engine/CMakeFiles/sqo_engine.dir/ic_discovery.cc.o" "gcc" "src/engine/CMakeFiles/sqo_engine.dir/ic_discovery.cc.o.d"
+  "/root/repo/src/engine/object_store.cc" "src/engine/CMakeFiles/sqo_engine.dir/object_store.cc.o" "gcc" "src/engine/CMakeFiles/sqo_engine.dir/object_store.cc.o.d"
+  "/root/repo/src/engine/planner.cc" "src/engine/CMakeFiles/sqo_engine.dir/planner.cc.o" "gcc" "src/engine/CMakeFiles/sqo_engine.dir/planner.cc.o.d"
+  "/root/repo/src/engine/statistics.cc" "src/engine/CMakeFiles/sqo_engine.dir/statistics.cc.o" "gcc" "src/engine/CMakeFiles/sqo_engine.dir/statistics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datalog/CMakeFiles/sqo_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/odl/CMakeFiles/sqo_odl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqo/CMakeFiles/sqo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/sqo_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/translate/CMakeFiles/sqo_translate.dir/DependInfo.cmake"
+  "/root/repo/build/src/oql/CMakeFiles/sqo_oql.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sqo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

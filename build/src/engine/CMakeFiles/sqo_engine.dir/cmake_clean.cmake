@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqo_engine.dir/constraint_checker.cc.o"
+  "CMakeFiles/sqo_engine.dir/constraint_checker.cc.o.d"
+  "CMakeFiles/sqo_engine.dir/cost_model.cc.o"
+  "CMakeFiles/sqo_engine.dir/cost_model.cc.o.d"
+  "CMakeFiles/sqo_engine.dir/database.cc.o"
+  "CMakeFiles/sqo_engine.dir/database.cc.o.d"
+  "CMakeFiles/sqo_engine.dir/evaluator.cc.o"
+  "CMakeFiles/sqo_engine.dir/evaluator.cc.o.d"
+  "CMakeFiles/sqo_engine.dir/ic_discovery.cc.o"
+  "CMakeFiles/sqo_engine.dir/ic_discovery.cc.o.d"
+  "CMakeFiles/sqo_engine.dir/object_store.cc.o"
+  "CMakeFiles/sqo_engine.dir/object_store.cc.o.d"
+  "CMakeFiles/sqo_engine.dir/planner.cc.o"
+  "CMakeFiles/sqo_engine.dir/planner.cc.o.d"
+  "CMakeFiles/sqo_engine.dir/statistics.cc.o"
+  "CMakeFiles/sqo_engine.dir/statistics.cc.o.d"
+  "libsqo_engine.a"
+  "libsqo_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqo_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

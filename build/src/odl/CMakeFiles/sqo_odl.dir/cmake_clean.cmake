@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqo_odl.dir/parser.cc.o"
+  "CMakeFiles/sqo_odl.dir/parser.cc.o.d"
+  "CMakeFiles/sqo_odl.dir/schema.cc.o"
+  "CMakeFiles/sqo_odl.dir/schema.cc.o.d"
+  "libsqo_odl.a"
+  "libsqo_odl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqo_odl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

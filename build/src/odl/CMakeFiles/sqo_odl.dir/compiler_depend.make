@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sqo_odl.
+# This may be replaced when dependencies are built.

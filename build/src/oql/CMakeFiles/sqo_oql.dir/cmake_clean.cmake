@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqo_oql.dir/ast.cc.o"
+  "CMakeFiles/sqo_oql.dir/ast.cc.o.d"
+  "CMakeFiles/sqo_oql.dir/parser.cc.o"
+  "CMakeFiles/sqo_oql.dir/parser.cc.o.d"
+  "libsqo_oql.a"
+  "libsqo_oql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqo_oql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqo_solver.dir/constraint_set.cc.o"
+  "CMakeFiles/sqo_solver.dir/constraint_set.cc.o.d"
+  "libsqo_solver.a"
+  "libsqo_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqo_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

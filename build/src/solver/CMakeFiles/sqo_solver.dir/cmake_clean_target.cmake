@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsqo_solver.a"
+)

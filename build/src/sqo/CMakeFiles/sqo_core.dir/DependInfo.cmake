@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sqo/asr.cc" "src/sqo/CMakeFiles/sqo_core.dir/asr.cc.o" "gcc" "src/sqo/CMakeFiles/sqo_core.dir/asr.cc.o.d"
+  "/root/repo/src/sqo/ic_inference.cc" "src/sqo/CMakeFiles/sqo_core.dir/ic_inference.cc.o" "gcc" "src/sqo/CMakeFiles/sqo_core.dir/ic_inference.cc.o.d"
+  "/root/repo/src/sqo/optimizer.cc" "src/sqo/CMakeFiles/sqo_core.dir/optimizer.cc.o" "gcc" "src/sqo/CMakeFiles/sqo_core.dir/optimizer.cc.o.d"
+  "/root/repo/src/sqo/pipeline.cc" "src/sqo/CMakeFiles/sqo_core.dir/pipeline.cc.o" "gcc" "src/sqo/CMakeFiles/sqo_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/sqo/residue.cc" "src/sqo/CMakeFiles/sqo_core.dir/residue.cc.o" "gcc" "src/sqo/CMakeFiles/sqo_core.dir/residue.cc.o.d"
+  "/root/repo/src/sqo/semantic_compiler.cc" "src/sqo/CMakeFiles/sqo_core.dir/semantic_compiler.cc.o" "gcc" "src/sqo/CMakeFiles/sqo_core.dir/semantic_compiler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datalog/CMakeFiles/sqo_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/sqo_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/translate/CMakeFiles/sqo_translate.dir/DependInfo.cmake"
+  "/root/repo/build/src/odl/CMakeFiles/sqo_odl.dir/DependInfo.cmake"
+  "/root/repo/build/src/oql/CMakeFiles/sqo_oql.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sqo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

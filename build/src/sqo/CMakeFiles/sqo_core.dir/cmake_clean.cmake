@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqo_core.dir/asr.cc.o"
+  "CMakeFiles/sqo_core.dir/asr.cc.o.d"
+  "CMakeFiles/sqo_core.dir/ic_inference.cc.o"
+  "CMakeFiles/sqo_core.dir/ic_inference.cc.o.d"
+  "CMakeFiles/sqo_core.dir/optimizer.cc.o"
+  "CMakeFiles/sqo_core.dir/optimizer.cc.o.d"
+  "CMakeFiles/sqo_core.dir/pipeline.cc.o"
+  "CMakeFiles/sqo_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/sqo_core.dir/residue.cc.o"
+  "CMakeFiles/sqo_core.dir/residue.cc.o.d"
+  "CMakeFiles/sqo_core.dir/semantic_compiler.cc.o"
+  "CMakeFiles/sqo_core.dir/semantic_compiler.cc.o.d"
+  "libsqo_core.a"
+  "libsqo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

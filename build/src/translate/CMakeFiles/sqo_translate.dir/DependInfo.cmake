@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/translate/change_mapper.cc" "src/translate/CMakeFiles/sqo_translate.dir/change_mapper.cc.o" "gcc" "src/translate/CMakeFiles/sqo_translate.dir/change_mapper.cc.o.d"
+  "/root/repo/src/translate/query_translator.cc" "src/translate/CMakeFiles/sqo_translate.dir/query_translator.cc.o" "gcc" "src/translate/CMakeFiles/sqo_translate.dir/query_translator.cc.o.d"
+  "/root/repo/src/translate/schema_translator.cc" "src/translate/CMakeFiles/sqo_translate.dir/schema_translator.cc.o" "gcc" "src/translate/CMakeFiles/sqo_translate.dir/schema_translator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datalog/CMakeFiles/sqo_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/odl/CMakeFiles/sqo_odl.dir/DependInfo.cmake"
+  "/root/repo/build/src/oql/CMakeFiles/sqo_oql.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sqo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqo_translate.dir/change_mapper.cc.o"
+  "CMakeFiles/sqo_translate.dir/change_mapper.cc.o.d"
+  "CMakeFiles/sqo_translate.dir/query_translator.cc.o"
+  "CMakeFiles/sqo_translate.dir/query_translator.cc.o.d"
+  "CMakeFiles/sqo_translate.dir/schema_translator.cc.o"
+  "CMakeFiles/sqo_translate.dir/schema_translator.cc.o.d"
+  "libsqo_translate.a"
+  "libsqo_translate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqo_translate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

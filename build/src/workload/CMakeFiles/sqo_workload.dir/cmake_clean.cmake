@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqo_workload.dir/company.cc.o"
+  "CMakeFiles/sqo_workload.dir/company.cc.o.d"
+  "CMakeFiles/sqo_workload.dir/university.cc.o"
+  "CMakeFiles/sqo_workload.dir/university.cc.o.d"
+  "libsqo_workload.a"
+  "libsqo_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqo_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

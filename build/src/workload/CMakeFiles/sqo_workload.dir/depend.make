@@ -1,0 +1,2 @@
+# Empty dependencies file for sqo_workload.
+# This may be replaced when dependencies are built.

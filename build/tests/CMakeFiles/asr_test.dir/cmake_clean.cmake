@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asr_test.dir/sqo/asr_test.cc.o"
+  "CMakeFiles/asr_test.dir/sqo/asr_test.cc.o.d"
+  "asr_test"
+  "asr_test.pdb"
+  "asr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/change_mapper_test.dir/translate/change_mapper_test.cc.o"
+  "CMakeFiles/change_mapper_test.dir/translate/change_mapper_test.cc.o.d"
+  "change_mapper_test"
+  "change_mapper_test.pdb"
+  "change_mapper_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/change_mapper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consequence_soundness_test.dir/integration/consequence_soundness_test.cc.o"
+  "CMakeFiles/consequence_soundness_test.dir/integration/consequence_soundness_test.cc.o.d"
+  "consequence_soundness_test"
+  "consequence_soundness_test.pdb"
+  "consequence_soundness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consequence_soundness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constraint_checker_test.dir/engine/constraint_checker_test.cc.o"
+  "CMakeFiles/constraint_checker_test.dir/engine/constraint_checker_test.cc.o.d"
+  "constraint_checker_test"
+  "constraint_checker_test.pdb"
+  "constraint_checker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constraint_checker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ic_discovery_test.dir/engine/ic_discovery_test.cc.o"
+  "CMakeFiles/ic_discovery_test.dir/engine/ic_discovery_test.cc.o.d"
+  "ic_discovery_test"
+  "ic_discovery_test.pdb"
+  "ic_discovery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ic_discovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

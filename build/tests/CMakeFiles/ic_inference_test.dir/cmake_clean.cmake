@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ic_inference_test.dir/sqo/ic_inference_test.cc.o"
+  "CMakeFiles/ic_inference_test.dir/sqo/ic_inference_test.cc.o.d"
+  "ic_inference_test"
+  "ic_inference_test.pdb"
+  "ic_inference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ic_inference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

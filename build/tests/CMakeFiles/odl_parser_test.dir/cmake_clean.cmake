@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odl_parser_test.dir/odl/parser_test.cc.o"
+  "CMakeFiles/odl_parser_test.dir/odl/parser_test.cc.o.d"
+  "odl_parser_test"
+  "odl_parser_test.pdb"
+  "odl_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odl_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odl_schema_test.dir/odl/schema_test.cc.o"
+  "CMakeFiles/odl_schema_test.dir/odl/schema_test.cc.o.d"
+  "odl_schema_test"
+  "odl_schema_test.pdb"
+  "odl_schema_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odl_schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

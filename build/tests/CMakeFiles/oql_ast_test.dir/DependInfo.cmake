@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/oql/ast_test.cc" "tests/CMakeFiles/oql_ast_test.dir/oql/ast_test.cc.o" "gcc" "tests/CMakeFiles/oql_ast_test.dir/oql/ast_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/sqo_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/sqo_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqo/CMakeFiles/sqo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/translate/CMakeFiles/sqo_translate.dir/DependInfo.cmake"
+  "/root/repo/build/src/oql/CMakeFiles/sqo_oql.dir/DependInfo.cmake"
+  "/root/repo/build/src/odl/CMakeFiles/sqo_odl.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/sqo_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/sqo_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sqo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

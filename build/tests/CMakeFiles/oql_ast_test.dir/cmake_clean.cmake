@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oql_ast_test.dir/oql/ast_test.cc.o"
+  "CMakeFiles/oql_ast_test.dir/oql/ast_test.cc.o.d"
+  "oql_ast_test"
+  "oql_ast_test.pdb"
+  "oql_ast_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oql_ast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_translator_test.dir/translate/query_translator_test.cc.o"
+  "CMakeFiles/query_translator_test.dir/translate/query_translator_test.cc.o.d"
+  "query_translator_test"
+  "query_translator_test.pdb"
+  "query_translator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_translator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_translator_test.dir/translate/schema_translator_test.cc.o"
+  "CMakeFiles/schema_translator_test.dir/translate/schema_translator_test.cc.o.d"
+  "schema_translator_test"
+  "schema_translator_test.pdb"
+  "schema_translator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_translator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semantic_compiler_test.dir/sqo/semantic_compiler_test.cc.o"
+  "CMakeFiles/semantic_compiler_test.dir/sqo/semantic_compiler_test.cc.o.d"
+  "semantic_compiler_test"
+  "semantic_compiler_test.pdb"
+  "semantic_compiler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semantic_compiler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
