@@ -12,6 +12,7 @@
 // family to both search-space size and final quality can be read off.
 
 #include "bench/bench_common.h"
+#include "bench/bench_main.h"
 
 namespace sqo::bench {
 namespace {
@@ -103,4 +104,4 @@ BENCHMARK(BM_Ablation)
 }  // namespace
 }  // namespace sqo::bench
 
-BENCHMARK_MAIN();
+SQO_BENCH_MAIN("ablation");

@@ -12,6 +12,7 @@
 // EXPERIMENTS.md).
 
 #include "bench/bench_common.h"
+#include "bench/bench_main.h"
 
 namespace sqo::bench {
 namespace {
@@ -147,4 +148,4 @@ BENCHMARK(BM_Asr_JoinIntroduction_Q1Prime)->Arg(2)->Arg(4)->Arg(8);
 }  // namespace
 }  // namespace sqo::bench
 
-BENCHMARK_MAIN();
+SQO_BENCH_MAIN("asr");

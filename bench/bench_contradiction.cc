@@ -10,6 +10,7 @@
 //   EvaluateNoSqo  — full evaluation of the unoptimized query
 
 #include "bench/bench_common.h"
+#include "bench/bench_main.h"
 
 namespace sqo::bench {
 namespace {
@@ -68,4 +69,4 @@ BENCHMARK(BM_Contradiction_EvaluateNoSqo)->Arg(100)->Arg(400)->Arg(1600);
 }  // namespace
 }  // namespace sqo::bench
 
-BENCHMARK_MAIN();
+SQO_BENCH_MAIN("contradiction");

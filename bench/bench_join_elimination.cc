@@ -7,6 +7,7 @@
 //   Optimized  — best SQO rewriting (OID comparison / merged variables)
 
 #include "bench/bench_common.h"
+#include "bench/bench_main.h"
 
 namespace sqo::bench {
 namespace {
@@ -74,4 +75,4 @@ BENCHMARK(BM_JoinElimination_SqoCompileTime);
 }  // namespace
 }  // namespace sqo::bench
 
-BENCHMARK_MAIN();
+SQO_BENCH_MAIN("join_elimination");

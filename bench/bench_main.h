@@ -1,0 +1,116 @@
+#ifndef SQO_BENCH_BENCH_MAIN_H_
+#define SQO_BENCH_BENCH_MAIN_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace sqo::bench {
+
+/// Console reporter that additionally keeps every run record so the driver
+/// can export a machine-readable `BENCH_<driver>.json` after the run.
+class JsonExportReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    runs_.insert(runs_.end(), runs.begin(), runs.end());
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<Run>& runs() const { return runs_; }
+
+ private:
+  std::vector<Run> runs_;
+};
+
+/// Serializes collected run records as
+/// `{"bench": <driver>, "runs": [{name, iterations, real_time_ns,
+///   cpu_time_ns, counters: {...}}, ...]}`.
+/// Durations are normalized to nanoseconds regardless of each benchmark's
+/// display unit so downstream tooling never needs unit tables.
+inline std::string RunsToJson(
+    const std::string& driver,
+    const std::vector<benchmark::BenchmarkReporter::Run>& runs) {
+  using Run = benchmark::BenchmarkReporter::Run;
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("bench");
+  w.String(driver);
+  w.Key("runs");
+  w.BeginArray();
+  for (const Run& run : runs) {
+    if (run.error_occurred) continue;
+    const double to_ns =
+        1e9 / benchmark::GetTimeUnitMultiplier(run.time_unit);
+    w.BeginObject();
+    w.Key("name");
+    w.String(run.benchmark_name());
+    if (run.run_type == Run::RT_Aggregate) {
+      w.Key("aggregate");
+      w.String(run.aggregate_name);
+    }
+    w.Key("iterations");
+    w.Int(static_cast<int64_t>(run.iterations));
+    w.Key("real_time_ns");
+    w.Double(run.GetAdjustedRealTime() * to_ns);
+    w.Key("cpu_time_ns");
+    w.Double(run.GetAdjustedCPUTime() * to_ns);
+    if (!run.counters.empty()) {
+      w.Key("counters");
+      w.BeginObject();
+      for (const auto& [name, counter] : run.counters) {
+        w.Key(name);
+        w.Double(counter.value);
+      }
+      w.EndObject();
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+/// Shared driver entry point: runs the registered benchmarks with console
+/// output, then writes `BENCH_<driver>.json` into `SQO_BENCH_OUT_DIR` (or
+/// the working directory). Set `SQO_BENCH_NO_JSON` to suppress the export
+/// (used by the example smoke tests).
+inline int BenchMain(int argc, char** argv, const char* driver) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonExportReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (std::getenv("SQO_BENCH_NO_JSON") != nullptr) return 0;
+  std::string path = "BENCH_" + std::string(driver) + ".json";
+  if (const char* dir = std::getenv("SQO_BENCH_OUT_DIR"); dir != nullptr) {
+    path = std::string(dir) + "/" + path;
+  }
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  const std::string json = RunsToJson(driver, reporter.runs());
+  std::fwrite(json.data(), 1, json.size(), out);
+  std::fputc('\n', out);
+  std::fclose(out);
+  std::fprintf(stderr, "bench: wrote %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace sqo::bench
+
+/// Replacement for BENCHMARK_MAIN() that also emits BENCH_<driver>.json.
+#define SQO_BENCH_MAIN(driver)                           \
+  int main(int argc, char** argv) {                      \
+    return ::sqo::bench::BenchMain(argc, argv, driver);  \
+  }                                                      \
+  int main(int, char**)
+
+#endif  // SQO_BENCH_BENCH_MAIN_H_

@@ -8,6 +8,7 @@
 // read off the time column.
 
 #include <benchmark/benchmark.h>
+#include "bench/bench_main.h"
 
 #include "datalog/parser.h"
 #include "odl/parser.h"
@@ -154,4 +155,4 @@ BENCHMARK(BM_Step4_ChangeMapping)
 }  // namespace
 }  // namespace sqo::bench
 
-BENCHMARK_MAIN();
+SQO_BENCH_MAIN("pipeline_overhead");

@@ -9,6 +9,7 @@
 //   Optimized  — guarded scan with the ¬faculty membership filter
 
 #include "bench/bench_common.h"
+#include "bench/bench_main.h"
 
 namespace sqo::bench {
 namespace {
@@ -72,4 +73,4 @@ BENCHMARK(BM_ScopeReduction_Optimized)->Arg(5)->Arg(20)->Arg(50)->Arg(80);
 }  // namespace
 }  // namespace sqo::bench
 
-BENCHMARK_MAIN();
+SQO_BENCH_MAIN("scope_reduction");

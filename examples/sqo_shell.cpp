@@ -7,8 +7,11 @@
 //   oql> \residues faculty      -- dump residues attached to a relation
 //   oql> \ics                   -- list all compiled integrity constraints
 //   oql> \plan select ...       -- show the evaluator's plan for a query
+//   oql> \timing                -- toggle per-query span tree + metrics
+//   oql> \explain select ...    -- derivations + per-alternative counters
 //   oql> \quit
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -16,10 +19,19 @@
 #include "engine/cost_model.h"
 #include "engine/database.h"
 #include "engine/planner.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "oql/parser.h"
 #include "workload/university.h"
 
 namespace {
+
+void PrintObservability(const sqo::obs::Tracer& tracer,
+                        const sqo::obs::MetricsRegistry& metrics) {
+  std::printf("-- spans --\n%s", tracer.ToText().c_str());
+  const std::string text = metrics.ToText();
+  if (!text.empty()) std::printf("-- metrics --\n%s", text.c_str());
+}
 
 void RunQuery(const sqo::core::Pipeline& pipeline, const sqo::engine::Database& db,
               const sqo::engine::EngineCostModel& cost_model,
@@ -98,6 +110,50 @@ void RunQuery(const sqo::core::Pipeline& pipeline, const sqo::engine::Database& 
   std::printf("[%zu rows; %s]\n", rows->size(), stats.ToString().c_str());
 }
 
+/// \explain: Steps 2–4 with full derivations, per-alternative evaluator
+/// counters, and the span tree with per-phase durations — no result rows.
+void ExplainQuery(const sqo::core::Pipeline& pipeline,
+                  sqo::engine::Database& db,
+                  const sqo::engine::EngineCostModel& cost_model,
+                  const std::string& oql) {
+  sqo::obs::Tracer tracer;
+  sqo::obs::MetricsRegistry metrics;
+  sqo::obs::ScopedTracer install_tracer(&tracer);
+  sqo::obs::ScopedMetrics install_metrics(&metrics);
+
+  auto result = pipeline.OptimizeText(oql, &cost_model);
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  std::printf("datalog: %s\n", result->original_datalog.ToString().c_str());
+  if (result->contradiction) {
+    std::printf("CONTRADICTION — the query is provably empty:\n  %s\n",
+                result->contradiction_reason.c_str());
+    PrintObservability(tracer, metrics);
+    return;
+  }
+  if (auto s = db.ProfileAlternatives(&*result); !s.ok()) {
+    std::printf("note: some alternatives failed to evaluate: %s\n",
+                s.ToString().c_str());
+  }
+  for (size_t i = 0; i < result->alternatives.size(); ++i) {
+    const sqo::core::Alternative& alt = result->alternatives[i];
+    std::printf("[%zu]%s est. cost %.1f\n  %s\n",
+                i, static_cast<int>(i) == result->best_index ? " *chosen*" : "",
+                alt.cost, alt.datalog.ToString().c_str());
+    for (const std::string& step : alt.derivation) {
+      std::printf("    . %s\n", step.c_str());
+    }
+    if (alt.evaluated) {
+      std::printf("    eval: %s\n", alt.eval_stats.ToString().c_str());
+    } else {
+      std::printf("    eval: (failed)\n");
+    }
+  }
+  PrintObservability(tracer, metrics);
+}
+
 }  // namespace
 
 int main() {
@@ -118,9 +174,11 @@ int main() {
 
   std::printf(
       "sqo shell — university schema loaded (%zu objects, %zu residues)\n"
-      "commands: \\ics  \\residues <relation>  \\plan <oql>  \\quit\n",
+      "commands: \\ics  \\residues <relation>  \\plan <oql>  \\explain <oql>  "
+      "\\timing  \\quit\n",
       db.store().object_count(), pipeline.compiled().total_residues());
 
+  bool timing = false;
   std::string line;
   while (true) {
     std::printf("oql> ");
@@ -128,6 +186,11 @@ int main() {
     if (!std::getline(std::cin, line)) break;
     if (line.empty()) continue;
     if (line == "\\quit" || line == "\\q") break;
+    if (line == "\\timing") {
+      timing = !timing;
+      std::printf("timing %s\n", timing ? "on" : "off");
+      continue;
+    }
     if (line == "\\ics") {
       for (const sqo::datalog::Clause& ic : pipeline.compiled().all_ics) {
         std::printf("[%s] %s\n", ic.label.c_str(), ic.ToString().c_str());
@@ -150,7 +213,20 @@ int main() {
       RunQuery(pipeline, db, cost_model, line.substr(6), /*plan_only=*/true);
       continue;
     }
-    RunQuery(pipeline, db, cost_model, line, /*plan_only=*/false);
+    if (line.rfind("\\explain ", 0) == 0) {
+      ExplainQuery(pipeline, db, cost_model, line.substr(9));
+      continue;
+    }
+    if (timing) {
+      sqo::obs::Tracer tracer;
+      sqo::obs::MetricsRegistry metrics;
+      sqo::obs::ScopedTracer install_tracer(&tracer);
+      sqo::obs::ScopedMetrics install_metrics(&metrics);
+      RunQuery(pipeline, db, cost_model, line, /*plan_only=*/false);
+      PrintObservability(tracer, metrics);
+    } else {
+      RunQuery(pipeline, db, cost_model, line, /*plan_only=*/false);
+    }
   }
   return 0;
 }

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Builds the Release preset, runs every bench driver, and merges their
+# per-driver JSON exports into one BENCH_pipeline.json at the repo root.
+#
+#   scripts/run_benches.sh [--quick] [extra benchmark args...]
+#
+#   --quick    pass a small --benchmark_min_time so the sweep finishes in
+#              seconds (sanity runs, CI); omit for publication-grade numbers.
+#
+# Each driver writes BENCH_<name>.json (see bench/bench_main.h); this script
+# only orchestrates and aggregates.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+EXTRA_ARGS=()
+for arg in "$@"; do
+  if [[ "$arg" == "--quick" ]]; then
+    EXTRA_ARGS+=("--benchmark_min_time=0.01")
+  else
+    EXTRA_ARGS+=("$arg")
+  fi
+done
+
+cmake --preset release
+cmake --build --preset release -j "$(nproc)"
+
+OUT_DIR="$(mktemp -d)"
+trap 'rm -rf "$OUT_DIR"' EXIT
+
+DRIVERS=(contradiction scope_reduction join_elimination asr
+         pipeline_overhead ablation)
+for driver in "${DRIVERS[@]}"; do
+  echo "=== bench_${driver} ==="
+  SQO_BENCH_OUT_DIR="$OUT_DIR" \
+    "build-release/bench/bench_${driver}" "${EXTRA_ARGS[@]}"
+done
+
+# Merge the per-driver records into one top-level document.
+if command -v jq >/dev/null 2>&1; then
+  jq -s '{benches: .}' "$OUT_DIR"/BENCH_*.json > BENCH_pipeline.json
+else
+  python3 - "$OUT_DIR" <<'EOF'
+import json, glob, sys
+docs = [json.load(open(p)) for p in sorted(glob.glob(sys.argv[1] + "/BENCH_*.json"))]
+with open("BENCH_pipeline.json", "w") as f:
+    json.dump({"benches": docs}, f, indent=1)
+    f.write("\n")
+EOF
+fi
+
+echo "wrote $(pwd)/BENCH_pipeline.json ($(jq '.benches | length' BENCH_pipeline.json 2>/dev/null || echo "${#DRIVERS[@]}") drivers)"

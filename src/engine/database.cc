@@ -25,4 +25,18 @@ sqo::Result<std::vector<std::vector<sqo::Value>>> Database::Run(
   return evaluator.Evaluate(query, stats);
 }
 
+sqo::Status Database::ProfileAlternatives(core::PipelineResult* result,
+                                          EvalOptions options) const {
+  if (result == nullptr || result->contradiction) return sqo::Status::Ok();
+  sqo::Status first_error = sqo::Status::Ok();
+  Evaluator evaluator(&store_, options);
+  for (core::Alternative& alt : result->alternatives) {
+    alt.eval_stats.Reset();
+    auto rows = evaluator.Evaluate(alt.datalog, &alt.eval_stats);
+    alt.evaluated = rows.ok();
+    if (!rows.ok() && first_error.ok()) first_error = rows.status();
+  }
+  return first_error;
+}
+
 }  // namespace sqo::engine

@@ -5,6 +5,7 @@
 
 #include "engine/evaluator.h"
 #include "engine/object_store.h"
+#include "sqo/pipeline.h"
 
 namespace sqo::engine {
 
@@ -31,6 +32,15 @@ class Database {
   sqo::Result<std::vector<std::vector<sqo::Value>>> Run(
       const datalog::Query& query, EvalStats* stats = nullptr,
       EvalOptions options = {}) const;
+
+  /// Evaluates every alternative of a pipeline result, filling each
+  /// `Alternative::eval_stats` / `evaluated` — so shells and benches can
+  /// report evaluator counters per alternative, not just per run. An
+  /// alternative whose evaluation fails keeps `evaluated == false`; the
+  /// first such error is returned (after profiling the rest). Skipped for
+  /// contradictory results (nothing to evaluate).
+  sqo::Status ProfileAlternatives(core::PipelineResult* result,
+                                  EvalOptions options = {}) const;
 
  private:
   ObjectStore store_;

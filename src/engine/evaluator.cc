@@ -5,6 +5,8 @@
 #include <set>
 
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sqo::engine {
 
@@ -505,8 +507,11 @@ class Execution {
 
 sqo::Result<std::vector<std::vector<sqo::Value>>> Evaluator::Evaluate(
     const Query& query, EvalStats* stats, const std::vector<size_t>* order) const {
+  obs::Span span("eval.evaluate");
+  obs::ScopedTimer timer("eval.evaluate");
+  // Work into a local so only *this* evaluation's counters reach the
+  // metrics registry even when the caller accumulates into `stats`.
   EvalStats local;
-  EvalStats& s = stats != nullptr ? *stats : local;
   std::vector<size_t> plan_order;
   if (order != nullptr) {
     plan_order = *order;
@@ -517,8 +522,21 @@ sqo::Result<std::vector<std::vector<sqo::Value>>> Evaluator::Evaluate(
     return sqo::InvalidArgumentError("evaluation order size mismatch");
   }
   std::vector<std::vector<sqo::Value>> out;
-  Execution exec(*store_, query, options_, s);
-  SQO_RETURN_IF_ERROR(exec.Run(plan_order, &out));
+  {
+    obs::Span exec_span("eval.execute");
+    Execution exec(*store_, query, options_, local);
+    sqo::Status status = exec.Run(plan_order, &out);
+    exec_span.Tag("rows", static_cast<uint64_t>(out.size()));
+    if (!status.ok()) {
+      if (stats != nullptr) *stats += local;
+      return status;
+    }
+  }
+  span.Tag("rows", static_cast<uint64_t>(out.size()));
+  if (stats != nullptr) *stats += local;
+  // The registry absorbs the per-evaluation counters alongside the
+  // optimizer-side metrics.
+  local.ExportTo(obs::CurrentMetrics());
   return out;
 }
 

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/strings.h"
+#include "obs/trace.h"
 
 namespace sqo::engine {
 
@@ -249,6 +250,7 @@ std::string Plan::ToString() const {
 }
 
 Plan PlanQuery(const Query& query, const ObjectStore& store) {
+  obs::Span span("eval.plan");
   Plan plan;
   const size_t n = query.body.size();
   std::vector<bool> placed(n, false);

@@ -1,32 +1,15 @@
 #ifndef SQO_ENGINE_STATISTICS_H_
 #define SQO_ENGINE_STATISTICS_H_
 
-#include <cstdint>
-#include <string>
+#include "obs/eval_stats.h"
 
 namespace sqo::engine {
 
-/// Instrumentation counters for one query evaluation. These are the
-/// quantities the paper's optimizations improve — object fetches, join
-/// work, method invocations — and the numbers EXPERIMENTS.md reports.
-struct EvalStats {
-  uint64_t objects_fetched = 0;          // class/struct rows materialized
-  uint64_t extent_scans = 0;             // full extent enumerations started
-  uint64_t index_probes = 0;             // hash-index lookups
-  uint64_t relationship_traversals = 0;  // relationship/ASR edges visited
-  uint64_t method_invocations = 0;       // registered method calls
-  uint64_t comparisons = 0;              // value comparisons performed
-  uint64_t negation_checks = 0;          // anti-join existence probes
-  uint64_t tuples_emitted = 0;           // result tuples before dedup
-  uint64_t results = 0;                  // distinct result tuples
-
-  void Reset() { *this = EvalStats(); }
-
-  EvalStats& operator+=(const EvalStats& other);
-
-  /// Single-line summary for logs and bench output.
-  std::string ToString() const;
-};
+/// EvalStats moved to the observability layer (src/obs/eval_stats.h) so the
+/// optimizer pipeline can carry per-alternative evaluation counters without
+/// depending on the engine. This alias keeps existing engine-side code and
+/// tests source-compatible.
+using EvalStats = ::sqo::obs::EvalStats;
 
 }  // namespace sqo::engine
 

@@ -1,0 +1,51 @@
+#include "obs/eval_stats.h"
+
+#include "common/strings.h"
+#include "obs/metrics.h"
+
+namespace sqo::obs {
+
+EvalStats& EvalStats::operator+=(const EvalStats& other) {
+  objects_fetched += other.objects_fetched;
+  extent_scans += other.extent_scans;
+  index_probes += other.index_probes;
+  relationship_traversals += other.relationship_traversals;
+  method_invocations += other.method_invocations;
+  comparisons += other.comparisons;
+  negation_checks += other.negation_checks;
+  tuples_emitted += other.tuples_emitted;
+  results += other.results;
+  return *this;
+}
+
+std::string EvalStats::ToString() const {
+  return sqo::StrFormat(
+      "fetched=%llu scans=%llu probes=%llu traversals=%llu methods=%llu "
+      "comparisons=%llu negchecks=%llu emitted=%llu results=%llu",
+      static_cast<unsigned long long>(objects_fetched),
+      static_cast<unsigned long long>(extent_scans),
+      static_cast<unsigned long long>(index_probes),
+      static_cast<unsigned long long>(relationship_traversals),
+      static_cast<unsigned long long>(method_invocations),
+      static_cast<unsigned long long>(comparisons),
+      static_cast<unsigned long long>(negation_checks),
+      static_cast<unsigned long long>(tuples_emitted),
+      static_cast<unsigned long long>(results));
+}
+
+void EvalStats::ExportTo(MetricsRegistry* registry,
+                         std::string_view prefix) const {
+  if (registry == nullptr) return;
+  const std::string p(prefix);
+  registry->Add(p + "objects_fetched", objects_fetched);
+  registry->Add(p + "extent_scans", extent_scans);
+  registry->Add(p + "index_probes", index_probes);
+  registry->Add(p + "relationship_traversals", relationship_traversals);
+  registry->Add(p + "method_invocations", method_invocations);
+  registry->Add(p + "comparisons", comparisons);
+  registry->Add(p + "negation_checks", negation_checks);
+  registry->Add(p + "tuples_emitted", tuples_emitted);
+  registry->Add(p + "results", results);
+}
+
+}  // namespace sqo::obs

@@ -1,0 +1,367 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace sqo::obs {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // the comma (if any) was written with the key
+  }
+  if (!first_in_scope_.empty()) {
+    if (!first_in_scope_.back()) out_ += ',';
+    first_in_scope_.back() = false;
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  out_ += '}';
+  first_in_scope_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  out_ += ']';
+  first_in_scope_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  if (!first_in_scope_.empty()) {
+    if (!first_in_scope_.back()) out_ += ',';
+    first_in_scope_.back() = false;
+  }
+  out_ += '"';
+  out_ += JsonEscape(key);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_ += '"';
+  out_ += JsonEscape(value);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::UInt(uint64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double value) {
+  BeforeValue();
+  if (std::isfinite(value)) {
+    out_ += StrFormat("%.17g", value);
+  } else {
+    out_ += "null";  // JSON has no Inf/NaN
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+  return *this;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  sqo::Result<JsonValue> Parse() {
+    SQO_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return sqo::ParseError("trailing characters after JSON document at " +
+                             std::to_string(pos_));
+    }
+    return value;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  sqo::Status Expect(char c) {
+    if (!Consume(c)) {
+      return sqo::ParseError(std::string("expected '") + c + "' at offset " +
+                             std::to_string(pos_));
+    }
+    return sqo::Status::Ok();
+  }
+
+  sqo::Result<JsonValue> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return sqo::ParseError("unexpected end of JSON");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (c == 't' || c == 'f') return ParseBool();
+    if (c == 'n') return ParseNull();
+    return ParseNumber();
+  }
+
+  sqo::Result<JsonValue> ParseObject() {
+    SQO_RETURN_IF_ERROR(Expect('{'));
+    JsonValue out;
+    out.kind = JsonValue::Kind::kObject;
+    if (Consume('}')) return out;
+    while (true) {
+      SQO_ASSIGN_OR_RETURN(JsonValue key, ParseString());
+      SQO_RETURN_IF_ERROR(Expect(':'));
+      SQO_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+      out.members.emplace_back(std::move(key.string_value), std::move(value));
+      if (Consume(',')) continue;
+      SQO_RETURN_IF_ERROR(Expect('}'));
+      return out;
+    }
+  }
+
+  sqo::Result<JsonValue> ParseArray() {
+    SQO_RETURN_IF_ERROR(Expect('['));
+    JsonValue out;
+    out.kind = JsonValue::Kind::kArray;
+    if (Consume(']')) return out;
+    while (true) {
+      SQO_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+      out.items.push_back(std::move(value));
+      if (Consume(',')) continue;
+      SQO_RETURN_IF_ERROR(Expect(']'));
+      return out;
+    }
+  }
+
+  sqo::Result<JsonValue> ParseString() {
+    SQO_RETURN_IF_ERROR(Expect('"'));
+    JsonValue out;
+    out.kind = JsonValue::Kind::kString;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.string_value += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char e = text_[pos_++];
+      switch (e) {
+        case '"':
+        case '\\':
+        case '/':
+          out.string_value += e;
+          break;
+        case 'b':
+          out.string_value += '\b';
+          break;
+        case 'f':
+          out.string_value += '\f';
+          break;
+        case 'n':
+          out.string_value += '\n';
+          break;
+        case 'r':
+          out.string_value += '\r';
+          break;
+        case 't':
+          out.string_value += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return sqo::ParseError("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return sqo::ParseError("invalid \\u escape");
+            }
+          }
+          // UTF-8 encode (no surrogate-pair handling; the exporters never
+          // emit any).
+          if (code < 0x80) {
+            out.string_value += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out.string_value += static_cast<char>(0xC0 | (code >> 6));
+            out.string_value += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out.string_value += static_cast<char>(0xE0 | (code >> 12));
+            out.string_value += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out.string_value += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return sqo::ParseError(std::string("invalid escape \\") + e);
+      }
+    }
+    return sqo::ParseError("unterminated JSON string");
+  }
+
+  sqo::Result<JsonValue> ParseBool() {
+    JsonValue out;
+    out.kind = JsonValue::Kind::kBool;
+    if (text_.substr(pos_, 4) == "true") {
+      pos_ += 4;
+      out.bool_value = true;
+      return out;
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      pos_ += 5;
+      out.bool_value = false;
+      return out;
+    }
+    return sqo::ParseError("invalid literal at offset " + std::to_string(pos_));
+  }
+
+  sqo::Result<JsonValue> ParseNull() {
+    if (text_.substr(pos_, 4) == "null") {
+      pos_ += 4;
+      return JsonValue{};
+    }
+    return sqo::ParseError("invalid literal at offset " + std::to_string(pos_));
+  }
+
+  sqo::Result<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    auto accept = [&](auto pred) {
+      while (pos_ < text_.size() && pred(text_[pos_])) ++pos_;
+    };
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    auto digit = [](char c) { return c >= '0' && c <= '9'; };
+    accept(digit);
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      accept(digit);
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+      accept(digit);
+    }
+    if (pos_ == start) {
+      return sqo::ParseError("invalid JSON value at offset " +
+                             std::to_string(pos_));
+    }
+    JsonValue out;
+    out.kind = JsonValue::Kind::kNumber;
+    try {
+      out.number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    } catch (...) {
+      return sqo::ParseError("unparseable number at offset " +
+                             std::to_string(start));
+    }
+    return out;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+sqo::Result<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace sqo::obs

@@ -1,0 +1,77 @@
+#ifndef SQO_OBS_JSON_H_
+#define SQO_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sqo::obs {
+
+/// Escapes `s` for inclusion inside a JSON string literal (no quotes added).
+std::string JsonEscape(std::string_view s);
+
+/// Minimal streaming JSON writer: explicit structure calls, automatic comma
+/// placement. Misuse (e.g. a value without a pending key inside an object)
+/// is not diagnosed — this is a trusted internal serializer, not a codec.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Writes an object key; the next value call is its value.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& UInt(uint64_t value);
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  const std::string& str() const { return out_; }
+  std::string TakeString() { return std::move(out_); }
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  /// One entry per open container: true until its first element is written.
+  std::vector<bool> first_in_scope_;
+  bool pending_key_ = false;
+};
+
+/// Parsed JSON document node. Numbers are kept as doubles (sufficient for
+/// the duration/counter records this library emits).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string string_value;
+  std::vector<std::pair<std::string, JsonValue>> members;  // kObject
+  std::vector<JsonValue> items;                            // kArray
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+};
+
+/// Strict recursive-descent parse of a complete JSON document (trailing
+/// garbage is an error). Exists so tests can round-trip the exporters'
+/// output; not a general-purpose codec.
+sqo::Result<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace sqo::obs
+
+#endif  // SQO_OBS_JSON_H_

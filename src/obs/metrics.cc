@@ -1,0 +1,159 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/strings.h"
+#include "obs/json.h"
+
+namespace sqo::obs {
+
+namespace {
+
+thread_local MetricsRegistry* g_current_metrics = nullptr;
+
+size_t BucketFor(int64_t nanos) {
+  if (nanos <= 0) return 0;
+  return static_cast<size_t>(std::bit_width(static_cast<uint64_t>(nanos)));
+}
+
+/// Geometric midpoint of bucket i's value range [2^(i-1), 2^i - 1].
+int64_t BucketMidpoint(size_t i) {
+  if (i == 0) return 0;
+  const int64_t lo = int64_t{1} << (i - 1);
+  const int64_t hi = (i >= 63) ? lo : (int64_t{1} << i) - 1;
+  return lo + (hi - lo) / 2;
+}
+
+}  // namespace
+
+void DurationHistogram::Record(int64_t nanos) {
+  if (nanos < 0) nanos = 0;
+  ++buckets_[BucketFor(nanos)];
+  ++count_;
+  sum_ += nanos;
+  if (nanos > max_) max_ = nanos;
+}
+
+int64_t DurationHistogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  const uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count_ - 1));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    cumulative += buckets_[i];
+    if (cumulative > rank) {
+      // The top bucket's midpoint can overshoot the true maximum.
+      return std::min(BucketMidpoint(i), max_);
+    }
+  }
+  return max_;
+}
+
+DurationHistogram::Summary DurationHistogram::Summarize() const {
+  Summary s;
+  s.count = count_;
+  s.sum_ns = sum_;
+  s.max_ns = max_;
+  s.p50_ns = Quantile(0.50);
+  s.p95_ns = Quantile(0.95);
+  return s;
+}
+
+void MetricsRegistry::Add(std::string_view name, uint64_t delta) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void MetricsRegistry::Record(std::string_view name, int64_t nanos) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), DurationHistogram()).first;
+  }
+  it->second.Record(nanos);
+}
+
+void MetricsRegistry::Clear() {
+  counters_.clear();
+  histograms_.clear();
+}
+
+std::string MetricsRegistry::ToText() const {
+  std::string out;
+  for (const auto& [name, value] : counters_) {
+    out += StrFormat("%-44s %llu\n", name.c_str(),
+                     static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, hist] : histograms_) {
+    const DurationHistogram::Summary s = hist.Summarize();
+    out += StrFormat(
+        "%-44s count=%llu p50=%.1fus p95=%.1fus max=%.1fus\n", name.c_str(),
+        static_cast<unsigned long long>(s.count),
+        static_cast<double>(s.p50_ns) / 1e3, static_cast<double>(s.p95_ns) / 1e3,
+        static_cast<double>(s.max_ns) / 1e3);
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters").BeginObject();
+  for (const auto& [name, value] : counters_) {
+    w.Key(name).UInt(value);
+  }
+  w.EndObject();
+  w.Key("histograms").BeginObject();
+  for (const auto& [name, hist] : histograms_) {
+    const DurationHistogram::Summary s = hist.Summarize();
+    w.Key(name).BeginObject();
+    w.Key("count").UInt(s.count);
+    w.Key("sum_ns").Int(s.sum_ns);
+    w.Key("p50_ns").Int(s.p50_ns);
+    w.Key("p95_ns").Int(s.p95_ns);
+    w.Key("max_ns").Int(s.max_ns);
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.TakeString();
+}
+
+MetricsRegistry* CurrentMetrics() { return g_current_metrics; }
+
+ScopedMetrics::ScopedMetrics(MetricsRegistry* metrics)
+    : previous_(g_current_metrics) {
+  g_current_metrics = metrics;
+}
+
+ScopedMetrics::~ScopedMetrics() { g_current_metrics = previous_; }
+
+void Count(std::string_view name, uint64_t delta) {
+  if (g_current_metrics != nullptr) g_current_metrics->Add(name, delta);
+}
+
+ScopedTimer::ScopedTimer(std::string_view name) : registry_(g_current_metrics) {
+  if (registry_ != nullptr) {
+    name_ = std::string(name);
+    start_ = std::chrono::steady_clock::now();
+  }
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (registry_ != nullptr) {
+    registry_->Record(name_,
+                      std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count());
+  }
+}
+
+}  // namespace sqo::obs

@@ -1,0 +1,114 @@
+#ifndef SQO_OBS_METRICS_H_
+#define SQO_OBS_METRICS_H_
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace sqo::obs {
+
+/// Log₂-bucketed duration histogram: O(1) record, 64 buckets (bucket i
+/// holds samples whose nanosecond value has bit-width i). Quantiles are
+/// approximated by the geometric midpoint of the bucket that crosses the
+/// cumulative rank — at most a 2× error, plenty for p50/p95 phase timings.
+class DurationHistogram {
+ public:
+  void Record(int64_t nanos);
+
+  struct Summary {
+    uint64_t count = 0;
+    int64_t sum_ns = 0;
+    int64_t max_ns = 0;
+    int64_t p50_ns = 0;
+    int64_t p95_ns = 0;
+  };
+  Summary Summarize() const;
+
+  uint64_t count() const { return count_; }
+
+ private:
+  int64_t Quantile(double q) const;
+
+  std::array<uint64_t, 64> buckets_{};
+  uint64_t count_ = 0;
+  int64_t sum_ = 0;
+  int64_t max_ = 0;
+};
+
+/// Named counters and duration histograms for one recording session
+/// (a query, a bench run, a shell session). Not thread-safe; install one
+/// per thread via `ScopedMetrics`.
+class MetricsRegistry {
+ public:
+  /// Adds `delta` to counter `name` (created on first use).
+  void Add(std::string_view name, uint64_t delta = 1);
+
+  /// Current value of counter `name` (0 when never touched).
+  uint64_t CounterValue(std::string_view name) const;
+
+  /// Records one duration sample into histogram `name`.
+  void Record(std::string_view name, int64_t nanos);
+
+  const std::map<std::string, uint64_t, std::less<>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, DurationHistogram, std::less<>>& histograms()
+      const {
+    return histograms_;
+  }
+
+  void Clear();
+
+  /// One line per counter, then one per histogram (count/p50/p95/max).
+  std::string ToText() const;
+
+  /// `{"counters":{...},"histograms":{"name":{"count":..,"sum_ns":..,
+  /// "p50_ns":..,"p95_ns":..,"max_ns":..},...}}`.
+  std::string ToJson() const;
+
+ private:
+  std::map<std::string, uint64_t, std::less<>> counters_;
+  std::map<std::string, DurationHistogram, std::less<>> histograms_;
+};
+
+/// The registry installed for this thread, or nullptr (recording off).
+MetricsRegistry* CurrentMetrics();
+
+/// Installs `metrics` as the thread's current registry for the scope.
+class ScopedMetrics {
+ public:
+  explicit ScopedMetrics(MetricsRegistry* metrics);
+  ~ScopedMetrics();
+
+  ScopedMetrics(const ScopedMetrics&) = delete;
+  ScopedMetrics& operator=(const ScopedMetrics&) = delete;
+
+ private:
+  MetricsRegistry* previous_;
+};
+
+/// Adds to a counter of the current registry; no-op when none installed.
+void Count(std::string_view name, uint64_t delta = 1);
+
+/// RAII timer recording into a duration histogram of the registry that was
+/// current at construction; no-op when none installed.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string_view name);
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  MetricsRegistry* registry_;
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace sqo::obs
+
+#endif  // SQO_OBS_METRICS_H_

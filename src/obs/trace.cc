@@ -1,0 +1,117 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "obs/json.h"
+
+namespace sqo::obs {
+
+namespace {
+
+thread_local Tracer* g_current_tracer = nullptr;
+
+/// Renders a nanosecond duration with a readable unit.
+std::string FormatDuration(int64_t ns) {
+  if (ns < 0) return "open";
+  if (ns < 10'000) return StrFormat("%lldns", static_cast<long long>(ns));
+  if (ns < 10'000'000) return StrFormat("%.1fus", static_cast<double>(ns) / 1e3);
+  if (ns < 10'000'000'000) {
+    return StrFormat("%.1fms", static_cast<double>(ns) / 1e6);
+  }
+  return StrFormat("%.2fs", static_cast<double>(ns) / 1e9);
+}
+
+}  // namespace
+
+Tracer* CurrentTracer() { return g_current_tracer; }
+
+ScopedTracer::ScopedTracer(Tracer* tracer) : previous_(g_current_tracer) {
+  g_current_tracer = tracer;
+}
+
+ScopedTracer::~ScopedTracer() { g_current_tracer = previous_; }
+
+uint32_t Tracer::BeginSpan(std::string_view name) {
+  SpanRecord record;
+  record.id = static_cast<uint32_t>(spans_.size() + 1);
+  record.parent = open_.empty() ? 0 : open_.back();
+  record.name = std::string(name);
+  record.start_ns = Now();
+  spans_.push_back(std::move(record));
+  open_.push_back(spans_.back().id);
+  return spans_.back().id;
+}
+
+void Tracer::EndSpan(uint32_t id) {
+  if (id == 0 || id > spans_.size()) return;
+  if (std::find(open_.begin(), open_.end(), id) == open_.end()) return;
+  const int64_t now = Now();
+  // Close any descendants left open (defensive: a span that escaped its
+  // scope), then the span itself.
+  while (!open_.empty()) {
+    const uint32_t top = open_.back();
+    open_.pop_back();
+    SpanRecord& record = spans_[top - 1];
+    if (record.dur_ns < 0) record.dur_ns = now - record.start_ns;
+    if (top == id) return;
+  }
+}
+
+void Tracer::Tag(uint32_t id, std::string_view key, std::string_view value) {
+  if (id == 0 || id > spans_.size()) return;
+  spans_[id - 1].tags.emplace_back(std::string(key), std::string(value));
+}
+
+void Tracer::Clear() {
+  spans_.clear();
+  open_.clear();
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+std::string Tracer::ToText() const {
+  // Depth via parent links; parents always precede children.
+  std::vector<int> depth(spans_.size(), 0);
+  size_t widest = 0;
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    const SpanRecord& s = spans_[i];
+    if (s.parent != 0) depth[i] = depth[s.parent - 1] + 1;
+    widest = std::max(widest, s.name.size() + 2 * static_cast<size_t>(depth[i]));
+  }
+  std::string out;
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    const SpanRecord& s = spans_[i];
+    std::string line(2 * static_cast<size_t>(depth[i]), ' ');
+    line += s.name;
+    line.append(widest + 2 > line.size() ? widest + 2 - line.size() : 1, ' ');
+    line += FormatDuration(s.dur_ns);
+    for (const auto& [k, v] : s.tags) {
+      line += "  " + k + "=" + v;
+    }
+    out += line + "\n";
+  }
+  return out;
+}
+
+std::string Tracer::ToJson() const {
+  JsonWriter w;
+  w.BeginObject().Key("spans").BeginArray();
+  for (const SpanRecord& s : spans_) {
+    w.BeginObject();
+    w.Key("id").UInt(s.id);
+    w.Key("parent").UInt(s.parent);
+    w.Key("name").String(s.name);
+    w.Key("start_ns").Int(s.start_ns);
+    w.Key("dur_ns").Int(s.dur_ns);
+    if (!s.tags.empty()) {
+      w.Key("tags").BeginObject();
+      for (const auto& [k, v] : s.tags) w.Key(k).String(v);
+      w.EndObject();
+    }
+    w.EndObject();
+  }
+  w.EndArray().EndObject();
+  return w.TakeString();
+}
+
+}  // namespace sqo::obs

@@ -1,0 +1,137 @@
+#ifndef SQO_OBS_TRACE_H_
+#define SQO_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sqo::obs {
+
+/// One recorded span. Spans form a tree via `parent` (0 = root); ids are
+/// 1-based and assigned in begin order, so a span's parent always precedes
+/// it in the tracer's span vector.
+struct SpanRecord {
+  uint32_t id = 0;
+  uint32_t parent = 0;
+  std::string name;
+  int64_t start_ns = 0;  // offset from the tracer's epoch
+  int64_t dur_ns = -1;   // -1 while the span is still open
+  std::vector<std::pair<std::string, std::string>> tags;
+};
+
+/// Low-overhead trace collector for the Figure-2 pipeline phases. Spans
+/// nest per tracer (the library is single-threaded per query; use one
+/// tracer per thread). Timing uses `steady_clock`; records accumulate
+/// until `Clear()`.
+///
+/// The tracer is *pull*-installed: instrumentation sites construct `Span`
+/// objects, which are no-ops unless a tracer is installed for the current
+/// thread via `ScopedTracer`. With none installed the cost per site is one
+/// thread-local load and a branch ("null tracer"). Defining
+/// `SQO_OBS_DISABLED` at compile time removes even that.
+class Tracer {
+ public:
+  Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+  /// Opens a span as a child of the innermost open span. Returns its id.
+  uint32_t BeginSpan(std::string_view name);
+
+  /// Closes span `id` (and any forgotten descendants still open).
+  void EndSpan(uint32_t id);
+
+  /// Attaches a key/value tag to span `id`.
+  void Tag(uint32_t id, std::string_view key, std::string_view value);
+
+  void Clear();
+
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+
+  /// Indented tree with per-span durations and tags, for terminal output.
+  std::string ToText() const;
+
+  /// `{"spans":[{"id":..,"parent":..,"name":..,"start_ns":..,"dur_ns":..,
+  /// "tags":{..}},...]}`.
+  std::string ToJson() const;
+
+ private:
+  int64_t Now() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<SpanRecord> spans_;
+  std::vector<uint32_t> open_;  // stack of open span ids
+};
+
+/// The tracer installed for this thread, or nullptr ("null tracer").
+Tracer* CurrentTracer();
+
+/// Installs `tracer` as the current tracer for this thread for the scope's
+/// lifetime, restoring the previous one on destruction. Pass nullptr to
+/// force-disable tracing within a scope.
+class ScopedTracer {
+ public:
+  explicit ScopedTracer(Tracer* tracer);
+  ~ScopedTracer();
+
+  ScopedTracer(const ScopedTracer&) = delete;
+  ScopedTracer& operator=(const ScopedTracer&) = delete;
+
+ private:
+  Tracer* previous_;
+};
+
+#ifndef SQO_OBS_DISABLED
+
+/// RAII scoped span against the thread's current tracer. Cheap no-op when
+/// no tracer is installed.
+class Span {
+ public:
+  explicit Span(std::string_view name) : tracer_(CurrentTracer()) {
+    if (tracer_ != nullptr) id_ = tracer_->BeginSpan(name);
+  }
+  ~Span() {
+    if (tracer_ != nullptr) tracer_->EndSpan(id_);
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  bool active() const { return tracer_ != nullptr; }
+
+  void Tag(std::string_view key, std::string_view value) {
+    if (tracer_ != nullptr) tracer_->Tag(id_, key, value);
+  }
+  void Tag(std::string_view key, int64_t value) {
+    if (tracer_ != nullptr) tracer_->Tag(id_, key, std::to_string(value));
+  }
+  void Tag(std::string_view key, uint64_t value) {
+    if (tracer_ != nullptr) tracer_->Tag(id_, key, std::to_string(value));
+  }
+
+ private:
+  Tracer* tracer_;
+  uint32_t id_ = 0;
+};
+
+#else  // SQO_OBS_DISABLED
+
+class Span {
+ public:
+  explicit Span(std::string_view) {}
+  bool active() const { return false; }
+  void Tag(std::string_view, std::string_view) {}
+  void Tag(std::string_view, int64_t) {}
+  void Tag(std::string_view, uint64_t) {}
+};
+
+#endif  // SQO_OBS_DISABLED
+
+}  // namespace sqo::obs
+
+#endif  // SQO_OBS_TRACE_H_

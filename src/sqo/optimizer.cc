@@ -7,6 +7,8 @@
 
 #include "common/strings.h"
 #include "datalog/unify.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sqo::core {
 
@@ -170,7 +172,10 @@ std::vector<Consequence> Optimizer::ImpliedConsequences(
   const std::string cache_key = query.CanonicalKey();
   {
     auto it = consequence_cache_.find(cache_key);
-    if (it != consequence_cache_.end()) return it->second;
+    if (it != consequence_cache_.end()) {
+      obs::Count("optimizer.consequence_cache_hits");
+      return it->second;
+    }
   }
   std::vector<Consequence> out;
   std::set<std::string> seen;
@@ -185,6 +190,15 @@ std::vector<Consequence> Optimizer::ImpliedConsequences(
         compiled_->ResiduesFor(anchor.atom.predicate());
     if (residues == nullptr) continue;
     for (const Residue& residue : *residues) {
+      // One span per residue tried, tagged hit/miss — the per-
+      // transformation cost accounting the Figure-2 trace reports.
+      obs::Span residue_span("residue.apply");
+      if (residue_span.active()) {
+        residue_span.Tag("relation", anchor.atom.predicate());
+        residue_span.Tag("source", residue.source);
+      }
+      obs::Count("optimizer.residues_tried");
+      bool hit = false;
       // Residues were renamed apart at compile time (reserved "_R" prefix);
       // their variable sets are precomputed.
       const Atom& template_atom = residue.template_atom;
@@ -196,9 +210,13 @@ std::vector<Consequence> Optimizer::ImpliedConsequences(
       matcher.set_frozen_equiv([&equalities](const Term& a, const Term& b) {
         return equalities.Equal(a, b);
       });
-      if (!matcher.MatchAtom(template_atom, anchor.atom)) continue;
+      if (!matcher.MatchAtom(template_atom, anchor.atom)) {
+        residue_span.Tag("result", "miss");
+        continue;
+      }
 
       MatchRemainder(remainder, 0, &matcher, query, qcs, bindable, [&]() {
+        hit = true;
         Consequence c;
         c.source = residue.source;
         if (!residue.head.has_value()) {
@@ -224,6 +242,8 @@ std::vector<Consequence> Optimizer::ImpliedConsequences(
         // Canonicalize unbound-variable names for dedup purposes only.
         if (seen.insert(key).second) out.push_back(std::move(c));
       });
+      residue_span.Tag("result", hit ? "hit" : "miss");
+      if (hit) obs::Count("optimizer.residue_hits");
     }
   }
   if (consequence_cache_.size() > 4096) consequence_cache_.clear();
@@ -269,7 +289,9 @@ std::vector<Rewriting> Optimizer::Neighbors(const Rewriting& base, bool addition
   const std::vector<Consequence> consequences = ImpliedConsequences(q);
   int counter = 0;
 
-  auto emit = [&](Query next, std::string step) {
+  // `kind` labels the transformation family for the metrics registry
+  // (optimizer.applied.<kind>), mirroring the paper's taxonomy.
+  auto emit = [&](Query next, std::string step, const char* kind) {
     // Identical conjuncts are idempotent; drop exact duplicates.
     std::vector<Literal> dedup;
     for (Literal& l : next.body) {
@@ -282,6 +304,7 @@ std::vector<Rewriting> Optimizer::Neighbors(const Rewriting& base, bool addition
     r.query = std::move(next);
     r.derivation = base.derivation;
     r.derivation.push_back(std::move(step));
+    obs::Count(std::string("optimizer.applied.") + kind);
     out.push_back(std::move(r));
   };
 
@@ -328,7 +351,8 @@ std::vector<Rewriting> Optimizer::Neighbors(const Rewriting& base, bool addition
         Query next = q;
         next.body.push_back(lit);
         emit(std::move(next),
-             "add restriction " + lit.atom.ToString() + " [" + c.source + "]");
+             "add restriction " + lit.atom.ToString() + " [" + c.source + "]",
+             "restriction");
       }
       // T4: key-implied variable merging (§5.3), for object variables.
       if (options_.merge_equal_variables && lit.atom.op() == CmpOp::kEq &&
@@ -365,9 +389,10 @@ std::vector<Rewriting> Optimizer::Neighbors(const Rewriting& base, bool addition
           }
         }
         next.body = std::move(dedup);
-        emit(std::move(next), "merge " + drop + " into " + keep +
-                                  " (implied " + lit.atom.ToString() + ") [" +
-                                  c.source + "]");
+        emit(std::move(next),
+             "merge " + drop + " into " + keep + " (implied " +
+                 lit.atom.ToString() + ") [" + c.source + "]",
+             "merge");
       }
       continue;
     }
@@ -416,7 +441,8 @@ std::vector<Rewriting> Optimizer::Neighbors(const Rewriting& base, bool addition
       Query next = q;
       next.body.push_back(fresh);
       emit(std::move(next),
-           "reduce scope: add " + fresh.ToString() + " [" + c.source + "]");
+           "reduce scope: add " + fresh.ToString() + " [" + c.source + "]",
+           "scope_reduction");
       continue;
     }
 
@@ -505,7 +531,8 @@ std::vector<Rewriting> Optimizer::Neighbors(const Rewriting& base, bool addition
       Query next = q;
       next.body.push_back(fresh);
       emit(std::move(next),
-           "introduce join " + fresh.atom.ToString() + " [" + c.source + "]");
+           "introduce join " + fresh.atom.ToString() + " [" + c.source + "]",
+           "join_introduction");
       continue;
     }
   }
@@ -534,7 +561,8 @@ std::vector<Rewriting> Optimizer::Neighbors(const Rewriting& base, bool addition
       if (implied) {
         emit(std::move(rest),
              "remove redundant restriction " + lit.atom.ToString() + " (" + via +
-                 ")");
+                 ")",
+             "restriction_removal");
       }
     }
   }
@@ -619,8 +647,9 @@ std::vector<Rewriting> Optimizer::Neighbors(const Rewriting& base, bool addition
         }
       }
       if (implied) {
-        emit(std::move(rest), "eliminate join " + lit.atom.ToString() + " [" +
-                                  source + "]");
+        emit(std::move(rest),
+             "eliminate join " + lit.atom.ToString() + " [" + source + "]",
+             "join_elimination");
       }
     }
   }
@@ -698,7 +727,8 @@ std::vector<Rewriting> Optimizer::Neighbors(const Rewriting& base, bool addition
                  cut == k
                      ? "fold path into access support relation " + asr.name
                      : "fold path prefix (" + std::to_string(cut) +
-                           " hops) into access support relation " + asr.name);
+                           " hops) into access support relation " + asr.name,
+                 "asr");
           }
           return;
         }
@@ -738,13 +768,18 @@ Rewriting Optimizer::ReduceToFixpoint(Rewriting base) const {
 }
 
 sqo::Result<OptimizationOutcome> Optimizer::Optimize(const Query& query) const {
+  obs::Span span("step3.optimize");
   OptimizationOutcome outcome;
+  uint64_t pruned = 0;  // rewritings rediscovered (dedup) or over the cap
 
   if (options_.detect_contradictions) {
+    obs::Span check_span("optimize.contradiction_check");
     std::vector<Consequence> consequences = ImpliedConsequences(query);
     if (CheckContradiction(query, consequences, &outcome.contradiction_reason,
                            &outcome.contradiction_witness)) {
       outcome.contradiction = true;
+      check_span.Tag("contradiction", "true");
+      obs::Count("optimizer.contradictions");
       Rewriting original;
       original.query = query;
       outcome.equivalents.push_back(std::move(original));
@@ -754,42 +789,58 @@ sqo::Result<OptimizationOutcome> Optimizer::Optimize(const Query& query) const {
 
   // Bounded breadth-first search over rewritings, deduplicated by
   // canonical form.
-  std::set<std::string> seen;
-  std::deque<std::pair<Rewriting, int>> frontier;
-  Rewriting original;
-  original.query = query;
-  seen.insert(query.CanonicalKey());
-  outcome.equivalents.push_back(original);
-  frontier.emplace_back(std::move(original), 0);
+  {
+    obs::Span search_span("optimize.search");
+    std::set<std::string> seen;
+    std::deque<std::pair<Rewriting, int>> frontier;
+    Rewriting original;
+    original.query = query;
+    seen.insert(query.CanonicalKey());
+    outcome.equivalents.push_back(original);
+    frontier.emplace_back(std::move(original), 0);
 
-  while (!frontier.empty() &&
-         outcome.equivalents.size() < options_.max_alternatives) {
-    auto [current, depth] = std::move(frontier.front());
-    frontier.pop_front();
-    if (depth >= options_.max_depth) continue;
-    for (Rewriting& next : Neighbors(current, /*additions=*/true,
-                                     /*reductions=*/true)) {
-      std::string key = next.query.CanonicalKey();
-      if (!seen.insert(key).second) continue;
-      outcome.equivalents.push_back(next);
-      if (outcome.equivalents.size() >= options_.max_alternatives) break;
-      frontier.emplace_back(std::move(next), depth + 1);
+    while (!frontier.empty() &&
+           outcome.equivalents.size() < options_.max_alternatives) {
+      auto [current, depth] = std::move(frontier.front());
+      frontier.pop_front();
+      if (depth >= options_.max_depth) continue;
+      for (Rewriting& next : Neighbors(current, /*additions=*/true,
+                                       /*reductions=*/true)) {
+        std::string key = next.query.CanonicalKey();
+        if (!seen.insert(key).second) {
+          ++pruned;
+          continue;
+        }
+        if (outcome.equivalents.size() >= options_.max_alternatives) {
+          ++pruned;
+          break;
+        }
+        outcome.equivalents.push_back(next);
+        frontier.emplace_back(std::move(next), depth + 1);
+      }
     }
-  }
 
-  // Normalize: reduce every alternative to a removal fixpoint, bypassing
-  // the depth bound for monotonically shrinking chains (§5.3's
-  // merge → drop attribute join → drop duplicate atom).
-  if (options_.reduce_to_fixpoint) {
-    const size_t n = outcome.equivalents.size();
-    for (size_t i = 0; i < n; ++i) {
-      Rewriting reduced = ReduceToFixpoint(outcome.equivalents[i]);
-      std::string key = reduced.query.CanonicalKey();
-      if (seen.insert(key).second) {
-        outcome.equivalents.push_back(std::move(reduced));
+    // Normalize: reduce every alternative to a removal fixpoint, bypassing
+    // the depth bound for monotonically shrinking chains (§5.3's
+    // merge → drop attribute join → drop duplicate atom).
+    if (options_.reduce_to_fixpoint) {
+      obs::Span fixpoint_span("optimize.fixpoint");
+      const size_t n = outcome.equivalents.size();
+      for (size_t i = 0; i < n; ++i) {
+        Rewriting reduced = ReduceToFixpoint(outcome.equivalents[i]);
+        std::string key = reduced.query.CanonicalKey();
+        if (seen.insert(key).second) {
+          outcome.equivalents.push_back(std::move(reduced));
+        } else {
+          ++pruned;
+        }
       }
     }
   }
+  obs::Count("optimizer.alternatives_generated", outcome.equivalents.size());
+  obs::Count("optimizer.alternatives_pruned", pruned);
+  span.Tag("alternatives", static_cast<uint64_t>(outcome.equivalents.size()));
+  span.Tag("pruned", pruned);
   return outcome;
 }
 

@@ -1,6 +1,8 @@
 #include "sqo/pipeline.h"
 
 #include "datalog/parser.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "odl/parser.h"
 #include "oql/parser.h"
 
@@ -10,30 +12,44 @@ sqo::Result<Pipeline> Pipeline::Create(std::string_view odl_text,
                                        std::string_view ic_text,
                                        std::vector<AsrDefinition> asrs,
                                        PipelineOptions options) {
+  obs::Span span("pipeline.create");
   Pipeline pipeline;
   pipeline.options_ = options;
 
   // Step 1: ODL → resolved schema → DATALOG schema + structural ICs.
-  SQO_ASSIGN_OR_RETURN(odl::SchemaAst ast, odl::ParseOdl(odl_text));
-  SQO_ASSIGN_OR_RETURN(odl::Schema schema, odl::Schema::Resolve(ast));
-  SQO_ASSIGN_OR_RETURN(translate::TranslatedSchema translated,
-                       translate::TranslateSchema(schema));
-  pipeline.schema_ = std::make_unique<translate::TranslatedSchema>(
-      std::move(translated));
+  {
+    obs::Span step1("step1.translate_schema");
+    SQO_ASSIGN_OR_RETURN(odl::SchemaAst ast, odl::ParseOdl(odl_text));
+    SQO_ASSIGN_OR_RETURN(odl::Schema schema, odl::Schema::Resolve(ast));
+    SQO_ASSIGN_OR_RETURN(translate::TranslatedSchema translated,
+                         translate::TranslateSchema(schema));
+    step1.Tag("classes", static_cast<uint64_t>(schema.classes().size()));
+    pipeline.schema_ = std::make_unique<translate::TranslatedSchema>(
+        std::move(translated));
+  }
 
   // Access support relations extend the catalog before IC parsing so ICs
   // may mention them.
   std::vector<AsrDefinition> registry;
-  for (AsrDefinition& def : asrs) {
-    SQO_RETURN_IF_ERROR(
-        RegisterAsr(std::move(def), pipeline.schema_.get(), &registry));
+  {
+    obs::Span asr_span("step1.register_asrs");
+    for (AsrDefinition& def : asrs) {
+      SQO_RETURN_IF_ERROR(
+          RegisterAsr(std::move(def), pipeline.schema_.get(), &registry));
+    }
+    asr_span.Tag("asrs", static_cast<uint64_t>(registry.size()));
   }
 
   // User ICs in the DATALOG dialect, resolved against the catalog for
   // named-argument atoms.
-  SQO_ASSIGN_OR_RETURN(std::vector<datalog::Clause> user_ics,
-                       datalog::ParseProgram(ic_text,
-                                             &pipeline.schema_->catalog));
+  std::vector<datalog::Clause> user_ics;
+  {
+    obs::Span ic_span("step1.parse_ics");
+    SQO_ASSIGN_OR_RETURN(user_ics,
+                         datalog::ParseProgram(ic_text,
+                                               &pipeline.schema_->catalog));
+    ic_span.Tag("user_ics", static_cast<uint64_t>(user_ics.size()));
+  }
 
   // ASR view definitions participate as ICs in both directions: the view
   // implies its path (for unfold-style reasoning) and the path implies the
@@ -49,13 +65,19 @@ sqo::Result<Pipeline> Pipeline::Create(std::string_view odl_text,
       CompileSemantics(pipeline.schema_.get(), std::move(user_ics),
                        std::move(registry), options.compiler));
   pipeline.compiled_ = std::move(compiled);
+  obs::Count("compile.residues_attached", pipeline.compiled_.total_residues());
+  span.Tag("residues", static_cast<uint64_t>(pipeline.compiled_.total_residues()));
   return pipeline;
 }
 
 sqo::Result<PipelineResult> Pipeline::OptimizeText(
     std::string_view oql_text, const CostModel* cost_model) const {
-  SQO_ASSIGN_OR_RETURN(oql::SelectQuery parsed, oql::ParseOql(oql_text));
-  return OptimizeParsed(parsed, cost_model);
+  sqo::Result<oql::SelectQuery> parsed = [&] {
+    obs::Span parse_span("parse.oql");
+    return oql::ParseOql(oql_text);
+  }();
+  SQO_RETURN_IF_ERROR(parsed.status());
+  return OptimizeParsed(*parsed, cost_model);
 }
 
 sqo::Result<DisjunctiveResult> Pipeline::OptimizeDisjunctiveText(
@@ -69,55 +91,73 @@ sqo::Result<DisjunctiveResult> Pipeline::OptimizeDisjunctiveText(
     if (!one.contradiction) result.live.push_back(i);
     result.disjuncts.push_back(std::move(one));
   }
+  obs::Count("pipeline.disjuncts", result.disjuncts.size());
+  obs::Count("pipeline.disjuncts_eliminated",
+             result.disjuncts.size() - result.live.size());
   return result;
 }
 
 sqo::Result<PipelineResult> Pipeline::OptimizeParsed(
     const oql::SelectQuery& query, const CostModel* cost_model) const {
+  obs::Span span("pipeline.optimize");
+  obs::ScopedTimer timer("pipeline.optimize");
   PipelineResult result;
   result.original_oql = query;
 
   // Step 2.
-  SQO_ASSIGN_OR_RETURN(translate::TranslatedQuery translated,
-                       translate::TranslateQuery(*schema_, query));
-  result.original_datalog = translated.query;
-  result.map = translated.map;
+  {
+    obs::Span step2("step2.translate_query");
+    SQO_ASSIGN_OR_RETURN(translate::TranslatedQuery translated,
+                         translate::TranslateQuery(*schema_, query));
+    result.original_datalog = translated.query;
+    result.map = translated.map;
+  }
 
-  // Step 3.
+  // Step 3 (the optimizer opens its own "step3.optimize" span).
   Optimizer optimizer(&compiled_, options_.optimizer);
   SQO_ASSIGN_OR_RETURN(OptimizationOutcome outcome,
-                       optimizer.Optimize(translated.query));
+                       optimizer.Optimize(result.original_datalog));
 
   if (outcome.contradiction) {
     result.contradiction = true;
     result.contradiction_reason = outcome.contradiction_reason;
     result.contradiction_witness = outcome.contradiction_witness;
+    span.Tag("contradiction", "true");
   }
 
   // Step 4 per equivalent query.
-  translate::ChangeMapper mapper(schema_.get(), &result.map);
-  for (const Rewriting& rewriting : outcome.equivalents) {
-    Alternative alt;
-    alt.datalog = rewriting.query;
-    alt.derivation = rewriting.derivation;
-    if (rewriting.derivation.empty()) {
-      // The original: Step 4 is the identity.
-      alt.oql_ok = true;
-      alt.oql = query;
-    } else {
-      sqo::Result<oql::SelectQuery> mapped =
-          mapper.Apply(query, translated.query, rewriting.query);
-      if (mapped.ok()) {
+  {
+    obs::Span step4("step4.map_changes");
+    translate::ChangeMapper mapper(schema_.get(), &result.map);
+    size_t mapped_ok = 0;
+    for (const Rewriting& rewriting : outcome.equivalents) {
+      Alternative alt;
+      alt.datalog = rewriting.query;
+      alt.derivation = rewriting.derivation;
+      if (rewriting.derivation.empty()) {
+        // The original: Step 4 is the identity.
         alt.oql_ok = true;
-        alt.oql = std::move(mapped).value();
+        alt.oql = query;
       } else {
-        alt.oql_error = mapped.status().ToString();
+        obs::Span map_span("step4.alternative");
+        sqo::Result<oql::SelectQuery> mapped =
+            mapper.Apply(query, result.original_datalog, rewriting.query);
+        if (mapped.ok()) {
+          alt.oql_ok = true;
+          alt.oql = std::move(mapped).value();
+        } else {
+          alt.oql_error = mapped.status().ToString();
+        }
+        map_span.Tag("ok", alt.oql_ok ? "true" : "false");
       }
+      if (alt.oql_ok) ++mapped_ok;
+      if (cost_model != nullptr) {
+        alt.cost = cost_model->EstimateCost(alt.datalog);
+      }
+      result.alternatives.push_back(std::move(alt));
     }
-    if (cost_model != nullptr) {
-      alt.cost = cost_model->EstimateCost(alt.datalog);
-    }
-    result.alternatives.push_back(std::move(alt));
+    step4.Tag("alternatives", static_cast<uint64_t>(result.alternatives.size()));
+    step4.Tag("mapped_ok", static_cast<uint64_t>(mapped_ok));
   }
 
   if (cost_model != nullptr && !result.alternatives.empty()) {
@@ -129,6 +169,7 @@ sqo::Result<PipelineResult> Pipeline::OptimizeParsed(
     }
     result.best_index = best;
   }
+  span.Tag("alternatives", static_cast<uint64_t>(result.alternatives.size()));
   return result;
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/eval_stats.h"
 #include "oql/ast.h"
 #include "sqo/optimizer.h"
 #include "sqo/semantic_compiler.h"
@@ -43,6 +44,13 @@ struct Alternative {
   std::string oql_error;  // set when Step 4 could not map the changes
 
   double cost = 0.0;  // filled when a cost model was supplied
+
+  /// Evaluator counters for this alternative, filled by
+  /// `engine::Database::ProfileAlternatives` (the pipeline itself never
+  /// evaluates). `evaluated` is false until then, or when evaluation of
+  /// this alternative failed.
+  obs::EvalStats eval_stats;
+  bool evaluated = false;
 };
 
 /// Full result of optimizing one query through Figure 2.

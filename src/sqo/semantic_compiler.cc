@@ -3,6 +3,8 @@
 #include <set>
 
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sqo::core {
 
@@ -54,6 +56,7 @@ bool TriviallyTrueHead(const Residue& residue) {
 sqo::Result<CompiledSchema> CompileSemantics(
     const translate::TranslatedSchema* schema, std::vector<Clause> user_ics,
     std::vector<AsrDefinition> asrs, const CompilerOptions& options) {
+  obs::Span span("semantic.compile");
   CompiledSchema out;
   out.schema = schema;
   out.asrs = std::move(asrs);
@@ -65,13 +68,17 @@ sqo::Result<CompiledSchema> CompileSemantics(
   for (Clause& ic : user_ics) out.all_ics.push_back(std::move(ic));
 
   if (options.run_inference) {
+    obs::Span infer_span("semantic.infer");
     inference_input.ics = out.all_ics;
     std::vector<Clause> derived =
         InferConstraints(inference_input, *schema, options.inference);
+    infer_span.Tag("derived_ics", static_cast<uint64_t>(derived.size()));
+    obs::Count("compile.derived_ics", derived.size());
     for (Clause& ic : derived) out.all_ics.push_back(std::move(ic));
   }
 
   // Partial subsumption of every IC against every relation in its body.
+  obs::Span residue_span("semantic.residues");
   int residue_counter = 0;
   for (const Clause& ic : out.all_ics) {
     std::set<std::string> body_relations;
@@ -108,6 +115,9 @@ sqo::Result<CompiledSchema> CompileSemantics(
       }
     }
   }
+  residue_span.Tag("ics", static_cast<uint64_t>(out.all_ics.size()));
+  residue_span.Tag("residues", static_cast<uint64_t>(out.total_residues()));
+  obs::Count("compile.ics", out.all_ics.size());
   return out;
 }
 

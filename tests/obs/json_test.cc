@@ -1,0 +1,88 @@
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+namespace sqo::obs {
+namespace {
+
+TEST(JsonWriterTest, NestedObjectsAndArrays) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name");
+  w.String("q\"1\"");
+  w.Key("count");
+  w.Int(-3);
+  w.Key("items");
+  w.BeginArray();
+  w.Int(1);
+  w.Double(2.5);
+  w.Bool(true);
+  w.Null();
+  w.BeginObject();
+  w.Key("k");
+  w.UInt(7);
+  w.EndObject();
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(w.TakeString(),
+            "{\"name\":\"q\\\"1\\\"\",\"count\":-3,"
+            "\"items\":[1,2.5,true,null,{\"k\":7}]}");
+}
+
+TEST(JsonWriterTest, EscapesControlCharacters) {
+  JsonWriter w;
+  w.BeginArray();
+  w.String("a\nb\tc\x01");
+  w.EndArray();
+  EXPECT_EQ(w.TakeString(), "[\"a\\nb\\tc\\u0001\"]");
+}
+
+TEST(JsonParseTest, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("spans");
+  w.BeginArray();
+  w.BeginObject();
+  w.Key("id");
+  w.Int(1);
+  w.Key("name");
+  w.String("step3.optimize");
+  w.EndObject();
+  w.EndArray();
+  w.Key("ok");
+  w.Bool(true);
+  w.EndObject();
+
+  auto value = ParseJson(w.TakeString());
+  ASSERT_TRUE(value.ok()) << value.status().ToString();
+  ASSERT_EQ(value->kind, JsonValue::Kind::kObject);
+  const JsonValue* spans = value->Find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_EQ(spans->kind, JsonValue::Kind::kArray);
+  ASSERT_EQ(spans->items.size(), 1u);
+  const JsonValue* name = spans->items[0].Find("name");
+  ASSERT_NE(name, nullptr);
+  EXPECT_EQ(name->string_value, "step3.optimize");
+  const JsonValue* ok = value->Find("ok");
+  ASSERT_NE(ok, nullptr);
+  EXPECT_TRUE(ok->bool_value);
+}
+
+TEST(JsonParseTest, ParsesNumbersStringsEscapes) {
+  auto value = ParseJson(R"({"a": -1.5e2, "b": "xA\n", "c": [null]})");
+  ASSERT_TRUE(value.ok()) << value.status().ToString();
+  EXPECT_DOUBLE_EQ(value->Find("a")->number, -150.0);
+  EXPECT_EQ(value->Find("b")->string_value, "xA\n");
+  EXPECT_EQ(value->Find("c")->items[0].kind, JsonValue::Kind::kNull);
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":1} trailing").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("").ok());
+}
+
+}  // namespace
+}  // namespace sqo::obs

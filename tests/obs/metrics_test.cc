@@ -1,0 +1,115 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/eval_stats.h"
+#include "obs/json.h"
+
+namespace sqo::obs {
+namespace {
+
+TEST(MetricsRegistryTest, CountersAccumulate) {
+  MetricsRegistry registry;
+  registry.Add("optimizer.residues_tried", 3);
+  registry.Add("optimizer.residues_tried", 2);
+  registry.Add("optimizer.residue_hits");
+  EXPECT_EQ(registry.CounterValue("optimizer.residues_tried"), 5u);
+  EXPECT_EQ(registry.CounterValue("optimizer.residue_hits"), 1u);
+  EXPECT_EQ(registry.CounterValue("absent"), 0u);
+}
+
+TEST(MetricsRegistryTest, HistogramSummaries) {
+  MetricsRegistry registry;
+  for (int i = 1; i <= 100; ++i) {
+    registry.Record("pipeline.optimize", i * 1000);
+  }
+  auto it = registry.histograms().find("pipeline.optimize");
+  ASSERT_NE(it, registry.histograms().end());
+  const auto summary = it->second.Summarize();
+  EXPECT_EQ(summary.count, 100u);
+  EXPECT_EQ(summary.max_ns, 100000);
+  EXPECT_EQ(summary.sum_ns, 5050 * 1000);
+  // Log-bucketed quantiles are approximate: p50 of 1k..100k must land
+  // within a factor of 2 of 50k, and p95 within a factor of 2 of 95k.
+  EXPECT_GE(summary.p50_ns, 25000);
+  EXPECT_LE(summary.p50_ns, 100000);
+  EXPECT_GE(summary.p95_ns, summary.p50_ns);
+  EXPECT_LE(summary.p95_ns, 190000);
+}
+
+TEST(MetricsRegistryTest, EmptyHistogramSummary) {
+  DurationHistogram h;
+  const auto summary = h.Summarize();
+  EXPECT_EQ(summary.count, 0u);
+  EXPECT_EQ(summary.p50_ns, 0);
+  EXPECT_EQ(summary.max_ns, 0);
+}
+
+TEST(MetricsFreeFunctionsTest, NoopWithoutRegistry) {
+  ASSERT_EQ(CurrentMetrics(), nullptr);
+  Count("nothing");  // must not crash
+  { ScopedTimer timer("nothing"); }
+}
+
+TEST(MetricsFreeFunctionsTest, RouteThroughInstalledRegistry) {
+  MetricsRegistry registry;
+  {
+    ScopedMetrics install(&registry);
+    Count("optimizer.applied.asr");
+    Count("optimizer.applied.asr", 2);
+    { ScopedTimer timer("eval.evaluate"); }
+  }
+  EXPECT_EQ(CurrentMetrics(), nullptr);
+  EXPECT_EQ(registry.CounterValue("optimizer.applied.asr"), 3u);
+  auto it = registry.histograms().find("eval.evaluate");
+  ASSERT_NE(it, registry.histograms().end());
+  EXPECT_EQ(it->second.Summarize().count, 1u);
+}
+
+TEST(MetricsRegistryTest, ToJsonParses) {
+  MetricsRegistry registry;
+  registry.Add("compile.residues_attached", 129);
+  registry.Record("step.dur", 2048);
+  auto value = ParseJson(registry.ToJson());
+  ASSERT_TRUE(value.ok()) << value.status().ToString();
+  const JsonValue* counters = value->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_DOUBLE_EQ(counters->Find("compile.residues_attached")->number,
+                   129.0);
+  const JsonValue* hist = value->Find("histograms");
+  ASSERT_NE(hist, nullptr);
+  const JsonValue* step = hist->Find("step.dur");
+  ASSERT_NE(step, nullptr);
+  EXPECT_DOUBLE_EQ(step->Find("count")->number, 1.0);
+  EXPECT_DOUBLE_EQ(step->Find("max_ns")->number, 2048.0);
+}
+
+TEST(EvalStatsExportTest, ExportsEveryFieldWithPrefix) {
+  EvalStats stats;
+  stats.objects_fetched = 10;
+  stats.extent_scans = 1;
+  stats.index_probes = 2;
+  stats.relationship_traversals = 3;
+  stats.method_invocations = 4;
+  stats.comparisons = 5;
+  stats.negation_checks = 6;
+  stats.tuples_emitted = 7;
+  stats.results = 8;
+
+  MetricsRegistry registry;
+  stats.ExportTo(&registry);
+  stats.ExportTo(&registry);  // accumulates
+  EXPECT_EQ(registry.CounterValue("eval.objects_fetched"), 20u);
+  EXPECT_EQ(registry.CounterValue("eval.extent_scans"), 2u);
+  EXPECT_EQ(registry.CounterValue("eval.index_probes"), 4u);
+  EXPECT_EQ(registry.CounterValue("eval.relationship_traversals"), 6u);
+  EXPECT_EQ(registry.CounterValue("eval.method_invocations"), 8u);
+  EXPECT_EQ(registry.CounterValue("eval.comparisons"), 10u);
+  EXPECT_EQ(registry.CounterValue("eval.negation_checks"), 12u);
+  EXPECT_EQ(registry.CounterValue("eval.tuples_emitted"), 14u);
+  EXPECT_EQ(registry.CounterValue("eval.results"), 16u);
+  stats.ExportTo(nullptr);  // tolerated
+}
+
+}  // namespace
+}  // namespace sqo::obs

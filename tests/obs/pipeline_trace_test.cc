@@ -1,0 +1,133 @@
+// End-to-end acceptance test for the observability layer: with a tracer
+// installed, one pipeline build + query optimization must produce a span
+// tree covering all four Figure-2 steps, with at least one per-residue
+// application span — verified by parsing the JSON export, so the exporter
+// format is pinned too.
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "engine/cost_model.h"
+#include "engine/database.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "workload/university.h"
+
+namespace sqo {
+namespace {
+
+TEST(PipelineTraceTest, SpanTreeCoversFigure2StepsInJsonExport) {
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  obs::ScopedTracer install_tracer(&tracer);
+  obs::ScopedMetrics install_metrics(&metrics);
+
+  auto pipeline = workload::MakeUniversityPipeline();
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  auto result = pipeline->OptimizeText(
+      "select x.name from x in Person where x.age < 30", nullptr);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  auto doc = obs::ParseJson(tracer.ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const obs::JsonValue* spans = doc->Find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_EQ(spans->kind, obs::JsonValue::Kind::kArray);
+
+  std::set<std::string> names;
+  size_t residue_spans = 0;
+  size_t tagged_hit_or_miss = 0;
+  for (const obs::JsonValue& span : spans->items) {
+    const obs::JsonValue* name = span.Find("name");
+    ASSERT_NE(name, nullptr);
+    names.insert(name->string_value);
+    // Every exported span must be closed with a non-negative duration.
+    const obs::JsonValue* dur = span.Find("dur_ns");
+    ASSERT_NE(dur, nullptr);
+    EXPECT_GE(dur->number, 0.0) << name->string_value;
+    if (name->string_value == "residue.apply") {
+      ++residue_spans;
+      const obs::JsonValue* tags = span.Find("tags");
+      ASSERT_NE(tags, nullptr) << "residue.apply span without tags";
+      const obs::JsonValue* outcome = tags->Find("result");
+      ASSERT_NE(outcome, nullptr);
+      if (outcome->string_value == "hit" || outcome->string_value == "miss") {
+        ++tagged_hit_or_miss;
+      }
+    }
+  }
+
+  // All four steps of the paper's Figure-2 architecture.
+  EXPECT_TRUE(names.count("step1.translate_schema")) << tracer.ToText();
+  EXPECT_TRUE(names.count("step2.translate_query")) << tracer.ToText();
+  EXPECT_TRUE(names.count("step3.optimize")) << tracer.ToText();
+  EXPECT_TRUE(names.count("step4.map_changes")) << tracer.ToText();
+  // Semantic compilation (residue attachment) happens inside Step 1.
+  EXPECT_TRUE(names.count("semantic.compile")) << tracer.ToText();
+  // At least one per-residue application span, each tagged hit|miss.
+  EXPECT_GE(residue_spans, 1u);
+  EXPECT_EQ(tagged_hit_or_miss, residue_spans);
+
+  // Optimizer-side counters flowed into the metrics registry.
+  EXPECT_GT(metrics.CounterValue("compile.residues_attached"), 0u);
+  EXPECT_GT(metrics.CounterValue("optimizer.residues_tried"), 0u);
+  EXPECT_GT(metrics.CounterValue("optimizer.alternatives_generated"), 0u);
+}
+
+TEST(PipelineTraceTest, ParentIdsFormATree) {
+  obs::Tracer tracer;
+  obs::ScopedTracer install(&tracer);
+  auto pipeline = workload::MakeUniversityPipeline();
+  ASSERT_TRUE(pipeline.ok());
+  auto result = pipeline->OptimizeText(
+      "select x.name from x in Person where x.age < 30", nullptr);
+  ASSERT_TRUE(result.ok());
+
+  std::set<uint64_t> seen;
+  for (const obs::SpanRecord& span : tracer.spans()) {
+    // Parents are recorded before children, so each parent id must have
+    // been seen already (or be 0 = root).
+    if (span.parent != 0) {
+      EXPECT_TRUE(seen.count(span.parent))
+          << span.name << " references unseen parent " << span.parent;
+    }
+    seen.insert(span.id);
+  }
+}
+
+TEST(PipelineTraceTest, EvaluationExportsStatsToMetrics) {
+  auto pipeline = workload::MakeUniversityPipeline();
+  ASSERT_TRUE(pipeline.ok());
+  engine::Database db(&pipeline->schema());
+  workload::GeneratorConfig config;
+  config.n_students = 40;
+  ASSERT_TRUE(workload::PopulateUniversity(config, *pipeline, &db).ok());
+
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  obs::ScopedTracer install_tracer(&tracer);
+  obs::ScopedMetrics install_metrics(&metrics);
+
+  auto result = pipeline->OptimizeText(
+      "select x.name from x in Person where x.age < 30", nullptr);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->contradiction);
+  ASSERT_TRUE(db.ProfileAlternatives(&*result).ok());
+  for (const core::Alternative& alt : result->alternatives) {
+    EXPECT_TRUE(alt.evaluated);
+    EXPECT_GT(alt.eval_stats.results, 0u);
+  }
+  // The evaluator exported its counters and traced its spans.
+  EXPECT_GT(metrics.CounterValue("eval.objects_fetched"), 0u);
+  bool saw_eval_span = false;
+  for (const obs::SpanRecord& span : tracer.spans()) {
+    if (span.name == "eval.evaluate") saw_eval_span = true;
+  }
+  EXPECT_TRUE(saw_eval_span);
+}
+
+}  // namespace
+}  // namespace sqo

@@ -1,0 +1,118 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+
+namespace sqo::obs {
+namespace {
+
+TEST(TracerTest, RecordsNestedSpansWithParents) {
+  Tracer tracer;
+  uint64_t outer = tracer.BeginSpan("outer");
+  uint64_t inner = tracer.BeginSpan("inner");
+  tracer.EndSpan(inner);
+  tracer.EndSpan(outer);
+
+  ASSERT_EQ(tracer.spans().size(), 2u);
+  const SpanRecord& o = tracer.spans()[0];
+  const SpanRecord& i = tracer.spans()[1];
+  EXPECT_EQ(o.name, "outer");
+  EXPECT_EQ(o.parent, 0u);
+  EXPECT_EQ(i.name, "inner");
+  EXPECT_EQ(i.parent, o.id);
+  EXPECT_GE(o.dur_ns, i.dur_ns);
+  EXPECT_GE(i.dur_ns, 0);
+}
+
+TEST(TracerTest, EndSpanClosesForgottenDescendants) {
+  Tracer tracer;
+  uint64_t outer = tracer.BeginSpan("outer");
+  tracer.BeginSpan("leaked");
+  tracer.EndSpan(outer);  // must close "leaked" too
+  for (const SpanRecord& s : tracer.spans()) {
+    EXPECT_GE(s.dur_ns, 0) << s.name << " left open";
+  }
+}
+
+TEST(TracerTest, DoubleEndIsIgnored) {
+  Tracer tracer;
+  uint64_t a = tracer.BeginSpan("a");
+  tracer.EndSpan(a);
+  tracer.EndSpan(a);  // no effect
+  uint64_t b = tracer.BeginSpan("b");
+  tracer.EndSpan(b);
+  ASSERT_EQ(tracer.spans().size(), 2u);
+  EXPECT_EQ(tracer.spans()[1].parent, 0u);
+}
+
+TEST(SpanTest, NoopWithoutInstalledTracer) {
+  ASSERT_EQ(CurrentTracer(), nullptr);
+  Span span("orphan");
+  EXPECT_FALSE(span.active());
+  span.Tag("k", "v");  // must not crash
+}
+
+TEST(SpanTest, RaiiSpansNestThroughInstalledTracer) {
+  Tracer tracer;
+  {
+    ScopedTracer install(&tracer);
+    Span outer("outer");
+    outer.Tag("phase", "step3");
+    outer.Tag("count", int64_t{42});
+    { Span inner("inner"); }
+  }
+  ASSERT_EQ(CurrentTracer(), nullptr);
+  ASSERT_EQ(tracer.spans().size(), 2u);
+  EXPECT_EQ(tracer.spans()[0].name, "outer");
+  EXPECT_EQ(tracer.spans()[1].parent, tracer.spans()[0].id);
+  const auto& tags = tracer.spans()[0].tags;
+  ASSERT_EQ(tags.size(), 2u);
+  EXPECT_EQ(tags[0].first, "phase");
+  EXPECT_EQ(tags[0].second, "step3");
+  EXPECT_EQ(tags[1].second, "42");
+}
+
+TEST(TracerTest, ToJsonParsesAndCarriesTags) {
+  Tracer tracer;
+  {
+    ScopedTracer install(&tracer);
+    Span span("residue.apply");
+    span.Tag("result", "hit");
+  }
+  auto value = ParseJson(tracer.ToJson());
+  ASSERT_TRUE(value.ok()) << value.status().ToString();
+  const JsonValue* spans = value->Find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_EQ(spans->items.size(), 1u);
+  const JsonValue& s = spans->items[0];
+  EXPECT_EQ(s.Find("name")->string_value, "residue.apply");
+  EXPECT_GE(s.Find("dur_ns")->number, 0.0);
+  const JsonValue* tags = s.Find("tags");
+  ASSERT_NE(tags, nullptr);
+  EXPECT_EQ(tags->Find("result")->string_value, "hit");
+}
+
+TEST(TracerTest, ToTextIndentsChildren) {
+  Tracer tracer;
+  uint64_t outer = tracer.BeginSpan("outer");
+  uint64_t inner = tracer.BeginSpan("inner");
+  tracer.EndSpan(inner);
+  tracer.EndSpan(outer);
+  const std::string text = tracer.ToText();
+  EXPECT_NE(text.find("outer"), std::string::npos);
+  EXPECT_NE(text.find("  inner"), std::string::npos);
+}
+
+TEST(TracerTest, ClearResets) {
+  Tracer tracer;
+  tracer.EndSpan(tracer.BeginSpan("x"));
+  tracer.Clear();
+  EXPECT_TRUE(tracer.spans().empty());
+  tracer.EndSpan(tracer.BeginSpan("y"));
+  ASSERT_EQ(tracer.spans().size(), 1u);
+  EXPECT_EQ(tracer.spans()[0].id, 1u);
+}
+
+}  // namespace
+}  // namespace sqo::obs
