@@ -9,6 +9,8 @@
 //   oql> \plan select ...       -- show the evaluator's plan for a query
 //   oql> \timing                -- toggle per-query span tree + metrics
 //   oql> \explain select ...    -- derivations + per-alternative counters
+//   oql> \check                 -- static-analysis report for the IC set
+//   oql> \check select ...      -- lint a query without running it
 //   oql> \quit
 
 #include <algorithm>
@@ -16,6 +18,7 @@
 #include <iostream>
 #include <string>
 
+#include "analysis/analyzer.h"
 #include "engine/cost_model.h"
 #include "engine/database.h"
 #include "engine/planner.h"
@@ -55,6 +58,10 @@ void RunQuery(const sqo::core::Pipeline& pipeline, const sqo::engine::Database& 
                     d.contradiction_reason.c_str());
         continue;
       }
+      if (d.alternatives.empty()) {
+        std::printf("  [%zu] (no alternatives)\n", i);
+        continue;
+      }
       const auto& best = d.alternatives[d.best_index];
       auto rows = db.Run(best.datalog);
       std::printf("  [%zu] %s -> %zu rows\n", i,
@@ -74,6 +81,10 @@ void RunQuery(const sqo::core::Pipeline& pipeline, const sqo::engine::Database& 
   if (result->contradiction) {
     std::printf("CONTRADICTION — the query is provably empty:\n  %s\n",
                 result->contradiction_reason.c_str());
+    return;
+  }
+  if (result->alternatives.empty()) {
+    std::printf("error: optimizer produced no alternatives\n");
     return;
   }
   const sqo::core::Alternative& best = result->alternatives[result->best_index];
@@ -154,6 +165,33 @@ void ExplainQuery(const sqo::core::Pipeline& pipeline,
   PrintObservability(tracer, metrics);
 }
 
+/// \check: print the pipeline's stored IC/residue analysis report, or lint
+/// a single query (translated but never optimized or evaluated).
+void CheckCommand(const sqo::core::Pipeline& pipeline, const std::string& arg) {
+  if (arg.empty()) {
+    const sqo::analysis::AnalysisReport& report = pipeline.ic_report();
+    std::fputs(report.ToString().c_str(), stdout);
+    std::printf("IC set + compiled residues: %s\n", report.Summary().c_str());
+    return;
+  }
+  auto parsed = sqo::oql::ParseOql(arg);
+  if (!parsed.ok()) {
+    std::printf("parse error: %s\n", parsed.status().ToString().c_str());
+    return;
+  }
+  auto translated = sqo::translate::TranslateQuery(pipeline.schema(), *parsed);
+  if (!translated.ok()) {
+    std::printf("translation error: %s\n",
+                translated.status().ToString().c_str());
+    return;
+  }
+  std::printf("datalog: %s\n", translated->query.ToString().c_str());
+  sqo::analysis::AnalysisReport report = sqo::analysis::AnalyzeQuery(
+      pipeline.schema(), translated->query, pipeline.options().analyzer);
+  std::fputs(report.ToString().c_str(), stdout);
+  std::printf("%s\n", report.Summary().c_str());
+}
+
 }  // namespace
 
 int main() {
@@ -175,7 +213,7 @@ int main() {
   std::printf(
       "sqo shell — university schema loaded (%zu objects, %zu residues)\n"
       "commands: \\ics  \\residues <relation>  \\plan <oql>  \\explain <oql>  "
-      "\\timing  \\quit\n",
+      "\\check [oql]  \\timing  \\quit\n",
       db.store().object_count(), pipeline.compiled().total_residues());
 
   bool timing = false;
@@ -207,6 +245,14 @@ int main() {
       for (const sqo::core::Residue& r : *residues) {
         std::printf("%s   [%s]\n", r.ToString().c_str(), r.source.c_str());
       }
+      continue;
+    }
+    if (line == "\\check") {
+      CheckCommand(pipeline, "");
+      continue;
+    }
+    if (line.rfind("\\check ", 0) == 0) {
+      CheckCommand(pipeline, line.substr(7));
       continue;
     }
     if (line.rfind("\\plan ", 0) == 0) {

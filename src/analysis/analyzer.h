@@ -1,0 +1,100 @@
+#ifndef SQO_ANALYSIS_ANALYZER_H_
+#define SQO_ANALYSIS_ANALYZER_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "common/value.h"
+#include "datalog/clause.h"
+#include "datalog/signature.h"
+#include "sqo/residue.h"
+#include "translate/schema_translator.h"
+
+namespace sqo::analysis {
+
+/// Stable diagnostic codes, one family per analysis pass. The residue
+/// method (paper §2, Chakravarthy–Grant–Minker) is only sound when the ICs
+/// handed to the semantic compiler are safe, well-typed and mutually
+/// consistent; each code guards one of those preconditions (see DESIGN.md).
+///
+///   code      pass            severity  finding
+///   SQO-A001  safety          error     comparison/negative-literal variable
+///                                       not bound in a positive body atom
+///   SQO-A002  signature       error     unknown relation
+///   SQO-A003  signature       error     atom arity mismatch
+///   SQO-A004  signature       error     constant argument type incompatible
+///                                       with the attribute's declared type
+///   SQO-A005  contradiction   error     IC subset unsatisfiable: some legal
+///                                       instance pattern is forced empty
+///   SQO-A006  redundancy      warning   IC fully subsumed by another IC
+///   SQO-A007  dead residue    warning   residue guard can never hold
+///   SQO-A008  query lint      error     unbound head/comparison variable in
+///                                       a DATALOG query
+///   SQO-A009  query lint      warning   trivially false literal /
+///                                       unsatisfiable restriction set
+///   SQO-A010  query lint      warning   constant-foldable (always-true)
+///                                       comparison literal
+inline constexpr std::string_view kCodeUnsafeVariable = "SQO-A001";
+inline constexpr std::string_view kCodeUnknownRelation = "SQO-A002";
+inline constexpr std::string_view kCodeArityMismatch = "SQO-A003";
+inline constexpr std::string_view kCodeTypeMismatch = "SQO-A004";
+inline constexpr std::string_view kCodeContradictoryIcs = "SQO-A005";
+inline constexpr std::string_view kCodeSubsumedIc = "SQO-A006";
+inline constexpr std::string_view kCodeDeadResidue = "SQO-A007";
+inline constexpr std::string_view kCodeUnboundQueryVariable = "SQO-A008";
+inline constexpr std::string_view kCodeTriviallyFalse = "SQO-A009";
+inline constexpr std::string_view kCodeConstantFoldable = "SQO-A010";
+
+struct AnalyzerOptions {
+  bool check_safety = true;          // pass 1 (SQO-A001)
+  bool check_signatures = true;      // pass 2 (SQO-A002..A004)
+  bool check_contradictions = true;  // pass 3 (SQO-A005)
+  bool check_redundancy = true;      // pass 4 (SQO-A006)
+
+  /// Contradiction / redundancy are pairwise (singletons plus pairs); this
+  /// caps the number of pairs examined so pathological IC sets stay linear
+  /// in practice.
+  size_t max_pairs = 65536;
+};
+
+/// The expected constant kind of argument `position` of `sig`, resolved
+/// through the ODL schema (class/struct attribute types, method parameter
+/// and return types; OID positions map to ValueKind::kOid). Returns
+/// nullopt when the position's type cannot be resolved — the signature
+/// checker treats unresolvable positions as unchecked rather than wrong.
+std::optional<sqo::ValueKind> ExpectedArgumentKind(
+    const translate::TranslatedSchema& schema,
+    const datalog::RelationSignature& sig, size_t position);
+
+/// Passes 1–4 over user-declared integrity constraints, validated against
+/// the translated schema. Schema-generated constraints participate as
+/// context (a user IC duplicating a generated one is flagged redundant;
+/// a user IC contradicting another user IC is an error) but are themselves
+/// trusted and never reported as subjects. Textual `monotone`/`point`
+/// method-fact declarations are recognized and skipped (they are extracted
+/// before residue compilation, not compiled as ICs).
+AnalysisReport AnalyzeIcs(const translate::TranslatedSchema& schema,
+                          const std::vector<datalog::Clause>& user_ics,
+                          const AnalyzerOptions& options = {});
+
+/// Pass 5 over compiled residues: flags residues whose remainder
+/// comparisons are unsatisfiable — the residue can never fire for any legal
+/// instance, so the semantic knowledge it carries is dead weight at query
+/// time (SQO-A007, warning).
+AnalysisReport AnalyzeResidues(
+    const std::map<std::string, std::vector<core::Residue>>& residues);
+
+/// Pass 6 over a translated DATALOG query: unbound head/comparison
+/// variables (SQO-A008), trivially false literals or an unsatisfiable
+/// restriction set (SQO-A009), constant-foldable comparisons (SQO-A010),
+/// plus the pass-2 signature checks applied to the query's atoms.
+AnalysisReport AnalyzeQuery(const translate::TranslatedSchema& schema,
+                            const datalog::Query& query,
+                            const AnalyzerOptions& options = {});
+
+}  // namespace sqo::analysis
+
+#endif  // SQO_ANALYSIS_ANALYZER_H_

@@ -1,0 +1,143 @@
+#include "analysis/diagnostic.h"
+
+#include <algorithm>
+
+#include "obs/json.h"
+
+namespace sqo::analysis {
+
+std::string_view SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::ToString() const {
+  std::string out(SeverityName(severity));
+  out += "[" + code + "] " + subject + ": " + message;
+  if (!fix_hint.empty()) out += " (hint: " + fix_hint + ")";
+  return out;
+}
+
+void AnalysisReport::Add(Severity severity, std::string_view code,
+                         std::string subject, std::string message,
+                         std::string fix_hint) {
+  Diagnostic d;
+  d.severity = severity;
+  d.code = std::string(code);
+  d.subject = std::move(subject);
+  d.message = std::move(message);
+  d.fix_hint = std::move(fix_hint);
+  diagnostics.push_back(std::move(d));
+}
+
+void AnalysisReport::Append(AnalysisReport other) {
+  diagnostics.insert(diagnostics.end(),
+                     std::make_move_iterator(other.diagnostics.begin()),
+                     std::make_move_iterator(other.diagnostics.end()));
+}
+
+bool AnalysisReport::has_errors() const { return error_count() > 0; }
+
+size_t AnalysisReport::error_count() const {
+  return static_cast<size_t>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [](const Diagnostic& d) {
+                      return d.severity == Severity::kError;
+                    }));
+}
+
+size_t AnalysisReport::warning_count() const {
+  return diagnostics.size() - error_count();
+}
+
+const Diagnostic* AnalysisReport::FirstError() const {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::kError) return &d;
+  }
+  return nullptr;
+}
+
+std::string AnalysisReport::Summary() const {
+  const size_t errors = error_count();
+  const size_t warnings = warning_count();
+  std::string out = std::to_string(errors) + (errors == 1 ? " error" : " errors");
+  out += ", " + std::to_string(warnings) +
+         (warnings == 1 ? " warning" : " warnings");
+  return out;
+}
+
+std::string AnalysisReport::ToString() const {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    out += d.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+std::string DiagnosticsToJson(const AnalysisReport& report) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("diagnostics").BeginArray();
+  for (const Diagnostic& d : report.diagnostics) {
+    w.BeginObject();
+    w.Key("severity").String(SeverityName(d.severity));
+    w.Key("code").String(d.code);
+    w.Key("subject").String(d.subject);
+    w.Key("message").String(d.message);
+    if (!d.fix_hint.empty()) w.Key("fix_hint").String(d.fix_hint);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("errors").UInt(report.error_count());
+  w.Key("warnings").UInt(report.warning_count());
+  w.EndObject();
+  return w.TakeString();
+}
+
+sqo::Result<AnalysisReport> DiagnosticsFromJson(std::string_view text) {
+  SQO_ASSIGN_OR_RETURN(obs::JsonValue doc, obs::ParseJson(text));
+  const obs::JsonValue* list = doc.Find("diagnostics");
+  if (list == nullptr || !list->is_array()) {
+    return sqo::InvalidArgumentError(
+        "diagnostics document lacks a 'diagnostics' array");
+  }
+  AnalysisReport report;
+  for (const obs::JsonValue& item : list->items) {
+    const obs::JsonValue* severity = item.Find("severity");
+    const obs::JsonValue* code = item.Find("code");
+    const obs::JsonValue* subject = item.Find("subject");
+    const obs::JsonValue* message = item.Find("message");
+    if (severity == nullptr || !severity->is_string() || code == nullptr ||
+        !code->is_string() || subject == nullptr || !subject->is_string() ||
+        message == nullptr || !message->is_string()) {
+      return sqo::InvalidArgumentError(
+          "diagnostic entry missing severity/code/subject/message string");
+    }
+    Diagnostic d;
+    if (severity->string_value == "error") {
+      d.severity = Severity::kError;
+    } else if (severity->string_value == "warning") {
+      d.severity = Severity::kWarning;
+    } else {
+      return sqo::InvalidArgumentError("unknown diagnostic severity '" +
+                                       severity->string_value + "'");
+    }
+    d.code = code->string_value;
+    d.subject = subject->string_value;
+    d.message = message->string_value;
+    if (const obs::JsonValue* hint = item.Find("fix_hint");
+        hint != nullptr && hint->is_string()) {
+      d.fix_hint = hint->string_value;
+    }
+    report.diagnostics.push_back(std::move(d));
+  }
+  return report;
+}
+
+}  // namespace sqo::analysis

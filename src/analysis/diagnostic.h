@@ -1,0 +1,83 @@
+#ifndef SQO_ANALYSIS_DIAGNOSTIC_H_
+#define SQO_ANALYSIS_DIAGNOSTIC_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sqo::analysis {
+
+/// Severity of a static-analysis finding. Errors make the input unsafe to
+/// hand to the semantic compiler (the residue method's soundness
+/// preconditions are violated); warnings flag dead or redundant semantic
+/// knowledge that is sound to compile but almost certainly a mistake.
+enum class Severity {
+  kWarning = 0,
+  kError = 1,
+};
+
+std::string_view SeverityName(Severity severity);
+
+/// One static-analysis finding with a stable machine-readable code
+/// (SQO-Axxx; see analyzer.h for the full table). The same structure is
+/// produced by the IC analyzer, the residue analyzer and the query linter,
+/// and is exported through the obs JSON layer so lint reports and traces
+/// share one format.
+struct Diagnostic {
+  Severity severity = Severity::kWarning;
+  std::string code;     // stable, e.g. "SQO-A001"
+  std::string subject;  // IC label, relation name, or query name
+  std::string message;  // human-readable finding
+  std::string fix_hint; // optional suggested fix; may be empty
+
+  bool operator==(const Diagnostic& other) const {
+    return severity == other.severity && code == other.code &&
+           subject == other.subject && message == other.message &&
+           fix_hint == other.fix_hint;
+  }
+
+  /// `error[SQO-A001] IC4: head variable 'Age' ... (hint: ...)`.
+  std::string ToString() const;
+};
+
+/// The result of one analyzer run: an ordered list of findings (analysis
+/// passes append in a deterministic order).
+struct AnalysisReport {
+  std::vector<Diagnostic> diagnostics;
+
+  void Add(Severity severity, std::string_view code, std::string subject,
+           std::string message, std::string fix_hint = "");
+
+  /// Moves every finding of `other` onto the end of this report.
+  void Append(AnalysisReport other);
+
+  bool has_errors() const;
+  size_t error_count() const;
+  size_t warning_count() const;
+  bool empty() const { return diagnostics.empty(); }
+
+  /// The first error finding, or nullptr when the report is error-free.
+  const Diagnostic* FirstError() const;
+
+  /// `"2 errors, 1 warning"`.
+  std::string Summary() const;
+
+  /// One line per diagnostic, in report order.
+  std::string ToString() const;
+};
+
+/// Serializes a report as a JSON document:
+/// `{"diagnostics":[{"severity":...,"code":...,...}, ...]}`. Uses the
+/// streaming writer of src/obs/json.h so lint reports and trace exports
+/// share one escaping/format layer.
+std::string DiagnosticsToJson(const AnalysisReport& report);
+
+/// Parses a document produced by DiagnosticsToJson back into a report
+/// (round-trip support for tooling that merges lint output with traces).
+sqo::Result<AnalysisReport> DiagnosticsFromJson(std::string_view text);
+
+}  // namespace sqo::analysis
+
+#endif  // SQO_ANALYSIS_DIAGNOSTIC_H_

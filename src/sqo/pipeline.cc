@@ -51,6 +51,24 @@ sqo::Result<Pipeline> Pipeline::Create(std::string_view odl_text,
     ic_span.Tag("user_ics", static_cast<uint64_t>(user_ics.size()));
   }
 
+  // Static analysis pre-pass (fail fast): malformed, contradictory or
+  // ill-typed user ICs never reach residue compilation — the residue
+  // method's soundness assumes the IC set is safe and consistent.
+  if (options.run_analysis) {
+    obs::Span analyze_span("step1.analyze_ics");
+    analysis::AnalysisReport report =
+        analysis::AnalyzeIcs(*pipeline.schema_, user_ics, options.analyzer);
+    analyze_span.Tag("diagnostics", static_cast<uint64_t>(report.diagnostics.size()));
+    obs::Count("analysis.ic_diagnostics", report.diagnostics.size());
+    if (report.has_errors()) {
+      return sqo::SemanticError(
+          "static analysis rejected the integrity constraints (" +
+          report.Summary() + "); first error: " +
+          report.FirstError()->ToString());
+    }
+    pipeline.ic_report_ = std::move(report);
+  }
+
   // ASR view definitions participate as ICs in both directions: the view
   // implies its path (for unfold-style reasoning) and the path implies the
   // view (fold). The fold direction is handled structurally by the
@@ -65,6 +83,17 @@ sqo::Result<Pipeline> Pipeline::Create(std::string_view odl_text,
       CompileSemantics(pipeline.schema_.get(), std::move(user_ics),
                        std::move(registry), options.compiler));
   pipeline.compiled_ = std::move(compiled);
+  // Dead-residue pass: residues whose guard can never hold are compiled
+  // dead weight; surfaced as warnings alongside the IC findings.
+  if (options.run_analysis) {
+    obs::Span dead_span("compile.analyze_residues");
+    analysis::AnalysisReport residue_report =
+        analysis::AnalyzeResidues(pipeline.compiled_.residues);
+    dead_span.Tag("diagnostics",
+                  static_cast<uint64_t>(residue_report.diagnostics.size()));
+    obs::Count("analysis.dead_residues", residue_report.diagnostics.size());
+    pipeline.ic_report_.Append(std::move(residue_report));
+  }
   obs::Count("compile.residues_attached", pipeline.compiled_.total_residues());
   span.Tag("residues", static_cast<uint64_t>(pipeline.compiled_.total_residues()));
   return pipeline;
@@ -111,6 +140,23 @@ sqo::Result<PipelineResult> Pipeline::OptimizeParsed(
                          translate::TranslateQuery(*schema_, query));
     result.original_datalog = translated.query;
     result.map = translated.map;
+  }
+
+  // Query lint pre-pass: unbound variables are errors (the query has no
+  // well-defined answer); foldable or trivially false literals are recorded
+  // as warnings and left for the optimizer to exploit.
+  if (options_.run_analysis) {
+    obs::Span lint_span("step2.lint_query");
+    result.lint = analysis::AnalyzeQuery(*schema_, result.original_datalog,
+                                         options_.analyzer);
+    lint_span.Tag("diagnostics",
+                  static_cast<uint64_t>(result.lint.diagnostics.size()));
+    obs::Count("analysis.query_diagnostics", result.lint.diagnostics.size());
+    if (result.lint.has_errors()) {
+      return sqo::SemanticError("static analysis rejected the query (" +
+                                result.lint.Summary() + "); first error: " +
+                                result.lint.FirstError()->ToString());
+    }
   }
 
   // Step 3 (the optimizer opens its own "step3.optimize" span).
@@ -160,7 +206,15 @@ sqo::Result<PipelineResult> Pipeline::OptimizeParsed(
     step4.Tag("mapped_ok", static_cast<uint64_t>(mapped_ok));
   }
 
-  if (cost_model != nullptr && !result.alternatives.empty()) {
+  // Every downstream consumer indexes alternatives[best_index]; guarantee
+  // the invariant here (the optimizer always emits the original at index 0)
+  // instead of letting a violation surface as an out-of-bounds read.
+  if (result.alternatives.empty()) {
+    return sqo::InternalError(
+        "optimizer returned no alternatives (not even the original) for " +
+        result.original_datalog.ToString());
+  }
+  if (cost_model != nullptr) {
     int best = 0;
     for (size_t i = 1; i < result.alternatives.size(); ++i) {
       if (result.alternatives[i].cost < result.alternatives[best].cost) {

@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/analyzer.h"
 #include "common/status.h"
 #include "obs/eval_stats.h"
 #include "oql/ast.h"
@@ -30,6 +31,14 @@ class CostModel {
 struct PipelineOptions {
   CompilerOptions compiler;
   OptimizerOptions optimizer;
+
+  /// Static verification in front of semantic compilation: user ICs are
+  /// analyzed (safety, signatures, contradictions, redundancy) before any
+  /// residue is computed, compiled residues are checked for dead guards,
+  /// and every translated query is linted. Error-severity findings abort
+  /// with kSemanticError; warnings are recorded (ic_report / lint).
+  analysis::AnalyzerOptions analyzer;
+  bool run_analysis = true;
 };
 
 /// One semantically equivalent query produced by the pipeline: the DATALOG
@@ -64,6 +73,10 @@ struct PipelineResult {
   bool contradiction = false;
   std::string contradiction_reason;
   datalog::Query contradiction_witness;
+
+  /// Query-lint findings from the static analyzer pre-pass (warnings only;
+  /// error findings abort the optimization with kSemanticError).
+  analysis::AnalysisReport lint;
 
   /// Equivalent queries; index 0 is the original.
   std::vector<Alternative> alternatives;
@@ -120,6 +133,10 @@ class Pipeline {
   const CompiledSchema& compiled() const { return compiled_; }
   const PipelineOptions& options() const { return options_; }
 
+  /// Warnings surfaced by the IC analyzer and the dead-residue pass during
+  /// Create (error findings abort Create instead of landing here).
+  const analysis::AnalysisReport& ic_report() const { return ic_report_; }
+
  private:
   Pipeline() = default;
 
@@ -128,6 +145,7 @@ class Pipeline {
   std::unique_ptr<translate::TranslatedSchema> schema_;
   CompiledSchema compiled_;
   PipelineOptions options_;
+  analysis::AnalysisReport ic_report_;
 };
 
 }  // namespace sqo::core

@@ -1,0 +1,108 @@
+// Integration: the static analyzer as the pipeline's fail-fast pre-pass.
+
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.h"
+#include "analysis/diagnostic.h"
+#include "sqo/pipeline.h"
+#include "workload/university.h"
+
+namespace sqo::core {
+namespace {
+
+constexpr std::string_view kOdl = R"(
+  interface Person {
+    extent persons;
+    attribute string name;
+    attribute long age;
+  };
+)";
+
+TEST(AnalysisPipelineTest, CreateRejectsContradictoryIcsWithSemanticError) {
+  auto pipeline = Pipeline::Create(kOdl,
+                                   "ic1: A > 30 <- person(X, N, A).\n"
+                                   "ic2: A < 20 <- person(X, N, A).\n");
+  ASSERT_FALSE(pipeline.ok());
+  EXPECT_EQ(pipeline.status().code(), sqo::StatusCode::kSemanticError)
+      << pipeline.status().ToString();
+  // The message carries the stable diagnostic code for tooling.
+  EXPECT_NE(pipeline.status().message().find("SQO-A005"), std::string::npos)
+      << pipeline.status().ToString();
+}
+
+TEST(AnalysisPipelineTest, CreateRejectsUnsafeIc) {
+  auto pipeline =
+      Pipeline::Create(kOdl, "ic1: <- person(X, N, A), Z > 10.");
+  ASSERT_FALSE(pipeline.ok());
+  EXPECT_EQ(pipeline.status().code(), sqo::StatusCode::kSemanticError);
+  EXPECT_NE(pipeline.status().message().find("SQO-A001"), std::string::npos);
+}
+
+TEST(AnalysisPipelineTest, RunAnalysisFalseSkipsThePrePass) {
+  // With the pre-pass disabled the contradictory-but-compilable IC set goes
+  // straight to residue compilation, as before the analyzer existed.
+  PipelineOptions options;
+  options.run_analysis = false;
+  auto pipeline = Pipeline::Create(kOdl,
+                                   "ic1: A > 30 <- person(X, N, A).\n"
+                                   "ic2: A < 20 <- person(X, N, A).\n",
+                                   {}, options);
+  EXPECT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  EXPECT_TRUE(pipeline->ic_report().empty());
+}
+
+TEST(AnalysisPipelineTest, WarningsLandInIcReportAndRoundTripThroughJson) {
+  auto pipeline = Pipeline::Create(kOdl,
+                                   "ic1: A > 10 <- person(X, N, A).\n"
+                                   "ic2: A > 5 <- person(X, N, A).\n");
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  const analysis::AnalysisReport& report = pipeline->ic_report();
+  EXPECT_FALSE(report.has_errors());
+  ASSERT_GE(report.warning_count(), 1u) << report.ToString();
+  bool subsumed = false;
+  for (const analysis::Diagnostic& d : report.diagnostics) {
+    if (d.code == analysis::kCodeSubsumedIc) subsumed = true;
+  }
+  EXPECT_TRUE(subsumed) << report.ToString();
+
+  // The report exports through the obs JSON layer and parses back intact.
+  auto parsed =
+      analysis::DiagnosticsFromJson(analysis::DiagnosticsToJson(report));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->diagnostics, report.diagnostics);
+}
+
+TEST(AnalysisPipelineTest, CleanIcSetProducesEmptyReport) {
+  auto pipeline =
+      Pipeline::Create(kOdl, "ic1: A > 0 <- person(X, N, A).");
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  EXPECT_TRUE(pipeline->ic_report().empty())
+      << pipeline->ic_report().ToString();
+}
+
+TEST(AnalysisPipelineTest, QueryLintWarningsLandInPipelineResult) {
+  auto pipeline =
+      Pipeline::Create(kOdl, "ic1: A > 0 <- person(X, N, A).");
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  auto result = pipeline->OptimizeText(
+      "select p from p in persons where p.age < 5 and p.age > 90");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  bool trivially_false = false;
+  for (const analysis::Diagnostic& d : result->lint.diagnostics) {
+    if (d.code == analysis::kCodeTriviallyFalse) trivially_false = true;
+  }
+  EXPECT_TRUE(trivially_false) << result->lint.ToString();
+  // The optimizer independently proves the contradiction via residues or
+  // the restriction solver; the lint is advisory and must not block it.
+  EXPECT_FALSE(result->lint.has_errors());
+}
+
+TEST(AnalysisPipelineTest, UniversityWorkloadIsLintClean) {
+  auto pipeline = workload::MakeUniversityPipeline();
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  EXPECT_FALSE(pipeline->ic_report().has_errors())
+      << pipeline->ic_report().ToString();
+}
+
+}  // namespace
+}  // namespace sqo::core

@@ -1,0 +1,350 @@
+#include "analysis/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+#include "odl/parser.h"
+#include "translate/schema_translator.h"
+#include "workload/university.h"
+
+namespace sqo::analysis {
+namespace {
+
+using datalog::Atom;
+using datalog::Clause;
+using datalog::CmpOp;
+using datalog::Literal;
+using datalog::Term;
+
+translate::TranslatedSchema University() {
+  auto ast = odl::ParseOdl(workload::UniversityOdl());
+  EXPECT_TRUE(ast.ok());
+  auto schema = odl::Schema::Resolve(*ast);
+  EXPECT_TRUE(schema.ok());
+  auto translated = translate::TranslateSchema(*schema);
+  EXPECT_TRUE(translated.ok()) << translated.status().ToString();
+  return std::move(translated).value();
+}
+
+/// Parses ICs against the schema catalog (named-argument + arity checking),
+/// or without it when the test needs an atom the parser would reject.
+std::vector<Clause> ParseIcs(const translate::TranslatedSchema& schema,
+                             std::string_view text, bool use_catalog = true) {
+  auto parsed = datalog::ParseProgram(
+      text, use_catalog ? &schema.catalog : nullptr);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return std::move(parsed).value();
+}
+
+size_t CountCode(const AnalysisReport& report, std::string_view code) {
+  size_t n = 0;
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.code == code) ++n;
+  }
+  return n;
+}
+
+// --- SQO-A001: safety / range restriction -------------------------------
+
+TEST(AnalyzerIcsTest, A001FlagsUnboundComparisonVariable) {
+  auto ts = University();
+  auto report = AnalyzeIcs(
+      ts, ParseIcs(ts, "ic1: <- person(X, N, A, Ad), Z > 10."));
+  EXPECT_EQ(CountCode(report, kCodeUnsafeVariable), 1u) << report.ToString();
+  EXPECT_TRUE(report.has_errors());
+  EXPECT_EQ(report.FirstError()->subject, "ic1");
+}
+
+TEST(AnalyzerIcsTest, A001AcceptsBoundVariablesAndLocalNegationVars) {
+  auto ts = University();
+  // The negated atom's fresh variables are existential under negation
+  // ("no such tuple at all") — legal, not a safety violation.
+  auto report = AnalyzeIcs(
+      ts, ParseIcs(ts,
+                   "ic1: A > 0 <- person(X, N, A, Ad).\n"
+                   "ic2: <- person(X, N, A, Ad), A > 90, "
+                   "not student(X, S1, S2, S3, S4).\n"));
+  EXPECT_EQ(CountCode(report, kCodeUnsafeVariable), 0u) << report.ToString();
+}
+
+// --- SQO-A002: unknown relation ------------------------------------------
+
+TEST(AnalyzerIcsTest, A002FlagsUnknownRelation) {
+  auto ts = University();
+  auto report = AnalyzeIcs(ts, ParseIcs(ts, "ic1: <- nosuch(X)."));
+  EXPECT_EQ(CountCode(report, kCodeUnknownRelation), 1u) << report.ToString();
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(AnalyzerIcsTest, A002AcceptsCatalogRelations) {
+  auto ts = University();
+  auto report =
+      AnalyzeIcs(ts, ParseIcs(ts, "ic1: <- person(X, N, A, Ad), A < 0."));
+  EXPECT_EQ(CountCode(report, kCodeUnknownRelation), 0u) << report.ToString();
+}
+
+// --- SQO-A003: arity mismatch --------------------------------------------
+
+TEST(AnalyzerIcsTest, A003FlagsArityMismatch) {
+  auto ts = University();
+  // Parse without the catalog: the parser itself rejects wrong-arity atoms
+  // when a catalog is supplied, so the analyzer is the backstop for
+  // programmatically constructed clauses.
+  auto report = AnalyzeIcs(
+      ts, ParseIcs(ts, "ic1: <- person(X, N).", /*use_catalog=*/false));
+  EXPECT_EQ(CountCode(report, kCodeArityMismatch), 1u) << report.ToString();
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(AnalyzerIcsTest, A003AcceptsCorrectArity) {
+  auto ts = University();
+  auto report = AnalyzeIcs(
+      ts, ParseIcs(ts, "ic1: <- person(X, N, A, Ad), A < 0.",
+                   /*use_catalog=*/false));
+  EXPECT_EQ(CountCode(report, kCodeArityMismatch), 0u) << report.ToString();
+}
+
+// --- SQO-A004: constant argument type mismatch ---------------------------
+
+TEST(AnalyzerIcsTest, A004FlagsIntConstantInStringPosition) {
+  auto ts = University();
+  // person's `name` attribute is a string; 42 can never occur there.
+  auto report = AnalyzeIcs(ts, ParseIcs(ts, "ic1: <- person(X, 42, A, Ad)."));
+  EXPECT_EQ(CountCode(report, kCodeTypeMismatch), 1u) << report.ToString();
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(AnalyzerIcsTest, A004AcceptsWellTypedConstants) {
+  auto ts = University();
+  auto report = AnalyzeIcs(
+      ts, ParseIcs(ts, "ic1: <- person(X, \"bob\", A, Ad), A < 0."));
+  EXPECT_EQ(CountCode(report, kCodeTypeMismatch), 0u) << report.ToString();
+}
+
+// --- SQO-A005: contradictory IC set --------------------------------------
+
+TEST(AnalyzerIcsTest, A005FlagsPairwiseContradiction) {
+  auto ts = University();
+  // Every person is over 30 AND under 20: any person instance is forced
+  // to be illegal, so the IC set rules out the class entirely.
+  auto report = AnalyzeIcs(
+      ts, ParseIcs(ts,
+                   "ic1: A > 30 <- person(X, N, A, Ad).\n"
+                   "ic2: A < 20 <- person(X, N, A, Ad).\n"));
+  EXPECT_EQ(CountCode(report, kCodeContradictoryIcs), 1u) << report.ToString();
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(AnalyzerIcsTest, A005FlagsSelfContradictorySingleton) {
+  auto ts = University();
+  // Guard A = 25 is satisfiable, head A < 20 conflicts with it: persons
+  // aged exactly 25 are forced not to exist — almost certainly a typo.
+  auto report = AnalyzeIcs(
+      ts, ParseIcs(ts, "ic1: A < 20 <- person(X, N, A, Ad), A = 25."));
+  EXPECT_EQ(CountCode(report, kCodeContradictoryIcs), 1u) << report.ToString();
+}
+
+TEST(AnalyzerIcsTest, A005AcceptsCompatibleHeads) {
+  auto ts = University();
+  auto report = AnalyzeIcs(
+      ts, ParseIcs(ts,
+                   "ic1: A > 20 <- person(X, N, A, Ad).\n"
+                   "ic2: A < 120 <- person(X, N, A, Ad).\n"));
+  EXPECT_EQ(CountCode(report, kCodeContradictoryIcs), 0u) << report.ToString();
+  EXPECT_FALSE(report.has_errors());
+}
+
+// --- SQO-A006: redundant / subsumed IC -----------------------------------
+
+TEST(AnalyzerIcsTest, A006FlagsSubsumedIc) {
+  auto ts = University();
+  // ic1 implies ic2 (A > 10 ⇒ A > 5 under the same body), so ic2 adds no
+  // semantic knowledge and only slows compilation down.
+  auto report = AnalyzeIcs(
+      ts, ParseIcs(ts,
+                   "ic1: A > 10 <- person(X, N, A, Ad).\n"
+                   "ic2: A > 5 <- person(X, N, A, Ad).\n"));
+  EXPECT_EQ(CountCode(report, kCodeSubsumedIc), 1u) << report.ToString();
+  EXPECT_FALSE(report.has_errors());  // redundancy is a warning
+  bool flagged_ic2 = false;
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.code == kCodeSubsumedIc && d.subject == "ic2") flagged_ic2 = true;
+  }
+  EXPECT_TRUE(flagged_ic2) << report.ToString();
+}
+
+TEST(AnalyzerIcsTest, A006FlagsExactDuplicateOnce) {
+  auto ts = University();
+  auto report = AnalyzeIcs(
+      ts, ParseIcs(ts,
+                   "ic1: A > 10 <- person(X, N, A, Ad).\n"
+                   "ic2: A > 10 <- person(X, N, A, Ad).\n"));
+  // Mutual subsumption: only the later duplicate is flagged, not both.
+  EXPECT_EQ(CountCode(report, kCodeSubsumedIc), 1u) << report.ToString();
+}
+
+TEST(AnalyzerIcsTest, A006AcceptsIndependentIcs) {
+  auto ts = University();
+  auto report = AnalyzeIcs(
+      ts, ParseIcs(ts,
+                   "ic1: A > 10 <- person(X, N, A, Ad).\n"
+                   "ic2: A > 16 <- student(S, N, A, Ad, G).\n"));
+  EXPECT_EQ(CountCode(report, kCodeSubsumedIc), 0u) << report.ToString();
+}
+
+TEST(AnalyzerIcsTest, MethodFactsAreSkipped) {
+  auto ts = University();
+  auto report = AnalyzeIcs(
+      ts, ParseIcs(ts, "monotone(raise_salary, salary, increasing).",
+                   /*use_catalog=*/false));
+  EXPECT_TRUE(report.empty()) << report.ToString();
+}
+
+TEST(AnalyzerIcsTest, OptionsDisablePassesIndividually) {
+  auto ts = University();
+  auto ics = ParseIcs(ts,
+                      "ic1: A > 30 <- person(X, N, A, Ad).\n"
+                      "ic2: A < 20 <- person(X, N, A, Ad).\n");
+  AnalyzerOptions options;
+  options.check_contradictions = false;
+  auto report = AnalyzeIcs(ts, ics, options);
+  EXPECT_EQ(CountCode(report, kCodeContradictoryIcs), 0u) << report.ToString();
+}
+
+// --- SQO-A007: dead residues ---------------------------------------------
+
+core::Residue MakeResidue(std::vector<Literal> remainder) {
+  core::Residue residue;
+  residue.relation = "person";
+  residue.template_atom = Atom::Pred(
+      "person", {Term::Var("_R0"), Term::Var("_R1"), Term::Var("_R2"),
+                 Term::Var("_R3")});
+  residue.remainder = std::move(remainder);
+  residue.head = std::nullopt;
+  residue.source = "ic9";
+  return residue;
+}
+
+TEST(AnalyzerResiduesTest, A007FlagsUnsatisfiableGuard) {
+  std::map<std::string, std::vector<core::Residue>> residues;
+  residues["person"].push_back(MakeResidue(
+      {Literal(true, Atom::Comparison(CmpOp::kLt, Term::Var("A"), Term::Int(5))),
+       Literal(true,
+               Atom::Comparison(CmpOp::kGt, Term::Var("A"), Term::Int(10)))}));
+  auto report = AnalyzeResidues(residues);
+  EXPECT_EQ(CountCode(report, kCodeDeadResidue), 1u) << report.ToString();
+  EXPECT_FALSE(report.has_errors());  // dead knowledge is sound, just useless
+  EXPECT_EQ(report.diagnostics[0].subject, "person");
+}
+
+TEST(AnalyzerResiduesTest, A007AcceptsSatisfiableGuard) {
+  std::map<std::string, std::vector<core::Residue>> residues;
+  residues["person"].push_back(MakeResidue(
+      {Literal(true, Atom::Comparison(CmpOp::kGt, Term::Var("A"),
+                                      Term::Int(10)))}));
+  residues["person"].push_back(MakeResidue({}));  // invariant: no guard
+  auto report = AnalyzeResidues(residues);
+  EXPECT_EQ(CountCode(report, kCodeDeadResidue), 0u) << report.ToString();
+}
+
+// --- SQO-A008..A010: query lints -----------------------------------------
+
+datalog::Query ParseQuery(const translate::TranslatedSchema& schema,
+                          std::string_view text) {
+  auto parsed = datalog::ParseQueryText(text, &schema.catalog);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return std::move(parsed).value();
+}
+
+TEST(AnalyzerQueryTest, A008FlagsUnboundProjectedVariable) {
+  auto ts = University();
+  auto report =
+      AnalyzeQuery(ts, ParseQuery(ts, "q(X, Y) :- person(X, N, A, Ad)."));
+  EXPECT_EQ(CountCode(report, kCodeUnboundQueryVariable), 1u)
+      << report.ToString();
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(AnalyzerQueryTest, A008FlagsUnboundComparisonVariable) {
+  auto ts = University();
+  auto report =
+      AnalyzeQuery(ts, ParseQuery(ts, "q(X) :- person(X, N, A, Ad), Z > 5."));
+  EXPECT_EQ(CountCode(report, kCodeUnboundQueryVariable), 1u)
+      << report.ToString();
+}
+
+TEST(AnalyzerQueryTest, A008AcceptsFullyBoundQuery) {
+  auto ts = University();
+  auto report = AnalyzeQuery(
+      ts, ParseQuery(ts, "q(X, N) :- person(X, N, A, Ad), A > 5."));
+  EXPECT_EQ(CountCode(report, kCodeUnboundQueryVariable), 0u)
+      << report.ToString();
+  EXPECT_TRUE(report.empty());
+}
+
+TEST(AnalyzerQueryTest, A009FlagsUnsatisfiableRestrictionSet) {
+  auto ts = University();
+  auto report = AnalyzeQuery(
+      ts, ParseQuery(ts, "q(X) :- person(X, N, A, Ad), A < 5, A > 90."));
+  EXPECT_GE(CountCode(report, kCodeTriviallyFalse), 1u) << report.ToString();
+  EXPECT_FALSE(report.has_errors());  // the optimizer proves emptiness itself
+}
+
+TEST(AnalyzerQueryTest, A009FlagsGroundFalseComparison) {
+  auto ts = University();
+  auto report = AnalyzeQuery(
+      ts, ParseQuery(ts, "q(X) :- person(X, N, A, Ad), 3 > 5."));
+  EXPECT_GE(CountCode(report, kCodeTriviallyFalse), 1u) << report.ToString();
+}
+
+TEST(AnalyzerQueryTest, A009AcceptsSatisfiableRestrictions) {
+  auto ts = University();
+  auto report = AnalyzeQuery(
+      ts, ParseQuery(ts, "q(X) :- person(X, N, A, Ad), A > 5, A < 90."));
+  EXPECT_EQ(CountCode(report, kCodeTriviallyFalse), 0u) << report.ToString();
+}
+
+TEST(AnalyzerQueryTest, A010FlagsGroundTrueComparison) {
+  auto ts = University();
+  auto report = AnalyzeQuery(
+      ts, ParseQuery(ts, "q(X) :- person(X, N, A, Ad), 3 < 5."));
+  EXPECT_EQ(CountCode(report, kCodeConstantFoldable), 1u) << report.ToString();
+  EXPECT_FALSE(report.has_errors());
+}
+
+TEST(AnalyzerQueryTest, A010FlagsReflexiveEquality) {
+  auto ts = University();
+  auto report = AnalyzeQuery(
+      ts, ParseQuery(ts, "q(X) :- person(X, N, A, Ad), A = A."));
+  EXPECT_EQ(CountCode(report, kCodeConstantFoldable), 1u) << report.ToString();
+}
+
+TEST(AnalyzerQueryTest, A010AcceptsMeaningfulComparisons) {
+  auto ts = University();
+  auto report = AnalyzeQuery(
+      ts, ParseQuery(ts, "q(X) :- person(X, N, A, Ad), A >= 21."));
+  EXPECT_EQ(CountCode(report, kCodeConstantFoldable), 0u) << report.ToString();
+}
+
+TEST(AnalyzerQueryTest, SignatureChecksApplyToQueries) {
+  auto ts = University();
+  auto parsed = datalog::ParseQueryText("q(X) :- nosuch(X).", nullptr);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto report = AnalyzeQuery(ts, *parsed);
+  EXPECT_EQ(CountCode(report, kCodeUnknownRelation), 1u) << report.ToString();
+}
+
+// --- ExpectedArgumentKind -------------------------------------------------
+
+TEST(AnalyzerTest, ExpectedArgumentKindResolvesAttributeTypes) {
+  auto ts = University();
+  const datalog::RelationSignature* person = ts.catalog.Find("person");
+  ASSERT_NE(person, nullptr);
+  EXPECT_EQ(ExpectedArgumentKind(ts, *person, 0), sqo::ValueKind::kOid);
+  EXPECT_EQ(ExpectedArgumentKind(ts, *person, 1), sqo::ValueKind::kString);
+  EXPECT_EQ(ExpectedArgumentKind(ts, *person, 2), sqo::ValueKind::kInt);
+  EXPECT_EQ(ExpectedArgumentKind(ts, *person, 99), std::nullopt);
+}
+
+}  // namespace
+}  // namespace sqo::analysis

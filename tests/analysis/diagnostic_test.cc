@@ -1,0 +1,99 @@
+#include "analysis/diagnostic.h"
+
+#include <gtest/gtest.h>
+
+namespace sqo::analysis {
+namespace {
+
+Diagnostic MakeError() {
+  Diagnostic d;
+  d.severity = Severity::kError;
+  d.code = "SQO-A001";
+  d.subject = "IC3";
+  d.message = "variable 'X' is not bound by any positive body atom";
+  d.fix_hint = "add a positive atom binding 'X'";
+  return d;
+}
+
+TEST(DiagnosticTest, ToStringFormatsSeverityCodeAndHint) {
+  const std::string text = MakeError().ToString();
+  EXPECT_NE(text.find("error[SQO-A001]"), std::string::npos) << text;
+  EXPECT_NE(text.find("IC3"), std::string::npos) << text;
+  EXPECT_NE(text.find("hint"), std::string::npos) << text;
+
+  Diagnostic warning;
+  warning.severity = Severity::kWarning;
+  warning.code = "SQO-A006";
+  warning.subject = "IC7";
+  warning.message = "subsumed";
+  const std::string wtext = warning.ToString();
+  EXPECT_NE(wtext.find("warning[SQO-A006]"), std::string::npos) << wtext;
+  EXPECT_EQ(wtext.find("hint"), std::string::npos) << wtext;
+}
+
+TEST(DiagnosticTest, ReportCountsAndFirstError) {
+  AnalysisReport report;
+  EXPECT_TRUE(report.empty());
+  EXPECT_FALSE(report.has_errors());
+  EXPECT_EQ(report.FirstError(), nullptr);
+
+  report.Add(Severity::kWarning, "SQO-A006", "IC1", "redundant");
+  EXPECT_FALSE(report.has_errors());
+  EXPECT_EQ(report.warning_count(), 1u);
+
+  report.Add(Severity::kError, "SQO-A002", "IC2", "unknown relation 'foo'");
+  EXPECT_TRUE(report.has_errors());
+  EXPECT_EQ(report.error_count(), 1u);
+  ASSERT_NE(report.FirstError(), nullptr);
+  EXPECT_EQ(report.FirstError()->code, "SQO-A002");
+  EXPECT_EQ(report.Summary(), "1 error, 1 warning");
+}
+
+TEST(DiagnosticTest, AppendMovesFindings) {
+  AnalysisReport a;
+  a.Add(Severity::kWarning, "SQO-A007", "person", "dead residue");
+  AnalysisReport b;
+  b.Add(Severity::kError, "SQO-A005", "IC2", "contradiction");
+  a.Append(std::move(b));
+  ASSERT_EQ(a.diagnostics.size(), 2u);
+  EXPECT_EQ(a.diagnostics[1].code, "SQO-A005");
+  EXPECT_TRUE(a.has_errors());
+}
+
+TEST(DiagnosticTest, JsonRoundTrip) {
+  AnalysisReport report;
+  report.diagnostics.push_back(MakeError());
+  report.Add(Severity::kWarning, "SQO-A009", "q",
+             "comparison \"a\" < 'b' is trivially false");  // escaping
+
+  const std::string json = DiagnosticsToJson(report);
+  EXPECT_NE(json.find("\"errors\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"warnings\":1"), std::string::npos) << json;
+
+  auto parsed = DiagnosticsFromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->diagnostics.size(), report.diagnostics.size());
+  EXPECT_EQ(parsed->diagnostics[0], report.diagnostics[0]);
+  EXPECT_EQ(parsed->diagnostics[1], report.diagnostics[1]);
+}
+
+TEST(DiagnosticTest, JsonRoundTripEmptyReport) {
+  auto parsed = DiagnosticsFromJson(DiagnosticsToJson(AnalysisReport{}));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(DiagnosticTest, JsonRejectsMalformedDocuments) {
+  EXPECT_FALSE(DiagnosticsFromJson("not json").ok());
+  EXPECT_FALSE(DiagnosticsFromJson("{}").ok());
+  EXPECT_FALSE(DiagnosticsFromJson(R"({"diagnostics":[42]})").ok());
+  EXPECT_FALSE(
+      DiagnosticsFromJson(R"({"diagnostics":[{"code":"SQO-A001"}]})").ok());
+  EXPECT_FALSE(DiagnosticsFromJson(
+                   R"({"diagnostics":[{"severity":"fatal","code":"x",)"
+                   R"("subject":"s","message":"m"}]})")
+                   .ok());
+}
+
+}  // namespace
+}  // namespace sqo::analysis

@@ -1,0 +1,203 @@
+// sqo_lint — static analyzer front end for SQO semantic knowledge.
+//
+// Runs the analysis passes (safety, signature checking, IC contradiction,
+// IC redundancy, dead residues, query lints) over an ODL schema + IC file
+// or one of the built-in workloads, without compiling residues into a
+// running pipeline first. Exit status: 0 when no error-severity diagnostics
+// were found (warnings alone exit 0), 1 on error diagnostics, 2 when the
+// input could not be parsed at all.
+//
+//   sqo_lint <schema.odl> <ics.dl> [options]
+//   sqo_lint --workload university|company [options]
+//
+// Options:
+//   --json             emit the diagnostics as JSON (obs/json.h format)
+//   --query  "<text>"  also lint a DATALOG query (repeatable)
+//   --oql    "<text>"  also lint an OQL query after translation (repeatable)
+//   --no-residues      skip residue compilation / dead-residue detection
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "analysis/diagnostic.h"
+#include "datalog/parser.h"
+#include "odl/parser.h"
+#include "oql/parser.h"
+#include "sqo/semantic_compiler.h"
+#include "translate/query_translator.h"
+#include "translate/schema_translator.h"
+#include "workload/company.h"
+#include "workload/university.h"
+
+namespace {
+
+struct Options {
+  std::string workload;  // "university" / "company" / "" (file mode)
+  std::string odl_path;
+  std::string ic_path;
+  std::vector<std::string> datalog_queries;
+  std::vector<std::string> oql_queries;
+  bool json = false;
+  bool residues = true;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (<schema.odl> <ics.dl> | --workload university|company)\n"
+               "          [--json] [--no-residues] [--query <datalog>]... "
+               "[--oql <oql>]...\n",
+               argv0);
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+int Fail(const sqo::Status& status, const char* what) {
+  std::fprintf(stderr, "sqo_lint: %s: %s\n", what, status.ToString().c_str());
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "sqo_lint: %s requires an argument\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--json") {
+      opts.json = true;
+    } else if (arg == "--no-residues") {
+      opts.residues = false;
+    } else if (arg == "--workload") {
+      const char* v = next("--workload");
+      if (v == nullptr) return 2;
+      opts.workload = v;
+    } else if (arg == "--query") {
+      const char* v = next("--query");
+      if (v == nullptr) return 2;
+      opts.datalog_queries.push_back(v);
+    } else if (arg == "--oql") {
+      const char* v = next("--oql");
+      if (v == nullptr) return 2;
+      opts.oql_queries.push_back(v);
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "sqo_lint: unknown option '%s'\n", arg.c_str());
+      return Usage(argv[0]);
+    } else {
+      positional.push_back(arg);
+    }
+  }
+
+  // Resolve the schema + IC text and optional ASR, from a workload or files.
+  std::string odl_text;
+  std::string ic_text;
+  std::vector<sqo::core::AsrDefinition> asrs;
+  if (opts.workload == "university") {
+    odl_text = sqo::workload::UniversityOdl();
+    ic_text = sqo::workload::UniversityIcs();
+    asrs.push_back(sqo::workload::UniversityAsr());
+  } else if (opts.workload == "company") {
+    odl_text = sqo::workload::CompanyOdl();
+    ic_text = sqo::workload::CompanyIcs();
+    asrs.push_back(sqo::workload::CompanyAsr());
+  } else if (!opts.workload.empty()) {
+    std::fprintf(stderr, "sqo_lint: unknown workload '%s'\n",
+                 opts.workload.c_str());
+    return 2;
+  } else {
+    if (positional.size() != 2) return Usage(argv[0]);
+    opts.odl_path = positional[0];
+    opts.ic_path = positional[1];
+    if (!ReadFile(opts.odl_path, &odl_text)) {
+      std::fprintf(stderr, "sqo_lint: cannot read '%s'\n", opts.odl_path.c_str());
+      return 2;
+    }
+    if (!ReadFile(opts.ic_path, &ic_text)) {
+      std::fprintf(stderr, "sqo_lint: cannot read '%s'\n", opts.ic_path.c_str());
+      return 2;
+    }
+  }
+
+  // Step 1 equivalent: ODL → resolved schema → DATALOG schema + catalog.
+  auto ast = sqo::odl::ParseOdl(odl_text);
+  if (!ast.ok()) return Fail(ast.status(), "ODL parse failed");
+  auto schema = sqo::odl::Schema::Resolve(*ast);
+  if (!schema.ok()) return Fail(schema.status(), "schema resolution failed");
+  auto translated = sqo::translate::TranslateSchema(*schema);
+  if (!translated.ok()) {
+    return Fail(translated.status(), "schema translation failed");
+  }
+  std::vector<sqo::core::AsrDefinition> registry;
+  for (sqo::core::AsrDefinition& def : asrs) {
+    if (auto s = sqo::core::RegisterAsr(std::move(def), &*translated, &registry);
+        !s.ok()) {
+      return Fail(s, "ASR registration failed");
+    }
+  }
+  auto user_ics =
+      sqo::datalog::ParseProgram(ic_text, &translated->catalog);
+  if (!user_ics.ok()) return Fail(user_ics.status(), "IC parse failed");
+
+  // Passes 1–4 over the user IC set.
+  sqo::analysis::AnalysisReport report =
+      sqo::analysis::AnalyzeIcs(*translated, *user_ics);
+
+  // Pass 5: compile residues (unless the IC set already has errors — the
+  // compiler's preconditions do not hold then) and flag dead guards.
+  if (opts.residues && !report.has_errors()) {
+    std::vector<sqo::datalog::Clause> compile_ics = *user_ics;
+    for (const sqo::core::AsrDefinition& def : registry) {
+      compile_ics.push_back(def.view);
+    }
+    auto compiled = sqo::core::CompileSemantics(
+        &*translated, std::move(compile_ics), registry);
+    if (!compiled.ok()) {
+      return Fail(compiled.status(), "semantic compilation failed");
+    }
+    report.Append(sqo::analysis::AnalyzeResidues(compiled->residues));
+  }
+
+  // Pass 6: explicit query lints.
+  for (const std::string& text : opts.datalog_queries) {
+    auto query = sqo::datalog::ParseQueryText(text, &translated->catalog);
+    if (!query.ok()) return Fail(query.status(), "DATALOG query parse failed");
+    report.Append(sqo::analysis::AnalyzeQuery(*translated, *query));
+  }
+  for (const std::string& text : opts.oql_queries) {
+    auto parsed = sqo::oql::ParseOql(text);
+    if (!parsed.ok()) return Fail(parsed.status(), "OQL parse failed");
+    auto tq = sqo::translate::TranslateQuery(*translated, *parsed);
+    if (!tq.ok()) return Fail(tq.status(), "OQL translation failed");
+    report.Append(sqo::analysis::AnalyzeQuery(*translated, tq->query));
+  }
+
+  if (opts.json) {
+    std::printf("%s\n", sqo::analysis::DiagnosticsToJson(report).c_str());
+  } else {
+    std::fputs(report.ToString().c_str(), stdout);
+    std::printf("%s\n", report.Summary().c_str());
+  }
+  // Warnings alone exit 0; only error-severity findings fail the run.
+  return report.has_errors() ? 1 : 0;
+}
