@@ -10,6 +10,10 @@
 #include <benchmark/benchmark.h>
 #include "bench/bench_main.h"
 
+#include <chrono>
+#include <optional>
+
+#include "common/context.h"
 #include "datalog/parser.h"
 #include "odl/parser.h"
 #include "oql/parser.h"
@@ -151,6 +155,57 @@ BENCHMARK(BM_Step4_ChangeMapping)
     ->RangeMultiplier(2)
     ->Range(2, 32)
     ->Complexity(benchmark::oN);
+
+// ---- Governance overhead: the full Step 2–4 pipeline with and without an
+// installed ExecutionContext (generous deadline + budgets, so every check
+// and charge runs but nothing ever trips). Arg(0) = baseline, Arg(1) =
+// governed; the delta is the cost of resource governance on the happy path.
+void BM_GovernanceOverhead(benchmark::State& state) {
+  auto pipeline = workload::MakeUniversityPipeline();
+  if (!pipeline.ok()) {
+    state.SkipWithError(pipeline.status().ToString().c_str());
+    return;
+  }
+  auto parsed = oql::ParseOql(workload::QueryScopeReduction());
+  const bool governed = state.range(0) != 0;
+  for (auto _ : state) {
+    ExecutionContext context;
+    std::optional<ScopedContext> install;
+    if (governed) {
+      context.SetDeadlineAfter(std::chrono::minutes(10));
+      context.budgets().residue_applications = 1'000'000'000;
+      context.budgets().alternatives = 1'000'000'000;
+      install.emplace(&context);
+    }
+    auto result = pipeline->OptimizeParsed(*parsed);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(governed ? "governed" : "baseline");
+}
+BENCHMARK(BM_GovernanceOverhead)->Arg(0)->Arg(1);
+
+// ---- The boundary check itself, in isolation (deadline armed). ----
+void BM_GovernanceCheck(benchmark::State& state) {
+  ExecutionContext context;
+  context.SetDeadlineAfter(std::chrono::minutes(10));
+  ScopedContext install(&context);
+  for (auto _ : state) {
+    Status s = CheckGovernance("bench.site");
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_GovernanceCheck);
+
+// ---- A single work-budget charge (the per-item hot path). ----
+void BM_GovernanceCharge(benchmark::State& state) {
+  ExecutionContext context;
+  context.SetDeadlineAfter(std::chrono::minutes(10));
+  for (auto _ : state) {
+    Status s = context.ChargeResidueApplications();
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_GovernanceCharge);
 
 }  // namespace
 }  // namespace sqo::bench

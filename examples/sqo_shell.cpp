@@ -11,14 +11,20 @@
 //   oql> \explain select ...    -- derivations + per-alternative counters
 //   oql> \check                 -- static-analysis report for the IC set
 //   oql> \check select ...      -- lint a query without running it
+//   oql> \deadline 50           -- bound Step 3 to 50ms (0 clears); expiry
+//                                  degrades to the original query
 //   oql> \quit
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "analysis/analyzer.h"
+#include "common/context.h"
 #include "engine/cost_model.h"
 #include "engine/database.h"
 #include "engine/planner.h"
@@ -36,14 +42,31 @@ void PrintObservability(const sqo::obs::Tracer& tracer,
   if (!text.empty()) std::printf("-- metrics --\n%s", text.c_str());
 }
 
+/// Runs `fn` under a fresh ExecutionContext bounded by `deadline_ms`
+/// (0 = ungoverned). The scope covers optimization only: a degraded
+/// result must still be evaluable, and a latched (expired) context would
+/// fail the evaluator too.
+template <typename Fn>
+auto WithDeadline(uint64_t deadline_ms, Fn&& fn) {
+  sqo::ExecutionContext context;
+  std::optional<sqo::ScopedContext> governance;
+  if (deadline_ms > 0) {
+    context.SetDeadlineAfter(std::chrono::milliseconds(deadline_ms));
+    governance.emplace(&context);
+  }
+  return fn();
+}
+
 void RunQuery(const sqo::core::Pipeline& pipeline, const sqo::engine::Database& db,
               const sqo::engine::EngineCostModel& cost_model,
-              const std::string& oql, bool plan_only) {
+              const std::string& oql, bool plan_only, uint64_t deadline_ms) {
   // Disjunctive conditions go through the union pipeline with per-disjunct
   // contradiction elimination.
   auto parsed = sqo::oql::ParseOqlDisjunctive(oql);
   if (parsed.ok() && parsed->size() > 1) {
-    auto dres = pipeline.OptimizeDisjunctiveText(oql, &cost_model);
+    auto dres = WithDeadline(deadline_ms, [&] {
+      return pipeline.OptimizeDisjunctiveText(oql, &cost_model);
+    });
     if (!dres.ok()) {
       std::printf("error: %s\n", dres.status().ToString().c_str());
       return;
@@ -53,6 +76,9 @@ void RunQuery(const sqo::core::Pipeline& pipeline, const sqo::engine::Database& 
     size_t total = 0;
     for (size_t i = 0; i < dres->disjuncts.size(); ++i) {
       const auto& d = dres->disjuncts[i];
+      if (d.degraded) {
+        std::printf("  [%zu] DEGRADED: %s\n", i, d.degradation_reason.c_str());
+      }
       if (d.contradiction) {
         std::printf("  [%zu] ELIMINATED: %s\n", i,
                     d.contradiction_reason.c_str());
@@ -72,12 +98,18 @@ void RunQuery(const sqo::core::Pipeline& pipeline, const sqo::engine::Database& 
     std::printf("[union <= %zu rows before dedup]\n", total);
     return;
   }
-  auto result = pipeline.OptimizeText(oql, &cost_model);
+  auto result = WithDeadline(deadline_ms, [&] {
+    return pipeline.OptimizeText(oql, &cost_model);
+  });
   if (!result.ok()) {
     std::printf("error: %s\n", result.status().ToString().c_str());
     return;
   }
   std::printf("datalog: %s\n", result->original_datalog.ToString().c_str());
+  if (result->degraded) {
+    std::printf("DEGRADED — falling back to the original query:\n  %s\n",
+                result->degradation_reason.c_str());
+  }
   if (result->contradiction) {
     std::printf("CONTRADICTION — the query is provably empty:\n  %s\n",
                 result->contradiction_reason.c_str());
@@ -126,18 +158,24 @@ void RunQuery(const sqo::core::Pipeline& pipeline, const sqo::engine::Database& 
 void ExplainQuery(const sqo::core::Pipeline& pipeline,
                   sqo::engine::Database& db,
                   const sqo::engine::EngineCostModel& cost_model,
-                  const std::string& oql) {
+                  const std::string& oql, uint64_t deadline_ms) {
   sqo::obs::Tracer tracer;
   sqo::obs::MetricsRegistry metrics;
   sqo::obs::ScopedTracer install_tracer(&tracer);
   sqo::obs::ScopedMetrics install_metrics(&metrics);
 
-  auto result = pipeline.OptimizeText(oql, &cost_model);
+  auto result = WithDeadline(deadline_ms, [&] {
+    return pipeline.OptimizeText(oql, &cost_model);
+  });
   if (!result.ok()) {
     std::printf("error: %s\n", result.status().ToString().c_str());
     return;
   }
   std::printf("datalog: %s\n", result->original_datalog.ToString().c_str());
+  if (result->degraded) {
+    std::printf("DEGRADED — falling back to the original query:\n  %s\n",
+                result->degradation_reason.c_str());
+  }
   if (result->contradiction) {
     std::printf("CONTRADICTION — the query is provably empty:\n  %s\n",
                 result->contradiction_reason.c_str());
@@ -213,10 +251,11 @@ int main() {
   std::printf(
       "sqo shell — university schema loaded (%zu objects, %zu residues)\n"
       "commands: \\ics  \\residues <relation>  \\plan <oql>  \\explain <oql>  "
-      "\\check [oql]  \\timing  \\quit\n",
+      "\\check [oql]  \\deadline <ms>  \\timing  \\quit\n",
       db.store().object_count(), pipeline.compiled().total_residues());
 
   bool timing = false;
+  uint64_t deadline_ms = 0;
   std::string line;
   while (true) {
     std::printf("oql> ");
@@ -247,6 +286,23 @@ int main() {
       }
       continue;
     }
+    if (line.rfind("\\deadline", 0) == 0) {
+      const std::string arg = line.size() > 9 ? line.substr(10) : "";
+      char* end = nullptr;
+      const unsigned long long ms =
+          arg.empty() ? 0 : std::strtoull(arg.c_str(), &end, 10);
+      if (!arg.empty() && (end == nullptr || *end != '\0')) {
+        std::printf("usage: \\deadline <ms>   (0 clears the deadline)\n");
+        continue;
+      }
+      deadline_ms = static_cast<uint64_t>(ms);
+      if (deadline_ms == 0) {
+        std::printf("deadline cleared\n");
+      } else {
+        std::printf("optimization deadline set to %llu ms per query\n", ms);
+      }
+      continue;
+    }
     if (line == "\\check") {
       CheckCommand(pipeline, "");
       continue;
@@ -256,11 +312,12 @@ int main() {
       continue;
     }
     if (line.rfind("\\plan ", 0) == 0) {
-      RunQuery(pipeline, db, cost_model, line.substr(6), /*plan_only=*/true);
+      RunQuery(pipeline, db, cost_model, line.substr(6), /*plan_only=*/true,
+               deadline_ms);
       continue;
     }
     if (line.rfind("\\explain ", 0) == 0) {
-      ExplainQuery(pipeline, db, cost_model, line.substr(9));
+      ExplainQuery(pipeline, db, cost_model, line.substr(9), deadline_ms);
       continue;
     }
     if (timing) {
@@ -268,10 +325,12 @@ int main() {
       sqo::obs::MetricsRegistry metrics;
       sqo::obs::ScopedTracer install_tracer(&tracer);
       sqo::obs::ScopedMetrics install_metrics(&metrics);
-      RunQuery(pipeline, db, cost_model, line, /*plan_only=*/false);
+      RunQuery(pipeline, db, cost_model, line, /*plan_only=*/false,
+               deadline_ms);
       PrintObservability(tracer, metrics);
     } else {
-      RunQuery(pipeline, db, cost_model, line, /*plan_only=*/false);
+      RunQuery(pipeline, db, cost_model, line, /*plan_only=*/false,
+               deadline_ms);
     }
   }
   return 0;

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Robustness driver: build the ASan+UBSan preset and run every test with
+# the `robustness` ctest label under the sanitizers — governance/context
+# units, failpoint units, pipeline degradation end-to-end and adversarial
+# parser input. Failpoint-driven error paths are exactly the code that
+# rarely runs in CI, so they get sanitizer coverage here.
+#
+# Usage: scripts/run_robustness.sh [--no-build]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build=1
+case "${1:-}" in
+  --no-build) build=0 ;;
+  "") ;;
+  *) echo "usage: $0 [--no-build]" >&2; exit 2 ;;
+esac
+
+if [[ "$build" -eq 1 ]]; then
+  echo "== configuring + building asan preset =="
+  cmake --preset asan >/dev/null
+  cmake --build --preset asan -j "$(nproc)" >/dev/null
+fi
+
+echo "== robustness tests under ASan/UBSan =="
+if ! ctest --preset robustness-asan; then
+  echo "robustness suite FAILED"
+  exit 1
+fi
+echo "robustness OK"

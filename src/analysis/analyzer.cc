@@ -619,4 +619,18 @@ AnalysisReport AnalyzeQuery(const translate::TranslatedSchema& schema,
   return report;
 }
 
+AnalysisReport AnalyzeGovernance(bool deadline_set, bool fail_open) {
+  AnalysisReport report;
+  if (deadline_set && !fail_open) {
+    report.Add(Severity::kWarning, kCodeDeadlineFailClosed, "governance",
+               "a deadline is configured but fail-open degradation is "
+               "disabled; deadline expiry will fail queries outright with "
+               "kResourceExhausted instead of degrading to the original "
+               "translated query",
+               "enable governance.fail_open (or drop the deadline) unless "
+               "hard failures are intended");
+  }
+  return report;
+}
+
 }  // namespace sqo::analysis

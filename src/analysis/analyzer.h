@@ -37,6 +37,8 @@ namespace sqo::analysis {
 ///                                       unsatisfiable restriction set
 ///   SQO-A010  query lint      warning   constant-foldable (always-true)
 ///                                       comparison literal
+///   SQO-A011  governance      warning   deadline configured with fail-open
+///                                       degradation disabled (fail-closed)
 inline constexpr std::string_view kCodeUnsafeVariable = "SQO-A001";
 inline constexpr std::string_view kCodeUnknownRelation = "SQO-A002";
 inline constexpr std::string_view kCodeArityMismatch = "SQO-A003";
@@ -47,6 +49,7 @@ inline constexpr std::string_view kCodeDeadResidue = "SQO-A007";
 inline constexpr std::string_view kCodeUnboundQueryVariable = "SQO-A008";
 inline constexpr std::string_view kCodeTriviallyFalse = "SQO-A009";
 inline constexpr std::string_view kCodeConstantFoldable = "SQO-A010";
+inline constexpr std::string_view kCodeDeadlineFailClosed = "SQO-A011";
 
 struct AnalyzerOptions {
   bool check_safety = true;          // pass 1 (SQO-A001)
@@ -94,6 +97,13 @@ AnalysisReport AnalyzeResidues(
 AnalysisReport AnalyzeQuery(const translate::TranslatedSchema& schema,
                             const datalog::Query& query,
                             const AnalyzerOptions& options = {});
+
+/// Pass 7 over the pipeline's resource-governance configuration: a deadline
+/// combined with disabled fail-open degradation means every deadline expiry
+/// fails the query outright with kResourceExhausted instead of falling back
+/// to the original translated query (SQO-A011, warning). Takes plain bools
+/// so the analysis layer stays independent of the pipeline's option types.
+AnalysisReport AnalyzeGovernance(bool deadline_set, bool fail_open);
 
 }  // namespace sqo::analysis
 

@@ -1,0 +1,80 @@
+#include "common/context.h"
+
+#include <string>
+
+namespace sqo {
+
+namespace {
+thread_local ExecutionContext* g_current_context = nullptr;
+}  // namespace
+
+Status ExecutionContext::Check(std::string_view site) {
+  if (!latched_.ok()) return latched_;
+  if (cancelled_.load(std::memory_order_relaxed)) {
+    latched_ = CancelledError("cancellation requested (observed at " +
+                              std::string(site) + ")");
+    return latched_;
+  }
+  if (has_deadline_ && std::chrono::steady_clock::now() > deadline_) {
+    deadline_exceeded_ = true;
+    latched_ = ResourceExhaustedError("deadline exceeded (observed at " +
+                                      std::string(site) + ")");
+    return latched_;
+  }
+  return Status::Ok();
+}
+
+void ExecutionContext::LatchError(Status status) {
+  if (latched_.ok() && !status.ok()) latched_ = std::move(status);
+}
+
+Status ExecutionContext::Charge(uint64_t* used, uint64_t limit, uint64_t n,
+                                std::string_view what) {
+  if (!latched_.ok()) return latched_;
+  *used += n;
+  if (limit != 0 && *used > limit) {
+    latched_ = ResourceExhaustedError(
+        std::string(what) + " budget exceeded (" + std::to_string(*used) +
+        " > " + std::to_string(limit) + ")");
+    return latched_;
+  }
+  // A runaway loop must observe the deadline even between phase
+  // boundaries; poll the clock on a stride so the common case stays a
+  // couple of integer ops.
+  charges_since_poll_ += n;
+  if (has_deadline_ && charges_since_poll_ >= kDeadlinePollStride) {
+    charges_since_poll_ = 0;
+    return Check(what);
+  }
+  return Status::Ok();
+}
+
+Status ExecutionContext::ChargeResidueApplications(uint64_t n) {
+  return Charge(&used_residue_applications_, budgets_.residue_applications, n,
+                "residue-application");
+}
+Status ExecutionContext::ChargeAlternatives(uint64_t n) {
+  return Charge(&used_alternatives_, budgets_.alternatives, n, "alternative");
+}
+Status ExecutionContext::ChargeEvalJoins(uint64_t n) {
+  return Charge(&used_eval_joins_, budgets_.eval_joins, n, "eval-join");
+}
+Status ExecutionContext::ChargeEvalRows(uint64_t n) {
+  return Charge(&used_eval_rows_, budgets_.eval_rows, n, "eval-row");
+}
+
+ExecutionContext* CurrentContext() { return g_current_context; }
+
+ScopedContext::ScopedContext(ExecutionContext* context)
+    : previous_(g_current_context) {
+  g_current_context = context;
+}
+
+ScopedContext::~ScopedContext() { g_current_context = previous_; }
+
+Status CheckGovernance(std::string_view site) {
+  ExecutionContext* context = g_current_context;
+  return context == nullptr ? Status::Ok() : context->Check(site);
+}
+
+}  // namespace sqo

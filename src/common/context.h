@@ -1,0 +1,152 @@
+#ifndef SQO_COMMON_CONTEXT_H_
+#define SQO_COMMON_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace sqo {
+
+/// Per-phase work budgets, in units of the phase's dominant operation
+/// (0 = unlimited). Budgets bound the *combinatorial* blow-ups of the
+/// Figure-2 pipeline: residue application and alternative generation in
+/// Step 3, and join/row work in the evaluator.
+struct WorkBudgets {
+  uint64_t residue_applications = 0;  // optimizer: residues tried
+  uint64_t alternatives = 0;          // optimizer: rewritings generated
+  uint64_t eval_joins = 0;            // evaluator: join steps attempted
+  uint64_t eval_rows = 0;             // evaluator: tuples emitted
+};
+
+/// Resource governance for one unit of work (one query through the
+/// pipeline, one evaluation): a steady-clock deadline, work budgets, and a
+/// cooperative cancellation flag.
+///
+/// The context *latches*: the first governance violation (deadline expiry,
+/// budget exhaustion, cancellation) is recorded as an error Status that
+/// every subsequent `Check`/`Charge*` call returns, so deep loops can bail
+/// out cheaply by polling `ok()` and the phase boundary that observes the
+/// failure reports the original cause. Create a fresh context per query —
+/// a latched context stays errored by design.
+///
+/// Like the obs tracer/metrics registry, a context is *pull*-installed per
+/// thread via `ScopedContext`; instrumentation sites call the free
+/// functions below, which are no-ops (one thread-local load and a branch)
+/// when no context is installed. The library is single-threaded per query;
+/// only `RequestCancellation` may be called from another thread.
+class ExecutionContext {
+ public:
+  ExecutionContext() = default;
+
+  ExecutionContext(const ExecutionContext&) = delete;
+  ExecutionContext& operator=(const ExecutionContext&) = delete;
+
+  /// Sets an absolute steady-clock deadline.
+  void SetDeadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+
+  /// Sets the deadline `budget` from now.
+  void SetDeadlineAfter(std::chrono::milliseconds budget) {
+    SetDeadline(std::chrono::steady_clock::now() + budget);
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+
+  /// Forces the deadline into the past, so the next `Check` fails with
+  /// kResourceExhausted. Deterministic deadline expiry for tests and
+  /// failpoints — no wall-clock sleeping required.
+  void ExpireDeadlineNow() {
+    deadline_ = std::chrono::steady_clock::time_point::min();
+    has_deadline_ = true;
+  }
+
+  /// Requests cooperative cancellation; the next `Check` fails with
+  /// kCancelled. Safe to call from another thread.
+  void RequestCancellation() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  WorkBudgets& budgets() { return budgets_; }
+  const WorkBudgets& budgets() const { return budgets_; }
+
+  /// Fast health probe: false once any violation has latched. No clock
+  /// read — loops poll this and leave the expensive check to the phase
+  /// boundary.
+  bool ok() const {
+    return latched_.ok() && !cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Full governance check: latched error, then cancellation, then
+  /// deadline. `site` names the phase for the error message of a newly
+  /// latched violation.
+  Status Check(std::string_view site);
+
+  /// Latches an externally detected error (e.g. a failpoint firing inside
+  /// a loop that cannot propagate a Status). First error wins.
+  void LatchError(Status status);
+
+  /// Charge `n` units against a budget; returns kResourceExhausted (and
+  /// latches) when the budget is exceeded. Deadline expiry is also
+  /// observed every `kDeadlinePollStride` charges, so a runaway loop
+  /// honours the deadline even between phase boundaries.
+  Status ChargeResidueApplications(uint64_t n = 1);
+  Status ChargeAlternatives(uint64_t n = 1);
+  Status ChargeEvalJoins(uint64_t n = 1);
+  Status ChargeEvalRows(uint64_t n = 1);
+
+  /// True when the latched violation was a deadline expiry (used to
+  /// distinguish `optimize.deadline_exceeded` from budget exhaustion).
+  bool deadline_exceeded() const { return deadline_exceeded_; }
+
+  /// Work performed so far (for diagnostics and tests).
+  uint64_t used_residue_applications() const { return used_residue_applications_; }
+  uint64_t used_alternatives() const { return used_alternatives_; }
+  uint64_t used_eval_joins() const { return used_eval_joins_; }
+  uint64_t used_eval_rows() const { return used_eval_rows_; }
+
+ private:
+  static constexpr uint64_t kDeadlinePollStride = 4096;
+
+  Status Charge(uint64_t* used, uint64_t limit, uint64_t n,
+                std::string_view what);
+
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  bool deadline_exceeded_ = false;
+  std::atomic<bool> cancelled_{false};
+  WorkBudgets budgets_;
+  uint64_t used_residue_applications_ = 0;
+  uint64_t used_alternatives_ = 0;
+  uint64_t used_eval_joins_ = 0;
+  uint64_t used_eval_rows_ = 0;
+  uint64_t charges_since_poll_ = 0;
+  Status latched_;
+};
+
+/// The context installed for this thread, or nullptr (governance off).
+ExecutionContext* CurrentContext();
+
+/// Installs `context` as the thread's current context for the scope,
+/// restoring the previous one on destruction. Pass nullptr to force-disable
+/// governance within a scope.
+class ScopedContext {
+ public:
+  explicit ScopedContext(ExecutionContext* context);
+  ~ScopedContext();
+
+  ScopedContext(const ScopedContext&) = delete;
+  ScopedContext& operator=(const ScopedContext&) = delete;
+
+ private:
+  ExecutionContext* previous_;
+};
+
+/// Checks the installed context; OK when none is installed.
+Status CheckGovernance(std::string_view site);
+
+}  // namespace sqo
+
+#endif  // SQO_COMMON_CONTEXT_H_

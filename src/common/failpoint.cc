@@ -1,0 +1,124 @@
+#include "common/failpoint.h"
+
+#ifndef SQO_FAILPOINTS_DISABLED
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/context.h"
+
+namespace sqo::failpoint {
+
+namespace {
+
+struct SiteState {
+  Action action;
+  bool armed = false;
+  uint64_t hits = 0;   // passes while armed
+  uint64_t trips = 0;  // times the action fired
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, SiteState, std::less<>> sites;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: usable during shutdown
+  return *r;
+}
+
+/// Armed-site count; sites short-circuit on zero without taking the lock.
+std::atomic<uint64_t> g_armed_count{0};
+std::atomic<TripObserver> g_trip_observer{nullptr};
+
+}  // namespace
+
+void Activate(std::string_view site, Action action) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto [it, inserted] = r.sites.try_emplace(std::string(site));
+  if (!it->second.armed) g_armed_count.fetch_add(1, std::memory_order_relaxed);
+  it->second.action = std::move(action);
+  it->second.armed = true;
+  it->second.hits = 0;
+  it->second.trips = 0;
+}
+
+void Deactivate(std::string_view site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.sites.find(site);
+  if (it == r.sites.end() || !it->second.armed) return;
+  it->second.armed = false;
+  g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void DeactivateAll() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& [site, state] : r.sites) {
+    if (state.armed) g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+    state.armed = false;
+  }
+  r.sites.clear();
+}
+
+uint64_t TripCount(std::string_view site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.trips;
+}
+
+void SetTripObserver(TripObserver observer) {
+  g_trip_observer.store(observer, std::memory_order_relaxed);
+}
+
+Status Check(std::string_view site) {
+  if (g_armed_count.load(std::memory_order_relaxed) == 0) return Status::Ok();
+  Action action;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.sites.find(site);
+    if (it == r.sites.end() || !it->second.armed) return Status::Ok();
+    SiteState& state = it->second;
+    if (state.hits++ < state.action.trigger_after) return Status::Ok();
+    if (state.action.max_trips != 0 && state.trips >= state.action.max_trips) {
+      return Status::Ok();
+    }
+    ++state.trips;
+    action = state.action;
+  }
+  if (TripObserver observer = g_trip_observer.load(std::memory_order_relaxed);
+      observer != nullptr) {
+    observer(site);
+  }
+  switch (action.kind) {
+    case ActionKind::kError:
+      return action.status;
+    case ActionKind::kExpireDeadline:
+      if (ExecutionContext* context = CurrentContext()) {
+        context->ExpireDeadlineNow();
+      }
+      return Status::Ok();
+    case ActionKind::kCancel:
+      if (ExecutionContext* context = CurrentContext()) {
+        context->RequestCancellation();
+      }
+      return Status::Ok();
+    case ActionKind::kDelayMs:
+      std::this_thread::sleep_for(std::chrono::milliseconds(action.delay_ms));
+      return Status::Ok();
+  }
+  return Status::Ok();
+}
+
+}  // namespace sqo::failpoint
+
+#endif  // SQO_FAILPOINTS_DISABLED

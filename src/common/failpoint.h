@@ -1,0 +1,84 @@
+#ifndef SQO_COMMON_FAILPOINT_H_
+#define SQO_COMMON_FAILPOINT_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/status.h"
+
+/// Deterministic fault injection for the Figure-2 pipeline phases. Library
+/// code marks named sites with `SQO_FAILPOINT("phase.site")`; tests
+/// activate a site with an Action (force an error Status, expire the
+/// current ExecutionContext's deadline, request cancellation, or sleep) to
+/// prove every failure path end to end. Inactive sites cost one relaxed
+/// atomic load; defining `SQO_FAILPOINTS_DISABLED` at compile time removes
+/// even that (mirroring `SQO_OBS_DISABLED`).
+namespace sqo::failpoint {
+
+enum class ActionKind {
+  kError,           // return `status` from the site
+  kExpireDeadline,  // force the current context's deadline into the past
+  kCancel,          // set the current context's cancellation flag
+  kDelayMs,         // sleep `delay_ms` (real wall-clock; use sparingly)
+};
+
+struct Action {
+  ActionKind kind = ActionKind::kError;
+  Status status = InternalError("failpoint");  // for kError
+  int64_t delay_ms = 0;                        // for kDelayMs
+
+  /// Pass over the site this many times before acting (0 = act at once).
+  uint64_t trigger_after = 0;
+
+  /// Act at most this many times, then go dormant (0 = unlimited).
+  uint64_t max_trips = 0;
+};
+
+#ifndef SQO_FAILPOINTS_DISABLED
+
+/// Arms `site` with `action`, replacing any previous arming and resetting
+/// its hit/trip counters.
+void Activate(std::string_view site, Action action);
+
+/// Disarms `site` (its trip count remains readable until re-armed).
+void Deactivate(std::string_view site);
+
+/// Disarms every site and clears all counters. Tests call this in
+/// SetUp/TearDown so armed failpoints never leak across tests.
+void DeactivateAll();
+
+/// Times `site`'s action actually fired since it was last armed.
+uint64_t TripCount(std::string_view site);
+
+/// Evaluates `site`: no-op unless armed and due, otherwise performs the
+/// action (kError returns the injected status; the other kinds return OK
+/// after acting). Called via SQO_FAILPOINT; callable directly from sites
+/// that cannot propagate a Status.
+Status Check(std::string_view site);
+
+/// Observer invoked on every trip (installed by the obs layer to bump the
+/// `failpoint.trips` counter); pass nullptr to clear.
+using TripObserver = void (*)(std::string_view site);
+void SetTripObserver(TripObserver observer);
+
+#define SQO_FAILPOINT(site) SQO_RETURN_IF_ERROR(::sqo::failpoint::Check(site))
+
+#else  // SQO_FAILPOINTS_DISABLED
+
+inline void Activate(std::string_view, Action) {}
+inline void Deactivate(std::string_view) {}
+inline void DeactivateAll() {}
+inline uint64_t TripCount(std::string_view) { return 0; }
+inline Status Check(std::string_view) { return Status::Ok(); }
+using TripObserver = void (*)(std::string_view site);
+inline void SetTripObserver(TripObserver) {}
+
+#define SQO_FAILPOINT(site) \
+  do {                      \
+  } while (0)
+
+#endif  // SQO_FAILPOINTS_DISABLED
+
+}  // namespace sqo::failpoint
+
+#endif  // SQO_COMMON_FAILPOINT_H_

@@ -20,6 +20,8 @@ enum class StatusCode {
   kNotFound,          // lookup of a class / relation / method failed
   kUnsupported,       // valid ODMG construct outside the implemented subset
   kInternal,          // invariant violation inside the library
+  kResourceExhausted, // a deadline, work budget or depth limit was exceeded
+  kCancelled,         // cooperative cancellation was requested
 };
 
 /// Returns a stable human-readable name for a status code ("ParseError", ...).
@@ -64,6 +66,8 @@ Status SemanticError(std::string message);
 Status NotFoundError(std::string message);
 Status UnsupportedError(std::string message);
 Status InternalError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status CancelledError(std::string message);
 
 /// Either a value of type T or an error `Status`. Modeled after
 /// absl::StatusOr. Accessing the value of an errored result aborts.

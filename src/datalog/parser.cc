@@ -315,6 +315,18 @@ sqo::Result<Atom> Parser::ParsePredicateAtom(std::string name) {
 }
 
 sqo::Result<Literal> Parser::ParseLiteral() {
+  if (depth_ >= kMaxParseDepth) {
+    return sqo::ResourceExhaustedError(
+        "DATALOG: literal nesting exceeds the parser depth limit (" +
+        std::to_string(kMaxParseDepth) + ")");
+  }
+  ++depth_;
+  sqo::Result<Literal> result = ParseLiteralInner();
+  --depth_;
+  return result;
+}
+
+sqo::Result<Literal> Parser::ParseLiteralInner() {
   bool negated = false;
   if (Peek().kind == Token::kIdent && Peek().text == "not") {
     negated = true;

@@ -85,8 +85,16 @@ class Parser {
   sqo::Status ErrorAt(const Token& tok, std::string message) const;
 
   sqo::Result<Literal> ParseLiteral();
+  sqo::Result<Literal> ParseLiteralInner();
   sqo::Result<Atom> ParsePredicateAtom(std::string name);
   sqo::Result<Term> ParseTerm();
+
+  /// Terms and atoms are flat in this dialect (bodies grow by iteration,
+  /// not recursion), but the depth guard keeps any future nested term
+  /// syntax bounded with a clean kResourceExhausted instead of a stack
+  /// overflow.
+  static constexpr int kMaxParseDepth = 512;
+  int depth_ = 0;
 
   std::string text_;
   std::vector<Token> tokens_;

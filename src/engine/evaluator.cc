@@ -4,6 +4,8 @@
 #include <map>
 #include <set>
 
+#include "common/context.h"
+#include "common/failpoint.h"
 #include "common/strings.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -272,6 +274,11 @@ class Execution {
   }
 
   sqo::Status Step(size_t k) {
+    // Every join step is a budget unit; the charge also polls the deadline
+    // on a stride, so a pathological join order cannot run unbounded.
+    if (ExecutionContext* governance = CurrentContext()) {
+      SQO_RETURN_IF_ERROR(governance->ChargeEvalJoins());
+    }
     if (k == order_->size()) return EmitTuple();
     if (consumed_.count(k) > 0) return Step(k + 1);
     const Literal& lit = query_.body[(*order_)[k]];
@@ -364,6 +371,7 @@ class Execution {
           return sqo::Status::Ok();
         }
         // Extent scan.
+        SQO_FAILPOINT("eval.scan");
         ++stats_.extent_scans;
         for (sqo::Oid candidate : store_.Extent(sig->name)) {
           if (!PassesGuards(guards, candidate)) continue;
@@ -466,6 +474,9 @@ class Execution {
   }
 
   sqo::Status EmitTuple() {
+    if (ExecutionContext* governance = CurrentContext()) {
+      SQO_RETURN_IF_ERROR(governance->ChargeEvalRows());
+    }
     std::vector<sqo::Value> tuple;
     tuple.reserve(query_.head_args.size());
     for (const Term& t : query_.head_args) {
@@ -479,7 +490,7 @@ class Execution {
     }
     ++stats_.tuples_emitted;
     if (options_.max_tuples != 0 && stats_.tuples_emitted > options_.max_tuples) {
-      return sqo::InternalError("result limit exceeded");
+      return sqo::ResourceExhaustedError("result limit exceeded");
     }
     if (options_.distinct) {
       std::string key;
@@ -509,6 +520,8 @@ sqo::Result<std::vector<std::vector<sqo::Value>>> Evaluator::Evaluate(
     const Query& query, EvalStats* stats, const std::vector<size_t>* order) const {
   obs::Span span("eval.evaluate");
   obs::ScopedTimer timer("eval.evaluate");
+  SQO_FAILPOINT("eval.evaluate");
+  SQO_RETURN_IF_ERROR(CheckGovernance("eval.evaluate"));
   // Work into a local so only *this* evaluation's counters reach the
   // metrics registry even when the caller accumulates into `stats`.
   EvalStats local;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <set>
 
+#include "common/context.h"
+#include "common/failpoint.h"
 #include "common/strings.h"
 #include "obs/trace.h"
 
@@ -251,6 +253,12 @@ std::string Plan::ToString() const {
 
 Plan PlanQuery(const Query& query, const ObjectStore& store) {
   obs::Span span("eval.plan");
+  // PlanQuery returns a plain Plan, so governance violations latch on the
+  // current context and surface at the evaluator's boundary check.
+  if (ExecutionContext* governance = CurrentContext()) {
+    governance->LatchError(failpoint::Check("eval.plan"));
+    governance->Check("eval.plan");
+  }
   Plan plan;
   const size_t n = query.body.size();
   std::vector<bool> placed(n, false);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "common/failpoint.h"
 #include "common/strings.h"
 #include "obs/json.h"
 
@@ -11,6 +12,17 @@ namespace sqo::obs {
 namespace {
 
 thread_local MetricsRegistry* g_current_metrics = nullptr;
+
+/// Every failpoint trip lands in the current registry as `failpoint.trips`
+/// plus a per-site `failpoint.<site>` counter. Installed once; the observer
+/// pointer is atomic and zero-initialized, so ordering is benign.
+[[maybe_unused]] const bool g_failpoint_observer_installed = [] {
+  failpoint::SetTripObserver([](std::string_view site) {
+    Count("failpoint.trips");
+    Count("failpoint." + std::string(site));
+  });
+  return true;
+}();
 
 size_t BucketFor(int64_t nanos) {
   if (nanos <= 0) return 0;

@@ -178,6 +178,18 @@ sqo::Status OdlParser::ErrorAt(const Token& tok, std::string message) const {
 }
 
 sqo::Result<TypeRef> OdlParser::ParseType() {
+  if (depth_ >= kMaxParseDepth) {
+    return sqo::ResourceExhaustedError(
+        "ODL: type nesting exceeds the parser depth limit (" +
+        std::to_string(kMaxParseDepth) + ")");
+  }
+  ++depth_;
+  sqo::Result<TypeRef> result = ParseTypeInner();
+  --depth_;
+  return result;
+}
+
+sqo::Result<TypeRef> OdlParser::ParseTypeInner() {
   SQO_ASSIGN_OR_RETURN(std::string name, ExpectIdent("a type name"));
   std::string lower = sqo::ToLower(name);
   TypeRef t;

@@ -70,6 +70,13 @@ class OdlParser {
   sqo::Result<StructDecl> ParseStruct();
   sqo::Result<InterfaceDecl> ParseInterface();
   sqo::Result<TypeRef> ParseType();
+  sqo::Result<TypeRef> ParseTypeInner();
+
+  /// The current grammar's types are flat, but the depth guard keeps any
+  /// future nested type syntax (e.g. set<set<T>>) bounded with a clean
+  /// kResourceExhausted instead of a stack overflow.
+  static constexpr int kMaxParseDepth = 512;
+  int depth_ = 0;
 
   std::string text_;
   std::vector<Token> tokens_;

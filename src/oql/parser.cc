@@ -256,6 +256,18 @@ sqo::Result<Expr> OqlParser::ParsePath(std::string base) {
 }
 
 sqo::Result<Expr> OqlParser::ParseExpr() {
+  if (depth_ >= kMaxParseDepth) {
+    return sqo::ResourceExhaustedError(
+        "OQL: expression nesting exceeds the parser depth limit (" +
+        std::to_string(kMaxParseDepth) + ")");
+  }
+  ++depth_;
+  sqo::Result<Expr> result = ParseExprInner();
+  --depth_;
+  return result;
+}
+
+sqo::Result<Expr> OqlParser::ParseExprInner() {
   const Token& tok = Peek();
   if (tok.kind == Token::kNumber || tok.kind == Token::kString) {
     return Expr::Literal(Consume().value);
@@ -335,6 +347,18 @@ sqo::Result<FromEntry> OqlParser::ParseFromEntry() {
 }
 
 sqo::Result<Predicate> OqlParser::ParsePredicate() {
+  if (depth_ >= kMaxParseDepth) {
+    return sqo::ResourceExhaustedError(
+        "OQL: predicate nesting exceeds the parser depth limit (" +
+        std::to_string(kMaxParseDepth) + ")");
+  }
+  ++depth_;
+  sqo::Result<Predicate> result = ParsePredicateInner();
+  --depth_;
+  return result;
+}
+
+sqo::Result<Predicate> OqlParser::ParsePredicateInner() {
   // exists v in <collection> : <pred>   or   : ( <pred> and <pred> ... )
   if (PeekKeyword("exists")) {
     Consume();

@@ -80,10 +80,18 @@ class OqlParser {
   sqo::Status ErrorAt(const Token& tok, std::string message) const;
 
   sqo::Result<Expr> ParseExpr();
+  sqo::Result<Expr> ParseExprInner();
   sqo::Result<Expr> ParsePath(std::string base);
   sqo::Result<std::vector<Expr>> ParseCallArgs();
   sqo::Result<FromEntry> ParseFromEntry();
   sqo::Result<Predicate> ParsePredicate();
+  sqo::Result<Predicate> ParsePredicateInner();
+
+  /// Constructor arguments and `exists` predicates recurse; nesting is
+  /// bounded explicitly so adversarial input gets kResourceExhausted
+  /// instead of a stack overflow. Paths are iterative and unbounded.
+  static constexpr int kMaxParseDepth = 512;
+  int depth_ = 0;
 
   std::string text_;
   std::vector<Token> tokens_;

@@ -5,6 +5,8 @@
 #include <functional>
 #include <set>
 
+#include "common/context.h"
+#include "common/failpoint.h"
 #include "common/strings.h"
 #include "datalog/unify.h"
 #include "obs/metrics.h"
@@ -179,6 +181,7 @@ std::vector<Consequence> Optimizer::ImpliedConsequences(
   }
   std::vector<Consequence> out;
   std::set<std::string> seen;
+  ExecutionContext* governance = CurrentContext();
   const solver::ConstraintSet qcs_set = QueryConstraints(query);
   const solver::ConstraintSet::EqualityView qcs(qcs_set);
   const auto& equalities = qcs;
@@ -190,6 +193,16 @@ std::vector<Consequence> Optimizer::ImpliedConsequences(
         compiled_->ResiduesFor(anchor.atom.predicate());
     if (residues == nullptr) continue;
     for (const Residue& residue : *residues) {
+      // This function returns a plain vector, so governance violations and
+      // injected failures latch into the context; the Optimize boundary
+      // turns the latched Status into the caller-visible error. Bail
+      // without caching — a truncated consequence set must not be memoized
+      // as if it were complete.
+      if (governance != nullptr) {
+        governance->LatchError(failpoint::Check("optimizer.apply_residue"));
+        governance->ChargeResidueApplications();
+        if (!governance->ok()) return out;
+      }
       // One span per residue tried, tagged hit/miss — the per-
       // transformation cost accounting the Figure-2 trace reports.
       obs::Span residue_span("residue.apply");
@@ -281,6 +294,13 @@ bool Optimizer::CheckContradiction(const Query& query,
 std::vector<Rewriting> Optimizer::Neighbors(const Rewriting& base, bool additions,
                                             bool reductions) const {
   std::vector<Rewriting> out;
+  // A latched governance violation makes further neighbor generation
+  // pointless; an empty frontier lets the search drain fast and the
+  // boundary check report the original cause.
+  if (ExecutionContext* governance = CurrentContext();
+      governance != nullptr && !governance->ok()) {
+    return out;
+  }
   const Query& q = base.query;
   const std::set<std::string> query_vars = q.VariableSet();
   const std::set<std::string> object_vars =
@@ -769,6 +789,8 @@ Rewriting Optimizer::ReduceToFixpoint(Rewriting base) const {
 
 sqo::Result<OptimizationOutcome> Optimizer::Optimize(const Query& query) const {
   obs::Span span("step3.optimize");
+  SQO_FAILPOINT("optimizer.optimize");
+  SQO_RETURN_IF_ERROR(CheckGovernance("optimizer.optimize"));
   OptimizationOutcome outcome;
   uint64_t pruned = 0;  // rewritings rediscovered (dedup) or over the cap
 
@@ -801,6 +823,7 @@ sqo::Result<OptimizationOutcome> Optimizer::Optimize(const Query& query) const {
 
     while (!frontier.empty() &&
            outcome.equivalents.size() < options_.max_alternatives) {
+      SQO_RETURN_IF_ERROR(CheckGovernance("optimizer.search"));
       auto [current, depth] = std::move(frontier.front());
       frontier.pop_front();
       if (depth >= options_.max_depth) continue;
@@ -815,10 +838,15 @@ sqo::Result<OptimizationOutcome> Optimizer::Optimize(const Query& query) const {
           ++pruned;
           break;
         }
+        if (ExecutionContext* governance = CurrentContext()) {
+          governance->ChargeAlternatives();
+          if (!governance->ok()) break;
+        }
         outcome.equivalents.push_back(next);
         frontier.emplace_back(std::move(next), depth + 1);
       }
     }
+    SQO_RETURN_IF_ERROR(CheckGovernance("optimizer.search"));
 
     // Normalize: reduce every alternative to a removal fixpoint, bypassing
     // the depth bound for monotonically shrinking chains (§5.3's
@@ -827,6 +855,7 @@ sqo::Result<OptimizationOutcome> Optimizer::Optimize(const Query& query) const {
       obs::Span fixpoint_span("optimize.fixpoint");
       const size_t n = outcome.equivalents.size();
       for (size_t i = 0; i < n; ++i) {
+        SQO_RETURN_IF_ERROR(CheckGovernance("optimizer.fixpoint"));
         Rewriting reduced = ReduceToFixpoint(outcome.equivalents[i]);
         std::string key = reduced.query.CanonicalKey();
         if (seen.insert(key).second) {

@@ -1,5 +1,9 @@
 #include "sqo/pipeline.h"
 
+#include <chrono>
+#include <optional>
+
+#include "common/failpoint.h"
 #include "datalog/parser.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -7,6 +11,38 @@
 #include "oql/parser.h"
 
 namespace sqo::core {
+
+namespace {
+
+/// Fail-open fallback: replace whatever Step 3 produced (usually nothing)
+/// with the original translated query as the sole alternative. Correctness
+/// is untouched — alternative 0 is by definition the query the user wrote —
+/// only the optimization opportunity is lost, which the degraded flag,
+/// the `optimize.degraded` counter and a trace event all record.
+PipelineResult DegradedResult(PipelineResult result,
+                              const oql::SelectQuery& query,
+                              const sqo::Status& cause,
+                              const CostModel* cost_model) {
+  obs::Span span("pipeline.degraded");
+  span.Tag("reason", cause.ToString());
+  obs::Count("optimize.degraded");
+  result.degraded = true;
+  result.degradation_reason = cause.ToString();
+  result.alternatives.clear();
+  Alternative original;
+  original.datalog = result.original_datalog;
+  original.derivation.clear();
+  original.oql_ok = true;
+  original.oql = query;
+  if (cost_model != nullptr) {
+    original.cost = cost_model->EstimateCost(original.datalog);
+  }
+  result.alternatives.push_back(std::move(original));
+  result.best_index = 0;
+  return result;
+}
+
+}  // namespace
 
 sqo::Result<Pipeline> Pipeline::Create(std::string_view odl_text,
                                        std::string_view ic_text,
@@ -93,6 +129,14 @@ sqo::Result<Pipeline> Pipeline::Create(std::string_view odl_text,
                   static_cast<uint64_t>(residue_report.diagnostics.size()));
     obs::Count("analysis.dead_residues", residue_report.diagnostics.size());
     pipeline.ic_report_.Append(std::move(residue_report));
+
+    // Governance-configuration lint (SQO-A011): a deadline with fail-open
+    // degradation disabled turns every expiry into a hard query failure.
+    analysis::AnalysisReport governance_report = analysis::AnalyzeGovernance(
+        options.governance.deadline_ms > 0, options.governance.fail_open);
+    obs::Count("analysis.governance_diagnostics",
+               governance_report.diagnostics.size());
+    pipeline.ic_report_.Append(std::move(governance_report));
   }
   obs::Count("compile.residues_attached", pipeline.compiled_.total_residues());
   span.Tag("residues", static_cast<uint64_t>(pipeline.compiled_.total_residues()));
@@ -115,19 +159,61 @@ sqo::Result<DisjunctiveResult> Pipeline::OptimizeDisjunctiveText(
                        oql::ParseOqlDisjunctive(oql_text));
   DisjunctiveResult result;
   for (size_t i = 0; i < disjuncts.size(); ++i) {
-    SQO_ASSIGN_OR_RETURN(PipelineResult one,
-                         OptimizeParsed(disjuncts[i], cost_model));
-    if (!one.contradiction) result.live.push_back(i);
-    result.disjuncts.push_back(std::move(one));
+    // Degradation is per disjunct: OptimizeParsed installs a fresh context
+    // (and deadline) for each disjunct unless an outer one is in place, so
+    // one pathological disjunct degrades alone. A hard failure — nothing
+    // usable was produced, e.g. Step 2 under an expired outer deadline —
+    // is recorded instead of killing the whole union; the union is then
+    // explicitly partial (`failed` non-empty).
+    sqo::Result<PipelineResult> one = OptimizeParsed(disjuncts[i], cost_model);
+    if (!one.ok()) {
+      if (!options_.governance.fail_open) return one.status();
+      obs::Count("pipeline.disjunct_failures");
+      result.degraded = true;
+      result.failed.push_back(i);
+      result.failure_reasons.push_back(one.status().ToString());
+      PipelineResult placeholder;
+      placeholder.original_oql = disjuncts[i];
+      placeholder.degraded = true;
+      placeholder.degradation_reason = one.status().ToString();
+      result.disjuncts.push_back(std::move(placeholder));
+      continue;
+    }
+    if (one->degraded) {
+      result.degraded = true;
+      result.degraded_disjuncts.push_back(i);
+    }
+    if (!one->contradiction) result.live.push_back(i);
+    result.disjuncts.push_back(std::move(one).value());
   }
   obs::Count("pipeline.disjuncts", result.disjuncts.size());
   obs::Count("pipeline.disjuncts_eliminated",
-             result.disjuncts.size() - result.live.size());
+             result.disjuncts.size() - result.live.size() -
+                 result.failed.size());
   return result;
 }
 
 sqo::Result<PipelineResult> Pipeline::OptimizeParsed(
     const oql::SelectQuery& query, const CostModel* cost_model) const {
+  // Install governance for this query unless an outer scope (shell
+  // `\deadline`, an embedding server) already owns a context — the
+  // outermost owner wins, so nested calls share one deadline. A context is
+  // installed even with no deadline/budgets configured: latching is what
+  // lets vector-returning internals (residue application) report injected
+  // or governance failures to this boundary.
+  ExecutionContext local_context;
+  std::optional<ScopedContext> installed;
+  if (CurrentContext() == nullptr) {
+    const GovernanceOptions& governance = options_.governance;
+    if (governance.deadline_ms > 0) {
+      local_context.SetDeadlineAfter(
+          std::chrono::milliseconds(governance.deadline_ms));
+    }
+    local_context.budgets() = governance.budgets;
+    installed.emplace(&local_context);
+  }
+  ExecutionContext* context = CurrentContext();
+
   obs::Span span("pipeline.optimize");
   obs::ScopedTimer timer("pipeline.optimize");
   PipelineResult result;
@@ -159,10 +245,24 @@ sqo::Result<PipelineResult> Pipeline::OptimizeParsed(
     }
   }
 
-  // Step 3 (the optimizer opens its own "step3.optimize" span).
+  // Step 3 (the optimizer opens its own "step3.optimize" span). Any Step-3
+  // failure — governance (deadline/budget/cancellation), an injected
+  // failpoint, or a genuine optimizer error — is recoverable: every
+  // alternative is equivalent to the original, so under fail-open we
+  // degrade to the original translated query instead of erroring.
   Optimizer optimizer(&compiled_, options_.optimizer);
-  SQO_ASSIGN_OR_RETURN(OptimizationOutcome outcome,
-                       optimizer.Optimize(result.original_datalog));
+  sqo::Result<OptimizationOutcome> step3 =
+      optimizer.Optimize(result.original_datalog);
+  if (!step3.ok()) {
+    if (context != nullptr && context->deadline_exceeded()) {
+      obs::Count("optimize.deadline_exceeded");
+    }
+    span.Tag("degraded", options_.governance.fail_open ? "true" : "false");
+    if (!options_.governance.fail_open) return step3.status();
+    return DegradedResult(std::move(result), query, step3.status(),
+                          cost_model);
+  }
+  OptimizationOutcome outcome = std::move(step3).value();
 
   if (outcome.contradiction) {
     result.contradiction = true;

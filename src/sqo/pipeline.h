@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "analysis/analyzer.h"
+#include "common/context.h"
 #include "common/status.h"
 #include "obs/eval_stats.h"
 #include "oql/ast.h"
@@ -28,6 +29,28 @@ class CostModel {
   virtual double EstimateCost(const datalog::Query& query) const = 0;
 };
 
+/// Resource governance for each query optimized by the pipeline. Semantic
+/// optimization is best-effort by construction — every alternative is
+/// *equivalent* to the original — so a bounded Step 3 can always fall back
+/// to the unoptimized query without changing any answer.
+struct GovernanceOptions {
+  /// Wall-clock budget per optimized query (0 = none). Measured on the
+  /// steady clock from the start of OptimizeParsed; in the disjunctive
+  /// path each disjunct gets its own fresh deadline, so one stuck disjunct
+  /// cannot starve the rest of the union.
+  uint64_t deadline_ms = 0;
+
+  /// Work budgets for the combinatorial phases (0 = unlimited).
+  WorkBudgets budgets;
+
+  /// Fail-open: when Step 3 exceeds its deadline/budgets or fails outright
+  /// (including injected failpoints), return the original translated query
+  /// as the sole alternative with PipelineResult::degraded set, instead of
+  /// propagating the error. Disable to fail closed with
+  /// kResourceExhausted / kCancelled / the underlying error.
+  bool fail_open = true;
+};
+
 struct PipelineOptions {
   CompilerOptions compiler;
   OptimizerOptions optimizer;
@@ -39,6 +62,12 @@ struct PipelineOptions {
   /// with kSemanticError; warnings are recorded (ic_report / lint).
   analysis::AnalyzerOptions analyzer;
   bool run_analysis = true;
+
+  /// Deadline, work budgets and degradation policy (see GovernanceOptions).
+  /// Ignored when the caller has already installed an ExecutionContext —
+  /// an outer scope (shell `\deadline`, an embedding server) owns
+  /// governance then, but the degradation policy still applies.
+  GovernanceOptions governance;
 };
 
 /// One semantically equivalent query produced by the pipeline: the DATALOG
@@ -84,6 +113,15 @@ struct PipelineResult {
   /// Index of the cheapest alternative under the supplied cost model
   /// (0 when no model was given).
   int best_index = 0;
+
+  /// Fail-open degradation: Step 3 hit a governance limit (deadline,
+  /// budget, cancellation) or failed outright, and the pipeline fell back
+  /// to the original translated query as the sole alternative. The result
+  /// is still correct — alternative 0 is always the original — only the
+  /// optimization opportunity was lost. `degradation_reason` carries the
+  /// suppressed error.
+  bool degraded = false;
+  std::string degradation_reason;
 };
 
 /// Result of optimizing a disjunctive (union-of-conjunctive) query: one
@@ -96,7 +134,24 @@ struct DisjunctiveResult {
   std::vector<PipelineResult> disjuncts;
   std::vector<size_t> live;
 
-  bool all_eliminated() const { return live.empty(); }
+  /// Fail-open bookkeeping. `degraded_disjuncts` indexes disjuncts that
+  /// fell back to their original translated query (they are still live and
+  /// still correct). `failed` indexes disjuncts with no usable result at
+  /// all (e.g. Step 2 could not translate them under an expired outer
+  /// deadline) — their PipelineResult is a degraded placeholder with *no*
+  /// alternatives and they are excluded from `live`, so the union is
+  /// explicitly partial whenever `failed` is non-empty.
+  bool degraded = false;
+  std::vector<size_t> degraded_disjuncts;
+  std::vector<size_t> failed;
+  std::vector<std::string> failure_reasons;  // parallel to `failed`
+
+  /// True only when every disjunct was *proven* contradictory — a partial
+  /// failure is not proof of emptiness.
+  bool all_eliminated() const { return live.empty() && failed.empty(); }
+
+  /// True when every disjunct produced a usable result.
+  bool complete() const { return failed.empty(); }
 };
 
 

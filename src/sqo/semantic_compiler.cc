@@ -2,6 +2,8 @@
 
 #include <set>
 
+#include "common/context.h"
+#include "common/failpoint.h"
 #include "common/strings.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -57,6 +59,8 @@ sqo::Result<CompiledSchema> CompileSemantics(
     const translate::TranslatedSchema* schema, std::vector<Clause> user_ics,
     std::vector<AsrDefinition> asrs, const CompilerOptions& options) {
   obs::Span span("semantic.compile");
+  SQO_FAILPOINT("compile.semantics");
+  SQO_RETURN_IF_ERROR(CheckGovernance("compile.semantics"));
   CompiledSchema out;
   out.schema = schema;
   out.asrs = std::move(asrs);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "common/context.h"
+#include "common/failpoint.h"
 #include "common/strings.h"
 
 namespace sqo::translate {
@@ -129,6 +131,8 @@ sqo::Result<oql::Expr> ChangeMapper::RenderTerm(
 sqo::Result<oql::SelectQuery> ChangeMapper::Apply(
     const oql::SelectQuery& original_oql, const datalog::Query& original_datalog,
     const datalog::Query& optimized) const {
+  SQO_FAILPOINT("change_map.step4");
+  SQO_RETURN_IF_ERROR(CheckGovernance("change_map.step4"));
   oql::SelectQuery out = original_oql;
   QueryDiff diff = DiffQueries(original_datalog, optimized);
   std::map<std::string, std::string> extra_idents;  // var -> new identifier

@@ -2,6 +2,8 @@
 
 #include <cctype>
 
+#include "common/context.h"
+#include "common/failpoint.h"
 #include "common/strings.h"
 
 namespace sqo::translate {
@@ -551,6 +553,8 @@ sqo::Result<TranslatedQuery> QueryTranslator::Translate(
 
 sqo::Result<TranslatedQuery> TranslateQuery(const TranslatedSchema& schema,
                                             const oql::SelectQuery& oql_query) {
+  SQO_FAILPOINT("translate.query");
+  SQO_RETURN_IF_ERROR(CheckGovernance("translate.query"));
   QueryTranslator translator(&schema);
   return translator.Translate(oql_query);
 }

@@ -334,6 +334,24 @@ TEST(AnalyzerQueryTest, SignatureChecksApplyToQueries) {
   EXPECT_EQ(CountCode(report, kCodeUnknownRelation), 1u) << report.ToString();
 }
 
+// --- AnalyzeGovernance ----------------------------------------------------
+
+TEST(AnalyzerGovernanceTest, A011FlagsDeadlineWithFailClosed) {
+  auto report = AnalyzeGovernance(/*deadline_set=*/true, /*fail_open=*/false);
+  EXPECT_EQ(CountCode(report, kCodeDeadlineFailClosed), 1u)
+      << report.ToString();
+  EXPECT_FALSE(report.has_errors());  // a warning, not a hard error
+}
+
+TEST(AnalyzerGovernanceTest, A011AcceptsFailOpenOrNoDeadline) {
+  EXPECT_EQ(CountCode(AnalyzeGovernance(true, true), kCodeDeadlineFailClosed),
+            0u);
+  EXPECT_EQ(CountCode(AnalyzeGovernance(false, false), kCodeDeadlineFailClosed),
+            0u);
+  EXPECT_EQ(CountCode(AnalyzeGovernance(false, true), kCodeDeadlineFailClosed),
+            0u);
+}
+
 // --- ExpectedArgumentKind -------------------------------------------------
 
 TEST(AnalyzerTest, ExpectedArgumentKindResolvesAttributeTypes) {

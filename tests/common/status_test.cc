@@ -33,6 +33,15 @@ TEST(StatusTest, FactoriesProduceMatchingCodes) {
   EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
   EXPECT_EQ(UnsupportedError("x").code(), StatusCode::kUnsupported);
   EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(ResourceExhaustedError("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(CancelledError("x").code(), StatusCode::kCancelled);
+}
+
+TEST(StatusTest, GovernanceCodesRenderNames) {
+  EXPECT_EQ(ResourceExhaustedError("over budget").ToString(),
+            "ResourceExhausted: over budget");
+  EXPECT_EQ(CancelledError("stop").ToString(), "Cancelled: stop");
 }
 
 TEST(StatusTest, Equality) {

@@ -1,0 +1,135 @@
+#include "common/context.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+namespace sqo {
+namespace {
+
+TEST(ExecutionContextTest, FreshContextIsOk) {
+  ExecutionContext context;
+  EXPECT_TRUE(context.ok());
+  EXPECT_TRUE(context.Check("test").ok());
+  EXPECT_FALSE(context.has_deadline());
+  EXPECT_FALSE(context.deadline_exceeded());
+}
+
+TEST(ExecutionContextTest, ExpiredDeadlineFailsCheckAndLatches) {
+  ExecutionContext context;
+  context.ExpireDeadlineNow();
+  EXPECT_TRUE(context.has_deadline());
+  // ok() is the cheap probe: it only reflects *latched* state, so it stays
+  // true until a Check observes the expired clock.
+  EXPECT_TRUE(context.ok());
+  Status s = context.Check("phase.x");
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(s.message().find("phase.x"), std::string::npos);
+  EXPECT_TRUE(context.deadline_exceeded());
+  EXPECT_FALSE(context.ok());
+  // Latched: subsequent checks report the original violation.
+  EXPECT_EQ(context.Check("phase.y").message(), s.message());
+}
+
+TEST(ExecutionContextTest, GenerousDeadlineStaysOk) {
+  ExecutionContext context;
+  context.SetDeadlineAfter(std::chrono::milliseconds(60'000));
+  EXPECT_TRUE(context.Check("test").ok());
+  EXPECT_TRUE(context.ok());
+}
+
+TEST(ExecutionContextTest, CancellationFailsWithKCancelled) {
+  ExecutionContext context;
+  context.RequestCancellation();
+  EXPECT_FALSE(context.ok());
+  EXPECT_EQ(context.Check("test").code(), StatusCode::kCancelled);
+}
+
+TEST(ExecutionContextTest, BudgetExhaustionLatchesResourceExhausted) {
+  ExecutionContext context;
+  context.budgets().residue_applications = 3;
+  EXPECT_TRUE(context.ChargeResidueApplications().ok());
+  EXPECT_TRUE(context.ChargeResidueApplications(2).ok());
+  Status s = context.ChargeResidueApplications();
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(s.message().find("residue-application"), std::string::npos);
+  EXPECT_FALSE(context.ok());
+  EXPECT_EQ(context.used_residue_applications(), 4u);
+}
+
+TEST(ExecutionContextTest, ZeroBudgetsAreUnlimited) {
+  ExecutionContext context;
+  for (int i = 0; i < 10'000; ++i) {
+    ASSERT_TRUE(context.ChargeAlternatives().ok());
+    ASSERT_TRUE(context.ChargeEvalRows().ok());
+  }
+  EXPECT_TRUE(context.ok());
+}
+
+TEST(ExecutionContextTest, EachBudgetIsIndependent) {
+  ExecutionContext context;
+  context.budgets().eval_rows = 1;
+  EXPECT_TRUE(context.ChargeEvalJoins(100).ok());
+  EXPECT_TRUE(context.ChargeEvalRows().ok());
+  EXPECT_EQ(context.ChargeEvalRows().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(context.used_eval_joins(), 100u);
+  EXPECT_EQ(context.used_eval_rows(), 2u);
+}
+
+TEST(ExecutionContextTest, ChargesObserveDeadlineOnStride) {
+  ExecutionContext context;
+  context.ExpireDeadlineNow();
+  // Unlimited budget, expired deadline: the charge path must still notice
+  // within one poll stride, so a runaway loop with no boundary checks is
+  // bounded too.
+  bool observed = false;
+  for (int i = 0; i < 5000 && !observed; ++i) {
+    observed = !context.ChargeEvalJoins().ok();
+  }
+  EXPECT_TRUE(observed);
+  EXPECT_TRUE(context.deadline_exceeded());
+}
+
+TEST(ExecutionContextTest, LatchErrorKeepsFirstError) {
+  ExecutionContext context;
+  context.LatchError(Status::Ok());  // no-op
+  EXPECT_TRUE(context.ok());
+  context.LatchError(InternalError("first"));
+  context.LatchError(InternalError("second"));
+  EXPECT_EQ(context.Check("test").message(), "first");
+}
+
+TEST(ScopedContextTest, InstallAndRestore) {
+  EXPECT_EQ(CurrentContext(), nullptr);
+  EXPECT_TRUE(CheckGovernance("anywhere").ok());
+  {
+    ExecutionContext outer;
+    ScopedContext install_outer(&outer);
+    EXPECT_EQ(CurrentContext(), &outer);
+    {
+      ExecutionContext inner;
+      inner.RequestCancellation();
+      ScopedContext install_inner(&inner);
+      EXPECT_EQ(CurrentContext(), &inner);
+      EXPECT_EQ(CheckGovernance("site").code(), StatusCode::kCancelled);
+    }
+    EXPECT_EQ(CurrentContext(), &outer);
+    EXPECT_TRUE(CheckGovernance("site").ok());
+  }
+  EXPECT_EQ(CurrentContext(), nullptr);
+}
+
+TEST(ScopedContextTest, NullDisablesGovernanceWithinScope) {
+  ExecutionContext outer;
+  outer.RequestCancellation();
+  ScopedContext install_outer(&outer);
+  EXPECT_FALSE(CheckGovernance("site").ok());
+  {
+    ScopedContext mask(nullptr);
+    EXPECT_TRUE(CheckGovernance("site").ok());
+  }
+  EXPECT_FALSE(CheckGovernance("site").ok());
+}
+
+}  // namespace
+}  // namespace sqo

@@ -1,0 +1,407 @@
+// End-to-end robustness of the Figure-2 pipeline: failpoint-forced phase
+// failures, deadline expiry and budget exhaustion must degrade fail-open
+// (original translated query as the sole alternative, degraded flag set,
+// counters and trace events emitted) — and fail closed when degradation is
+// opted out. Deadline expiry is injected via failpoints (deterministic,
+// no wall-clock sleeps in the happy path).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/context.h"
+#include "common/failpoint.h"
+#include "engine/database.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sqo/pipeline.h"
+#include "workload/university.h"
+
+namespace sqo::core {
+namespace {
+
+class DegradationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    failpoint::DeactivateAll();
+    auto pipeline = workload::MakeUniversityPipeline();
+    ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+    pipeline_ = std::make_unique<Pipeline>(std::move(pipeline).value());
+  }
+  void TearDown() override { failpoint::DeactivateAll(); }
+
+  static failpoint::Action ErrorAction(std::string message = "injected") {
+    failpoint::Action action;
+    action.kind = failpoint::ActionKind::kError;
+    action.status = InternalError(std::move(message));
+    return action;
+  }
+
+  static PipelineOptions FailClosed() {
+    PipelineOptions options;
+    options.governance.fail_open = false;
+    return options;
+  }
+
+  std::unique_ptr<Pipeline> pipeline_;
+};
+
+TEST_F(DegradationTest, Step3FailpointDegradesToOriginal) {
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  obs::ScopedTracer install_tracer(&tracer);
+  obs::ScopedMetrics install_metrics(&metrics);
+
+  failpoint::Activate("optimizer.optimize", ErrorAction());
+  auto result = pipeline_->OptimizeText(workload::QueryScopeReduction());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->degraded);
+  EXPECT_NE(result->degradation_reason.find("injected"), std::string::npos);
+  ASSERT_EQ(result->alternatives.size(), 1u);
+  const Alternative& alt = result->alternatives[0];
+  EXPECT_EQ(alt.datalog.ToString(), result->original_datalog.ToString());
+  EXPECT_TRUE(alt.oql_ok);
+  EXPECT_TRUE(alt.derivation.empty());
+  EXPECT_EQ(result->best_index, 0);
+
+  EXPECT_EQ(metrics.CounterValue("optimize.degraded"), 1u);
+  EXPECT_GE(metrics.CounterValue("failpoint.trips"), 1u);
+  // Degradation is an event in the trace JSON, reason attached.
+  EXPECT_NE(tracer.ToJson().find("pipeline.degraded"), std::string::npos);
+}
+
+TEST_F(DegradationTest, Step3FailpointFailsClosedWhenOptedOut) {
+  auto pipeline = workload::MakeUniversityPipeline(FailClosed());
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  failpoint::Activate("optimizer.optimize", ErrorAction());
+  auto result = pipeline->OptimizeText(workload::QueryScopeReduction());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(result.status().message(), "injected");
+}
+
+TEST_F(DegradationTest, ResidueApplicationFailpointDegrades) {
+  failpoint::Activate("optimizer.apply_residue", ErrorAction("residue boom"));
+  auto result = pipeline_->OptimizeText(workload::QueryScopeReduction());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_GE(failpoint::TripCount("optimizer.apply_residue"), 1u)
+      << "the query must actually exercise residue application";
+  EXPECT_TRUE(result->degraded);
+  EXPECT_NE(result->degradation_reason.find("residue boom"), std::string::npos);
+  ASSERT_EQ(result->alternatives.size(), 1u);
+  EXPECT_EQ(result->alternatives[0].datalog.ToString(),
+            result->original_datalog.ToString());
+}
+
+TEST_F(DegradationTest, InjectedDeadlineExpiryDegrades) {
+  obs::MetricsRegistry metrics;
+  obs::ScopedMetrics install_metrics(&metrics);
+  failpoint::Action expire;
+  expire.kind = failpoint::ActionKind::kExpireDeadline;
+  failpoint::Activate("optimizer.apply_residue", expire);
+
+  auto result = pipeline_->OptimizeText(workload::QueryScopeReduction());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->degraded);
+  EXPECT_NE(result->degradation_reason.find("deadline exceeded"),
+            std::string::npos);
+  ASSERT_EQ(result->alternatives.size(), 1u);
+  EXPECT_EQ(result->alternatives[0].datalog.ToString(),
+            result->original_datalog.ToString());
+  EXPECT_EQ(metrics.CounterValue("optimize.degraded"), 1u);
+  EXPECT_EQ(metrics.CounterValue("optimize.deadline_exceeded"), 1u);
+}
+
+TEST_F(DegradationTest, InjectedDeadlineExpiryFailsClosedWhenOptedOut) {
+  auto pipeline = workload::MakeUniversityPipeline(FailClosed());
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  failpoint::Action expire;
+  expire.kind = failpoint::ActionKind::kExpireDeadline;
+  failpoint::Activate("optimizer.apply_residue", expire);
+  auto result = pipeline->OptimizeText(workload::QueryScopeReduction());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(DegradationTest, CancellationDegradesFailOpen) {
+  failpoint::Action cancel;
+  cancel.kind = failpoint::ActionKind::kCancel;
+  failpoint::Activate("optimizer.apply_residue", cancel);
+  auto result = pipeline_->OptimizeText(workload::QueryScopeReduction());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->degraded);
+  EXPECT_NE(result->degradation_reason.find("cancellation"), std::string::npos);
+}
+
+TEST_F(DegradationTest, RealDeadlineWithInjectedDelayDegrades) {
+  // The one test that uses a wall clock: a 1ms deadline plus a 20ms
+  // injected delay inside residue application. The charge-stride poll and
+  // the search-boundary check must observe the expiry.
+  PipelineOptions options;
+  options.governance.deadline_ms = 1;
+  auto pipeline = workload::MakeUniversityPipeline(options);
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  failpoint::Action delay;
+  delay.kind = failpoint::ActionKind::kDelayMs;
+  delay.delay_ms = 20;
+  delay.max_trips = 1;
+  failpoint::Activate("optimizer.apply_residue", delay);
+  auto result = pipeline->OptimizeText(workload::QueryScopeReduction());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->degraded);
+  EXPECT_NE(result->degradation_reason.find("deadline exceeded"),
+            std::string::npos);
+}
+
+TEST_F(DegradationTest, Step2FailpointIsAHardError) {
+  // Nothing to degrade to before the query is translated: fail-open does
+  // not apply to Step 2.
+  failpoint::Activate("translate.query", ErrorAction("step2 down"));
+  auto result = pipeline_->OptimizeText(workload::QueryScopeReduction());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().message(), "step2 down");
+}
+
+TEST_F(DegradationTest, CompileFailpointFailsCreate) {
+  failpoint::Activate("compile.semantics", ErrorAction("compile down"));
+  auto pipeline = workload::MakeUniversityPipeline();
+  ASSERT_FALSE(pipeline.ok());
+  EXPECT_EQ(pipeline.status().message(), "compile down");
+}
+
+TEST_F(DegradationTest, Step4FailpointKeepsDatalogAlternatives) {
+  // Step-4 failures were already per-alternative soft errors; the failpoint
+  // proves the path: rewritten alternatives lose their OQL rendering but
+  // the result is not degraded and the original stays intact.
+  failpoint::Activate("change_map.step4", ErrorAction("step4 down"));
+  auto result = pipeline_->OptimizeText(workload::QueryScopeReduction());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->degraded);
+  ASSERT_GT(result->alternatives.size(), 1u);
+  EXPECT_TRUE(result->alternatives[0].oql_ok);
+  for (size_t i = 0; i < result->alternatives.size(); ++i) {
+    const Alternative& alt = result->alternatives[i];
+    if (alt.derivation.empty()) continue;  // the original, Step 4 is identity
+    EXPECT_FALSE(alt.oql_ok);
+    EXPECT_NE(alt.oql_error.find("step4 down"), std::string::npos);
+  }
+}
+
+TEST_F(DegradationTest, ResidueBudgetExhaustionDegrades) {
+  PipelineOptions options;
+  options.governance.budgets.residue_applications = 1;
+  auto pipeline = workload::MakeUniversityPipeline(options);
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  auto result = pipeline->OptimizeText(workload::QueryScopeReduction());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->degraded);
+  EXPECT_NE(result->degradation_reason.find("budget exceeded"),
+            std::string::npos);
+}
+
+TEST_F(DegradationTest, AlternativesBudgetExhaustionDegrades) {
+  PipelineOptions options;
+  options.governance.budgets.alternatives = 1;
+  auto pipeline = workload::MakeUniversityPipeline(options);
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  // The join-elimination query explores a richer rewriting space than the
+  // single-residue scope reduction, so a budget of one must trip.
+  auto result = pipeline->OptimizeText(workload::QueryJoinElimination());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->degraded);
+  EXPECT_NE(result->degradation_reason.find("alternative budget"),
+            std::string::npos);
+}
+
+TEST_F(DegradationTest, GenerousGovernanceDoesNotDegrade) {
+  PipelineOptions options;
+  options.governance.deadline_ms = 60'000;
+  options.governance.budgets.residue_applications = 1'000'000;
+  options.governance.budgets.alternatives = 1'000'000;
+  auto governed = workload::MakeUniversityPipeline(options);
+  ASSERT_TRUE(governed.ok()) << governed.status().ToString();
+  auto with = governed->OptimizeText(workload::QueryScopeReduction());
+  auto without = pipeline_->OptimizeText(workload::QueryScopeReduction());
+  ASSERT_TRUE(with.ok()) << with.status().ToString();
+  ASSERT_TRUE(without.ok());
+  EXPECT_FALSE(with->degraded);
+  // Governance within budget must not change the optimization outcome.
+  EXPECT_EQ(with->alternatives.size(), without->alternatives.size());
+}
+
+TEST_F(DegradationTest, ExternalContextTakesPrecedence) {
+  // The caller's installed context governs; the pipeline's own generous
+  // GovernanceOptions are ignored when one is already present.
+  PipelineOptions options;
+  options.governance.deadline_ms = 60'000;
+  auto pipeline = workload::MakeUniversityPipeline(options);
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  ExecutionContext context;
+  context.budgets().residue_applications = 1;
+  ScopedContext install(&context);
+  auto result = pipeline->OptimizeText(workload::QueryScopeReduction());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->degraded);
+  EXPECT_NE(result->degradation_reason.find("budget exceeded"),
+            std::string::npos);
+}
+
+TEST_F(DegradationTest, ExpiredExternalContextFailsBeforeTranslation) {
+  // An already-expired caller context has nothing to degrade to: Step 2
+  // cannot even run, so the error is hard despite fail-open.
+  ExecutionContext context;
+  context.ExpireDeadlineNow();
+  ScopedContext install(&context);
+  auto result = pipeline_->OptimizeText(workload::QueryScopeReduction());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(DegradationTest, DisjunctiveDegradesPerDisjunct) {
+  // Trip Step 3 only on its second invocation: disjunct 0 optimizes fully,
+  // disjunct 1 degrades — the union survives and stays complete.
+  failpoint::Action second_call = ErrorAction("disjunct 1 boom");
+  second_call.trigger_after = 1;
+  failpoint::Activate("optimizer.optimize", second_call);
+  const std::string oql =
+      "select x.name from x in Person where x.age < 30 or x.age > 65";
+  auto result = pipeline_->OptimizeDisjunctiveText(oql);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->disjuncts.size(), 2u);
+  EXPECT_TRUE(result->degraded);
+  ASSERT_EQ(result->degraded_disjuncts.size(), 1u);
+  EXPECT_EQ(result->degraded_disjuncts[0], 1u);
+  EXPECT_TRUE(result->complete());
+  EXPECT_EQ(result->live.size(), 2u);
+  EXPECT_FALSE(result->disjuncts[0].degraded);
+  EXPECT_TRUE(result->disjuncts[1].degraded);
+  ASSERT_EQ(result->disjuncts[1].alternatives.size(), 1u);
+  EXPECT_EQ(result->disjuncts[1].alternatives[0].datalog.ToString(),
+            result->disjuncts[1].original_datalog.ToString());
+}
+
+TEST_F(DegradationTest, DisjunctiveStep2FailureIsRecordedNotFatal) {
+  // A disjunct that cannot even be translated (Step-2 failpoint on the
+  // second call) is recorded as failed; the union is explicitly partial.
+  failpoint::Action second_call = ErrorAction("translate down");
+  second_call.trigger_after = 1;
+  failpoint::Activate("translate.query", second_call);
+  const std::string oql =
+      "select x.name from x in Person where x.age < 30 or x.age > 65";
+  auto result = pipeline_->OptimizeDisjunctiveText(oql);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->degraded);
+  ASSERT_EQ(result->failed.size(), 1u);
+  EXPECT_EQ(result->failed[0], 1u);
+  ASSERT_EQ(result->failure_reasons.size(), 1u);
+  EXPECT_NE(result->failure_reasons[0].find("translate down"),
+            std::string::npos);
+  EXPECT_FALSE(result->complete());
+  EXPECT_FALSE(result->all_eliminated());
+  EXPECT_EQ(result->live.size(), 1u);
+}
+
+TEST_F(DegradationTest, DisjunctiveFailsClosedWhenOptedOut) {
+  auto pipeline = workload::MakeUniversityPipeline(FailClosed());
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  failpoint::Activate("optimizer.optimize", ErrorAction());
+  const std::string oql =
+      "select x.name from x in Person where x.age < 30 or x.age > 65";
+  auto result = pipeline->OptimizeDisjunctiveText(oql);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().message(), "injected");
+}
+
+TEST_F(DegradationTest, DeadlineWithoutFailOpenIsLinted) {
+  PipelineOptions options;
+  options.governance.deadline_ms = 50;
+  options.governance.fail_open = false;
+  auto pipeline = workload::MakeUniversityPipeline(options);
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  bool found = false;
+  for (const analysis::Diagnostic& d : pipeline->ic_report().diagnostics) {
+    if (d.code == analysis::kCodeDeadlineFailClosed) found = true;
+  }
+  EXPECT_TRUE(found) << "SQO-A011 expected for deadline + fail-closed";
+
+  PipelineOptions open;
+  open.governance.deadline_ms = 50;
+  auto open_pipeline = workload::MakeUniversityPipeline(open);
+  ASSERT_TRUE(open_pipeline.ok());
+  for (const analysis::Diagnostic& d : open_pipeline->ic_report().diagnostics) {
+    EXPECT_NE(d.code, analysis::kCodeDeadlineFailClosed);
+  }
+}
+
+class EvalGovernanceTest : public DegradationTest {
+ protected:
+  void SetUp() override {
+    DegradationTest::SetUp();
+    db_ = std::make_unique<engine::Database>(&pipeline_->schema());
+    workload::GeneratorConfig config;
+    ASSERT_TRUE(workload::PopulateUniversity(config, *pipeline_, db_.get()).ok());
+    auto result = pipeline_->OptimizeText(
+        "select x.name from x in Person where x.age < 65");
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    query_ = result->original_datalog;
+  }
+
+  std::unique_ptr<engine::Database> db_;
+  datalog::Query query_;
+};
+
+TEST_F(EvalGovernanceTest, EvaluateFailpointSurfacesError) {
+  failpoint::Activate("eval.evaluate", ErrorAction("eval down"));
+  auto rows = db_->Run(query_);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().message(), "eval down");
+}
+
+TEST_F(EvalGovernanceTest, ScanFailpointSurfacesError) {
+  failpoint::Activate("eval.scan", ErrorAction("scan down"));
+  auto rows = db_->Run(query_);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().message(), "scan down");
+  EXPECT_GE(failpoint::TripCount("eval.scan"), 1u);
+}
+
+TEST_F(EvalGovernanceTest, PlannerFailpointLatchesOnContext) {
+  // PlanQuery returns a plain Plan, so the injected error latches on the
+  // installed context and surfaces at the evaluator's next check.
+  failpoint::Activate("eval.plan", ErrorAction("plan down"));
+  ExecutionContext context;
+  ScopedContext install(&context);
+  auto rows = db_->Run(query_);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().message(), "plan down");
+  EXPECT_GE(failpoint::TripCount("eval.plan"), 1u);
+}
+
+TEST_F(EvalGovernanceTest, RowBudgetStopsEvaluation) {
+  ExecutionContext context;
+  context.budgets().eval_rows = 2;
+  ScopedContext install(&context);
+  auto rows = db_->Run(query_);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(rows.status().message().find("eval-row"), std::string::npos);
+}
+
+TEST_F(EvalGovernanceTest, JoinBudgetStopsEvaluation) {
+  ExecutionContext context;
+  context.budgets().eval_joins = 5;
+  ScopedContext install(&context);
+  auto rows = db_->Run(query_);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(rows.status().message().find("eval-join"), std::string::npos);
+}
+
+TEST_F(EvalGovernanceTest, UngovernedEvaluationStillWorks) {
+  auto rows = db_->Run(query_);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_GT(rows->size(), 0u);
+}
+
+}  // namespace
+}  // namespace sqo::core

@@ -1,0 +1,133 @@
+#include "common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include "common/context.h"
+#include "obs/metrics.h"
+
+namespace sqo::failpoint {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { DeactivateAll(); }
+  void TearDown() override { DeactivateAll(); }
+};
+
+TEST_F(FailpointTest, InactiveSiteIsOk) {
+  EXPECT_TRUE(Check("never.armed").ok());
+  EXPECT_EQ(TripCount("never.armed"), 0u);
+}
+
+TEST_F(FailpointTest, ErrorActionReturnsInjectedStatus) {
+  Action action;
+  action.kind = ActionKind::kError;
+  action.status = InternalError("injected");
+  Activate("phase.site", action);
+  Status s = Check("phase.site");
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_EQ(s.message(), "injected");
+  EXPECT_EQ(TripCount("phase.site"), 1u);
+}
+
+TEST_F(FailpointTest, DeactivateDisarms) {
+  Activate("phase.site", Action{});
+  EXPECT_FALSE(Check("phase.site").ok());
+  Deactivate("phase.site");
+  EXPECT_TRUE(Check("phase.site").ok());
+  // The trip count survives until the site is re-armed.
+  EXPECT_EQ(TripCount("phase.site"), 1u);
+}
+
+TEST_F(FailpointTest, TriggerAfterSkipsEarlyPasses) {
+  Action action;
+  action.trigger_after = 2;
+  Activate("phase.site", action);
+  EXPECT_TRUE(Check("phase.site").ok());
+  EXPECT_TRUE(Check("phase.site").ok());
+  EXPECT_FALSE(Check("phase.site").ok());
+  EXPECT_EQ(TripCount("phase.site"), 1u);
+}
+
+TEST_F(FailpointTest, MaxTripsGoesDormant) {
+  Action action;
+  action.max_trips = 2;
+  Activate("phase.site", action);
+  EXPECT_FALSE(Check("phase.site").ok());
+  EXPECT_FALSE(Check("phase.site").ok());
+  EXPECT_TRUE(Check("phase.site").ok());
+  EXPECT_EQ(TripCount("phase.site"), 2u);
+}
+
+TEST_F(FailpointTest, ReArmingResetsCounters) {
+  Activate("phase.site", Action{});
+  EXPECT_FALSE(Check("phase.site").ok());
+  Action delayed;
+  delayed.trigger_after = 1;
+  Activate("phase.site", delayed);
+  EXPECT_EQ(TripCount("phase.site"), 0u);
+  EXPECT_TRUE(Check("phase.site").ok());
+  EXPECT_FALSE(Check("phase.site").ok());
+}
+
+TEST_F(FailpointTest, ExpireDeadlineActsOnCurrentContext) {
+  Action action;
+  action.kind = ActionKind::kExpireDeadline;
+  Activate("phase.site", action);
+  ExecutionContext context;
+  ScopedContext install(&context);
+  EXPECT_TRUE(Check("phase.site").ok());  // the action itself is not an error
+  EXPECT_EQ(CheckGovernance("after").code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(context.deadline_exceeded());
+}
+
+TEST_F(FailpointTest, CancelActsOnCurrentContext) {
+  Action action;
+  action.kind = ActionKind::kCancel;
+  Activate("phase.site", action);
+  ExecutionContext context;
+  ScopedContext install(&context);
+  EXPECT_TRUE(Check("phase.site").ok());
+  EXPECT_FALSE(context.ok());
+  EXPECT_EQ(CheckGovernance("after").code(), StatusCode::kCancelled);
+}
+
+TEST_F(FailpointTest, ContextActionsWithoutContextAreNoops) {
+  Action action;
+  action.kind = ActionKind::kExpireDeadline;
+  Activate("phase.site", action);
+  EXPECT_TRUE(Check("phase.site").ok());
+}
+
+TEST_F(FailpointTest, TripsLandInMetricsRegistry) {
+  obs::MetricsRegistry metrics;
+  obs::ScopedMetrics install(&metrics);
+  Activate("phase.site", Action{});
+  EXPECT_FALSE(Check("phase.site").ok());
+  EXPECT_FALSE(Check("phase.site").ok());
+  EXPECT_EQ(metrics.CounterValue("failpoint.trips"), 2u);
+  EXPECT_EQ(metrics.CounterValue("failpoint.phase.site"), 2u);
+}
+
+TEST_F(FailpointTest, DeactivateAllClearsEverything) {
+  Activate("a", Action{});
+  Activate("b", Action{});
+  DeactivateAll();
+  EXPECT_TRUE(Check("a").ok());
+  EXPECT_TRUE(Check("b").ok());
+  EXPECT_EQ(TripCount("a"), 0u);
+}
+
+TEST_F(FailpointTest, DefaultMacroExpandsToReturnOnError) {
+  auto guarded = []() -> Status {
+    SQO_FAILPOINT("macro.site");
+    return InternalError("reached the body");
+  };
+  Activate("macro.site", Action{});
+  EXPECT_EQ(guarded().message(), "failpoint");
+  Deactivate("macro.site");
+  EXPECT_EQ(guarded().message(), "reached the body");
+}
+
+}  // namespace
+}  // namespace sqo::failpoint

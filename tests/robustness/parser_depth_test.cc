@@ -1,0 +1,173 @@
+// Adversarial parser inputs: deeply nested expressions must be rejected
+// with kResourceExhausted (bounded recursion, no stack overflow), long but
+// flat inputs must still parse, and a corpus of truncated/malformed ODL,
+// OQL and IC text must fail with clean kParseError diagnostics.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "datalog/parser.h"
+#include "odl/parser.h"
+#include "oql/parser.h"
+
+namespace sqo {
+namespace {
+
+constexpr int kDeep = 10'000;
+
+std::string NestedListExpr(int depth) {
+  std::string text;
+  text.reserve(static_cast<size_t>(depth) * 6 + 8);
+  for (int i = 0; i < depth; ++i) text += "list(";
+  text += "1";
+  for (int i = 0; i < depth; ++i) text += ")";
+  return text;
+}
+
+TEST(ParserDepthTest, DeeplyNestedOqlSelectExprIsResourceExhausted) {
+  const std::string query =
+      "select " + NestedListExpr(kDeep) + " from x in Person";
+  auto result = oql::ParseOql(query);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(result.status().message().find("depth limit"), std::string::npos);
+}
+
+TEST(ParserDepthTest, DeeplyNestedOqlWhereExprIsResourceExhausted) {
+  const std::string query = "select x from x in Person where " +
+                            NestedListExpr(kDeep) + " = 1";
+  auto result = oql::ParseOql(query);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ParserDepthTest, DeeplyNestedStructCtorIsResourceExhausted) {
+  std::string expr;
+  for (int i = 0; i < kDeep; ++i) expr += "struct(f: ";
+  expr += "1";
+  for (int i = 0; i < kDeep; ++i) expr += ")";
+  auto result = oql::ParseOql("select " + expr + " from x in Person");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ParserDepthTest, LongFlatPathStillParses) {
+  // Paths are iterative: depth does not apply to x.a.a.a...
+  std::string path = "x";
+  for (int i = 0; i < kDeep; ++i) path += ".a";
+  auto result = oql::ParseOql("select " + path + " from x in Person");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+}
+
+TEST(ParserDepthTest, ShallowNestingIsFine) {
+  auto result = oql::ParseOql("select list(list(list(1))) from x in Person");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+}
+
+TEST(ParserDepthTest, LongFlatDatalogBodyStillParses) {
+  std::string clause = "p(X) :- q(X)";
+  for (int i = 1; i < kDeep; ++i) clause += ", q(X)";
+  clause += ".";
+  auto result = datalog::ParseClauseText(clause);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->body.size(), static_cast<size_t>(kDeep));
+}
+
+TEST(ParserDepthTest, ManyMemberOdlInterfaceStillParses) {
+  std::string schema = "interface Wide {\n  extent wides;\n";
+  for (int i = 0; i < kDeep; ++i) {
+    schema += "  attribute long a" + std::to_string(i) + ";\n";
+  }
+  schema += "};\n";
+  auto result = odl::ParseOdl(schema);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->interfaces.size(), 1u);
+  EXPECT_EQ(result->interfaces[0].attributes.size(),
+            static_cast<size_t>(kDeep));
+}
+
+// ---------------------------------------------------------------------------
+// Malformed-input corpus: truncated or garbled text must come back as a
+// clean kParseError (never a crash, hang, or misleading status code).
+
+void ExpectParseError(const sqo::Status& status, std::string_view input) {
+  EXPECT_FALSE(status.ok()) << "accepted malformed input: " << input;
+  EXPECT_EQ(status.code(), StatusCode::kParseError)
+      << input << " -> " << status.ToString();
+  EXPECT_FALSE(status.message().empty());
+}
+
+TEST(MalformedInputTest, TruncatedOql) {
+  const std::vector<std::string> corpus = {
+      "",
+      "select",
+      "select x",
+      "select x from",
+      "select x from x in",
+      "select x.name from x in Person where",
+      "select x.name from x in Person where x.age <",
+      "select x.name from x in Person where x.age < 30 and",
+      "select list(1, from x in Person",
+      "select struct(f: from x in Person",
+      "select x..name from x in Person",
+      "where x.age < 30",
+  };
+  for (const std::string& input : corpus) {
+    ExpectParseError(oql::ParseOql(input).status(), input);
+  }
+}
+
+TEST(MalformedInputTest, TruncatedOdl) {
+  const std::vector<std::string> corpus = {
+      "interface",
+      "interface Person",
+      "interface Person {",
+      "interface Person { attribute",
+      "interface Person { attribute long",
+      "interface Person { attribute long age",
+      "interface Person { attribute long age;",
+      "interface Person extends { };",
+      "struct Address { string city",
+      "interface Person { relationship set< works_in; };",
+      "{ attribute long age; };",
+  };
+  for (const std::string& input : corpus) {
+    ExpectParseError(odl::ParseOdl(input).status(), input);
+  }
+}
+
+TEST(MalformedInputTest, TruncatedIcClauses) {
+  // ICs are DATALOG clauses (denials and implications, §4.2); truncating
+  // them anywhere must be a clean parse error.
+  const std::vector<std::string> corpus = {
+      "IC4:",
+      "IC4: Age >= 30 <-",
+      "IC4: Age >= 30 <- faculty(X, N,",
+      "IC4: Age >= 30 <- faculty(X, N, Age, S)",  // missing final period
+      "false <-",
+      "<-",
+      "p(X",
+      "p(X) :- q(X), .",
+      "Age > <- faculty(X, N, Age, S).",
+  };
+  for (const std::string& input : corpus) {
+    ExpectParseError(datalog::ParseClauseText(input).status(), input);
+  }
+}
+
+TEST(MalformedInputTest, TruncatedDatalogQuery) {
+  const std::vector<std::string> corpus = {
+      "",
+      "q(X) :-",
+      "q(X) :- person(X,",
+  };
+  for (const std::string& input : corpus) {
+    ExpectParseError(datalog::ParseQueryText(input).status(), input);
+  }
+}
+
+}  // namespace
+}  // namespace sqo
