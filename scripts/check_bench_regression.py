@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_pipeline.json against a committed baseline.
+
+Usage:
+    check_bench_regression.py BASELINE CURRENT [--threshold 0.25]
+                              [--min-time-ns 200000]
+
+Both files use the run_benches.sh layout:
+
+    {"benches": [{"bench": "<driver>", "runs": [
+        {"name": "...", "real_time_ns": ..., "counters": {...}}, ...]}]}
+
+A run is matched across files by (driver, run name). The check fails when:
+  * a baseline run is missing from the current file (coverage loss);
+  * a run's real_time_ns grew by more than --threshold (only for runs
+    whose baseline time is at least --min-time-ns — sub-threshold runs
+    are too noisy for a ratio test);
+  * a named counter drifted by more than --threshold in either direction
+    (counters are semantic outputs — alternative counts, costs — so any
+    large drift signals a behavior change, not an optimization).
+
+Exit status: 0 clean, 1 regressions found, 2 usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_runs(path):
+    """Returns {(driver, run name): run dict}."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_bench_regression: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    runs = {}
+    for bench in doc.get("benches", []):
+        driver = bench.get("bench", "?")
+        for run in bench.get("runs", []):
+            runs[(driver, run.get("name", "?"))] = run
+    return runs
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="maximum allowed relative drift (default 0.25)")
+    parser.add_argument("--min-time-ns", type=float, default=200_000.0,
+                        help="skip the time check for baseline runs faster "
+                             "than this (ratio tests on microsecond runs "
+                             "are noise)")
+    args = parser.parse_args()
+
+    baseline = load_runs(args.baseline)
+    current = load_runs(args.current)
+    if not baseline:
+        print(f"check_bench_regression: no runs in baseline {args.baseline}",
+              file=sys.stderr)
+        sys.exit(2)
+
+    failures = []
+    for key, base_run in sorted(baseline.items()):
+        driver, name = key
+        cur_run = current.get(key)
+        if cur_run is None:
+            failures.append(f"{driver}/{name}: missing from current results")
+            continue
+
+        base_time = base_run.get("real_time_ns")
+        cur_time = cur_run.get("real_time_ns")
+        if (isinstance(base_time, (int, float)) and base_time >= args.min_time_ns
+                and isinstance(cur_time, (int, float))):
+            if cur_time > base_time * (1.0 + args.threshold):
+                failures.append(
+                    f"{driver}/{name}: real_time_ns {base_time:.0f} -> "
+                    f"{cur_time:.0f} (+{100 * (cur_time / base_time - 1):.1f}%)")
+
+        base_counters = base_run.get("counters", {}) or {}
+        cur_counters = cur_run.get("counters", {}) or {}
+        for counter, base_value in sorted(base_counters.items()):
+            if not isinstance(base_value, (int, float)):
+                continue
+            cur_value = cur_counters.get(counter)
+            if not isinstance(cur_value, (int, float)):
+                failures.append(f"{driver}/{name}: counter '{counter}' missing")
+                continue
+            limit = abs(base_value) * args.threshold
+            if abs(cur_value - base_value) > limit:
+                failures.append(
+                    f"{driver}/{name}: counter '{counter}' {base_value} -> "
+                    f"{cur_value} (drift > {100 * args.threshold:.0f}%)")
+
+    if failures:
+        print(f"check_bench_regression: {len(failures)} regression(s) vs "
+              f"{args.baseline}:")
+        for failure in failures:
+            print(f"  {failure}")
+        sys.exit(1)
+    print(f"check_bench_regression: OK — {len(baseline)} runs within "
+          f"{100 * args.threshold:.0f}% of {args.baseline}")
+
+
+if __name__ == "__main__":
+    main()

@@ -28,6 +28,14 @@ cmake --build --preset release -j "$(nproc)"
 OUT_DIR="$(mktemp -d)"
 trap 'rm -rf "$OUT_DIR"' EXIT
 
+# Keep the committed baseline around so the fresh numbers can be checked
+# against it after the sweep (set SQO_BENCH_SKIP_REGRESSION=1 to skip).
+BASELINE=""
+if [[ -f BENCH_pipeline.json ]]; then
+  BASELINE="$OUT_DIR/baseline_BENCH_pipeline.json"
+  cp BENCH_pipeline.json "$BASELINE"
+fi
+
 DRIVERS=(contradiction scope_reduction join_elimination asr
          pipeline_overhead ablation)
 for driver in "${DRIVERS[@]}"; do
@@ -50,3 +58,9 @@ EOF
 fi
 
 echo "wrote $(pwd)/BENCH_pipeline.json ($(jq '.benches | length' BENCH_pipeline.json 2>/dev/null || echo "${#DRIVERS[@]}") drivers)"
+
+# Fail the run when any named counter or (non-noise) time regressed more
+# than 25% against the committed baseline.
+if [[ -n "$BASELINE" && -z "${SQO_BENCH_SKIP_REGRESSION:-}" ]]; then
+  python3 scripts/check_bench_regression.py "$BASELINE" BENCH_pipeline.json
+fi

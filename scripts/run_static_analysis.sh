@@ -4,7 +4,10 @@
 #   2. clang-tidy over src/ with the checked-in .clang-tidy profile
 #      (skipped with a notice when clang-tidy is not installed),
 #   3. build the `asan` preset and run its smoke-labeled tests so the
-#      sanitizers cover the analyzer, pipeline and tools end to end.
+#      sanitizers cover the analyzer, pipeline and tools end to end,
+#   4. build the `tsan` preset and run the perf-labeled tests (thread
+#      pool, lazy indexes, parallel profiling) under ThreadSanitizer —
+#      skipped with a notice when the toolchain can't link -fsanitize=thread.
 #
 # Usage: scripts/run_static_analysis.sh [--tidy-only|--sanitize-only]
 set -euo pipefail
@@ -47,8 +50,34 @@ run_sanitizers() {
   fi
 }
 
+tsan_supported() {
+  local probe
+  probe="$(mktemp -d)"
+  printf 'int main() { return 0; }\n' > "$probe/t.cc"
+  local ok=0
+  if ! c++ -fsanitize=thread "$probe/t.cc" -o "$probe/t" >/dev/null 2>&1; then
+    ok=1
+  fi
+  rm -rf "$probe"
+  return "$ok"
+}
+
+run_tsan() {
+  if ! tsan_supported; then
+    echo "== toolchain cannot link -fsanitize=thread; skipping TSan pass =="
+    return 0
+  fi
+  echo "== TSan perf-path tests =="
+  cmake --preset tsan >/dev/null
+  cmake --build --preset tsan -j "$(nproc)" >/dev/null
+  if ! ctest --preset perf-tsan; then
+    failures=1
+  fi
+}
+
 [[ "$mode" != "sanitize" ]] && run_tidy
 [[ "$mode" != "tidy" ]] && run_sanitizers
+[[ "$mode" != "tidy" ]] && run_tsan
 
 if [[ "$failures" -ne 0 ]]; then
   echo "static analysis FAILED"

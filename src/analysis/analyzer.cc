@@ -180,6 +180,83 @@ void CheckAtomSignature(const translate::TranslatedSchema& schema,
   }
 }
 
+/// True when `attr` (already lowercase, as catalog attributes are) carries
+/// a `key` hint on the owning class or any of its ancestors — exactly the
+/// set Database::CreateKeyIndexes turns into explicit hash indexes.
+bool AttributeHasIndexHint(const translate::TranslatedSchema& schema,
+                           const RelationSignature& sig,
+                           const std::string& attr) {
+  const odl::ClassInfo* cur = schema.schema.FindClass(sig.owner);
+  while (cur != nullptr) {
+    for (const std::string& key : cur->keys) {
+      if (sqo::ToLower(key) == attr) return true;
+    }
+    cur = cur->super.empty() ? nullptr
+                             : schema.schema.FindClass(cur->super);
+  }
+  return false;
+}
+
+/// Pass 8 (SQO-A012) for one IC: every class attribute the IC pins by
+/// equality — a constant in the atom itself, or a `Var = const` comparison
+/// over a variable bound at an attribute position — should carry a key
+/// hint, otherwise the equality selections its residues inject into
+/// queries have no explicit index behind them.
+void CheckEqualityIndexHints(const translate::TranslatedSchema& schema,
+                             const Clause& ic, const std::string& subject,
+                             AnalysisReport* report) {
+  // attribute positions bound to variables: var -> (signature, attribute)
+  std::map<std::string, std::pair<const RelationSignature*, std::string>>
+      attr_vars;
+  std::set<std::pair<std::string, std::string>> flagged;
+  auto flag = [&](const RelationSignature& sig, const std::string& attr) {
+    if (AttributeHasIndexHint(schema, sig, attr)) return;
+    if (!flagged.insert({sig.name, attr}).second) return;
+    report->Add(
+        Severity::kWarning, kCodeUnindexedEqualityIc, subject,
+        "equality constraint over '" + sig.name + "." + attr +
+            "' but the attribute has no key/index hint; residues of this "
+            "constraint add equality selections that fall back to lazily "
+            "built indexes or extent scans",
+        "declare `key " + attr + "` on class " + sig.owner +
+            " (or rely on auto-indexing for small extents)");
+  };
+  for (const Literal& lit : ic.body) {
+    if (!lit.positive || !lit.atom.is_predicate()) continue;
+    const RelationSignature* sig = schema.catalog.Find(lit.atom.predicate());
+    if (sig == nullptr || sig->kind != RelationKind::kClass) continue;
+    if (lit.atom.arity() != sig->arity()) continue;
+    for (size_t i = 1; i < lit.atom.arity(); ++i) {
+      const Term& arg = lit.atom.args()[i];
+      if (arg.is_constant()) {
+        flag(*sig, sig->attributes[i]);
+      } else if (arg.is_variable()) {
+        attr_vars.emplace(arg.var_name(),
+                          std::make_pair(sig, sig->attributes[i]));
+      }
+    }
+  }
+  auto check_comparison = [&](const Atom& atom) {
+    if (!atom.is_comparison() || atom.op() != CmpOp::kEq) return;
+    const Term* var = nullptr;
+    if (atom.lhs().is_variable() && atom.rhs().is_constant()) {
+      var = &atom.lhs();
+    } else if (atom.rhs().is_variable() && atom.lhs().is_constant()) {
+      var = &atom.rhs();
+    }
+    if (var == nullptr) return;
+    auto it = attr_vars.find(var->var_name());
+    if (it == attr_vars.end()) return;
+    flag(*it->second.first, it->second.second);
+  };
+  for (const Literal& lit : ic.body) {
+    if (lit.positive) check_comparison(lit.atom);
+  }
+  if (ic.head.has_value() && ic.head->positive) {
+    check_comparison(ic.head->atom);
+  }
+}
+
 /// A candidate for the pairwise contradiction pass: a comparison-headed IC
 /// whose body is one positive predicate atom plus comparisons, canonicalized
 /// so that argument position i of the anchor atom is variable `_C<i>`.
@@ -396,6 +473,10 @@ AnalysisReport AnalyzeIcs(const translate::TranslatedSchema& schema,
           CheckAtomSignature(schema, lit.atom, subject, &report);
         }
       }
+    }
+
+    if (options.check_index_hints) {
+      CheckEqualityIndexHints(schema, ic, subject, &report);
     }
   }
 

@@ -39,6 +39,8 @@ namespace sqo::analysis {
 ///                                       comparison literal
 ///   SQO-A011  governance      warning   deadline configured with fail-open
 ///                                       degradation disabled (fail-closed)
+///   SQO-A012  index lint      warning   attribute-equality IC over an
+///                                       attribute with no key/index hint
 inline constexpr std::string_view kCodeUnsafeVariable = "SQO-A001";
 inline constexpr std::string_view kCodeUnknownRelation = "SQO-A002";
 inline constexpr std::string_view kCodeArityMismatch = "SQO-A003";
@@ -50,12 +52,14 @@ inline constexpr std::string_view kCodeUnboundQueryVariable = "SQO-A008";
 inline constexpr std::string_view kCodeTriviallyFalse = "SQO-A009";
 inline constexpr std::string_view kCodeConstantFoldable = "SQO-A010";
 inline constexpr std::string_view kCodeDeadlineFailClosed = "SQO-A011";
+inline constexpr std::string_view kCodeUnindexedEqualityIc = "SQO-A012";
 
 struct AnalyzerOptions {
   bool check_safety = true;          // pass 1 (SQO-A001)
   bool check_signatures = true;      // pass 2 (SQO-A002..A004)
   bool check_contradictions = true;  // pass 3 (SQO-A005)
   bool check_redundancy = true;      // pass 4 (SQO-A006)
+  bool check_index_hints = true;     // pass 8 (SQO-A012)
 
   /// Contradiction / redundancy are pairwise (singletons plus pairs); this
   /// caps the number of pairs examined so pathological IC sets stay linear
@@ -72,8 +76,13 @@ std::optional<sqo::ValueKind> ExpectedArgumentKind(
     const translate::TranslatedSchema& schema,
     const datalog::RelationSignature& sig, size_t position);
 
-/// Passes 1–4 over user-declared integrity constraints, validated against
-/// the translated schema. Schema-generated constraints participate as
+/// Passes 1–4, plus the index-hint lint (SQO-A012), over user-declared
+/// integrity constraints, validated against the translated schema.
+/// SQO-A012 flags an IC that pins a class attribute by equality — a
+/// constant in the attribute position or a `Var = const` comparison —
+/// when the attribute carries no ODL `key` hint: residues of such an IC
+/// enrich queries with equality selections that have no explicit index
+/// and fall back to lazily built hash indexes or extent scans. Schema-generated constraints participate as
 /// context (a user IC duplicating a generated one is flagged redundant;
 /// a user IC contradicting another user IC is an error) but are themselves
 /// trusted and never reported as subjects. Textual `monotone`/`point`

@@ -57,6 +57,10 @@ class ExecutionContext {
 
   bool has_deadline() const { return has_deadline_; }
 
+  /// The absolute deadline (meaningful only when `has_deadline()`); lets a
+  /// fan-out seed per-task contexts with the caller's deadline.
+  std::chrono::steady_clock::time_point deadline() const { return deadline_; }
+
   /// Forces the deadline into the past, so the next `Check` fails with
   /// kResourceExhausted. Deterministic deadline expiry for tests and
   /// failpoints — no wall-clock sleeping required.

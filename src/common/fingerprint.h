@@ -1,0 +1,94 @@
+#ifndef SQO_COMMON_FINGERPRINT_H_
+#define SQO_COMMON_FINGERPRINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace sqo {
+
+/// A 128-bit fingerprint: two independently seeded 64-bit lanes. Used where
+/// a hash stands in for an exact key (the optimizer's canonical-form dedup
+/// and its residue-application memo), so the collision probability must be
+/// negligible rather than merely small: with two independent lanes the
+/// expected collision count over n keys is ~n²/2¹²⁹ — for the ≤10⁶ keys a
+/// pathological optimization can produce, under 10⁻²⁵.
+struct Fingerprint128 {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  bool operator==(const Fingerprint128& o) const {
+    return lo == o.lo && hi == o.hi;
+  }
+  bool operator!=(const Fingerprint128& o) const { return !(*this == o); }
+  bool operator<(const Fingerprint128& o) const {
+    return hi != o.hi ? hi < o.hi : lo < o.lo;
+  }
+
+  std::string ToString() const {
+    char buf[36];
+    snprintf(buf, sizeof(buf), "%016llx%016llx",
+             static_cast<unsigned long long>(hi),
+             static_cast<unsigned long long>(lo));
+    return std::string(buf);
+  }
+};
+
+struct FingerprintHash {
+  size_t operator()(const Fingerprint128& f) const {
+    return static_cast<size_t>(f.lo ^ (f.hi * 0x9e3779b97f4a7c15ull));
+  }
+};
+
+/// splitmix64 finalizer: a cheap, well-distributed 64-bit mixer.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Component-wise sum of two fingerprints built with `AppendUnordered`:
+/// because the unordered fold is plain addition from zero, summing two
+/// partial multiset fingerprints equals fingerprinting the multiset union.
+inline Fingerprint128 CombineUnordered(Fingerprint128 a,
+                                       const Fingerprint128& b) {
+  a.lo += b.lo;
+  a.hi += b.hi;
+  return a;
+}
+
+/// Incremental Fingerprint128 builder. `Append` is order-sensitive
+/// (sequence hashing); `AppendUnordered` folds by addition, so a multiset
+/// of values fingerprints identically under any insertion order — the
+/// basis of the optimizer's memo keys over body-literal multisets.
+class FingerprintBuilder {
+ public:
+  void Append(uint64_t v) {
+    fp_.lo = fp_.lo * kMul1 + Mix64(v ^ kLaneSeed1);
+    fp_.hi = fp_.hi * kMul2 + Mix64(v ^ kLaneSeed2);
+  }
+
+  void AppendUnordered(uint64_t v) {
+    fp_.lo += Mix64(v ^ kLaneSeed1);
+    fp_.hi += Mix64(v ^ kLaneSeed2);
+  }
+
+  const Fingerprint128& fingerprint() const { return fp_; }
+
+ private:
+  static constexpr uint64_t kMul1 = 0x100000001b3ull;        // FNV-1a prime
+  static constexpr uint64_t kMul2 = 0xc6a4a7935bd1e995ull;   // Murmur2 mult
+  static constexpr uint64_t kLaneSeed1 = 0x7fb5d329728ea185ull;
+  static constexpr uint64_t kLaneSeed2 = 0x1f67b3b7a4a44072ull;
+
+  Fingerprint128 fp_;
+};
+
+}  // namespace sqo
+
+#endif  // SQO_COMMON_FINGERPRINT_H_

@@ -1,0 +1,68 @@
+#include "common/interner.h"
+
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+namespace sqo {
+
+namespace {
+
+/// Process-wide intern table. `storage_` is a deque so SymbolData records
+/// have stable addresses forever; the map's string_view keys point into
+/// those records. Leaked intentionally (never destroyed) so symbols created
+/// during static initialization stay valid through static destruction.
+class InternerImpl {
+ public:
+  InternerImpl() {
+    empty_ = InternLocked("");  // id 0, backs Symbol's default constructor
+  }
+
+  const SymbolData* Intern(std::string_view s) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return InternLocked(s);
+  }
+
+  const SymbolData* empty() const { return empty_; }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return storage_.size();
+  }
+
+ private:
+  const SymbolData* InternLocked(std::string_view s) {
+    auto it = map_.find(s);
+    if (it != map_.end()) return it->second;
+    storage_.push_back(SymbolData{std::string(s),
+                                  std::hash<std::string_view>()(s),
+                                  static_cast<uint32_t>(storage_.size())});
+    const SymbolData* data = &storage_.back();
+    map_.emplace(std::string_view(data->text), data);
+    return data;
+  }
+
+  mutable std::mutex mu_;
+  std::deque<SymbolData> storage_;
+  std::unordered_map<std::string_view, const SymbolData*> map_;
+  const SymbolData* empty_ = nullptr;
+};
+
+InternerImpl& Global() {
+  static InternerImpl* impl = new InternerImpl();  // leaked, see above
+  return *impl;
+}
+
+}  // namespace
+
+Symbol::Symbol() : data_(Global().empty()) {}
+
+Symbol Intern(std::string_view s) {
+  InternerImpl& g = Global();
+  if (s.empty()) return Symbol(g.empty());
+  return Symbol(g.Intern(s));
+}
+
+size_t InternerSize() { return Global().size(); }
+
+}  // namespace sqo

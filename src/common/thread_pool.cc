@@ -1,0 +1,68 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace sqo {
+
+ThreadPool::ThreadPool(size_t threads) {
+  threads = std::max<size_t>(threads, 1);
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::RunBatch(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  size_t remaining = tasks.size();
+  for (std::function<void()>& task : tasks) {
+    Submit([&done_mu, &done_cv, &remaining, task = std::move(task)] {
+      task();
+      std::lock_guard<std::mutex> lock(done_mu);
+      if (--remaining == 0) done_cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&remaining] { return remaining == 0; });
+}
+
+size_t ThreadPool::DefaultSize() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max(1u, std::min(hw, 8u));
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+}  // namespace sqo

@@ -1,0 +1,54 @@
+#ifndef SQO_COMMON_THREAD_POOL_H_
+#define SQO_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace sqo {
+
+/// A small fixed-size worker pool for read-only fan-out work (parallel
+/// alternative profiling). Tasks are plain closures; they must not throw
+/// (an escaping exception terminates the worker). Completion tracking is
+/// the caller's business — `RunBatch` covers the common blocking pattern.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least one).
+  explicit ThreadPool(size_t threads);
+
+  /// Finishes every queued task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  /// Enqueues one task.
+  void Submit(std::function<void()> task);
+
+  /// Runs all `tasks` on the pool and blocks until every one has finished.
+  /// Must not be called from a pool worker (it would deadlock waiting on
+  /// itself).
+  void RunBatch(std::vector<std::function<void()>> tasks);
+
+  /// Default worker count: hardware concurrency capped at 8, at least 1.
+  static size_t DefaultSize();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sqo
+
+#endif  // SQO_COMMON_THREAD_POOL_H_

@@ -17,6 +17,15 @@ void Atom::CollectVariables(std::vector<std::string>* out) const {
   }
 }
 
+void Atom::CollectVariables(std::vector<Symbol>* out) const {
+  for (const Term& t : args_) {
+    if (t.is_variable() &&
+        std::find(out->begin(), out->end(), t.var_symbol()) == out->end()) {
+      out->push_back(t.var_symbol());
+    }
+  }
+}
+
 bool Atom::operator==(const Atom& other) const {
   if (is_comparison_ != other.is_comparison_) return false;
   if (is_comparison_) {
@@ -29,7 +38,7 @@ bool Atom::operator==(const Atom& other) const {
 
 size_t Atom::Hash() const {
   size_t h = is_comparison_ ? static_cast<size_t>(op_) * 0x9e3779b9u + 7
-                            : std::hash<std::string>()(predicate_);
+                            : predicate_.hash();
   for (const Term& t : args_) h = h * 1099511628211ull + t.Hash();
   return h;
 }
@@ -39,7 +48,7 @@ std::string Atom::ToString() const {
     return lhs().ToString() + " " + std::string(CmpOpSymbol(op_)) + " " +
            rhs().ToString();
   }
-  std::string out = predicate_ + "(";
+  std::string out = predicate_.str() + "(";
   for (size_t i = 0; i < args_.size(); ++i) {
     if (i > 0) out += ", ";
     out += args_[i].ToString();

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/cmp.h"
+#include "common/interner.h"
 #include "datalog/term.h"
 
 namespace sqo::datalog {
@@ -21,10 +22,14 @@ using sqo::NegateOp;
 /// relation, or an evaluable comparison `t1 θ t2`.
 class Atom {
  public:
-  /// Creates a predicate atom.
-  static Atom Pred(std::string predicate, std::vector<Term> args) {
+  /// Creates a predicate atom. The predicate name is interned, so
+  /// predicate comparisons downstream are pointer compares.
+  static Atom Pred(std::string_view predicate, std::vector<Term> args) {
+    return Pred(Intern(predicate), std::move(args));
+  }
+  static Atom Pred(Symbol predicate, std::vector<Term> args) {
     Atom a;
-    a.predicate_ = std::move(predicate);
+    a.predicate_ = predicate;
     a.args_ = std::move(args);
     a.is_comparison_ = false;
     return a;
@@ -43,7 +48,10 @@ class Atom {
   bool is_predicate() const { return !is_comparison_; }
 
   /// Predicate name. Requires is_predicate().
-  const std::string& predicate() const { return predicate_; }
+  const std::string& predicate() const { return predicate_.str(); }
+
+  /// Interned predicate name. Requires is_predicate().
+  Symbol predicate_symbol() const { return predicate_; }
 
   /// Comparison operator. Requires is_comparison().
   CmpOp op() const { return op_; }
@@ -58,6 +66,9 @@ class Atom {
   /// of first occurrence, appending to `out` (no duplicates added).
   void CollectVariables(std::vector<std::string>* out) const;
 
+  /// Same, as interned symbols (no string copies — hot-path variant).
+  void CollectVariables(std::vector<Symbol>* out) const;
+
   bool operator==(const Atom& other) const;
   bool operator!=(const Atom& other) const { return !(*this == other); }
   size_t Hash() const;
@@ -69,7 +80,7 @@ class Atom {
   Atom() = default;
 
   bool is_comparison_ = false;
-  std::string predicate_;  // empty for comparisons
+  Symbol predicate_;       // the empty symbol for comparisons
   CmpOp op_ = CmpOp::kEq;  // meaningful for comparisons only
   std::vector<Term> args_;
 };
@@ -102,6 +113,10 @@ struct Literal {
 
   /// `p(X)` or `not p(X)` or `X < 3`.
   std::string ToString() const;
+};
+
+struct LiteralHash {
+  size_t operator()(const Literal& l) const { return l.Hash(); }
 };
 
 }  // namespace sqo::datalog

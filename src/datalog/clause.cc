@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <unordered_map>
 
 #include "common/strings.h"
 
@@ -31,7 +32,7 @@ Atom RenameAtom(const Atom& a, std::map<std::string, Term>* renaming,
   if (a.is_comparison()) {
     return Atom::Comparison(a.op(), std::move(args[0]), std::move(args[1]));
   }
-  return Atom::Pred(a.predicate(), std::move(args));
+  return Atom::Pred(a.predicate_symbol(), std::move(args));
 }
 
 }  // namespace
@@ -191,6 +192,88 @@ std::string Query::CanonicalKey() const {
   std::sort(rendered.begin(), rendered.end());
   key += StrJoin(rendered, ";");
   return key;
+}
+
+sqo::Fingerprint128 Query::CanonicalFingerprint() const {
+  constexpr uint64_t kFnv = 1099511628211ull;
+  constexpr uint64_t kVarShapeTag = 0x5611aa17ull;
+  constexpr uint64_t kCmpTag = 0xc011aa50ull;
+
+  // Pass 1: order body literals by a name-blind shape hash — the hashed
+  // analogue of CanonicalKey's shape string. Literals with equal shapes
+  // keep their relative body order (stable sort), exactly as the string
+  // version does.
+  auto shape_hash = [&](const Literal& lit) {
+    uint64_t h = lit.positive ? 0x2b : 0x2d;
+    if (lit.atom.is_comparison()) {
+      h = h * kFnv + kCmpTag;
+      h = h * kFnv + static_cast<uint64_t>(lit.atom.op());
+    } else {
+      h = h * kFnv + lit.atom.predicate_symbol().hash();
+      h = h * kFnv + lit.atom.arity();
+    }
+    for (const Term& t : lit.atom.args()) {
+      h = h * kFnv +
+          (t.is_variable() ? kVarShapeTag : sqo::Mix64(t.constant().Hash()));
+    }
+    return h;
+  };
+  std::vector<size_t> order(body.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<uint64_t> shapes;
+  shapes.reserve(body.size());
+  for (const Literal& lit : body) shapes.push_back(shape_hash(lit));
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return shapes[a] < shapes[b]; });
+
+  // Pass 2: canonical numbering by first occurrence over head, then ordered
+  // body; each variable renders as its dense canonical index.
+  std::unordered_map<Symbol, uint64_t, SymbolHash> canon;
+  auto render_term = [&](const Term& t) -> uint64_t {
+    if (!t.is_variable()) return sqo::Mix64(t.constant().Hash()) | 1;
+    auto it = canon.find(t.var_symbol());
+    if (it == canon.end()) {
+      it = canon.emplace(t.var_symbol(), canon.size()).first;
+    }
+    return it->second << 1;  // even = variable index, odd = constant
+  };
+  // Per-literal fingerprints are themselves 128-bit so that the final
+  // sorted fold never funnels two distinct literals through one 64-bit
+  // value (which would defeat the two independent lanes).
+  auto render_literal = [&](const Literal& lit) {
+    FingerprintBuilder b;
+    b.Append(lit.positive ? 0x2b : 0x2d);
+    if (lit.atom.is_comparison()) {
+      b.Append(kCmpTag + static_cast<uint64_t>(lit.atom.op()));
+    } else {
+      b.Append(lit.atom.predicate_symbol().hash());
+    }
+    for (const Term& t : lit.atom.args()) b.Append(render_term(t));
+    return b.fingerprint();
+  };
+
+  FingerprintBuilder fb;
+  fb.Append(head_args.size());
+  for (const Term& t : head_args) fb.Append(render_term(t));
+  std::vector<sqo::Fingerprint128> rendered;
+  rendered.reserve(body.size());
+  for (size_t idx : order) rendered.push_back(render_literal(body[idx]));
+  // Re-sort after numbering for stability when shapes tie (mirrors the
+  // rendered-string sort in CanonicalKey).
+  std::sort(rendered.begin(), rendered.end());
+  for (const sqo::Fingerprint128& f : rendered) {
+    fb.Append(f.lo);
+    fb.Append(f.hi);
+  }
+  return fb.fingerprint();
+}
+
+size_t Query::Hash() const {
+  size_t h = std::hash<std::string>()(name);
+  for (const Term& t : head_args) h = h * 1099511628211ull + t.Hash();
+  h = h * 1099511628211ull + 0x5eb;  // separator: head args vs body
+  for (const Literal& lit : body) h = h * 1099511628211ull + lit.Hash();
+  return h;
 }
 
 }  // namespace sqo::datalog

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fingerprint.h"
 #include "datalog/atom.h"
 #include "datalog/substitution.h"
 #include "datalog/unify.h"
@@ -87,6 +88,17 @@ struct Query {
   /// keys are syntactically identical up to renaming and reordering (the
   /// converse need not hold for pathological self-similar bodies).
   std::string CanonicalKey() const;
+
+  /// 128-bit hash of the canonical form, computed without materializing the
+  /// key string. Same invariance as CanonicalKey — insensitive to variable
+  /// names and body order — so it serves as the BFS dedup key and the
+  /// consequence-cache key on the optimizer's hot path (see DESIGN.md for
+  /// the soundness argument).
+  sqo::Fingerprint128 CanonicalFingerprint() const;
+
+  /// Structural hash consistent with operator== (name, head args, body in
+  /// order). NOT renaming-invariant; use CanonicalFingerprint for that.
+  size_t Hash() const;
 };
 
 }  // namespace sqo::datalog

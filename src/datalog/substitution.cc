@@ -1,5 +1,9 @@
 #include "datalog/substitution.h"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 namespace sqo::datalog {
 
 Term Substitution::Apply(const Term& term) const {
@@ -8,7 +12,7 @@ Term Substitution::Apply(const Term& term) const {
   // (which Bind callers must not create) would terminate via the guard.
   size_t steps = 0;
   while (current->is_variable() && steps <= bindings_.size()) {
-    auto it = bindings_.find(current->var_name());
+    auto it = bindings_.find(current->var_symbol());
     if (it == bindings_.end()) break;
     current = &it->second;
     ++steps;
@@ -23,25 +27,30 @@ Atom Substitution::ApplyToAtom(const Atom& atom) const {
   if (atom.is_comparison()) {
     return Atom::Comparison(atom.op(), std::move(args[0]), std::move(args[1]));
   }
-  return Atom::Pred(atom.predicate(), std::move(args));
+  return Atom::Pred(atom.predicate_symbol(), std::move(args));
 }
 
 Literal Substitution::ApplyToLiteral(const Literal& literal) const {
   return Literal(literal.positive, ApplyToAtom(literal.atom));
 }
 
-const Term* Substitution::Lookup(const std::string& var) const {
+const Term* Substitution::Lookup(Symbol var) const {
   auto it = bindings_.find(var);
   return it == bindings_.end() ? nullptr : &it->second;
 }
 
 std::string Substitution::ToString() const {
+  std::vector<std::pair<Symbol, const Term*>> sorted;
+  sorted.reserve(bindings_.size());
+  for (const auto& [var, term] : bindings_) sorted.emplace_back(var, &term);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   std::string out = "{";
   bool first = true;
-  for (const auto& [var, term] : bindings_) {
+  for (const auto& [var, term] : sorted) {
     if (!first) out += ", ";
     first = false;
-    out += var + " -> " + term.ToString();
+    out += var.str() + " -> " + term->ToString();
   }
   out += "}";
   return out;

@@ -1,9 +1,10 @@
 #ifndef SQO_DATALOG_SUBSTITUTION_H_
 #define SQO_DATALOG_SUBSTITUTION_H_
 
-#include <map>
 #include <string>
+#include <unordered_map>
 
+#include "common/interner.h"
 #include "datalog/atom.h"
 #include "datalog/term.h"
 
@@ -13,7 +14,8 @@ namespace sqo::datalog {
 ///
 /// Bindings are applied with path compression semantics: `Apply` follows
 /// chains (X ↦ Y, Y ↦ 3 gives Apply(X) = 3) so composition never needs an
-/// explicit pass. Deterministic iteration (std::map) keeps output stable.
+/// explicit pass. Keys are interned symbols, so every probe is a pointer
+/// hash/compare; `ToString` sorts for deterministic output.
 class Substitution {
  public:
   Substitution() = default;
@@ -22,14 +24,16 @@ class Substitution {
   size_t size() const { return bindings_.size(); }
 
   /// True if `var` has a binding (possibly to another variable).
-  bool Contains(const std::string& var) const {
-    return bindings_.count(var) > 0;
-  }
+  bool Contains(const std::string& var) const { return Contains(Intern(var)); }
+  bool Contains(Symbol var) const { return bindings_.count(var) > 0; }
 
   /// Binds `var` to `term`. Overwrites an existing binding; callers that
   /// need unification semantics should use `Unify`/`Match` instead of
   /// binding directly.
   void Bind(const std::string& var, Term term) {
+    Bind(Intern(var), std::move(term));
+  }
+  void Bind(Symbol var, Term term) {
     bindings_.insert_or_assign(var, std::move(term));
   }
 
@@ -45,18 +49,20 @@ class Substitution {
 
   /// Removes the binding for `var` if present. Used by the matcher's
   /// backtracking trail.
-  void EraseBinding(const std::string& var) { bindings_.erase(var); }
+  void EraseBinding(const std::string& var) { EraseBinding(Intern(var)); }
+  void EraseBinding(Symbol var) { bindings_.erase(var); }
 
   /// Raw binding (unresolved), or nullptr if unbound.
-  const Term* Lookup(const std::string& var) const;
+  const Term* Lookup(const std::string& var) const {
+    return Lookup(Intern(var));
+  }
+  const Term* Lookup(Symbol var) const;
 
-  const std::map<std::string, Term>& bindings() const { return bindings_; }
-
-  /// `{X -> 3, Y -> Z}`.
+  /// `{X -> 3, Y -> Z}`, sorted by variable name.
   std::string ToString() const;
 
  private:
-  std::map<std::string, Term> bindings_;
+  std::unordered_map<Symbol, Term, SymbolHash> bindings_;
 };
 
 }  // namespace sqo::datalog

@@ -4,18 +4,20 @@ namespace sqo::datalog {
 
 bool Term::operator==(const Term& other) const {
   if (is_variable() != other.is_variable()) return false;
-  if (is_variable()) return var_name() == other.var_name();
+  if (is_variable()) return var_symbol() == other.var_symbol();
   return constant().Equals(other.constant());
 }
 
 bool Term::operator<(const Term& other) const {
   if (is_variable() != other.is_variable()) return is_variable();
-  if (is_variable()) return var_name() < other.var_name();
+  // Lexicographic on the text (not symbol id) so canonical orders stay
+  // deterministic across runs regardless of interning order.
+  if (is_variable()) return var_symbol() < other.var_symbol();
   return sqo::Value::TotalOrder(constant(), other.constant());
 }
 
 size_t Term::Hash() const {
-  if (is_variable()) return std::hash<std::string>()(var_name()) * 31 + 1;
+  if (is_variable()) return var_symbol().hash() * 31 + 1;
   return constant().Hash() * 31 + 2;
 }
 

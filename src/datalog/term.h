@@ -4,6 +4,7 @@
 #include <string>
 #include <variant>
 
+#include "common/interner.h"
 #include "common/value.h"
 
 namespace sqo::datalog {
@@ -14,12 +15,16 @@ namespace sqo::datalog {
 /// with an upper-case letter and constants are typed `Value`s. There are no
 /// function symbols — the object model's structures are flattened into
 /// relations by the schema translation, so first-order terms never nest.
+///
+/// Variable names are interned (`sqo::Symbol`), so variable equality is a
+/// pointer compare and `Hash()` never rehashes the characters.
 class Term {
  public:
   /// Creates a variable term. `name` should start with an upper-case letter
   /// or '_' by convention; this is not enforced here (the parser enforces it
   /// for textual input).
-  static Term Var(std::string name) { return Term(VarRep{std::move(name)}); }
+  static Term Var(std::string_view name) { return Term(VarRep{Intern(name)}); }
+  static Term Var(Symbol name) { return Term(VarRep{name}); }
 
   /// Creates a constant term holding `value`.
   static Term Const(sqo::Value value) { return Term(std::move(value)); }
@@ -35,7 +40,12 @@ class Term {
   bool is_constant() const { return !is_variable(); }
 
   /// Name of a variable term. Requires is_variable().
-  const std::string& var_name() const { return std::get<VarRep>(rep_).name; }
+  const std::string& var_name() const {
+    return std::get<VarRep>(rep_).name.str();
+  }
+
+  /// Interned name of a variable term. Requires is_variable().
+  Symbol var_symbol() const { return std::get<VarRep>(rep_).name; }
 
   /// Value of a constant term. Requires is_constant().
   const sqo::Value& constant() const { return std::get<sqo::Value>(rep_); }
@@ -53,7 +63,7 @@ class Term {
 
  private:
   struct VarRep {
-    std::string name;
+    Symbol name;
     bool operator==(const VarRep& o) const { return name == o.name; }
   };
   using Rep = std::variant<VarRep, sqo::Value>;

@@ -7,11 +7,11 @@ bool UnifyTerms(const Term& a, const Term& b, Substitution* subst) {
   Term rb = subst->Apply(b);
   if (ra == rb) return true;
   if (ra.is_variable()) {
-    subst->Bind(ra.var_name(), rb);
+    subst->Bind(ra.var_symbol(), rb);
     return true;
   }
   if (rb.is_variable()) {
-    subst->Bind(rb.var_name(), ra);
+    subst->Bind(rb.var_symbol(), ra);
     return true;
   }
   return false;  // distinct constants
@@ -19,7 +19,9 @@ bool UnifyTerms(const Term& a, const Term& b, Substitution* subst) {
 
 bool UnifyAtoms(const Atom& a, const Atom& b, Substitution* subst) {
   if (!a.is_predicate() || !b.is_predicate()) return false;
-  if (a.predicate() != b.predicate() || a.arity() != b.arity()) return false;
+  if (a.predicate_symbol() != b.predicate_symbol() || a.arity() != b.arity()) {
+    return false;
+  }
   for (size_t i = 0; i < a.arity(); ++i) {
     if (!UnifyTerms(a.args()[i], b.args()[i], subst)) return false;
   }
@@ -28,10 +30,10 @@ bool UnifyAtoms(const Atom& a, const Atom& b, Substitution* subst) {
 
 bool Matcher::MatchTerm(const Term& pattern, const Term& target) {
   Term rp = subst_.Apply(pattern);
-  if (rp.is_variable() && bindable_.count(rp.var_name()) > 0) {
+  if (rp.is_variable() && bindable_->count(rp.var_symbol()) > 0) {
     if (rp == target) return true;
-    subst_.Bind(rp.var_name(), target);
-    trail_.push_back(rp.var_name());
+    subst_.Bind(rp.var_symbol(), target);
+    trail_.push_back(rp.var_symbol());
     return true;
   }
   // Frozen variable or constant: must be identical to the target, or
@@ -45,7 +47,7 @@ bool Matcher::MatchAtom(const Atom& pattern, const Atom& target) {
   if (pattern.is_comparison()) {
     if (pattern.op() != target.op()) return false;
   } else {
-    if (pattern.predicate() != target.predicate() ||
+    if (pattern.predicate_symbol() != target.predicate_symbol() ||
         pattern.arity() != target.arity()) {
       return false;
     }
@@ -68,11 +70,9 @@ bool Matcher::MatchLiteral(const Literal& pattern, const Literal& target) {
 void Matcher::RollbackTo(size_t mark) {
   while (trail_.size() > mark) {
     // Rebind-free trail: each trail entry was unbound before, so erasing
-    // restores the prior state exactly.
-    const std::string& var = trail_.back();
-    // Substitution has no Erase; emulate via rebuilding would be costly, so
-    // Substitution exposes EraseBinding for the matcher's use.
-    subst_.EraseBinding(var);
+    // restores the prior state exactly (Substitution exposes EraseBinding
+    // for the matcher's use).
+    subst_.EraseBinding(trail_.back());
     trail_.pop_back();
   }
 }

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/interner.h"
 #include "datalog/atom.h"
 #include "datalog/substitution.h"
 #include "datalog/term.h"
@@ -41,8 +42,24 @@ class Matcher {
   using FrozenEquiv = std::function<bool(const Term&, const Term&)>;
 
   /// `bindable` is the set of variable names that may receive bindings.
-  explicit Matcher(std::set<std::string> bindable)
-      : bindable_(std::move(bindable)) {}
+  explicit Matcher(const std::set<std::string>& bindable) {
+    for (const std::string& name : bindable) owned_bindable_.insert(Intern(name));
+    bindable_ = &owned_bindable_;
+  }
+
+  /// Non-owning fast path: `bindable` must outlive the matcher. Residue
+  /// application constructs one matcher per (residue, anchor) attempt, so
+  /// borrowing the residue's precomputed symbol set skips a set copy on the
+  /// optimizer's hottest path. A factory (not a constructor) so brace-init
+  /// `Matcher({...})` never silently selects a null pointer.
+  static Matcher Borrowing(const SymbolSet* bindable) {
+    return Matcher(bindable, 0);
+  }
+
+  // bindable_ may point at owned_bindable_; copying/moving would leave it
+  // dangling, and no caller needs either.
+  Matcher(const Matcher&) = delete;
+  Matcher& operator=(const Matcher&) = delete;
 
   void set_frozen_equiv(FrozenEquiv equiv) { frozen_equiv_ = std::move(equiv); }
 
@@ -67,9 +84,12 @@ class Matcher {
   const Substitution& subst() const { return subst_; }
 
  private:
-  std::set<std::string> bindable_;
+  Matcher(const SymbolSet* bindable, int) : bindable_(bindable) {}
+
+  SymbolSet owned_bindable_;
+  const SymbolSet* bindable_ = nullptr;
   Substitution subst_;
-  std::vector<std::string> trail_;  // bound variable names, in order
+  std::vector<Symbol> trail_;  // bound variable names, in order
   FrozenEquiv frozen_equiv_;
 };
 

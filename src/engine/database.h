@@ -37,8 +37,15 @@ class Database {
   /// `Alternative::eval_stats` / `evaluated` — so shells and benches can
   /// report evaluator counters per alternative, not just per run. An
   /// alternative whose evaluation fails keeps `evaluated == false`; the
-  /// first such error is returned (after profiling the rest). Skipped for
-  /// contradictory results (nothing to evaluate).
+  /// first such error (by alternative index) is returned (after profiling
+  /// the rest). Skipped for contradictory results (nothing to evaluate).
+  ///
+  /// Alternatives are profiled in parallel on a fixed-size pool
+  /// (`options.profile_threads`; the store is only read). Each task gets
+  /// its own ExecutionContext seeded from the caller's deadline and
+  /// budgets and its own metrics registry; registries merge into the
+  /// caller's in alternative order, so totals are deterministic and
+  /// identical to a serial run.
   sqo::Status ProfileAlternatives(core::PipelineResult* result,
                                   EvalOptions options = {}) const;
 

@@ -3,6 +3,7 @@
 #include <functional>
 #include <map>
 #include <set>
+#include <unordered_set>
 
 #include "common/context.h"
 #include "common/failpoint.h"
@@ -57,6 +58,27 @@ const sqo::Value* Resolve(const Term& t, const Env& env, sqo::Value* storage) {
   }
   return env.Lookup(t.var_name());
 }
+
+/// Structural hashing/equality for result tuples, so DISTINCT dedup works
+/// on the values themselves rather than on a stringified key (which could
+/// collide when a value's text contains the former separator byte).
+struct TupleHash {
+  size_t operator()(const std::vector<sqo::Value>& t) const {
+    size_t h = 0xcbf29ce484222325ull;
+    for (const sqo::Value& v : t) h = h * 1099511628211ull + v.Hash();
+    return h;
+  }
+};
+struct TupleEq {
+  bool operator()(const std::vector<sqo::Value>& a,
+                  const std::vector<sqo::Value>& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!a[i].Equals(b[i])) return false;
+    }
+    return true;
+  }
+};
 
 class Execution {
  public:
@@ -344,51 +366,62 @@ class Execution {
         auto release_guards = [&]() {
           for (const auto& [pos, rel] : guards) consumed_.erase(pos);
         };
+        // Joins every candidate OID that passes the guards and unifies.
+        auto probe_candidates =
+            [&](const std::vector<sqo::Oid>& oids) -> sqo::Status {
+          for (sqo::Oid candidate : oids) {
+            if (!PassesGuards(guards, candidate)) continue;
+            auto row = store_.RowAs(sig->name, candidate);
+            ++stats_.objects_fetched;
+            size_t mark = env_.Mark();
+            if (UnifyRow(atom, *row)) {
+              sqo::Status status = Step(k + 1);
+              if (!status.ok()) return status;
+            }
+            env_.Rollback(mark);
+          }
+          return sqo::Status::Ok();
+        };
         // Indexed access on the first bound, indexed attribute.
         for (size_t i = 1; i < atom.arity(); ++i) {
           sqo::Value vtmp;
           const sqo::Value* v = Resolve(atom.args()[i], env_, &vtmp);
           if (v == nullptr || !store_.HasIndex(sig->name, i)) continue;
           ++stats_.index_probes;
+          obs::Count("index.probes");
           const std::vector<sqo::Oid>* oids = store_.IndexLookup(sig->name, i, *v);
-          if (oids != nullptr) {
-            for (sqo::Oid candidate : *oids) {
-              if (!PassesGuards(guards, candidate)) continue;
-              auto row = store_.RowAs(sig->name, candidate);
-              ++stats_.objects_fetched;
-              size_t mark = env_.Mark();
-              if (UnifyRow(atom, *row)) {
-                sqo::Status status = Step(k + 1);
-                if (!status.ok()) {
-                  release_guards();
-                  return status;
-                }
-              }
-              env_.Rollback(mark);
-            }
-          }
+          sqo::Status status =
+              oids != nullptr ? probe_candidates(*oids) : sqo::Status::Ok();
           release_guards();
-          return sqo::Status::Ok();
+          return status;
+        }
+        // Lazily indexed access: an equality-bound attribute with no
+        // explicit index still probes a hash table — built by the store on
+        // first use and dropped on mutation — instead of scanning the
+        // extent.
+        if (options_.auto_index) {
+          for (size_t i = 1; i < atom.arity(); ++i) {
+            sqo::Value vtmp;
+            const sqo::Value* v = Resolve(atom.args()[i], env_, &vtmp);
+            if (v == nullptr) continue;
+            bool indexed = false;
+            const std::vector<sqo::Oid>* oids = store_.LazyIndexLookup(
+                sig->name, i, *v, options_.auto_index_min_extent, &indexed);
+            if (!indexed) continue;  // extent under threshold: scan instead
+            ++stats_.index_probes;
+            obs::Count("index.probes");
+            sqo::Status status =
+                oids != nullptr ? probe_candidates(*oids) : sqo::Status::Ok();
+            release_guards();
+            return status;
+          }
         }
         // Extent scan.
         SQO_FAILPOINT("eval.scan");
         ++stats_.extent_scans;
-        for (sqo::Oid candidate : store_.Extent(sig->name)) {
-          if (!PassesGuards(guards, candidate)) continue;
-          auto row = store_.RowAs(sig->name, candidate);
-          ++stats_.objects_fetched;
-          size_t mark = env_.Mark();
-          if (UnifyRow(atom, *row)) {
-            sqo::Status status = Step(k + 1);
-            if (!status.ok()) {
-              release_guards();
-              return status;
-            }
-          }
-          env_.Rollback(mark);
-        }
+        sqo::Status status = probe_candidates(store_.Extent(sig->name));
         release_guards();
-        return sqo::Status::Ok();
+        return status;
       }
       case RelationKind::kRelationship:
       case RelationKind::kAsr: {
@@ -493,9 +526,7 @@ class Execution {
       return sqo::ResourceExhaustedError("result limit exceeded");
     }
     if (options_.distinct) {
-      std::string key;
-      for (const sqo::Value& v : tuple) key += v.ToString() + "\x1f";
-      if (!dedup_.insert(std::move(key)).second) return sqo::Status::Ok();
+      if (!dedup_.insert(tuple).second) return sqo::Status::Ok();
     }
     ++stats_.results;
     out_->push_back(std::move(tuple));
@@ -509,7 +540,7 @@ class Execution {
   Env env_;
   const std::vector<size_t>* order_ = nullptr;
   std::vector<std::vector<sqo::Value>>* out_ = nullptr;
-  std::set<std::string> dedup_;
+  std::unordered_set<std::vector<sqo::Value>, TupleHash, TupleEq> dedup_;
   std::map<std::string, int> var_occurrences_;
   std::set<size_t> consumed_;
 };

@@ -18,6 +18,23 @@ struct EvalOptions {
 
   /// Safety valve for runaway joins in tests/benches (0 = unlimited).
   uint64_t max_tuples = 0;
+
+  /// Probe the store's lazily built secondary hash indexes
+  /// (ObjectStore::LazyIndexLookup) for equality-bound attributes that have
+  /// no explicit index, instead of scanning the full extent. Off switches
+  /// every selection back to linear scans (the differential tests compare
+  /// the two paths).
+  bool auto_index = true;
+
+  /// Extents smaller than this are scanned rather than auto-indexed — for
+  /// a handful of rows the scan is cheaper than building the hash table.
+  size_t auto_index_min_extent = 16;
+
+  /// Worker threads for Database::ProfileAlternatives. 0 = one per
+  /// hardware core (capped; see ThreadPool::DefaultSize), 1 = serial.
+  /// Profiling also falls back to serial when a tracer is installed, so
+  /// span parent/child ordering stays intact.
+  size_t profile_threads = 0;
 };
 
 /// Tuple-at-a-time evaluator for conjunctive DATALOG queries over an

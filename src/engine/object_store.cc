@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/strings.h"
+#include "obs/metrics.h"
 
 namespace sqo::engine {
 
@@ -76,6 +77,7 @@ sqo::Result<sqo::Oid> ObjectStore::CreateInstance(
       }
     }
   }
+  InvalidateLazyIndexes();
   return oid;
 }
 
@@ -112,6 +114,7 @@ sqo::Status ObjectStore::InsertPair(const std::string& rel, sqo::Oid src,
   data.pairs.emplace_back(src, dst);
   data.fwd[src.raw()].push_back(dst);
   data.bwd[dst.raw()].push_back(src);
+  InvalidateLazyIndexes();
   return sqo::Status::Ok();
 }
 
@@ -169,6 +172,7 @@ void ObjectStore::ErasePair(const std::string& rel, sqo::Oid src, sqo::Oid dst) 
   if (fit != data.fwd.end()) drop(fit->second, dst);
   auto bit = data.bwd.find(dst.raw());
   if (bit != data.bwd.end()) drop(bit->second, src);
+  InvalidateLazyIndexes();
 }
 
 sqo::Status ObjectStore::Unrelate(const std::string& relationship, sqo::Oid src,
@@ -214,6 +218,7 @@ sqo::Status ObjectStore::UpdateAttribute(sqo::Oid oid,
     }
     pit->second[record.row[*pos]].push_back(oid);
   }
+  InvalidateLazyIndexes();
   return sqo::Status::Ok();
 }
 
@@ -253,6 +258,7 @@ sqo::Status ObjectStore::DeleteObject(sqo::Oid oid) {
   }
 
   objects_.erase(oid.raw());
+  InvalidateLazyIndexes();
   return sqo::Status::Ok();
 }
 
@@ -400,6 +406,40 @@ const std::vector<sqo::Oid>* ObjectStore::IndexLookup(
   if (pit == it->second.end()) return nullptr;
   auto vit = pit->second.find(value);
   return vit == pit->second.end() ? nullptr : &vit->second;
+}
+
+void ObjectStore::InvalidateLazyIndexes() {
+  std::lock_guard<std::mutex> lock(lazy_mu_);
+  lazy_indexes_.clear();
+}
+
+const std::vector<sqo::Oid>* ObjectStore::LazyIndexLookup(
+    const std::string& relation, size_t pos, const sqo::Value& value,
+    size_t min_extent, bool* built) const {
+  if (built != nullptr) *built = false;
+  std::lock_guard<std::mutex> lock(lazy_mu_);
+  HashIndex* index = nullptr;
+  auto rel_it = lazy_indexes_.find(relation);
+  if (rel_it != lazy_indexes_.end()) {
+    auto pos_it = rel_it->second.find(pos);
+    if (pos_it != rel_it->second.end()) index = &pos_it->second;
+  }
+  if (index == nullptr) {
+    const std::vector<sqo::Oid>& extent = Extent(relation);
+    if (extent.size() < min_extent) return nullptr;
+    HashIndex fresh;
+    fresh.reserve(extent.size());
+    for (sqo::Oid oid : extent) {
+      auto it = objects_.find(oid.raw());
+      if (it == objects_.end() || pos >= it->second.row.size()) continue;
+      fresh[it->second.row[pos]].push_back(oid);
+    }
+    index = &(lazy_indexes_[relation][pos] = std::move(fresh));
+    obs::Count("index.lazy_builds");
+  }
+  if (built != nullptr) *built = true;
+  auto vit = index->find(value);
+  return vit == index->end() ? nullptr : &vit->second;
 }
 
 size_t ObjectStore::ExtentSize(const std::string& relation) const {

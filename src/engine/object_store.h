@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -129,6 +130,24 @@ class ObjectStore {
   const std::vector<sqo::Oid>* IndexLookup(const std::string& relation, size_t pos,
                                            const sqo::Value& value) const;
 
+  /// Like IndexLookup, but over the store's *lazy* secondary indexes:
+  /// the first probe of (relation, pos) whose extent has at least
+  /// `min_extent` members builds a hash index over that attribute; any
+  /// mutation (create/update/delete/relate/materialize) drops all lazy
+  /// indexes, so they are rebuilt on the next probe. Returns nullptr when
+  /// the extent is under the threshold or the value has no entry — callers
+  /// distinguish "no index" from "no match" via `built`, set to true when
+  /// an index (fresh or cached) answered the probe.
+  ///
+  /// Thread-safe for concurrent readers (one mutex-guarded table). The
+  /// returned pointer is valid until the next store mutation; concurrent
+  /// evaluation over an immutable store — the parallel-profiling contract —
+  /// never invalidates it.
+  const std::vector<sqo::Oid>* LazyIndexLookup(const std::string& relation,
+                                               size_t pos, const sqo::Value& value,
+                                               size_t min_extent,
+                                               bool* built) const;
+
   // ---- Statistics (for the planner / cost model) ----
 
   size_t ExtentSize(const std::string& relation) const;
@@ -180,11 +199,18 @@ class ObjectStore {
                                        const std::map<std::string, sqo::Value>& attrs,
                                        bool is_struct);
 
+  /// Drops all lazily built secondary indexes; called by every mutation.
+  void InvalidateLazyIndexes();
+
   const translate::TranslatedSchema* schema_;
   std::map<uint64_t, ObjectRecord> objects_;
   std::map<std::string, std::vector<sqo::Oid>> extents_;
   std::map<std::string, RelData> rels_;
   std::map<std::string, std::map<size_t, HashIndex>> indexes_;
+  /// Lazily built attribute indexes (LazyIndexLookup). Mutable: building
+  /// happens on const read paths; `lazy_mu_` guards the whole table.
+  mutable std::mutex lazy_mu_;
+  mutable std::map<std::string, std::map<size_t, HashIndex>> lazy_indexes_;
   std::map<std::string, MethodFn> methods_;
   /// relation name of a relationship -> relation name of its inverse ("")
   std::map<std::string, std::string> inverse_of_;

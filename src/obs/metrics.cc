@@ -61,6 +61,13 @@ int64_t DurationHistogram::Quantile(double q) const {
   return max_;
 }
 
+void DurationHistogram::MergeFrom(const DurationHistogram& other) {
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
 DurationHistogram::Summary DurationHistogram::Summarize() const {
   Summary s;
   s.count = count_;
@@ -69,6 +76,13 @@ DurationHistogram::Summary DurationHistogram::Summarize() const {
   s.p50_ns = Quantile(0.50);
   s.p95_ns = Quantile(0.95);
   return s;
+}
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  for (const auto& [name, value] : other.counters_) counters_[name] += value;
+  for (const auto& [name, histogram] : other.histograms_) {
+    histograms_[name].MergeFrom(histogram);
+  }
 }
 
 void MetricsRegistry::Add(std::string_view name, uint64_t delta) {

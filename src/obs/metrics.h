@@ -27,6 +27,10 @@ class DurationHistogram {
   };
   Summary Summarize() const;
 
+  /// Folds another histogram in (bucket-wise add); quantiles of the merged
+  /// histogram are as accurate as of either input.
+  void MergeFrom(const DurationHistogram& other);
+
   uint64_t count() const { return count_; }
 
  private:
@@ -51,6 +55,11 @@ class MetricsRegistry {
 
   /// Records one duration sample into histogram `name`.
   void Record(std::string_view name, int64_t nanos);
+
+  /// Adds every counter and histogram of `other` into this registry — how
+  /// per-thread registries from a parallel fan-out land in the caller's
+  /// registry (merge in a fixed order for deterministic totals).
+  void MergeFrom(const MetricsRegistry& other);
 
   const std::map<std::string, uint64_t, std::less<>>& counters() const {
     return counters_;

@@ -4,8 +4,12 @@
 #include <deque>
 #include <functional>
 #include <set>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "common/context.h"
+#include "common/fingerprint.h"
+#include "common/interner.h"
 #include "common/failpoint.h"
 #include "common/strings.h"
 #include "datalog/unify.h"
@@ -51,7 +55,7 @@ solver::ConstraintSet QueryConstraints(const Query& query) {
 void MatchRemainder(const std::vector<Literal>& remainder, size_t k,
                     Matcher* matcher, const Query& query,
                     const solver::ConstraintSet::EqualityView& qcs,
-                    const std::set<std::string>& bindable,
+                    const sqo::SymbolSet& bindable,
                     const std::function<void()>& on_match) {
   if (k == remainder.size()) {
     on_match();
@@ -82,10 +86,10 @@ void MatchRemainder(const std::vector<Literal>& remainder, size_t k,
     // Semantic candidate: if the comparison is fully instantiated over
     // query terms, ask the solver whether the query implies it.
     Atom inst = matcher->subst().ApplyToAtom(lit.atom);
-    std::vector<std::string> vars;
+    std::vector<sqo::Symbol> vars;
     inst.CollectVariables(&vars);
     bool fully_bound = true;
-    for (const std::string& v : vars) {
+    for (sqo::Symbol v : vars) {
       if (bindable.count(v) > 0) {
         fully_bound = false;
         break;
@@ -156,10 +160,10 @@ std::set<std::string> ObjectPositionVars(const Query& q,
 
 /// True if `lit` has any variable outside `query_vars` (an unbound /
 /// quantified residue variable).
-bool HasUnboundVars(const Literal& lit, const std::set<std::string>& query_vars) {
-  std::vector<std::string> vars;
+bool HasUnboundVars(const Literal& lit, const sqo::SymbolSet& query_vars) {
+  std::vector<sqo::Symbol> vars;
   lit.atom.CollectVariables(&vars);
-  for (const std::string& v : vars) {
+  for (sqo::Symbol v : vars) {
     if (query_vars.count(v) == 0) return true;
   }
   return false;
@@ -171,7 +175,7 @@ std::vector<Consequence> Optimizer::ImpliedConsequences(
     const Query& query) const {
   // Memoized: the transformation search re-derives consequences for many
   // closely related queries (restriction-removal probes each literal).
-  const std::string cache_key = query.CanonicalKey();
+  const sqo::Fingerprint128 cache_key = query.CanonicalFingerprint();
   {
     auto it = consequence_cache_.find(cache_key);
     if (it != consequence_cache_.end()) {
@@ -180,12 +184,54 @@ std::vector<Consequence> Optimizer::ImpliedConsequences(
     }
   }
   std::vector<Consequence> out;
-  std::set<std::string> seen;
+  // Cross-residue dedup by structural literal identity (denials all carry
+  // the same canonical `false` literal, so a flag suffices for them).
+  std::unordered_set<Literal, datalog::LiteralHash> seen;
+  bool denial_seen = false;
+  auto merge = [&](const Consequence& c) {
+    if (c.is_denial) {
+      if (denial_seen) return;
+      denial_seen = true;
+      out.push_back(c);
+    } else if (seen.insert(c.literal).second) {
+      out.push_back(c);
+    }
+  };
   ExecutionContext* governance = CurrentContext();
   const solver::ConstraintSet qcs_set = QueryConstraints(query);
   const solver::ConstraintSet::EqualityView qcs(qcs_set);
   const auto& equalities = qcs;
-  const std::set<std::string> query_vars = query.VariableSet();
+  sqo::SymbolSet query_vars;
+  {
+    std::vector<sqo::Symbol> vars;
+    for (const Term& t : query.head_args) {
+      if (t.is_variable()) query_vars.insert(t.var_symbol());
+    }
+    for (const Literal& lit : query.body) lit.atom.CollectVariables(&vars);
+    query_vars.insert(vars.begin(), vars.end());
+  }
+
+  // One pass over the body groups predicate literals by (predicate,
+  // polarity) with a multiset fingerprint per group, and fingerprints the
+  // comparison literals (all of them — comparisons feed both remainder
+  // matching and the solver's equality/implication view). This feeds the
+  // applicability gate and the residue-application memo keys below.
+  sqo::FingerprintBuilder cmp_fb;
+  std::unordered_map<uint64_t, sqo::Fingerprint128> pred_groups;
+  auto group_of = [](sqo::Symbol pred, bool positive) {
+    return static_cast<uint64_t>(pred.id()) * 2 + (positive ? 1 : 0);
+  };
+  for (const Literal& lit : query.body) {
+    if (lit.atom.is_comparison()) {
+      cmp_fb.AppendUnordered(lit.Hash());
+      continue;
+    }
+    sqo::FingerprintBuilder b;
+    b.AppendUnordered(lit.Hash());
+    auto [it, fresh] = pred_groups.emplace(
+        group_of(lit.atom.predicate_symbol(), lit.positive), b.fingerprint());
+    if (!fresh) it->second = sqo::CombineUnordered(it->second, b.fingerprint());
+  }
 
   for (const Literal& anchor : query.body) {
     if (!anchor.positive || !anchor.atom.is_predicate()) continue;
@@ -193,6 +239,22 @@ std::vector<Consequence> Optimizer::ImpliedConsequences(
         compiled_->ResiduesFor(anchor.atom.predicate());
     if (residues == nullptr) continue;
     for (const Residue& residue : *residues) {
+      // Applicability gate: every remainder predicate literal needs at
+      // least one query literal with the same predicate and polarity —
+      // matching requires exact predicate agreement — so a query lacking
+      // one can never fire this residue. Skipped attempts do no matcher
+      // work and incur no governance charge (no application is attempted).
+      bool applicable = true;
+      for (const auto& [pred, positive] : residue.remainder_predicates) {
+        if (pred_groups.find(group_of(pred, positive)) == pred_groups.end()) {
+          applicable = false;
+          break;
+        }
+      }
+      if (!applicable) {
+        obs::Count("optimizer.applicability_skips");
+        continue;
+      }
       // This function returns a plain vector, so governance violations and
       // injected failures latch into the context; the Optimize boundary
       // turns the latched Status into the caller-visible error. Bail
@@ -211,13 +273,37 @@ std::vector<Consequence> Optimizer::ImpliedConsequences(
         residue_span.Tag("source", residue.source);
       }
       obs::Count("optimizer.residues_tried");
-      bool hit = false;
+
+      // Residue-application memo: the consequence set of one (residue,
+      // anchor) attempt is a function of the anchor atom and the relevant
+      // query literals only (comparisons + literals the remainder can
+      // match; residue variables carry the reserved "_R" prefix, so no
+      // other query state leaks in). The restriction-removal and join-
+      // elimination probes re-run most attempts verbatim minus one
+      // irrelevant literal — those hit here.
+      sqo::Fingerprint128 relevant = cmp_fb.fingerprint();
+      for (const auto& [pred, positive] : residue.remainder_predicates) {
+        relevant = sqo::CombineUnordered(relevant,
+                                         pred_groups[group_of(pred, positive)]);
+      }
+      ResidueMemoKey memo_key{residue.id, relevant, anchor.atom};
+      if (auto mit = residue_memo_.find(memo_key); mit != residue_memo_.end()) {
+        obs::Count("optimizer.match_memo_hits");
+        residue_span.Tag("result", mit->second.hit ? "hit" : "miss");
+        if (mit->second.hit) obs::Count("optimizer.residue_hits");
+        for (const Consequence& c : mit->second.consequences) merge(c);
+        continue;
+      }
+
+      ResidueMemoEntry entry;
+      std::unordered_set<Literal, datalog::LiteralHash> entry_seen;
+      bool entry_denial = false;
       // Residues were renamed apart at compile time (reserved "_R" prefix);
-      // their variable sets are precomputed.
+      // their variable sets are precomputed and interned, so the matcher
+      // borrows the set instead of copying it per application.
       const Atom& template_atom = residue.template_atom;
       const std::vector<Literal>& remainder = residue.remainder;
-      const std::set<std::string>& bindable = residue.variables;
-      Matcher matcher(bindable);
+      Matcher matcher = Matcher::Borrowing(&residue.bindable_symbols);
       // Match modulo the query's own equality theory, so a key residue can
       // align Name with Name2 when the query asserts Name = Name2 (§5.3).
       matcher.set_frozen_equiv([&equalities](const Term& a, const Term& b) {
@@ -225,14 +311,19 @@ std::vector<Consequence> Optimizer::ImpliedConsequences(
       });
       if (!matcher.MatchAtom(template_atom, anchor.atom)) {
         residue_span.Tag("result", "miss");
+        if (residue_memo_.size() > 8192) residue_memo_.clear();
+        residue_memo_.emplace(std::move(memo_key), std::move(entry));
         continue;
       }
 
-      MatchRemainder(remainder, 0, &matcher, query, qcs, bindable, [&]() {
-        hit = true;
+      MatchRemainder(remainder, 0, &matcher, query, qcs,
+                     residue.bindable_symbols, [&]() {
+        entry.hit = true;
         Consequence c;
         c.source = residue.source;
         if (!residue.head.has_value()) {
+          if (entry_denial) return;
+          entry_denial = true;
           c.is_denial = true;
           c.literal = Literal::Pos(Atom::Comparison(
               CmpOp::kNe, Term::Int(0), Term::Int(0)));  // canonical "false"
@@ -249,14 +340,16 @@ std::vector<Consequence> Optimizer::ImpliedConsequences(
               return;
             }
           }
+          if (!entry_seen.insert(inst).second) return;
           c.literal = std::move(inst);
         }
-        std::string key = c.literal.ToString() + (c.is_denial ? "!" : "");
-        // Canonicalize unbound-variable names for dedup purposes only.
-        if (seen.insert(key).second) out.push_back(std::move(c));
+        entry.consequences.push_back(std::move(c));
       });
-      residue_span.Tag("result", hit ? "hit" : "miss");
-      if (hit) obs::Count("optimizer.residue_hits");
+      residue_span.Tag("result", entry.hit ? "hit" : "miss");
+      if (entry.hit) obs::Count("optimizer.residue_hits");
+      for (const Consequence& c : entry.consequences) merge(c);
+      if (residue_memo_.size() > 8192) residue_memo_.clear();
+      residue_memo_.emplace(std::move(memo_key), std::move(entry));
     }
   }
   if (consequence_cache_.size() > 4096) consequence_cache_.clear();
@@ -500,18 +593,18 @@ std::vector<Rewriting> Optimizer::Neighbors(const Rewriting& base, bool addition
       }
       // Skip if an existing literal subsumes the consequence (match the
       // consequence's unbound variables against it).
-      std::set<std::string> unbound;
+      sqo::SymbolSet unbound;
       {
         std::vector<std::string> vars;
         lit.atom.CollectVariables(&vars);
         for (const std::string& v : vars) {
-          if (query_vars.count(v) == 0) unbound.insert(v);
+          if (query_vars.count(v) == 0) unbound.insert(sqo::Intern(v));
         }
       }
       bool present = false;
       for (const Literal& ql : q.body) {
         if (!ql.positive || !ql.atom.is_predicate()) continue;
-        Matcher m(unbound);
+        Matcher m = Matcher::Borrowing(&unbound);
         if (m.MatchAtom(lit.atom, ql.atom)) {
           present = true;
           break;
@@ -525,7 +618,7 @@ std::vector<Rewriting> Optimizer::Neighbors(const Rewriting& base, bool addition
         auto bound_at = [&](size_t i) {
           const Term& t = lit.atom.args()[i];
           return t.is_constant() ||
-                 (t.is_variable() && query_vars.count(t.var_name()) > 0);
+                 (t.is_variable() && unbound.count(t.var_symbol()) == 0);
         };
         switch (sig->kind) {
           case RelationKind::kClass:
@@ -598,13 +691,20 @@ std::vector<Rewriting> Optimizer::Neighbors(const Rewriting& base, bool addition
 
       // Solo variables: occur in this literal only (not in the head, not
       // elsewhere in the body).
-      std::set<std::string> solo = LiteralVars(lit);
+      sqo::SymbolSet solo;
+      {
+        std::vector<sqo::Symbol> vars;
+        lit.atom.CollectVariables(&vars);
+        solo.insert(vars.begin(), vars.end());
+      }
       for (const Term& t : q.head_args) {
-        if (t.is_variable()) solo.erase(t.var_name());
+        if (t.is_variable()) solo.erase(t.var_symbol());
       }
       for (size_t j = 0; j < q.body.size() && !solo.empty(); ++j) {
         if (j == i) continue;
-        for (const std::string& v : LiteralVars(q.body[j])) solo.erase(v);
+        std::vector<sqo::Symbol> vars;
+        q.body[j].atom.CollectVariables(&vars);
+        for (sqo::Symbol v : vars) solo.erase(v);
       }
 
       // Multiplicity gate, mirroring join introduction.
@@ -613,7 +713,7 @@ std::vector<Rewriting> Optimizer::Neighbors(const Rewriting& base, bool addition
         auto bound_at = [&](size_t pos) {
           const Term& t = lit.atom.args()[pos];
           return t.is_constant() ||
-                 (t.is_variable() && solo.count(t.var_name()) == 0);
+                 (t.is_variable() && solo.count(t.var_symbol()) == 0);
         };
         switch (sig->kind) {
           case RelationKind::kClass:
@@ -645,7 +745,7 @@ std::vector<Rewriting> Optimizer::Neighbors(const Rewriting& base, bool addition
       // after variable merging).
       for (const Literal& other : rest.body) {
         if (!other.positive || !other.atom.is_predicate()) continue;
-        Matcher m(solo);
+        Matcher m = Matcher::Borrowing(&solo);
         if (m.MatchAtom(lit.atom, other.atom)) {
           implied = true;
           source = "subsumed by " + other.atom.ToString();
@@ -658,7 +758,7 @@ std::vector<Rewriting> Optimizer::Neighbors(const Rewriting& base, bool addition
               !c.literal.atom.is_predicate()) {
             continue;
           }
-          Matcher m(solo);
+          Matcher m = Matcher::Borrowing(&solo);
           if (m.MatchAtom(lit.atom, c.literal.atom)) {
             implied = true;
             source = c.source;
@@ -809,15 +909,15 @@ sqo::Result<OptimizationOutcome> Optimizer::Optimize(const Query& query) const {
     }
   }
 
-  // Bounded breadth-first search over rewritings, deduplicated by
-  // canonical form.
+  // Bounded breadth-first search over rewritings, deduplicated by hashed
+  // canonical fingerprint (128-bit; see DESIGN.md on why a hash suffices).
   {
     obs::Span search_span("optimize.search");
-    std::set<std::string> seen;
+    std::unordered_set<sqo::Fingerprint128, sqo::FingerprintHash> seen;
     std::deque<std::pair<Rewriting, int>> frontier;
     Rewriting original;
     original.query = query;
-    seen.insert(query.CanonicalKey());
+    seen.insert(query.CanonicalFingerprint());
     outcome.equivalents.push_back(original);
     frontier.emplace_back(std::move(original), 0);
 
@@ -829,9 +929,10 @@ sqo::Result<OptimizationOutcome> Optimizer::Optimize(const Query& query) const {
       if (depth >= options_.max_depth) continue;
       for (Rewriting& next : Neighbors(current, /*additions=*/true,
                                        /*reductions=*/true)) {
-        std::string key = next.query.CanonicalKey();
+        sqo::Fingerprint128 key = next.query.CanonicalFingerprint();
         if (!seen.insert(key).second) {
           ++pruned;
+          obs::Count("optimizer.dedup_hits");
           continue;
         }
         if (outcome.equivalents.size() >= options_.max_alternatives) {
@@ -857,17 +958,25 @@ sqo::Result<OptimizationOutcome> Optimizer::Optimize(const Query& query) const {
       for (size_t i = 0; i < n; ++i) {
         SQO_RETURN_IF_ERROR(CheckGovernance("optimizer.fixpoint"));
         Rewriting reduced = ReduceToFixpoint(outcome.equivalents[i]);
-        std::string key = reduced.query.CanonicalKey();
+        sqo::Fingerprint128 key = reduced.query.CanonicalFingerprint();
         if (seen.insert(key).second) {
           outcome.equivalents.push_back(std::move(reduced));
         } else {
           ++pruned;
+          obs::Count("optimizer.dedup_hits");
         }
       }
     }
   }
   obs::Count("optimizer.alternatives_generated", outcome.equivalents.size());
   obs::Count("optimizer.alternatives_pruned", pruned);
+  // interner.size is a gauge (monotone process-wide table); record it as
+  // "current size" by topping the counter up to the latest value.
+  if (obs::MetricsRegistry* metrics = obs::CurrentMetrics()) {
+    const uint64_t size = sqo::InternerSize();
+    const uint64_t recorded = metrics->CounterValue("interner.size");
+    if (size > recorded) metrics->Add("interner.size", size - recorded);
+  }
   span.Tag("alternatives", static_cast<uint64_t>(outcome.equivalents.size()));
   span.Tag("pruned", pruned);
   return outcome;

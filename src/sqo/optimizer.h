@@ -1,10 +1,12 @@
 #ifndef SQO_SQO_OPTIMIZER_H_
 #define SQO_SQO_OPTIMIZER_H_
 
-#include <map>
+#include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "common/fingerprint.h"
 #include "common/status.h"
 #include "datalog/clause.h"
 #include "solver/constraint_set.h"
@@ -107,9 +109,43 @@ class Optimizer {
   const CompiledSchema* compiled_;
   OptimizerOptions options_;
 
-  /// Memo for ImpliedConsequences, keyed by canonical query form. The
-  /// optimizer is not thread-safe; use one instance per thread.
-  mutable std::map<std::string, std::vector<Consequence>> consequence_cache_;
+  /// Memo for ImpliedConsequences, keyed by the 128-bit hash of the
+  /// canonical query form (CanonicalFingerprint — no key string is ever
+  /// materialized). The optimizer is not thread-safe; use one instance per
+  /// thread.
+  mutable std::unordered_map<sqo::Fingerprint128, std::vector<Consequence>,
+                             sqo::FingerprintHash>
+      consequence_cache_;
+
+  /// Memo for individual residue applications. The consequence set of one
+  /// (residue, anchor) attempt depends only on the anchor atom, the query's
+  /// comparison literals, and the query literals whose predicate/polarity
+  /// the residue's remainder can match (see DESIGN.md for the soundness
+  /// argument), so restriction-removal probes that drop an *irrelevant*
+  /// literal hit this memo instead of re-running the backtracking matcher.
+  struct ResidueMemoKey {
+    uint32_t residue_id;
+    sqo::Fingerprint128 relevant;  // multiset hash of relevant literals
+    datalog::Atom anchor;          // compared exactly, not by hash
+
+    bool operator==(const ResidueMemoKey& o) const {
+      return residue_id == o.residue_id && relevant == o.relevant &&
+             anchor == o.anchor;
+    }
+  };
+  struct ResidueMemoKeyHash {
+    size_t operator()(const ResidueMemoKey& k) const {
+      return sqo::FingerprintHash()(k.relevant) * 1099511628211ull +
+             k.residue_id * 0x9e3779b9u + k.anchor.Hash();
+    }
+  };
+  struct ResidueMemoEntry {
+    bool hit = false;
+    std::vector<Consequence> consequences;  // deduped within this entry
+  };
+  mutable std::unordered_map<ResidueMemoKey, ResidueMemoEntry,
+                             ResidueMemoKeyHash>
+      residue_memo_;
 };
 
 }  // namespace sqo::core

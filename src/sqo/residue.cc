@@ -24,6 +24,27 @@ std::string Residue::ToString() const {
          StrJoin(rem, ", ") + "}";
 }
 
+void Residue::FinalizeForMatching(uint32_t residue_id) {
+  id = residue_id;
+  bindable_symbols.clear();
+  for (const std::string& name : variables) {
+    bindable_symbols.insert(sqo::Intern(name));
+  }
+  remainder_predicates.clear();
+  for (const Literal& lit : remainder) {
+    if (!lit.atom.is_predicate()) continue;
+    std::pair<sqo::Symbol, bool> req(lit.atom.predicate_symbol(), lit.positive);
+    bool present = false;
+    for (const auto& existing : remainder_predicates) {
+      if (existing == req) {
+        present = true;
+        break;
+      }
+    }
+    if (!present) remainder_predicates.push_back(req);
+  }
+}
+
 namespace {
 
 /// Renames all variables of a residue to a canonical scheme: template

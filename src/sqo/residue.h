@@ -1,11 +1,14 @@
 #ifndef SQO_SQO_RESIDUE_H_
 #define SQO_SQO_RESIDUE_H_
 
+#include <cstdint>
 #include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/interner.h"
 #include "datalog/clause.h"
 #include "datalog/signature.h"
 
@@ -44,7 +47,27 @@ struct Residue {
   /// matcher's bindable set at application time.
   std::set<std::string> variables;
 
+  /// `variables`, interned — borrowed by the application-time matcher so no
+  /// per-application set copy happens. Filled by FinalizeForMatching.
+  sqo::SymbolSet bindable_symbols;
+
+  /// Distinct (predicate, polarity) pairs of the remainder's predicate
+  /// literals. Remainder predicate literals only ever match query literals
+  /// with the same predicate and polarity, so a query lacking any of these
+  /// can never fire the residue — the optimizer's applicability gate skips
+  /// the whole match attempt. Filled by FinalizeForMatching.
+  std::vector<std::pair<sqo::Symbol, bool>> remainder_predicates;
+
+  /// Dense id, unique within a CompiledSchema; key component of the
+  /// optimizer's residue-application memo. Filled by FinalizeForMatching.
+  uint32_t id = 0;
+
   Residue() : template_atom(datalog::Atom::Pred("", {})) {}
+
+  /// Precomputes the application-time acceleration fields above from
+  /// `variables` and `remainder`. Called once per residue by the semantic
+  /// compiler, after renaming apart.
+  void FinalizeForMatching(uint32_t residue_id);
 
   /// `faculty(T1, T2, T3): {Age > 30 <- }` style rendering.
   std::string ToString() const;

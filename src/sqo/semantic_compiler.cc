@@ -115,6 +115,10 @@ sqo::Result<CompiledSchema> CompileSemantics(
         residue.template_atom = renamed.body.front().atom;
         residue.remainder.assign(renamed.body.begin() + 1, renamed.body.end());
         residue.variables = renamed.VariableSet();
+        // Precompute the application-time acceleration data (interned
+        // bindable set, remainder predicate requirements, memo id) once,
+        // here, instead of per application in the optimizer's hot loop.
+        residue.FinalizeForMatching(static_cast<uint32_t>(residue_counter));
         out.residues[rel].push_back(std::move(residue));
       }
     }

@@ -192,6 +192,64 @@ TEST(AnalyzerIcsTest, A006AcceptsIndependentIcs) {
   EXPECT_EQ(CountCode(report, kCodeSubsumedIc), 0u) << report.ToString();
 }
 
+// --- SQO-A012: equality IC over an attribute with no index hint ----------
+
+TEST(AnalyzerIcsTest, A012FlagsEqualityComparisonOnUnindexedAttribute) {
+  auto ts = University();
+  // `age` carries no ODL key hint, so residues of this IC inject equality
+  // selections with no explicit index behind them.
+  auto report =
+      AnalyzeIcs(ts, ParseIcs(ts, "ic1: <- person(X, N, A, Ad), A = 25."));
+  EXPECT_EQ(CountCode(report, kCodeUnindexedEqualityIc), 1u)
+      << report.ToString();
+  EXPECT_FALSE(report.has_errors());  // perf lint, not a correctness error
+}
+
+TEST(AnalyzerIcsTest, A012FlagsConstantInAttributePosition) {
+  auto ts = University();
+  auto report = AnalyzeIcs(ts, ParseIcs(ts, "ic1: <- person(X, N, 25, Ad)."));
+  EXPECT_EQ(CountCode(report, kCodeUnindexedEqualityIc), 1u)
+      << report.ToString();
+}
+
+TEST(AnalyzerIcsTest, A012FlagsHeadEquality) {
+  auto ts = University();
+  auto report =
+      AnalyzeIcs(ts, ParseIcs(ts, "ic1: A = 25 <- person(X, N, A, Ad)."));
+  EXPECT_EQ(CountCode(report, kCodeUnindexedEqualityIc), 1u)
+      << report.ToString();
+}
+
+TEST(AnalyzerIcsTest, A012AcceptsEqualityOnKeyedAttribute) {
+  auto ts = University();
+  // Person declares `key name`: the equality selection has an explicit
+  // index, and the inherited key also covers the student subclass.
+  auto report = AnalyzeIcs(
+      ts, ParseIcs(ts,
+                   "ic1: A > 0 <- person(X, \"bob\", A, Ad).\n"
+                   "ic2: A > 0 <- student(S, \"bob\", A, Ad, G).\n"));
+  EXPECT_EQ(CountCode(report, kCodeUnindexedEqualityIc), 0u)
+      << report.ToString();
+}
+
+TEST(AnalyzerIcsTest, A012IgnoresInequalities) {
+  auto ts = University();
+  auto report = AnalyzeIcs(
+      ts, ParseIcs(ts, "ic1: A > 30 <- person(X, N, A, Ad), A < 90."));
+  EXPECT_EQ(CountCode(report, kCodeUnindexedEqualityIc), 0u)
+      << report.ToString();
+}
+
+TEST(AnalyzerIcsTest, A012CanBeDisabled) {
+  auto ts = University();
+  AnalyzerOptions options;
+  options.check_index_hints = false;
+  auto report = AnalyzeIcs(
+      ts, ParseIcs(ts, "ic1: <- person(X, N, A, Ad), A = 25."), options);
+  EXPECT_EQ(CountCode(report, kCodeUnindexedEqualityIc), 0u)
+      << report.ToString();
+}
+
 TEST(AnalyzerIcsTest, MethodFactsAreSkipped) {
   auto ts = University();
   auto report = AnalyzeIcs(

@@ -1,0 +1,90 @@
+#include "common/interner.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace sqo {
+namespace {
+
+TEST(InternerTest, SameTextSameSymbol) {
+  Symbol a = Intern("faculty");
+  Symbol b = Intern(std::string("fac") + "ulty");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.id(), b.id());
+  EXPECT_EQ(a.str(), "faculty");
+  EXPECT_EQ(a.view(), "faculty");
+}
+
+TEST(InternerTest, DistinctTextDistinctSymbol) {
+  Symbol a = Intern("interner_distinct_a");
+  Symbol b = Intern("interner_distinct_b");
+  EXPECT_NE(a, b);
+  EXPECT_NE(a.id(), b.id());
+}
+
+TEST(InternerTest, DefaultSymbolIsEmptyString) {
+  Symbol def;
+  EXPECT_TRUE(def.empty());
+  EXPECT_EQ(def, Intern(""));
+  EXPECT_EQ(def.str(), "");
+  EXPECT_FALSE(Intern("x").empty());
+}
+
+TEST(InternerTest, OrderingIsLexicographicNotInsertionOrder) {
+  // Canonical orders downstream (substitution rendering, std::map
+  // iteration) must not depend on which string happened to intern first.
+  Symbol z = Intern("zzz_order_probe");
+  Symbol a = Intern("aaa_order_probe");
+  EXPECT_LT(a, z);
+  EXPECT_FALSE(z < a);
+  EXPECT_FALSE(a < Intern("aaa_order_probe"));  // irreflexive on equals
+}
+
+TEST(InternerTest, HashMatchesStdStringHash) {
+  // Term/Atom hashes predate interning; Symbol::hash() must agree with
+  // std::hash<std::string> so those hash values stayed put.
+  for (const char* text : {"person", "faculty", "", "X", "_R1_V"}) {
+    EXPECT_EQ(Intern(text).hash(), std::hash<std::string>()(text)) << text;
+  }
+}
+
+TEST(InternerTest, InternerSizeCountsDistinctStrings) {
+  const size_t before = InternerSize();
+  Intern("interner_size_probe_1");
+  Intern("interner_size_probe_2");
+  Intern("interner_size_probe_1");  // duplicate: no growth
+  EXPECT_EQ(InternerSize(), before + 2);
+}
+
+TEST(InternerTest, SymbolSetMembership) {
+  SymbolSet set;
+  set.insert(Intern("bindable_x"));
+  set.insert(Intern("bindable_y"));
+  EXPECT_EQ(set.count(Intern("bindable_x")), 1u);
+  EXPECT_EQ(set.count(Intern("bindable_z")), 0u);
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(InternerTest, ConcurrentInterningIsConsistent) {
+  constexpr int kThreads = 8;
+  std::vector<Symbol> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &results] {
+      for (int i = 0; i < 500; ++i) {
+        Intern("concurrent_intern_" + std::to_string(i % 16));
+      }
+      results[t] = Intern("concurrent_intern_0");
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(results[0], results[t]);
+}
+
+}  // namespace
+}  // namespace sqo

@@ -1,0 +1,93 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace sqo {
+namespace {
+
+TEST(ThreadPoolTest, DefaultSizeIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::DefaultSize(), 1u);
+  EXPECT_LE(ThreadPool::DefaultSize(), 8u);
+}
+
+TEST(ThreadPoolTest, RunBatchRunsEveryTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> ran{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 100; ++i) {
+    tasks.push_back([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.RunBatch(std::move(tasks));
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, RunBatchSlotWritesAreVisible) {
+  // The parallel-profiling pattern: each task owns one output slot; after
+  // RunBatch returns every slot must be written and visible.
+  ThreadPool pool(3);
+  std::vector<int> slots(64, 0);
+  std::vector<std::function<void()>> tasks;
+  for (size_t i = 0; i < slots.size(); ++i) {
+    tasks.push_back([&slots, i] { slots[i] = static_cast<int>(i) + 1; });
+  }
+  pool.RunBatch(std::move(tasks));
+  for (size_t i = 0; i < slots.size(); ++i) {
+    EXPECT_EQ(slots[i], static_cast<int>(i) + 1);
+  }
+}
+
+TEST(ThreadPoolTest, EmptyBatchReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.RunBatch({});
+}
+
+TEST(ThreadPoolTest, DestructorDrainsSubmittedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }  // ~ThreadPool finishes the queue before joining
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPoolTest, SingleWorkerStillCompletesBatch) {
+  ThreadPool pool(1);
+  std::atomic<int> sum{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 1; i <= 10; ++i) {
+    tasks.push_back([&sum, i] { sum.fetch_add(i, std::memory_order_relaxed); });
+  }
+  pool.RunBatch(std::move(tasks));
+  EXPECT_EQ(sum.load(), 55);
+}
+
+TEST(ThreadPoolTest, ZeroRequestedThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<bool> ran{false};
+  pool.RunBatch({[&ran] { ran = true; }});
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, BatchesCanBeReusedAcrossCalls) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int round = 0; round < 5; ++round) {
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 8; ++i) {
+      tasks.push_back([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.RunBatch(std::move(tasks));
+  }
+  EXPECT_EQ(ran.load(), 40);
+}
+
+}  // namespace
+}  // namespace sqo

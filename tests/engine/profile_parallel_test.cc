@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/context.h"
+#include "engine/database.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "workload/university.h"
+
+namespace sqo::engine {
+namespace {
+
+void ExpectStatsEqual(const obs::EvalStats& a, const obs::EvalStats& b,
+                      size_t index) {
+  EXPECT_EQ(a.objects_fetched, b.objects_fetched) << "alternative " << index;
+  EXPECT_EQ(a.extent_scans, b.extent_scans) << "alternative " << index;
+  EXPECT_EQ(a.index_probes, b.index_probes) << "alternative " << index;
+  EXPECT_EQ(a.relationship_traversals, b.relationship_traversals)
+      << "alternative " << index;
+  EXPECT_EQ(a.method_invocations, b.method_invocations)
+      << "alternative " << index;
+  EXPECT_EQ(a.comparisons, b.comparisons) << "alternative " << index;
+  EXPECT_EQ(a.negation_checks, b.negation_checks) << "alternative " << index;
+  EXPECT_EQ(a.tuples_emitted, b.tuples_emitted) << "alternative " << index;
+  EXPECT_EQ(a.results, b.results) << "alternative " << index;
+}
+
+/// Total work of one alternative — the deterministic "best" criterion the
+/// differential test compares across profiling modes.
+uint64_t Work(const obs::EvalStats& s) {
+  return s.objects_fetched + s.relationship_traversals + s.comparisons +
+         s.negation_checks + s.method_invocations;
+}
+
+class ProfileParallelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto pipeline = workload::MakeUniversityPipeline();
+    ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+    pipeline_ = std::make_unique<core::Pipeline>(std::move(pipeline).value());
+    db_ = std::make_unique<Database>(&pipeline_->schema());
+
+    workload::GeneratorConfig config;
+    config.n_plain_persons = 20;
+    config.n_students = 50;
+    config.n_faculty = 6;
+    config.n_courses = 4;
+    config.sections_per_course = 3;
+    ASSERT_TRUE(workload::PopulateUniversity(config, *pipeline_, db_.get()).ok());
+  }
+
+  core::PipelineResult Optimize(const std::string& oql) {
+    auto result = pipeline_->OptimizeText(oql);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_FALSE(result->contradiction);
+    return *result;
+  }
+
+  std::unique_ptr<core::Pipeline> pipeline_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(ProfileParallelTest, ParallelMatchesSerialPerAlternative) {
+  for (const std::string& oql : {workload::QueryScopeReduction(),
+                                 workload::QueryAsrIndirect()}) {
+    core::PipelineResult serial = Optimize(oql);
+    core::PipelineResult parallel = serial;
+
+    EvalOptions serial_options;
+    serial_options.profile_threads = 1;
+    EvalOptions parallel_options;
+    parallel_options.profile_threads = 4;
+
+    ASSERT_TRUE(db_->ProfileAlternatives(&serial, serial_options).ok());
+    ASSERT_TRUE(db_->ProfileAlternatives(&parallel, parallel_options).ok());
+
+    ASSERT_EQ(serial.alternatives.size(), parallel.alternatives.size());
+    size_t best_serial = 0, best_parallel = 0;
+    for (size_t i = 0; i < serial.alternatives.size(); ++i) {
+      EXPECT_TRUE(serial.alternatives[i].evaluated);
+      EXPECT_TRUE(parallel.alternatives[i].evaluated);
+      ExpectStatsEqual(serial.alternatives[i].eval_stats,
+                       parallel.alternatives[i].eval_stats, i);
+      if (Work(serial.alternatives[i].eval_stats) <
+          Work(serial.alternatives[best_serial].eval_stats)) {
+        best_serial = i;
+      }
+      if (Work(parallel.alternatives[i].eval_stats) <
+          Work(parallel.alternatives[best_parallel].eval_stats)) {
+        best_parallel = i;
+      }
+    }
+    EXPECT_EQ(best_serial, best_parallel);
+  }
+}
+
+TEST_F(ProfileParallelTest, ParallelTasksCounterAndMergedMetrics) {
+  core::PipelineResult result = Optimize(workload::QueryScopeReduction());
+  ASSERT_GT(result.alternatives.size(), 1u);
+
+  obs::MetricsRegistry metrics;
+  obs::ScopedMetrics install(&metrics);
+  EvalOptions options;
+  options.profile_threads = 4;
+  ASSERT_TRUE(db_->ProfileAlternatives(&result, options).ok());
+
+  EXPECT_EQ(metrics.CounterValue("profile.parallel_tasks"),
+            result.alternatives.size());
+  // Worker-side registries merged back: evaluator counters are visible.
+  EXPECT_GT(metrics.CounterValue("eval.objects_fetched"), 0u);
+  EXPECT_GT(metrics.CounterValue("eval.results"), 0u);
+}
+
+TEST_F(ProfileParallelTest, InstalledTracerForcesSerialProfiling) {
+  core::PipelineResult result = Optimize(workload::QueryScopeReduction());
+
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  obs::ScopedTracer install_tracer(&tracer);
+  obs::ScopedMetrics install_metrics(&metrics);
+  EvalOptions options;
+  options.profile_threads = 4;
+  ASSERT_TRUE(db_->ProfileAlternatives(&result, options).ok());
+
+  EXPECT_EQ(metrics.CounterValue("profile.parallel_tasks"), 0u);
+  bool saw_eval_span = false;
+  for (const obs::SpanRecord& span : tracer.spans()) {
+    if (span.name == "eval.evaluate") saw_eval_span = true;
+  }
+  EXPECT_TRUE(saw_eval_span);
+}
+
+TEST_F(ProfileParallelTest, ExpiredDeadlineReachesEveryTask) {
+  core::PipelineResult result = Optimize(workload::QueryScopeReduction());
+
+  ExecutionContext context;
+  context.ExpireDeadlineNow();
+  ScopedContext install(&context);
+  EvalOptions options;
+  options.profile_threads = 4;
+  sqo::Status status = db_->ProfileAlternatives(&result, options);
+  EXPECT_FALSE(status.ok());
+  for (const core::Alternative& alt : result.alternatives) {
+    EXPECT_FALSE(alt.evaluated);
+  }
+}
+
+}  // namespace
+}  // namespace sqo::engine
