@@ -13,6 +13,12 @@
 //   oql> \check select ...      -- lint a query without running it
 //   oql> \deadline 50           -- bound Step 3 to 50ms (0 clears); expiry
 //                                  degrades to the original query
+//   oql> \save db_dir           -- attach crash-safe storage: current state
+//                                  becomes the persisted baseline, every
+//                                  later mutation is WAL-logged
+//   oql> \open db_dir           -- recover a persisted database (replaces
+//                                  the in-memory one)
+//   oql> \checkpoint            -- snapshot now + truncate the WAL
 //   oql> \quit
 
 #include <algorithm>
@@ -20,6 +26,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -31,6 +38,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "oql/parser.h"
+#include "storage/manager.h"
 #include "workload/university.h"
 
 namespace {
@@ -230,6 +238,34 @@ void CheckCommand(const sqo::core::Pipeline& pipeline, const std::string& arg) {
   std::printf("%s\n", report.Summary().c_str());
 }
 
+void PrintRecovery(const sqo::storage::RecoveryInfo& info) {
+  if (info.created) {
+    std::printf("initialized storage (baseline checkpoint written)\n");
+  } else {
+    std::printf("recovered %s: snapshot LSN %llu, %llu WAL records replayed",
+                info.snapshot_path.c_str(),
+                static_cast<unsigned long long>(info.snapshot_lsn),
+                static_cast<unsigned long long>(info.replayed_records));
+    if (info.truncated_bytes > 0) {
+      std::printf(", %llu bytes truncated off the log tail",
+                  static_cast<unsigned long long>(info.truncated_bytes));
+    }
+    std::printf("\n");
+  }
+  if (info.degraded) {
+    std::printf("DEGRADED: %s\n", info.degradation_reason.c_str());
+  }
+  if (info.catalog_loaded) {
+    std::printf("stored catalog: %llu ICs, %llu residues (schema %s)\n",
+                static_cast<unsigned long long>(info.catalog.ic_count),
+                static_cast<unsigned long long>(info.catalog.total_residues),
+                info.catalog.schema_hash.ToString().c_str());
+  }
+  if (!info.lint.diagnostics.empty()) {
+    std::fputs(info.lint.ToString().c_str(), stdout);
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -239,20 +275,22 @@ int main() {
     return 1;
   }
   const sqo::core::Pipeline& pipeline = *pipeline_or;
-  sqo::engine::Database db(&pipeline.schema());
+  auto db = std::make_unique<sqo::engine::Database>(&pipeline.schema());
   sqo::workload::GeneratorConfig config;
-  if (auto s = sqo::workload::PopulateUniversity(config, pipeline, &db);
+  if (auto s = sqo::workload::PopulateUniversity(config, pipeline, db.get());
       !s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;
   }
-  sqo::engine::EngineCostModel cost_model(&db.store());
+  auto cost_model =
+      std::make_unique<sqo::engine::EngineCostModel>(&db->store());
 
   std::printf(
       "sqo shell — university schema loaded (%zu objects, %zu residues)\n"
       "commands: \\ics  \\residues <relation>  \\plan <oql>  \\explain <oql>  "
-      "\\check [oql]  \\deadline <ms>  \\timing  \\quit\n",
-      db.store().object_count(), pipeline.compiled().total_residues());
+      "\\check [oql]  \\deadline <ms>  \\timing  \\save <dir>  \\open <dir>  "
+      "\\checkpoint  \\quit\n",
+      db->store().object_count(), pipeline.compiled().total_residues());
 
   bool timing = false;
   uint64_t deadline_ms = 0;
@@ -311,13 +349,67 @@ int main() {
       CheckCommand(pipeline, line.substr(7));
       continue;
     }
+    if (line.rfind("\\save ", 0) == 0) {
+      const std::string dir = line.substr(6);
+      if (db->storage_attached()) {
+        std::printf("storage already attached; \\checkpoint to flush\n");
+        continue;
+      }
+      sqo::storage::OpenOptions options;
+      options.compiled = &pipeline.compiled();
+      if (auto s = db->Open(dir, options); !s.ok()) {
+        std::printf("error: %s\n", s.ToString().c_str());
+        continue;
+      }
+      PrintRecovery(*db->recovery_info());
+      std::printf("storage attached at %s\n", dir.c_str());
+      continue;
+    }
+    if (line.rfind("\\open ", 0) == 0) {
+      const std::string dir = line.substr(6);
+      auto fresh = std::make_unique<sqo::engine::Database>(&pipeline.schema());
+      // Methods and index definitions are code, not data: re-register them
+      // before recovery so replayed objects index correctly.
+      if (auto s = sqo::workload::SetupUniversityRuntime(fresh.get());
+          !s.ok()) {
+        std::printf("error: %s\n", s.ToString().c_str());
+        continue;
+      }
+      sqo::storage::OpenOptions options;
+      options.compiled = &pipeline.compiled();
+      if (auto s = fresh->Open(dir, options); !s.ok()) {
+        std::printf("error: %s\n", s.ToString().c_str());
+        continue;
+      }
+      PrintRecovery(*fresh->recovery_info());
+      if (db->storage_attached()) {
+        if (auto s = db->CloseStorage(); !s.ok()) {
+          std::printf("note: closing previous storage: %s\n",
+                      s.ToString().c_str());
+        }
+      }
+      db = std::move(fresh);
+      cost_model =
+          std::make_unique<sqo::engine::EngineCostModel>(&db->store());
+      std::printf("database switched to %s (%zu objects)\n", dir.c_str(),
+                  db->store().object_count());
+      continue;
+    }
+    if (line == "\\checkpoint") {
+      if (auto s = db->Checkpoint(); !s.ok()) {
+        std::printf("error: %s\n", s.ToString().c_str());
+      } else {
+        std::printf("checkpoint written\n");
+      }
+      continue;
+    }
     if (line.rfind("\\plan ", 0) == 0) {
-      RunQuery(pipeline, db, cost_model, line.substr(6), /*plan_only=*/true,
+      RunQuery(pipeline, *db, *cost_model, line.substr(6), /*plan_only=*/true,
                deadline_ms);
       continue;
     }
     if (line.rfind("\\explain ", 0) == 0) {
-      ExplainQuery(pipeline, db, cost_model, line.substr(9), deadline_ms);
+      ExplainQuery(pipeline, *db, *cost_model, line.substr(9), deadline_ms);
       continue;
     }
     if (timing) {
@@ -325,11 +417,11 @@ int main() {
       sqo::obs::MetricsRegistry metrics;
       sqo::obs::ScopedTracer install_tracer(&tracer);
       sqo::obs::ScopedMetrics install_metrics(&metrics);
-      RunQuery(pipeline, db, cost_model, line, /*plan_only=*/false,
+      RunQuery(pipeline, *db, *cost_model, line, /*plan_only=*/false,
                deadline_ms);
       PrintObservability(tracer, metrics);
     } else {
-      RunQuery(pipeline, db, cost_model, line, /*plan_only=*/false,
+      RunQuery(pipeline, *db, *cost_model, line, /*plan_only=*/false,
                deadline_ms);
     }
   }

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Crash-recovery driver: build the ASan+UBSan preset and run every test
+# with the `recovery` ctest label under the sanitizers — the per-failpoint
+# kill-and-reopen differential tests plus the randomized crash loop. The
+# loop's iteration count and seed are env-tunable, so this script can run
+# a short deterministic pass in CI and a long randomized soak locally.
+#
+# Usage: scripts/run_recovery.sh [--no-build] [iters [seed]]
+#   iters — crash-loop iterations (default 6; try 50+ for a soak)
+#   seed  — crash-loop base seed (default: current time, printed for repro)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build=1
+case "${1:-}" in
+  --no-build) build=0; shift ;;
+esac
+iters="${1:-6}"
+seed="${2:-$(date +%s)}"
+
+if [[ "$build" -eq 1 ]]; then
+  echo "== configuring + building asan preset =="
+  cmake --preset asan >/dev/null
+  cmake --build --preset asan -j "$(nproc)" >/dev/null
+fi
+
+echo "== recovery tests under ASan/UBSan (iters=$iters seed=$seed) =="
+if ! SQO_CRASH_LOOP_ITERS="$iters" SQO_CRASH_LOOP_SEED="$seed" \
+    ctest --preset recovery-asan; then
+  echo "recovery suite FAILED (repro: scripts/run_recovery.sh --no-build $iters $seed)"
+  exit 1
+fi
+echo "recovery OK"

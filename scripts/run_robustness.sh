@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Robustness driver: build the ASan+UBSan preset and run every test with
 # the `robustness` ctest label under the sanitizers — governance/context
-# units, failpoint units, pipeline degradation end-to-end and adversarial
-# parser input. Failpoint-driven error paths are exactly the code that
-# rarely runs in CI, so they get sanitizer coverage here.
+# units, failpoint units, pipeline degradation end-to-end, adversarial
+# parser input, and the crash-recovery tests (which carry both the
+# `recovery` and `robustness` labels; scripts/run_recovery.sh runs just
+# those, with a tunable crash loop). Failpoint-driven error paths are
+# exactly the code that rarely runs in CI, so they get sanitizer
+# coverage here.
 #
 # Usage: scripts/run_robustness.sh [--no-build]
 set -euo pipefail

@@ -4,7 +4,9 @@
 #   2. clang-tidy over src/ with the checked-in .clang-tidy profile
 #      (skipped with a notice when clang-tidy is not installed),
 #   3. build the `asan` preset and run its smoke-labeled tests so the
-#      sanitizers cover the analyzer, pipeline and tools end to end,
+#      sanitizers cover the analyzer, pipeline and tools end to end, then
+#      the recovery-labeled crash tests (short deterministic loop;
+#      scripts/run_recovery.sh drives longer randomized soaks),
 #   4. build the `tsan` preset and run the perf-labeled tests (thread
 #      pool, lazy indexes, parallel profiling) under ThreadSanitizer —
 #      skipped with a notice when the toolchain can't link -fsanitize=thread.
@@ -46,6 +48,12 @@ run_sanitizers() {
   cmake --preset asan >/dev/null
   cmake --build --preset asan -j "$(nproc)" >/dev/null
   if ! ctest --preset smoke-asan; then
+    failures=1
+  fi
+  echo "== ASan/UBSan crash-recovery tests =="
+  # Short deterministic crash loop; scripts/run_recovery.sh soaks longer.
+  if ! SQO_CRASH_LOOP_ITERS=4 SQO_CRASH_LOOP_SEED=20260807 \
+      ctest --preset recovery-asan; then
     failures=1
   fi
 }

@@ -714,4 +714,26 @@ AnalysisReport AnalyzeGovernance(bool deadline_set, bool fail_open) {
   return report;
 }
 
+AnalysisReport AnalyzeCatalogFreshness(const std::string& disk_schema_hash,
+                                       const std::string& live_schema_hash,
+                                       size_t disk_residues,
+                                       size_t live_residues) {
+  AnalysisReport report;
+  if (disk_schema_hash == live_schema_hash) return report;
+  std::string message =
+      "the persisted semantic catalog was compiled from schema " +
+      disk_schema_hash + " but the live schema is " + live_schema_hash +
+      "; the stored residues are stale and were discarded in favor of a "
+      "fresh compilation";
+  if (disk_residues != live_residues) {
+    message += " (stored " + std::to_string(disk_residues) +
+               " residues, live compilation produced " +
+               std::to_string(live_residues) + ")";
+  }
+  report.Add(Severity::kWarning, kCodeStaleCatalog, "catalog",
+             std::move(message),
+             "checkpoint the database to refresh the on-disk catalog");
+  return report;
+}
+
 }  // namespace sqo::analysis

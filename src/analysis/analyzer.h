@@ -41,6 +41,9 @@ namespace sqo::analysis {
 ///                                       degradation disabled (fail-closed)
 ///   SQO-A012  index lint      warning   attribute-equality IC over an
 ///                                       attribute with no key/index hint
+///   SQO-A013  catalog lint    warning   on-disk semantic catalog compiled
+///                                       from a different schema than the
+///                                       live one (stale catalog)
 inline constexpr std::string_view kCodeUnsafeVariable = "SQO-A001";
 inline constexpr std::string_view kCodeUnknownRelation = "SQO-A002";
 inline constexpr std::string_view kCodeArityMismatch = "SQO-A003";
@@ -53,6 +56,7 @@ inline constexpr std::string_view kCodeTriviallyFalse = "SQO-A009";
 inline constexpr std::string_view kCodeConstantFoldable = "SQO-A010";
 inline constexpr std::string_view kCodeDeadlineFailClosed = "SQO-A011";
 inline constexpr std::string_view kCodeUnindexedEqualityIc = "SQO-A012";
+inline constexpr std::string_view kCodeStaleCatalog = "SQO-A013";
 
 struct AnalyzerOptions {
   bool check_safety = true;          // pass 1 (SQO-A001)
@@ -113,6 +117,18 @@ AnalysisReport AnalyzeQuery(const translate::TranslatedSchema& schema,
 /// to the original translated query (SQO-A011, warning). Takes plain bools
 /// so the analysis layer stays independent of the pipeline's option types.
 AnalysisReport AnalyzeGovernance(bool deadline_set, bool fail_open);
+
+/// Pass 9 over a recovered persistent catalog: when the on-disk semantic
+/// catalog was compiled from a schema whose fingerprint differs from the
+/// live schema's, its residues describe constraints of a different world —
+/// the engine recompiles from the live schema and the stored copy is stale
+/// (SQO-A013, warning). Residue counts sharpen the message when they also
+/// diverge. Takes plain hex-string hashes and counts so the analysis layer
+/// stays independent of the storage layer's types.
+AnalysisReport AnalyzeCatalogFreshness(const std::string& disk_schema_hash,
+                                       const std::string& live_schema_hash,
+                                       size_t disk_residues,
+                                       size_t live_residues);
 
 }  // namespace sqo::analysis
 

@@ -1,0 +1,60 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace sqo {
+
+namespace {
+
+/// 4 tables of 256 entries: table[0] is the plain byte-at-a-time table for
+/// the reflected Castagnoli polynomial; table[k] advances a byte through
+/// k additional zero bytes, enabling the slice-by-4 inner loop.
+struct Crc32cTables {
+  std::array<std::array<uint32_t, 256>, 4> t;
+
+  constexpr Crc32cTables() : t{} {
+    constexpr uint32_t kPoly = 0x82F63B78u;
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1u) != 0 ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xFFu];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xFFu];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xFFu];
+    }
+  }
+};
+
+constexpr Crc32cTables kTables;
+
+uint32_t Update(uint32_t crc, const unsigned char* p, size_t n) {
+  while (n >= 4) {
+    crc ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+    crc = kTables.t[3][crc & 0xFFu] ^ kTables.t[2][(crc >> 8) & 0xFFu] ^
+          kTables.t[1][(crc >> 16) & 0xFFu] ^ kTables.t[0][crc >> 24];
+    p += 4;
+    n -= 4;
+  }
+  while (n-- > 0) {
+    crc = (crc >> 8) ^ kTables.t[0][(crc ^ *p++) & 0xFFu];
+  }
+  return crc;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t size) {
+  return ~Update(~0u, static_cast<const unsigned char*>(data), size);
+}
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t size) {
+  return ~Update(~crc, static_cast<const unsigned char*>(data), size);
+}
+
+}  // namespace sqo

@@ -1,0 +1,40 @@
+#ifndef SQO_COMMON_CRC32C_H_
+#define SQO_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace sqo {
+
+/// CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78): the
+/// checksum guarding every persistent artifact of the storage layer —
+/// snapshot headers and sections, and each write-ahead-log record. Chosen
+/// over CRC-32 (IEEE) for its strictly better Hamming-distance profile at
+/// the record sizes the WAL produces; this is the same polynomial iSCSI,
+/// ext4 and LevelDB use. Software slice-by-4 implementation — storage I/O,
+/// not checksumming, dominates every path that calls it.
+uint32_t Crc32c(const void* data, size_t size);
+
+inline uint32_t Crc32c(std::string_view data) {
+  return Crc32c(data.data(), data.size());
+}
+
+/// Extends a running CRC with more bytes: Crc32cExtend(Crc32c(a), b) equals
+/// Crc32c(a + b). `crc` is the finalized value returned by Crc32c.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t size);
+
+/// Masked CRC, LevelDB-style: storing the CRC of data that itself contains
+/// CRCs makes accidental fixed points more likely, so stored checksums are
+/// rotated and offset. Verification unmasks before comparing.
+inline uint32_t MaskCrc32c(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8ul;
+}
+inline uint32_t UnmaskCrc32c(uint32_t masked) {
+  const uint32_t rot = masked - 0xa282ead8ul;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace sqo
+
+#endif  // SQO_COMMON_CRC32C_H_

@@ -1,0 +1,195 @@
+#include "common/fileio.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/failpoint.h"
+
+namespace sqo::fs {
+
+namespace {
+
+sqo::Status ErrnoError(const std::string& op, const std::string& path) {
+  return sqo::InternalError(op + " '" + path + "': " + std::strerror(errno));
+}
+
+sqo::Status SyncFd(int fd, const std::string& path) {
+  SQO_FAILPOINT("storage.fsync");
+  if (::fsync(fd) != 0) return ErrnoError("fsync", path);
+  return sqo::Status::Ok();
+}
+
+sqo::Status WriteAll(int fd, const char* data, size_t size,
+                     const std::string& path) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoError("write", path);
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+  return sqo::Status::Ok();
+}
+
+}  // namespace
+
+bool Exists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+sqo::Status EnsureDir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0777) == 0) return sqo::Status::Ok();
+  if (errno == EEXIST) {
+    struct stat st;
+    if (::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+      return sqo::Status::Ok();
+    }
+    return sqo::InvalidArgumentError("'" + path +
+                                     "' exists and is not a directory");
+  }
+  return ErrnoError("mkdir", path);
+}
+
+sqo::Result<std::vector<std::string>> ListDir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return ErrnoError("opendir", dir);
+  std::vector<std::string> names;
+  while (struct dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name != "." && name != "..") names.push_back(name);
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+sqo::Result<std::string> ReadFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return sqo::NotFoundError("no file '" + path + "'");
+    return ErrnoError("open", path);
+  }
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const sqo::Status status = ErrnoError("read", path);
+      ::close(fd);
+      return status;
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+sqo::Status RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) == 0 || errno == ENOENT) return sqo::Status::Ok();
+  return ErrnoError("unlink", path);
+}
+
+sqo::Status TruncateFile(const std::string& path, uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return ErrnoError("truncate", path);
+  }
+  return sqo::Status::Ok();
+}
+
+sqo::Status SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return ErrnoError("open dir", dir);
+  const sqo::Status status = SyncFd(fd, dir);
+  ::close(fd);
+  return status;
+}
+
+sqo::Status WriteFileAtomic(const std::string& path, std::string_view data) {
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0666);
+  if (fd < 0) return ErrnoError("open", tmp);
+
+  sqo::Status status = WriteAll(fd, data.data(), data.size(), tmp);
+  if (status.ok()) status = SyncFd(fd, tmp);
+  ::close(fd);
+  if (status.ok()) {
+    status = failpoint::Check("storage.rename");
+    if (status.ok() && ::rename(tmp.c_str(), path.c_str()) != 0) {
+      status = ErrnoError("rename", tmp);
+    }
+  }
+  if (!status.ok()) {
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  // Publish durably: without the directory fsync, the rename itself may be
+  // lost on power failure even though the file contents are on disk.
+  const size_t slash = path.find_last_of('/');
+  return SyncDir(slash == std::string::npos ? "." : path.substr(0, slash));
+}
+
+sqo::Result<AppendFile> AppendFile::Open(const std::string& path) {
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0666);
+  if (fd < 0) return ErrnoError("open", path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const sqo::Status status = ErrnoError("fstat", path);
+    ::close(fd);
+    return status;
+  }
+  return AppendFile(fd, static_cast<uint64_t>(st.st_size));
+}
+
+AppendFile::AppendFile(AppendFile&& other) noexcept
+    : fd_(other.fd_), size_(other.size_) {
+  other.fd_ = -1;
+  other.size_ = 0;
+}
+
+AppendFile& AppendFile::operator=(AppendFile&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    size_ = other.size_;
+    other.fd_ = -1;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+AppendFile::~AppendFile() { Close(); }
+
+sqo::Status AppendFile::Append(std::string_view data) {
+  if (fd_ < 0) return sqo::InternalError("append on closed file");
+  SQO_RETURN_IF_ERROR(WriteAll(fd_, data.data(), data.size(), "<append>"));
+  size_ += data.size();
+  return sqo::Status::Ok();
+}
+
+sqo::Status AppendFile::Sync() {
+  if (fd_ < 0) return sqo::InternalError("sync on closed file");
+  return SyncFd(fd_, "<append>");
+}
+
+void AppendFile::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace sqo::fs

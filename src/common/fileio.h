@@ -1,0 +1,84 @@
+#ifndef SQO_COMMON_FILEIO_H_
+#define SQO_COMMON_FILEIO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+/// POSIX file helpers for the storage layer. Everything returns Status —
+/// the storage subsystem must degrade, never abort, on I/O failure — and
+/// the durability-critical steps carry failpoint sites so recovery tests
+/// can simulate a crash at any point of a write:
+///
+///   storage.fsync   — before any fsync (file or directory)
+///   storage.rename  — before the atomic rename of a finished temp file
+namespace sqo::fs {
+
+/// True if `path` exists (any file type).
+bool Exists(const std::string& path);
+
+/// Creates `path` as a directory if absent (single level, like mkdir -p
+/// for the last component only). OK if it already exists as a directory.
+sqo::Status EnsureDir(const std::string& path);
+
+/// Entry names (not paths) in `dir`, excluding "." / "..", sorted.
+sqo::Result<std::vector<std::string>> ListDir(const std::string& dir);
+
+/// Whole-file read; kNotFound when the file does not exist.
+sqo::Result<std::string> ReadFile(const std::string& path);
+
+/// Deletes a file; OK if it does not exist.
+sqo::Status RemoveFile(const std::string& path);
+
+/// Truncates an existing file to `size` bytes.
+sqo::Status TruncateFile(const std::string& path, uint64_t size);
+
+/// fsyncs a directory so a completed rename within it is durable.
+sqo::Status SyncDir(const std::string& dir);
+
+/// Writes `data` to `path` atomically: write to `<path>.tmp.<pid>`, fsync
+/// the temp file, rename it over `path`, fsync the parent directory. A
+/// crash at any point leaves either the old file or the new one, never a
+/// torn mix; a failed step removes the temp file. This is the snapshot
+/// writer's publication primitive.
+sqo::Status WriteFileAtomic(const std::string& path, std::string_view data);
+
+/// An append-only file handle (the WAL's physical layer). Move-only;
+/// closes on destruction without syncing — durability is explicit via
+/// `Sync`, matching the "acknowledged = appended and synced" contract.
+class AppendFile {
+ public:
+  /// Opens (creating if needed) `path` for appending.
+  static sqo::Result<AppendFile> Open(const std::string& path);
+
+  AppendFile(AppendFile&& other) noexcept;
+  AppendFile& operator=(AppendFile&& other) noexcept;
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+  ~AppendFile();
+
+  /// Appends all of `data` (retrying short writes).
+  sqo::Status Append(std::string_view data);
+
+  /// fsyncs the file (failpoint site `storage.fsync`).
+  sqo::Status Sync();
+
+  /// Bytes in the file (as of open plus appends through this handle).
+  uint64_t size() const { return size_; }
+
+  void Close();
+  bool open() const { return fd_ >= 0; }
+
+ private:
+  explicit AppendFile(int fd, uint64_t size) : fd_(fd), size_(size) {}
+
+  int fd_ = -1;
+  uint64_t size_ = 0;
+};
+
+}  // namespace sqo::fs
+
+#endif  // SQO_COMMON_FILEIO_H_

@@ -22,6 +22,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kDataCorruption:
+      return "DataCorruption";
   }
   return "Unknown";
 }
@@ -57,6 +59,9 @@ Status ResourceExhaustedError(std::string message) {
 }
 Status CancelledError(std::string message) {
   return Status(StatusCode::kCancelled, std::move(message));
+}
+Status DataCorruptionError(std::string message) {
+  return Status(StatusCode::kDataCorruption, std::move(message));
 }
 
 }  // namespace sqo

@@ -22,6 +22,7 @@ enum class StatusCode {
   kInternal,          // invariant violation inside the library
   kResourceExhausted, // a deadline, work budget or depth limit was exceeded
   kCancelled,         // cooperative cancellation was requested
+  kDataCorruption,    // persistent state failed a checksum / format check
 };
 
 /// Returns a stable human-readable name for a status code ("ParseError", ...).
@@ -68,6 +69,7 @@ Status UnsupportedError(std::string message);
 Status InternalError(std::string message);
 Status ResourceExhaustedError(std::string message);
 Status CancelledError(std::string message);
+Status DataCorruptionError(std::string message);
 
 /// Either a value of type T or an error `Status`. Modeled after
 /// absl::StatusOr. Accessing the value of an errored result aborts.

@@ -1,11 +1,19 @@
 #ifndef SQO_ENGINE_DATABASE_H_
 #define SQO_ENGINE_DATABASE_H_
 
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "engine/evaluator.h"
 #include "engine/object_store.h"
 #include "sqo/pipeline.h"
+
+namespace sqo::storage {
+class StorageManager;
+struct OpenOptions;
+struct RecoveryInfo;
+}  // namespace sqo::storage
 
 namespace sqo::engine {
 
@@ -49,8 +57,31 @@ class Database {
   sqo::Status ProfileAlternatives(core::PipelineResult* result,
                                   EvalOptions options = {}) const;
 
+  // --- Durability (implemented in src/storage/database_storage.cc; link
+  // sqo_storage to use; calling without it is an unresolved symbol).
+
+  /// Attaches crash-safe persistence rooted at `dir`: recovers the store
+  /// from the newest valid snapshot + WAL (see storage::StorageManager),
+  /// then logs every further mutation. On a fresh directory the current
+  /// in-memory contents become the persisted baseline.
+  sqo::Status Open(const std::string& dir,
+                   const storage::OpenOptions& options);
+  sqo::Status Open(const std::string& dir);
+
+  /// Writes a snapshot and resets the log. No-op error if not open.
+  sqo::Status Checkpoint();
+
+  /// Detaches persistence (final checkpoint per the open options).
+  sqo::Status CloseStorage();
+
+  bool storage_attached() const { return storage_ != nullptr; }
+
+  /// What the last Open() recovered; nullptr when storage is not attached.
+  const storage::RecoveryInfo* recovery_info() const;
+
  private:
   ObjectStore store_;
+  std::shared_ptr<storage::StorageManager> storage_;
 };
 
 }  // namespace sqo::engine

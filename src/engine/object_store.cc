@@ -38,6 +38,27 @@ std::vector<std::string> ObjectStore::MemberRelations(
   return out;
 }
 
+void ObjectStore::InstallRecord(sqo::Oid oid, const std::string& relation,
+                                Row row) {
+  ObjectRecord record;
+  record.exact_relation = relation;
+  record.row = std::move(row);
+  const Row& stored = objects_.emplace(oid.raw(), std::move(record))
+                          .first->second.row;
+
+  for (const std::string& member : MemberRelations(relation)) {
+    extents_[member].push_back(oid);
+    // Maintain any indexes on the member relation.
+    auto idx_it = indexes_.find(member);
+    if (idx_it != indexes_.end()) {
+      for (auto& [pos, index] : idx_it->second) {
+        if (pos < stored.size()) index[stored[pos]].push_back(oid);
+      }
+    }
+  }
+  InvalidateLazyIndexes();
+}
+
 sqo::Result<sqo::Oid> ObjectStore::CreateInstance(
     const std::string& type_name, const std::map<std::string, sqo::Value>& attrs,
     bool is_struct) {
@@ -61,23 +82,16 @@ sqo::Result<sqo::Oid> ObjectStore::CreateInstance(
     }
     row[*pos] = value;
   }
-  ObjectRecord record;
-  record.exact_relation = relation;
-  record.row = std::move(row);
-  const Row& stored = objects_.emplace(oid.raw(), std::move(record))
-                          .first->second.row;
-
-  for (const std::string& member : MemberRelations(relation)) {
-    extents_[member].push_back(oid);
-    // Maintain any indexes on the member relation.
-    auto idx_it = indexes_.find(member);
-    if (idx_it != indexes_.end()) {
-      for (auto& [pos, index] : idx_it->second) {
-        if (pos < stored.size()) index[stored[pos]].push_back(oid);
-      }
-    }
+  if (listener_) {
+    Mutation m;
+    m.kind = Mutation::Kind::kCreate;
+    m.oid = oid;
+    m.relation = relation;
+    m.row = row;
+    pending_.push_back(std::move(m));
   }
-  InvalidateLazyIndexes();
+  InstallRecord(oid, relation, std::move(row));
+  SQO_RETURN_IF_ERROR(FlushMutations());
   return oid;
 }
 
@@ -92,7 +106,8 @@ sqo::Result<sqo::Oid> ObjectStore::CreateStruct(
 }
 
 sqo::Status ObjectStore::InsertPair(const std::string& rel, sqo::Oid src,
-                                    sqo::Oid dst, bool enforce_cardinality) {
+                                    sqo::Oid dst, bool enforce_cardinality,
+                                    bool record) {
   const RelationSignature* sig = schema_->catalog.Find(rel);
   RelData& data = rels_[rel];
   if (data.pair_set.count({src.raw(), dst.raw()}) > 0) {
@@ -115,6 +130,14 @@ sqo::Status ObjectStore::InsertPair(const std::string& rel, sqo::Oid src,
   data.fwd[src.raw()].push_back(dst);
   data.bwd[dst.raw()].push_back(src);
   InvalidateLazyIndexes();
+  if (record) {
+    Mutation m;
+    m.kind = Mutation::Kind::kInsertPair;
+    m.relation = rel;
+    m.src = src;
+    m.dst = dst;
+    Record(std::move(m));
+  }
   return sqo::Status::Ok();
 }
 
@@ -133,15 +156,19 @@ sqo::Status ObjectStore::Relate(const std::string& relationship, sqo::Oid src,
     return sqo::SemanticError("Relate('" + rel + "'): target object is not a " +
                               sig->target);
   }
-  SQO_RETURN_IF_ERROR(InsertPair(rel, src, dst, /*enforce_cardinality=*/true));
+  sqo::Status status = InsertPair(rel, src, dst, /*enforce_cardinality=*/true);
 
   // Maintain the declared inverse.
-  const std::string inverse = InverseOf(rel, *sig);
-  if (!inverse.empty()) {
-    SQO_RETURN_IF_ERROR(
-        InsertPair(inverse, dst, src, /*enforce_cardinality=*/true));
+  if (status.ok()) {
+    const std::string inverse = InverseOf(rel, *sig);
+    if (!inverse.empty()) {
+      status = InsertPair(inverse, dst, src, /*enforce_cardinality=*/true);
+    }
   }
-  return sqo::Status::Ok();
+  // Flush even on failure: whatever was applied in memory must reach the
+  // log, or disk and memory diverge without a crash.
+  const sqo::Status log_status = FlushMutations();
+  return status.ok() ? log_status : status;
 }
 
 std::string ObjectStore::InverseOf(const std::string& rel,
@@ -157,11 +184,20 @@ std::string ObjectStore::InverseOf(const std::string& rel,
   return inverse;
 }
 
-void ObjectStore::ErasePair(const std::string& rel, sqo::Oid src, sqo::Oid dst) {
+void ObjectStore::ErasePair(const std::string& rel, sqo::Oid src, sqo::Oid dst,
+                            bool record) {
   auto it = rels_.find(rel);
   if (it == rels_.end()) return;
   RelData& data = it->second;
   if (data.pair_set.erase({src.raw(), dst.raw()}) == 0) return;
+  if (record) {
+    Mutation m;
+    m.kind = Mutation::Kind::kErasePair;
+    m.relation = rel;
+    m.src = src;
+    m.dst = dst;
+    Record(std::move(m));
+  }
   auto drop = [](std::vector<sqo::Oid>& v, sqo::Oid x) {
     v.erase(std::remove(v.begin(), v.end(), x), v.end());
   };
@@ -185,6 +221,36 @@ sqo::Status ObjectStore::Unrelate(const std::string& relationship, sqo::Oid src,
   ErasePair(rel, src, dst);
   const std::string inverse = InverseOf(rel, *sig);
   if (!inverse.empty()) ErasePair(inverse, dst, src);
+  return FlushMutations();
+}
+
+sqo::Status ObjectStore::UpdateRowPosition(sqo::Oid oid, size_t pos,
+                                           sqo::Value value) {
+  auto it = objects_.find(oid.raw());
+  if (it == objects_.end()) {
+    return sqo::NotFoundError("no object @" + std::to_string(oid.raw()));
+  }
+  ObjectRecord& record = it->second;
+  if (pos == 0 || pos >= record.row.size()) {
+    return sqo::InvalidArgumentError("attribute position out of range");
+  }
+  const sqo::Value old_value = record.row[pos];
+  record.row[pos] = std::move(value);
+  // Maintain indexes on every member relation covering this position.
+  for (const std::string& member : MemberRelations(record.exact_relation)) {
+    auto idx_it = indexes_.find(member);
+    if (idx_it == indexes_.end()) continue;
+    auto pit = idx_it->second.find(pos);
+    if (pit == idx_it->second.end()) continue;
+    auto old_bucket = pit->second.find(old_value);
+    if (old_bucket != pit->second.end()) {
+      auto& oids = old_bucket->second;
+      oids.erase(std::remove(oids.begin(), oids.end(), oid), oids.end());
+      if (oids.empty()) pit->second.erase(old_bucket);
+    }
+    pit->second[record.row[pos]].push_back(oid);
+  }
+  InvalidateLazyIndexes();
   return sqo::Status::Ok();
 }
 
@@ -202,27 +268,21 @@ sqo::Status ObjectStore::UpdateAttribute(sqo::Oid oid,
     return sqo::InvalidArgumentError("type '" + sig->display_name +
                                      "' has no attribute '" + attribute + "'");
   }
-  const sqo::Value old_value = record.row[*pos];
-  record.row[*pos] = std::move(value);
-  // Maintain indexes on every member relation covering this position.
-  for (const std::string& member : MemberRelations(record.exact_relation)) {
-    auto idx_it = indexes_.find(member);
-    if (idx_it == indexes_.end()) continue;
-    auto pit = idx_it->second.find(*pos);
-    if (pit == idx_it->second.end()) continue;
-    auto old_bucket = pit->second.find(old_value);
-    if (old_bucket != pit->second.end()) {
-      auto& oids = old_bucket->second;
-      oids.erase(std::remove(oids.begin(), oids.end(), oid), oids.end());
-      if (oids.empty()) pit->second.erase(old_bucket);
-    }
-    pit->second[record.row[*pos]].push_back(oid);
+  if (listener_) {
+    Mutation m;
+    m.kind = Mutation::Kind::kUpdate;
+    m.oid = oid;
+    m.relation = record.exact_relation;
+    m.pos = *pos;
+    m.value = value;
+    pending_.push_back(std::move(m));
   }
-  InvalidateLazyIndexes();
-  return sqo::Status::Ok();
+  const sqo::Status status = UpdateRowPosition(oid, *pos, std::move(value));
+  const sqo::Status log_status = FlushMutations();
+  return status.ok() ? log_status : status;
 }
 
-sqo::Status ObjectStore::DeleteObject(sqo::Oid oid) {
+sqo::Status ObjectStore::DeleteObjectImpl(sqo::Oid oid, bool record_mutations) {
   auto it = objects_.find(oid.raw());
   if (it == objects_.end()) {
     return sqo::NotFoundError("no object @" + std::to_string(oid.raw()));
@@ -235,7 +295,9 @@ sqo::Status ObjectStore::DeleteObject(sqo::Oid oid) {
     for (const auto& pair : data.pairs) {
       if (pair.first == oid || pair.second == oid) doomed.push_back(pair);
     }
-    for (const auto& [src, dst] : doomed) ErasePair(rel, src, dst);
+    for (const auto& [src, dst] : doomed) {
+      ErasePair(rel, src, dst, record_mutations);
+    }
   }
 
   // Remove from extents and indexes.
@@ -259,7 +321,20 @@ sqo::Status ObjectStore::DeleteObject(sqo::Oid oid) {
 
   objects_.erase(oid.raw());
   InvalidateLazyIndexes();
+  if (record_mutations) {
+    Mutation m;
+    m.kind = Mutation::Kind::kDelete;
+    m.oid = oid;
+    m.relation = record.exact_relation;
+    Record(std::move(m));
+  }
   return sqo::Status::Ok();
+}
+
+sqo::Status ObjectStore::DeleteObject(sqo::Oid oid) {
+  const sqo::Status status = DeleteObjectImpl(oid, /*record_mutations=*/true);
+  const sqo::Status log_status = FlushMutations();
+  return status.ok() ? log_status : status;
 }
 
 sqo::Status ObjectStore::RegisterMethod(const std::string& method, MethodFn fn) {
@@ -296,7 +371,12 @@ sqo::Status ObjectStore::CreateIndex(const std::string& relation,
 }
 
 sqo::Status ObjectStore::Materialize(const core::AsrDefinition& asr) {
-  rels_.erase(asr.name);
+  if (rels_.erase(asr.name) > 0) {
+    Mutation m;
+    m.kind = Mutation::Kind::kClearRel;
+    m.relation = asr.name;
+    Record(std::move(m));
+  }
   // Walk the path breadth-first from every source of the first hop.
   const RelData* first = nullptr;
   auto it = rels_.find(asr.path.front());
@@ -314,11 +394,13 @@ sqo::Status ObjectStore::Materialize(const core::AsrDefinition& asr) {
     }
     frontier = std::move(next);
   }
+  sqo::Status status = sqo::Status::Ok();
   for (const auto& [src, dst] : frontier) {
-    SQO_RETURN_IF_ERROR(InsertPair(asr.name, src, dst,
-                                   /*enforce_cardinality=*/false));
+    status = InsertPair(asr.name, src, dst, /*enforce_cardinality=*/false);
+    if (!status.ok()) break;
   }
-  return sqo::Status::Ok();
+  const sqo::Status log_status = FlushMutations();
+  return status.ok() ? log_status : status;
 }
 
 const std::vector<sqo::Oid>& ObjectStore::Extent(const std::string& relation) const {
@@ -462,6 +544,113 @@ double ObjectStore::AvgReverseFanout(const std::string& relation) const {
   if (it == rels_.end() || it->second.bwd.empty()) return 0.0;
   return static_cast<double>(it->second.pairs.size()) /
          static_cast<double>(it->second.bwd.size());
+}
+
+void ObjectStore::SetMutationListener(MutationListener listener) {
+  listener_ = std::move(listener);
+  pending_.clear();
+}
+
+void ObjectStore::Record(Mutation m) {
+  if (listener_) pending_.push_back(std::move(m));
+}
+
+sqo::Status ObjectStore::FlushMutations() {
+  if (!listener_ || pending_.empty()) return sqo::Status::Ok();
+  std::vector<Mutation> batch;
+  batch.swap(pending_);
+  return listener_(batch);
+}
+
+sqo::Status ObjectStore::ApplyOne(const Mutation& m) {
+  switch (m.kind) {
+    case Mutation::Kind::kCreate: {
+      const RelationSignature* sig = schema_->catalog.Find(m.relation);
+      if (sig == nullptr || (sig->kind != RelationKind::kClass &&
+                             sig->kind != RelationKind::kStructure)) {
+        return sqo::DataCorruptionError("create: unknown relation '" +
+                                        m.relation + "'");
+      }
+      if (m.row.size() != sig->arity()) {
+        return sqo::DataCorruptionError(
+            "create: row arity " + std::to_string(m.row.size()) +
+            " does not match relation '" + m.relation + "'");
+      }
+      if (!m.oid.valid() || objects_.count(m.oid.raw()) > 0) {
+        return sqo::DataCorruptionError("create: invalid or duplicate OID @" +
+                                        std::to_string(m.oid.raw()));
+      }
+      InstallRecord(m.oid, m.relation, m.row);
+      next_oid_ = std::max(next_oid_, m.oid.raw() + 1);
+      return sqo::Status::Ok();
+    }
+    case Mutation::Kind::kUpdate: {
+      const sqo::Status status = UpdateRowPosition(m.oid, m.pos, m.value);
+      if (!status.ok()) {
+        return sqo::DataCorruptionError("update: " + status.message());
+      }
+      return sqo::Status::Ok();
+    }
+    case Mutation::Kind::kDelete: {
+      const sqo::Status status =
+          DeleteObjectImpl(m.oid, /*record_mutations=*/false);
+      if (!status.ok()) {
+        return sqo::DataCorruptionError("delete: " + status.message());
+      }
+      return sqo::Status::Ok();
+    }
+    case Mutation::Kind::kInsertPair:
+      return InsertPair(m.relation, m.src, m.dst,
+                        /*enforce_cardinality=*/false, /*record=*/false);
+    case Mutation::Kind::kErasePair:
+      ErasePair(m.relation, m.src, m.dst, /*record=*/false);
+      return sqo::Status::Ok();
+    case Mutation::Kind::kClearRel:
+      rels_.erase(m.relation);
+      InvalidateLazyIndexes();
+      return sqo::Status::Ok();
+  }
+  return sqo::DataCorruptionError("unknown mutation kind " +
+                                  std::to_string(static_cast<int>(m.kind)));
+}
+
+sqo::Status ObjectStore::ApplyMutations(const std::vector<Mutation>& batch) {
+  for (const Mutation& m : batch) {
+    SQO_RETURN_IF_ERROR(ApplyOne(m));
+  }
+  return sqo::Status::Ok();
+}
+
+void ObjectStore::Clear() {
+  objects_.clear();
+  extents_.clear();
+  rels_.clear();
+  // Index *definitions* survive (they are physical-design choices, like
+  // methods); their contents are data and go.
+  for (auto& [relation, positions] : indexes_) {
+    (void)relation;
+    for (auto& [pos, index] : positions) {
+      (void)pos;
+      index.clear();
+    }
+  }
+  InvalidateLazyIndexes();
+  next_oid_ = 1;
+  pending_.clear();
+}
+
+std::vector<std::string> ObjectStore::RelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(rels_.size());
+  for (const auto& [name, data] : rels_) {
+    (void)data;
+    names.push_back(name);
+  }
+  return names;
+}
+
+void ObjectStore::RestoreNextOid(uint64_t next_oid) {
+  next_oid_ = std::max(next_oid_, next_oid);
 }
 
 size_t ObjectStore::IndexDistinct(const std::string& relation, size_t pos) const {

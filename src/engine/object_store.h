@@ -17,6 +17,32 @@
 
 namespace sqo::engine {
 
+/// One primitive state change of an ObjectStore, in replayable form. Every
+/// public mutator decomposes into a sequence of these records; the store
+/// hands the whole sequence of one logical operation to its
+/// MutationListener as a single batch, and the storage layer's write-ahead
+/// log frames each batch as one checksummed record — so a torn log tail
+/// never exposes half of a Relate (pair + inverse) or DeleteObject (pair
+/// erasures + removal).
+struct Mutation {
+  enum class Kind : uint8_t {
+    kCreate = 1,      // oid, relation (exact type), row
+    kUpdate = 2,      // oid, relation, pos, value
+    kDelete = 3,      // oid
+    kInsertPair = 4,  // relation, src, dst
+    kErasePair = 5,   // relation, src, dst
+    kClearRel = 6,    // relation (ASR re-materialization)
+  };
+
+  Kind kind = Kind::kCreate;
+  sqo::Oid oid;
+  std::string relation;
+  std::vector<sqo::Value> row;  // kCreate
+  size_t pos = 0;               // kUpdate
+  sqo::Value value;             // kUpdate
+  sqo::Oid src, dst;            // kInsertPair / kErasePair
+};
+
 /// An in-memory ODMG-style object store bound to a translated schema.
 ///
 /// Storage model:
@@ -39,6 +65,21 @@ class ObjectStore {
   using MethodFn = std::function<sqo::Result<sqo::Value>(
       const ObjectStore&, sqo::Oid receiver,
       const std::vector<sqo::Value>& args)>;
+
+  /// Called once per completed logical mutation with the primitive records
+  /// it decomposed into (never empty). A non-OK return is propagated to the
+  /// mutator's caller as *unacknowledged durability*: the in-memory change
+  /// has already been applied, but the storage layer could not log it — the
+  /// caller must treat the operation as not persisted (the crash-recovery
+  /// tests reopen from disk and expect state as of the last OK batch).
+  using MutationListener = std::function<sqo::Status(const std::vector<Mutation>&)>;
+
+  /// The store's full public record of one object, exposed for snapshot
+  /// serialization.
+  struct ObjectRecord {
+    std::string exact_relation;  // relation of the exact type
+    Row row;                     // full row, aligned with that relation
+  };
 
   /// `schema` must outlive the store.
   explicit ObjectStore(const translate::TranslatedSchema* schema)
@@ -161,12 +202,47 @@ class ObjectStore {
   const translate::TranslatedSchema& schema() const { return *schema_; }
   size_t object_count() const { return objects_.size(); }
 
- private:
-  struct ObjectRecord {
-    std::string exact_relation;  // relation of the exact type
-    Row row;                     // full row, aligned with that relation
-  };
+  // ---- Persistence support ----
 
+  /// Installs (or, with an empty function, removes) the mutation listener.
+  /// The storage layer installs its WAL appender here *after* recovery, so
+  /// replayed mutations are never re-logged.
+  void SetMutationListener(MutationListener listener);
+  bool has_mutation_listener() const { return static_cast<bool>(listener_); }
+
+  /// Replays a batch of primitive mutation records (one logical operation,
+  /// as previously delivered to a MutationListener or reconstructed from a
+  /// snapshot). Bypasses cardinality enforcement and the listener. A record
+  /// inconsistent with the schema or current state (unknown relation, arity
+  /// mismatch, duplicate or missing OID, position out of range) yields
+  /// kDataCorruption; earlier records of the batch stay applied — recovery
+  /// treats any failure as a corrupt log suffix and truncates.
+  sqo::Status ApplyMutations(const std::vector<Mutation>& batch);
+
+  /// Drops all data (objects, extents, relationship pairs, index *entries*
+  /// and lazy indexes) and resets OID allocation. Keeps what is code or
+  /// schema rather than data: registered methods, declared index positions
+  /// (emptied, still maintained) and the inverse-relation cache. Recovery
+  /// uses this between snapshot attempts when failing open to an older
+  /// snapshot.
+  void Clear();
+
+  /// All stored objects, keyed by raw OID (deterministic iteration order
+  /// for snapshot encoding).
+  const std::map<uint64_t, ObjectRecord>& objects() const { return objects_; }
+
+  /// Names of every relation with pair data (relationships + materialized
+  /// ASRs), in map order.
+  std::vector<std::string> RelationNames() const;
+
+  /// The next OID the store would mint.
+  uint64_t next_oid() const { return next_oid_; }
+
+  /// Raises the OID allocator to at least `next_oid` (never lowers it):
+  /// deleted objects must not lead to OID reuse after recovery.
+  void RestoreNextOid(uint64_t next_oid);
+
+ private:
   struct RelData {
     std::vector<std::pair<sqo::Oid, sqo::Oid>> pairs;
     std::map<uint64_t, std::vector<sqo::Oid>> fwd;
@@ -185,12 +261,35 @@ class ObjectStore {
   /// Relations (exact + ancestors/struct) an instance row belongs to.
   std::vector<std::string> MemberRelations(const std::string& exact_relation) const;
 
-  /// Inserts a pair into `rel` (no inverse handling).
+  /// Inserts a pair into `rel` (no inverse handling). `record` queues a
+  /// kInsertPair mutation for the listener (off on replay paths).
   sqo::Status InsertPair(const std::string& rel, sqo::Oid src, sqo::Oid dst,
-                         bool enforce_cardinality);
+                         bool enforce_cardinality, bool record = true);
 
   /// Removes a pair from `rel` (no inverse handling).
-  void ErasePair(const std::string& rel, sqo::Oid src, sqo::Oid dst);
+  void ErasePair(const std::string& rel, sqo::Oid src, sqo::Oid dst,
+                 bool record = true);
+
+  /// Installs a fully built object row: record map, extents of every member
+  /// relation, declared indexes. Shared by CreateInstance and replay.
+  void InstallRecord(sqo::Oid oid, const std::string& relation, Row row);
+
+  /// In-place attribute write with index maintenance, shared by
+  /// UpdateAttribute and replay. `pos` must be a valid non-OID position of
+  /// the object's exact row.
+  sqo::Status UpdateRowPosition(sqo::Oid oid, size_t pos, sqo::Value value);
+
+  /// DeleteObject's body; `record` queues the primitive records.
+  sqo::Status DeleteObjectImpl(sqo::Oid oid, bool record);
+
+  /// Applies one primitive record (replay; no listener, no cardinality).
+  sqo::Status ApplyOne(const Mutation& m);
+
+  /// Queues `m` for the listener (no-op without one).
+  void Record(Mutation m);
+
+  /// Delivers and clears the queued records of the completing operation.
+  sqo::Status FlushMutations();
 
   /// Resolves the declared inverse relation of `rel` ("" if none), cached.
   std::string InverseOf(const std::string& rel, const datalog::RelationSignature& sig);
@@ -215,6 +314,10 @@ class ObjectStore {
   /// relation name of a relationship -> relation name of its inverse ("")
   std::map<std::string, std::string> inverse_of_;
   uint64_t next_oid_ = 1;
+  MutationListener listener_;
+  /// Primitive records of the logical operation in progress; delivered as
+  /// one batch by FlushMutations. Only populated while a listener is set.
+  std::vector<Mutation> pending_;
 };
 
 }  // namespace sqo::engine

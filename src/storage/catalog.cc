@@ -1,0 +1,131 @@
+#include "storage/catalog.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace sqo::storage {
+namespace {
+
+/// Byte-stable string fold (schemas are tiny; clarity over speed).
+void AppendString(sqo::FingerprintBuilder* builder, std::string_view s) {
+  builder->Append(s.size());
+  for (unsigned char c : s) builder->Append(c);
+}
+
+sqo::Result<uint64_t> ParseHex16(std::string_view hex) {
+  uint64_t v = 0;
+  for (char c : hex) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      v |= static_cast<uint64_t>(c - 'A' + 10);
+    } else {
+      return sqo::DataCorruptionError("invalid hex digit in schema hash");
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+sqo::Fingerprint128 SchemaFingerprint(
+    const translate::TranslatedSchema& schema) {
+  sqo::FingerprintBuilder builder;
+  const auto& relations = schema.catalog.relations();
+  builder.Append(relations.size());
+  for (const auto& [name, sig] : relations) {
+    AppendString(&builder, name);
+    builder.Append(static_cast<uint64_t>(sig.kind));
+    builder.Append(sig.attributes.size());
+    for (const std::string& attr : sig.attributes) AppendString(&builder, attr);
+    AppendString(&builder, sig.display_name);
+    AppendString(&builder, sig.owner);
+    AppendString(&builder, sig.target);
+    builder.Append((sig.functional_src_to_dst ? 1u : 0u) |
+                   (sig.functional_dst_to_src ? 2u : 0u));
+  }
+  return builder.fingerprint();
+}
+
+std::string SerializeCatalog(const core::CompiledSchema& compiled) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("version").UInt(1);
+  if (compiled.schema != nullptr) {
+    w.Key("schema_hash").String(SchemaFingerprint(*compiled.schema).ToString());
+  } else {
+    w.Key("schema_hash").String(sqo::Fingerprint128{}.ToString());
+  }
+  w.Key("ic_count").UInt(compiled.all_ics.size());
+  w.Key("total_residues").UInt(compiled.total_residues());
+  w.Key("ics").BeginArray();
+  for (const datalog::Clause& ic : compiled.all_ics) {
+    w.BeginObject();
+    w.Key("label").String(ic.label);
+    w.Key("text").String(ic.ToString());
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("residues").BeginArray();
+  for (const auto& [relation, residues] : compiled.residues) {
+    w.BeginObject();
+    w.Key("relation").String(relation);
+    w.Key("count").UInt(residues.size());
+    w.Key("texts").BeginArray();
+    for (const auto& residue : residues) w.String(residue.ToString());
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+sqo::Result<CatalogInfo> ParseCatalogInfo(std::string_view json) {
+  sqo::Result<obs::JsonValue> parsed = obs::ParseJson(json);
+  if (!parsed.ok()) {
+    return sqo::DataCorruptionError("catalog JSON: " +
+                                    parsed.status().message());
+  }
+  const obs::JsonValue& doc = *parsed;
+  if (!doc.is_object()) {
+    return sqo::DataCorruptionError("catalog JSON is not an object");
+  }
+  CatalogInfo info;
+  const obs::JsonValue* hash = doc.Find("schema_hash");
+  if (hash == nullptr || !hash->is_string() ||
+      hash->string_value.size() != 32) {
+    return sqo::DataCorruptionError("catalog JSON: bad schema_hash");
+  }
+  const std::string_view hex = hash->string_value;
+  SQO_ASSIGN_OR_RETURN(info.schema_hash.hi, ParseHex16(hex.substr(0, 16)));
+  SQO_ASSIGN_OR_RETURN(info.schema_hash.lo, ParseHex16(hex.substr(16, 16)));
+  const obs::JsonValue* ic_count = doc.Find("ic_count");
+  if (ic_count == nullptr || !ic_count->is_number()) {
+    return sqo::DataCorruptionError("catalog JSON: bad ic_count");
+  }
+  info.ic_count = static_cast<uint64_t>(ic_count->number);
+  const obs::JsonValue* residues = doc.Find("total_residues");
+  if (residues == nullptr || !residues->is_number()) {
+    return sqo::DataCorruptionError("catalog JSON: bad total_residues");
+  }
+  info.total_residues = static_cast<uint64_t>(residues->number);
+  const obs::JsonValue* ics = doc.Find("ics");
+  if (ics != nullptr) {
+    if (!ics->is_array()) {
+      return sqo::DataCorruptionError("catalog JSON: ics is not an array");
+    }
+    for (const obs::JsonValue& ic : ics->items) {
+      const obs::JsonValue* label = ic.Find("label");
+      info.ic_labels.push_back(
+          label != nullptr && label->is_string() ? label->string_value : "");
+    }
+  }
+  return info;
+}
+
+}  // namespace sqo::storage

@@ -1,0 +1,50 @@
+#ifndef SQO_STORAGE_CATALOG_H_
+#define SQO_STORAGE_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/fingerprint.h"
+#include "common/status.h"
+#include "sqo/semantic_compiler.h"
+#include "translate/schema_translator.h"
+
+/// Serialization of the semantic catalog — the translated DATALOG schema's
+/// identity plus the compiled residues and integrity constraints — into the
+/// snapshot's catalog section.
+///
+/// The catalog is persisted as JSON rather than binary: it is a verifiable
+/// *artifact* (what was compiled, from which schema), not the source the
+/// engine reconstructs residues from. On open, the engine recompiles from
+/// the live schema and compares the stored schema fingerprint; a mismatch
+/// is surfaced as analyzer diagnostic SQO-A013 (stale catalog), not an
+/// error — the live compilation always wins.
+namespace sqo::storage {
+
+/// Summary parsed back out of a stored catalog section.
+struct CatalogInfo {
+  /// Fingerprint of the translated schema the catalog was compiled from,
+  /// stored as a 32-hex-digit string (JSON numbers are doubles and cannot
+  /// carry 64-bit hashes exactly).
+  sqo::Fingerprint128 schema_hash;
+  uint64_t ic_count = 0;
+  uint64_t total_residues = 0;
+  std::vector<std::string> ic_labels;
+};
+
+/// Stable fingerprint of a translated schema: an ordered fold over every
+/// relation signature (name, kind, attributes, ownership, functionality).
+sqo::Fingerprint128 SchemaFingerprint(const translate::TranslatedSchema& schema);
+
+/// Renders `compiled` as the catalog JSON document embedded in snapshots.
+std::string SerializeCatalog(const core::CompiledSchema& compiled);
+
+/// Parses the summary fields back out of a catalog JSON document.
+/// kDataCorruption on malformed JSON or missing/ill-typed fields.
+sqo::Result<CatalogInfo> ParseCatalogInfo(std::string_view json);
+
+}  // namespace sqo::storage
+
+#endif  // SQO_STORAGE_CATALOG_H_

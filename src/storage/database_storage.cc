@@ -1,0 +1,48 @@
+// Database's durability methods. Defined here rather than in
+// src/engine/database.cc so the engine library does not depend on the
+// storage library (sqo_storage links sqo_engine, not the other way round);
+// programs that never persist pay nothing.
+
+#include "engine/database.h"
+#include "storage/manager.h"
+
+namespace sqo::engine {
+
+sqo::Status Database::Open(const std::string& dir,
+                           const storage::OpenOptions& options) {
+  if (storage_ != nullptr) {
+    return sqo::InvalidArgumentError(
+        "storage is already attached (rooted at " + storage_->dir() +
+        "); CloseStorage() first");
+  }
+  SQO_ASSIGN_OR_RETURN(std::unique_ptr<storage::StorageManager> manager,
+                       storage::StorageManager::Open(dir, &store_, options));
+  storage_ = std::move(manager);
+  return sqo::Status::Ok();
+}
+
+sqo::Status Database::Open(const std::string& dir) {
+  return Open(dir, storage::OpenOptions{});
+}
+
+sqo::Status Database::Checkpoint() {
+  if (storage_ == nullptr) {
+    return sqo::InvalidArgumentError("no storage attached; Open() first");
+  }
+  return storage_->Checkpoint();
+}
+
+sqo::Status Database::CloseStorage() {
+  if (storage_ == nullptr) {
+    return sqo::InvalidArgumentError("no storage attached; Open() first");
+  }
+  const sqo::Status status = storage_->Close();
+  storage_.reset();
+  return status;
+}
+
+const storage::RecoveryInfo* Database::recovery_info() const {
+  return storage_ == nullptr ? nullptr : &storage_->recovery_info();
+}
+
+}  // namespace sqo::engine

@@ -1,0 +1,259 @@
+#include "storage/format.h"
+
+#include <cstring>
+
+namespace sqo::storage {
+
+void BinaryWriter::PutU32(uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out_.append(buf, 4);
+}
+
+void BinaryWriter::PutU64(uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out_.append(buf, 8);
+}
+
+void BinaryWriter::PutDouble(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void BinaryWriter::PutString(std::string_view s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  out_.append(s);
+}
+
+void BinaryWriter::PutValue(const sqo::Value& v) {
+  PutU8(static_cast<uint8_t>(v.kind()));
+  switch (v.kind()) {
+    case sqo::ValueKind::kNull:
+      break;
+    case sqo::ValueKind::kInt:
+      PutI64(v.AsInt());
+      break;
+    case sqo::ValueKind::kDouble:
+      PutDouble(v.AsDoubleExact());
+      break;
+    case sqo::ValueKind::kString:
+      PutString(v.AsString());
+      break;
+    case sqo::ValueKind::kBool:
+      PutU8(v.AsBool() ? 1 : 0);
+      break;
+    case sqo::ValueKind::kOid:
+      PutU64(v.AsOid().raw());
+      break;
+  }
+}
+
+sqo::Status BinaryReader::Need(size_t n) {
+  if (remaining() < n) {
+    return sqo::DataCorruptionError(
+        "truncated record: need " + std::to_string(n) + " bytes at offset " +
+        std::to_string(pos_) + ", have " + std::to_string(remaining()));
+  }
+  return sqo::Status::Ok();
+}
+
+sqo::Result<uint8_t> BinaryReader::GetU8() {
+  SQO_RETURN_IF_ERROR(Need(1));
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+sqo::Result<uint32_t> BinaryReader::GetU32() {
+  SQO_RETURN_IF_ERROR(Need(4));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+sqo::Result<uint64_t> BinaryReader::GetU64() {
+  SQO_RETURN_IF_ERROR(Need(8));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+sqo::Result<int64_t> BinaryReader::GetI64() {
+  SQO_ASSIGN_OR_RETURN(uint64_t v, GetU64());
+  return static_cast<int64_t>(v);
+}
+
+sqo::Result<double> BinaryReader::GetDouble() {
+  SQO_ASSIGN_OR_RETURN(uint64_t bits, GetU64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+sqo::Result<std::string> BinaryReader::GetString() {
+  SQO_ASSIGN_OR_RETURN(uint32_t len, GetU32());
+  SQO_RETURN_IF_ERROR(Need(len));
+  std::string s(data_.substr(pos_, len));
+  pos_ += len;
+  return s;
+}
+
+sqo::Result<sqo::Value> BinaryReader::GetValue() {
+  SQO_ASSIGN_OR_RETURN(uint8_t kind, GetU8());
+  switch (static_cast<sqo::ValueKind>(kind)) {
+    case sqo::ValueKind::kNull:
+      return sqo::Value();
+    case sqo::ValueKind::kInt: {
+      SQO_ASSIGN_OR_RETURN(int64_t v, GetI64());
+      return sqo::Value::Int(v);
+    }
+    case sqo::ValueKind::kDouble: {
+      SQO_ASSIGN_OR_RETURN(double v, GetDouble());
+      return sqo::Value::Double(v);
+    }
+    case sqo::ValueKind::kString: {
+      SQO_ASSIGN_OR_RETURN(std::string v, GetString());
+      return sqo::Value::String(std::move(v));
+    }
+    case sqo::ValueKind::kBool: {
+      SQO_ASSIGN_OR_RETURN(uint8_t v, GetU8());
+      return sqo::Value::Bool(v != 0);
+    }
+    case sqo::ValueKind::kOid: {
+      SQO_ASSIGN_OR_RETURN(uint64_t v, GetU64());
+      return sqo::Value::FromOid(sqo::Oid(v));
+    }
+  }
+  return sqo::DataCorruptionError("unknown value kind " + std::to_string(kind));
+}
+
+void EncodeMutation(const engine::Mutation& mutation, BinaryWriter* writer) {
+  using Kind = engine::Mutation::Kind;
+  writer->PutU8(static_cast<uint8_t>(mutation.kind));
+  switch (mutation.kind) {
+    case Kind::kCreate:
+      writer->PutU64(mutation.oid.raw());
+      writer->PutString(mutation.relation);
+      writer->PutU32(static_cast<uint32_t>(mutation.row.size()));
+      for (const sqo::Value& v : mutation.row) writer->PutValue(v);
+      break;
+    case Kind::kUpdate:
+      writer->PutU64(mutation.oid.raw());
+      writer->PutString(mutation.relation);
+      writer->PutU32(static_cast<uint32_t>(mutation.pos));
+      writer->PutValue(mutation.value);
+      break;
+    case Kind::kDelete:
+      writer->PutU64(mutation.oid.raw());
+      writer->PutString(mutation.relation);
+      break;
+    case Kind::kInsertPair:
+    case Kind::kErasePair:
+      writer->PutString(mutation.relation);
+      writer->PutU64(mutation.src.raw());
+      writer->PutU64(mutation.dst.raw());
+      break;
+    case Kind::kClearRel:
+      writer->PutString(mutation.relation);
+      break;
+  }
+}
+
+sqo::Result<engine::Mutation> DecodeMutation(BinaryReader* reader) {
+  using Kind = engine::Mutation::Kind;
+  engine::Mutation m;
+  SQO_ASSIGN_OR_RETURN(uint8_t kind, reader->GetU8());
+  if (kind < static_cast<uint8_t>(Kind::kCreate) ||
+      kind > static_cast<uint8_t>(Kind::kClearRel)) {
+    return sqo::DataCorruptionError("unknown mutation kind " +
+                                    std::to_string(kind));
+  }
+  m.kind = static_cast<Kind>(kind);
+  switch (m.kind) {
+    case Kind::kCreate: {
+      SQO_ASSIGN_OR_RETURN(uint64_t oid, reader->GetU64());
+      m.oid = sqo::Oid(oid);
+      SQO_ASSIGN_OR_RETURN(m.relation, reader->GetString());
+      SQO_ASSIGN_OR_RETURN(uint32_t n, reader->GetU32());
+      // Arity is validated against the schema on apply; here only guard the
+      // buffer (each value is at least one kind byte).
+      if (n > reader->remaining()) {
+        return sqo::DataCorruptionError("row length " + std::to_string(n) +
+                                        " exceeds record payload");
+      }
+      m.row.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        SQO_ASSIGN_OR_RETURN(sqo::Value v, reader->GetValue());
+        m.row.push_back(std::move(v));
+      }
+      break;
+    }
+    case Kind::kUpdate: {
+      SQO_ASSIGN_OR_RETURN(uint64_t oid, reader->GetU64());
+      m.oid = sqo::Oid(oid);
+      SQO_ASSIGN_OR_RETURN(m.relation, reader->GetString());
+      SQO_ASSIGN_OR_RETURN(uint32_t pos, reader->GetU32());
+      m.pos = pos;
+      SQO_ASSIGN_OR_RETURN(m.value, reader->GetValue());
+      break;
+    }
+    case Kind::kDelete: {
+      SQO_ASSIGN_OR_RETURN(uint64_t oid, reader->GetU64());
+      m.oid = sqo::Oid(oid);
+      SQO_ASSIGN_OR_RETURN(m.relation, reader->GetString());
+      break;
+    }
+    case Kind::kInsertPair:
+    case Kind::kErasePair: {
+      SQO_ASSIGN_OR_RETURN(m.relation, reader->GetString());
+      SQO_ASSIGN_OR_RETURN(uint64_t src, reader->GetU64());
+      SQO_ASSIGN_OR_RETURN(uint64_t dst, reader->GetU64());
+      m.src = sqo::Oid(src);
+      m.dst = sqo::Oid(dst);
+      break;
+    }
+    case Kind::kClearRel: {
+      SQO_ASSIGN_OR_RETURN(m.relation, reader->GetString());
+      break;
+    }
+  }
+  return m;
+}
+
+std::string EncodeMutationBatch(const std::vector<engine::Mutation>& batch) {
+  BinaryWriter writer;
+  writer.PutU32(static_cast<uint32_t>(batch.size()));
+  for (const engine::Mutation& m : batch) EncodeMutation(m, &writer);
+  return writer.TakeString();
+}
+
+sqo::Result<std::vector<engine::Mutation>> DecodeMutationBatch(
+    std::string_view payload) {
+  BinaryReader reader(payload);
+  SQO_ASSIGN_OR_RETURN(uint32_t n, reader.GetU32());
+  if (n > payload.size()) {
+    return sqo::DataCorruptionError("batch count " + std::to_string(n) +
+                                    " exceeds record payload");
+  }
+  std::vector<engine::Mutation> batch;
+  batch.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    SQO_ASSIGN_OR_RETURN(engine::Mutation m, DecodeMutation(&reader));
+    batch.push_back(std::move(m));
+  }
+  if (!reader.exhausted()) {
+    return sqo::DataCorruptionError("trailing bytes after mutation batch");
+  }
+  return batch;
+}
+
+}  // namespace sqo::storage

@@ -1,0 +1,90 @@
+#ifndef SQO_STORAGE_FORMAT_H_
+#define SQO_STORAGE_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "engine/object_store.h"
+
+/// On-disk encoding shared by the snapshot and WAL layers.
+///
+/// All integers are little-endian and fixed-width (no varints: torn-write
+/// detection is simpler when record framing is position-independent).
+/// Strings are u32-length-prefixed bytes. Values are a kind byte followed
+/// by the kind's payload. Readers are strictly bounds-checked and return
+/// kDataCorruption instead of reading past the end — a corrupt length field
+/// must degrade cleanly, never fault.
+namespace sqo::storage {
+
+/// File format magics ("SQOS" / "SQOW" little-endian) and current versions.
+/// A version bump invalidates old files: readers treat version skew as
+/// kDataCorruption and recovery fails open to the previous good artifact.
+inline constexpr uint32_t kSnapshotMagic = 0x534F5153u;  // "SQOS"
+inline constexpr uint32_t kWalMagic = 0x574F5153u;       // "SQOW"
+inline constexpr uint32_t kSnapshotVersion = 1;
+inline constexpr uint32_t kWalVersion = 1;
+
+/// Append-only binary encoder.
+class BinaryWriter {
+ public:
+  void PutU8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutDouble(double v);
+  void PutString(std::string_view s);
+  void PutValue(const sqo::Value& v);
+  void PutBytes(std::string_view bytes) { out_.append(bytes); }
+
+  const std::string& str() const { return out_; }
+  std::string TakeString() { return std::move(out_); }
+  size_t size() const { return out_.size(); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked sequential decoder over a borrowed buffer.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  sqo::Result<uint8_t> GetU8();
+  sqo::Result<uint32_t> GetU32();
+  sqo::Result<uint64_t> GetU64();
+  sqo::Result<int64_t> GetI64();
+  sqo::Result<double> GetDouble();
+  sqo::Result<std::string> GetString();
+  sqo::Result<sqo::Value> GetValue();
+
+  size_t remaining() const { return data_.size() - pos_; }
+  size_t position() const { return pos_; }
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  sqo::Status Need(size_t n);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// Appends the framed encoding of one store mutation to `writer`.
+void EncodeMutation(const engine::Mutation& mutation, BinaryWriter* writer);
+
+/// Decodes one mutation; kDataCorruption on malformed input.
+sqo::Result<engine::Mutation> DecodeMutation(BinaryReader* reader);
+
+/// Encodes a batch (one logical operation) as u32 count + mutations.
+std::string EncodeMutationBatch(const std::vector<engine::Mutation>& batch);
+
+/// Decodes a batch; the reader must be exhausted afterwards.
+sqo::Result<std::vector<engine::Mutation>> DecodeMutationBatch(
+    std::string_view payload);
+
+}  // namespace sqo::storage
+
+#endif  // SQO_STORAGE_FORMAT_H_

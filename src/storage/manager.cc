@@ -1,0 +1,364 @@
+#include "storage/manager.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <optional>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "common/fileio.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "storage/snapshot.h"
+
+namespace sqo::storage {
+namespace {
+
+constexpr std::string_view kSnapshotPrefix = "snapshot-";
+constexpr std::string_view kSnapshotSuffix = ".sqo";
+constexpr std::string_view kWalName = "wal.log";
+
+/// snapshot-NNNNNN.sqo → NNNNNN; nullopt for anything else.
+std::optional<uint64_t> ParseSnapshotSeq(std::string_view name) {
+  if (name.size() <= kSnapshotPrefix.size() + kSnapshotSuffix.size() ||
+      name.substr(0, kSnapshotPrefix.size()) != kSnapshotPrefix ||
+      name.substr(name.size() - kSnapshotSuffix.size()) != kSnapshotSuffix) {
+    return std::nullopt;
+  }
+  const std::string_view digits = name.substr(
+      kSnapshotPrefix.size(),
+      name.size() - kSnapshotPrefix.size() - kSnapshotSuffix.size());
+  uint64_t seq = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    seq = seq * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return seq;
+}
+
+}  // namespace
+
+sqo::Result<std::unique_ptr<StorageManager>> StorageManager::Open(
+    const std::string& dir, engine::ObjectStore* store,
+    const OpenOptions& options) {
+  obs::Span span("storage.open");
+  std::unique_ptr<StorageManager> manager(
+      new StorageManager(dir, store, options));
+  sqo::Status status = manager->Recover();
+  if (!status.ok()) {
+    // Never leave a half-attached listener behind a failed open.
+    store->SetMutationListener(nullptr);
+    return status;
+  }
+  return manager;
+}
+
+StorageManager::~StorageManager() { Close(); }
+
+std::string StorageManager::SnapshotPath(uint64_t seq) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%06llu",
+                static_cast<unsigned long long>(seq));
+  return dir_ + "/" + std::string(kSnapshotPrefix) + buf +
+         std::string(kSnapshotSuffix);
+}
+
+std::string StorageManager::WalPath() const {
+  return dir_ + "/" + std::string(kWalName);
+}
+
+std::string StorageManager::CatalogJson() const {
+  return options_.compiled != nullptr ? SerializeCatalog(*options_.compiled)
+                                      : std::string();
+}
+
+void StorageManager::Degrade(std::string reason, bool corruption) {
+  info_.degraded = true;
+  if (corruption) {
+    info_.corruption_detected = true;
+    obs::Count("storage.corruption_detected");
+  }
+  if (info_.degradation_reason.empty()) {
+    info_.degradation_reason = std::move(reason);
+  } else {
+    info_.degradation_reason += "; " + reason;
+  }
+}
+
+sqo::Status StorageManager::Recover() {
+  obs::Span span("storage.recovery");
+  SQO_RETURN_IF_ERROR(fs::EnsureDir(dir_));
+  const sqo::Fingerprint128 live = SchemaFingerprint(store_->schema());
+  uint64_t max_seq = 0;
+  SQO_RETURN_IF_ERROR(LoadSnapshots(live, &max_seq));
+  next_snapshot_seq_ = max_seq + 1;
+  SQO_RETURN_IF_ERROR(RecoverWal(live));
+  store_->SetMutationListener(
+      [this](const std::vector<engine::Mutation>& batch) {
+        return AppendBatch(batch);
+      });
+  if (info_.created) {
+    // First open (or total loss): the in-memory contents are the baseline.
+    // Persist them immediately so "opened OK" implies "durable".
+    SQO_RETURN_IF_ERROR(Checkpoint());
+  }
+  return sqo::Status::Ok();
+}
+
+sqo::Status StorageManager::LoadSnapshots(const sqo::Fingerprint128& live_hash,
+                                          uint64_t* max_seq) {
+  SQO_ASSIGN_OR_RETURN(std::vector<std::string> names, fs::ListDir(dir_));
+  std::vector<std::pair<uint64_t, std::string>> candidates;
+  for (const std::string& name : names) {
+    if (std::optional<uint64_t> seq = ParseSnapshotSeq(name)) {
+      candidates.emplace_back(*seq, name);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  *max_seq = candidates.empty() ? 0 : candidates.front().first;
+
+  bool loaded = false;
+  for (size_t i = 0; i < candidates.size() && !loaded; ++i) {
+    const std::string& name = candidates[i].second;
+    const std::string path = dir_ + "/" + name;
+    sqo::Result<SnapshotContents> contents = ReadSnapshot(path);
+    if (!contents.ok()) {
+      if (!options_.fail_open) return contents.status();
+      Degrade("snapshot " + name + " unusable: " + contents.status().message(),
+              /*corruption=*/true);
+      continue;
+    }
+    if (contents->schema_hash != live_hash) {
+      // Version skew, not bit rot: the file is intact but describes a
+      // different schema. Refuse it (fail-closed) or skip it (fail-open).
+      if (!options_.fail_open) {
+        return sqo::DataCorruptionError(
+            "snapshot " + name + " was written for schema " +
+            contents->schema_hash.ToString() + " but the live schema is " +
+            live_hash.ToString());
+      }
+      Degrade("snapshot " + name + " skipped: schema mismatch (" +
+                  contents->schema_hash.ToString() + " vs live " +
+                  live_hash.ToString() + ")",
+              /*corruption=*/false);
+      continue;
+    }
+    store_->Clear();
+    sqo::Status status = store_->ApplyMutations(contents->objects);
+    if (status.ok()) status = store_->ApplyMutations(contents->pairs);
+    if (!status.ok()) {
+      store_->Clear();
+      if (!options_.fail_open) return status;
+      Degrade("snapshot " + name + " failed to apply: " + status.message(),
+              /*corruption=*/true);
+      continue;
+    }
+    store_->RestoreNextOid(contents->next_oid);
+    info_.snapshot_path = path;
+    info_.snapshot_lsn = contents->last_lsn;
+    last_lsn_ = contents->last_lsn;
+    if (!contents->catalog_json.empty()) {
+      sqo::Result<CatalogInfo> catalog =
+          ParseCatalogInfo(contents->catalog_json);
+      if (catalog.ok()) {
+        info_.catalog_loaded = true;
+        info_.catalog = std::move(catalog).value();
+        if (options_.compiled != nullptr) {
+          info_.lint = analysis::AnalyzeCatalogFreshness(
+              info_.catalog.schema_hash.ToString(), live_hash.ToString(),
+              info_.catalog.total_residues,
+              options_.compiled->total_residues());
+        }
+      } else {
+        // The section passed its CRC but the document is malformed. The
+        // store itself recovered fine; flag the catalog and move on.
+        Degrade("stored catalog unreadable: " + catalog.status().message(),
+                /*corruption=*/true);
+      }
+    }
+    loaded = true;
+  }
+  if (loaded) {
+    obs::Count("storage.recovery.snapshot_loaded");
+  } else {
+    // Nothing usable on disk: bootstrap from the store's current contents.
+    info_.created = true;
+    last_lsn_ = 0;
+    obs::Count("storage.recovery.fresh");
+  }
+  return sqo::Status::Ok();
+}
+
+sqo::Status StorageManager::RecoverWal(const sqo::Fingerprint128& live_hash) {
+  const std::string path = WalPath();
+  const WalHeader fresh_header{live_hash, last_lsn_};
+  sqo::Result<WalReadResult> read = ReadWal(path);
+  if (!read.ok()) {
+    if (read.status().code() != sqo::StatusCode::kNotFound) {
+      // The header itself is untrusted — the whole log is discarded.
+      if (!options_.fail_open) return read.status();
+      Degrade("WAL discarded: " + read.status().message(),
+              /*corruption=*/true);
+    }
+    SQO_ASSIGN_OR_RETURN(WalWriter writer,
+                         WalWriter::Create(path, fresh_header));
+    wal_ = std::make_unique<WalWriter>(std::move(writer));
+    return sqo::Status::Ok();
+  }
+
+  WalReadResult& wal = *read;
+  if (wal.header.schema_hash != live_hash) {
+    if (!options_.fail_open) {
+      return sqo::DataCorruptionError(
+          "WAL was written for schema " + wal.header.schema_hash.ToString() +
+          " but the live schema is " + live_hash.ToString());
+    }
+    Degrade("WAL discarded: schema mismatch", /*corruption=*/false);
+    SQO_ASSIGN_OR_RETURN(WalWriter writer,
+                         WalWriter::Create(path, fresh_header));
+    wal_ = std::make_unique<WalWriter>(std::move(writer));
+    return sqo::Status::Ok();
+  }
+  if (wal.header.base_lsn > last_lsn_) {
+    // The log extends a snapshot newer than the one recovery could load
+    // (we failed open to an older one): the intermediate history is gone,
+    // so replaying would apply operations against the wrong base state.
+    if (!options_.fail_open) {
+      return sqo::DataCorruptionError(
+          "WAL base LSN " + std::to_string(wal.header.base_lsn) +
+          " is beyond the recovered snapshot LSN " + std::to_string(last_lsn_));
+    }
+    Degrade("WAL discarded: base LSN " + std::to_string(wal.header.base_lsn) +
+                " beyond recovered snapshot LSN " + std::to_string(last_lsn_),
+            /*corruption=*/false);
+    SQO_ASSIGN_OR_RETURN(WalWriter writer,
+                         WalWriter::Create(path, fresh_header));
+    wal_ = std::make_unique<WalWriter>(std::move(writer));
+    return sqo::Status::Ok();
+  }
+
+  uint64_t truncate_to = wal.valid_bytes;
+  for (const WalRecord& record : wal.records) {
+    if (record.lsn <= last_lsn_) continue;  // already covered by the snapshot
+    sqo::Status status = store_->ApplyMutations(record.batch);
+    if (!status.ok()) {
+      // Checksummed but semantically inconsistent (e.g. pairs a deleted
+      // object): cut the log here, keep what applied.
+      if (!options_.fail_open) return status;
+      Degrade("WAL record LSN " + std::to_string(record.lsn) +
+                  " failed to apply: " + status.message() + "; log truncated",
+              /*corruption=*/true);
+      truncate_to = record.offset;
+      break;
+    }
+    last_lsn_ = record.lsn;
+    ++info_.replayed_records;
+  }
+  if (wal.corrupt) {
+    if (!options_.fail_open) {
+      return sqo::DataCorruptionError("WAL: " + wal.stop_reason);
+    }
+    Degrade("WAL truncated: " + wal.stop_reason, /*corruption=*/true);
+  }
+  // A clean torn tail (stopped_early without corrupt) is the expected
+  // artifact of a crash mid-append: truncate silently, no degradation.
+  if (truncate_to < wal.file_bytes) {
+    info_.truncated_bytes += wal.file_bytes - truncate_to;
+    SQO_RETURN_IF_ERROR(fs::TruncateFile(path, truncate_to));
+  }
+  obs::Count("storage.recovery.wal_records_replayed", info_.replayed_records);
+  SQO_ASSIGN_OR_RETURN(WalWriter writer, WalWriter::OpenExisting(path));
+  wal_ = std::make_unique<WalWriter>(std::move(writer));
+  return sqo::Status::Ok();
+}
+
+sqo::Status StorageManager::AppendBatch(
+    const std::vector<engine::Mutation>& batch) {
+  if (batch.empty()) return sqo::Status::Ok();
+  if (closed_ || wal_ == nullptr) {
+    return sqo::InternalError("storage manager is closed");
+  }
+  if (!healthy_) {
+    return sqo::DataCorruptionError(
+        "storage is unhealthy after an earlier append failure; mutation not "
+        "durable (checkpoint to re-base the log)");
+  }
+  const uint64_t lsn = last_lsn_ + 1;
+  sqo::Status status = wal_->Append(lsn, batch, options_.sync_each_append);
+  if (!status.ok()) {
+    // Latch: once one record fails, later appends must not succeed or the
+    // durable log would have a hole — acknowledged ops must be a prefix.
+    healthy_ = false;
+    obs::Count("storage.wal.append_failed");
+    return status;
+  }
+  last_lsn_ = lsn;
+  obs::Count("storage.wal.records");
+  return sqo::Status::Ok();
+}
+
+sqo::Status StorageManager::Checkpoint() {
+  obs::Span span("storage.checkpoint");
+  const sqo::Fingerprint128 live = SchemaFingerprint(store_->schema());
+  const uint64_t seq = next_snapshot_seq_;
+  sqo::Status status =
+      WriteSnapshot(SnapshotPath(seq), *store_, live, last_lsn_,
+                    CatalogJson());
+  if (!status.ok()) {
+    // The previous snapshot + log remain authoritative; nothing was lost.
+    obs::Count("storage.checkpoint.failed");
+    return status;
+  }
+  next_snapshot_seq_ = seq + 1;
+  sqo::Result<WalWriter> writer =
+      WalWriter::Create(WalPath(), WalHeader{live, last_lsn_});
+  if (!writer.ok()) {
+    // The new snapshot already covers every logged operation, but with no
+    // working log further mutations cannot be acknowledged.
+    healthy_ = false;
+    wal_.reset();
+    obs::Count("storage.checkpoint.failed");
+    return writer.status();
+  }
+  wal_ = std::make_unique<WalWriter>(std::move(writer).value());
+  healthy_ = true;  // the snapshot re-based durability; the latch clears
+  obs::Count("storage.checkpoint.count");
+
+  // Prune checkpoints beyond the newest keep_snapshots (best-effort).
+  const size_t keep = std::max<size_t>(1, options_.keep_snapshots);
+  if (sqo::Result<std::vector<std::string>> names = fs::ListDir(dir_);
+      names.ok()) {
+    std::vector<uint64_t> seqs;
+    for (const std::string& name : *names) {
+      if (std::optional<uint64_t> s = ParseSnapshotSeq(name)) {
+        seqs.push_back(*s);
+      }
+    }
+    std::sort(seqs.begin(), seqs.end(), std::greater<uint64_t>());
+    for (size_t i = keep; i < seqs.size(); ++i) {
+      const sqo::Status removed = fs::RemoveFile(SnapshotPath(seqs[i]));
+      (void)removed;  // best-effort: a stale extra snapshot is harmless
+    }
+  }
+  return sqo::Status::Ok();
+}
+
+sqo::Status StorageManager::Close() {
+  if (closed_) return sqo::Status::Ok();
+  sqo::Status status = sqo::Status::Ok();
+  if (options_.checkpoint_on_close && wal_ != nullptr) {
+    // Memory is the truth: a final checkpoint repairs durability even if
+    // the log went unhealthy mid-session.
+    status = Checkpoint();
+  }
+  closed_ = true;
+  store_->SetMutationListener(nullptr);
+  wal_.reset();
+  return status;
+}
+
+}  // namespace sqo::storage

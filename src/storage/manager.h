@@ -1,0 +1,136 @@
+#ifndef SQO_STORAGE_MANAGER_H_
+#define SQO_STORAGE_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "analysis/diagnostic.h"
+#include "common/status.h"
+#include "engine/object_store.h"
+#include "sqo/semantic_compiler.h"
+#include "storage/catalog.h"
+#include "storage/wal.h"
+
+/// Crash-safe persistence for one ObjectStore: checksummed snapshots plus a
+/// write-ahead log, with fail-open recovery.
+///
+/// Directory layout:
+///   <dir>/snapshot-NNNNNN.sqo   — immutable checkpoints (newest wins;
+///                                 the previous one is kept as fallback)
+///   <dir>/wal.log               — mutations since the newest snapshot
+///
+/// `Open` recovers (newest *valid* snapshot, then WAL replay, truncating at
+/// the first torn or corrupt record), installs itself as the store's
+/// mutation listener, and from then on every logical store operation is one
+/// durable WAL record before the caller's call returns OK. `Checkpoint`
+/// rewrites the snapshot and resets the log. Recovery never aborts: any
+/// corruption degrades fail-open to the best older state (or an empty
+/// store) with `RecoveryInfo.degraded` + reason set, mirroring the
+/// pipeline's governance degradation contract.
+namespace sqo::storage {
+
+struct OpenOptions {
+  /// When set, checkpoints embed the serialized semantic catalog and
+  /// recovery lints the stored catalog against it (SQO-A013).
+  /// Must outlive the manager.
+  const core::CompiledSchema* compiled = nullptr;
+
+  /// fsync the log on every append (durability = acknowledged). Turning
+  /// this off trades the last few operations for throughput.
+  bool sync_each_append = true;
+
+  /// Checkpoint automatically when the manager is closed/destroyed.
+  bool checkpoint_on_close = true;
+
+  /// Degrade to an older snapshot / empty store on corruption instead of
+  /// failing `Open` (matching the pipeline's fail-open default).
+  bool fail_open = true;
+
+  /// Checkpoints beyond the newest `keep_snapshots` are pruned.
+  size_t keep_snapshots = 2;
+};
+
+/// What recovery found and did; stable for tests and the shell to print.
+struct RecoveryInfo {
+  /// True when the directory held no usable state (first open or total
+  /// loss) and the manager bootstrapped a fresh baseline checkpoint from
+  /// the store's current in-memory contents.
+  bool created = false;
+
+  std::string snapshot_path;       // empty when none loaded
+  uint64_t snapshot_lsn = 0;
+  uint64_t replayed_records = 0;   // WAL records applied
+  uint64_t truncated_bytes = 0;    // bytes cut off the log tail
+  bool corruption_detected = false;
+  bool degraded = false;
+  std::string degradation_reason;
+
+  bool catalog_loaded = false;
+  CatalogInfo catalog;
+
+  /// SQO-A013 findings (empty when the stored catalog matches the live
+  /// schema, or no catalog was stored/configured).
+  analysis::AnalysisReport lint;
+};
+
+class StorageManager {
+ public:
+  /// Recovers `store` from `dir` (created if missing) and attaches the
+  /// write-ahead log. `store` must outlive the returned manager; the
+  /// manager owns the store's mutation listener slot until Close().
+  static sqo::Result<std::unique_ptr<StorageManager>> Open(
+      const std::string& dir, engine::ObjectStore* store,
+      const OpenOptions& options = {});
+
+  ~StorageManager();
+  StorageManager(const StorageManager&) = delete;
+  StorageManager& operator=(const StorageManager&) = delete;
+
+  /// Writes a new snapshot of the store (atomically), resets the log to an
+  /// empty one based at the snapshot's LSN, and prunes old snapshots. On
+  /// failure the previous snapshot and log remain authoritative.
+  sqo::Status Checkpoint();
+
+  /// Detaches from the store (further mutations are no longer logged) and,
+  /// per options, takes a final checkpoint. Idempotent.
+  sqo::Status Close();
+
+  const RecoveryInfo& recovery_info() const { return info_; }
+  const std::string& dir() const { return dir_; }
+  uint64_t last_lsn() const { return last_lsn_; }
+
+  /// False once an append or checkpoint has failed: the log can no longer
+  /// be trusted to be a prefix of memory, so every later mutation is
+  /// reported unacknowledged until a successful Checkpoint re-bases it.
+  bool healthy() const { return healthy_; }
+
+ private:
+  StorageManager(std::string dir, engine::ObjectStore* store,
+                 OpenOptions options)
+      : dir_(std::move(dir)), store_(store), options_(options) {}
+
+  sqo::Status Recover();
+  sqo::Status AppendBatch(const std::vector<engine::Mutation>& batch);
+  sqo::Status LoadSnapshots(const sqo::Fingerprint128& live_hash,
+                            uint64_t* max_seq);
+  sqo::Status RecoverWal(const sqo::Fingerprint128& live_hash);
+  std::string SnapshotPath(uint64_t seq) const;
+  std::string WalPath() const;
+  std::string CatalogJson() const;
+  void Degrade(std::string reason, bool corruption);
+
+  std::string dir_;
+  engine::ObjectStore* store_;
+  OpenOptions options_;
+  RecoveryInfo info_;
+  std::unique_ptr<WalWriter> wal_;
+  uint64_t last_lsn_ = 0;       // highest durable LSN
+  uint64_t next_snapshot_seq_ = 1;
+  bool healthy_ = true;
+  bool closed_ = false;
+};
+
+}  // namespace sqo::storage
+
+#endif  // SQO_STORAGE_MANAGER_H_

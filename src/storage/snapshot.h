@@ -1,0 +1,69 @@
+#ifndef SQO_STORAGE_SNAPSHOT_H_
+#define SQO_STORAGE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/fingerprint.h"
+#include "common/status.h"
+#include "engine/object_store.h"
+
+/// Versioned, checksummed snapshot of an ObjectStore extent plus the
+/// serialized semantic catalog.
+///
+/// File layout (all integers little-endian):
+///
+///   header (60 bytes):
+///     u32 magic "SQOS" | u32 version | u64 schema_lo | u64 schema_hi
+///     | u64 last_lsn | u64 store_len | u64 catalog_len
+///     | u32 masked-CRC32C(store section) | u32 masked-CRC32C(catalog section)
+///     | u32 masked-CRC32C(preceding 56 header bytes)
+///   store section (store_len bytes):
+///     u64 next_oid | u64 object_count
+///     | per object: u64 oid | str exact_relation | u32 row_len | values
+///     | u64 relation_count
+///     | per relation: str name | u64 pair_count | (u64 src, u64 dst)*
+///   catalog section (catalog_len bytes): catalog JSON (see catalog.h)
+///
+/// Snapshots are immutable once published: the writer builds the whole file
+/// in memory and installs it with WriteFileAtomic (temp + fsync + rename +
+/// dir fsync), so a reader either sees a complete checksummed file or the
+/// previous one. Any validation failure yields kDataCorruption and the
+/// recovery layer fails open to an older snapshot.
+namespace sqo::storage {
+
+inline constexpr size_t kSnapshotHeaderSize = 4 + 4 + 8 + 8 + 8 + 8 + 8 + 4 + 4 + 4;
+
+/// A fully decoded and checksum-verified snapshot. The store contents are
+/// returned as replayable mutations (creates then pair inserts) so loading
+/// shares one code path with WAL replay.
+struct SnapshotContents {
+  sqo::Fingerprint128 schema_hash;
+
+  /// LSN covered by this snapshot; WAL replay applies only records beyond it.
+  uint64_t last_lsn = 0;
+
+  uint64_t next_oid = 1;
+  std::vector<engine::Mutation> objects;  // kCreate, one per object
+  std::vector<engine::Mutation> pairs;    // kInsertPair, one per stored pair
+  std::string catalog_json;
+};
+
+/// Serializes `store` + `catalog_json` and atomically publishes the file at
+/// `path`. Failpoint site `storage.snapshot_write` fires before any I/O;
+/// the underlying atomic write carries `storage.fsync` / `storage.rename`.
+sqo::Status WriteSnapshot(const std::string& path,
+                          const engine::ObjectStore& store,
+                          const sqo::Fingerprint128& schema_hash,
+                          uint64_t last_lsn, std::string_view catalog_json);
+
+/// Reads and fully validates the snapshot at `path`: magic, version, header
+/// CRC, section lengths and section CRCs, then decodes the store section.
+/// kNotFound when missing, kDataCorruption on any validation failure.
+sqo::Result<SnapshotContents> ReadSnapshot(const std::string& path);
+
+}  // namespace sqo::storage
+
+#endif  // SQO_STORAGE_SNAPSHOT_H_

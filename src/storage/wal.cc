@@ -1,0 +1,166 @@
+#include "storage/wal.h"
+
+#include <utility>
+
+#include "common/crc32c.h"
+#include "common/failpoint.h"
+#include "storage/format.h"
+
+namespace sqo::storage {
+namespace {
+
+std::string EncodeRecord(uint64_t lsn, std::string_view payload) {
+  BinaryWriter body;
+  body.PutU64(lsn);
+  body.PutBytes(payload);
+  BinaryWriter record;
+  record.PutU32(MaskCrc32c(Crc32c(body.str())));
+  record.PutU32(static_cast<uint32_t>(payload.size()));
+  record.PutBytes(body.str());
+  return record.TakeString();
+}
+
+}  // namespace
+
+std::string EncodeWalHeader(const WalHeader& header) {
+  BinaryWriter writer;
+  writer.PutU32(kWalMagic);
+  writer.PutU32(kWalVersion);
+  writer.PutU64(header.schema_hash.lo);
+  writer.PutU64(header.schema_hash.hi);
+  writer.PutU64(header.base_lsn);
+  writer.PutU32(MaskCrc32c(Crc32c(writer.str())));
+  return writer.TakeString();
+}
+
+sqo::Result<WalWriter> WalWriter::Create(const std::string& path,
+                                         const WalHeader& header) {
+  SQO_RETURN_IF_ERROR(fs::WriteFileAtomic(path, EncodeWalHeader(header)));
+  SQO_ASSIGN_OR_RETURN(fs::AppendFile file, fs::AppendFile::Open(path));
+  return WalWriter(std::move(file));
+}
+
+sqo::Result<WalWriter> WalWriter::OpenExisting(const std::string& path) {
+  SQO_ASSIGN_OR_RETURN(fs::AppendFile file, fs::AppendFile::Open(path));
+  return WalWriter(std::move(file));
+}
+
+sqo::Status WalWriter::Append(uint64_t lsn,
+                              const std::vector<engine::Mutation>& batch,
+                              bool sync) {
+  SQO_FAILPOINT("storage.wal_append");
+  if (!file_.open()) {
+    return sqo::InternalError("WAL file is not open");
+  }
+  SQO_RETURN_IF_ERROR(file_.Append(EncodeRecord(lsn, EncodeMutationBatch(batch))));
+  if (sync) {
+    SQO_RETURN_IF_ERROR(file_.Sync());
+  }
+  return sqo::Status::Ok();
+}
+
+sqo::Result<WalReadResult> ReadWal(const std::string& path) {
+  SQO_ASSIGN_OR_RETURN(std::string data, fs::ReadFile(path));
+
+  if (data.size() < kWalHeaderSize) {
+    return sqo::DataCorruptionError("WAL header truncated: " +
+                                    std::to_string(data.size()) + " bytes");
+  }
+  {
+    BinaryReader header_reader(std::string_view(data).substr(0, kWalHeaderSize));
+    SQO_ASSIGN_OR_RETURN(uint32_t magic, header_reader.GetU32());
+    if (magic != kWalMagic) {
+      return sqo::DataCorruptionError("bad WAL magic");
+    }
+    SQO_ASSIGN_OR_RETURN(uint32_t version, header_reader.GetU32());
+    if (version != kWalVersion) {
+      return sqo::DataCorruptionError("unsupported WAL version " +
+                                      std::to_string(version));
+    }
+  }
+  const uint32_t stored_header_crc = [&] {
+    BinaryReader crc_reader(
+        std::string_view(data).substr(kWalHeaderSize - 4, 4));
+    return *crc_reader.GetU32();
+  }();
+  if (UnmaskCrc32c(stored_header_crc) !=
+      Crc32c(data.data(), kWalHeaderSize - 4)) {
+    return sqo::DataCorruptionError("WAL header checksum mismatch");
+  }
+
+  WalReadResult result;
+  {
+    BinaryReader header_reader(std::string_view(data).substr(8));
+    SQO_ASSIGN_OR_RETURN(result.header.schema_hash.lo, header_reader.GetU64());
+    SQO_ASSIGN_OR_RETURN(result.header.schema_hash.hi, header_reader.GetU64());
+    SQO_ASSIGN_OR_RETURN(result.header.base_lsn, header_reader.GetU64());
+  }
+  result.last_lsn = result.header.base_lsn;
+  result.valid_bytes = kWalHeaderSize;
+  result.file_bytes = data.size();
+
+  std::string_view rest(data);
+  size_t pos = kWalHeaderSize;
+  uint64_t prev_lsn = result.header.base_lsn;
+  while (pos < data.size()) {
+    if (data.size() - pos < kWalRecordHeaderSize) {
+      result.stopped_early = true;
+      result.stop_reason = "torn record header at offset " + std::to_string(pos);
+      break;
+    }
+    BinaryReader frame(rest.substr(pos, kWalRecordHeaderSize));
+    const uint32_t stored_crc = *frame.GetU32();
+    const uint32_t payload_len = *frame.GetU32();
+    // Guard the length before using it: a corrupt length field must not
+    // index past the buffer or drive a huge allocation.
+    if (payload_len > data.size() - pos - kWalRecordHeaderSize) {
+      result.stopped_early = true;
+      // Distinguish a plausible torn tail (record extends past EOF but the
+      // checksum region is simply missing) from an absurd length.
+      result.stop_reason = "record at offset " + std::to_string(pos) +
+                           " extends past end of file";
+      break;
+    }
+    const std::string_view body =
+        rest.substr(pos + 8, 8 + payload_len);  // lsn + payload
+    if (UnmaskCrc32c(stored_crc) != Crc32c(body)) {
+      result.stopped_early = true;
+      result.corrupt = true;
+      result.stop_reason =
+          "record checksum mismatch at offset " + std::to_string(pos);
+      break;
+    }
+    BinaryReader body_reader(body);
+    const uint64_t lsn = *body_reader.GetU64();
+    if (lsn <= prev_lsn) {
+      result.stopped_early = true;
+      result.corrupt = true;
+      result.stop_reason = "stale LSN " + std::to_string(lsn) +
+                           " after LSN " + std::to_string(prev_lsn) +
+                           " at offset " + std::to_string(pos);
+      break;
+    }
+    sqo::Result<std::vector<engine::Mutation>> batch =
+        DecodeMutationBatch(body.substr(8));
+    if (!batch.ok()) {
+      result.stopped_early = true;
+      result.corrupt = true;
+      result.stop_reason = "undecodable record at offset " +
+                           std::to_string(pos) + ": " +
+                           batch.status().message();
+      break;
+    }
+    WalRecord record;
+    record.lsn = lsn;
+    record.batch = std::move(batch).value();
+    record.offset = pos;
+    result.records.push_back(std::move(record));
+    prev_lsn = lsn;
+    result.last_lsn = lsn;
+    pos += kWalRecordHeaderSize + payload_len;
+    result.valid_bytes = pos;
+  }
+  return result;
+}
+
+}  // namespace sqo::storage

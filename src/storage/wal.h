@@ -1,0 +1,111 @@
+#ifndef SQO_STORAGE_WAL_H_
+#define SQO_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/fileio.h"
+#include "common/fingerprint.h"
+#include "common/status.h"
+#include "engine/object_store.h"
+
+/// Record-oriented write-ahead log for ObjectStore mutations.
+///
+/// File layout (all integers little-endian):
+///
+///   header:  u32 magic "SQOW" | u32 version | u64 schema_lo | u64 schema_hi
+///            | u64 base_lsn | u32 masked-CRC32C(preceding 32 bytes)
+///   record:  u32 masked-CRC32C(lsn..payload) | u32 payload_len | u64 lsn
+///            | payload (one encoded mutation batch = one logical operation)
+///
+/// `base_lsn` is the LSN of the snapshot this log extends: replay applies
+/// only records with lsn > the loaded snapshot's LSN, and refuses a log
+/// whose base lies beyond it (the intermediate history is missing). LSNs
+/// are strictly increasing within a log; a duplicate or stale LSN is
+/// corruption. The reader stops at the first torn or corrupt record and
+/// reports the valid prefix length so recovery can physically truncate —
+/// the classic "trust the longest checksummed prefix" WAL contract.
+namespace sqo::storage {
+
+struct WalHeader {
+  sqo::Fingerprint128 schema_hash;
+  uint64_t base_lsn = 0;
+};
+
+inline constexpr size_t kWalHeaderSize = 4 + 4 + 8 + 8 + 8 + 4;
+inline constexpr size_t kWalRecordHeaderSize = 4 + 4 + 8;
+
+/// One decoded log record.
+struct WalRecord {
+  uint64_t lsn = 0;
+  std::vector<engine::Mutation> batch;
+
+  /// Byte offset of this record's frame in the file — the truncation point
+  /// if replay must discard this record and everything after it.
+  uint64_t offset = 0;
+};
+
+/// The result of scanning a log file.
+struct WalReadResult {
+  WalHeader header;
+  std::vector<WalRecord> records;
+
+  /// Length of the trusted prefix (header + intact records). Recovery
+  /// truncates the file to this before appending again.
+  uint64_t valid_bytes = 0;
+
+  /// Total file size as scanned (valid_bytes + any discarded tail).
+  uint64_t file_bytes = 0;
+
+  /// True when the scan stopped before end-of-file.
+  bool stopped_early = false;
+
+  /// True when the stop was a checksum mismatch, undecodable payload or
+  /// LSN regression — as opposed to a clean torn tail (a crash mid-append),
+  /// which sets only `stopped_early`.
+  bool corrupt = false;
+  std::string stop_reason;
+
+  /// LSN of the last intact record (header.base_lsn when none).
+  uint64_t last_lsn = 0;
+};
+
+/// Appender. Records become durable ("acknowledged") only once Append
+/// returns OK with sync enabled; the failpoint site `storage.wal_append`
+/// fires before any bytes are written, so an injected crash loses exactly
+/// the unacknowledged record.
+class WalWriter {
+ public:
+  /// Creates (atomically replacing any previous log) a fresh log containing
+  /// only `header`, then opens it for appending.
+  static sqo::Result<WalWriter> Create(const std::string& path,
+                                       const WalHeader& header);
+
+  /// Opens an existing, already-validated log for appending. The caller
+  /// (recovery) must have truncated it to its trusted prefix first.
+  static sqo::Result<WalWriter> OpenExisting(const std::string& path);
+
+  /// Appends one record; with `sync`, fsyncs before acknowledging.
+  sqo::Status Append(uint64_t lsn, const std::vector<engine::Mutation>& batch,
+                     bool sync);
+
+  uint64_t size() const { return file_.size(); }
+
+ private:
+  explicit WalWriter(fs::AppendFile file) : file_(std::move(file)) {}
+
+  fs::AppendFile file_;
+};
+
+/// Encodes just the header bytes (exposed for corruption-corpus tests).
+std::string EncodeWalHeader(const WalHeader& header);
+
+/// Scans `path`. A missing file is kNotFound; an invalid *header* is
+/// kDataCorruption (the whole log is untrusted); per-record problems are
+/// reported in the result, never as an error.
+sqo::Result<WalReadResult> ReadWal(const std::string& path);
+
+}  // namespace sqo::storage
+
+#endif  // SQO_STORAGE_WAL_H_

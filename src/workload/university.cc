@@ -88,18 +88,8 @@ sqo::Result<core::Pipeline> MakeUniversityPipeline(
                                 {UniversityAsr()}, options);
 }
 
-sqo::Status PopulateUniversity(const GeneratorConfig& config,
-                               const core::Pipeline& pipeline,
-                               engine::Database* db) {
+sqo::Status SetupUniversityRuntime(engine::Database* db) {
   engine::ObjectStore& store = db->store();
-  std::mt19937_64 rng(config.seed);
-  auto rand_int = [&rng](int lo, int hi) {
-    return std::uniform_int_distribution<int>(lo, hi)(rng);
-  };
-  auto rand_double = [&rng](double lo, double hi) {
-    return std::uniform_real_distribution<double>(lo, hi)(rng);
-  };
-
   // taxes_withheld(rate) = salary * rate — strictly increasing in salary
   // for positive rates, and exactly 3000 at (30K, 10%), matching the
   // declared method facts.
@@ -122,7 +112,22 @@ sqo::Status PopulateUniversity(const GeneratorConfig& config,
         return Value::Double(salary.AsNumeric() * args[0].AsNumeric());
       }));
 
-  SQO_RETURN_IF_ERROR(db->CreateKeyIndexes());
+  return db->CreateKeyIndexes();
+}
+
+sqo::Status PopulateUniversity(const GeneratorConfig& config,
+                               const core::Pipeline& pipeline,
+                               engine::Database* db) {
+  engine::ObjectStore& store = db->store();
+  std::mt19937_64 rng(config.seed);
+  auto rand_int = [&rng](int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(rng);
+  };
+  auto rand_double = [&rng](double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(rng);
+  };
+
+  SQO_RETURN_IF_ERROR(SetupUniversityRuntime(db));
 
   auto make_address = [&](int i) -> sqo::Result<sqo::Oid> {
     return store.CreateStruct(

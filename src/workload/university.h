@@ -57,10 +57,16 @@ struct GeneratorConfig {
   bool include_paper_names = true;
 };
 
+/// Registers the `taxes_withheld` implementation (salary × rate) and
+/// creates key indexes — the code-side setup every university database
+/// needs, with no data. Call this (instead of PopulateUniversity) before
+/// recovering a persisted database: methods and index definitions are not
+/// stored on disk, while the objects they apply to are.
+sqo::Status SetupUniversityRuntime(engine::Database* db);
+
 /// Populates `db` with deterministic synthetic data consistent with every
-/// constraint of UniversityIcs(): registers the `taxes_withheld`
-/// implementation (salary × rate), creates key indexes, relates students/
-/// faculty/TAs to sections, and materializes the ASR.
+/// constraint of UniversityIcs(): runs SetupUniversityRuntime, relates
+/// students/faculty/TAs to sections, and materializes the ASR.
 sqo::Status PopulateUniversity(const GeneratorConfig& config,
                                const core::Pipeline& pipeline,
                                engine::Database* db);

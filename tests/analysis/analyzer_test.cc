@@ -410,6 +410,29 @@ TEST(AnalyzerGovernanceTest, A011AcceptsFailOpenOrNoDeadline) {
             0u);
 }
 
+// --- Catalog freshness (SQO-A013) -----------------------------------------
+
+TEST(AnalyzerCatalogTest, A013SilentWhenHashesMatch) {
+  auto report = AnalyzeCatalogFreshness("abc123", "abc123", 5, 5);
+  EXPECT_TRUE(report.empty()) << report.ToString();
+  // Residue-count drift alone does not matter when the schema matches.
+  EXPECT_TRUE(AnalyzeCatalogFreshness("abc123", "abc123", 5, 9).empty());
+}
+
+TEST(AnalyzerCatalogTest, A013WarnsOnSchemaHashMismatch) {
+  auto report = AnalyzeCatalogFreshness("abc123", "def456", 5, 5);
+  EXPECT_EQ(CountCode(report, kCodeStaleCatalog), 1u) << report.ToString();
+  EXPECT_FALSE(report.has_errors());  // stale catalog is survivable
+}
+
+TEST(AnalyzerCatalogTest, A013ReportsResidueCountDrift) {
+  auto report = AnalyzeCatalogFreshness("abc123", "def456", 5, 9);
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  EXPECT_NE(report.diagnostics[0].message.find("stored 5"),
+            std::string::npos)
+      << report.ToString();
+}
+
 // --- ExpectedArgumentKind -------------------------------------------------
 
 TEST(AnalyzerTest, ExpectedArgumentKindResolvesAttributeTypes) {

@@ -1,0 +1,54 @@
+#include "common/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace sqo {
+namespace {
+
+TEST(Crc32cTest, CheckValue) {
+  // The standard CRC-32C check value: crc("123456789") = 0xE3069283.
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+}
+
+TEST(Crc32cTest, EmptyIsZero) { EXPECT_EQ(Crc32c(""), 0u); }
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 (iSCSI) appendix vectors.
+  const std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros), 0x8A9136AAu);
+  const std::string ones(32, '\xff');
+  EXPECT_EQ(Crc32c(ones), 0x62A8AB43u);
+  std::string ascending(32, '\0');
+  for (int i = 0; i < 32; ++i) ascending[i] = static_cast<char>(i);
+  EXPECT_EQ(Crc32c(ascending), 0x46DD794Eu);
+}
+
+TEST(Crc32cTest, ExtendMatchesConcatenation) {
+  const std::string a = "hello, ";
+  const std::string b = "world";
+  EXPECT_EQ(Crc32cExtend(Crc32c(a), b.data(), b.size()), Crc32c(a + b));
+  // Extending with nothing is the identity.
+  EXPECT_EQ(Crc32cExtend(Crc32c(a), b.data(), 0), Crc32c(a));
+}
+
+TEST(Crc32cTest, SensitiveToEveryByteFlip) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const uint32_t crc = Crc32c(data);
+  for (size_t i = 0; i < data.size(); ++i) {
+    std::string mutated = data;
+    mutated[i] ^= 0x01;
+    EXPECT_NE(Crc32c(mutated), crc) << "flip at byte " << i;
+  }
+}
+
+TEST(Crc32cTest, MaskRoundTrips) {
+  for (uint32_t crc : {0u, 1u, 0xDEADBEEFu, 0xFFFFFFFFu, 0xE3069283u}) {
+    EXPECT_EQ(UnmaskCrc32c(MaskCrc32c(crc)), crc);
+    EXPECT_NE(MaskCrc32c(crc), crc);  // the point of masking
+  }
+}
+
+}  // namespace
+}  // namespace sqo

@@ -1,0 +1,55 @@
+#include "storage/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "storage_test_util.h"
+
+namespace sqo::storage {
+namespace {
+
+TEST(CatalogTest, SchemaFingerprintIsStable) {
+  const auto& schema = storage_test::UniversityPipeline().schema();
+  const sqo::Fingerprint128 a = SchemaFingerprint(schema);
+  const sqo::Fingerprint128 b = SchemaFingerprint(schema);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == sqo::Fingerprint128{});
+}
+
+TEST(CatalogTest, SerializeParseRoundTrip) {
+  const auto& pipeline = storage_test::UniversityPipeline();
+  const std::string json = SerializeCatalog(pipeline.compiled());
+  auto info = ParseCatalogInfo(json);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->schema_hash, SchemaFingerprint(pipeline.schema()));
+  EXPECT_GT(info->ic_count, 0u);
+  EXPECT_EQ(info->ic_labels.size(), info->ic_count);
+}
+
+TEST(CatalogTest, MalformedJsonIsCorruption) {
+  EXPECT_EQ(ParseCatalogInfo("{not json").status().code(),
+            sqo::StatusCode::kDataCorruption);
+  EXPECT_EQ(ParseCatalogInfo("").status().code(),
+            sqo::StatusCode::kDataCorruption);
+}
+
+TEST(CatalogTest, MissingOrBadHashIsCorruption) {
+  EXPECT_EQ(ParseCatalogInfo("{\"version\":1}").status().code(),
+            sqo::StatusCode::kDataCorruption);
+  // Hash must be exactly 32 hex characters.
+  EXPECT_EQ(
+      ParseCatalogInfo("{\"version\":1,\"schema_hash\":\"abc\"}")
+          .status()
+          .code(),
+      sqo::StatusCode::kDataCorruption);
+  EXPECT_EQ(ParseCatalogInfo(
+                "{\"version\":1,\"schema_hash\":"
+                "\"zz00000000000000000000000000000000\"}")
+                .status()
+                .code(),
+            sqo::StatusCode::kDataCorruption);
+}
+
+}  // namespace
+}  // namespace sqo::storage

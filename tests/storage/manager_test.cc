@@ -1,0 +1,200 @@
+#include "storage/manager.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/fileio.h"
+#include "storage/snapshot.h"
+#include "storage_test_util.h"
+
+namespace sqo::storage {
+namespace {
+
+using storage_test::MakeEmptyDb;
+using storage_test::MakePopulatedDb;
+using storage_test::StateSignature;
+using storage_test::UniversityPipeline;
+
+class ManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    failpoint::DeactivateAll();
+    dir_ = storage_test::FreshDir("manager");
+  }
+  void TearDown() override { failpoint::DeactivateAll(); }
+
+  size_t SnapshotCount() const {
+    size_t count = 0;
+    if (auto names = fs::ListDir(dir_); names.ok()) {
+      for (const std::string& name : *names) {
+        if (name.rfind("snapshot-", 0) == 0) ++count;
+      }
+    }
+    return count;
+  }
+
+  OpenOptions Options(bool checkpoint_on_close = true) const {
+    OpenOptions options;
+    options.compiled = &UniversityPipeline().compiled();
+    options.checkpoint_on_close = checkpoint_on_close;
+    return options;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ManagerTest, FreshOpenCreatesBaselineAndReopens) {
+  auto db = MakePopulatedDb();
+  const std::string want = StateSignature(db->store());
+  ASSERT_TRUE(db->Open(dir_, Options()).ok());
+  ASSERT_NE(db->recovery_info(), nullptr);
+  EXPECT_TRUE(db->recovery_info()->created);
+  EXPECT_FALSE(db->recovery_info()->degraded);
+  EXPECT_EQ(SnapshotCount(), 1u);
+  EXPECT_TRUE(fs::Exists(dir_ + "/wal.log"));
+  ASSERT_TRUE(db->CloseStorage().ok());
+
+  auto reopened = MakeEmptyDb();
+  ASSERT_TRUE(reopened->Open(dir_, Options()).ok());
+  EXPECT_FALSE(reopened->recovery_info()->created);
+  EXPECT_TRUE(reopened->recovery_info()->catalog_loaded);
+  EXPECT_TRUE(reopened->recovery_info()->lint.empty());
+  EXPECT_EQ(StateSignature(reopened->store()), want);
+}
+
+TEST_F(ManagerTest, MutationsAreReplayedFromWalAfterCrash) {
+  {
+    auto db = MakePopulatedDb();
+    ASSERT_TRUE(db->Open(dir_, Options(/*checkpoint_on_close=*/false)).ok());
+    for (const auto& op : storage_test::BuildOpScript(42, 30)) {
+      ASSERT_TRUE(op(db.get()).ok());
+    }
+    // db destroyed without checkpoint: a crash. The WAL is the only record
+    // of the 30 ops.
+  }
+  auto db = MakePopulatedDb();  // same deterministic base population
+  auto oracle = MakePopulatedDb();
+  for (const auto& op : storage_test::BuildOpScript(42, 30)) {
+    ASSERT_TRUE(op(oracle.get()).ok());
+  }
+  ASSERT_TRUE(db->Open(dir_, Options()).ok());
+  EXPECT_GT(db->recovery_info()->replayed_records, 0u);
+  EXPECT_FALSE(db->recovery_info()->degraded);
+  EXPECT_EQ(StateSignature(db->store()), StateSignature(oracle->store()));
+}
+
+TEST_F(ManagerTest, CheckpointResetsWalAndPrunesSnapshots) {
+  auto db = MakePopulatedDb();
+  OpenOptions options = Options();
+  options.keep_snapshots = 2;
+  ASSERT_TRUE(db->Open(dir_, options).ok());
+  for (int round = 0; round < 4; ++round) {
+    for (const auto& op : storage_test::BuildOpScript(round, 5)) {
+      ASSERT_TRUE(op(db.get()).ok());
+    }
+    ASSERT_TRUE(db->Checkpoint().ok());
+  }
+  EXPECT_EQ(SnapshotCount(), 2u);  // pruned down to keep_snapshots
+  const std::string want = StateSignature(db->store());
+  ASSERT_TRUE(db->CloseStorage().ok());
+
+  auto reopened = MakeEmptyDb();
+  ASSERT_TRUE(reopened->Open(dir_, Options()).ok());
+  // Everything lives in the snapshot; the log was reset at checkpoint.
+  EXPECT_EQ(reopened->recovery_info()->replayed_records, 0u);
+  EXPECT_EQ(StateSignature(reopened->store()), want);
+}
+
+TEST_F(ManagerTest, CloseCheckpointsByDefault) {
+  std::string want;
+  {
+    auto db = MakePopulatedDb();
+    ASSERT_TRUE(db->Open(dir_, Options()).ok());
+    for (const auto& op : storage_test::BuildOpScript(7, 20)) {
+      ASSERT_TRUE(op(db.get()).ok());
+    }
+    want = StateSignature(db->store());
+    // Destructor closes storage, which checkpoints.
+  }
+  auto reopened = MakeEmptyDb();
+  ASSERT_TRUE(reopened->Open(dir_, Options()).ok());
+  EXPECT_EQ(reopened->recovery_info()->replayed_records, 0u);
+  EXPECT_EQ(StateSignature(reopened->store()), want);
+}
+
+TEST_F(ManagerTest, FailedAppendLatchesUnhealthyUntilCheckpoint) {
+  auto db = MakePopulatedDb();
+  ASSERT_TRUE(db->Open(dir_, Options(/*checkpoint_on_close=*/false)).ok());
+
+  failpoint::Action action;
+  action.status = sqo::InternalError("injected append failure");
+  action.max_trips = 1;
+  failpoint::Activate("storage.wal_append", action);
+
+  // The op whose append fails is rejected...
+  sqo::Status failed = db->store()
+                           .CreateObject("Person", {{"name", Value::String("x")},
+                                                    {"age", Value::Int(30)}})
+                           .status();
+  EXPECT_FALSE(failed.ok());
+  // ...and so is every later op, even though the failpoint is spent: the
+  // log is no longer a prefix of memory.
+  sqo::Status latched = db->store()
+                            .CreateObject("Person", {{"name", Value::String("y")},
+                                                     {"age", Value::Int(31)}})
+                            .status();
+  EXPECT_EQ(latched.code(), sqo::StatusCode::kDataCorruption);
+
+  // A checkpoint captures memory (the truth) and re-bases durability.
+  ASSERT_TRUE(db->Checkpoint().ok());
+  ASSERT_TRUE(db->store()
+                  .CreateObject("Person", {{"name", Value::String("z")},
+                                           {"age", Value::Int(32)}})
+                  .ok());
+  const std::string want = StateSignature(db->store());
+
+  // Crash and reopen: the snapshot + post-checkpoint WAL reproduce memory.
+  auto reopened = MakeEmptyDb();
+  std::unique_ptr<engine::Database> crashed = std::move(db);
+  crashed.reset();  // no checkpoint on close
+  ASSERT_TRUE(reopened->Open(dir_, Options()).ok());
+  EXPECT_EQ(StateSignature(reopened->store()), want);
+}
+
+TEST_F(ManagerTest, StaleCatalogIsLintedNotFatal) {
+  // Persist a snapshot whose catalog claims a different schema hash than
+  // the live pipeline's, as if the schema changed since the save.
+  auto db = MakePopulatedDb();
+  ASSERT_TRUE(fs::EnsureDir(dir_).ok());
+  const sqo::Fingerprint128 live =
+      SchemaFingerprint(UniversityPipeline().schema());
+  const std::string stale_json =
+      "{\"version\":1,\"schema_hash\":\"00000000000000000000000000000001\","
+      "\"ic_count\":0,\"total_residues\":0,\"ics\":[],\"residues\":[]}";
+  ASSERT_TRUE(WriteSnapshot(dir_ + "/snapshot-000001.sqo", db->store(), live,
+                            0, stale_json)
+                  .ok());
+
+  auto reopened = MakeEmptyDb();
+  ASSERT_TRUE(reopened->Open(dir_, Options()).ok());
+  const RecoveryInfo* info = reopened->recovery_info();
+  ASSERT_NE(info, nullptr);
+  EXPECT_FALSE(info->degraded);
+  EXPECT_TRUE(info->catalog_loaded);
+  ASSERT_FALSE(info->lint.empty());
+  EXPECT_EQ(info->lint.diagnostics[0].code, "SQO-A013");
+}
+
+TEST_F(ManagerTest, DoubleOpenIsRejected) {
+  auto db = MakePopulatedDb();
+  ASSERT_TRUE(db->Open(dir_, Options()).ok());
+  EXPECT_EQ(db->Open(dir_ + "_other", Options()).code(),
+            sqo::StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace sqo::storage
