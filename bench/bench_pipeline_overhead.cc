@@ -15,6 +15,10 @@
 
 #include "common/context.h"
 #include "datalog/parser.h"
+#include "engine/database.h"
+#include "obs/export.h"
+#include "obs/journal.h"
+#include "obs/metrics.h"
 #include "odl/parser.h"
 #include "oql/parser.h"
 #include "sqo/optimizer.h"
@@ -206,6 +210,132 @@ void BM_GovernanceCharge(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GovernanceCharge);
+
+// ---- Observability overhead (journal, profiler, exporter). ----
+
+// Shared compiled pipeline: the database holds a pointer into its schema,
+// so it must outlive every bench iteration.
+core::Pipeline& UniversityBenchPipeline() {
+  static auto* pipeline = new core::Pipeline(
+      std::move(workload::MakeUniversityPipeline()).value());
+  return *pipeline;
+}
+
+engine::Database& UniversityDb() {
+  static auto* db = [] {
+    auto* database = new engine::Database(&UniversityBenchPipeline().schema());
+    workload::GeneratorConfig config;
+    (void)workload::PopulateUniversity(config, UniversityBenchPipeline(),
+                                       database);
+    return database;
+  }();
+  return *db;
+}
+
+datalog::Query UniversityEvalQuery() {
+  auto result = UniversityBenchPipeline().OptimizeText(
+      "select f.name from f in Faculty where f.salary > 50000");
+  return result->alternatives[result->best_index].datalog;
+}
+
+// Evaluation with the operator profiler off (Arg 0) vs on (Arg 1): the
+// delta is the cost of two clock reads + row accounting per join step.
+void BM_ProfiledEvaluation(benchmark::State& state) {
+  engine::Database& db = UniversityDb();
+  const datalog::Query query = UniversityEvalQuery();
+  const bool profiled = state.range(0) != 0;
+  for (auto _ : state) {
+    if (profiled) {
+      auto run = db.ProfileQuery(query);
+      benchmark::DoNotOptimize(run);
+    } else {
+      auto rows = db.Run(query);
+      benchmark::DoNotOptimize(rows);
+    }
+  }
+  state.SetLabel(profiled ? "profiled" : "baseline");
+}
+BENCHMARK(BM_ProfiledEvaluation)->Arg(0)->Arg(1);
+
+// One journal record (the per-query serving-path cost; no I/O).
+void BM_JournalRecord(benchmark::State& state) {
+  obs::QueryJournal journal({.capacity = 1024, .slow_threshold_ns = 0});
+  obs::QueryEvent event;
+  event.fingerprint = "deadbeefdeadbeefdeadbeefdeadbeef";
+  event.query = "select f.name from f in Faculty where f.salary > 50000";
+  event.duration_ns = 1'000'000;
+  for (auto _ : state) {
+    obs::QueryEvent copy = event;
+    benchmark::DoNotOptimize(journal.Record(std::move(copy)));
+  }
+}
+BENCHMARK(BM_JournalRecord);
+
+// Incremental JSONL flush, batched: record 64 events then flush them.
+void BM_JournalFlush(benchmark::State& state) {
+  const std::string path = "/tmp/sqo_bench_journal.jsonl";
+  obs::QueryJournal journal({.capacity = 128, .slow_threshold_ns = 0});
+  obs::QueryEvent event;
+  event.query = "select f.name from f in Faculty";
+  event.duration_ns = 1'000'000;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      obs::QueryEvent copy = event;
+      journal.Record(std::move(copy));
+    }
+    Status s = journal.Flush(path);
+    benchmark::DoNotOptimize(s);
+  }
+  std::remove(path.c_str());
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_JournalFlush);
+
+// Rendering a realistic registry in the Prometheus text format.
+void BM_PrometheusExport(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  for (int i = 0; i < 32; ++i) {
+    registry.Add("optimizer.counter." + std::to_string(i), 1000 + i);
+  }
+  for (int h = 0; h < 8; ++h) {
+    for (int i = 0; i < 256; ++i) {
+      registry.Record("phase." + std::to_string(h), 1000 * (i + 1));
+    }
+  }
+  for (auto _ : state) {
+    std::string text = obs::ToPrometheusText(registry);
+    benchmark::DoNotOptimize(text);
+  }
+}
+BENCHMARK(BM_PrometheusExport);
+
+// End-to-end latency distribution of the optimize+evaluate path, exported
+// as latency quantile counters (latency_p50_ns / latency_p99_ns) that the
+// bench regression gate checks one-sidedly.
+void BM_QueryLatencyDistribution(benchmark::State& state) {
+  core::Pipeline& pipeline = UniversityBenchPipeline();
+  engine::Database& db = UniversityDb();
+  auto parsed = oql::ParseOql(
+      "select f.name from f in Faculty where f.salary > 50000");
+  obs::QpsMeter meter;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    auto result = pipeline.OptimizeParsed(*parsed);
+    if (result.ok() && !result->contradiction) {
+      auto rows = db.Run(result->alternatives[result->best_index].datalog);
+      benchmark::DoNotOptimize(rows);
+    }
+    meter.Record(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count());
+  }
+  const obs::QpsMeter::Snapshot snap = meter.Summarize();
+  state.counters["latency_p50_ns"] = static_cast<double>(snap.p50_ns);
+  state.counters["latency_p90_ns"] = static_cast<double>(snap.p90_ns);
+  state.counters["latency_p99_ns"] = static_cast<double>(snap.p99_ns);
+  state.counters["qps"] = snap.qps;
+}
+BENCHMARK(BM_QueryLatencyDistribution);
 
 }  // namespace
 }  // namespace sqo::bench

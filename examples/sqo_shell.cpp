@@ -9,6 +9,17 @@
 //   oql> \plan select ...       -- show the evaluator's plan for a query
 //   oql> \timing                -- toggle per-query span tree + metrics
 //   oql> \explain select ...    -- derivations + per-alternative counters
+//   oql> \profile select ...    -- EXPLAIN ANALYZE: execute the chosen
+//                                  rewriting with operator-level profiling
+//                                  (rows in/out, timings, IC attribution)
+//   oql> \profile json select.. -- same, machine-readable JSON
+//   oql> \slow 5                -- journal queries >= 5ms as slow (capture
+//                                  their full profile; 0 disables)
+//   oql> \journal [n]           -- last n journaled query events
+//   oql> \journal flush f.jsonl -- append unflushed events to a JSONL file
+//   oql> \metrics [json|prom]   -- session metrics (+ Prometheus format)
+//   oql> \export <dir>          -- write metrics.json/.prom into dir once
+//   oql> \export start <dir> [ms] / \export stop -- periodic exporter
 //   oql> \check                 -- static-analysis report for the IC set
 //   oql> \check select ...      -- lint a query without running it
 //   oql> \deadline 50           -- bound Step 3 to 50ms (0 clears); expiry
@@ -27,21 +38,58 @@
 #include <cstdlib>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 
 #include "analysis/analyzer.h"
 #include "common/context.h"
+#include "common/fileio.h"
+#include "common/fingerprint.h"
 #include "engine/cost_model.h"
 #include "engine/database.h"
 #include "engine/planner.h"
+#include "obs/export.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "oql/parser.h"
+#include "sqo/profile_attribution.h"
 #include "storage/manager.h"
 #include "workload/university.h"
 
 namespace {
+
+/// Session-wide observability: every query merges its counters here, the
+/// journal rings completion events, and the QPS meter tracks the latency
+/// distribution. The mutex exists for the periodic exporter, which
+/// snapshots `metrics` from its background thread.
+struct SessionObs {
+  std::mutex mu;
+  sqo::obs::MetricsRegistry metrics;
+  sqo::obs::QueryJournal journal;
+  sqo::obs::QpsMeter qps;
+
+  void Merge(const sqo::obs::MetricsRegistry& local) {
+    std::lock_guard<std::mutex> lock(mu);
+    metrics.MergeFrom(local);
+  }
+  sqo::obs::MetricsRegistry SnapshotMetrics() {
+    std::lock_guard<std::mutex> lock(mu);
+    return metrics;
+  }
+};
+
+std::string QueryFingerprint(const std::string& text) {
+  sqo::FingerprintBuilder builder;
+  for (char c : text) builder.Append(static_cast<unsigned char>(c));
+  return builder.fingerprint().ToString();
+}
+
+bool IsGovernanceStatus(const sqo::Status& status) {
+  return status.code() == sqo::StatusCode::kResourceExhausted ||
+         status.code() == sqo::StatusCode::kCancelled;
+}
 
 void PrintObservability(const sqo::obs::Tracer& tracer,
                         const sqo::obs::MetricsRegistry& metrics) {
@@ -67,7 +115,50 @@ auto WithDeadline(uint64_t deadline_ms, Fn&& fn) {
 
 void RunQuery(const sqo::core::Pipeline& pipeline, const sqo::engine::Database& db,
               const sqo::engine::EngineCostModel& cost_model,
-              const std::string& oql, bool plan_only, uint64_t deadline_ms) {
+              const std::string& oql, bool plan_only, uint64_t deadline_ms,
+              SessionObs* session) {
+  const auto query_start = std::chrono::steady_clock::now();
+  // Per-query local registry: merged into the session registry (and any
+  // outer \timing registry) on every exit path.
+  sqo::obs::MetricsRegistry* outer = sqo::obs::CurrentMetrics();
+  sqo::obs::MetricsRegistry local;
+  struct Merger {
+    sqo::obs::MetricsRegistry* outer;
+    SessionObs* session;
+    sqo::obs::MetricsRegistry* local;
+    ~Merger() {
+      if (session != nullptr) session->Merge(*local);
+      if (outer != nullptr) outer->MergeFrom(*local);
+    }
+  } merger{outer, session, &local};
+  sqo::obs::ScopedMetrics install_local(&local);
+
+  auto record = [&](std::string status, bool degraded, bool cancelled,
+                    bool contradiction, int chosen, size_t n_alternatives,
+                    const sqo::engine::EvalStats* stats,
+                    const sqo::obs::QueryProfile* profile) {
+    if (session == nullptr) return;
+    const int64_t duration_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - query_start)
+            .count();
+    sqo::obs::QueryEvent event;
+    event.fingerprint = QueryFingerprint(oql);
+    event.query = oql;
+    event.duration_ns = duration_ns;
+    event.status = std::move(status);
+    event.degraded = degraded;
+    event.cancelled = cancelled;
+    event.contradiction = contradiction;
+    event.chosen_alternative = chosen;
+    event.n_alternatives = n_alternatives;
+    if (stats != nullptr) event.stats = *stats;
+    if (profile != nullptr) event.profile_json = profile->ToJson();
+    session->journal.Record(std::move(event));
+    session->qps.Record(duration_ns);
+    local.Record("shell.query", duration_ns);
+  };
+
   // Disjunctive conditions go through the union pipeline with per-disjunct
   // contradiction elimination.
   auto parsed = sqo::oql::ParseOqlDisjunctive(oql);
@@ -77,6 +168,8 @@ void RunQuery(const sqo::core::Pipeline& pipeline, const sqo::engine::Database& 
     });
     if (!dres.ok()) {
       std::printf("error: %s\n", dres.status().ToString().c_str());
+      record("error: " + dres.status().ToString(), false,
+             IsGovernanceStatus(dres.status()), false, 0, 0, nullptr, nullptr);
       return;
     }
     std::printf("%zu disjuncts, %zu live after elimination\n",
@@ -104,6 +197,8 @@ void RunQuery(const sqo::core::Pipeline& pipeline, const sqo::engine::Database& 
       if (rows.ok()) total += rows->size();
     }
     std::printf("[union <= %zu rows before dedup]\n", total);
+    record("ok", dres->degraded, false, dres->all_eliminated(), 0,
+           dres->disjuncts.size(), nullptr, nullptr);
     return;
   }
   auto result = WithDeadline(deadline_ms, [&] {
@@ -111,6 +206,8 @@ void RunQuery(const sqo::core::Pipeline& pipeline, const sqo::engine::Database& 
   });
   if (!result.ok()) {
     std::printf("error: %s\n", result.status().ToString().c_str());
+    record("error: " + result.status().ToString(), false,
+           IsGovernanceStatus(result.status()), false, 0, 0, nullptr, nullptr);
     return;
   }
   std::printf("datalog: %s\n", result->original_datalog.ToString().c_str());
@@ -121,6 +218,8 @@ void RunQuery(const sqo::core::Pipeline& pipeline, const sqo::engine::Database& 
   if (result->contradiction) {
     std::printf("CONTRADICTION — the query is provably empty:\n  %s\n",
                 result->contradiction_reason.c_str());
+    record("ok", result->degraded, false, /*contradiction=*/true, 0, 0,
+           nullptr, nullptr);
     return;
   }
   if (result->alternatives.empty()) {
@@ -143,22 +242,32 @@ void RunQuery(const sqo::core::Pipeline& pipeline, const sqo::engine::Database& 
                           .c_str());
     return;
   }
-  sqo::engine::EvalStats stats;
-  auto rows = db.Run(best.datalog, &stats);
-  if (!rows.ok()) {
-    std::printf("evaluation error: %s\n", rows.status().ToString().c_str());
+  // Evaluate with profiling on: the journal keeps the operator tree for
+  // slow queries, and the cost is two clock reads per join step.
+  auto run = db.ProfileQuery(best.datalog);
+  if (!run.ok()) {
+    std::printf("evaluation error: %s\n", run.status().ToString().c_str());
+    record("error: " + run.status().ToString(), result->degraded,
+           IsGovernanceStatus(run.status()), false, result->best_index,
+           result->alternatives.size(), nullptr, nullptr);
     return;
   }
-  const size_t shown = std::min<size_t>(rows->size(), 10);
+  sqo::core::AnnotateProfile(*result,
+                             static_cast<size_t>(result->best_index),
+                             &run->profile);
+  const std::vector<std::vector<sqo::Value>>& rows = run->rows;
+  const size_t shown = std::min<size_t>(rows.size(), 10);
   for (size_t i = 0; i < shown; ++i) {
     std::string line;
-    for (const sqo::Value& v : (*rows)[i]) line += v.ToString() + "  ";
+    for (const sqo::Value& v : rows[i]) line += v.ToString() + "  ";
     std::printf("  %s\n", line.c_str());
   }
-  if (rows->size() > shown) {
-    std::printf("  ... (%zu rows total)\n", rows->size());
+  if (rows.size() > shown) {
+    std::printf("  ... (%zu rows total)\n", rows.size());
   }
-  std::printf("[%zu rows; %s]\n", rows->size(), stats.ToString().c_str());
+  std::printf("[%zu rows; %s]\n", rows.size(), run->stats.ToString().c_str());
+  record("ok", result->degraded, false, false, result->best_index,
+         result->alternatives.size(), &run->stats, &run->profile);
 }
 
 /// \explain: Steps 2–4 with full derivations, per-alternative evaluator
@@ -209,6 +318,85 @@ void ExplainQuery(const sqo::core::Pipeline& pipeline,
     }
   }
   PrintObservability(tracer, metrics);
+}
+
+/// \profile [json] <oql>: EXPLAIN ANALYZE. Optimizes the query, executes
+/// the chosen rewriting with operator-level profiling, annotates every
+/// operator with the residue/IC that introduced its literal, and prints
+/// the tree (or its JSON form). Extent scans over keyed classes are
+/// linted (SQO-A014).
+void ProfileCommand(const sqo::core::Pipeline& pipeline,
+                    const sqo::engine::Database& db,
+                    const sqo::engine::EngineCostModel& cost_model,
+                    std::string arg, uint64_t deadline_ms) {
+  bool as_json = false;
+  if (arg.rfind("json ", 0) == 0) {
+    as_json = true;
+    arg = arg.substr(5);
+  }
+  auto result = WithDeadline(deadline_ms, [&] {
+    return pipeline.OptimizeText(arg, &cost_model);
+  });
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  if (result->contradiction) {
+    std::printf("CONTRADICTION — the query is provably empty:\n  %s\n",
+                result->contradiction_reason.c_str());
+    return;
+  }
+  if (result->alternatives.empty()) {
+    std::printf("error: optimizer produced no alternatives\n");
+    return;
+  }
+  const sqo::core::Alternative& best = result->alternatives[result->best_index];
+  auto run = db.ProfileQuery(best.datalog);
+  if (!run.ok()) {
+    std::printf("evaluation error: %s\n", run.status().ToString().c_str());
+    return;
+  }
+  sqo::core::AnnotateProfile(*result,
+                             static_cast<size_t>(result->best_index),
+                             &run->profile);
+  if (as_json) {
+    std::printf("%s\n", run->profile.ToJson().c_str());
+    return;
+  }
+  std::printf("chosen alternative [%d] of %zu:\n  %s\n", result->best_index,
+              result->alternatives.size(), best.datalog.ToString().c_str());
+  std::fputs(run->profile.ToText().c_str(), stdout);
+  sqo::analysis::AnalysisReport lint =
+      sqo::analysis::AnalyzeProfile(pipeline.schema(), run->profile);
+  if (!lint.diagnostics.empty()) std::fputs(lint.ToString().c_str(), stdout);
+}
+
+/// \journal [n]: one line per retained event, newest last.
+void PrintJournal(SessionObs* session, size_t limit) {
+  const std::vector<sqo::obs::QueryEvent> events = session->journal.Snapshot();
+  const size_t start = events.size() > limit ? events.size() - limit : 0;
+  for (size_t i = start; i < events.size(); ++i) {
+    const sqo::obs::QueryEvent& e = events[i];
+    std::string flags;
+    if (e.slow) flags += " SLOW";
+    if (e.degraded) flags += " degraded";
+    if (e.cancelled) flags += " cancelled";
+    if (e.contradiction) flags += " contradiction";
+    std::printf("#%llu %.3fms %s%s alt %d/%llu fp=%.12s  %s\n",
+                static_cast<unsigned long long>(e.sequence),
+                static_cast<double>(e.duration_ns) / 1e6, e.status.c_str(),
+                flags.c_str(), e.chosen_alternative,
+                static_cast<unsigned long long>(e.n_alternatives),
+                e.fingerprint.c_str(), e.query.c_str());
+  }
+  const sqo::obs::QueryJournal::Counters c = session->journal.counters();
+  std::printf("[%llu recorded, %llu slow, %llu overwritten, %llu flushed, "
+              "%llu flush failures]\n",
+              static_cast<unsigned long long>(c.recorded),
+              static_cast<unsigned long long>(c.slow),
+              static_cast<unsigned long long>(c.overwritten),
+              static_cast<unsigned long long>(c.flushed),
+              static_cast<unsigned long long>(c.flush_failures));
 }
 
 /// \check: print the pipeline's stored IC/residue analysis report, or lint
@@ -288,10 +476,14 @@ int main() {
   std::printf(
       "sqo shell — university schema loaded (%zu objects, %zu residues)\n"
       "commands: \\ics  \\residues <relation>  \\plan <oql>  \\explain <oql>  "
-      "\\check [oql]  \\deadline <ms>  \\timing  \\save <dir>  \\open <dir>  "
+      "\\profile [json] <oql>  \\check [oql]  \\deadline <ms>  \\timing  "
+      "\\slow <ms>  \\journal [n | flush <path>]  \\metrics [json|prom]  "
+      "\\export [start|stop] <dir>  \\save <dir>  \\open <dir>  "
       "\\checkpoint  \\quit\n",
       db->store().object_count(), pipeline.compiled().total_residues());
 
+  SessionObs session;
+  std::unique_ptr<sqo::obs::PeriodicExporter> exporter;
   bool timing = false;
   uint64_t deadline_ms = 0;
   std::string line;
@@ -405,11 +597,131 @@ int main() {
     }
     if (line.rfind("\\plan ", 0) == 0) {
       RunQuery(pipeline, *db, *cost_model, line.substr(6), /*plan_only=*/true,
-               deadline_ms);
+               deadline_ms, &session);
       continue;
     }
     if (line.rfind("\\explain ", 0) == 0) {
       ExplainQuery(pipeline, *db, *cost_model, line.substr(9), deadline_ms);
+      continue;
+    }
+    if (line.rfind("\\profile ", 0) == 0) {
+      ProfileCommand(pipeline, *db, *cost_model, line.substr(9), deadline_ms);
+      continue;
+    }
+    if (line.rfind("\\slow", 0) == 0) {
+      const std::string arg = line.size() > 5 ? line.substr(6) : "";
+      char* end = nullptr;
+      const unsigned long long ms =
+          arg.empty() ? 0 : std::strtoull(arg.c_str(), &end, 10);
+      if (!arg.empty() && (end == nullptr || *end != '\0')) {
+        std::printf("usage: \\slow <ms>   (0 disables slow-query capture)\n");
+        continue;
+      }
+      session.journal.set_slow_threshold_ns(static_cast<int64_t>(ms) *
+                                            1000000);
+      if (ms == 0) {
+        std::printf("slow-query capture disabled\n");
+      } else {
+        std::printf("journaling queries >= %llu ms with full profiles\n", ms);
+      }
+      continue;
+    }
+    if (line.rfind("\\journal flush ", 0) == 0) {
+      const std::string path = line.substr(15);
+      if (auto s = session.journal.Flush(path); !s.ok()) {
+        std::printf("flush error (events retained): %s\n",
+                    s.ToString().c_str());
+      } else {
+        std::printf("flushed to %s (%llu events written so far)\n",
+                    path.c_str(),
+                    static_cast<unsigned long long>(
+                        session.journal.counters().flushed));
+      }
+      continue;
+    }
+    if (line.rfind("\\journal", 0) == 0) {
+      const std::string arg = line.size() > 8 ? line.substr(9) : "";
+      char* end = nullptr;
+      const unsigned long long n =
+          arg.empty() ? 10 : std::strtoull(arg.c_str(), &end, 10);
+      if (!arg.empty() && (end == nullptr || *end != '\0')) {
+        std::printf("usage: \\journal [n]  or  \\journal flush <path>\n");
+        continue;
+      }
+      PrintJournal(&session, static_cast<size_t>(n));
+      continue;
+    }
+    if (line.rfind("\\metrics", 0) == 0) {
+      const std::string arg = line.size() > 8 ? line.substr(9) : "";
+      const sqo::obs::MetricsRegistry snapshot = session.SnapshotMetrics();
+      if (arg == "json") {
+        std::printf("%s\n", snapshot.ToJson().c_str());
+      } else if (arg == "prom") {
+        std::fputs(sqo::obs::ToPrometheusText(snapshot).c_str(), stdout);
+      } else {
+        std::fputs(snapshot.ToText().c_str(), stdout);
+        const sqo::obs::QpsMeter::Snapshot qps = session.qps.Summarize();
+        std::printf("qps: %.1f over %llu queries (p50 %.3fms p90 %.3fms "
+                    "p99 %.3fms max %.3fms)\n",
+                    qps.qps, static_cast<unsigned long long>(qps.count),
+                    static_cast<double>(qps.p50_ns) / 1e6,
+                    static_cast<double>(qps.p90_ns) / 1e6,
+                    static_cast<double>(qps.p99_ns) / 1e6,
+                    static_cast<double>(qps.max_ns) / 1e6);
+      }
+      continue;
+    }
+    if (line == "\\export stop") {
+      if (exporter == nullptr || !exporter->running()) {
+        std::printf("no periodic exporter running\n");
+      } else {
+        exporter->Stop();
+        std::printf("exporter stopped (%llu exports, %llu failures)\n",
+                    static_cast<unsigned long long>(exporter->exports()),
+                    static_cast<unsigned long long>(exporter->failures()));
+      }
+      continue;
+    }
+    if (line.rfind("\\export start ", 0) == 0) {
+      std::string rest = line.substr(14);
+      uint64_t period_ms = 1000;
+      if (const size_t space = rest.find(' '); space != std::string::npos) {
+        period_ms = std::strtoull(rest.substr(space + 1).c_str(), nullptr, 10);
+        if (period_ms == 0) period_ms = 1000;
+        rest = rest.substr(0, space);
+      }
+      if (auto s = sqo::fs::EnsureDir(rest); !s.ok()) {
+        std::printf("export error: %s\n", s.ToString().c_str());
+        continue;
+      }
+      sqo::obs::ExporterOptions options;
+      options.json_path = rest + "/metrics.json";
+      options.prometheus_path = rest + "/metrics.prom";
+      options.period = std::chrono::milliseconds(period_ms);
+      exporter = std::make_unique<sqo::obs::PeriodicExporter>(
+          options, [&session] { return session.SnapshotMetrics(); });
+      exporter->Start();
+      std::printf("exporting to %s/metrics.{json,prom} every %llu ms\n",
+                  rest.c_str(), static_cast<unsigned long long>(period_ms));
+      continue;
+    }
+    if (line.rfind("\\export ", 0) == 0) {
+      const std::string dir = line.substr(8);
+      if (auto s = sqo::fs::EnsureDir(dir); !s.ok()) {
+        std::printf("export error: %s\n", s.ToString().c_str());
+        continue;
+      }
+      sqo::obs::ExporterOptions options;
+      options.json_path = dir + "/metrics.json";
+      options.prometheus_path = dir + "/metrics.prom";
+      sqo::obs::PeriodicExporter once(
+          options, [&session] { return session.SnapshotMetrics(); });
+      if (auto s = once.ExportOnce(); !s.ok()) {
+        std::printf("export error: %s\n", s.ToString().c_str());
+      } else {
+        std::printf("wrote %s/metrics.json and %s/metrics.prom\n",
+                    dir.c_str(), dir.c_str());
+      }
       continue;
     }
     if (timing) {
@@ -418,11 +730,11 @@ int main() {
       sqo::obs::ScopedTracer install_tracer(&tracer);
       sqo::obs::ScopedMetrics install_metrics(&metrics);
       RunQuery(pipeline, *db, *cost_model, line, /*plan_only=*/false,
-               deadline_ms);
+               deadline_ms, &session);
       PrintObservability(tracer, metrics);
     } else {
       RunQuery(pipeline, *db, *cost_model, line, /*plan_only=*/false,
-               deadline_ms);
+               deadline_ms, &session);
     }
   }
   return 0;

@@ -15,16 +15,27 @@ A run is matched across files by (driver, run name). The check fails when:
   * a run's real_time_ns grew by more than --threshold (only for runs
     whose baseline time is at least --min-time-ns — sub-threshold runs
     are too noisy for a ratio test);
-  * a named counter drifted by more than --threshold in either direction
-    (counters are semantic outputs — alternative counts, costs — so any
-    large drift signals a behavior change, not an optimization).
+  * a latency-quantile counter (name matching `_p<digits>_ns`, e.g.
+    `latency_p50_ns` / `latency_p99_ns` from a histogram summary) grew by
+    more than --threshold — one-sided, like the time check, and under the
+    same --min-time-ns noise floor: a faster distribution is never a
+    regression;
+  * any other named counter drifted by more than --threshold in either
+    direction (counters are semantic outputs — alternative counts, costs —
+    so any large drift signals a behavior change, not an optimization).
+    Rate counters named `qps` are informational and never gated (they are
+    the reciprocal of the already-gated latency).
 
 Exit status: 0 clean, 1 regressions found, 2 usage/IO error.
 """
 
 import argparse
 import json
+import re
 import sys
+
+# Counters carrying histogram quantiles of a duration distribution.
+QUANTILE_COUNTER = re.compile(r"_p\d+_ns$")
 
 
 def load_runs(path):
@@ -87,6 +98,18 @@ def main():
             cur_value = cur_counters.get(counter)
             if not isinstance(cur_value, (int, float)):
                 failures.append(f"{driver}/{name}: counter '{counter}' missing")
+                continue
+            if counter == "qps":
+                continue
+            if QUANTILE_COUNTER.search(counter):
+                # Latency quantile: one-sided, with the time-check noise
+                # floor (a p50 of a few microseconds is all jitter).
+                if (base_value >= args.min_time_ns
+                        and cur_value > base_value * (1.0 + args.threshold)):
+                    failures.append(
+                        f"{driver}/{name}: quantile '{counter}' "
+                        f"{base_value:.0f} -> {cur_value:.0f} "
+                        f"(+{100 * (cur_value / base_value - 1):.1f}%)")
                 continue
             limit = abs(base_value) * args.threshold
             if abs(cur_value - base_value) > limit:

@@ -5,8 +5,11 @@
 #      (skipped with a notice when clang-tidy is not installed),
 #   3. build the `asan` preset and run its smoke-labeled tests so the
 #      sanitizers cover the analyzer, pipeline and tools end to end, then
-#      the recovery-labeled crash tests (short deterministic loop;
-#      scripts/run_recovery.sh drives longer randomized soaks),
+#      the obs-labeled profiler/journal/exporter tests (the exporter's
+#      background thread and the journal's flush path are exactly where
+#      ASan pays off), then the recovery-labeled crash tests (short
+#      deterministic loop; scripts/run_recovery.sh drives longer
+#      randomized soaks),
 #   4. build the `tsan` preset and run the perf-labeled tests (thread
 #      pool, lazy indexes, parallel profiling) under ThreadSanitizer —
 #      skipped with a notice when the toolchain can't link -fsanitize=thread.
@@ -48,6 +51,10 @@ run_sanitizers() {
   cmake --preset asan >/dev/null
   cmake --build --preset asan -j "$(nproc)" >/dev/null
   if ! ctest --preset smoke-asan; then
+    failures=1
+  fi
+  echo "== ASan/UBSan observability tests =="
+  if ! ctest --preset obs-asan; then
     failures=1
   fi
   echo "== ASan/UBSan crash-recovery tests =="

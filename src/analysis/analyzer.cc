@@ -736,4 +736,42 @@ AnalysisReport AnalyzeCatalogFreshness(const std::string& disk_schema_hash,
   return report;
 }
 
+AnalysisReport AnalyzeProfile(const translate::TranslatedSchema& schema,
+                              const obs::QueryProfile& profile) {
+  AnalysisReport report;
+  std::set<std::string> flagged;
+  for (const obs::ProfileNode& node : profile.nodes) {
+    if (node.op != "extent-scan") continue;
+    const RelationSignature* sig = schema.catalog.Find(node.relation);
+    if (sig == nullptr || sig->kind != RelationKind::kClass) continue;
+    // Any key on the class (or inherited from a superclass) means an
+    // explicit hash index exists for this relation.
+    std::vector<std::string> keys;
+    const odl::ClassInfo* cur = schema.schema.FindClass(sig->owner);
+    while (cur != nullptr) {
+      keys.insert(keys.end(), cur->keys.begin(), cur->keys.end());
+      cur = cur->super.empty() ? nullptr : schema.schema.FindClass(cur->super);
+    }
+    if (keys.empty()) continue;
+    if (!flagged.insert(sig->name).second) continue;
+    std::string key_list;
+    for (const std::string& key : keys) {
+      if (!key_list.empty()) key_list += ", ";
+      key_list += key;
+    }
+    report.Add(
+        Severity::kWarning, kCodeExtentScanWithIndexHint, sig->name,
+        "the executed plan scanned the full extent of '" + sig->name +
+            "' (" + std::to_string(node.rows_in) +
+            " probe(s)) although the class registers an index hint on key " +
+            key_list +
+            "; the query binds no key attribute, so the index could not "
+            "serve the selection",
+        "restrict the query on a key attribute (" + key_list +
+            "), or add an integrity constraint whose residue implies such a "
+            "restriction so the optimizer can introduce it");
+  }
+  return report;
+}
+
 }  // namespace sqo::analysis

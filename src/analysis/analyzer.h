@@ -10,6 +10,7 @@
 #include "common/value.h"
 #include "datalog/clause.h"
 #include "datalog/signature.h"
+#include "obs/profile.h"
 #include "sqo/residue.h"
 #include "translate/schema_translator.h"
 
@@ -44,6 +45,10 @@ namespace sqo::analysis {
 ///   SQO-A013  catalog lint    warning   on-disk semantic catalog compiled
 ///                                       from a different schema than the
 ///                                       live one (stale catalog)
+///   SQO-A014  profile lint    warning   executed profile shows an extent
+///                                       scan over a class that declares a
+///                                       key (index hint registered but the
+///                                       plan did not use it)
 inline constexpr std::string_view kCodeUnsafeVariable = "SQO-A001";
 inline constexpr std::string_view kCodeUnknownRelation = "SQO-A002";
 inline constexpr std::string_view kCodeArityMismatch = "SQO-A003";
@@ -57,6 +62,7 @@ inline constexpr std::string_view kCodeConstantFoldable = "SQO-A010";
 inline constexpr std::string_view kCodeDeadlineFailClosed = "SQO-A011";
 inline constexpr std::string_view kCodeUnindexedEqualityIc = "SQO-A012";
 inline constexpr std::string_view kCodeStaleCatalog = "SQO-A013";
+inline constexpr std::string_view kCodeExtentScanWithIndexHint = "SQO-A014";
 
 struct AnalyzerOptions {
   bool check_safety = true;          // pass 1 (SQO-A001)
@@ -129,6 +135,15 @@ AnalysisReport AnalyzeCatalogFreshness(const std::string& disk_schema_hash,
                                        const std::string& live_schema_hash,
                                        size_t disk_residues,
                                        size_t live_residues);
+
+/// Pass 10 over an executed query profile (EXPLAIN ANALYZE tree): flags
+/// extent-scan operators over class relations whose ODL declaration (or a
+/// superclass's) registers a key — an index hint exists, so the scan means
+/// the query binds no key attribute, or planning missed the probe
+/// (SQO-A014, warning). Scans of keyless classes are expected and not
+/// flagged; neither are index/lazy-index probes.
+AnalysisReport AnalyzeProfile(const translate::TranslatedSchema& schema,
+                              const obs::QueryProfile& profile);
 
 }  // namespace sqo::analysis
 

@@ -33,6 +33,16 @@ sqo::Result<std::vector<std::vector<sqo::Value>>> Database::Run(
   return evaluator.Evaluate(query, stats);
 }
 
+sqo::Result<Database::ProfiledRun> Database::ProfileQuery(
+    const datalog::Query& query, EvalOptions options) const {
+  Evaluator evaluator(&store_, options);
+  ProfiledRun run;
+  SQO_ASSIGN_OR_RETURN(
+      run.rows,
+      evaluator.Evaluate(query, &run.stats, /*order=*/nullptr, &run.profile));
+  return run;
+}
+
 sqo::Status Database::ProfileAlternatives(core::PipelineResult* result,
                                           EvalOptions options) const {
   if (result == nullptr || result->contradiction) return sqo::Status::Ok();

@@ -41,6 +41,21 @@ class Database {
       const datalog::Query& query, EvalStats* stats = nullptr,
       EvalOptions options = {}) const;
 
+  /// Result of a profiled evaluation: the rows plus the EXPLAIN ANALYZE
+  /// operator tree the evaluator recorded while producing them.
+  struct ProfiledRun {
+    std::vector<std::vector<sqo::Value>> rows;
+    EvalStats stats;
+    obs::QueryProfile profile;
+  };
+
+  /// Plans and evaluates `query` with operator-level profiling on: each
+  /// plan step gets a ProfileNode with rows in/out, inclusive/self time,
+  /// the planner's estimate, and whether an index served it. On error the
+  /// partial profile is discarded with the rows.
+  sqo::Result<ProfiledRun> ProfileQuery(const datalog::Query& query,
+                                        EvalOptions options = {}) const;
+
   /// Evaluates every alternative of a pipeline result, filling each
   /// `Alternative::eval_stats` / `evaluated` — so shells and benches can
   /// report evaluator counters per alternative, not just per run. An

@@ -1,5 +1,6 @@
 #include "engine/evaluator.h"
 
+#include <chrono>
 #include <functional>
 #include <map>
 #include <set>
@@ -80,11 +81,47 @@ struct TupleEq {
   }
 };
 
+/// Accumulates inclusive wall time into a profile node; null-safe no-op
+/// when profiling is off.
+class NodeTimer {
+ public:
+  explicit NodeTimer(obs::ProfileNode* node) : node_(node) {
+    if (node_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~NodeTimer() {
+    if (node_ != nullptr) {
+      node_->total_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() - start_)
+                             .count();
+    }
+  }
+
+  NodeTimer(const NodeTimer&) = delete;
+  NodeTimer& operator=(const NodeTimer&) = delete;
+
+ private:
+  obs::ProfileNode* node_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Labels a node's operator kind on first execution (later invocations of
+/// the same plan step keep the first label; the access path of a fixed
+/// plan step is stable across bindings in practice).
+void LabelNode(obs::ProfileNode* node, const char* op,
+               const std::string& relation, bool index_used = false) {
+  if (node == nullptr || !node->op.empty()) return;
+  node->op = op;
+  node->relation = relation;
+  node->index_used = index_used;
+}
+
 class Execution {
  public:
   Execution(const ObjectStore& store, const Query& query,
-            const EvalOptions& options, EvalStats& stats)
-      : store_(store), query_(query), options_(options), stats_(stats) {
+            const EvalOptions& options, EvalStats& stats,
+            obs::QueryProfile* profile = nullptr, const Plan* plan = nullptr)
+      : store_(store), query_(query), options_(options), stats_(stats),
+        profile_(profile), plan_(plan) {
     for (const Term& t : query.head_args) {
       if (t.is_variable()) var_occurrences_[t.var_name()] += 2;
     }
@@ -99,6 +136,7 @@ class Execution {
                   std::vector<std::vector<sqo::Value>>* out) {
     order_ = &order;
     out_ = out;
+    if (profile_ != nullptr) SetUpProfile();
     // Selection pushdown: pre-bind variables equated to constants so index
     // probes and OID lookups see them from the start; the equality literal
     // itself then passes trivially.
@@ -121,6 +159,69 @@ class Execution {
   }
 
  private:
+  /// One profile node per plan position (relation pre-filled from the
+  /// literal, operator labeled on first execution) plus the final emit
+  /// node. The left-deep pipeline links up lazily: a node's parent is the
+  /// node that first passed it a binding.
+  void SetUpProfile() {
+    profile_->nodes.clear();
+    node_of_.assign(order_->size(), -1);
+    for (size_t k = 0; k < order_->size(); ++k) {
+      obs::ProfileNode node;
+      node.id = static_cast<int>(profile_->nodes.size());
+      node.literal_index = static_cast<int>((*order_)[k]);
+      const Literal& lit = query_.body[(*order_)[k]];
+      if (lit.atom.is_comparison()) {
+        node.relation = lit.atom.ToString();
+      } else {
+        node.relation =
+            (lit.positive ? "" : "¬") + lit.atom.predicate();
+      }
+      if (plan_ != nullptr && k < plan_->steps.size()) {
+        node.detail = plan_->steps[k];
+      }
+      if (plan_ != nullptr && k < plan_->est_rows.size()) {
+        node.est_rows = plan_->est_rows[k];
+      }
+      node_of_[k] = node.id;
+      profile_->nodes.push_back(std::move(node));
+    }
+    obs::ProfileNode emit;
+    emit.id = static_cast<int>(profile_->nodes.size());
+    emit.op = "emit";
+    emit.relation = options_.distinct ? "distinct" : "all";
+    emit_node_ = emit.id;
+    profile_->nodes.push_back(std::move(emit));
+  }
+
+  obs::ProfileNode* NodeFor(size_t k) {
+    if (profile_ == nullptr) return nullptr;
+    return &profile_->nodes[node_of_[k]];
+  }
+
+  /// Records one binding entering plan position `k` (and wires the node's
+  /// parent on first arrival). Returns the node for timing/labeling.
+  obs::ProfileNode* EnterNode(size_t k) {
+    obs::ProfileNode* node = NodeFor(k);
+    if (node != nullptr) {
+      if (node->rows_in == 0 && node->parent < 0 && last_caller_ != node->id) {
+        node->parent = last_caller_;
+      }
+      ++node->rows_in;
+    }
+    return node;
+  }
+
+  /// Position `k` passes the current binding downstream: count it as a
+  /// row out and continue with the next plan position.
+  sqo::Status Advance(size_t k) {
+    if (obs::ProfileNode* node = NodeFor(k)) {
+      ++node->rows_out;
+      last_caller_ = node->id;
+    }
+    return Step(k + 1);
+  }
+
   /// Unifies `atom`'s arguments against `row`; returns false on mismatch.
   bool UnifyRow(const Atom& atom, const ObjectStore::Row& row) {
     for (size_t i = 0; i < atom.arity(); ++i) {
@@ -290,7 +391,10 @@ class Execution {
                     sqo::Oid oid) {
     for (const auto& [pos, rel] : guards) {
       ++stats_.negation_checks;
+      obs::ProfileNode* guard_node = NodeFor(pos);
+      if (guard_node != nullptr) ++guard_node->rows_in;
       if (store_.IsMember(rel, oid)) return false;
+      if (guard_node != nullptr) ++guard_node->rows_out;
     }
     return true;
   }
@@ -303,10 +407,13 @@ class Execution {
     }
     if (k == order_->size()) return EmitTuple();
     if (consumed_.count(k) > 0) return Step(k + 1);
+    obs::ProfileNode* node = EnterNode(k);
+    NodeTimer node_timer(node);
     const Literal& lit = query_.body[(*order_)[k]];
     const Atom& atom = lit.atom;
 
     if (atom.is_comparison()) {
+      LabelNode(node, "filter", atom.ToString());
       sqo::Value ltmp, rtmp;
       const sqo::Value* lhs = Resolve(atom.lhs(), env_, &ltmp);
       const sqo::Value* rhs = Resolve(atom.rhs(), env_, &rtmp);
@@ -328,7 +435,7 @@ class Execution {
         pass = datalog::EvalCmp(atom.op(), *cmp);
       }
       if (!pass) return sqo::Status::Ok();
-      return Step(k + 1);
+      return Advance(k);
     }
 
     const RelationSignature* sig = store_.schema().catalog.Find(atom.predicate());
@@ -337,10 +444,11 @@ class Execution {
     }
 
     if (!lit.positive) {
+      LabelNode(node, "anti-join", "¬" + sig->name);
       ++stats_.negation_checks;
       SQO_ASSIGN_OR_RETURN(bool exists, Exists(atom, *sig));
       if (exists) return sqo::Status::Ok();
-      return Step(k + 1);
+      return Advance(k);
     }
 
     switch (sig->kind) {
@@ -349,12 +457,13 @@ class Execution {
         sqo::Value tmp;
         const sqo::Value* oid = Resolve(atom.args()[0], env_, &tmp);
         if (oid != nullptr) {
+          LabelNode(node, "oid-lookup", sig->name);
           if (oid->kind() != sqo::ValueKind::kOid) return sqo::Status::Ok();
           auto row = store_.RowAs(sig->name, oid->AsOid());
           if (!row.has_value()) return sqo::Status::Ok();
           ++stats_.objects_fetched;
           size_t mark = env_.Mark();
-          if (UnifyRow(atom, *row)) SQO_RETURN_IF_ERROR(Step(k + 1));
+          if (UnifyRow(atom, *row)) SQO_RETURN_IF_ERROR(Advance(k));
           env_.Rollback(mark);
           return sqo::Status::Ok();
         }
@@ -362,7 +471,16 @@ class Execution {
         // fetching them (§5.2).
         std::vector<std::pair<size_t, std::string>> guards =
             FindGuards(k, atom.args()[0].var_name());
-        for (const auto& [pos, rel] : guards) consumed_.insert(pos);
+        for (const auto& [pos, rel] : guards) {
+          consumed_.insert(pos);
+          // Guards report under the scan that consumes them, not in the
+          // pipeline chain.
+          if (obs::ProfileNode* guard_node = NodeFor(pos);
+              guard_node != nullptr && guard_node->op.empty()) {
+            guard_node->op = "guard";
+            guard_node->parent = node != nullptr ? node->id : -1;
+          }
+        }
         auto release_guards = [&]() {
           for (const auto& [pos, rel] : guards) consumed_.erase(pos);
         };
@@ -375,7 +493,7 @@ class Execution {
             ++stats_.objects_fetched;
             size_t mark = env_.Mark();
             if (UnifyRow(atom, *row)) {
-              sqo::Status status = Step(k + 1);
+              sqo::Status status = Advance(k);
               if (!status.ok()) return status;
             }
             env_.Rollback(mark);
@@ -387,6 +505,8 @@ class Execution {
           sqo::Value vtmp;
           const sqo::Value* v = Resolve(atom.args()[i], env_, &vtmp);
           if (v == nullptr || !store_.HasIndex(sig->name, i)) continue;
+          LabelNode(node, "index-probe", sig->name + "." + sig->attributes[i],
+                    /*index_used=*/true);
           ++stats_.index_probes;
           obs::Count("index.probes");
           const std::vector<sqo::Oid>* oids = store_.IndexLookup(sig->name, i, *v);
@@ -408,6 +528,9 @@ class Execution {
             const std::vector<sqo::Oid>* oids = store_.LazyIndexLookup(
                 sig->name, i, *v, options_.auto_index_min_extent, &indexed);
             if (!indexed) continue;  // extent under threshold: scan instead
+            LabelNode(node, "lazy-index-probe",
+                      sig->name + "." + sig->attributes[i],
+                      /*index_used=*/true);
             ++stats_.index_probes;
             obs::Count("index.probes");
             sqo::Status status =
@@ -417,6 +540,7 @@ class Execution {
           }
         }
         // Extent scan.
+        LabelNode(node, "extent-scan", sig->name);
         SQO_FAILPOINT("eval.scan");
         ++stats_.extent_scans;
         sqo::Status status = probe_candidates(store_.Extent(sig->name));
@@ -435,39 +559,43 @@ class Execution {
           return sqo::Status::Ok();
         }
         if (src != nullptr) {
+          LabelNode(node, "traverse", sig->name);
           const auto& nbrs = store_.Neighbors(sig->name, src->AsOid());
           stats_.relationship_traversals += nbrs.size();
           for (sqo::Oid n : nbrs) {
             size_t mark = env_.Mark();
             if (UnifyOidPair(atom, src->AsOid(), n)) {
-              SQO_RETURN_IF_ERROR(Step(k + 1));
+              SQO_RETURN_IF_ERROR(Advance(k));
             }
             env_.Rollback(mark);
           }
           return sqo::Status::Ok();
         }
         if (dst != nullptr) {
+          LabelNode(node, "reverse-traverse", sig->name);
           const auto& nbrs = store_.ReverseNeighbors(sig->name, dst->AsOid());
           stats_.relationship_traversals += nbrs.size();
           for (sqo::Oid n : nbrs) {
             size_t mark = env_.Mark();
             if (UnifyOidPair(atom, n, dst->AsOid())) {
-              SQO_RETURN_IF_ERROR(Step(k + 1));
+              SQO_RETURN_IF_ERROR(Advance(k));
             }
             env_.Rollback(mark);
           }
           return sqo::Status::Ok();
         }
+        LabelNode(node, "pair-scan", sig->name);
         const auto& pairs = store_.Pairs(sig->name);
         stats_.relationship_traversals += pairs.size();
         for (const auto& [s, d] : pairs) {
           size_t mark = env_.Mark();
-          if (UnifyOidPair(atom, s, d)) SQO_RETURN_IF_ERROR(Step(k + 1));
+          if (UnifyOidPair(atom, s, d)) SQO_RETURN_IF_ERROR(Advance(k));
           env_.Rollback(mark);
         }
         return sqo::Status::Ok();
       }
       case RelationKind::kMethod: {
+        LabelNode(node, "invoke", sig->name);
         sqo::Value rtmp;
         const sqo::Value* receiver = Resolve(atom.args()[0], env_, &rtmp);
         if (receiver == nullptr) {
@@ -494,11 +622,11 @@ class Execution {
         if (expected != nullptr) {
           ++stats_.comparisons;
           if (!expected->Equals(result)) return sqo::Status::Ok();
-          return Step(k + 1);
+          return Advance(k);
         }
         size_t mark = env_.Mark();
         env_.Bind(atom.args().back().var_name(), result);
-        SQO_RETURN_IF_ERROR(Step(k + 1));
+        SQO_RETURN_IF_ERROR(Advance(k));
         env_.Rollback(mark);
         return sqo::Status::Ok();
       }
@@ -507,6 +635,13 @@ class Execution {
   }
 
   sqo::Status EmitTuple() {
+    obs::ProfileNode* emit = nullptr;
+    if (profile_ != nullptr && emit_node_ >= 0) {
+      emit = &profile_->nodes[emit_node_];
+      if (emit->rows_in == 0 && emit->parent < 0) emit->parent = last_caller_;
+      ++emit->rows_in;
+    }
+    NodeTimer emit_timer(emit);
     if (ExecutionContext* governance = CurrentContext()) {
       SQO_RETURN_IF_ERROR(governance->ChargeEvalRows());
     }
@@ -529,6 +664,7 @@ class Execution {
       if (!dedup_.insert(tuple).second) return sqo::Status::Ok();
     }
     ++stats_.results;
+    if (emit != nullptr) ++emit->rows_out;
     out_->push_back(std::move(tuple));
     return sqo::Status::Ok();
   }
@@ -543,41 +679,70 @@ class Execution {
   std::unordered_set<std::vector<sqo::Value>, TupleHash, TupleEq> dedup_;
   std::map<std::string, int> var_occurrences_;
   std::set<size_t> consumed_;
+
+  // EXPLAIN ANALYZE state (all inert when profile_ is null).
+  obs::QueryProfile* profile_;
+  const Plan* plan_;
+  std::vector<int> node_of_;  // plan position -> profile node index
+  int emit_node_ = -1;
+  int last_caller_ = -1;  // node that last passed a binding downstream
 };
 
 }  // namespace
 
 sqo::Result<std::vector<std::vector<sqo::Value>>> Evaluator::Evaluate(
-    const Query& query, EvalStats* stats, const std::vector<size_t>* order) const {
+    const Query& query, EvalStats* stats, const std::vector<size_t>* order,
+    obs::QueryProfile* profile) const {
   obs::Span span("eval.evaluate");
   obs::ScopedTimer timer("eval.evaluate");
   SQO_FAILPOINT("eval.evaluate");
   SQO_RETURN_IF_ERROR(CheckGovernance("eval.evaluate"));
+  const auto profile_start = std::chrono::steady_clock::now();
   // Work into a local so only *this* evaluation's counters reach the
   // metrics registry even when the caller accumulates into `stats`.
   EvalStats local;
+  Plan plan;
+  const Plan* plan_ptr = nullptr;
   std::vector<size_t> plan_order;
   if (order != nullptr) {
     plan_order = *order;
   } else {
-    plan_order = PlanQuery(query, *store_).order;
+    plan = PlanQuery(query, *store_);
+    plan_order = plan.order;
+    plan_ptr = &plan;
   }
   if (plan_order.size() != query.body.size()) {
     return sqo::InvalidArgumentError("evaluation order size mismatch");
   }
+  // Finalizes the profile on every exit path so error returns still carry
+  // whatever the execution recorded.
+  auto finalize_profile = [&]() {
+    if (profile == nullptr) return;
+    profile->total_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - profile_start)
+                            .count();
+    if (plan_ptr != nullptr) {
+      profile->planned_cost = plan_ptr->cost;
+      profile->planned_rows = plan_ptr->cardinality;
+    }
+    profile->stats = local;
+    profile->FinalizeSelfTimes();
+  };
   std::vector<std::vector<sqo::Value>> out;
   {
     obs::Span exec_span("eval.execute");
-    Execution exec(*store_, query, options_, local);
+    Execution exec(*store_, query, options_, local, profile, plan_ptr);
     sqo::Status status = exec.Run(plan_order, &out);
     exec_span.Tag("rows", static_cast<uint64_t>(out.size()));
     if (!status.ok()) {
       if (stats != nullptr) *stats += local;
+      finalize_profile();
       return status;
     }
   }
   span.Tag("rows", static_cast<uint64_t>(out.size()));
   if (stats != nullptr) *stats += local;
+  finalize_profile();
   // The registry absorbs the per-evaluation counters alongside the
   // optimizer-side metrics.
   local.ExportTo(obs::CurrentMetrics());

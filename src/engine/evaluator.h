@@ -8,6 +8,7 @@
 #include "engine/object_store.h"
 #include "engine/planner.h"
 #include "engine/statistics.h"
+#include "obs/profile.h"
 
 namespace sqo::engine {
 
@@ -50,9 +51,16 @@ class Evaluator {
   /// Evaluates `query`, returning the result tuples (one row per head-arg
   /// vector). A custom literal order may be supplied; otherwise the
   /// planner chooses. `stats` may be null.
+  ///
+  /// When `profile` is non-null the evaluator additionally builds an
+  /// operator-level profile tree (EXPLAIN ANALYZE): one node per plan
+  /// step with rows in/out, per-operator timing, and the planner's
+  /// estimates when the planner chose the order. Profiling costs two
+  /// clock reads per join step, so it is opt-in per evaluation.
   sqo::Result<std::vector<std::vector<sqo::Value>>> Evaluate(
       const datalog::Query& query, EvalStats* stats,
-      const std::vector<size_t>* order = nullptr) const;
+      const std::vector<size_t>* order = nullptr,
+      obs::QueryProfile* profile = nullptr) const;
 
  private:
   const ObjectStore* store_;

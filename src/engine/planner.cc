@@ -302,6 +302,7 @@ Plan PlanQuery(const Query& query, const ObjectStore& store) {
         if (!placed[i]) {
           plan.order.push_back(i);
           plan.steps.push_back("unplaceable " + query.body[i].ToString());
+          plan.est_rows.push_back(card);
           placed[i] = true;
         }
       }
@@ -312,6 +313,7 @@ Plan PlanQuery(const Query& query, const ObjectStore& store) {
     plan.cost += card * best_est.cost;
     card = std::max(card * best_est.fanout, 0.001);
     plan.steps.push_back(best_est.description);
+    plan.est_rows.push_back(card);
     if (query.body[best].positive) {
       for (const std::string& v : TermVars(query.body[best])) bound.insert(v);
     }

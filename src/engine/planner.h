@@ -24,6 +24,10 @@ struct Plan {
   /// Per-step description, for EXPLAIN-style output.
   std::vector<std::string> steps;
 
+  /// Estimated cumulative cardinality after each step (parallel to
+  /// `order`/`steps`) — the "est rows" column of EXPLAIN ANALYZE profiles.
+  std::vector<double> est_rows;
+
   std::string ToString() const;
 };
 

@@ -1,0 +1,162 @@
+#include "obs/export.h"
+
+#include <utility>
+
+#include "common/context.h"
+#include "common/failpoint.h"
+#include "common/fileio.h"
+#include "common/strings.h"
+
+namespace sqo::obs {
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; the registry's dotted
+/// names ("optimize.alternatives") become underscored.
+std::string SanitizeMetricName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(0, 1, '_');
+  return out;
+}
+
+double NsToSeconds(int64_t ns) { return static_cast<double>(ns) / 1e9; }
+
+}  // namespace
+
+std::string ToPrometheusText(const MetricsRegistry& registry,
+                             std::string_view metric_namespace) {
+  const std::string ns =
+      metric_namespace.empty() ? "" : std::string(metric_namespace) + "_";
+  std::string out;
+  for (const auto& [name, value] : registry.counters()) {
+    const std::string metric = ns + SanitizeMetricName(name);
+    out += StrFormat("# TYPE %s counter\n", metric.c_str());
+    out += StrFormat("%s %llu\n", metric.c_str(),
+                     static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, hist] : registry.histograms()) {
+    const DurationHistogram::Summary s = hist.Summarize();
+    const std::string metric = ns + SanitizeMetricName(name) + "_seconds";
+    out += StrFormat("# TYPE %s summary\n", metric.c_str());
+    out += StrFormat("%s{quantile=\"0.5\"} %.9g\n", metric.c_str(),
+                     NsToSeconds(s.p50_ns));
+    out += StrFormat("%s{quantile=\"0.9\"} %.9g\n", metric.c_str(),
+                     NsToSeconds(s.p90_ns));
+    out += StrFormat("%s{quantile=\"0.99\"} %.9g\n", metric.c_str(),
+                     NsToSeconds(s.p99_ns));
+    out += StrFormat("%s_sum %.9g\n", metric.c_str(), NsToSeconds(s.sum_ns));
+    out += StrFormat("%s_count %llu\n", metric.c_str(),
+                     static_cast<unsigned long long>(s.count));
+  }
+  return out;
+}
+
+PeriodicExporter::PeriodicExporter(ExporterOptions options, SnapshotFn snapshot)
+    : options_(std::move(options)), snapshot_(std::move(snapshot)) {}
+
+PeriodicExporter::~PeriodicExporter() { Stop(); }
+
+sqo::Status PeriodicExporter::ExportOnce() {
+  auto fail = [this](sqo::Status status) {
+    failures_.fetch_add(1);
+    return status;
+  };
+  if (auto s = failpoint::Check("obs.export"); !s.ok()) {
+    return fail(std::move(s));
+  }
+  if (auto s = CheckGovernance("obs.export"); !s.ok()) {
+    return fail(std::move(s));
+  }
+  const MetricsRegistry snapshot = snapshot_();
+  if (!options_.json_path.empty()) {
+    if (auto s = fs::WriteFileAtomic(options_.json_path, snapshot.ToJson());
+        !s.ok()) {
+      return fail(std::move(s));
+    }
+  }
+  if (!options_.prometheus_path.empty()) {
+    if (auto s = fs::WriteFileAtomic(options_.prometheus_path,
+                                     ToPrometheusText(snapshot));
+        !s.ok()) {
+      return fail(std::move(s));
+    }
+  }
+  exports_.fetch_add(1);
+  return sqo::Status::Ok();
+}
+
+void PeriodicExporter::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (thread_.joinable()) return;
+  stop_ = false;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void PeriodicExporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!thread_.joinable()) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();  // join() leaves thread_ non-joinable, so Start can rearm
+}
+
+bool PeriodicExporter::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return thread_.joinable();
+}
+
+void PeriodicExporter::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, options_.period, [this] { return stop_; })) break;
+    // Export without holding the lock: a slow disk must not block Stop.
+    lock.unlock();
+    // Fail-open by design: the error was already counted in failures().
+    (void)ExportOnce();
+    lock.lock();
+  }
+}
+
+QpsMeter::QpsMeter() : start_(std::chrono::steady_clock::now()) {}
+
+void QpsMeter::Record(int64_t latency_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  histogram_.Record(latency_ns);
+}
+
+QpsMeter::Snapshot QpsMeter::Summarize() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const DurationHistogram::Summary s = histogram_.Summarize();
+  Snapshot out;
+  out.count = s.count;
+  out.elapsed_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - start_)
+                       .count();
+  out.qps = out.elapsed_ns > 0
+                ? static_cast<double>(s.count) /
+                      (static_cast<double>(out.elapsed_ns) / 1e9)
+                : 0.0;
+  out.p50_ns = s.p50_ns;
+  out.p90_ns = s.p90_ns;
+  out.p99_ns = s.p99_ns;
+  out.max_ns = s.max_ns;
+  out.mean_ns =
+      s.count > 0 ? s.sum_ns / static_cast<int64_t>(s.count) : 0;
+  return out;
+}
+
+void QpsMeter::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  histogram_ = DurationHistogram();
+  start_ = std::chrono::steady_clock::now();
+}
+
+}  // namespace sqo::obs

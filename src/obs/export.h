@@ -1,0 +1,116 @@
+#ifndef SQO_OBS_EXPORT_H_
+#define SQO_OBS_EXPORT_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace sqo::obs {
+
+/// Renders a metrics snapshot in the Prometheus text exposition format:
+/// counters as `<ns>_<name>` counter samples, histograms as summaries with
+/// `quantile` labels (0.5 / 0.9 / 0.99), `_sum` and `_count`. Metric names
+/// are sanitized (`.` and other non-[a-zA-Z0-9_:] bytes become `_`);
+/// duration quantiles and sums are emitted in seconds per Prometheus
+/// convention, under `<name>_seconds`.
+std::string ToPrometheusText(const MetricsRegistry& registry,
+                             std::string_view metric_namespace = "sqo");
+
+struct ExporterOptions {
+  /// Target files; either may be empty to skip that format. Writes are
+  /// atomic (temp + rename), so scrapers never observe a torn file.
+  std::string json_path;
+  std::string prometheus_path;
+
+  /// Period of the background exporter thread started by `Start`.
+  std::chrono::milliseconds period{1000};
+};
+
+/// On-demand and periodic snapshot exporter for a MetricsRegistry. The
+/// registry is not thread-safe, so the exporter pulls copies through a
+/// caller-supplied snapshot function (typically: lock your own mutex, copy
+/// the registry, return it). Export failures are counted and swallowed by
+/// the background loop — metrics exposition must never take the serving
+/// path down (fail-open).
+class PeriodicExporter {
+ public:
+  using SnapshotFn = std::function<MetricsRegistry()>;
+
+  PeriodicExporter(ExporterOptions options, SnapshotFn snapshot);
+  ~PeriodicExporter();  // stops the background thread if running
+
+  PeriodicExporter(const PeriodicExporter&) = delete;
+  PeriodicExporter& operator=(const PeriodicExporter&) = delete;
+
+  /// One snapshot → file(s) export. Checks the `obs.export` failpoint and
+  /// the installed ExecutionContext before touching the filesystem.
+  sqo::Status ExportOnce();
+
+  /// Starts the periodic background thread (no-op when already running).
+  /// The thread exports every `options.period` until `Stop`; a failing
+  /// export increments `failures()` and the loop continues.
+  void Start();
+
+  /// Stops and joins the background thread (no-op when not running).
+  void Stop();
+
+  bool running() const;
+  uint64_t exports() const { return exports_.load(); }
+  uint64_t failures() const { return failures_.load(); }
+
+ private:
+  void Loop();
+
+  ExporterOptions options_;
+  SnapshotFn snapshot_;
+
+  std::atomic<uint64_t> exports_{0};
+  std::atomic<uint64_t> failures_{0};
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;  // joinable iff running
+};
+
+/// Thread-safe latency/throughput meter: benches and the future server
+/// layer record one sample per completed query and report distributions
+/// (p50/p90/p99), not just totals.
+class QpsMeter {
+ public:
+  QpsMeter();
+
+  /// Records one completed query of the given latency.
+  void Record(int64_t latency_ns);
+
+  struct Snapshot {
+    uint64_t count = 0;
+    int64_t elapsed_ns = 0;  // since construction or last Reset
+    double qps = 0.0;        // count / elapsed
+    int64_t p50_ns = 0;
+    int64_t p90_ns = 0;
+    int64_t p99_ns = 0;
+    int64_t max_ns = 0;
+    int64_t mean_ns = 0;
+  };
+  Snapshot Summarize() const;
+
+  /// Clears samples and restarts the elapsed-time window.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  DurationHistogram histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace sqo::obs
+
+#endif  // SQO_OBS_EXPORT_H_

@@ -1,0 +1,148 @@
+#include "obs/journal.h"
+
+#include <utility>
+
+#include "common/context.h"
+#include "common/failpoint.h"
+#include "common/fileio.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace sqo::obs {
+
+QueryJournal::QueryJournal(JournalOptions options) : options_(options) {
+  if (options_.capacity == 0) options_.capacity = 1;
+}
+
+uint64_t QueryJournal::Record(QueryEvent event) {
+  const bool slow = options_.slow_threshold_ns > 0 &&
+                    event.duration_ns >= options_.slow_threshold_ns;
+  event.slow = slow;
+  if (!slow) {
+    // Routine events travel light; only offenders keep the full payload.
+    event.profile_json.clear();
+    event.trace_json.clear();
+  }
+  uint64_t sequence;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sequence = next_sequence_++;
+    event.sequence = sequence;
+    if (ring_.size() >= options_.capacity) {
+      ring_.erase(ring_.begin());
+      ++counters_.overwritten;
+    }
+    ring_.push_back(std::move(event));
+    ++counters_.recorded;
+    if (slow) ++counters_.slow;
+  }
+  Count("journal.recorded");
+  if (slow) Count("journal.slow");
+  return sequence;
+}
+
+std::vector<QueryEvent> QueryJournal::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_;
+}
+
+sqo::Status QueryJournal::Flush(const std::string& path) {
+  auto fail = [this](sqo::Status status) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.flush_failures;
+    }
+    Count("journal.flush_failures");
+    return status;
+  };
+  if (auto s = failpoint::Check("journal.flush"); !s.ok()) {
+    return fail(std::move(s));
+  }
+  if (auto s = CheckGovernance("journal.flush"); !s.ok()) {
+    return fail(std::move(s));
+  }
+
+  // Serialize outside the lock so concurrent Record never blocks on I/O.
+  std::string payload;
+  uint64_t last_sequence = 0;
+  uint64_t n_events = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const QueryEvent& event : ring_) {
+      if (event.sequence <= flushed_through_) continue;
+      payload += ToJsonl(event);
+      payload += '\n';
+      last_sequence = event.sequence;
+      ++n_events;
+    }
+  }
+  if (n_events == 0) return sqo::Status::Ok();
+
+  auto file = fs::AppendFile::Open(path);
+  if (!file.ok()) return fail(file.status());
+  if (auto s = file->Append(payload); !s.ok()) return fail(std::move(s));
+  if (auto s = file->Sync(); !s.ok()) return fail(std::move(s));
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (last_sequence > flushed_through_) flushed_through_ = last_sequence;
+    counters_.flushed += n_events;
+  }
+  Count("journal.flushed", n_events);
+  return sqo::Status::Ok();
+}
+
+QueryJournal::Counters QueryJournal::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+int64_t QueryJournal::slow_threshold_ns() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return options_.slow_threshold_ns;
+}
+
+void QueryJournal::set_slow_threshold_ns(int64_t threshold_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_.slow_threshold_ns = threshold_ns;
+}
+
+std::string QueryJournal::ToJsonl(const QueryEvent& event) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("seq").UInt(event.sequence);
+  w.Key("fingerprint").String(event.fingerprint);
+  w.Key("query").String(event.query);
+  w.Key("duration_ns").Int(event.duration_ns);
+  w.Key("status").String(event.status);
+  w.Key("degraded").Bool(event.degraded);
+  w.Key("cancelled").Bool(event.cancelled);
+  w.Key("contradiction").Bool(event.contradiction);
+  w.Key("chosen_alternative").Int(event.chosen_alternative);
+  w.Key("n_alternatives").UInt(event.n_alternatives);
+  w.Key("stats").BeginObject();
+  w.Key("objects_fetched").UInt(event.stats.objects_fetched);
+  w.Key("extent_scans").UInt(event.stats.extent_scans);
+  w.Key("index_probes").UInt(event.stats.index_probes);
+  w.Key("relationship_traversals").UInt(event.stats.relationship_traversals);
+  w.Key("method_invocations").UInt(event.stats.method_invocations);
+  w.Key("comparisons").UInt(event.stats.comparisons);
+  w.Key("negation_checks").UInt(event.stats.negation_checks);
+  w.Key("tuples_emitted").UInt(event.stats.tuples_emitted);
+  w.Key("results").UInt(event.stats.results);
+  w.EndObject();
+  w.Key("slow").Bool(event.slow);
+  if (!event.profile_json.empty()) {
+    // Already-serialized JSON: splice verbatim rather than re-escaping.
+    w.Key("profile");
+    w.Raw(event.profile_json);
+  }
+  if (!event.trace_json.empty()) {
+    w.Key("trace");
+    w.Raw(event.trace_json);
+  }
+  w.EndObject();
+  return w.TakeString();
+}
+
+}  // namespace sqo::obs

@@ -1,0 +1,103 @@
+#ifndef SQO_OBS_JOURNAL_H_
+#define SQO_OBS_JOURNAL_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/eval_stats.h"
+
+namespace sqo::obs {
+
+/// One completed query, as the serving layer sees it: identity, outcome,
+/// cost. `profile_json` / `trace_json` carry the full operator profile and
+/// optimizer trace but are retained only for slow queries (see
+/// `JournalOptions::slow_threshold_ns`) — routine events stay small so the
+/// ring can hold thousands of them.
+struct QueryEvent {
+  uint64_t sequence = 0;  // assigned by the journal, strictly increasing
+
+  std::string fingerprint;  // hex fingerprint of the (translated) query
+  std::string query;        // source text (OQL or DATALOG)
+
+  int64_t duration_ns = 0;  // end-to-end (optimize + evaluate)
+  std::string status = "ok";
+
+  bool degraded = false;       // pipeline fell back to the original query
+  bool cancelled = false;      // governance cancellation/deadline hit
+  bool contradiction = false;  // proven empty, never evaluated
+
+  int chosen_alternative = 0;
+  uint64_t n_alternatives = 0;
+  EvalStats stats;
+
+  bool slow = false;         // duration >= the journal's threshold
+  std::string profile_json;  // operator profile tree; slow queries only
+  std::string trace_json;    // optimizer span trace; slow queries only
+};
+
+struct JournalOptions {
+  /// Ring capacity in events; the oldest event is overwritten when full.
+  size_t capacity = 256;
+
+  /// Queries at or above this duration are marked slow and keep their full
+  /// profile/trace payloads (0 disables slow-query capture: payloads are
+  /// always dropped).
+  int64_t slow_threshold_ns = 0;
+};
+
+/// Thread-safe ring buffer of query-completion events with incremental
+/// JSONL flushing — the structured log the roadmap's serving layer tails.
+/// Recording never fails and never blocks on I/O; `Flush` is the only
+/// syscall path and is fail-open: a failed flush leaves every unflushed
+/// event in place for the next attempt.
+class QueryJournal {
+ public:
+  explicit QueryJournal(JournalOptions options = {});
+
+  /// Records one event (assigning its sequence number and slow flag) and
+  /// returns the sequence. Counts `journal.recorded` / `journal.slow` /
+  /// `journal.overwritten` on the calling thread's metrics registry.
+  uint64_t Record(QueryEvent event);
+
+  /// All retained events, oldest first.
+  std::vector<QueryEvent> Snapshot() const;
+
+  /// Appends every event not yet flushed to `path`, one JSON object per
+  /// line, and fsyncs. On any error (including the `journal.flush`
+  /// failpoint and governance checks) no event is marked flushed — the
+  /// journal itself stays fully usable (fail-open).
+  sqo::Status Flush(const std::string& path);
+
+  struct Counters {
+    uint64_t recorded = 0;
+    uint64_t overwritten = 0;  // events evicted by ring wrap-around
+    uint64_t slow = 0;
+    uint64_t flushed = 0;       // events successfully written out
+    uint64_t flush_failures = 0;
+  };
+  Counters counters() const;
+
+  int64_t slow_threshold_ns() const;
+  void set_slow_threshold_ns(int64_t threshold_ns);
+
+  size_t capacity() const { return options_.capacity; }
+
+  /// One JSONL line (no trailing newline) for `event`.
+  static std::string ToJsonl(const QueryEvent& event);
+
+ private:
+  JournalOptions options_;
+
+  mutable std::mutex mu_;
+  std::vector<QueryEvent> ring_;  // ordered oldest..newest
+  uint64_t next_sequence_ = 1;
+  uint64_t flushed_through_ = 0;  // highest sequence written out
+  Counters counters_;
+};
+
+}  // namespace sqo::obs
+
+#endif  // SQO_OBS_JOURNAL_H_

@@ -34,6 +34,10 @@ class JsonWriter {
   JsonWriter& Bool(bool value);
   JsonWriter& Null();
 
+  /// Splices an already-serialized JSON value verbatim (no re-escaping).
+  /// The caller guarantees `json` is one complete, valid JSON value.
+  JsonWriter& Raw(std::string_view json);
+
   const std::string& str() const { return out_; }
   std::string TakeString() { return std::move(out_); }
 

@@ -74,7 +74,9 @@ DurationHistogram::Summary DurationHistogram::Summarize() const {
   s.sum_ns = sum_;
   s.max_ns = max_;
   s.p50_ns = Quantile(0.50);
+  s.p90_ns = Quantile(0.90);
   s.p95_ns = Quantile(0.95);
+  s.p99_ns = Quantile(0.99);
   return s;
 }
 
@@ -121,9 +123,10 @@ std::string MetricsRegistry::ToText() const {
   for (const auto& [name, hist] : histograms_) {
     const DurationHistogram::Summary s = hist.Summarize();
     out += StrFormat(
-        "%-44s count=%llu p50=%.1fus p95=%.1fus max=%.1fus\n", name.c_str(),
-        static_cast<unsigned long long>(s.count),
+        "%-44s count=%llu p50=%.1fus p95=%.1fus p99=%.1fus max=%.1fus\n",
+        name.c_str(), static_cast<unsigned long long>(s.count),
         static_cast<double>(s.p50_ns) / 1e3, static_cast<double>(s.p95_ns) / 1e3,
+        static_cast<double>(s.p99_ns) / 1e3,
         static_cast<double>(s.max_ns) / 1e3);
   }
   return out;
@@ -144,7 +147,9 @@ std::string MetricsRegistry::ToJson() const {
     w.Key("count").UInt(s.count);
     w.Key("sum_ns").Int(s.sum_ns);
     w.Key("p50_ns").Int(s.p50_ns);
+    w.Key("p90_ns").Int(s.p90_ns);
     w.Key("p95_ns").Int(s.p95_ns);
+    w.Key("p99_ns").Int(s.p99_ns);
     w.Key("max_ns").Int(s.max_ns);
     w.EndObject();
   }

@@ -23,9 +23,15 @@ class DurationHistogram {
     int64_t sum_ns = 0;
     int64_t max_ns = 0;
     int64_t p50_ns = 0;
+    int64_t p90_ns = 0;
     int64_t p95_ns = 0;
+    int64_t p99_ns = 0;
   };
   Summary Summarize() const;
+
+  /// Approximate quantile (same bucket-midpoint scheme as `Summarize`);
+  /// exposed so exporters can publish arbitrary quantiles. 0 when empty.
+  int64_t QuantileNs(double q) const { return Quantile(q); }
 
   /// Folds another histogram in (bucket-wise add); quantiles of the merged
   /// histogram are as accurate as of either input.
@@ -71,11 +77,11 @@ class MetricsRegistry {
 
   void Clear();
 
-  /// One line per counter, then one per histogram (count/p50/p95/max).
+  /// One line per counter, then one per histogram (count/p50/p95/p99/max).
   std::string ToText() const;
 
   /// `{"counters":{...},"histograms":{"name":{"count":..,"sum_ns":..,
-  /// "p50_ns":..,"p95_ns":..,"max_ns":..},...}}`.
+  /// "p50_ns":..,"p90_ns":..,"p95_ns":..,"p99_ns":..,"max_ns":..},...}}`.
   std::string ToJson() const;
 
  private:

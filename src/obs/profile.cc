@@ -1,0 +1,145 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "obs/json.h"
+
+namespace sqo::obs {
+
+namespace {
+
+std::string FormatNs(int64_t ns) {
+  if (ns < 10'000) return StrFormat("%lldns", static_cast<long long>(ns));
+  if (ns < 10'000'000) {
+    return StrFormat("%.1fus", static_cast<double>(ns) / 1e3);
+  }
+  return StrFormat("%.2fms", static_cast<double>(ns) / 1e6);
+}
+
+}  // namespace
+
+void QueryProfile::FinalizeSelfTimes() {
+  std::vector<int64_t> child_total(nodes.size(), 0);
+  for (const ProfileNode& n : nodes) {
+    if (n.parent >= 0 && static_cast<size_t>(n.parent) < nodes.size()) {
+      child_total[n.parent] += n.total_ns;
+    }
+  }
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    nodes[i].self_ns = std::max<int64_t>(0, nodes[i].total_ns - child_total[i]);
+  }
+}
+
+std::string QueryProfile::ToText() const {
+  std::string out = StrFormat("profile: %s total", FormatNs(total_ns).c_str());
+  if (planned_cost >= 0) {
+    out += StrFormat(" (planned cost %.1f, planned rows %.1f)", planned_cost,
+                     planned_rows);
+  }
+  out += "\n";
+
+  // Children of each node, guards first so they read as part of their scan
+  // rather than pushing the pipeline successor's subtree away.
+  std::vector<std::vector<int>> children(nodes.size());
+  std::vector<int> roots;
+  for (const ProfileNode& n : nodes) {
+    if (n.parent < 0) {
+      roots.push_back(n.id);
+    } else {
+      children[n.parent].push_back(n.id);
+    }
+  }
+  for (std::vector<int>& c : children) {
+    std::stable_sort(c.begin(), c.end(), [&](int a, int b) {
+      const bool ga = nodes[a].op == "guard";
+      const bool gb = nodes[b].op == "guard";
+      if (ga != gb) return ga;
+      return a < b;
+    });
+  }
+
+  // Iterative pre-order walk (the pipeline chain is as deep as the plan is
+  // long, so recursion depth == literal count; still, avoid it).
+  std::vector<std::pair<int, int>> stack;  // (node, depth)
+  for (auto it = roots.rbegin(); it != roots.rend(); ++it) {
+    stack.emplace_back(*it, 0);
+  }
+  while (!stack.empty()) {
+    const auto [id, depth] = stack.back();
+    stack.pop_back();
+    const ProfileNode& n = nodes[id];
+    out += std::string(2 * (depth + 1), ' ');
+    if (n.op.empty()) {
+      out += StrFormat("(not executed) %s", n.relation.c_str());
+      if (!n.detail.empty()) out += StrFormat("  plan: %s", n.detail.c_str());
+      out += "\n";
+    } else {
+      out += StrFormat("%s %s  rows=%llu/%llu", n.op.c_str(),
+                       n.relation.c_str(),
+                       static_cast<unsigned long long>(n.rows_in),
+                       static_cast<unsigned long long>(n.rows_out));
+      if (n.est_rows >= 0) out += StrFormat(" est=%.1f", n.est_rows);
+      out += StrFormat("  self=%s", FormatNs(n.self_ns).c_str());
+      if (n.index_used) out += "  [indexed]";
+      if (!n.attribution.empty()) {
+        out += StrFormat("  <- %s", n.attribution.c_str());
+      }
+      out += "\n";
+    }
+    for (auto it = children[id].rbegin(); it != children[id].rend(); ++it) {
+      stack.emplace_back(*it, depth + 1);
+    }
+  }
+
+  for (const std::string& e : eliminated) {
+    out += StrFormat("  eliminated: %s\n", e.c_str());
+  }
+  out += StrFormat("  stats: %s\n", stats.ToString().c_str());
+  return out;
+}
+
+std::string QueryProfile::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("total_ns").Int(total_ns);
+  w.Key("planned_cost").Double(planned_cost);
+  w.Key("planned_rows").Double(planned_rows);
+  w.Key("stats").BeginObject();
+  w.Key("objects_fetched").UInt(stats.objects_fetched);
+  w.Key("extent_scans").UInt(stats.extent_scans);
+  w.Key("index_probes").UInt(stats.index_probes);
+  w.Key("relationship_traversals").UInt(stats.relationship_traversals);
+  w.Key("method_invocations").UInt(stats.method_invocations);
+  w.Key("comparisons").UInt(stats.comparisons);
+  w.Key("negation_checks").UInt(stats.negation_checks);
+  w.Key("tuples_emitted").UInt(stats.tuples_emitted);
+  w.Key("results").UInt(stats.results);
+  w.EndObject();
+  w.Key("eliminated").BeginArray();
+  for (const std::string& e : eliminated) w.String(e);
+  w.EndArray();
+  w.Key("nodes").BeginArray();
+  for (const ProfileNode& n : nodes) {
+    w.BeginObject();
+    w.Key("id").Int(n.id);
+    w.Key("parent").Int(n.parent);
+    w.Key("op").String(n.op);
+    w.Key("relation").String(n.relation);
+    if (!n.detail.empty()) w.Key("detail").String(n.detail);
+    if (!n.attribution.empty()) w.Key("attribution").String(n.attribution);
+    w.Key("literal_index").Int(n.literal_index);
+    w.Key("rows_in").UInt(n.rows_in);
+    w.Key("rows_out").UInt(n.rows_out);
+    if (n.est_rows >= 0) w.Key("est_rows").Double(n.est_rows);
+    w.Key("total_ns").Int(n.total_ns);
+    w.Key("self_ns").Int(n.self_ns);
+    w.Key("index_used").Bool(n.index_used);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+}  // namespace sqo::obs

@@ -1,0 +1,61 @@
+#include "sqo/profile_attribution.h"
+
+#include <algorithm>
+#include <string>
+
+namespace sqo::core {
+
+using datalog::Literal;
+
+namespace {
+
+/// First derivation step whose text mentions the literal's atom. The
+/// optimizer formats every step around the atom's ToString (see
+/// Optimizer::Neighbors), so substring match recovers the provenance
+/// without a side-channel.
+const std::string* FindStep(const std::vector<std::string>& derivation,
+                            const Literal& lit) {
+  const std::string text = lit.atom.ToString();
+  for (const std::string& step : derivation) {
+    if (step.find(text) != std::string::npos) return &step;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+void AnnotateProfile(const PipelineResult& result, size_t alt_index,
+                     obs::QueryProfile* profile) {
+  if (profile == nullptr || alt_index >= result.alternatives.size()) return;
+  const Alternative& alt = result.alternatives[alt_index];
+  const std::vector<Literal>& original = result.original_datalog.body;
+
+  for (obs::ProfileNode& node : profile->nodes) {
+    if (node.literal_index < 0 ||
+        static_cast<size_t>(node.literal_index) >= alt.datalog.body.size()) {
+      continue;
+    }
+    const Literal& lit = alt.datalog.body[node.literal_index];
+    if (std::find(original.begin(), original.end(), lit) != original.end()) {
+      node.attribution = "original";
+      continue;
+    }
+    const std::string* step = FindStep(alt.derivation, lit);
+    node.attribution = step != nullptr ? *step : "derived";
+  }
+
+  profile->eliminated.clear();
+  for (const Literal& lit : original) {
+    if (std::find(alt.datalog.body.begin(), alt.datalog.body.end(), lit) !=
+        alt.datalog.body.end()) {
+      continue;
+    }
+    std::string entry = lit.ToString();
+    if (const std::string* step = FindStep(alt.derivation, lit)) {
+      entry += "  <- " + *step;
+    }
+    profile->eliminated.push_back(std::move(entry));
+  }
+}
+
+}  // namespace sqo::core

@@ -1,0 +1,28 @@
+#ifndef SQO_SQO_PROFILE_ATTRIBUTION_H_
+#define SQO_SQO_PROFILE_ATTRIBUTION_H_
+
+#include <cstddef>
+
+#include "obs/profile.h"
+#include "sqo/pipeline.h"
+
+namespace sqo::core {
+
+/// Annotates an evaluated alternative's profile tree with semantic
+/// provenance: each operator node learns whether its literal came from the
+/// user's query ("original") or from a transformation step — in which case
+/// the attribution is the optimizer's derivation entry, carrying the
+/// integrity constraint that implied it (e.g. "add restriction t.salary >
+/// 10000 [IC3]"). Original literals the transformation removed are listed
+/// in `profile->eliminated` with the step that removed them, so EXPLAIN
+/// ANALYZE shows work the semantic optimizer avoided, not just work done.
+///
+/// Matching is textual against the derivation log (best-effort): a literal
+/// rewritten *again* after its introducing step (e.g. by a later variable
+/// merge) may fall back to the generic "derived" tag.
+void AnnotateProfile(const PipelineResult& result, size_t alt_index,
+                     obs::QueryProfile* profile);
+
+}  // namespace sqo::core
+
+#endif  // SQO_SQO_PROFILE_ATTRIBUTION_H_

@@ -433,6 +433,60 @@ TEST(AnalyzerCatalogTest, A013ReportsResidueCountDrift) {
       << report.ToString();
 }
 
+// --- Profile lint (SQO-A014) ----------------------------------------------
+
+obs::QueryProfile ProfileWithNode(std::string op, std::string relation,
+                                  uint64_t rows_in) {
+  obs::QueryProfile profile;
+  obs::ProfileNode node;
+  node.op = std::move(op);
+  node.relation = std::move(relation);
+  node.rows_in = rows_in;
+  profile.nodes.push_back(std::move(node));
+  return profile;
+}
+
+TEST(AnalyzerProfileTest, A014FlagsExtentScanOnKeyedClass) {
+  auto ts = University();
+  // `name` is a key on Person, so Faculty inherits an index hint.
+  auto report =
+      AnalyzeProfile(ts, ProfileWithNode("extent-scan", "faculty", 20));
+  ASSERT_EQ(CountCode(report, kCodeExtentScanWithIndexHint), 1u)
+      << report.ToString();
+  EXPECT_FALSE(report.has_errors());  // a lint, not a correctness problem
+  const Diagnostic& d = report.diagnostics[0];
+  EXPECT_EQ(d.subject, "faculty");
+  EXPECT_NE(d.message.find("20 probe(s)"), std::string::npos) << d.message;
+  EXPECT_NE(d.message.find("name"), std::string::npos) << d.message;
+}
+
+TEST(AnalyzerProfileTest, A014DeduplicatesPerRelation) {
+  auto ts = University();
+  obs::QueryProfile profile = ProfileWithNode("extent-scan", "faculty", 20);
+  profile.nodes.push_back(profile.nodes[0]);  // scanned twice in one plan
+  auto report = AnalyzeProfile(ts, profile);
+  EXPECT_EQ(CountCode(report, kCodeExtentScanWithIndexHint), 1u)
+      << report.ToString();
+}
+
+TEST(AnalyzerProfileTest, A014SilentWithoutKeyOrIndex) {
+  auto ts = University();
+  // Section declares no key anywhere in its superclass chain.
+  EXPECT_TRUE(
+      AnalyzeProfile(ts, ProfileWithNode("extent-scan", "section", 40))
+          .empty());
+  // An index probe on a keyed class is exactly what the hint wants.
+  EXPECT_TRUE(
+      AnalyzeProfile(ts, ProfileWithNode("index-probe", "faculty.name", 1))
+          .empty());
+  // Relationship scans have no extent index to miss.
+  EXPECT_TRUE(
+      AnalyzeProfile(ts, ProfileWithNode("pair-scan", "takes", 60)).empty());
+  // Unknown relations are ignored, not crashed on.
+  EXPECT_TRUE(
+      AnalyzeProfile(ts, ProfileWithNode("extent-scan", "nope", 1)).empty());
+}
+
 // --- ExpectedArgumentKind -------------------------------------------------
 
 TEST(AnalyzerTest, ExpectedArgumentKindResolvesAttributeTypes) {

@@ -1,0 +1,240 @@
+#include "obs/export.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "common/context.h"
+#include "common/failpoint.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace sqo::obs {
+namespace {
+
+class ExportTest : public ::testing::Test {
+ protected:
+  void SetUp() override { failpoint::DeactivateAll(); }
+  void TearDown() override { failpoint::DeactivateAll(); }
+
+  std::string Path(const std::string& suffix) {
+    std::string path = ::testing::TempDir() + "sqo_export_" +
+                       ::testing::UnitTest::GetInstance()
+                           ->current_test_info()
+                           ->name() +
+                       "." + suffix;
+    std::remove(path.c_str());
+    return path;
+  }
+
+  static std::string ReadAll(const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+  }
+
+  static bool Exists(const std::string& path) {
+    return std::ifstream(path).good();
+  }
+};
+
+// --- Prometheus text format ----------------------------------------------
+
+TEST_F(ExportTest, PrometheusCountersAndSummaries) {
+  MetricsRegistry registry;
+  registry.Add("journal.recorded", 3);
+  for (int i = 0; i < 100; ++i) registry.Record("eval.evaluate", 1'000'000);
+
+  const std::string text = ToPrometheusText(registry);
+  // Dotted names are sanitized and namespaced.
+  EXPECT_NE(text.find("# TYPE sqo_journal_recorded counter\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("sqo_journal_recorded 3\n"), std::string::npos) << text;
+  // Histograms become summaries with quantile labels, in seconds.
+  EXPECT_NE(text.find("# TYPE sqo_eval_evaluate_seconds summary\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("sqo_eval_evaluate_seconds{quantile=\"0.5\"}"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("sqo_eval_evaluate_seconds{quantile=\"0.99\"}"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("sqo_eval_evaluate_seconds_count 100\n"),
+            std::string::npos)
+      << text;
+  // 100 × 1ms = 0.1s total.
+  EXPECT_NE(text.find("sqo_eval_evaluate_seconds_sum 0.1"), std::string::npos)
+      << text;
+}
+
+TEST_F(ExportTest, PrometheusNamespaceIsOptional) {
+  MetricsRegistry registry;
+  registry.Add("c", 1);
+  const std::string text = ToPrometheusText(registry, "");
+  EXPECT_NE(text.find("# TYPE c counter\n"), std::string::npos) << text;
+  EXPECT_EQ(text.find("sqo_"), std::string::npos) << text;
+}
+
+TEST_F(ExportTest, PrometheusSanitizesHostileNames) {
+  MetricsRegistry registry;
+  registry.Add("9weird name-with.bytes", 1);
+  const std::string text = ToPrometheusText(registry);
+  // Every non-[a-zA-Z0-9_:] byte becomes '_', and the leading digit gets
+  // an underscore before the namespace is prepended.
+  EXPECT_NE(text.find("sqo__9weird_name_with_bytes 1\n"), std::string::npos)
+      << text;
+}
+
+// --- One-shot export -----------------------------------------------------
+
+TEST_F(ExportTest, ExportOnceWritesBothFormats) {
+  MetricsRegistry registry;
+  registry.Add("optimize.alternatives", 4);
+  registry.Record("pipeline.total", 2048);
+
+  ExporterOptions options;
+  options.json_path = Path("json");
+  options.prometheus_path = Path("prom");
+  PeriodicExporter exporter(options, [&] { return registry; });
+
+  ASSERT_TRUE(exporter.ExportOnce().ok());
+  EXPECT_EQ(exporter.exports(), 1u);
+  EXPECT_EQ(exporter.failures(), 0u);
+
+  auto doc = ParseJson(ReadAll(options.json_path));
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_DOUBLE_EQ(
+      doc->Find("counters")->Find("optimize.alternatives")->number, 4.0);
+
+  const std::string prom = ReadAll(options.prometheus_path);
+  EXPECT_NE(prom.find("sqo_optimize_alternatives 4\n"), std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("sqo_pipeline_total_seconds_count 1\n"),
+            std::string::npos)
+      << prom;
+}
+
+TEST_F(ExportTest, ExportOnceSkipsEmptyPaths) {
+  MetricsRegistry registry;
+  ExporterOptions options;
+  options.prometheus_path = Path("prom");
+  PeriodicExporter exporter(options, [&] { return registry; });
+  ASSERT_TRUE(exporter.ExportOnce().ok());
+  EXPECT_TRUE(Exists(options.prometheus_path));
+}
+
+TEST_F(ExportTest, ExportFailpointCountsAndStaysUsable) {
+  MetricsRegistry registry;
+  ExporterOptions options;
+  options.json_path = Path("json");
+  PeriodicExporter exporter(options, [&] { return registry; });
+
+  failpoint::Activate("obs.export", failpoint::Action{});
+  EXPECT_FALSE(exporter.ExportOnce().ok());
+  EXPECT_EQ(exporter.failures(), 1u);
+  EXPECT_EQ(exporter.exports(), 0u);
+  EXPECT_FALSE(Exists(options.json_path));
+
+  failpoint::Deactivate("obs.export");
+  ASSERT_TRUE(exporter.ExportOnce().ok());
+  EXPECT_EQ(exporter.exports(), 1u);
+  EXPECT_TRUE(Exists(options.json_path));
+}
+
+TEST_F(ExportTest, ExportHonorsGovernance) {
+  MetricsRegistry registry;
+  ExporterOptions options;
+  options.json_path = Path("json");
+  PeriodicExporter exporter(options, [&] { return registry; });
+
+  ExecutionContext context;
+  context.SetDeadlineAfter(std::chrono::milliseconds(0));
+  ScopedContext install(&context);
+  Status s = exporter.ExportOnce();
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted) << s.ToString();
+  EXPECT_EQ(exporter.failures(), 1u);
+  EXPECT_FALSE(Exists(options.json_path));
+}
+
+// --- Periodic background exporter ----------------------------------------
+
+TEST_F(ExportTest, PeriodicExportRunsUntilStopped) {
+  MetricsRegistry registry;
+  registry.Add("c", 1);
+  ExporterOptions options;
+  options.json_path = Path("json");
+  options.period = std::chrono::milliseconds(5);
+  PeriodicExporter exporter(options, [&] { return registry; });
+
+  EXPECT_FALSE(exporter.running());
+  exporter.Start();
+  exporter.Start();  // idempotent
+  EXPECT_TRUE(exporter.running());
+  while (exporter.exports() < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  exporter.Stop();
+  exporter.Stop();  // idempotent
+  EXPECT_FALSE(exporter.running());
+  EXPECT_TRUE(Exists(options.json_path));
+}
+
+// The background loop survives failing exports (fail-open): failures are
+// counted and the next period tries again.
+TEST_F(ExportTest, PeriodicLoopSurvivesFailpoint) {
+  MetricsRegistry registry;
+  ExporterOptions options;
+  options.json_path = Path("json");
+  options.period = std::chrono::milliseconds(2);
+  PeriodicExporter exporter(options, [&] { return registry; });
+
+  failpoint::Action twice;
+  twice.max_trips = 2;
+  failpoint::Activate("obs.export", twice);
+  exporter.Start();
+  while (exporter.exports() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  exporter.Stop();
+  EXPECT_EQ(exporter.failures(), 2u);
+  EXPECT_GE(exporter.exports(), 1u);
+}
+
+// --- QpsMeter ------------------------------------------------------------
+
+TEST_F(ExportTest, QpsMeterSummarizesDistribution) {
+  QpsMeter meter;
+  for (int i = 0; i < 1000; ++i) meter.Record(1'000'000);
+  const auto snap = meter.Summarize();
+  EXPECT_EQ(snap.count, 1000u);
+  EXPECT_GT(snap.elapsed_ns, 0);
+  EXPECT_GT(snap.qps, 0.0);
+  // Log-bucketed quantiles: within 2× of the true 1ms.
+  EXPECT_GE(snap.p50_ns, 500'000);
+  EXPECT_LE(snap.p50_ns, 2'000'000);
+  EXPECT_GE(snap.p99_ns, snap.p50_ns);
+  EXPECT_EQ(snap.max_ns, 1'000'000);
+  EXPECT_EQ(snap.mean_ns, 1'000'000);
+}
+
+TEST_F(ExportTest, QpsMeterResetClearsSamples) {
+  QpsMeter meter;
+  meter.Record(100);
+  EXPECT_EQ(meter.Summarize().count, 1u);
+  meter.Reset();
+  const auto snap = meter.Summarize();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.qps, 0.0);
+  EXPECT_EQ(snap.max_ns, 0);
+}
+
+}  // namespace
+}  // namespace sqo::obs

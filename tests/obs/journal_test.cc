@@ -1,0 +1,213 @@
+#include "obs/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/context.h"
+#include "common/failpoint.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace sqo::obs {
+namespace {
+
+class JournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override { failpoint::DeactivateAll(); }
+  void TearDown() override { failpoint::DeactivateAll(); }
+
+  /// Per-test output path (fresh on every run, so parallel ctest shards
+  /// never share a file).
+  std::string Path() {
+    std::string path = ::testing::TempDir() + "sqo_journal_" +
+                       ::testing::UnitTest::GetInstance()
+                           ->current_test_info()
+                           ->name() +
+                       ".jsonl";
+    std::remove(path.c_str());
+    return path;
+  }
+
+  static QueryEvent Event(const std::string& query, int64_t duration_ns) {
+    QueryEvent event;
+    event.query = query;
+    event.fingerprint = "deadbeef";
+    event.duration_ns = duration_ns;
+    return event;
+  }
+
+  static std::vector<std::string> Lines(const std::string& path) {
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+    return lines;
+  }
+};
+
+TEST_F(JournalTest, RecordAssignsIncreasingSequences) {
+  QueryJournal journal;
+  EXPECT_EQ(journal.Record(Event("a", 1)), 1u);
+  EXPECT_EQ(journal.Record(Event("b", 1)), 2u);
+  auto events = journal.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].query, "a");
+  EXPECT_EQ(events[1].sequence, 2u);
+}
+
+TEST_F(JournalTest, RingOverwritesOldestWhenFull) {
+  QueryJournal journal({.capacity = 4});
+  for (int i = 0; i < 6; ++i) journal.Record(Event("q" + std::to_string(i), 1));
+  auto events = journal.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().sequence, 3u);  // 1 and 2 were evicted
+  EXPECT_EQ(events.back().sequence, 6u);
+  const auto counters = journal.counters();
+  EXPECT_EQ(counters.recorded, 6u);
+  EXPECT_EQ(counters.overwritten, 2u);
+}
+
+TEST_F(JournalTest, SlowThresholdKeepsPayloadsForOffendersOnly) {
+  QueryJournal journal({.capacity = 8, .slow_threshold_ns = 1000});
+  QueryEvent fast = Event("fast", 500);
+  fast.profile_json = "{\"nodes\":[]}";
+  fast.trace_json = "{}";
+  QueryEvent slow = Event("slow", 2000);
+  slow.profile_json = "{\"nodes\":[]}";
+  slow.trace_json = "{}";
+  journal.Record(fast);
+  journal.Record(slow);
+
+  auto events = journal.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_FALSE(events[0].slow);
+  EXPECT_TRUE(events[0].profile_json.empty());
+  EXPECT_TRUE(events[0].trace_json.empty());
+  EXPECT_TRUE(events[1].slow);
+  EXPECT_EQ(events[1].profile_json, "{\"nodes\":[]}");
+  EXPECT_EQ(journal.counters().slow, 1u);
+}
+
+TEST_F(JournalTest, ZeroThresholdDisablesSlowCapture) {
+  QueryJournal journal;  // slow_threshold_ns = 0
+  QueryEvent event = Event("q", 1 << 30);
+  event.profile_json = "{}";
+  journal.Record(event);
+  auto events = journal.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_FALSE(events[0].slow);
+  EXPECT_TRUE(events[0].profile_json.empty());
+}
+
+TEST_F(JournalTest, ThresholdIsAdjustableAtRuntime) {
+  QueryJournal journal;
+  EXPECT_EQ(journal.slow_threshold_ns(), 0);
+  journal.set_slow_threshold_ns(250);
+  EXPECT_EQ(journal.slow_threshold_ns(), 250);
+  journal.Record(Event("q", 300));
+  EXPECT_TRUE(journal.Snapshot().back().slow);
+}
+
+TEST_F(JournalTest, FlushAppendsJsonlAndIsIncremental) {
+  const std::string path = Path();
+  QueryJournal journal;
+  journal.Record(Event("first", 10));
+  journal.Record(Event("second", 20));
+  ASSERT_TRUE(journal.Flush(path).ok());
+  EXPECT_EQ(Lines(path).size(), 2u);
+
+  // Nothing new: the file stays as-is.
+  ASSERT_TRUE(journal.Flush(path).ok());
+  EXPECT_EQ(Lines(path).size(), 2u);
+
+  // New events append; already-flushed ones are never rewritten.
+  journal.Record(Event("third", 30));
+  ASSERT_TRUE(journal.Flush(path).ok());
+  auto lines = Lines(path);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(journal.counters().flushed, 3u);
+
+  // Every line is one self-contained JSON object.
+  for (const std::string& line : lines) {
+    auto doc = ParseJson(line);
+    ASSERT_TRUE(doc.ok()) << line;
+    ASSERT_NE(doc->Find("query"), nullptr);
+    ASSERT_NE(doc->Find("seq"), nullptr);
+  }
+}
+
+TEST_F(JournalTest, FlushFailpointIsFailOpen) {
+  const std::string path = Path();
+  QueryJournal journal;
+  journal.Record(Event("a", 1));
+  journal.Record(Event("b", 2));
+
+  failpoint::Activate("journal.flush", failpoint::Action{});
+  EXPECT_FALSE(journal.Flush(path).ok());
+  EXPECT_TRUE(Lines(path).empty());
+  EXPECT_EQ(journal.counters().flush_failures, 1u);
+  EXPECT_EQ(journal.counters().flushed, 0u);
+  // The journal stays fully usable: events retained, recording works.
+  EXPECT_EQ(journal.Snapshot().size(), 2u);
+  journal.Record(Event("c", 3));
+
+  // Disarmed, the next flush writes everything the failed one left behind.
+  failpoint::Deactivate("journal.flush");
+  ASSERT_TRUE(journal.Flush(path).ok());
+  EXPECT_EQ(Lines(path).size(), 3u);
+  EXPECT_EQ(journal.counters().flushed, 3u);
+}
+
+TEST_F(JournalTest, FlushHonorsGovernance) {
+  const std::string path = Path();
+  QueryJournal journal;
+  journal.Record(Event("a", 1));
+  {
+    ExecutionContext context;
+    context.SetDeadlineAfter(std::chrono::milliseconds(0));
+    ScopedContext install(&context);
+    Status s = journal.Flush(path);
+    EXPECT_EQ(s.code(), StatusCode::kResourceExhausted) << s.ToString();
+  }
+  EXPECT_EQ(journal.counters().flush_failures, 1u);
+  EXPECT_TRUE(Lines(path).empty());
+  // Without the expired context the same flush succeeds (fail-open).
+  ASSERT_TRUE(journal.Flush(path).ok());
+  EXPECT_EQ(Lines(path).size(), 1u);
+}
+
+TEST_F(JournalTest, RecordCountsIntoInstalledMetrics) {
+  MetricsRegistry metrics;
+  ScopedMetrics install(&metrics);
+  QueryJournal journal({.capacity = 8, .slow_threshold_ns = 10});
+  journal.Record(Event("fast", 1));
+  journal.Record(Event("slow", 100));
+  EXPECT_EQ(metrics.CounterValue("journal.recorded"), 2u);
+  EXPECT_EQ(metrics.CounterValue("journal.slow"), 1u);
+}
+
+TEST_F(JournalTest, ToJsonlRoundTripsEventFields) {
+  QueryEvent event = Event("select 1", 42);
+  event.sequence = 7;
+  event.status = "ok";
+  event.degraded = true;
+  event.chosen_alternative = 2;
+  event.n_alternatives = 5;
+  event.stats.results = 9;
+  auto doc = ParseJson(QueryJournal::ToJsonl(event));
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_DOUBLE_EQ(doc->Find("seq")->number, 7.0);
+  EXPECT_DOUBLE_EQ(doc->Find("duration_ns")->number, 42.0);
+  EXPECT_EQ(doc->Find("degraded")->kind, JsonValue::Kind::kBool);
+  EXPECT_TRUE(doc->Find("degraded")->bool_value);
+  EXPECT_DOUBLE_EQ(doc->Find("chosen_alternative")->number, 2.0);
+}
+
+}  // namespace
+}  // namespace sqo::obs

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "obs/eval_stats.h"
 #include "obs/json.h"
 
@@ -43,6 +45,95 @@ TEST(MetricsRegistryTest, EmptyHistogramSummary) {
   EXPECT_EQ(summary.count, 0u);
   EXPECT_EQ(summary.p50_ns, 0);
   EXPECT_EQ(summary.max_ns, 0);
+}
+
+TEST(DurationHistogramTest, EmptyQuantilesAreZero) {
+  DurationHistogram h;
+  EXPECT_EQ(h.QuantileNs(0.0), 0);
+  EXPECT_EQ(h.QuantileNs(0.5), 0);
+  EXPECT_EQ(h.QuantileNs(0.99), 0);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(DurationHistogramTest, SingleSampleDominatesEveryQuantile) {
+  DurationHistogram h;
+  h.Record(1000);
+  const auto s = h.Summarize();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.sum_ns, 1000);
+  EXPECT_EQ(s.max_ns, 1000);
+  // Every quantile lands in the one occupied bucket: within 2× of the
+  // sample, never above the recorded maximum.
+  for (double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_GE(h.QuantileNs(q), 500) << q;
+    EXPECT_LE(h.QuantileNs(q), 1000) << q;
+  }
+  EXPECT_EQ(s.p50_ns, s.p99_ns);
+}
+
+TEST(DurationHistogramTest, NegativeSamplesClampToZero) {
+  DurationHistogram h;
+  h.Record(-5);
+  const auto s = h.Summarize();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.sum_ns, 0);
+  EXPECT_EQ(s.max_ns, 0);
+  EXPECT_EQ(s.p50_ns, 0);
+}
+
+TEST(DurationHistogramTest, OverflowBucketHoldsHugeSamples) {
+  DurationHistogram h;
+  h.Record(std::numeric_limits<int64_t>::max());
+  const auto s = h.Summarize();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.max_ns, std::numeric_limits<int64_t>::max());
+  // The top bucket's midpoint is clamped to the recorded maximum.
+  EXPECT_GT(s.p99_ns, 0);
+  EXPECT_LE(s.p99_ns, s.max_ns);
+}
+
+TEST(DurationHistogramTest, MergeFromCombinesDisjointBuckets) {
+  DurationHistogram small;
+  DurationHistogram large;
+  for (int i = 0; i < 100; ++i) small.Record(10);
+  for (int i = 0; i < 100; ++i) large.Record(1'000'000'000);
+
+  small.MergeFrom(large);
+  const auto s = small.Summarize();
+  EXPECT_EQ(s.count, 200u);
+  EXPECT_EQ(s.sum_ns, 100 * 10 + int64_t{100} * 1'000'000'000);
+  EXPECT_EQ(s.max_ns, 1'000'000'000);
+  // Half the mass is tiny, half is huge: p50 stays in the small bucket,
+  // p90 lands in the large one (each within the 2× bucket error).
+  EXPECT_LE(s.p50_ns, 20);
+  EXPECT_GE(s.p90_ns, 500'000'000);
+  EXPECT_LE(s.p90_ns, 1'000'000'000);
+}
+
+TEST(DurationHistogramTest, SummaryReportsTailQuantiles) {
+  DurationHistogram h;
+  // 90 fast samples and a 10% slow tail: p99 must see the tail's bucket
+  // while p90 stays with the crowd.
+  for (int i = 0; i < 90; ++i) h.Record(1000);
+  for (int i = 0; i < 10; ++i) h.Record(1'000'000);
+  const auto s = h.Summarize();
+  EXPECT_LE(s.p90_ns, 2000);
+  EXPECT_GE(s.p99_ns, 500'000);
+  EXPECT_GE(s.p99_ns, s.p90_ns);
+  EXPECT_GE(s.p95_ns, s.p50_ns);
+}
+
+TEST(DurationHistogramTest, ToJsonCarriesAllQuantiles) {
+  MetricsRegistry registry;
+  for (int i = 0; i < 10; ++i) registry.Record("d", 4096);
+  auto doc = ParseJson(registry.ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const JsonValue* hist = doc->Find("histograms")->Find("d");
+  ASSERT_NE(hist, nullptr);
+  for (const char* field : {"count", "sum_ns", "p50_ns", "p90_ns", "p95_ns",
+                            "p99_ns", "max_ns"}) {
+    EXPECT_NE(hist->Find(field), nullptr) << field;
+  }
 }
 
 TEST(MetricsFreeFunctionsTest, NoopWithoutRegistry) {

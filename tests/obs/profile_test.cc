@@ -1,0 +1,276 @@
+#include "obs/profile.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "datalog/parser.h"
+#include "engine/database.h"
+#include "obs/json.h"
+#include "sqo/pipeline.h"
+#include "sqo/profile_attribution.h"
+#include "workload/university.h"
+
+namespace sqo {
+namespace {
+
+core::Pipeline& UniversityPipeline() {
+  static auto* pipeline = [] {
+    auto built = workload::MakeUniversityPipeline();
+    EXPECT_TRUE(built.ok()) << built.status().ToString();
+    return new core::Pipeline(std::move(built).value());
+  }();
+  return *pipeline;
+}
+
+engine::Database& UniversityDb() {
+  static auto* db = [] {
+    auto* database = new engine::Database(&UniversityPipeline().schema());
+    auto populated =
+        workload::PopulateUniversity({}, UniversityPipeline(), database);
+    EXPECT_TRUE(populated.ok()) << populated.ToString();
+    return database;
+  }();
+  return *db;
+}
+
+/// Optimizes `oql` and returns the full pipeline result (for attribution).
+core::PipelineResult Optimize(const std::string& oql) {
+  auto result = UniversityPipeline().OptimizeText(oql);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+const obs::ProfileNode* FindEmit(const obs::QueryProfile& profile) {
+  for (const obs::ProfileNode& node : profile.nodes) {
+    if (node.op == "emit") return &node;
+  }
+  return nullptr;
+}
+
+// --- Row accounting vs EvalStats (the acceptance criterion) --------------
+
+// The emit node sees every tuple the pipeline produced (rows_in) and every
+// distinct result it kept (rows_out); both must equal the evaluator's own
+// counters for the same run.
+TEST(QueryProfileTest, EmitRowsMatchEvalStats) {
+  auto result = Optimize(
+      "select f.name from f in Faculty where f.salary > 50000");
+  auto run = UniversityDb().ProfileQuery(
+      result.alternatives[result.best_index].datalog);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  const obs::ProfileNode* emit = FindEmit(run->profile);
+  ASSERT_NE(emit, nullptr);
+  EXPECT_EQ(emit->rows_in, run->stats.tuples_emitted);
+  EXPECT_EQ(emit->rows_out, run->stats.results);
+  EXPECT_EQ(emit->rows_out, run->rows.size());
+
+  // The profile carries a copy of the same counters.
+  EXPECT_EQ(run->profile.stats.tuples_emitted, run->stats.tuples_emitted);
+  EXPECT_EQ(run->profile.stats.results, run->stats.results);
+}
+
+// Walking the executed pipeline from the emit node to the root, every
+// operator's rows_out (bindings passed downstream) must equal its
+// successor's rows_in (bindings received) — the chain invariant that makes
+// per-node row counts trustworthy.
+TEST(QueryProfileTest, ChainRowCountsAreConsistent) {
+  // The §5.4 path query: a multi-literal join, so the chain has depth.
+  auto result = Optimize(workload::QueryAsrDirect());
+  auto run = UniversityDb().ProfileQuery(result.alternatives[0].datalog);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  const obs::ProfileNode* emit = FindEmit(run->profile);
+  ASSERT_NE(emit, nullptr);
+  EXPECT_GT(emit->rows_out, 0u) << run->profile.ToText();
+
+  size_t hops = 0;
+  const obs::ProfileNode* node = emit;
+  while (node->parent >= 0) {
+    const obs::ProfileNode& parent = run->profile.nodes[node->parent];
+    EXPECT_EQ(parent.rows_out, node->rows_in)
+        << "chain broken between '" << parent.op << " " << parent.relation
+        << "' and '" << node->op << " " << node->relation << "'\n"
+        << run->profile.ToText();
+    node = &parent;
+    ++hops;
+  }
+  EXPECT_GT(hops, 0u);
+  // The root operator is entered exactly once.
+  EXPECT_EQ(node->rows_in, 1u) << run->profile.ToText();
+}
+
+// A membership guard consumed by a scan hangs off that scan node; the
+// scan's probes show up as the guard's rows_in.
+TEST(QueryProfileTest, ScopeReductionGuardsHangOffTheirScan) {
+  auto result = Optimize(workload::QueryScopeReduction());
+  ASSERT_FALSE(result.contradiction);
+  auto run = UniversityDb().ProfileQuery(
+      result.alternatives[result.best_index].datalog);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  for (const obs::ProfileNode& node : run->profile.nodes) {
+    if (node.op != "guard") continue;
+    ASSERT_GE(node.parent, 0);
+    const obs::ProfileNode& scan = run->profile.nodes[node.parent];
+    EXPECT_NE(scan.op, "guard");
+    EXPECT_GE(node.rows_in, node.rows_out);
+  }
+}
+
+// --- Timing model --------------------------------------------------------
+
+TEST(QueryProfileTest, TimingAndEstimatesArePopulated) {
+  auto result = Optimize(
+      "select f.name from f in Faculty where f.salary > 50000");
+  auto run = UniversityDb().ProfileQuery(
+      result.alternatives[result.best_index].datalog);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  EXPECT_GT(run->profile.total_ns, 0);
+  EXPECT_GE(run->profile.planned_cost, 0.0);
+
+  for (const obs::ProfileNode& node : run->profile.nodes) {
+    if (node.op.empty()) continue;  // planned but never executed
+    // Exclusive time never exceeds inclusive time, and a child's
+    // inclusive time is contained in its parent's.
+    EXPECT_GE(node.self_ns, 0) << node.op;
+    EXPECT_LE(node.self_ns, node.total_ns) << node.op;
+    if (node.parent >= 0) {
+      EXPECT_LE(node.total_ns, run->profile.nodes[node.parent].total_ns)
+          << node.op;
+    }
+    if (node.literal_index >= 0) {
+      EXPECT_GE(node.est_rows, 0.0) << node.op;
+    }
+  }
+}
+
+// --- Rendering -----------------------------------------------------------
+
+TEST(QueryProfileTest, ToTextShowsOperatorsAndRows) {
+  auto result = Optimize(
+      "select f.name from f in Faculty where f.salary > 50000");
+  auto run = UniversityDb().ProfileQuery(
+      result.alternatives[result.best_index].datalog);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  const std::string text = run->profile.ToText();
+  EXPECT_NE(text.find("emit"), std::string::npos) << text;
+  EXPECT_NE(text.find("rows="), std::string::npos) << text;
+  EXPECT_NE(text.find("faculty"), std::string::npos) << text;
+}
+
+TEST(QueryProfileTest, ToJsonParsesAndMirrorsTheTree) {
+  auto result = Optimize(
+      "select f.name from f in Faculty where f.salary > 50000");
+  auto run = UniversityDb().ProfileQuery(
+      result.alternatives[result.best_index].datalog);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  core::AnnotateProfile(result, static_cast<size_t>(result.best_index),
+                        &run->profile);
+
+  auto doc = obs::ParseJson(run->profile.ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const obs::JsonValue* nodes = doc->Find("nodes");
+  ASSERT_NE(nodes, nullptr);
+  ASSERT_TRUE(nodes->is_array());
+  EXPECT_EQ(nodes->items.size(), run->profile.nodes.size());
+  ASSERT_NE(doc->Find("total_ns"), nullptr);
+  EXPECT_GT(doc->Find("total_ns")->number, 0.0);
+  const obs::JsonValue* stats = doc->Find("stats");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_DOUBLE_EQ(stats->Find("results")->number,
+                   static_cast<double>(run->stats.results));
+
+  // Node objects carry the fields EXPLAIN ANALYZE consumers need.
+  const obs::JsonValue& first = nodes->items.front();
+  EXPECT_NE(first.Find("op"), nullptr);
+  EXPECT_NE(first.Find("rows_in"), nullptr);
+  EXPECT_NE(first.Find("rows_out"), nullptr);
+  EXPECT_NE(first.Find("total_ns"), nullptr);
+  EXPECT_NE(first.Find("attribution"), nullptr);
+}
+
+// --- Attribution ---------------------------------------------------------
+
+// Synthetic pipeline result with a known derivation log: attribution is
+// deterministic, unlike real optimizer output.
+TEST(ProfileAttributionTest, MarksOriginalDerivedAndEliminated) {
+  const auto& catalog = UniversityPipeline().schema().catalog;
+  // Both queries spell the faculty literal identically (same named
+  // arguments, so the parser fills the same anonymous variables) — only
+  // the restriction differs, as after a real residue rewrite.
+  auto original = datalog::ParseQueryText(
+      "q(Name) <- faculty(oid: X, name: Name, salary: Sal, age: Age), "
+      "Sal > 50000.",
+      &catalog);
+  ASSERT_TRUE(original.ok()) << original.status().ToString();
+  auto rewritten = datalog::ParseQueryText(
+      "q(Name) <- faculty(oid: X, name: Name, salary: Sal, age: Age), "
+      "Age >= 30.",
+      &catalog);
+  ASSERT_TRUE(rewritten.ok()) << rewritten.status().ToString();
+
+  core::PipelineResult result;
+  result.original_datalog = *original;
+  result.alternatives.resize(2);
+  result.alternatives[0].datalog = *original;
+  result.alternatives[1].datalog = *rewritten;
+  result.alternatives[1].derivation = {
+      "add restriction " + rewritten->body[1].atom.ToString() + " [IC4]",
+      "remove redundant restriction " + original->body[1].atom.ToString() +
+          " (IC1)",
+  };
+
+  obs::QueryProfile profile;
+  profile.nodes.resize(2);
+  profile.nodes[0].literal_index = 0;
+  profile.nodes[0].op = "extent-scan";
+  profile.nodes[1].literal_index = 1;
+  profile.nodes[1].op = "filter";
+  core::AnnotateProfile(result, 1, &profile);
+
+  EXPECT_EQ(profile.nodes[0].attribution, "original");
+  EXPECT_NE(profile.nodes[1].attribution.find("[IC4]"), std::string::npos)
+      << profile.nodes[1].attribution;
+  ASSERT_EQ(profile.eliminated.size(), 1u);
+  EXPECT_NE(profile.eliminated[0].find("Sal >"), std::string::npos)
+      << profile.eliminated[0];
+  EXPECT_NE(profile.eliminated[0].find("remove redundant restriction"),
+            std::string::npos)
+      << profile.eliminated[0];
+}
+
+// End-to-end: every executed operator of a real optimized alternative gets
+// some attribution; the original alternative is all-"original".
+TEST(ProfileAttributionTest, RealPipelineAttributesEveryLiteral) {
+  auto result = Optimize(workload::QueryScopeReduction());
+  ASSERT_FALSE(result.contradiction);
+
+  auto run = UniversityDb().ProfileQuery(result.alternatives[0].datalog);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  core::AnnotateProfile(result, 0, &run->profile);
+  for (const obs::ProfileNode& node : run->profile.nodes) {
+    if (node.literal_index < 0 || node.op.empty()) continue;
+    EXPECT_EQ(node.attribution, "original")
+        << node.op << " " << node.relation;
+  }
+  EXPECT_TRUE(run->profile.eliminated.empty());
+
+  const size_t best = static_cast<size_t>(result.best_index);
+  auto best_run =
+      UniversityDb().ProfileQuery(result.alternatives[best].datalog);
+  ASSERT_TRUE(best_run.ok()) << best_run.status().ToString();
+  core::AnnotateProfile(result, best, &best_run->profile);
+  for (const obs::ProfileNode& node : best_run->profile.nodes) {
+    if (node.literal_index < 0 || node.op.empty()) continue;
+    EXPECT_FALSE(node.attribution.empty())
+        << node.op << " " << node.relation;
+  }
+}
+
+}  // namespace
+}  // namespace sqo
