@@ -211,6 +211,59 @@ void BM_GovernanceCharge(benchmark::State& state) {
 }
 BENCHMARK(BM_GovernanceCharge);
 
+// ---- Rewrite-verifier overhead (per-step equivalence proofs). ----
+
+// Certifying one full alternative set: replay every recorded derivation
+// chain and discharge each step's obligation with the bounded chase.
+// Arg selects the seed query (0 = scope reduction, 1 = ASR direct — the
+// widest alternative set of the corpus).
+void BM_VerifyAlternatives(benchmark::State& state) {
+  auto pipeline = workload::MakeUniversityPipeline();
+  if (!pipeline.ok()) {
+    state.SkipWithError(pipeline.status().ToString().c_str());
+    return;
+  }
+  const std::string oql = state.range(0) == 0
+                              ? workload::QueryScopeReduction()
+                              : workload::QueryAsrDirect();
+  auto result = pipeline->OptimizeText(oql);
+  if (!result.ok()) {
+    state.SkipWithError(result.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto verification = pipeline->Verify(*result);
+    benchmark::DoNotOptimize(verification);
+  }
+  state.SetLabel(state.range(0) == 0 ? "scope_reduction" : "asr_direct");
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(result->alternatives.size()));
+}
+BENCHMARK(BM_VerifyAlternatives)->Arg(0)->Arg(1);
+
+// Optimize-only vs optimize-then-verify on the same query: the delta is
+// what post-hoc certification adds to the serving path (the cost a plan
+// cache would pay once per compiled entry, not per execution).
+void BM_VerifierPipelineDelta(benchmark::State& state) {
+  auto pipeline = workload::MakeUniversityPipeline();
+  if (!pipeline.ok()) {
+    state.SkipWithError(pipeline.status().ToString().c_str());
+    return;
+  }
+  auto parsed = oql::ParseOql(workload::QueryScopeReduction());
+  const bool verified = state.range(0) != 0;
+  for (auto _ : state) {
+    auto result = pipeline->OptimizeParsed(*parsed);
+    if (verified && result.ok()) {
+      auto verification = pipeline->Verify(*result);
+      benchmark::DoNotOptimize(verification);
+    }
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(verified ? "optimize+verify" : "optimize");
+}
+BENCHMARK(BM_VerifierPipelineDelta)->Arg(0)->Arg(1);
+
 // ---- Observability overhead (journal, profiler, exporter). ----
 
 // Shared compiled pipeline: the database holds a pointer into its schema,

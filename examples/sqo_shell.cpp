@@ -22,6 +22,10 @@
 //   oql> \export start <dir> [ms] / \export stop -- periodic exporter
 //   oql> \check                 -- static-analysis report for the IC set
 //   oql> \check select ...      -- lint a query without running it
+//   oql> \verify                -- prove every alternative of the five seed
+//                                  queries equivalent to its original
+//                                  (SQO-A015/A016/A017)
+//   oql> \verify select ...     -- same, for one query
 //   oql> \deadline 50           -- bound Step 3 to 50ms (0 clears); expiry
 //                                  degrades to the original query
 //   oql> \save db_dir           -- attach crash-safe storage: current state
@@ -43,6 +47,8 @@
 #include <string>
 
 #include "analysis/analyzer.h"
+#include "analysis/diagnostic.h"
+#include "analysis/verifier.h"
 #include "common/context.h"
 #include "common/fileio.h"
 #include "common/fingerprint.h"
@@ -403,9 +409,10 @@ void PrintJournal(SessionObs* session, size_t limit) {
 /// a single query (translated but never optimized or evaluated).
 void CheckCommand(const sqo::core::Pipeline& pipeline, const std::string& arg) {
   if (arg.empty()) {
-    const sqo::analysis::AnalysisReport& report = pipeline.ic_report();
-    std::fputs(report.ToString().c_str(), stdout);
-    std::printf("IC set + compiled residues: %s\n", report.Summary().c_str());
+    std::fputs(
+        sqo::analysis::RenderReport(pipeline.ic_report(), /*json=*/false)
+            .c_str(),
+        stdout);
     return;
   }
   auto parsed = sqo::oql::ParseOql(arg);
@@ -422,8 +429,50 @@ void CheckCommand(const sqo::core::Pipeline& pipeline, const std::string& arg) {
   std::printf("datalog: %s\n", translated->query.ToString().c_str());
   sqo::analysis::AnalysisReport report = sqo::analysis::AnalyzeQuery(
       pipeline.schema(), translated->query, pipeline.options().analyzer);
-  std::fputs(report.ToString().c_str(), stdout);
-  std::printf("%s\n", report.Summary().c_str());
+  std::fputs(sqo::analysis::RenderReport(report, /*json=*/false).c_str(),
+             stdout);
+}
+
+/// \verify [oql]: replay every alternative's derivation and prove each step
+/// from "original ∧ IC catalog" (SQO-A015/A016/A017). With no argument,
+/// certifies the five seed queries — the same corpus `sqo_verify` checks.
+void VerifyCommand(const sqo::core::Pipeline& pipeline, const std::string& arg,
+                   uint64_t deadline_ms) {
+  std::vector<std::string> queries;
+  if (arg.empty()) {
+    queries = {sqo::workload::QueryExample2(),
+               sqo::workload::QueryScopeReduction(),
+               sqo::workload::QueryJoinElimination(),
+               sqo::workload::QueryAsrDirect(),
+               sqo::workload::QueryAsrIndirect()};
+  } else {
+    queries.push_back(arg);
+  }
+  sqo::analysis::AnalysisReport report;
+  size_t alternatives = 0;
+  bool all_sound = true;
+  for (const std::string& oql : queries) {
+    auto result = WithDeadline(deadline_ms,
+                               [&] { return pipeline.OptimizeText(oql); });
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      return;
+    }
+    auto verification = pipeline.Verify(*result);
+    if (!verification.ok()) {
+      std::printf("verification error: %s\n",
+                  verification.status().ToString().c_str());
+      return;
+    }
+    alternatives += verification->verdicts.size();
+    all_sound = all_sound && verification->all_sound();
+    report.Append(std::move(verification->report));
+  }
+  std::fputs(sqo::analysis::RenderReport(report, /*json=*/false).c_str(),
+             stdout);
+  std::printf("%zu alternatives over %zu queries: %s\n", alternatives,
+              queries.size(),
+              all_sound ? "all sound" : "UNSOUND REWRITES FOUND");
 }
 
 void PrintRecovery(const sqo::storage::RecoveryInfo& info) {
@@ -476,7 +525,8 @@ int main() {
   std::printf(
       "sqo shell — university schema loaded (%zu objects, %zu residues)\n"
       "commands: \\ics  \\residues <relation>  \\plan <oql>  \\explain <oql>  "
-      "\\profile [json] <oql>  \\check [oql]  \\deadline <ms>  \\timing  "
+      "\\profile [json] <oql>  \\check [oql]  \\verify [oql]  "
+      "\\deadline <ms>  \\timing  "
       "\\slow <ms>  \\journal [n | flush <path>]  \\metrics [json|prom]  "
       "\\export [start|stop] <dir>  \\save <dir>  \\open <dir>  "
       "\\checkpoint  \\quit\n",
@@ -539,6 +589,14 @@ int main() {
     }
     if (line.rfind("\\check ", 0) == 0) {
       CheckCommand(pipeline, line.substr(7));
+      continue;
+    }
+    if (line == "\\verify") {
+      VerifyCommand(pipeline, "", deadline_ms);
+      continue;
+    }
+    if (line.rfind("\\verify ", 0) == 0) {
+      VerifyCommand(pipeline, line.substr(8), deadline_ms);
       continue;
     }
     if (line.rfind("\\save ", 0) == 0) {

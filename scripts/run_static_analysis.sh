@@ -9,7 +9,9 @@
 #      background thread and the journal's flush path are exactly where
 #      ASan pays off), then the recovery-labeled crash tests (short
 #      deterministic loop; scripts/run_recovery.sh drives longer
-#      randomized soaks),
+#      randomized soaks), then the verify-labeled rewrite-verifier tests
+#      (short deterministic fuzz pass; scripts/run_verify_fuzz.sh drives
+#      longer soaks),
 #   4. build the `tsan` preset and run the perf-labeled tests (thread
 #      pool, lazy indexes, parallel profiling) under ThreadSanitizer —
 #      skipped with a notice when the toolchain can't link -fsanitize=thread.
@@ -61,6 +63,12 @@ run_sanitizers() {
   # Short deterministic crash loop; scripts/run_recovery.sh soaks longer.
   if ! SQO_CRASH_LOOP_ITERS=4 SQO_CRASH_LOOP_SEED=20260807 \
       ctest --preset recovery-asan; then
+    failures=1
+  fi
+  echo "== ASan/UBSan rewrite-verifier tests =="
+  # Short deterministic fuzz pass; scripts/run_verify_fuzz.sh soaks longer.
+  if ! SQO_VERIFY_FUZZ_ITERS=2 SQO_VERIFY_FUZZ_SEED=13 \
+      ctest --preset verify-asan; then
     failures=1
   fi
 }

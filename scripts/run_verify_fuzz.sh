@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Rewrite-verifier driver: build the ASan+UBSan preset and run every test
+# with the `verify` ctest label under the sanitizers — the per-obligation
+# unit tests (SQO-A015..A017), the sqo_verify CLI smokes, the corruption
+# probes (an unsound catalog must be caught by BOTH the static verifier
+# and the differential evaluation oracle) and the seeded differential
+# fuzz loop. Iteration count and seed are env-tunable, so this script can
+# run a short deterministic pass in CI and a long randomized soak locally.
+#
+# Usage: scripts/run_verify_fuzz.sh [--no-build] [iters [seed]]
+#   iters — fuzz iterations (default 3; try 25+ for a soak)
+#   seed  — fuzz base seed (default: current time, printed for repro)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build=1
+case "${1:-}" in
+  --no-build) build=0; shift ;;
+esac
+iters="${1:-3}"
+seed="${2:-$(date +%s)}"
+
+if [[ "$build" -eq 1 ]]; then
+  echo "== configuring + building asan preset =="
+  cmake --preset asan >/dev/null
+  cmake --build --preset asan -j "$(nproc)" >/dev/null
+fi
+
+echo "== verifier tests under ASan/UBSan (iters=$iters seed=$seed) =="
+if ! SQO_VERIFY_FUZZ_ITERS="$iters" SQO_VERIFY_FUZZ_SEED="$seed" \
+    ctest --preset verify-asan; then
+  echo "verify suite FAILED (repro: scripts/run_verify_fuzz.sh --no-build $iters $seed)"
+  exit 1
+fi
+echo "verify OK"

@@ -49,6 +49,19 @@ namespace sqo::analysis {
 ///                                       scan over a class that declares a
 ///                                       key (index hint registered but the
 ///                                       plan did not use it)
+///   SQO-A015  verifier        error     unjustified rewrite: a derivation
+///                                       step could not be proven from
+///                                       original ∧ ICs, or replaying the
+///                                       recorded steps does not reproduce
+///                                       the alternative (see verifier.h)
+///   SQO-A016  verifier        warning   unproven elimination: a removed
+///                                       conjunct could not be re-derived
+///                                       from the rewritten query ∧ ICs
+///                                       within the bounded chase
+///   SQO-A017  verifier        note      catalog dependency report: the IC
+///                                       labels an alternative's proof
+///                                       depends on (plan-cache
+///                                       invalidation key)
 inline constexpr std::string_view kCodeUnsafeVariable = "SQO-A001";
 inline constexpr std::string_view kCodeUnknownRelation = "SQO-A002";
 inline constexpr std::string_view kCodeArityMismatch = "SQO-A003";
@@ -63,6 +76,9 @@ inline constexpr std::string_view kCodeDeadlineFailClosed = "SQO-A011";
 inline constexpr std::string_view kCodeUnindexedEqualityIc = "SQO-A012";
 inline constexpr std::string_view kCodeStaleCatalog = "SQO-A013";
 inline constexpr std::string_view kCodeExtentScanWithIndexHint = "SQO-A014";
+inline constexpr std::string_view kCodeUnjustifiedRewrite = "SQO-A015";
+inline constexpr std::string_view kCodeUnprovenElimination = "SQO-A016";
+inline constexpr std::string_view kCodeCatalogDependency = "SQO-A017";
 
 struct AnalyzerOptions {
   bool check_safety = true;          // pass 1 (SQO-A001)

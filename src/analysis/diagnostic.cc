@@ -12,6 +12,8 @@ std::string_view SeverityName(Severity severity) {
       return "warning";
     case Severity::kError:
       return "error";
+    case Severity::kNote:
+      return "note";
   }
   return "unknown";
 }
@@ -52,7 +54,19 @@ size_t AnalysisReport::error_count() const {
 }
 
 size_t AnalysisReport::warning_count() const {
-  return diagnostics.size() - error_count();
+  return static_cast<size_t>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [](const Diagnostic& d) {
+                      return d.severity == Severity::kWarning;
+                    }));
+}
+
+size_t AnalysisReport::note_count() const {
+  return static_cast<size_t>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [](const Diagnostic& d) {
+                      return d.severity == Severity::kNote;
+                    }));
 }
 
 const Diagnostic* AnalysisReport::FirstError() const {
@@ -68,6 +82,10 @@ std::string AnalysisReport::Summary() const {
   std::string out = std::to_string(errors) + (errors == 1 ? " error" : " errors");
   out += ", " + std::to_string(warnings) +
          (warnings == 1 ? " warning" : " warnings");
+  // Notes are rare (dependency reports); keep legacy summaries byte-stable.
+  if (const size_t notes = note_count(); notes > 0) {
+    out += ", " + std::to_string(notes) + (notes == 1 ? " note" : " notes");
+  }
   return out;
 }
 
@@ -77,6 +95,13 @@ std::string AnalysisReport::ToString() const {
     out += d.ToString();
     out += "\n";
   }
+  return out;
+}
+
+std::string RenderReport(const AnalysisReport& report, bool as_json) {
+  if (as_json) return DiagnosticsToJson(report);
+  std::string out = report.ToString();
+  out += "-- " + report.Summary() + "\n";
   return out;
 }
 
@@ -96,6 +121,7 @@ std::string DiagnosticsToJson(const AnalysisReport& report) {
   w.EndArray();
   w.Key("errors").UInt(report.error_count());
   w.Key("warnings").UInt(report.warning_count());
+  w.Key("notes").UInt(report.note_count());
   w.EndObject();
   return w.TakeString();
 }
@@ -124,6 +150,8 @@ sqo::Result<AnalysisReport> DiagnosticsFromJson(std::string_view text) {
       d.severity = Severity::kError;
     } else if (severity->string_value == "warning") {
       d.severity = Severity::kWarning;
+    } else if (severity->string_value == "note") {
+      d.severity = Severity::kNote;
     } else {
       return sqo::InvalidArgumentError("unknown diagnostic severity '" +
                                        severity->string_value + "'");

@@ -12,10 +12,13 @@ namespace sqo::analysis {
 /// Severity of a static-analysis finding. Errors make the input unsafe to
 /// hand to the semantic compiler (the residue method's soundness
 /// preconditions are violated); warnings flag dead or redundant semantic
-/// knowledge that is sound to compile but almost certainly a mistake.
+/// knowledge that is sound to compile but almost certainly a mistake;
+/// notes carry informational reports (e.g. the verifier's SQO-A017
+/// catalog-dependency sets) that indicate nothing wrong at all.
 enum class Severity {
   kWarning = 0,
   kError = 1,
+  kNote = 2,
 };
 
 std::string_view SeverityName(Severity severity);
@@ -56,17 +59,23 @@ struct AnalysisReport {
   bool has_errors() const;
   size_t error_count() const;
   size_t warning_count() const;
+  size_t note_count() const;
   bool empty() const { return diagnostics.empty(); }
 
   /// The first error finding, or nullptr when the report is error-free.
   const Diagnostic* FirstError() const;
 
-  /// `"2 errors, 1 warning"`.
+  /// `"2 errors, 1 warning"` (`, 3 notes` appended only when present).
   std::string Summary() const;
 
   /// One line per diagnostic, in report order.
   std::string ToString() const;
 };
+
+/// The one rendering of a report every surface shares (shell `\check` and
+/// `\verify`, sqo_lint, sqo_verify): as text, the per-diagnostic lines
+/// followed by a `--` summary line; as JSON, DiagnosticsToJson verbatim.
+std::string RenderReport(const AnalysisReport& report, bool as_json = false);
 
 /// Serializes a report as a JSON document:
 /// `{"diagnostics":[{"severity":...,"code":...,...}, ...]}`. Uses the

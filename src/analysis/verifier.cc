@@ -1,0 +1,735 @@
+#include "analysis/verifier.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "common/interner.h"
+#include "datalog/unify.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "solver/constraint_set.h"
+
+namespace sqo::analysis {
+
+using datalog::Atom;
+using datalog::Clause;
+using datalog::CmpOp;
+using datalog::FreshVarGen;
+using datalog::Literal;
+using datalog::Matcher;
+using datalog::Query;
+using datalog::RelationKind;
+using datalog::RelationSignature;
+using datalog::Term;
+
+namespace {
+
+/// Backtracking budget per proof obligation / IC application sweep. The
+/// matcher prunes by predicate name, so real queries stay far below this;
+/// the cap only shields against adversarial self-joins.
+constexpr size_t kMatchFuel = 20000;
+
+/// Cap on head instantiations one clause may queue per chase round.
+constexpr size_t kMaxApplicationsPerClause = 32;
+
+/// Per-verification precomputed state: IC clauses renamed apart from every
+/// query variable (the `_IC` prefix is reserved for the verifier), each
+/// with its bindable-variable symbol set, plus the ASR definitions by
+/// relation name.
+struct VerifierContext {
+  const VerifierCatalog* catalog;
+  struct PreparedIc {
+    Clause clause;
+    std::string label;
+    sqo::SymbolSet bindable;
+  };
+  std::vector<PreparedIc> ics;
+  std::map<std::string, const core::AsrDefinition*> asr_by_name;
+
+  explicit VerifierContext(const VerifierCatalog& cat) : catalog(&cat) {
+    FreshVarGen rename("_IC");
+    if (cat.ics != nullptr) {
+      ics.reserve(cat.ics->size());
+      for (const Clause& ic : *cat.ics) {
+        PreparedIc prepared;
+        prepared.clause = ic.RenamedApart(&rename);
+        prepared.label = ic.label.empty() ? ic.ToString() : ic.label;
+        for (const std::string& v : prepared.clause.Variables()) {
+          prepared.bindable.insert(sqo::Intern(v));
+        }
+        ics.push_back(std::move(prepared));
+      }
+    }
+    if (cat.asrs != nullptr) {
+      for (const core::AsrDefinition& asr : *cat.asrs) {
+        asr_by_name[asr.name] = &asr;
+      }
+    }
+  }
+};
+
+/// One chase-derived (or query-given) predicate literal with the labels of
+/// every IC its derivation used (empty for literals of the query itself).
+struct ChaseFact {
+  Literal literal;
+  std::set<std::string> labels;
+};
+
+/// The saturated proof state for one query: predicate facts, the solver
+/// closure over every known comparison, and provenance labels. `unsat`
+/// marks a derived denial or an unsatisfiable comparison set — a query
+/// with no answers on any legal store entails everything.
+struct ChaseState {
+  std::vector<ChaseFact> facts;
+  std::vector<Literal> comparisons;  // positive comparison literals
+  solver::ConstraintSet cs;
+  std::set<std::string> cs_labels;  // ICs that contributed comparisons
+  bool unsat = false;
+  std::set<std::string> unsat_labels;
+  bool capped = false;
+};
+
+/// Recursive backtracking match of `body` against the chase facts and
+/// comparison closure (the chase-side analogue of the optimizer's residue
+/// remainder matching). `used` records the facts each solution consumed;
+/// `semantic_cmp` is set while a comparison is discharged by the solver
+/// closure rather than a syntactic comparison literal. Never mutates the
+/// state — callers queue derived heads and apply them after enumeration.
+void MatchBody(const std::vector<Literal>& body, size_t k, Matcher* matcher,
+               const ChaseState& st,
+               const solver::ConstraintSet::EqualityView& eq,
+               const sqo::SymbolSet& bindable, size_t* fuel,
+               std::vector<const ChaseFact*>* used, bool* semantic_cmp,
+               const std::function<void()>& on_match) {
+  if (*fuel == 0) return;
+  if (k == body.size()) {
+    on_match();
+    return;
+  }
+  const Literal& lit = body[k];
+  if (lit.atom.is_comparison()) {
+    for (const Literal& cl : st.comparisons) {
+      if (*fuel == 0) return;
+      --*fuel;
+      size_t mark = matcher->Mark();
+      if (matcher->MatchAtom(lit.atom, cl.atom)) {
+        MatchBody(body, k + 1, matcher, st, eq, bindable, fuel, used,
+                  semantic_cmp, on_match);
+      }
+      matcher->RollbackTo(mark);
+      Atom flipped = Atom::Comparison(datalog::FlipOp(lit.atom.op()),
+                                      lit.atom.rhs(), lit.atom.lhs());
+      if (flipped.op() != lit.atom.op() || flipped.lhs() != lit.atom.lhs()) {
+        mark = matcher->Mark();
+        if (matcher->MatchAtom(flipped, cl.atom)) {
+          MatchBody(body, k + 1, matcher, st, eq, bindable, fuel, used,
+                    semantic_cmp, on_match);
+        }
+        matcher->RollbackTo(mark);
+      }
+    }
+    // Semantic candidate: fully instantiated and entailed by the closure.
+    Atom inst = matcher->subst().ApplyToAtom(lit.atom);
+    std::vector<sqo::Symbol> vars;
+    inst.CollectVariables(&vars);
+    bool fully_bound = true;
+    for (sqo::Symbol v : vars) {
+      if (bindable.count(v) > 0) fully_bound = false;
+    }
+    if (fully_bound && eq.Implies(inst)) {
+      bool was = *semantic_cmp;
+      *semantic_cmp = true;
+      MatchBody(body, k + 1, matcher, st, eq, bindable, fuel, used,
+                semantic_cmp, on_match);
+      *semantic_cmp = was;
+    }
+    return;
+  }
+  for (const ChaseFact& fact : st.facts) {
+    if (*fuel == 0) return;
+    if (fact.literal.positive != lit.positive ||
+        !fact.literal.atom.is_predicate()) {
+      continue;
+    }
+    --*fuel;
+    size_t mark = matcher->Mark();
+    if (matcher->MatchLiteral(lit, fact.literal)) {
+      used->push_back(&fact);
+      MatchBody(body, k + 1, matcher, st, eq, bindable, fuel, used,
+                semantic_cmp, on_match);
+      used->pop_back();
+    }
+    matcher->RollbackTo(mark);
+  }
+}
+
+/// Obligation-side rule for §5.2 scope-reduction literals: a negative
+/// class/structure literal whose every attribute position is a local
+/// (existentially wiped) variable — `x not in Faculty` — is entailed by
+/// any negative fact on the same relation with an equal OID argument. The
+/// attribute FDs justify this: a class tuple with this OID would have to
+/// agree with the fact's already-refuted attribute values (the same axiom
+/// the optimizer's wipe applies; see DESIGN.md). Any pattern that binds an
+/// attribute position to something non-local must full-match instead.
+bool MatchNegativeByOid(const VerifierContext& ctx, const Literal& lit,
+                        const ChaseFact& fact, const sqo::SymbolSet& bindable,
+                        Matcher* matcher) {
+  if (lit.positive || !lit.atom.is_predicate() || lit.atom.args().empty() ||
+      fact.literal.atom.args().empty()) {
+    return false;
+  }
+  if (lit.atom.predicate() != fact.literal.atom.predicate()) return false;
+  const RelationSignature* sig =
+      ctx.catalog->schema->catalog.Find(lit.atom.predicate());
+  if (sig == nullptr || (sig->kind != RelationKind::kClass &&
+                         sig->kind != RelationKind::kStructure)) {
+    return false;
+  }
+  for (size_t i = 1; i < lit.atom.args().size(); ++i) {
+    const Term& t = lit.atom.args()[i];
+    if (!t.is_variable() || bindable.count(t.var_symbol()) == 0) return false;
+  }
+  return matcher->MatchTerm(lit.atom.args()[0], fact.literal.atom.args()[0]);
+}
+
+/// Adds `fact` unless an existing fact subsumes it (same literal modulo
+/// this fact's existential `_C`/`_E` variables). Returns true when added.
+bool AddFact(ChaseState* st, Literal literal, std::set<std::string> labels,
+             size_t max_facts) {
+  sqo::SymbolSet fresh;
+  {
+    std::vector<std::string> vars;
+    literal.atom.CollectVariables(&vars);
+    for (const std::string& v : vars) {
+      if (v.rfind("_C", 0) == 0 || v.rfind("_E", 0) == 0) {
+        fresh.insert(sqo::Intern(v));
+      }
+    }
+  }
+  for (const ChaseFact& existing : st->facts) {
+    if (existing.literal == literal) return false;
+    if (!fresh.empty() && existing.literal.positive == literal.positive &&
+        existing.literal.atom.is_predicate()) {
+      Matcher m = Matcher::Borrowing(&fresh);
+      if (m.MatchLiteral(literal, existing.literal)) return false;
+    }
+  }
+  if (st->facts.size() >= max_facts) {
+    st->capped = true;
+    return false;
+  }
+  st->facts.push_back(ChaseFact{std::move(literal), std::move(labels)});
+  return true;
+}
+
+/// Merges the labels of the facts a match consumed (plus the closure's
+/// labels when the solver discharged a comparison semantically — a
+/// conservative over-approximation: the dependency set may name more ICs
+/// than the minimal proof needs, which only makes a plan cache invalidate
+/// more eagerly).
+std::set<std::string> UsedLabels(const std::vector<const ChaseFact*>& used,
+                                 bool semantic_cmp, const ChaseState& st) {
+  std::set<std::string> labels;
+  for (const ChaseFact* fact : used) {
+    labels.insert(fact->labels.begin(), fact->labels.end());
+  }
+  if (semantic_cmp) {
+    labels.insert(st.cs_labels.begin(), st.cs_labels.end());
+  }
+  return labels;
+}
+
+/// Saturates the proof state of `query`: rounds of (a) ASR expansion —
+/// an asr(a, b) fact expands to its defining path with fresh correlated
+/// interior variables (the materialized-view equivalence, the reverse
+/// direction of the `asr_def` clause), (b) IC application — every clause
+/// whose body matches the state derives its instantiated head, and (c)
+/// functional-dependency equality propagation — two facts on a relation
+/// functional in some argument position with equal determining arguments
+/// force their determined arguments equal. Bounded by rounds and fact
+/// count; the bounds only ever lose completeness, never soundness.
+ChaseState ChaseQuery(const VerifierContext& ctx, const Query& query,
+                      const VerifierOptions& options) {
+  ChaseState st;
+  for (const Literal& lit : query.body) {
+    if (lit.atom.is_predicate()) {
+      st.facts.push_back(ChaseFact{lit, {}});
+    } else if (lit.positive && lit.atom.is_comparison()) {
+      st.comparisons.push_back(lit);
+    }
+  }
+  st.cs.AddComparisons(query.body);
+
+  FreshVarGen existential("_C");
+  FreshVarGen expansion("_E");
+  std::set<std::string> expanded;  // asr fact keys already expanded
+
+  for (size_t round = 0; round < options.max_chase_rounds; ++round) {
+    obs::Count("verify.chase_rounds");
+    if (!st.cs.Satisfiable()) {
+      st.unsat = true;
+      if (st.unsat_labels.empty()) st.unsat_labels = st.cs_labels;
+    }
+    if (st.unsat || st.capped) break;
+    bool changed = false;
+
+    // (a) ASR expansion.
+    const size_t fact_count = st.facts.size();
+    for (size_t fi = 0; fi < fact_count; ++fi) {
+      const ChaseFact fact = st.facts[fi];  // copy: st.facts may reallocate
+      if (!fact.literal.positive || !fact.literal.atom.is_predicate() ||
+          fact.literal.atom.arity() != 2) {
+        continue;
+      }
+      auto it = ctx.asr_by_name.find(fact.literal.atom.predicate());
+      if (it == ctx.asr_by_name.end()) continue;
+      if (!expanded.insert(fact.literal.atom.ToString()).second) continue;
+      const core::AsrDefinition& asr = *it->second;
+      std::set<std::string> labels = fact.labels;
+      labels.insert(asr.view.label.empty() ? "asr_def:" + asr.name
+                                           : asr.view.label);
+      std::vector<Term> joints;
+      joints.push_back(fact.literal.atom.args()[0]);
+      for (size_t p = 1; p < asr.path.size(); ++p) {
+        joints.push_back(expansion.NextVar());
+      }
+      joints.push_back(fact.literal.atom.args()[1]);
+      for (size_t p = 0; p < asr.path.size(); ++p) {
+        if (AddFact(&st,
+                    Literal::Pos(
+                        Atom::Pred(asr.path[p], {joints[p], joints[p + 1]})),
+                    labels, options.max_chase_literals)) {
+          changed = true;
+        }
+      }
+    }
+
+    // (b) IC application. Derived heads are queued during enumeration (the
+    // matcher iterates the state, which must not reallocate under it) and
+    // applied once the clause's sweep completes.
+    for (const VerifierContext::PreparedIc& ic : ctx.ics) {
+      if (st.unsat || st.capped) break;
+      const solver::ConstraintSet::EqualityView eq(st.cs);
+      struct PendingHead {
+        Literal literal;
+        std::set<std::string> labels;
+        bool denial = false;
+      };
+      std::vector<PendingHead> pending;
+      Matcher matcher = Matcher::Borrowing(&ic.bindable);
+      matcher.set_frozen_equiv(
+          [&eq](const Term& a, const Term& b) { return eq.Equal(a, b); });
+      std::vector<const ChaseFact*> used;
+      bool semantic_cmp = false;
+      size_t fuel = kMatchFuel;
+      MatchBody(ic.clause.body, 0, &matcher, st, eq, ic.bindable, &fuel, &used,
+                &semantic_cmp, [&]() {
+        if (pending.size() >= kMaxApplicationsPerClause) return;
+        PendingHead head;
+        head.labels = UsedLabels(used, semantic_cmp, st);
+        head.labels.insert(ic.label);
+        if (!ic.clause.head.has_value()) {
+          head.denial = true;
+        } else {
+          head.literal = matcher.subst().ApplyToLiteral(*ic.clause.head);
+        }
+        pending.push_back(std::move(head));
+      });
+      for (PendingHead& head : pending) {
+        if (head.denial) {
+          // Denial: the state is contradictory on every legal store.
+          st.unsat = true;
+          st.unsat_labels = std::move(head.labels);
+          changed = true;
+          break;
+        }
+        if (head.literal.atom.is_comparison()) {
+          Atom atom = head.literal.positive ? head.literal.atom
+                                            : head.literal.Complement().atom;
+          std::vector<sqo::Symbol> vars;
+          atom.CollectVariables(&vars);
+          bool fully_bound = true;
+          for (sqo::Symbol v : vars) {
+            if (ic.bindable.count(v) > 0) fully_bound = false;
+          }
+          if (!fully_bound) continue;  // existential comparison: no info
+          // `eq` is stale once the set mutates; ask the set directly here.
+          if (!st.cs.Implies(atom)) {
+            st.cs.Add(atom);
+            st.comparisons.push_back(Literal::Pos(atom));
+            st.cs_labels.insert(head.labels.begin(), head.labels.end());
+            changed = true;
+          }
+          continue;
+        }
+        // Predicate head: freshen head-only existential variables (§4.2
+        // footnote 1) consistently within this application.
+        datalog::Substitution freshen;
+        std::vector<std::string> vars;
+        head.literal.atom.CollectVariables(&vars);
+        for (const std::string& v : vars) {
+          if (ic.bindable.count(sqo::Intern(v)) > 0) {
+            freshen.Bind(v, existential.NextVar());
+          }
+        }
+        Literal derived = freshen.ApplyToLiteral(head.literal);
+        if (AddFact(&st, std::move(derived), std::move(head.labels),
+                    options.max_chase_literals)) {
+          changed = true;
+        }
+      }
+    }
+
+    // (c) FD equality propagation over positive facts. Queries go through
+    // the set itself, not an EqualityView: the loop mutates the set, which
+    // would invalidate any view mid-iteration.
+    if (!st.unsat && !st.capped) {
+      auto force_equal = [&](const Term& a, const Term& b,
+                             const std::string& pred,
+                             const std::set<std::string>& labels) {
+        if (st.cs.ImpliesEqual(a, b)) return;
+        st.cs.AddConstraint(CmpOp::kEq, a, b);
+        st.cs_labels.insert(labels.begin(), labels.end());
+        st.cs_labels.insert("fd:" + pred);
+        changed = true;
+      };
+      for (size_t i = 0; i < st.facts.size(); ++i) {
+        const Literal& a = st.facts[i].literal;
+        if (!a.positive || !a.atom.is_predicate()) continue;
+        const RelationSignature* sig =
+            ctx.catalog->schema->catalog.Find(a.atom.predicate());
+        if (sig == nullptr) continue;
+        for (size_t j = i + 1; j < st.facts.size(); ++j) {
+          const Literal& b = st.facts[j].literal;
+          if (!b.positive || !b.atom.is_predicate() ||
+              b.atom.predicate() != a.atom.predicate() ||
+              b.atom.arity() != a.atom.arity()) {
+            continue;
+          }
+          std::set<std::string> labels = st.facts[i].labels;
+          labels.insert(st.facts[j].labels.begin(), st.facts[j].labels.end());
+          switch (sig->kind) {
+            case RelationKind::kClass:
+            case RelationKind::kStructure:
+              if (a.atom.arity() >= 1 &&
+                  st.cs.ImpliesEqual(a.atom.args()[0], b.atom.args()[0])) {
+                for (size_t p = 1; p < a.atom.arity(); ++p) {
+                  force_equal(a.atom.args()[p], b.atom.args()[p], sig->name,
+                              labels);
+                }
+              }
+              break;
+            case RelationKind::kMethod: {
+              if (a.atom.arity() < 1) break;
+              bool inputs_equal = true;
+              for (size_t p = 0; p + 1 < a.atom.arity(); ++p) {
+                inputs_equal = inputs_equal &&
+                               st.cs.ImpliesEqual(a.atom.args()[p], b.atom.args()[p]);
+              }
+              if (inputs_equal) {
+                force_equal(a.atom.args()[a.atom.arity() - 1],
+                            b.atom.args()[b.atom.arity() - 1], sig->name,
+                            labels);
+              }
+              break;
+            }
+            case RelationKind::kRelationship:
+            case RelationKind::kAsr:
+              if (a.atom.arity() != 2) break;
+              if (sig->functional_src_to_dst &&
+                  st.cs.ImpliesEqual(a.atom.args()[0], b.atom.args()[0])) {
+                force_equal(a.atom.args()[1], b.atom.args()[1], sig->name,
+                            labels);
+              }
+              if (sig->functional_dst_to_src &&
+                  st.cs.ImpliesEqual(a.atom.args()[1], b.atom.args()[1])) {
+                force_equal(a.atom.args()[0], b.atom.args()[0], sig->name,
+                            labels);
+              }
+              break;
+          }
+        }
+      }
+    }
+
+    if (!changed) break;
+  }
+  if (!st.cs.Satisfiable()) {
+    st.unsat = true;
+    if (st.unsat_labels.empty()) st.unsat_labels = st.cs_labels;
+  }
+  obs::Count("verify.chase_facts", st.facts.size());
+  if (st.capped) obs::Count("verify.chase_capped");
+  return st;
+}
+
+/// Discharges `state ∧ ICs ⊨ ∃(bindable vars): conj`, with the bindable
+/// (existential) variables correlated across the conjuncts. On success
+/// merges the supporting labels into `deps`.
+bool EntailsConjunction(const VerifierContext& ctx, const ChaseState& st,
+                        const std::vector<Literal>& conj,
+                        const std::set<std::string>& bindable_names,
+                        std::set<std::string>* deps) {
+  if (st.unsat) {
+    deps->insert(st.unsat_labels.begin(), st.unsat_labels.end());
+    return true;
+  }
+  sqo::SymbolSet bindable;
+  for (const std::string& v : bindable_names) bindable.insert(sqo::Intern(v));
+  const solver::ConstraintSet::EqualityView eq(st.cs);
+
+  // Order predicates first so comparisons see maximal bindings; among
+  // predicates keep the given order (backtracking explores the rest).
+  std::vector<Literal> ordered;
+  for (const Literal& l : conj) {
+    if (l.atom.is_predicate()) ordered.push_back(l);
+  }
+  for (const Literal& l : conj) {
+    if (l.atom.is_comparison()) ordered.push_back(l);
+  }
+
+  bool proven = false;
+  size_t fuel = kMatchFuel;
+  std::function<void(size_t, Matcher*, std::vector<const ChaseFact*>*, bool*)>
+      search = [&](size_t k, Matcher* matcher,
+                   std::vector<const ChaseFact*>* used, bool* semantic_cmp) {
+        if (proven || fuel == 0) return;
+        if (k == ordered.size()) {
+          proven = true;
+          std::set<std::string> labels = UsedLabels(*used, *semantic_cmp, st);
+          deps->insert(labels.begin(), labels.end());
+          return;
+        }
+        const Literal& lit = ordered[k];
+        if (lit.atom.is_comparison()) {
+          // Negative comparisons complement to positive ones.
+          Atom atom = lit.positive ? lit.atom : lit.Complement().atom;
+          Atom inst = matcher->subst().ApplyToAtom(atom);
+          std::vector<sqo::Symbol> vars;
+          inst.CollectVariables(&vars);
+          bool fully_bound = true;
+          for (sqo::Symbol v : vars) {
+            if (bindable.count(v) > 0) fully_bound = false;
+          }
+          if (fully_bound && eq.Implies(inst)) {
+            bool was = *semantic_cmp;
+            *semantic_cmp = true;
+            search(k + 1, matcher, used, semantic_cmp);
+            *semantic_cmp = was;
+          }
+          return;
+        }
+        for (const ChaseFact& fact : st.facts) {
+          if (proven || fuel == 0) return;
+          if (fact.literal.positive != lit.positive ||
+              !fact.literal.atom.is_predicate()) {
+            continue;
+          }
+          --fuel;
+          size_t mark = matcher->Mark();
+          bool matched = matcher->MatchLiteral(lit, fact.literal);
+          if (!matched) {
+            matcher->RollbackTo(mark);
+            matched = MatchNegativeByOid(ctx, lit, fact, bindable, matcher);
+          }
+          if (matched) {
+            used->push_back(&fact);
+            search(k + 1, matcher, used, semantic_cmp);
+            used->pop_back();
+          }
+          matcher->RollbackTo(mark);
+        }
+      };
+
+  Matcher matcher = Matcher::Borrowing(&bindable);
+  matcher.set_frozen_equiv(
+      [&eq](const Term& a, const Term& b) { return eq.Equal(a, b); });
+  std::vector<const ChaseFact*> used;
+  bool semantic_cmp = false;
+  search(0, &matcher, &used, &semantic_cmp);
+  return proven;
+}
+
+/// The existential variables of an obligation: those of `conj` that occur
+/// neither in `anchor` (the query the obligation is checked against) nor
+/// in its head.
+std::set<std::string> LocalVars(const std::vector<Literal>& conj,
+                                const Query& anchor) {
+  const std::set<std::string> anchored = anchor.VariableSet();
+  std::set<std::string> local;
+  for (const Literal& lit : conj) {
+    std::vector<std::string> vars;
+    lit.atom.CollectVariables(&vars);
+    for (const std::string& v : vars) {
+      if (anchored.count(v) == 0) local.insert(v);
+    }
+  }
+  return local;
+}
+
+std::string DescribeConj(const std::vector<Literal>& conj) {
+  std::string out;
+  for (const Literal& lit : conj) {
+    if (!out.empty()) out += " & ";
+    out += lit.ToString();
+  }
+  return out;
+}
+
+}  // namespace
+
+AlternativeVerdict VerifyRewriting(const VerifierCatalog& catalog,
+                                   const Query& original,
+                                   const RewriteCandidate& candidate,
+                                   size_t index,
+                                   const VerifierOptions& options) {
+  obs::Span span("verify.alternative");
+  obs::Count("verify.alternatives");
+  AlternativeVerdict verdict;
+  verdict.index = index;
+  if (candidate.query == nullptr || catalog.schema == nullptr ||
+      catalog.ics == nullptr) {
+    verdict.sound = false;
+    verdict.replay_ok = false;
+    return verdict;
+  }
+  static const std::vector<core::DerivationStep> kNoSteps;
+  const std::vector<core::DerivationStep>& steps =
+      candidate.steps != nullptr ? *candidate.steps : kNoSteps;
+
+  VerifierContext ctx(catalog);
+  std::set<std::string> deps;
+
+  Query current = original;
+  ChaseState pre = ChaseQuery(ctx, current, options);
+  for (size_t si = 0; si < steps.size(); ++si) {
+    const core::DerivationStep& step = steps[si];
+    const Query after = core::ApplyDerivationStep(current, step);
+    ChaseState post = ChaseQuery(ctx, after, options);
+
+    auto obligation = [&](const std::vector<Literal>& conj, bool elimination,
+                          const ChaseState& state, const Query& anchor,
+                          const char* what) {
+      if (conj.empty()) return;
+      obs::Count("verify.obligations");
+      ObligationOutcome outcome;
+      outcome.step_index = si;
+      outcome.elimination = elimination;
+      outcome.description = "step " + std::to_string(si + 1) + " (" +
+                            std::string(core::StepKindName(step.kind)) +
+                            "): " + what + " " + DescribeConj(conj);
+      outcome.proven =
+          EntailsConjunction(ctx, state, conj, LocalVars(conj, anchor), &deps);
+      if (!outcome.proven) {
+        obs::Count("verify.obligations_unproven");
+        if (elimination) {
+          verdict.complete = false;
+        } else {
+          verdict.sound = false;
+        }
+      }
+      verdict.obligations.push_back(std::move(outcome));
+    };
+
+    if (step.kind == core::StepKind::kMergeVariables) {
+      obs::Count("verify.obligations");
+      ObligationOutcome outcome;
+      outcome.step_index = si;
+      outcome.description =
+          "step " + std::to_string(si + 1) + " (merge_variables): implied " +
+          step.merge_keep + " = " + step.merge_drop;
+      const solver::ConstraintSet::EqualityView eq(pre.cs);
+      outcome.proven = pre.unsat || eq.Equal(Term::Var(step.merge_keep),
+                                             Term::Var(step.merge_drop));
+      if (outcome.proven) {
+        deps.insert(pre.cs_labels.begin(), pre.cs_labels.end());
+      } else {
+        obs::Count("verify.obligations_unproven");
+        verdict.sound = false;
+      }
+      verdict.obligations.push_back(std::move(outcome));
+    }
+    obligation(step.added, /*elimination=*/false, pre, current, "added");
+    obligation(step.removed, /*elimination=*/true, post, after, "removed");
+
+    current = after;
+    pre = std::move(post);
+  }
+
+  // The replayed chain must reproduce the candidate (canonical form:
+  // insensitive to variable naming and body order).
+  verdict.replay_ok = current.CanonicalFingerprint() ==
+                      candidate.query->CanonicalFingerprint();
+  if (!verdict.replay_ok) verdict.sound = false;
+
+  verdict.dependencies.assign(deps.begin(), deps.end());
+  if (!verdict.sound) obs::Count("verify.unsound_alternatives");
+  span.Tag("index", static_cast<uint64_t>(index));
+  span.Tag("sound", verdict.sound ? "true" : "false");
+  span.Tag("obligations", static_cast<uint64_t>(verdict.obligations.size()));
+  return verdict;
+}
+
+void AppendVerdictDiagnostics(const AlternativeVerdict& verdict,
+                              std::string_view subject,
+                              const VerifierOptions& options,
+                              AnalysisReport* report) {
+  const std::string tag =
+      std::string(subject) + "#" + std::to_string(verdict.index);
+  if (!verdict.replay_ok) {
+    report->Add(Severity::kError, kCodeUnjustifiedRewrite, tag,
+                "replaying the recorded derivation steps does not reproduce "
+                "this alternative (derivation incomplete or divergent)",
+                "re-run the optimizer; a mismatch here means the recorded "
+                "steps and the emitted query disagree");
+  }
+  for (const ObligationOutcome& o : verdict.obligations) {
+    if (o.proven) continue;
+    if (o.elimination) {
+      report->Add(Severity::kWarning, kCodeUnprovenElimination, tag,
+                  "elimination not re-derivable within the bounded chase: " +
+                      o.description,
+                  "raise max_chase_rounds/max_chase_literals, or treat the "
+                  "alternative as unverified");
+    } else {
+      report->Add(Severity::kError, kCodeUnjustifiedRewrite, tag,
+                  "unjustified rewrite: " + o.description +
+                      " is not entailed by the query and the IC catalog");
+    }
+  }
+  if (options.dependency_report && !verdict.obligations.empty()) {
+    std::string deps;
+    for (const std::string& d : verdict.dependencies) {
+      if (!deps.empty()) deps += ", ";
+      deps += d;
+    }
+    report->Add(Severity::kNote, kCodeCatalogDependency, tag,
+                deps.empty() ? "proof uses no integrity constraints"
+                             : "proof depends on: " + deps);
+  }
+}
+
+VerificationResult VerifyRewritings(const VerifierCatalog& catalog,
+                                    const Query& original,
+                                    const std::vector<RewriteCandidate>& candidates,
+                                    std::string_view subject,
+                                    const VerifierOptions& options) {
+  obs::Span span("verify.rewritings");
+  VerificationResult result;
+  result.verdicts.reserve(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    AlternativeVerdict verdict =
+        VerifyRewriting(catalog, original, candidates[i], i, options);
+    AppendVerdictDiagnostics(verdict, subject, options, &result.report);
+    result.verdicts.push_back(std::move(verdict));
+  }
+  span.Tag("alternatives", static_cast<uint64_t>(result.verdicts.size()));
+  span.Tag("sound", result.all_sound() ? "true" : "false");
+  return result;
+}
+
+}  // namespace sqo::analysis

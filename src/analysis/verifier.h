@@ -1,0 +1,121 @@
+#ifndef SQO_ANALYSIS_VERIFIER_H_
+#define SQO_ANALYSIS_VERIFIER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "analysis/diagnostic.h"
+#include "datalog/clause.h"
+#include "sqo/asr.h"
+#include "sqo/derivation.h"
+#include "translate/schema_translator.h"
+
+namespace sqo::analysis {
+
+/// The inputs an alternative's proof may draw from: the translated schema
+/// (relation signatures and their functional dependencies), the full IC
+/// catalog as compiled clauses (schema-generated + user + derived — the
+/// CompiledSchema::all_ics order), and the registered ASR definitions
+/// (their view clauses justify path folds in both directions). Non-owning;
+/// `asrs` may be null when no ASRs are registered. Like sqo/residue.h,
+/// only data-layout sqo headers are consumed here, so the analysis layer
+/// stays independent of sqo_core.
+struct VerifierCatalog {
+  const translate::TranslatedSchema* schema = nullptr;
+  const std::vector<datalog::Clause>* ics = nullptr;
+  const std::vector<core::AsrDefinition>* asrs = nullptr;
+};
+
+/// One rewriting to certify: the final query and the derivation-step chain
+/// the optimizer recorded for it. Non-owning views into the caller's
+/// Rewriting / Alternative.
+struct RewriteCandidate {
+  const datalog::Query* query = nullptr;
+  const std::vector<core::DerivationStep>* steps = nullptr;
+};
+
+struct VerifierOptions {
+  /// Saturation bound for the chase: rounds of IC application, functional-
+  /// dependency equality propagation and ASR expansion. Every single
+  /// residue application is re-derivable in one round, so the default
+  /// comfortably covers optimizer chains of depth ≤ max_depth.
+  size_t max_chase_rounds = 4;
+
+  /// Hard cap on chase-derived literals per proof state; reaching it stops
+  /// saturation early (obligations may then go unproven, never unsound).
+  size_t max_chase_literals = 256;
+
+  /// Emit the SQO-A017 per-alternative catalog-dependency note.
+  bool dependency_report = true;
+};
+
+/// One discharged (or failed) proof obligation of a derivation step.
+struct ObligationOutcome {
+  size_t step_index = 0;
+  std::string description;  // e.g. "added salary > 40000 entailed by IC1"
+  bool proven = false;
+  bool elimination = false;  // true for removed-conjunct obligations (A016)
+};
+
+/// Verdict for one alternative. `sound` means every addition/merge/replay
+/// obligation was discharged (no SQO-A015); `complete` additionally means
+/// every elimination was re-derived (no SQO-A016). `dependencies` is the
+/// sorted, deduplicated set of IC labels the proof used — the invalidation
+/// key a plan cache must watch (SQO-A017).
+struct AlternativeVerdict {
+  size_t index = 0;
+  bool sound = true;
+  bool complete = true;
+  bool replay_ok = true;
+  std::vector<ObligationOutcome> obligations;
+  std::vector<std::string> dependencies;
+};
+
+/// Result of verifying a full alternative set.
+struct VerificationResult {
+  std::vector<AlternativeVerdict> verdicts;
+  AnalysisReport report;
+
+  bool all_sound() const {
+    for (const AlternativeVerdict& v : verdicts) {
+      if (!v.sound) return false;
+    }
+    return true;
+  }
+};
+
+/// Certifies one rewriting against the original query: replays the
+/// recorded steps, emits the per-step obligations
+/// ("pre-step query ∧ ICs ⊨ additions/merge", "post-step query ∧ ICs ⊨
+/// removals") and discharges them with a bounded chase over the IC clauses
+/// plus the solver's comparison closure. The final replayed query must
+/// match the candidate's canonical fingerprint. See DESIGN.md ("Rewrite
+/// soundness verifier") for the entailment semantics and its caveats.
+AlternativeVerdict VerifyRewriting(const VerifierCatalog& catalog,
+                                   const datalog::Query& original,
+                                   const RewriteCandidate& candidate,
+                                   size_t index,
+                                   const VerifierOptions& options = {});
+
+/// Renders a verdict as diagnostics: SQO-A015 errors for unjustified
+/// steps/replay mismatches, SQO-A016 warnings for unproven eliminations,
+/// and (when `dependency_report` is set) one SQO-A017 note listing the
+/// proof's IC dependencies. `subject` names the query; the alternative
+/// index is appended as `#<i>`.
+void AppendVerdictDiagnostics(const AlternativeVerdict& verdict,
+                              std::string_view subject,
+                              const VerifierOptions& options,
+                              AnalysisReport* report);
+
+/// Convenience loop over a full alternative set (index 0 is the original).
+VerificationResult VerifyRewritings(const VerifierCatalog& catalog,
+                                    const datalog::Query& original,
+                                    const std::vector<RewriteCandidate>& candidates,
+                                    std::string_view subject,
+                                    const VerifierOptions& options = {});
+
+}  // namespace sqo::analysis
+
+#endif  // SQO_ANALYSIS_VERIFIER_H_

@@ -232,6 +232,46 @@ std::vector<Atom> ConstraintSet::Project(
   return out;
 }
 
+bool ConstraintSet::EqualityView::ImpliesWithMissingConstant(
+    int u, CmpOp op, const sqo::Value& c) const {
+  // Constants are interned by semantic equality, so a missing `c` has no
+  // equal-valued node either: forced equality to it is impossible, and
+  // every other operator reduces to an order bound through some known
+  // constant node d with `u ? d` in the closure and `d ? c` by value.
+  if (op == CmpOp::kEq) return false;
+  auto le = [&](int x, int y) { return closure_.rel[x][y] != Rel::kNone; };
+  auto lt = [&](int x, int y) { return closure_.rel[x][y] == Rel::kLt; };
+  for (size_t d = 0; d < set_.nodes_.size(); ++d) {
+    const int di = static_cast<int>(d);
+    if (!set_.nodes_[d].is_constant()) continue;
+    auto dc = set_.nodes_[d].constant().Compare(c);
+    if (!dc.has_value()) continue;  // incomparable types
+    const bool below = (lt(u, di) && *dc <= 0) || (le(u, di) && *dc < 0);
+    const bool above = (lt(di, u) && *dc >= 0) || (le(di, u) && *dc > 0);
+    switch (op) {
+      case CmpOp::kLe:
+        if (le(u, di) && *dc <= 0) return true;
+        break;
+      case CmpOp::kLt:
+        if (below) return true;
+        break;
+      case CmpOp::kGe:
+        if (le(di, u) && *dc >= 0) return true;
+        break;
+      case CmpOp::kGt:
+        if (above) return true;
+        break;
+      case CmpOp::kNe:
+        if (below || above) return true;
+        if (closure_.ForcedEqual(u, di) && *dc != 0) return true;
+        break;
+      case CmpOp::kEq:
+        break;
+    }
+  }
+  return false;
+}
+
 bool ConstraintSet::EqualityView::Implies(const Atom& comparison) const {
   if (!comparison.is_comparison()) return false;
   if (closure_.unsat) return true;
@@ -253,6 +293,16 @@ bool ConstraintSet::EqualityView::Implies(const Atom& comparison) const {
   }
   int u = set_.FindNode(a);
   int v = set_.FindNode(b);
+  // A constant absent from the node table can still be entailed through the
+  // constants the closure does know; without this, implication would depend
+  // on which literals happened to be asserted verbatim.
+  if (u >= 0 && v < 0 && b.is_constant()) {
+    return ImpliesWithMissingConstant(u, comparison.op(), b.constant());
+  }
+  if (v >= 0 && u < 0 && a.is_constant()) {
+    return ImpliesWithMissingConstant(v, sqo::FlipOp(comparison.op()),
+                                      a.constant());
+  }
   // A term the set knows nothing about satisfies no nontrivial comparison.
   if (u < 0 || v < 0) return false;
   auto le = [&](int x, int y) { return closure_.rel[x][y] != Rel::kNone; };

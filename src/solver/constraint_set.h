@@ -136,6 +136,12 @@ class ConstraintSet::EqualityView {
   bool Implies(const datalog::Atom& comparison) const;
 
  private:
+  /// Discharges `node u op c` where `c` is a constant the set never
+  /// interned, by bridging through the constant nodes the closure does
+  /// know (x ≥ 30 entails x ≥ 21 even though 21 has no node).
+  bool ImpliesWithMissingConstant(int u, datalog::CmpOp op,
+                                  const sqo::Value& c) const;
+
   const ConstraintSet& set_;
   Closure closure_;
 };

@@ -1,0 +1,131 @@
+#ifndef SQO_SQO_DERIVATION_H_
+#define SQO_SQO_DERIVATION_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "datalog/clause.h"
+#include "datalog/substitution.h"
+
+namespace sqo::core {
+
+/// Transformation families of the Step-3 optimizer (§5 of the paper plus
+/// the ASR extension). Every rewriting the optimizer emits is a chain of
+/// these steps; the verifier re-derives each one as a proof obligation.
+enum class StepKind {
+  kAddRestriction,     // T1: implied comparison appended (§5.1/§5.2)
+  kMergeVariables,     // T4: key-implied OID merge, body-wide substitution (§5.3)
+  kScopeReduction,     // T2: ¬subclass membership appended (§5.2)
+  kIntroduceJoin,      // T5: implied predicate appended (§5.4)
+  kRemoveRestriction,  // T3: redundant comparison dropped
+  kEliminateJoin,      // T6: implied predicate dropped
+  kFoldAsr,            // T7: relationship path replaced by an ASR atom
+};
+
+std::string_view StepKindName(StepKind kind);
+
+/// One structured derivation step: the machine-readable record of what a
+/// transformation did to the query body, alongside the human-readable log
+/// line (`text`) that Rewriting::derivation has always carried. Header-only
+/// data layout (like sqo/residue.h) so the analysis layer can consume steps
+/// without linking sqo_core.
+struct DerivationStep {
+  StepKind kind = StepKind::kAddRestriction;
+
+  /// Literals appended to the body (as they appear in the rewritten query,
+  /// i.e. after freshening). Empty for pure removals and merges.
+  std::vector<datalog::Literal> added;
+
+  /// Literals erased from the body (as they appeared in the pre-step
+  /// query). Empty for pure additions and merges.
+  std::vector<datalog::Literal> removed;
+
+  /// kMergeVariables only: every occurrence of `merge_drop` was replaced by
+  /// `merge_keep`, justified by an implied equality merge_keep = merge_drop.
+  std::string merge_keep;
+  std::string merge_drop;
+
+  /// Provenance: the IC label / ASR name / implication witness that
+  /// justified the step (mirrors the bracketed suffix of `text`).
+  std::string source;
+
+  /// Human-readable log line; Rewriting::derivation keeps carrying these.
+  std::string text;
+};
+
+inline std::string_view StepKindName(StepKind kind) {
+  switch (kind) {
+    case StepKind::kAddRestriction:
+      return "add_restriction";
+    case StepKind::kMergeVariables:
+      return "merge_variables";
+    case StepKind::kScopeReduction:
+      return "scope_reduction";
+    case StepKind::kIntroduceJoin:
+      return "introduce_join";
+    case StepKind::kRemoveRestriction:
+      return "remove_restriction";
+    case StepKind::kEliminateJoin:
+      return "eliminate_join";
+    case StepKind::kFoldAsr:
+      return "fold_asr";
+  }
+  return "unknown";
+}
+
+/// Replays one step against `query`, reproducing exactly the body cleanup
+/// the optimizer applies when it emits a rewriting: merges substitute
+/// body-wide and drop comparisons made trivially true (X = X, X <= X,
+/// X >= X), removals erase the first occurrence of each recorded literal,
+/// additions append, and exact duplicate conjuncts are dropped (idempotent
+/// conjunction). The verifier replays every chain from the original query
+/// and cross-checks the result against the alternative's canonical
+/// fingerprint; any divergence between this function and
+/// Optimizer::Neighbors surfaces as an SQO-A015 diagnostic.
+inline datalog::Query ApplyDerivationStep(const datalog::Query& query,
+                                          const DerivationStep& step) {
+  using datalog::CmpOp;
+  using datalog::Literal;
+  using datalog::Query;
+
+  Query next = query;
+  if (step.kind == StepKind::kMergeVariables) {
+    datalog::Substitution merge;
+    merge.Bind(step.merge_drop, datalog::Term::Var(step.merge_keep));
+    next = query.Substituted(merge);
+    std::vector<Literal> kept;
+    kept.reserve(next.body.size());
+    for (Literal& l : next.body) {
+      if (l.positive && l.atom.is_comparison() && l.atom.lhs() == l.atom.rhs() &&
+          (l.atom.op() == CmpOp::kEq || l.atom.op() == CmpOp::kLe ||
+           l.atom.op() == CmpOp::kGe)) {
+        continue;
+      }
+      kept.push_back(std::move(l));
+    }
+    next.body = std::move(kept);
+  }
+  for (const Literal& removed : step.removed) {
+    for (size_t i = 0; i < next.body.size(); ++i) {
+      if (next.body[i] == removed) {
+        next.body.erase(next.body.begin() + static_cast<long>(i));
+        break;
+      }
+    }
+  }
+  for (const Literal& added : step.added) next.body.push_back(added);
+  std::vector<Literal> dedup;
+  dedup.reserve(next.body.size());
+  for (Literal& l : next.body) {
+    bool seen = false;
+    for (const Literal& d : dedup) seen = seen || d == l;
+    if (!seen) dedup.push_back(std::move(l));
+  }
+  next.body = std::move(dedup);
+  return next;
+}
+
+}  // namespace sqo::core
+
+#endif  // SQO_SQO_DERIVATION_H_

@@ -403,8 +403,10 @@ std::vector<Rewriting> Optimizer::Neighbors(const Rewriting& base, bool addition
   int counter = 0;
 
   // `kind` labels the transformation family for the metrics registry
-  // (optimizer.applied.<kind>), mirroring the paper's taxonomy.
-  auto emit = [&](Query next, std::string step, const char* kind) {
+  // (optimizer.applied.<kind>), mirroring the paper's taxonomy. The
+  // structured step must describe `next` exactly — the verifier replays it
+  // through ApplyDerivationStep and rejects any divergence (SQO-A015).
+  auto emit = [&](Query next, DerivationStep step, const char* kind) {
     // Identical conjuncts are idempotent; drop exact duplicates.
     std::vector<Literal> dedup;
     for (Literal& l : next.body) {
@@ -416,9 +418,20 @@ std::vector<Rewriting> Optimizer::Neighbors(const Rewriting& base, bool addition
     Rewriting r;
     r.query = std::move(next);
     r.derivation = base.derivation;
-    r.derivation.push_back(std::move(step));
+    r.derivation.push_back(step.text);
+    r.steps = base.steps;
+    r.steps.push_back(std::move(step));
     obs::Count(std::string("optimizer.applied.") + kind);
     out.push_back(std::move(r));
+  };
+
+  // Builds the common fields of a step record.
+  auto make_step = [](StepKind kind, std::string text, std::string source) {
+    DerivationStep step;
+    step.kind = kind;
+    step.text = std::move(text);
+    step.source = std::move(source);
+    return step;
   };
 
   // T1: restriction addition; T2: scope reduction; T4: merges; T5: join
@@ -463,9 +476,12 @@ std::vector<Rewriting> Optimizer::Neighbors(const Rewriting& base, bool addition
       if (options_.add_restrictions && interacts && !qcs.Implies(lit.atom)) {
         Query next = q;
         next.body.push_back(lit);
-        emit(std::move(next),
-             "add restriction " + lit.atom.ToString() + " [" + c.source + "]",
-             "restriction");
+        DerivationStep step = make_step(
+            StepKind::kAddRestriction,
+            "add restriction " + lit.atom.ToString() + " [" + c.source + "]",
+            c.source);
+        step.added.push_back(lit);
+        emit(std::move(next), std::move(step), "restriction");
       }
       // T4: key-implied variable merging (§5.3), for object variables.
       if (options_.merge_equal_variables && lit.atom.op() == CmpOp::kEq &&
@@ -502,10 +518,14 @@ std::vector<Rewriting> Optimizer::Neighbors(const Rewriting& base, bool addition
           }
         }
         next.body = std::move(dedup);
-        emit(std::move(next),
-             "merge " + drop + " into " + keep + " (implied " +
-                 lit.atom.ToString() + ") [" + c.source + "]",
-             "merge");
+        DerivationStep step = make_step(
+            StepKind::kMergeVariables,
+            "merge " + drop + " into " + keep + " (implied " +
+                lit.atom.ToString() + ") [" + c.source + "]",
+            c.source);
+        step.merge_keep = keep;
+        step.merge_drop = drop;
+        emit(std::move(next), std::move(step), "merge");
       }
       continue;
     }
@@ -553,9 +573,12 @@ std::vector<Rewriting> Optimizer::Neighbors(const Rewriting& base, bool addition
       if (present) continue;
       Query next = q;
       next.body.push_back(fresh);
-      emit(std::move(next),
-           "reduce scope: add " + fresh.ToString() + " [" + c.source + "]",
-           "scope_reduction");
+      DerivationStep step = make_step(
+          StepKind::kScopeReduction,
+          "reduce scope: add " + fresh.ToString() + " [" + c.source + "]",
+          c.source);
+      step.added.push_back(fresh);
+      emit(std::move(next), std::move(step), "scope_reduction");
       continue;
     }
 
@@ -643,9 +666,12 @@ std::vector<Rewriting> Optimizer::Neighbors(const Rewriting& base, bool addition
       Literal fresh = FreshenUnbound(lit, query_vars, &counter);
       Query next = q;
       next.body.push_back(fresh);
-      emit(std::move(next),
-           "introduce join " + fresh.atom.ToString() + " [" + c.source + "]",
-           "join_introduction");
+      DerivationStep step = make_step(
+          StepKind::kIntroduceJoin,
+          "introduce join " + fresh.atom.ToString() + " [" + c.source + "]",
+          c.source);
+      step.added.push_back(fresh);
+      emit(std::move(next), std::move(step), "join_introduction");
       continue;
     }
   }
@@ -672,10 +698,13 @@ std::vector<Rewriting> Optimizer::Neighbors(const Rewriting& base, bool addition
         via = "remaining restrictions plus implied consequences";
       }
       if (implied) {
-        emit(std::move(rest),
-             "remove redundant restriction " + lit.atom.ToString() + " (" + via +
-                 ")",
-             "restriction_removal");
+        DerivationStep step = make_step(
+            StepKind::kRemoveRestriction,
+            "remove redundant restriction " + lit.atom.ToString() + " (" + via +
+                ")",
+            via);
+        step.removed.push_back(lit);
+        emit(std::move(rest), std::move(step), "restriction_removal");
       }
     }
   }
@@ -767,9 +796,12 @@ std::vector<Rewriting> Optimizer::Neighbors(const Rewriting& base, bool addition
         }
       }
       if (implied) {
-        emit(std::move(rest),
-             "eliminate join " + lit.atom.ToString() + " [" + source + "]",
-             "join_elimination");
+        DerivationStep step = make_step(
+            StepKind::kEliminateJoin,
+            "eliminate join " + lit.atom.ToString() + " [" + source + "]",
+            source);
+        step.removed.push_back(lit);
+        emit(std::move(rest), std::move(step), "join_elimination");
       }
     }
   }
@@ -839,16 +871,21 @@ std::vector<Rewriting> Optimizer::Neighbors(const Rewriting& base, bool addition
             for (size_t j = 0; j < q.body.size(); ++j) {
               if (removed.count(j) == 0) next.body.push_back(q.body[j]);
             }
-            next.body.push_back(Literal::Pos(Atom::Pred(
+            Literal asr_lit = Literal::Pos(Atom::Pred(
                 asr.name,
                 {matcher->subst().Apply(Term::Var(asr.path_vars.front())),
-                 matcher->subst().Apply(Term::Var(asr.path_vars.back()))})));
-            emit(std::move(next),
-                 cut == k
-                     ? "fold path into access support relation " + asr.name
-                     : "fold path prefix (" + std::to_string(cut) +
-                           " hops) into access support relation " + asr.name,
-                 "asr");
+                 matcher->subst().Apply(Term::Var(asr.path_vars.back()))}));
+            next.body.push_back(asr_lit);
+            DerivationStep step = make_step(
+                StepKind::kFoldAsr,
+                cut == k
+                    ? "fold path into access support relation " + asr.name
+                    : "fold path prefix (" + std::to_string(cut) +
+                          " hops) into access support relation " + asr.name,
+                asr.name);
+            for (size_t j : removed) step.removed.push_back(q.body[j]);
+            step.added.push_back(std::move(asr_lit));
+            emit(std::move(next), std::move(step), "asr");
           }
           return;
         }

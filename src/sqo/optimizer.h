@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "datalog/clause.h"
 #include "solver/constraint_set.h"
+#include "sqo/derivation.h"
 #include "sqo/semantic_compiler.h"
 
 namespace sqo::core {
@@ -42,10 +43,13 @@ struct OptimizerOptions {
 };
 
 /// One semantically equivalent rewriting of the input query, with a
-/// human-readable log of the transformations that produced it.
+/// human-readable log of the transformations that produced it and the
+/// structured step records the verifier replays (`steps[i].text ==
+/// derivation[i]`; both are empty for the unmodified original).
 struct Rewriting {
   datalog::Query query;
   std::vector<std::string> derivation;
+  std::vector<DerivationStep> steps;
 };
 
 /// The result of Step 3. If `contradiction` is set the query is

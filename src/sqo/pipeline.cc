@@ -280,6 +280,7 @@ sqo::Result<PipelineResult> Pipeline::OptimizeParsed(
       Alternative alt;
       alt.datalog = rewriting.query;
       alt.derivation = rewriting.derivation;
+      alt.steps = rewriting.steps;
       if (rewriting.derivation.empty()) {
         // The original: Step 4 is the identity.
         alt.oql_ok = true;
@@ -325,6 +326,34 @@ sqo::Result<PipelineResult> Pipeline::OptimizeParsed(
   }
   span.Tag("alternatives", static_cast<uint64_t>(result.alternatives.size()));
   return result;
+}
+
+sqo::Result<analysis::VerificationResult> Pipeline::Verify(
+    const PipelineResult& result, analysis::VerifierOptions options) const {
+  obs::Span span("pipeline.verify");
+  SQO_FAILPOINT("pipeline.verify");
+  analysis::VerifierCatalog catalog;
+  catalog.schema = schema_.get();
+  catalog.ics = &compiled_.all_ics;
+  catalog.asrs = &compiled_.asrs;
+
+  analysis::VerificationResult verification;
+  verification.verdicts.reserve(result.alternatives.size());
+  const std::string subject = result.original_datalog.name;
+  for (size_t i = 0; i < result.alternatives.size(); ++i) {
+    SQO_RETURN_IF_ERROR(CheckGovernance("pipeline.verify"));
+    analysis::RewriteCandidate candidate;
+    candidate.query = &result.alternatives[i].datalog;
+    candidate.steps = &result.alternatives[i].steps;
+    analysis::AlternativeVerdict verdict = analysis::VerifyRewriting(
+        catalog, result.original_datalog, candidate, i, options);
+    analysis::AppendVerdictDiagnostics(verdict, subject, options,
+                                       &verification.report);
+    verification.verdicts.push_back(std::move(verdict));
+  }
+  span.Tag("alternatives", static_cast<uint64_t>(verification.verdicts.size()));
+  span.Tag("sound", verification.all_sound() ? "true" : "false");
+  return verification;
 }
 
 }  // namespace sqo::core

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "analysis/analyzer.h"
+#include "analysis/verifier.h"
 #include "common/context.h"
 #include "common/status.h"
 #include "obs/eval_stats.h"
@@ -76,6 +77,11 @@ struct PipelineOptions {
 struct Alternative {
   datalog::Query datalog;
   std::vector<std::string> derivation;
+
+  /// Structured form of `derivation` (parallel vectors; `steps[i].text ==
+  /// derivation[i]`). Replayed by the rewrite verifier and consumed by
+  /// profile attribution; empty for the original and degraded fallbacks.
+  std::vector<DerivationStep> steps;
 
   bool oql_ok = false;
   oql::SelectQuery oql;   // meaningful iff oql_ok
@@ -183,6 +189,17 @@ class Pipeline {
   /// optimized independently and contradictory disjuncts are eliminated.
   sqo::Result<DisjunctiveResult> OptimizeDisjunctiveText(
       std::string_view oql_text, const CostModel* cost_model = nullptr) const;
+
+  /// Certifies every alternative of `result` against its original: replays
+  /// each recorded derivation chain, emits per-step proof obligations and
+  /// discharges them with a bounded chase over this pipeline's IC catalog
+  /// (analysis::VerifyRewriting). Verdicts land in the returned
+  /// VerificationResult; SQO-A015/A016/A017 diagnostics in its report.
+  /// Alternative 0 (the original) always verifies trivially. Honors an
+  /// installed ExecutionContext deadline between alternatives.
+  sqo::Result<analysis::VerificationResult> Verify(
+      const PipelineResult& result,
+      analysis::VerifierOptions options = {}) const;
 
   const translate::TranslatedSchema& schema() const { return *schema_; }
   const CompiledSchema& compiled() const { return compiled_; }

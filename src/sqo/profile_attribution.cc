@@ -9,14 +9,22 @@ using datalog::Literal;
 
 namespace {
 
-/// First derivation step whose text mentions the literal's atom. The
-/// optimizer formats every step around the atom's ToString (see
-/// Optimizer::Neighbors), so substring match recovers the provenance
-/// without a side-channel.
-const std::string* FindStep(const std::vector<std::string>& derivation,
-                            const Literal& lit) {
+/// First derivation step that introduced (or removed) the literal. The
+/// structured step record is authoritative — exact literal equality against
+/// its added/removed lists; the text-substring fallback covers alternatives
+/// recorded before steps were structured (e.g. catalogs round-tripped
+/// through older persistence).
+const std::string* FindStep(const Alternative& alt, const Literal& lit) {
+  for (const DerivationStep& step : alt.steps) {
+    const auto& side = step.removed;
+    if (std::find(step.added.begin(), step.added.end(), lit) !=
+            step.added.end() ||
+        std::find(side.begin(), side.end(), lit) != side.end()) {
+      return &step.text;
+    }
+  }
   const std::string text = lit.atom.ToString();
-  for (const std::string& step : derivation) {
+  for (const std::string& step : alt.derivation) {
     if (step.find(text) != std::string::npos) return &step;
   }
   return nullptr;
@@ -40,7 +48,7 @@ void AnnotateProfile(const PipelineResult& result, size_t alt_index,
       node.attribution = "original";
       continue;
     }
-    const std::string* step = FindStep(alt.derivation, lit);
+    const std::string* step = FindStep(alt, lit);
     node.attribution = step != nullptr ? *step : "derived";
   }
 
@@ -51,7 +59,7 @@ void AnnotateProfile(const PipelineResult& result, size_t alt_index,
       continue;
     }
     std::string entry = lit.ToString();
-    if (const std::string* step = FindStep(alt.derivation, lit)) {
+    if (const std::string* step = FindStep(alt, lit)) {
       entry += "  <- " + *step;
     }
     profile->eliminated.push_back(std::move(entry));

@@ -1,0 +1,95 @@
+#ifndef SQO_WORKLOAD_FUZZ_H_
+#define SQO_WORKLOAD_FUZZ_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/verifier.h"
+#include "common/status.h"
+#include "sqo/pipeline.h"
+#include "sqo/semantic_compiler.h"
+
+namespace sqo::workload {
+
+/// Differential fuzz oracle for the rewrite verifier (and, transitively,
+/// the optimizer): seeded random schemas-with-extra-ICs, stores and OQL
+/// queries over the university workload; every produced alternative is
+/// evaluated against the original on an IC-satisfying store AND certified
+/// by the static verifier, and the two oracles are cross-checked.
+///
+///   verifier says sound, answers differ  -> mismatch (hard failure: one
+///                                           of optimizer/verifier is wrong)
+///   answers agree, verifier rejects      -> incompleteness counter (the
+///                                           bounded chase missed a proof)
+struct FuzzConfig {
+  uint64_t seed = 20260808;
+  size_t iterations = 3;            // independent schema/IC/store variants
+  size_t queries_per_iteration = 6; // random OQL queries per variant
+  analysis::VerifierOptions verifier;
+};
+
+struct FuzzMismatch {
+  uint64_t iteration_seed = 0;
+  std::string oql;
+  size_t alternative = 0;
+  std::string detail;
+};
+
+struct FuzzReport {
+  size_t iterations = 0;
+  size_t queries = 0;
+  size_t alternatives = 0;
+  size_t mismatches = 0;        // sound-but-wrong-answers (hard failure)
+  size_t incompleteness = 0;    // right-answers-but-rejected
+  size_t verifier_rejects = 0;  // alternatives the verifier refused
+  std::vector<FuzzMismatch> mismatch_details;  // capped at 8
+
+  bool ok() const { return mismatches == 0; }
+  std::string Summary() const;
+};
+
+/// Runs the differential fuzz loop. Per iteration: derives a generator
+/// config and up to two extra (generator-consistent) ICs from the seed,
+/// builds a pipeline and a populated store, generates random OQL, and
+/// cross-checks every alternative. Deterministic for a fixed config.
+sqo::Result<FuzzReport> RunDifferentialFuzz(const FuzzConfig& config);
+
+/// Intentional corruption of one compiled residue, used to demonstrate
+/// that both oracles catch an unsound semantic catalog.
+enum class ResidueCorruption {
+  /// Strengthens a comparison guard constant (e.g. the §2 Example-1
+  /// invariant `Salary > 40K ←` on faculty becomes `Salary > 80K ←`), so
+  /// restriction introduction adds an over-strong restriction.
+  kMutateGuard,
+
+  /// Drops a remainder literal from a residue with a negated-class head
+  /// (a scope-reduction contrapositive), so the reduction fires without
+  /// its precondition.
+  kDropRemainderLiteral,
+};
+
+std::string_view ResidueCorruptionName(ResidueCorruption kind);
+
+/// Applies `kind` to one deterministically chosen (by `seed`) residue of
+/// `compiled`. Returns a description of the mutation, or kNotFound when no
+/// residue of the required shape exists.
+sqo::Result<std::string> CorruptResidue(core::CompiledSchema* compiled,
+                                        uint64_t seed, ResidueCorruption kind);
+
+/// Outcome of optimizing the university seed queries through a corrupted
+/// catalog while verifying against the clean one and evaluating on a
+/// populated store. A healthy verifier/oracle pair has both flags set
+/// (each independently detects the corruption).
+struct CorruptionProbe {
+  std::string description;       // what CorruptResidue changed
+  size_t alternatives = 0;       // non-original alternatives examined
+  bool verifier_flagged = false; // some alternative drew SQO-A015
+  bool answers_differ = false;   // some alternative's answers diverged
+};
+
+sqo::Result<CorruptionProbe> ProbeCorruptedResidue(uint64_t seed,
+                                                   ResidueCorruption kind);
+
+}  // namespace sqo::workload
+
+#endif  // SQO_WORKLOAD_FUZZ_H_

@@ -1,0 +1,240 @@
+#include "analysis/verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sqo/derivation.h"
+#include "sqo/pipeline.h"
+#include "workload/university.h"
+
+namespace sqo::analysis {
+namespace {
+
+using core::DerivationStep;
+using core::StepKind;
+using datalog::Atom;
+using datalog::CmpOp;
+using datalog::Literal;
+using datalog::Term;
+
+// One compiled university pipeline for the whole suite: Create runs ODL
+// translation, IC inference and residue compilation, which dominates the
+// per-test cost.
+const core::Pipeline& UniversityPipeline() {
+  static const core::Pipeline* pipeline = [] {
+    auto p = workload::MakeUniversityPipeline();
+    if (!p.ok()) {
+      ADD_FAILURE() << p.status().ToString();
+      std::abort();
+    }
+    return new core::Pipeline(std::move(*p));
+  }();
+  return *pipeline;
+}
+
+VerifierCatalog Catalog() {
+  const core::Pipeline& p = UniversityPipeline();
+  return VerifierCatalog{&p.schema(), &p.compiled().all_ics,
+                         &p.compiled().asrs};
+}
+
+bool HasCode(const AnalysisReport& report, std::string_view code) {
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+// Translates `oql` and returns the original DATALOG query (alternative 0).
+datalog::Query Translate(const std::string& oql) {
+  auto result = UniversityPipeline().OptimizeText(oql);
+  if (!result.ok()) {
+    ADD_FAILURE() << result.status().ToString();
+    std::abort();
+  }
+  return result->original_datalog;
+}
+
+// The age variable of the (unique) faculty atom in `query` — argument
+// position 2 of the faculty relation (oid, name, age, address, salary,
+// rank).
+Term FacultyAgeVar(const datalog::Query& query) {
+  for (const Literal& l : query.body) {
+    if (l.positive && l.atom.is_predicate() &&
+        l.atom.predicate() == "faculty") {
+      return l.atom.args()[2];
+    }
+  }
+  ADD_FAILURE() << "no faculty atom in " << query.ToString();
+  std::abort();
+}
+
+// The first comparison literal of `query`'s body (the translated where
+// guard).
+Literal GuardLiteral(const datalog::Query& query) {
+  for (const Literal& l : query.body) {
+    if (l.positive && l.atom.is_comparison()) return l;
+  }
+  ADD_FAILURE() << "no comparison in " << query.ToString();
+  std::abort();
+}
+
+DerivationStep AddComparison(Term lhs, CmpOp op, double c) {
+  DerivationStep step;
+  step.kind = StepKind::kAddRestriction;
+  step.added = {Literal::Pos(
+      Atom::Comparison(op, std::move(lhs), Term::Double(c)))};
+  step.source = "test";
+  step.text = "add_restriction (test)";
+  return step;
+}
+
+DerivationStep RemoveLiteral(Literal victim) {
+  DerivationStep step;
+  step.kind = StepKind::kRemoveRestriction;
+  step.removed = {std::move(victim)};
+  step.source = "test";
+  step.text = "remove_restriction (test)";
+  return step;
+}
+
+constexpr const char* kSalaryScan =
+    "select f.name from f in Faculty where f.salary > 30000";
+
+// Every rewriting the optimizer emits for the paper's seed corpus must
+// prove sound: zero SQO-A015. (SQO-A016 warnings are allowed — partial ASR
+// folds are justified by projection semantics the chase does not model.)
+TEST(VerifierTest, SeedCorpusVerifiesSound) {
+  const core::Pipeline& pipeline = UniversityPipeline();
+  const std::string queries[] = {
+      workload::QueryExample2(), workload::QueryScopeReduction(),
+      workload::QueryJoinElimination(), workload::QueryAsrDirect(),
+      workload::QueryAsrIndirect()};
+  size_t alternatives = 0;
+  for (const std::string& oql : queries) {
+    auto result = pipeline.OptimizeText(oql);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    auto verification = pipeline.Verify(*result);
+    ASSERT_TRUE(verification.ok()) << verification.status().ToString();
+    EXPECT_TRUE(verification->all_sound()) << verification->report.ToString();
+    EXPECT_EQ(verification->report.error_count(), 0u)
+        << verification->report.ToString();
+    alternatives += verification->verdicts.size();
+  }
+  EXPECT_GT(alternatives, 5u);  // more than just the five originals
+}
+
+// IC4 (faculty age ≥ 30) justifies adding Age >= 25; the proof must cite
+// its IC. This also regression-tests entailment against constants the
+// chase never asserted (25 has no solver node — only 30 does).
+TEST(VerifierTest, JustifiedRestrictionProves) {
+  const datalog::Query original = Translate(kSalaryScan);
+  std::vector<DerivationStep> steps = {
+      AddComparison(FacultyAgeVar(original), CmpOp::kGe, 25)};
+  const datalog::Query rewritten =
+      core::ApplyDerivationStep(original, steps[0]);
+  AlternativeVerdict verdict = VerifyRewriting(
+      Catalog(), original, RewriteCandidate{&rewritten, &steps}, 1);
+  EXPECT_TRUE(verdict.sound);
+  EXPECT_TRUE(verdict.complete);
+  EXPECT_TRUE(verdict.replay_ok);
+  EXPECT_FALSE(verdict.dependencies.empty());
+}
+
+// Age >= 60 is NOT entailed by the catalog (IC4 only gives >= 30): an
+// unjustified addition strengthens the query and must draw SQO-A015.
+TEST(VerifierTest, UnjustifiedRestrictionIsA015) {
+  const datalog::Query original = Translate(kSalaryScan);
+  std::vector<DerivationStep> steps = {
+      AddComparison(FacultyAgeVar(original), CmpOp::kGe, 60)};
+  const datalog::Query rewritten =
+      core::ApplyDerivationStep(original, steps[0]);
+  AlternativeVerdict verdict = VerifyRewriting(
+      Catalog(), original, RewriteCandidate{&rewritten, &steps}, 1);
+  EXPECT_FALSE(verdict.sound);
+
+  AnalysisReport report;
+  AppendVerdictDiagnostics(verdict, "test-query", VerifierOptions{}, &report);
+  EXPECT_TRUE(HasCode(report, kCodeUnjustifiedRewrite)) << report.ToString();
+  EXPECT_GE(report.error_count(), 1u);
+}
+
+// Removing the user's Age >= 50 guard is unprovable (the catalog only
+// re-derives >= 30): the rewriting may lose answers, which is the
+// completeness direction — a warning (SQO-A016), not unsoundness.
+TEST(VerifierTest, UnprovenEliminationIsA016Warning) {
+  const datalog::Query original =
+      Translate("select f.name from f in Faculty where f.age >= 50");
+  std::vector<DerivationStep> steps = {RemoveLiteral(GuardLiteral(original))};
+  const datalog::Query rewritten =
+      core::ApplyDerivationStep(original, steps[0]);
+  AlternativeVerdict verdict = VerifyRewriting(
+      Catalog(), original, RewriteCandidate{&rewritten, &steps}, 1);
+  EXPECT_TRUE(verdict.sound);
+  EXPECT_FALSE(verdict.complete);
+
+  AnalysisReport report;
+  AppendVerdictDiagnostics(verdict, "test-query", VerifierOptions{}, &report);
+  EXPECT_TRUE(HasCode(report, kCodeUnprovenElimination)) << report.ToString();
+  EXPECT_EQ(report.error_count(), 0u) << report.ToString();
+  EXPECT_GE(report.warning_count(), 1u);
+}
+
+// Removing Salary > 30000 IS provable: IC1 re-derives Salary > 40000 on
+// any faculty scan, which implies the dropped guard.
+TEST(VerifierTest, ProvenEliminationIsComplete) {
+  const datalog::Query original = Translate(kSalaryScan);
+  std::vector<DerivationStep> steps = {RemoveLiteral(GuardLiteral(original))};
+  const datalog::Query rewritten =
+      core::ApplyDerivationStep(original, steps[0]);
+  AlternativeVerdict verdict = VerifyRewriting(
+      Catalog(), original, RewriteCandidate{&rewritten, &steps}, 1);
+  EXPECT_TRUE(verdict.sound);
+  EXPECT_TRUE(verdict.complete) << "IC1 should re-derive the dropped guard";
+  EXPECT_FALSE(verdict.dependencies.empty());
+}
+
+// A candidate whose recorded chain does not reproduce its query is a
+// provenance lie: replay divergence is SQO-A015 regardless of whether each
+// individual step proved.
+TEST(VerifierTest, ReplayMismatchIsA015) {
+  const datalog::Query original = Translate(kSalaryScan);
+  std::vector<DerivationStep> steps = {
+      AddComparison(FacultyAgeVar(original), CmpOp::kGe, 25)};
+  // Candidate claims the step chain but presents the unmodified query.
+  AlternativeVerdict verdict = VerifyRewriting(
+      Catalog(), original, RewriteCandidate{&original, &steps}, 1);
+  EXPECT_FALSE(verdict.replay_ok);
+  EXPECT_FALSE(verdict.sound);
+
+  AnalysisReport report;
+  AppendVerdictDiagnostics(verdict, "test-query", VerifierOptions{}, &report);
+  EXPECT_TRUE(HasCode(report, kCodeUnjustifiedRewrite)) << report.ToString();
+}
+
+// SQO-A017 catalog-dependency notes (the plan-cache invalidation key) are
+// emitted per alternative by default and suppressed by dependency_report.
+TEST(VerifierTest, DependencyReportToggle) {
+  const core::Pipeline& pipeline = UniversityPipeline();
+  auto result = pipeline.OptimizeText(workload::QueryScopeReduction());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_GT(result->alternatives.size(), 1u);
+
+  auto with_notes = pipeline.Verify(*result);
+  ASSERT_TRUE(with_notes.ok()) << with_notes.status().ToString();
+  EXPECT_GT(with_notes->report.note_count(), 0u)
+      << with_notes->report.ToString();
+  EXPECT_TRUE(HasCode(with_notes->report, kCodeCatalogDependency));
+
+  VerifierOptions quiet;
+  quiet.dependency_report = false;
+  auto without_notes = pipeline.Verify(*result, quiet);
+  ASSERT_TRUE(without_notes.ok()) << without_notes.status().ToString();
+  EXPECT_EQ(without_notes->report.note_count(), 0u)
+      << without_notes->report.ToString();
+}
+
+}  // namespace
+}  // namespace sqo::analysis

@@ -295,5 +295,47 @@ TEST_P(ProjectionSweep, ProjectionPreservesKeptImplications) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ProjectionSweep, ::testing::Range(1, 25));
 
+// The view must answer implications against constants it never interned —
+// `Age >= 30` entails `Age >= 21` even though 21 has no node. (Regression:
+// the rewrite verifier's chase skips asserting already-implied guards, so
+// its entailment checks routinely compare against absent constants.)
+TEST(EqualityViewTest, ImpliesBridgesMissingConstants) {
+  ConstraintSet cs;
+  cs.Add(CmpC("Age", CmpOp::kGe, 30));
+  const ConstraintSet::EqualityView view(cs);
+  EXPECT_TRUE(view.Implies(CmpC("Age", CmpOp::kGe, 21)));
+  EXPECT_TRUE(view.Implies(CmpC("Age", CmpOp::kGt, 21)));
+  EXPECT_TRUE(view.Implies(CmpC("Age", CmpOp::kNe, 21)));
+  // Age = 30 is still possible, so strictly-above-30 and above-31 fail.
+  EXPECT_FALSE(view.Implies(CmpC("Age", CmpOp::kGe, 31)));
+  EXPECT_FALSE(view.Implies(CmpC("Age", CmpOp::kGt, 30)));
+  // No equal-valued node can exist for a missing constant.
+  EXPECT_FALSE(view.Implies(CmpC("Age", CmpOp::kEq, 21)));
+  // Constant-on-the-left comparisons flip onto the same path.
+  EXPECT_TRUE(view.Implies(
+      Atom::Comparison(CmpOp::kLe, Term::Double(21), Term::Var("Age"))));
+  // Agreement with the exact (copy-and-negate) decision procedure.
+  for (CmpOp op : {CmpOp::kLt, CmpOp::kLe, CmpOp::kGt, CmpOp::kGe, CmpOp::kEq,
+                   CmpOp::kNe}) {
+    for (double c : {0.0, 21.0, 29.5, 30.0, 31.0, 100.0}) {
+      EXPECT_EQ(view.Implies(CmpC("Age", op, c)),
+                cs.Implies(CmpC("Age", op, c)))
+          << static_cast<int>(op) << " " << c;
+    }
+  }
+}
+
+TEST(EqualityViewTest, MissingConstantUpperBound) {
+  ConstraintSet cs;
+  cs.Add(CmpC("Salary", CmpOp::kLt, 40000));
+  const ConstraintSet::EqualityView view(cs);
+  EXPECT_TRUE(view.Implies(CmpC("Salary", CmpOp::kLt, 50000)));
+  EXPECT_TRUE(view.Implies(CmpC("Salary", CmpOp::kLe, 40001)));
+  EXPECT_TRUE(view.Implies(CmpC("Salary", CmpOp::kNe, 40001)));
+  EXPECT_FALSE(view.Implies(CmpC("Salary", CmpOp::kLt, 39999)));
+  // A variable the set has never seen satisfies nothing.
+  EXPECT_FALSE(view.Implies(CmpC("Other", CmpOp::kLt, 50000)));
+}
+
 }  // namespace
 }  // namespace sqo::solver

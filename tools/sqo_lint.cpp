@@ -15,8 +15,14 @@
 //   --query  "<text>"  also lint a DATALOG query (repeatable)
 //   --oql    "<text>"  also lint an OQL query after translation (repeatable)
 //   --no-residues      skip residue compilation / dead-residue detection
+//   --profile "<oql>"  execute the query on a populated workload store and
+//                      lint its profile (SQO-A014; workload mode only,
+//                      repeatable)
+//   --deadline-ms N    lint this governance configuration (with
+//   --fail-closed      --fail-closed, SQO-A011 fires; see GovernanceOptions)
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -25,8 +31,10 @@
 #include "analysis/analyzer.h"
 #include "analysis/diagnostic.h"
 #include "datalog/parser.h"
+#include "engine/database.h"
 #include "odl/parser.h"
 #include "oql/parser.h"
+#include "sqo/pipeline.h"
 #include "sqo/semantic_compiler.h"
 #include "translate/query_translator.h"
 #include "translate/schema_translator.h"
@@ -41,6 +49,9 @@ struct Options {
   std::string ic_path;
   std::vector<std::string> datalog_queries;
   std::vector<std::string> oql_queries;
+  std::vector<std::string> profile_queries;
+  uint64_t deadline_ms = 0;
+  bool fail_closed = false;
   bool json = false;
   bool residues = true;
 };
@@ -49,7 +60,9 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (<schema.odl> <ics.dl> | --workload university|company)\n"
                "          [--json] [--no-residues] [--query <datalog>]... "
-               "[--oql <oql>]...\n",
+               "[--oql <oql>]...\n"
+               "          [--profile <oql>]... [--deadline-ms N] "
+               "[--fail-closed]\n",
                argv0);
   return 2;
 }
@@ -98,6 +111,16 @@ int main(int argc, char** argv) {
       const char* v = next("--oql");
       if (v == nullptr) return 2;
       opts.oql_queries.push_back(v);
+    } else if (arg == "--profile") {
+      const char* v = next("--profile");
+      if (v == nullptr) return 2;
+      opts.profile_queries.push_back(v);
+    } else if (arg == "--deadline-ms") {
+      const char* v = next("--deadline-ms");
+      if (v == nullptr) return 2;
+      opts.deadline_ms = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--fail-closed") {
+      opts.fail_closed = true;
     } else if (arg == "--help" || arg == "-h") {
       Usage(argv[0]);
       return 0;
@@ -192,12 +215,41 @@ int main(int argc, char** argv) {
     report.Append(sqo::analysis::AnalyzeQuery(*translated, tq->query));
   }
 
-  if (opts.json) {
-    std::printf("%s\n", sqo::analysis::DiagnosticsToJson(report).c_str());
-  } else {
-    std::fputs(report.ToString().c_str(), stdout);
-    std::printf("%s\n", report.Summary().c_str());
+  // Pass 7: governance-configuration lint (SQO-A011), when configured.
+  if (opts.deadline_ms > 0 || opts.fail_closed) {
+    report.Append(sqo::analysis::AnalyzeGovernance(opts.deadline_ms > 0,
+                                                   !opts.fail_closed));
   }
+
+  // Pass 10: executed-profile lint (SQO-A014). Needs a populated store, so
+  // it is available in workload mode only.
+  if (!opts.profile_queries.empty()) {
+    if (opts.workload.empty()) {
+      std::fprintf(stderr, "sqo_lint: --profile requires --workload\n");
+      return 2;
+    }
+    auto pipeline = opts.workload == "university"
+                        ? sqo::workload::MakeUniversityPipeline()
+                        : sqo::workload::MakeCompanyPipeline();
+    if (!pipeline.ok()) return Fail(pipeline.status(), "pipeline build failed");
+    sqo::engine::Database db(&pipeline->schema());
+    sqo::Status populated =
+        opts.workload == "university"
+            ? sqo::workload::PopulateUniversity({}, *pipeline, &db)
+            : sqo::workload::PopulateCompany({}, *pipeline, &db);
+    if (!populated.ok()) return Fail(populated, "store population failed");
+    for (const std::string& text : opts.profile_queries) {
+      auto result = pipeline->OptimizeText(text);
+      if (!result.ok()) return Fail(result.status(), "optimization failed");
+      auto run = db.ProfileQuery(result->original_datalog);
+      if (!run.ok()) return Fail(run.status(), "profiled evaluation failed");
+      report.Append(
+          sqo::analysis::AnalyzeProfile(pipeline->schema(), run->profile));
+    }
+  }
+
+  std::fputs(sqo::analysis::RenderReport(report, opts.json).c_str(), stdout);
+  if (opts.json) std::fputs("\n", stdout);
   // Warnings alone exit 0; only error-severity findings fail the run.
   return report.has_errors() ? 1 : 0;
 }

@@ -1,0 +1,208 @@
+// sqo_verify — rewrite-soundness checker front end.
+//
+// Certifies every alternative the optimizer produces against the original
+// query: each recorded derivation step is replayed and proven from
+// "original ∧ integrity constraints" with a bounded chase (SQO-A015/A016/
+// A017 diagnostics; see src/analysis/verifier.h), and the verdicts can be
+// cross-checked against a differential evaluation oracle. Exit status: 0
+// when every alternative verifies sound (and, in --fuzz/--corrupt modes,
+// the oracles agree), 1 on soundness findings or oracle mismatches, 2 when
+// the input could not be processed at all.
+//
+//   sqo_verify [--workload university|company] [--oql "<text>"]... [--json]
+//   sqo_verify --fuzz <iterations> [--seed N]
+//   sqo_verify --corrupt mutate_guard|drop_remainder_literal [--seed N]
+//
+// Options:
+//   --workload W       built-in workload (default university)
+//   --oql "<text>"     verify this OQL query (repeatable; default: the
+//                      five university seed queries)
+//   --json             emit diagnostics as JSON (obs/json.h format)
+//   --seed N           seed for --fuzz / --corrupt (default 20260808)
+//   --chase-rounds N   verifier chase round bound (default 4)
+//   --chase-literals N verifier chase fact cap (default 256)
+//   --fuzz N           run the differential fuzz oracle for N iterations
+//   --corrupt KIND     corrupt one compiled residue and require BOTH the
+//                      verifier and the evaluation oracle to catch it
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "analysis/verifier.h"
+#include "sqo/pipeline.h"
+#include "workload/company.h"
+#include "workload/fuzz.h"
+#include "workload/university.h"
+
+namespace {
+
+int Fail(const sqo::Status& status, const char* what) {
+  std::fprintf(stderr, "sqo_verify: %s: %s\n", what, status.ToString().c_str());
+  return 2;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--workload university|company] [--oql <text>]...\n"
+               "          [--json] [--seed N] [--chase-rounds N] "
+               "[--chase-literals N]\n"
+               "          [--fuzz <iterations>] "
+               "[--corrupt mutate_guard|drop_remainder_literal]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string workload = "university";
+  std::vector<std::string> oql_queries;
+  bool json = false;
+  uint64_t seed = 20260808;
+  size_t fuzz_iterations = 0;
+  std::string corrupt_kind;
+  sqo::analysis::VerifierOptions verifier_options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "sqo_verify: %s requires an argument\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--workload") {
+      const char* v = next("--workload");
+      if (v == nullptr) return 2;
+      workload = v;
+    } else if (arg == "--oql") {
+      const char* v = next("--oql");
+      if (v == nullptr) return 2;
+      oql_queries.push_back(v);
+    } else if (arg == "--seed") {
+      const char* v = next("--seed");
+      if (v == nullptr) return 2;
+      seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--chase-rounds") {
+      const char* v = next("--chase-rounds");
+      if (v == nullptr) return 2;
+      verifier_options.max_chase_rounds = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--chase-literals") {
+      const char* v = next("--chase-literals");
+      if (v == nullptr) return 2;
+      verifier_options.max_chase_literals = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--fuzz") {
+      const char* v = next("--fuzz");
+      if (v == nullptr) return 2;
+      fuzz_iterations = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--corrupt") {
+      const char* v = next("--corrupt");
+      if (v == nullptr) return 2;
+      corrupt_kind = v;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "sqo_verify: unknown option '%s'\n", arg.c_str());
+      return Usage(argv[0]);
+    }
+  }
+
+  // --- Corruption probe mode: both oracles must detect the mutation. ---
+  if (!corrupt_kind.empty()) {
+    sqo::workload::ResidueCorruption kind;
+    if (corrupt_kind == "mutate_guard") {
+      kind = sqo::workload::ResidueCorruption::kMutateGuard;
+    } else if (corrupt_kind == "drop_remainder_literal") {
+      kind = sqo::workload::ResidueCorruption::kDropRemainderLiteral;
+    } else {
+      std::fprintf(stderr, "sqo_verify: unknown corruption '%s'\n",
+                   corrupt_kind.c_str());
+      return 2;
+    }
+    auto probe = sqo::workload::ProbeCorruptedResidue(seed, kind);
+    if (!probe.ok()) return Fail(probe.status(), "corruption probe failed");
+    std::printf("corrupted: %s\n", probe->description.c_str());
+    std::printf("alternatives examined: %zu\n", probe->alternatives);
+    std::printf("verifier flagged (SQO-A015): %s\n",
+                probe->verifier_flagged ? "yes" : "NO");
+    std::printf("answers diverged:            %s\n",
+                probe->answers_differ ? "yes" : "NO");
+    const bool caught = probe->verifier_flagged && probe->answers_differ;
+    std::printf("%s\n", caught ? "corruption caught by both oracles"
+                               : "CORRUPTION MISSED");
+    return caught ? 0 : 1;
+  }
+
+  // --- Differential fuzz mode. ---
+  if (fuzz_iterations > 0) {
+    sqo::workload::FuzzConfig config;
+    config.seed = seed;
+    config.iterations = fuzz_iterations;
+    config.verifier = verifier_options;
+    auto report = sqo::workload::RunDifferentialFuzz(config);
+    if (!report.ok()) return Fail(report.status(), "fuzz run failed");
+    std::printf("%s\n", report->Summary().c_str());
+    for (const sqo::workload::FuzzMismatch& m : report->mismatch_details) {
+      std::printf("MISMATCH seed=%llu alt=%zu query=%s\n  %s\n",
+                  static_cast<unsigned long long>(m.iteration_seed),
+                  m.alternative, m.oql.c_str(), m.detail.c_str());
+    }
+    return report->ok() ? 0 : 1;
+  }
+
+  // --- Static verification mode. ---
+  sqo::Result<sqo::core::Pipeline> pipeline =
+      workload == "university" ? sqo::workload::MakeUniversityPipeline()
+      : workload == "company"  ? sqo::workload::MakeCompanyPipeline()
+                               : sqo::Result<sqo::core::Pipeline>(
+                                     sqo::InvalidArgumentError(
+                                         "unknown workload '" + workload +
+                                         "'"));
+  if (!pipeline.ok()) return Fail(pipeline.status(), "pipeline build failed");
+
+  if (oql_queries.empty()) {
+    if (workload != "university") {
+      std::fprintf(stderr,
+                   "sqo_verify: --workload %s has no seed queries; pass "
+                   "--oql\n",
+                   workload.c_str());
+      return 2;
+    }
+    oql_queries = {sqo::workload::QueryExample2(),
+                   sqo::workload::QueryScopeReduction(),
+                   sqo::workload::QueryJoinElimination(),
+                   sqo::workload::QueryAsrDirect(),
+                   sqo::workload::QueryAsrIndirect()};
+  }
+
+  sqo::analysis::AnalysisReport report;
+  size_t alternatives = 0;
+  bool all_sound = true;
+  for (const std::string& oql : oql_queries) {
+    auto result = pipeline->OptimizeText(oql);
+    if (!result.ok()) return Fail(result.status(), "optimization failed");
+    auto verification = pipeline->Verify(*result, verifier_options);
+    if (!verification.ok()) {
+      return Fail(verification.status(), "verification failed");
+    }
+    alternatives += verification->verdicts.size();
+    all_sound = all_sound && verification->all_sound();
+    report.Append(std::move(verification->report));
+  }
+
+  std::fputs(sqo::analysis::RenderReport(report, json).c_str(), stdout);
+  if (json) std::fputs("\n", stdout);
+  if (!json) {
+    std::printf("%zu alternatives over %zu queries: %s\n", alternatives,
+                oql_queries.size(),
+                all_sound ? "all sound" : "UNSOUND REWRITES FOUND");
+  }
+  return all_sound ? 0 : 1;
+}
