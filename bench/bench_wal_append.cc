@@ -1,0 +1,144 @@
+/// Sustained WAL write throughput: group commit (one fsync per batch of
+/// concurrent appends) against the classic fsync-per-append discipline.
+/// Both arms append identical pre-encoded record frames to a real segment
+/// file on disk — this isolates the durability path from the object store,
+/// so the group-commit arm can legitimately run multi-threaded (the store
+/// itself is single-writer; under real traffic the batching comes from
+/// concurrent sessions sharing one database).
+///
+/// Throughput is exposed only as `qps` rate counters: wall-clock per append
+/// is dominated by device fsync latency, which varies too much across
+/// machines for the ±25% time gate in check_bench_regression.py (qps
+/// counters are gated one-sided and tolerate noise better).
+#include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bench/bench_main.h"
+#include "common/fileio.h"
+#include "storage/group_commit.h"
+#include "storage/wal.h"
+
+namespace {
+
+using sqo::storage::EncodeWalRecord;
+using sqo::storage::GroupCommitter;
+using sqo::storage::WalHeader;
+using sqo::storage::WalWriter;
+
+const std::string& BenchDir() {
+  static const std::string dir =
+      "/tmp/sqo_bench_wal_" + std::to_string(::getpid());
+  return dir;
+}
+
+void WipeDir() {
+  const sqo::Status ensured = sqo::fs::EnsureDir(BenchDir());
+  (void)ensured;
+  if (auto names = sqo::fs::ListDir(BenchDir()); names.ok()) {
+    for (const std::string& name : *names) {
+      const sqo::Status removed = sqo::fs::RemoveFile(BenchDir() + "/" + name);
+      (void)removed;
+    }
+  }
+}
+
+/// ~100-byte payload, the ballpark of one encoded mutation batch.
+const std::string& Payload() {
+  static const std::string payload(96, 'x');
+  return payload;
+}
+
+struct GroupEnv {
+  std::unique_ptr<WalWriter> wal;
+  std::unique_ptr<GroupCommitter> committer;
+  std::mutex wal_mu;
+  std::atomic<uint64_t> lsn{0};
+};
+GroupEnv* g_group = nullptr;
+
+void SetupGroup(const benchmark::State&) {
+  if (g_group != nullptr) return;  // once per run, not per thread
+  WipeDir();
+  auto wal = WalWriter::Create(BenchDir() + "/" +
+                                   sqo::storage::WalSegmentFileName(1),
+                               WalHeader{});
+  if (!wal.ok()) std::abort();
+  auto env = std::make_unique<GroupEnv>();
+  env->wal = std::make_unique<WalWriter>(std::move(wal).value());
+  GroupCommitter::Options options;
+  options.max_batch_ops = 64;
+  env->committer = std::make_unique<GroupCommitter>(
+      options, [raw = env.get()](const std::vector<std::string>& frames) {
+        std::lock_guard<std::mutex> lock(raw->wal_mu);
+        for (const std::string& frame : frames) {
+          if (auto s = raw->wal->AppendFrame(frame); !s.ok()) return s;
+        }
+        return raw->wal->Sync();
+      });
+  g_group = env.release();
+}
+
+void TeardownGroup(const benchmark::State&) {
+  if (g_group == nullptr) return;
+  g_group->committer->Stop();
+  delete g_group;
+  g_group = nullptr;
+  WipeDir();
+}
+
+/// One fsync per append, single writer — the discipline group commit
+/// replaces (and the baseline of the ≥5× acceptance ratio).
+void BM_WalAppendFsyncEach(benchmark::State& state) {
+  WipeDir();
+  auto wal = WalWriter::Create(
+      BenchDir() + "/" + sqo::storage::WalSegmentFileName(1), WalHeader{});
+  if (!wal.ok()) {
+    state.SkipWithError(wal.status().ToString().c_str());
+    return;
+  }
+  uint64_t lsn = 0;
+  for (auto _ : state) {
+    if (!wal->AppendFrame(EncodeWalRecord(++lsn, Payload())).ok() ||
+        !wal->Sync().ok()) {
+      state.SkipWithError("append/sync failed");
+      return;
+    }
+  }
+  state.counters["qps"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+  WipeDir();
+}
+BENCHMARK(BM_WalAppendFsyncEach)->UseRealTime();
+
+/// Concurrent submitters sharing one committer: each append blocks until
+/// its batch's single fsync retires. qps sums across threads.
+void BM_WalAppendGroupCommit(benchmark::State& state) {
+  for (auto _ : state) {
+    const uint64_t lsn = g_group->lsn.fetch_add(1) + 1;
+    if (!g_group->committer->Append(EncodeWalRecord(lsn, Payload())).ok()) {
+      state.SkipWithError("group append failed");
+      return;
+    }
+  }
+  state.counters["qps"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_WalAppendGroupCommit)
+    ->Setup(SetupGroup)
+    ->Teardown(TeardownGroup)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
+    ->Threads(16)
+    ->Threads(32)
+    ->UseRealTime();
+
+}  // namespace
+
+SQO_BENCH_MAIN("wal_append");

@@ -503,6 +503,40 @@ void PrintRecovery(const sqo::storage::RecoveryInfo& info) {
   }
 }
 
+void StatusCommand(const sqo::engine::Database& db) {
+  const sqo::storage::StorageManager* storage = db.storage();
+  if (storage == nullptr) {
+    std::printf("storage: not attached (\\save <dir> or \\open <dir>)\n");
+    return;
+  }
+  std::printf("storage: attached at %s — %s\n", storage->dir().c_str(),
+              storage->healthy()
+                  ? "healthy"
+                  : "UNHEALTHY (appends refused; \\checkpoint to re-base)");
+  std::printf("last recovery:\n  ");
+  PrintRecovery(storage->recovery_info());
+  const auto wal = storage->wal_stats();
+  std::printf("wal: %llu segment(s), %llu bytes, appending to seq %llu, "
+              "%llu rotation(s) this session, last LSN %llu\n",
+              static_cast<unsigned long long>(wal.segments),
+              static_cast<unsigned long long>(wal.bytes),
+              static_cast<unsigned long long>(wal.current_seq),
+              static_cast<unsigned long long>(wal.rotations),
+              static_cast<unsigned long long>(storage->last_lsn()));
+  const auto gc = storage->group_commit_stats();
+  if (gc.batches == 0) {
+    std::printf("group commit: no batches committed yet\n");
+    return;
+  }
+  std::printf("group commit: %llu op(s) in %llu batch(es) (%.2f ops/fsync, "
+              "max batch %llu, %llu failed batch(es))\n",
+              static_cast<unsigned long long>(gc.ops),
+              static_cast<unsigned long long>(gc.batches),
+              static_cast<double>(gc.ops) / static_cast<double>(gc.batches),
+              static_cast<unsigned long long>(gc.max_batch_ops),
+              static_cast<unsigned long long>(gc.failed_batches));
+}
+
 }  // namespace
 
 int main() {
@@ -529,7 +563,7 @@ int main() {
       "\\deadline <ms>  \\timing  "
       "\\slow <ms>  \\journal [n | flush <path>]  \\metrics [json|prom]  "
       "\\export [start|stop] <dir>  \\save <dir>  \\open <dir>  "
-      "\\checkpoint  \\quit\n",
+      "\\checkpoint  \\status  \\quit\n",
       db->store().object_count(), pipeline.compiled().total_residues());
 
   SessionObs session;
@@ -643,6 +677,10 @@ int main() {
           std::make_unique<sqo::engine::EngineCostModel>(&db->store());
       std::printf("database switched to %s (%zu objects)\n", dir.c_str(),
                   db->store().object_count());
+      continue;
+    }
+    if (line == "\\status") {
+      StatusCommand(*db);
       continue;
     }
     if (line == "\\checkpoint") {

@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
 # Crash-recovery driver: build the ASan+UBSan preset and run every test
 # with the `recovery` ctest label under the sanitizers — the per-failpoint
-# kill-and-reopen differential tests plus the randomized crash loop. The
-# loop's iteration count and seed are env-tunable, so this script can run
-# a short deterministic pass in CI and a long randomized soak locally.
+# kill-and-reopen differential tests, the randomized crash loop, and the
+# crash-under-traffic chaos harness — then sweep the chaos loop across a
+# seed matrix so each run covers several independent crash schedules. The
+# iteration count and base seed are env-tunable, so this script can run a
+# short deterministic pass in CI and a long randomized soak locally.
 #
-# Usage: scripts/run_recovery.sh [--no-build] [iters [seed]]
-#   iters — crash-loop iterations (default 6; try 50+ for a soak)
-#   seed  — crash-loop base seed (default: current time, printed for repro)
+# Usage: scripts/run_recovery.sh [--no-build] [iters [seed [matrix]]]
+#   iters  — crash/chaos-loop iterations per seed (default 6; 50+ to soak)
+#   seed   — base seed (default: current time, printed for repro)
+#   matrix — extra chaos seeds swept after the main pass (default 3)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,6 +20,7 @@ case "${1:-}" in
 esac
 iters="${1:-6}"
 seed="${2:-$(date +%s)}"
+matrix="${3:-3}"
 
 if [[ "$build" -eq 1 ]]; then
   echo "== configuring + building asan preset =="
@@ -30,4 +34,17 @@ if ! SQO_CRASH_LOOP_ITERS="$iters" SQO_CRASH_LOOP_SEED="$seed" \
   echo "recovery suite FAILED (repro: scripts/run_recovery.sh --no-build $iters $seed)"
   exit 1
 fi
+
+# Chaos seed matrix: the harness derives its whole crash schedule (mode,
+# crash coordinate, group-commit arm) from the seed, so distinct seeds are
+# distinct fault universes — cheap coverage the single pass above misses.
+for ((offset = 1; offset <= matrix; ++offset)); do
+  chaos_seed=$((seed + offset * 1000003))
+  echo "== chaos matrix $offset/$matrix (iters=$iters seed=$chaos_seed) =="
+  if ! SQO_CRASH_LOOP_ITERS="$iters" SQO_CRASH_LOOP_SEED="$chaos_seed" \
+      ctest --preset chaos-asan; then
+    echo "chaos matrix FAILED (repro: SQO_CRASH_LOOP_ITERS=$iters SQO_CRASH_LOOP_SEED=$chaos_seed ctest --preset chaos-asan)"
+    exit 1
+  fi
+done
 echo "recovery OK"

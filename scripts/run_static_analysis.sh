@@ -60,7 +60,9 @@ run_sanitizers() {
     failures=1
   fi
   echo "== ASan/UBSan crash-recovery tests =="
-  # Short deterministic crash loop; scripts/run_recovery.sh soaks longer.
+  # Short deterministic crash loop + chaos harness (the `recovery` label
+  # includes the `chaos`-labeled tests); scripts/run_recovery.sh soaks
+  # longer and sweeps a chaos seed matrix.
   if ! SQO_CRASH_LOOP_ITERS=4 SQO_CRASH_LOOP_SEED=20260807 \
       ctest --preset recovery-asan; then
     failures=1

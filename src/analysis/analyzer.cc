@@ -736,6 +736,41 @@ AnalysisReport AnalyzeCatalogFreshness(const std::string& disk_schema_hash,
   return report;
 }
 
+AnalysisReport AnalyzeStorageOptions(bool sync_each_append,
+                                     int64_t flush_interval_us,
+                                     int64_t deadline_budget_ms,
+                                     size_t keep_snapshots) {
+  AnalysisReport report;
+  if (!sync_each_append) {
+    report.Add(Severity::kWarning, kCodeWeakDurability, "storage",
+               "sync_each_append is disabled: appends are acknowledged "
+               "before their bytes are fsynced, so a crash can lose "
+               "operations the caller was told were durable",
+               "enable sync_each_append unless the last few operations are "
+               "explicitly expendable");
+  }
+  if (deadline_budget_ms > 0 && flush_interval_us > deadline_budget_ms * 1000) {
+    report.Add(
+        Severity::kWarning, kCodeWeakDurability, "storage",
+        "group_commit_flush_interval (" + std::to_string(flush_interval_us) +
+            "us) exceeds the session's remaining deadline budget (" +
+            std::to_string(deadline_budget_ms) +
+            "ms): every governed append will expire unacknowledged before "
+            "its batch flushes",
+        "shrink the flush interval below the deadline budget (or rely on "
+        "natural batching with interval 0)");
+  }
+  if (keep_snapshots < 2) {
+    report.Add(Severity::kWarning, kCodeWeakDurability, "storage",
+               "keep_snapshots < 2: checkpoint pruning drops the only "
+               "fallback snapshot, so fail-open recovery from a corrupt "
+               "newest snapshot can only degrade to an empty store",
+               "keep at least 2 snapshots so recovery has an older one to "
+               "fall back to");
+  }
+  return report;
+}
+
 AnalysisReport AnalyzeProfile(const translate::TranslatedSchema& schema,
                               const obs::QueryProfile& profile) {
   AnalysisReport report;

@@ -62,6 +62,12 @@ namespace sqo::analysis {
 ///                                       labels an alternative's proof
 ///                                       depends on (plan-cache
 ///                                       invalidation key)
+///   SQO-A018  storage lint    warning   durability-weakening storage knob:
+///                                       acknowledgments without fsync, a
+///                                       group-commit accumulation window
+///                                       longer than the session's deadline
+///                                       budget, or snapshot pruning that
+///                                       drops the only fallback snapshot
 inline constexpr std::string_view kCodeUnsafeVariable = "SQO-A001";
 inline constexpr std::string_view kCodeUnknownRelation = "SQO-A002";
 inline constexpr std::string_view kCodeArityMismatch = "SQO-A003";
@@ -79,6 +85,7 @@ inline constexpr std::string_view kCodeExtentScanWithIndexHint = "SQO-A014";
 inline constexpr std::string_view kCodeUnjustifiedRewrite = "SQO-A015";
 inline constexpr std::string_view kCodeUnprovenElimination = "SQO-A016";
 inline constexpr std::string_view kCodeCatalogDependency = "SQO-A017";
+inline constexpr std::string_view kCodeWeakDurability = "SQO-A018";
 
 struct AnalyzerOptions {
   bool check_safety = true;          // pass 1 (SQO-A001)
@@ -160,6 +167,20 @@ AnalysisReport AnalyzeCatalogFreshness(const std::string& disk_schema_hash,
 /// flagged; neither are index/lazy-index probes.
 AnalysisReport AnalyzeProfile(const translate::TranslatedSchema& schema,
                               const obs::QueryProfile& profile);
+
+/// Pass 11 over the storage layer's durability configuration (SQO-A018,
+/// warning). Flags knob combinations that silently weaken the "OK means
+/// durable" acknowledgment contract: `sync_each_append` off (acks without
+/// fsync), a group-commit accumulation window longer than the session's
+/// remaining deadline budget (every governed append would expire before its
+/// batch flushes), and `keep_snapshots < 2` (pruning drops the only fallback
+/// snapshot fail-open recovery could degrade to). `deadline_budget_ms == 0`
+/// means no deadline is configured. Takes plain integers/bools so the
+/// analysis layer stays independent of the storage layer's option types.
+AnalysisReport AnalyzeStorageOptions(bool sync_each_append,
+                                     int64_t flush_interval_us,
+                                     int64_t deadline_budget_ms,
+                                     size_t keep_snapshots);
 
 }  // namespace sqo::analysis
 

@@ -1,0 +1,331 @@
+#include "common/env.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/failpoint.h"
+#include "common/fileio.h"
+
+namespace sqo::fs {
+
+namespace {
+
+Status ErrnoError(const std::string& op, const std::string& path) {
+  return InternalError(op + " '" + path + "': " + std::strerror(errno));
+}
+
+Status WriteAll(int fd, const char* data, size_t size, const std::string& path) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoError("write", path);
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+/// The default WritableFile: a POSIX fd. Close reports errors — see the
+/// WritableFile contract.
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, uint64_t size, std::string path)
+      : fd_(fd), size_(size), path_(std::move(path)) {}
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    if (fd_ < 0) return InternalError("append on closed file '" + path_ + "'");
+    SQO_RETURN_IF_ERROR(WriteAll(fd_, data.data(), data.size(), path_));
+    size_ += data.size();
+    return Status::Ok();
+  }
+
+  Status Sync() override {
+    if (fd_ < 0) return InternalError("sync on closed file '" + path_ + "'");
+    SQO_FAILPOINT("storage.fsync");
+    if (::fsync(fd_) != 0) return ErrnoError("fsync", path_);
+    return Status::Ok();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::Ok();
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return ErrnoError("close", path_);
+    return Status::Ok();
+  }
+
+  uint64_t size() const override { return size_; }
+
+ private:
+  int fd_;
+  uint64_t size_;
+  std::string path_;
+};
+
+Result<std::unique_ptr<WritableFile>> OpenPosix(const std::string& path,
+                                                int flags) {
+  const int fd = ::open(path.c_str(), flags | O_CLOEXEC, 0666);
+  if (fd < 0) return ErrnoError("open", path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const Status status = ErrnoError("fstat", path);
+    ::close(fd);
+    return status;
+  }
+  return std::unique_ptr<WritableFile>(std::make_unique<PosixWritableFile>(
+      fd, static_cast<uint64_t>(st.st_size), path));
+}
+
+/// Default Env: thin delegation to the POSIX helpers in common/fileio.
+class PosixEnv : public Env {
+ public:
+  bool FileExists(const std::string& path) override { return Exists(path); }
+  Status EnsureDir(const std::string& path) override {
+    return fs::EnsureDir(path);
+  }
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override {
+    return fs::ListDir(dir);
+  }
+  Result<std::string> ReadFile(const std::string& path) override {
+    return fs::ReadFile(path);
+  }
+  Result<uint64_t> FileSize(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) return ErrnoError("stat", path);
+    return static_cast<uint64_t>(st.st_size);
+  }
+  Status RemoveFile(const std::string& path) override {
+    return fs::RemoveFile(path);
+  }
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    return fs::TruncateFile(path, size);
+  }
+  Status SyncDir(const std::string& dir) override { return fs::SyncDir(dir); }
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoError("rename", from);
+    }
+    return Status::Ok();
+  }
+  Result<std::unique_ptr<WritableFile>> OpenAppend(
+      const std::string& path) override {
+    return OpenPosix(path, O_WRONLY | O_CREAT | O_APPEND);
+  }
+  Result<std::unique_ptr<WritableFile>> OpenTrunc(
+      const std::string& path) override {
+    return OpenPosix(path, O_WRONLY | O_CREAT | O_TRUNC);
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv();
+  return env;
+}
+
+Status WriteFileAtomic(Env& env, const std::string& path,
+                       std::string_view data) {
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  auto file = env.OpenTrunc(tmp);
+  if (!file.ok()) return file.status();
+  Status status = (*file)->Append(data);
+  if (status.ok()) status = (*file)->Sync();
+  // A close failure after buffered writes can lose data even though every
+  // write call succeeded, so it fails the publication like a failed write.
+  const Status close_status = (*file)->Close();
+  if (status.ok()) status = close_status;
+  if (status.ok()) {
+    status = failpoint::Check("storage.rename");
+    if (status.ok()) status = env.RenameFile(tmp, path);
+  }
+  if (!status.ok()) {
+    (void)env.RemoveFile(tmp);
+    return status;
+  }
+  // Publish durably: without the directory fsync, the rename itself may be
+  // lost on power failure even though the file contents are on disk.
+  const size_t slash = path.find_last_of('/');
+  return env.SyncDir(slash == std::string::npos ? "." : path.substr(0, slash));
+}
+
+/// WritableFile decorator applying the env's FaultPlan to appends, syncs,
+/// and closes. All bookkeeping lives in the env so faults are placed by
+/// global byte offset / operation index, not per file. At namespace scope
+/// (not anonymous) so the friend declaration in env.h binds to it.
+class FaultWritableFile : public WritableFile {
+ public:
+  FaultWritableFile(std::unique_ptr<WritableFile> base, FaultInjectingEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Status Append(std::string_view data) override;
+  Status Sync() override {
+    SQO_RETURN_IF_ERROR(env_->JudgeSync());
+    return base_->Sync();
+  }
+  Status Close() override {
+    const Status injected = env_->JudgeClose();
+    const Status real = base_->Close();
+    return injected.ok() ? real : injected;
+  }
+  uint64_t size() const override { return base_->size(); }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  FaultInjectingEnv* env_;
+};
+
+Status FaultWritableFile::Append(std::string_view data) {
+  const FaultInjectingEnv::WriteVerdict verdict = env_->JudgeWrite(data.size());
+  if (verdict.allowed > 0) {
+    SQO_RETURN_IF_ERROR(base_->Append(data.substr(0, verdict.allowed)));
+  }
+  if (verdict.crash) {
+    // A power cut mid-write: the prefix reached the file, nothing else did,
+    // and nobody gets to run cleanup.
+    std::_Exit(kFaultCrashExitCode);
+  }
+  return verdict.status;
+}
+
+void FaultInjectingEnv::set_plan(const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plan_ = plan;
+  bytes_written_ = 0;
+  sync_count_ = 0;
+  close_count_ = 0;
+  rename_count_ = 0;
+}
+
+uint64_t FaultInjectingEnv::bytes_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_written_;
+}
+uint64_t FaultInjectingEnv::syncs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sync_count_;
+}
+uint64_t FaultInjectingEnv::closes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return close_count_;
+}
+uint64_t FaultInjectingEnv::renames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rename_count_;
+}
+
+FaultInjectingEnv::WriteVerdict FaultInjectingEnv::JudgeWrite(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  WriteVerdict verdict;
+  const uint64_t begin = bytes_written_;
+  const uint64_t end = begin + n;
+  uint64_t cut = end;
+  if (plan_.enospc_after_bytes < cut) cut = plan_.enospc_after_bytes;
+  if (plan_.torn_write_at_byte < cut) cut = plan_.torn_write_at_byte;
+  if (cut >= end) {
+    verdict.allowed = n;
+    bytes_written_ = end;
+    return verdict;
+  }
+  verdict.allowed = cut > begin ? static_cast<size_t>(cut - begin) : 0;
+  bytes_written_ = begin + verdict.allowed;
+  if (cut == plan_.torn_write_at_byte) {
+    verdict.crash = plan_.crash_on_torn_write;
+    verdict.status = InternalError("torn write at byte " + std::to_string(cut) +
+                                   " (injected)");
+  } else {
+    verdict.status = InternalError("write: no space left on device (injected)");
+  }
+  return verdict;
+}
+
+Status FaultInjectingEnv::JudgeSync() {
+  bool crash = false;
+  Status status;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t index = sync_count_++;
+    if (index >= plan_.fail_sync_at) {
+      crash = plan_.crash_on_failed_sync;
+      status = InternalError("fsync #" + std::to_string(index) + " (injected)");
+    }
+  }
+  // Crash outside the lock: _Exit does not unwind, and a held mutex dies
+  // with the process anyway, but keep the invariant obvious.
+  if (crash) std::_Exit(kFaultCrashExitCode);
+  return status;
+}
+
+Status FaultInjectingEnv::JudgeClose() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (close_count_++ == plan_.fail_close_at) {
+    return InternalError("close (injected)");
+  }
+  return Status::Ok();
+}
+
+Status FaultInjectingEnv::JudgeRename() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (rename_count_++ == plan_.fail_rename_at) {
+    return InternalError("rename (injected)");
+  }
+  return Status::Ok();
+}
+
+bool FaultInjectingEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+Status FaultInjectingEnv::EnsureDir(const std::string& path) {
+  return base_->EnsureDir(path);
+}
+Result<std::vector<std::string>> FaultInjectingEnv::ListDir(
+    const std::string& dir) {
+  return base_->ListDir(dir);
+}
+Result<std::string> FaultInjectingEnv::ReadFile(const std::string& path) {
+  return base_->ReadFile(path);
+}
+Result<uint64_t> FaultInjectingEnv::FileSize(const std::string& path) {
+  return base_->FileSize(path);
+}
+Status FaultInjectingEnv::RemoveFile(const std::string& path) {
+  return base_->RemoveFile(path);
+}
+Status FaultInjectingEnv::TruncateFile(const std::string& path, uint64_t size) {
+  return base_->TruncateFile(path, size);
+}
+Status FaultInjectingEnv::SyncDir(const std::string& dir) {
+  SQO_RETURN_IF_ERROR(JudgeSync());
+  return base_->SyncDir(dir);
+}
+Status FaultInjectingEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  SQO_RETURN_IF_ERROR(JudgeRename());
+  return base_->RenameFile(from, to);
+}
+Result<std::unique_ptr<WritableFile>> FaultInjectingEnv::OpenAppend(
+    const std::string& path) {
+  auto base = base_->OpenAppend(path);
+  if (!base.ok()) return base.status();
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultWritableFile>(std::move(*base), this));
+}
+Result<std::unique_ptr<WritableFile>> FaultInjectingEnv::OpenTrunc(
+    const std::string& path) {
+  auto base = base_->OpenTrunc(path);
+  if (!base.ok()) return base.status();
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultWritableFile>(std::move(*base), this));
+}
+
+}  // namespace sqo::fs

@@ -1,0 +1,172 @@
+#ifndef SQO_COMMON_ENV_H_
+#define SQO_COMMON_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+/// The storage layer's I/O seam. Every byte the durability subsystem writes
+/// goes through an `Env` so tests can interpose a `FaultInjectingEnv` that
+/// produces short/torn writes, ENOSPC, fsync failures, and hard crashes at a
+/// deterministic byte offset — the storage contract ("an acknowledged op is
+/// never lost, an unacknowledged op never resurrected as acknowledged") is
+/// proven against this interface, not against a cooperating filesystem.
+namespace sqo::fs {
+
+/// A writable file handle. Durability is explicit: `Append` buffers into the
+/// OS, `Sync` makes it durable, and `Close` must report errors — a failed
+/// close after buffered writes can lose data, so callers on the durability
+/// path treat it like a failed write.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Appends all of `data` (retrying short writes at the POSIX layer).
+  virtual Status Append(std::string_view data) = 0;
+
+  /// fsyncs the file (failpoint site `storage.fsync` in the POSIX impl).
+  virtual Status Sync() = 0;
+
+  /// Closes the handle, reporting close-time errors. Idempotent.
+  virtual Status Close() = 0;
+
+  /// Bytes in the file (size at open plus appends through this handle).
+  virtual uint64_t size() const = 0;
+};
+
+/// Filesystem operations used by src/storage. The default implementation is
+/// POSIX; `FaultInjectingEnv` wraps any Env with a deterministic fault plan.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual Status EnsureDir(const std::string& path) = 0;
+  virtual Result<std::vector<std::string>> ListDir(const std::string& dir) = 0;
+  virtual Result<std::string> ReadFile(const std::string& path) = 0;
+  virtual Result<uint64_t> FileSize(const std::string& path) = 0;
+  virtual Status RemoveFile(const std::string& path) = 0;
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+  virtual Status SyncDir(const std::string& dir) = 0;
+
+  /// Renames `from` over `to` (no failpoint here; `WriteFileAtomic` owns the
+  /// `storage.rename` site so armed tests trip once per publication).
+  virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
+
+  /// Opens `path` for appending, creating it if absent.
+  virtual Result<std::unique_ptr<WritableFile>> OpenAppend(
+      const std::string& path) = 0;
+
+  /// Opens `path` truncated to empty, creating it if absent.
+  virtual Result<std::unique_ptr<WritableFile>> OpenTrunc(
+      const std::string& path) = 0;
+
+  /// The process-wide POSIX environment.
+  static Env* Default();
+};
+
+/// Writes `data` to `path` atomically through `env`: write `<path>.tmp.<pid>`,
+/// fsync it, close it (close failures fail the publication — buffered data
+/// may not have reached the file), rename over `path` (failpoint site
+/// `storage.rename`), fsync the parent directory. A crash at any point leaves
+/// the old file or the new one, never a torn mix.
+Status WriteFileAtomic(Env& env, const std::string& path, std::string_view data);
+
+/// Exit code used by FaultInjectingEnv hard crashes (`std::_Exit`), chosen so
+/// a parent process can tell an injected crash from a normal failure.
+inline constexpr int kFaultCrashExitCode = 86;
+
+/// Deterministic fault plan for `FaultInjectingEnv`. Byte thresholds are
+/// cumulative over every byte appended through the env (all files), so a
+/// seeded chaos loop can place a fault at any point of a write sequence
+/// without knowing file boundaries. `kNever` disables a fault.
+struct FaultPlan {
+  static constexpr uint64_t kNever = ~uint64_t{0};
+
+  /// Appends whose global byte range starts at or crosses this offset fail
+  /// with "no space left"; a crossing append writes the prefix first (a
+  /// short write followed by ENOSPC, like a full disk).
+  uint64_t enospc_after_bytes = kNever;
+
+  /// The append crossing this global offset writes only the prefix up to it,
+  /// then fails — or hard-crashes mid-write when `crash_on_torn_write` is
+  /// set, leaving a torn record on disk like a power cut.
+  uint64_t torn_write_at_byte = kNever;
+  bool crash_on_torn_write = false;
+
+  /// 0-based index of the first Sync (file or directory) that fails; every
+  /// later sync fails too (a dead disk stays dead). With
+  /// `crash_on_failed_sync`, the process exits inside that sync instead —
+  /// after the bytes were written but before anyone was acknowledged.
+  uint64_t fail_sync_at = kNever;
+  bool crash_on_failed_sync = false;
+
+  /// 0-based index of the one Close that fails (data may be lost).
+  uint64_t fail_close_at = kNever;
+
+  /// 0-based index of the one RenameFile that fails.
+  uint64_t fail_rename_at = kNever;
+};
+
+/// An Env decorator that injects the faults described by a `FaultPlan`.
+/// Thread-safe: counters are shared across all files opened through it, so
+/// it can sit under a group-commit committer thread.
+class FaultInjectingEnv : public Env {
+ public:
+  explicit FaultInjectingEnv(Env* base = Env::Default()) : base_(base) {}
+
+  /// Replaces the plan and resets all fault counters.
+  void set_plan(const FaultPlan& plan);
+
+  /// Cumulative bytes successfully appended through this env.
+  uint64_t bytes_written() const;
+  /// Sync / Close / Rename attempts observed (for placing faults by index).
+  uint64_t syncs() const;
+  uint64_t closes() const;
+  uint64_t renames() const;
+
+  bool FileExists(const std::string& path) override;
+  Status EnsureDir(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override;
+  Result<std::string> ReadFile(const std::string& path) override;
+  Result<uint64_t> FileSize(const std::string& path) override;
+  Status RemoveFile(const std::string& path) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
+  Status SyncDir(const std::string& dir) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Result<std::unique_ptr<WritableFile>> OpenAppend(
+      const std::string& path) override;
+  Result<std::unique_ptr<WritableFile>> OpenTrunc(
+      const std::string& path) override;
+
+ private:
+  friend class FaultWritableFile;
+
+  /// How much of an `n`-byte append to perform, and with what outcome.
+  struct WriteVerdict {
+    size_t allowed = 0;   // prefix bytes to actually write
+    bool crash = false;   // _Exit after writing the prefix
+    Status status;        // returned after the prefix write (may be OK)
+  };
+  WriteVerdict JudgeWrite(size_t n);
+  Status JudgeSync();  // may _Exit; counts the sync
+  Status JudgeClose();
+  Status JudgeRename();
+
+  Env* base_;
+  mutable std::mutex mu_;
+  FaultPlan plan_;
+  uint64_t bytes_written_ = 0;
+  uint64_t sync_count_ = 0;
+  uint64_t close_count_ = 0;
+  uint64_t rename_count_ = 0;
+};
+
+}  // namespace sqo::fs
+
+#endif  // SQO_COMMON_ENV_H_

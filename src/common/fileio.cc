@@ -10,6 +10,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/env.h"
 #include "common/failpoint.h"
 
 namespace sqo::fs {
@@ -117,28 +118,10 @@ sqo::Status SyncDir(const std::string& dir) {
 }
 
 sqo::Status WriteFileAtomic(const std::string& path, std::string_view data) {
-  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
-  const int fd =
-      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0666);
-  if (fd < 0) return ErrnoError("open", tmp);
-
-  sqo::Status status = WriteAll(fd, data.data(), data.size(), tmp);
-  if (status.ok()) status = SyncFd(fd, tmp);
-  ::close(fd);
-  if (status.ok()) {
-    status = failpoint::Check("storage.rename");
-    if (status.ok() && ::rename(tmp.c_str(), path.c_str()) != 0) {
-      status = ErrnoError("rename", tmp);
-    }
-  }
-  if (!status.ok()) {
-    ::unlink(tmp.c_str());
-    return status;
-  }
-  // Publish durably: without the directory fsync, the rename itself may be
-  // lost on power failure even though the file contents are on disk.
-  const size_t slash = path.find_last_of('/');
-  return SyncDir(slash == std::string::npos ? "." : path.substr(0, slash));
+  // Delegates to the Env-based primitive so close/fsync failures propagate
+  // (a close error after buffered writes can lose data) and so the default
+  // path shares one implementation with fault-injected storage.
+  return WriteFileAtomic(*Env::Default(), path, data);
 }
 
 sqo::Result<AppendFile> AppendFile::Open(const std::string& path) {

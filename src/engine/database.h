@@ -94,6 +94,10 @@ class Database {
   /// What the last Open() recovered; nullptr when storage is not attached.
   const storage::RecoveryInfo* recovery_info() const;
 
+  /// The attached manager (health, WAL/group-commit stats for `\status`);
+  /// nullptr when storage is not attached.
+  storage::StorageManager* storage() const { return storage_.get(); }
+
  private:
   ObjectStore store_;
   std::shared_ptr<storage::StorageManager> storage_;

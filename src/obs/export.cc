@@ -40,6 +40,12 @@ std::string ToPrometheusText(const MetricsRegistry& registry,
     out += StrFormat("%s %llu\n", metric.c_str(),
                      static_cast<unsigned long long>(value));
   }
+  for (const auto& [name, value] : registry.gauges()) {
+    const std::string metric = ns + SanitizeMetricName(name);
+    out += StrFormat("# TYPE %s gauge\n", metric.c_str());
+    out += StrFormat("%s %llu\n", metric.c_str(),
+                     static_cast<unsigned long long>(value));
+  }
   for (const auto& [name, hist] : registry.histograms()) {
     const DurationHistogram::Summary s = hist.Summarize();
     const std::string metric = ns + SanitizeMetricName(name) + "_seconds";

@@ -82,6 +82,9 @@ DurationHistogram::Summary DurationHistogram::Summarize() const {
 
 void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
   for (const auto& [name, value] : other.counters_) counters_[name] += value;
+  // Gauges are point-in-time readings: the merged-in registry's reading is
+  // newer, so it wins rather than accumulating.
+  for (const auto& [name, value] : other.gauges_) gauges_[name] = value;
   for (const auto& [name, histogram] : other.histograms_) {
     histograms_[name].MergeFrom(histogram);
   }
@@ -101,6 +104,20 @@ uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
   return it == counters_.end() ? 0 : it->second;
 }
 
+void MetricsRegistry::Set(std::string_view name, uint64_t value) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+uint64_t MetricsRegistry::GaugeValue(std::string_view name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second;
+}
+
 void MetricsRegistry::Record(std::string_view name, int64_t nanos) {
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
@@ -111,6 +128,7 @@ void MetricsRegistry::Record(std::string_view name, int64_t nanos) {
 
 void MetricsRegistry::Clear() {
   counters_.clear();
+  gauges_.clear();
   histograms_.clear();
 }
 
@@ -118,6 +136,10 @@ std::string MetricsRegistry::ToText() const {
   std::string out;
   for (const auto& [name, value] : counters_) {
     out += StrFormat("%-44s %llu\n", name.c_str(),
+                     static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, value] : gauges_) {
+    out += StrFormat("%-44s %llu (gauge)\n", name.c_str(),
                      static_cast<unsigned long long>(value));
   }
   for (const auto& [name, hist] : histograms_) {
@@ -137,6 +159,11 @@ std::string MetricsRegistry::ToJson() const {
   w.BeginObject();
   w.Key("counters").BeginObject();
   for (const auto& [name, value] : counters_) {
+    w.Key(name).UInt(value);
+  }
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, value] : gauges_) {
     w.Key(name).UInt(value);
   }
   w.EndObject();
@@ -169,6 +196,10 @@ ScopedMetrics::~ScopedMetrics() { g_current_metrics = previous_; }
 
 void Count(std::string_view name, uint64_t delta) {
   if (g_current_metrics != nullptr) g_current_metrics->Add(name, delta);
+}
+
+void Gauge(std::string_view name, uint64_t value) {
+  if (g_current_metrics != nullptr) g_current_metrics->Set(name, value);
 }
 
 ScopedTimer::ScopedTimer(std::string_view name) : registry_(g_current_metrics) {

@@ -59,6 +59,14 @@ class MetricsRegistry {
   /// Current value of counter `name` (0 when never touched).
   uint64_t CounterValue(std::string_view name) const;
 
+  /// Sets gauge `name` to `value`. Gauges are point-in-time readings
+  /// (segment counts, health bits) — unlike counters they overwrite on Set
+  /// and on merge (last writer wins), never accumulate.
+  void Set(std::string_view name, uint64_t value);
+
+  /// Current value of gauge `name` (0 when never set).
+  uint64_t GaugeValue(std::string_view name) const;
+
   /// Records one duration sample into histogram `name`.
   void Record(std::string_view name, int64_t nanos);
 
@@ -69,6 +77,9 @@ class MetricsRegistry {
 
   const std::map<std::string, uint64_t, std::less<>>& counters() const {
     return counters_;
+  }
+  const std::map<std::string, uint64_t, std::less<>>& gauges() const {
+    return gauges_;
   }
   const std::map<std::string, DurationHistogram, std::less<>>& histograms()
       const {
@@ -86,6 +97,7 @@ class MetricsRegistry {
 
  private:
   std::map<std::string, uint64_t, std::less<>> counters_;
+  std::map<std::string, uint64_t, std::less<>> gauges_;
   std::map<std::string, DurationHistogram, std::less<>> histograms_;
 };
 
@@ -107,6 +119,9 @@ class ScopedMetrics {
 
 /// Adds to a counter of the current registry; no-op when none installed.
 void Count(std::string_view name, uint64_t delta = 1);
+
+/// Sets a gauge of the current registry; no-op when none installed.
+void Gauge(std::string_view name, uint64_t value);
 
 /// RAII timer recording into a duration histogram of the registry that was
 /// current at construction; no-op when none installed.

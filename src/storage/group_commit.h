@@ -1,0 +1,113 @@
+#ifndef SQO_STORAGE_GROUP_COMMIT_H_
+#define SQO_STORAGE_GROUP_COMMIT_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+/// Group commit for the WAL: a committer thread batches concurrently
+/// submitted record frames into one write+fsync, and each submitter is
+/// acknowledged only after the fsync that covers its frame returned OK.
+/// Batching is "natural": a batch is whatever accumulated while the
+/// previous fsync was running (plus an optional accumulation window), so a
+/// lone writer still pays only one fsync per op while N concurrent writers
+/// share one fsync per batch — the throughput lever the serving layer needs.
+namespace sqo::storage {
+
+class GroupCommitter {
+ public:
+  struct Options {
+    /// Largest batch handed to one commit call.
+    size_t max_batch_ops = 64;
+
+    /// Extra time the committer waits after the first frame of a batch
+    /// arrives, letting more submitters pile on. Zero (the default) means
+    /// pure natural batching. Raising it trades latency for batch size; the
+    /// SQO-A018 lint flags values above a session's deadline budget.
+    std::chrono::microseconds flush_interval{0};
+  };
+
+  /// Writes every frame in order and makes them durable with one fsync
+  /// (rotating segments as needed). Runs on the committer thread; a non-OK
+  /// return fails every op in the batch.
+  using CommitFn = std::function<Status(const std::vector<std::string>& frames)>;
+
+  GroupCommitter(const Options& options, CommitFn commit);
+  ~GroupCommitter();
+
+  GroupCommitter(const GroupCommitter&) = delete;
+  GroupCommitter& operator=(const GroupCommitter&) = delete;
+
+  /// One submitted frame's slot in the queue. Shared, so a waiter that
+  /// abandons on deadline leaves the committer's reference valid.
+  struct Ticket {
+    std::string frame;
+    Status status;
+    bool done = false;
+  };
+
+  /// Enqueues a frame for the next batch. Call order is commit order — the
+  /// caller serializes Enqueue with its LSN assignment so the log's LSNs
+  /// stay strictly increasing.
+  std::shared_ptr<Ticket> Enqueue(std::string frame);
+
+  /// Blocks until the ticket's batch outcome is known. Honors the calling
+  /// thread's `ExecutionContext` deadline: on expiry returns
+  /// kResourceExhausted *without* waiting further — the frame stays queued,
+  /// so the op may still become durable even though it was never
+  /// acknowledged (the same class as a crash between write and ack).
+  Status Wait(const std::shared_ptr<Ticket>& ticket);
+
+  /// Enqueue + Wait.
+  Status Append(std::string frame);
+
+  /// Blocks until every frame enqueued before this call has a batch
+  /// outcome — the checkpoint barrier: after Flush returns, nothing the
+  /// committer acknowledged (or will acknowledge) is missing from the log.
+  void Flush();
+
+  /// Drains the queue, then joins the committer thread. Idempotent; frames
+  /// enqueued after Stop fail immediately.
+  void Stop();
+
+  struct Stats {
+    uint64_t batches = 0;
+    uint64_t ops = 0;
+    uint64_t failed_batches = 0;
+    uint64_t max_batch_ops = 0;
+    /// Batch-size distribution (value = ops per batch, not a duration; the
+    /// log₂ histogram is unit-agnostic).
+    obs::DurationHistogram batch_ops;
+  };
+  Stats stats() const;
+
+ private:
+  void Worker();
+
+  const Options options_;
+  const CommitFn commit_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // committer wakes on work / stop
+  std::condition_variable done_cv_;   // waiters wake on batch completion
+  std::deque<std::shared_ptr<Ticket>> queue_;
+  bool in_flight_ = false;  // a batch is between dequeue and completion
+  bool stop_ = false;
+  Stats stats_;
+
+  std::thread worker_;
+};
+
+}  // namespace sqo::storage
+
+#endif  // SQO_STORAGE_GROUP_COMMIT_H_

@@ -9,9 +9,10 @@
 #include <vector>
 
 #include "analysis/analyzer.h"
-#include "common/fileio.h"
+#include "common/context.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "storage/format.h"
 #include "storage/snapshot.h"
 
 namespace sqo::storage {
@@ -19,7 +20,6 @@ namespace {
 
 constexpr std::string_view kSnapshotPrefix = "snapshot-";
 constexpr std::string_view kSnapshotSuffix = ".sqo";
-constexpr std::string_view kWalName = "wal.log";
 
 /// snapshot-NNNNNN.sqo → NNNNNN; nullopt for anything else.
 std::optional<uint64_t> ParseSnapshotSeq(std::string_view name) {
@@ -66,8 +66,8 @@ std::string StorageManager::SnapshotPath(uint64_t seq) const {
          std::string(kSnapshotSuffix);
 }
 
-std::string StorageManager::WalPath() const {
-  return dir_ + "/" + std::string(kWalName);
+std::string StorageManager::SegmentPath(uint64_t seq) const {
+  return dir_ + "/" + WalSegmentFileName(seq);
 }
 
 std::string StorageManager::CatalogJson() const {
@@ -88,14 +88,72 @@ void StorageManager::Degrade(std::string reason, bool corruption) {
   }
 }
 
+uint64_t StorageManager::last_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_lsn_;
+}
+
+StorageManager::WalStats StorageManager::wal_stats() const {
+  WalStats stats;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.current_seq = wal_seq_;
+    stats.rotations = wal_rotations_;
+  }
+  if (sqo::Result<std::vector<WalSegmentFile>> segments =
+          ListWalSegments(*env_, dir_);
+      segments.ok()) {
+    stats.segments = segments->size();
+    for (const WalSegmentFile& segment : *segments) {
+      if (sqo::Result<uint64_t> size = env_->FileSize(segment.path); size.ok()) {
+        stats.bytes += *size;
+      }
+    }
+  }
+  return stats;
+}
+
+GroupCommitter::Stats StorageManager::group_commit_stats() const {
+  return committer_ != nullptr ? committer_->stats() : GroupCommitter::Stats{};
+}
+
+void StorageManager::LintOpenOptions() {
+  // The deadline budget is whatever the calling session has left right now;
+  // that is the bound a group-commit wait must fit under.
+  int64_t deadline_budget_ms = 0;
+  if (ExecutionContext* ctx = CurrentContext();
+      ctx != nullptr && ctx->has_deadline()) {
+    deadline_budget_ms = std::max<int64_t>(
+        1, std::chrono::duration_cast<std::chrono::milliseconds>(
+               ctx->deadline() - std::chrono::steady_clock::now())
+               .count());
+  }
+  info_.lint.Append(analysis::AnalyzeStorageOptions(
+      options_.sync_each_append,
+      static_cast<int64_t>(options_.group_commit_flush_interval.count()),
+      deadline_budget_ms, options_.keep_snapshots));
+}
+
 sqo::Status StorageManager::Recover() {
   obs::Span span("storage.recovery");
-  SQO_RETURN_IF_ERROR(fs::EnsureDir(dir_));
+  SQO_RETURN_IF_ERROR(env_->EnsureDir(dir_));
   const sqo::Fingerprint128 live = SchemaFingerprint(store_->schema());
   uint64_t max_seq = 0;
   SQO_RETURN_IF_ERROR(LoadSnapshots(live, &max_seq));
   next_snapshot_seq_ = max_seq + 1;
   SQO_RETURN_IF_ERROR(RecoverWal(live));
+  assigned_lsn_ = last_lsn_;
+  LintOpenOptions();
+  if (options_.group_commit) {
+    GroupCommitter::Options committer_options;
+    committer_options.max_batch_ops = std::max<size_t>(
+        1, options_.group_commit_max_batch);
+    committer_options.flush_interval = options_.group_commit_flush_interval;
+    committer_ = std::make_unique<GroupCommitter>(
+        committer_options, [this](const std::vector<std::string>& frames) {
+          return WriteBatch(frames);
+        });
+  }
   store_->SetMutationListener(
       [this](const std::vector<engine::Mutation>& batch) {
         return AppendBatch(batch);
@@ -105,12 +163,14 @@ sqo::Status StorageManager::Recover() {
     // Persist them immediately so "opened OK" implies "durable".
     SQO_RETURN_IF_ERROR(Checkpoint());
   }
+  obs::Gauge("storage.healthy", healthy() ? 1 : 0);
+  obs::Gauge("wal.segments", wal_stats().segments);
   return sqo::Status::Ok();
 }
 
 sqo::Status StorageManager::LoadSnapshots(const sqo::Fingerprint128& live_hash,
                                           uint64_t* max_seq) {
-  SQO_ASSIGN_OR_RETURN(std::vector<std::string> names, fs::ListDir(dir_));
+  SQO_ASSIGN_OR_RETURN(std::vector<std::string> names, env_->ListDir(dir_));
   std::vector<std::pair<uint64_t, std::string>> candidates;
   for (const std::string& name : names) {
     if (std::optional<uint64_t> seq = ParseSnapshotSeq(name)) {
@@ -194,143 +254,299 @@ sqo::Status StorageManager::LoadSnapshots(const sqo::Fingerprint128& live_hash,
 }
 
 sqo::Status StorageManager::RecoverWal(const sqo::Fingerprint128& live_hash) {
-  const std::string path = WalPath();
-  const WalHeader fresh_header{live_hash, last_lsn_};
-  sqo::Result<WalReadResult> read = ReadWal(path);
-  if (!read.ok()) {
-    if (read.status().code() != sqo::StatusCode::kNotFound) {
-      // The header itself is untrusted — the whole log is discarded.
-      if (!options_.fail_open) return read.status();
-      Degrade("WAL discarded: " + read.status().message(),
+  sqo::Result<WalChainResult> chain = ReadWalChain(*env_, dir_);
+  if (!chain.ok()) {
+    if (chain.status().code() != sqo::StatusCode::kNotFound) {
+      // The first segment's header is untrusted — the whole chain is
+      // discarded, same contract as a bad header on a single-file log.
+      if (!options_.fail_open) return chain.status();
+      Degrade("WAL discarded: " + chain.status().message(),
               /*corruption=*/true);
+      if (sqo::Result<std::vector<WalSegmentFile>> files =
+              ListWalSegments(*env_, dir_);
+          files.ok()) {
+        for (const WalSegmentFile& file : *files) {
+          (void)env_->RemoveFile(file.path);
+        }
+      }
     }
-    SQO_ASSIGN_OR_RETURN(WalWriter writer,
-                         WalWriter::Create(path, fresh_header));
-    wal_ = std::make_unique<WalWriter>(std::move(writer));
-    return sqo::Status::Ok();
+    wal_seq_ = 0;
+    return RotateLocked();
   }
 
-  WalReadResult& wal = *read;
-  if (wal.header.schema_hash != live_hash) {
-    if (!options_.fail_open) {
-      return sqo::DataCorruptionError(
-          "WAL was written for schema " + wal.header.schema_hash.ToString() +
-          " but the live schema is " + live_hash.ToString());
+  WalChainResult& wal = *chain;
+  wal_seq_ = wal.max_seq;
+
+  // Cross-check every trusted segment against the live SchemaFingerprint:
+  // a segment written for another schema would replay mutations that mean
+  // something different under the current catalog (the residue-soundness
+  // hazard the catalog artifact exists to prevent).
+  size_t trusted = wal.segments.size();
+  for (size_t i = 0; i < wal.segments.size(); ++i) {
+    if (wal.segments[i].read.header.schema_hash != live_hash) {
+      if (!options_.fail_open) {
+        return sqo::DataCorruptionError(
+            "WAL segment " + wal.segments[i].path + " was written for schema " +
+            wal.segments[i].read.header.schema_hash.ToString() +
+            " but the live schema is " + live_hash.ToString());
+      }
+      Degrade("WAL discarded from " + wal.segments[i].path +
+                  ": schema mismatch",
+              /*corruption=*/false);
+      trusted = i;
+      break;
     }
-    Degrade("WAL discarded: schema mismatch", /*corruption=*/false);
-    SQO_ASSIGN_OR_RETURN(WalWriter writer,
-                         WalWriter::Create(path, fresh_header));
-    wal_ = std::make_unique<WalWriter>(std::move(writer));
-    return sqo::Status::Ok();
   }
-  if (wal.header.base_lsn > last_lsn_) {
-    // The log extends a snapshot newer than the one recovery could load
+  if (trusted > 0 && wal.segments.front().read.header.base_lsn > last_lsn_) {
+    // The chain extends a snapshot newer than the one recovery could load
     // (we failed open to an older one): the intermediate history is gone,
     // so replaying would apply operations against the wrong base state.
     if (!options_.fail_open) {
       return sqo::DataCorruptionError(
-          "WAL base LSN " + std::to_string(wal.header.base_lsn) +
+          "WAL base LSN " +
+          std::to_string(wal.segments.front().read.header.base_lsn) +
           " is beyond the recovered snapshot LSN " + std::to_string(last_lsn_));
     }
-    Degrade("WAL discarded: base LSN " + std::to_string(wal.header.base_lsn) +
+    Degrade("WAL discarded: base LSN " +
+                std::to_string(wal.segments.front().read.header.base_lsn) +
                 " beyond recovered snapshot LSN " + std::to_string(last_lsn_),
             /*corruption=*/false);
-    SQO_ASSIGN_OR_RETURN(WalWriter writer,
-                         WalWriter::Create(path, fresh_header));
-    wal_ = std::make_unique<WalWriter>(std::move(writer));
-    return sqo::Status::Ok();
+    trusted = 0;
   }
 
-  uint64_t truncate_to = wal.valid_bytes;
-  for (const WalRecord& record : wal.records) {
-    if (record.lsn <= last_lsn_) continue;  // already covered by the snapshot
-    sqo::Status status = store_->ApplyMutations(record.batch);
-    if (!status.ok()) {
-      // Checksummed but semantically inconsistent (e.g. pairs a deleted
-      // object): cut the log here, keep what applied.
-      if (!options_.fail_open) return status;
-      Degrade("WAL record LSN " + std::to_string(record.lsn) +
-                  " failed to apply: " + status.message() + "; log truncated",
-              /*corruption=*/true);
-      truncate_to = record.offset;
-      break;
+  // Replay the trusted chain; an apply failure cuts the log at that record.
+  size_t stop_segment = trusted;   // first segment to delete entirely
+  uint64_t stop_offset = 0;        // truncation point inside stop_segment-1
+  bool apply_failed = false;
+  for (size_t i = 0; i < trusted && !apply_failed; ++i) {
+    const WalReadResult& read = wal.segments[i].read;
+    for (const WalRecord& record : read.records) {
+      if (record.lsn <= last_lsn_) continue;  // covered by the snapshot
+      sqo::Status status = store_->ApplyMutations(record.batch);
+      if (!status.ok()) {
+        // Checksummed but semantically inconsistent (e.g. pairs a deleted
+        // object): cut the log here, keep what applied.
+        if (!options_.fail_open) return status;
+        Degrade("WAL record LSN " + std::to_string(record.lsn) +
+                    " failed to apply: " + status.message() + "; log truncated",
+                /*corruption=*/true);
+        apply_failed = true;
+        stop_segment = i + 1;
+        stop_offset = record.offset;
+        break;
+      }
+      last_lsn_ = record.lsn;
+      ++info_.replayed_records;
     }
-    last_lsn_ = record.lsn;
-    ++info_.replayed_records;
   }
-  if (wal.corrupt) {
+  if (!apply_failed && trusted > 0) {
+    stop_offset = wal.segments[trusted - 1].read.valid_bytes;
+  }
+  if (wal.corrupt && trusted == wal.segments.size()) {
     if (!options_.fail_open) {
       return sqo::DataCorruptionError("WAL: " + wal.stop_reason);
     }
     Degrade("WAL truncated: " + wal.stop_reason, /*corruption=*/true);
   }
-  // A clean torn tail (stopped_early without corrupt) is the expected
-  // artifact of a crash mid-append: truncate silently, no degradation.
-  if (truncate_to < wal.file_bytes) {
-    info_.truncated_bytes += wal.file_bytes - truncate_to;
-    SQO_RETURN_IF_ERROR(fs::TruncateFile(path, truncate_to));
+  info_.wal_segments = stop_segment;
+
+  // Physical cleanup, newest first so a crash mid-cleanup cannot leave a
+  // trusted-looking segment beyond a hole: delete rejected files and
+  // segments past the stop point, truncate the stop segment's bad tail.
+  for (auto it = wal.rejected_paths.rbegin(); it != wal.rejected_paths.rend();
+       ++it) {
+    (void)env_->RemoveFile(*it);
   }
+  for (size_t i = wal.segments.size(); i > stop_segment; --i) {
+    const WalReadResult& read = wal.segments[i - 1].read;
+    info_.truncated_bytes += read.valid_bytes;  // whole segment discarded
+    (void)env_->RemoveFile(wal.segments[i - 1].path);
+  }
+  if (stop_segment > 0) {
+    const WalChainSegment& tail = wal.segments[stop_segment - 1];
+    if (stop_offset < tail.read.file_bytes) {
+      info_.truncated_bytes += tail.read.file_bytes - stop_offset;
+      SQO_RETURN_IF_ERROR(env_->TruncateFile(tail.path, stop_offset));
+    }
+  }
+  // A clean torn tail (stopped_early without corrupt) is the expected
+  // artifact of a crash mid-append: truncated silently, no degradation.
   obs::Count("storage.recovery.wal_records_replayed", info_.replayed_records);
-  SQO_ASSIGN_OR_RETURN(WalWriter writer, WalWriter::OpenExisting(path));
-  wal_ = std::make_unique<WalWriter>(std::move(writer));
+
+  // Always append into a fresh segment based at the recovered LSN — the
+  // truncated tail segment stays read-only until a checkpoint prunes it.
+  return RotateLocked();
+}
+
+sqo::Status StorageManager::RotateLocked() {
+  const sqo::Fingerprint128 live = SchemaFingerprint(store_->schema());
+  const uint64_t seq = wal_seq_ + 1;
+  sqo::Result<WalWriter> writer =
+      WalWriter::Create(*env_, SegmentPath(seq), WalHeader{live, last_lsn_});
+  if (!writer.ok()) {
+    return writer.status();
+  }
+  wal_ = std::make_unique<WalWriter>(std::move(writer).value());
+  wal_seq_ = seq;
+  return sqo::Status::Ok();
+}
+
+void StorageManager::MaybeRotateLocked() {
+  if (wal_ == nullptr || wal_->size() < options_.wal_segment_bytes) return;
+  const uint64_t before = wal_seq_;
+  // Best-effort: a failed rotation (e.g. no space for the new header) keeps
+  // the current oversized segment as the writer — nothing durable is lost,
+  // and the next batch retries.
+  if (RotateLocked().ok() && wal_seq_ != before) {
+    ++wal_rotations_;
+    obs::Count("storage.wal.rotations");
+  }
+}
+
+sqo::Status StorageManager::WriteBatch(const std::vector<std::string>& frames) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (wal_ == nullptr) {
+    return sqo::InternalError("storage manager has no open WAL segment");
+  }
+  if (!healthy_.load(std::memory_order_relaxed)) {
+    return sqo::DataCorruptionError(
+        "storage is unhealthy after an earlier append failure; mutation not "
+        "durable (checkpoint to re-base the log)");
+  }
+  for (const std::string& frame : frames) {
+    sqo::Status status = wal_->AppendFrame(frame);
+    if (!status.ok()) {
+      // Latch: once one record fails, later appends must not succeed or the
+      // durable log would have a hole — acknowledged ops must be a prefix.
+      healthy_.store(false, std::memory_order_relaxed);
+      return status;
+    }
+  }
+  if (options_.sync_each_append) {
+    sqo::Status status = wal_->Sync();
+    if (!status.ok()) {
+      // The bytes may or may not be on disk; nobody in this batch gets
+      // acknowledged, and the latch keeps the acknowledged set a durable
+      // prefix.
+      healthy_.store(false, std::memory_order_relaxed);
+      return status;
+    }
+  }
+  // Frames are enqueued in LSN order and batches are FIFO, so the batch
+  // covers exactly the next `frames.size()` LSNs.
+  last_lsn_ += frames.size();
+  MaybeRotateLocked();
   return sqo::Status::Ok();
 }
 
 sqo::Status StorageManager::AppendBatch(
     const std::vector<engine::Mutation>& batch) {
   if (batch.empty()) return sqo::Status::Ok();
-  if (closed_ || wal_ == nullptr) {
-    return sqo::InternalError("storage manager is closed");
+  std::shared_ptr<GroupCommitter::Ticket> ticket;
+  {
+    std::lock_guard<std::mutex> gate(checkpoint_mu_);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || wal_ == nullptr) {
+      return sqo::InternalError("storage manager is closed");
+    }
+    if (!healthy_.load(std::memory_order_relaxed)) {
+      return sqo::DataCorruptionError(
+          "storage is unhealthy after an earlier append failure; mutation not "
+          "durable (checkpoint to re-base the log)");
+    }
+    const uint64_t lsn = assigned_lsn_ + 1;
+    std::string frame = EncodeWalRecord(lsn, EncodeMutationBatch(batch));
+    if (committer_ != nullptr) {
+      // LSN assignment and enqueue happen under one lock so queue order is
+      // LSN order; the wait happens outside every lock.
+      ticket = committer_->Enqueue(std::move(frame));
+      assigned_lsn_ = lsn;
+    } else {
+      sqo::Status status = wal_->AppendFrame(frame);
+      if (status.ok() && options_.sync_each_append) status = wal_->Sync();
+      if (!status.ok()) {
+        healthy_.store(false, std::memory_order_relaxed);
+        obs::Count("storage.wal.append_failed");
+        obs::Gauge("storage.healthy", 0);
+        return status;
+      }
+      assigned_lsn_ = lsn;
+      last_lsn_ = lsn;
+      obs::Count("storage.wal.records");
+      MaybeRotateLocked();
+      return sqo::Status::Ok();
+    }
   }
-  if (!healthy_) {
-    return sqo::DataCorruptionError(
-        "storage is unhealthy after an earlier append failure; mutation not "
-        "durable (checkpoint to re-base the log)");
-  }
-  const uint64_t lsn = last_lsn_ + 1;
-  sqo::Status status = wal_->Append(lsn, batch, options_.sync_each_append);
+  sqo::Status status = committer_->Wait(ticket);
   if (!status.ok()) {
-    // Latch: once one record fails, later appends must not succeed or the
-    // durable log would have a hole — acknowledged ops must be a prefix.
-    healthy_ = false;
     obs::Count("storage.wal.append_failed");
+    obs::Gauge("storage.healthy", healthy() ? 1 : 0);
     return status;
   }
-  last_lsn_ = lsn;
   obs::Count("storage.wal.records");
   return sqo::Status::Ok();
 }
 
 sqo::Status StorageManager::Checkpoint() {
   obs::Span span("storage.checkpoint");
+  std::lock_guard<std::mutex> gate(checkpoint_mu_);
+  if (committer_ != nullptr) {
+    // Drain: every frame enqueued before the gate closed gets its batch
+    // outcome (and its waiter is acknowledged) before we snapshot — so no
+    // acknowledged record can sit only in a segment we are about to prune,
+    // and the snapshot LSN covers everything the log acknowledged.
+    committer_->Flush();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  return CheckpointLocked();
+}
+
+sqo::Status StorageManager::CheckpointLocked() {
   const sqo::Fingerprint128 live = SchemaFingerprint(store_->schema());
+  // Memory is the truth: the snapshot contains every applied mutation,
+  // including any that failed acknowledgment after the unhealthy latch, so
+  // it is stamped with the highest *assigned* LSN.
+  const uint64_t snapshot_lsn = assigned_lsn_;
   const uint64_t seq = next_snapshot_seq_;
-  sqo::Status status =
-      WriteSnapshot(SnapshotPath(seq), *store_, live, last_lsn_,
-                    CatalogJson());
+  sqo::Status status = WriteSnapshot(*env_, SnapshotPath(seq), *store_, live,
+                                     snapshot_lsn, CatalogJson());
   if (!status.ok()) {
-    // The previous snapshot + log remain authoritative; nothing was lost.
+    // The previous snapshot + segments remain authoritative; nothing lost.
     obs::Count("storage.checkpoint.failed");
     return status;
   }
   next_snapshot_seq_ = seq + 1;
-  sqo::Result<WalWriter> writer =
-      WalWriter::Create(WalPath(), WalHeader{live, last_lsn_});
-  if (!writer.ok()) {
+  last_lsn_ = snapshot_lsn;
+  const uint64_t covered_seq = wal_seq_;
+  sqo::Status rotated = RotateLocked();
+  if (!rotated.ok()) {
     // The new snapshot already covers every logged operation, but with no
     // working log further mutations cannot be acknowledged.
-    healthy_ = false;
+    healthy_.store(false, std::memory_order_relaxed);
     wal_.reset();
     obs::Count("storage.checkpoint.failed");
-    return writer.status();
+    obs::Gauge("storage.healthy", 0);
+    return rotated;
   }
-  wal_ = std::make_unique<WalWriter>(std::move(writer).value());
-  healthy_ = true;  // the snapshot re-based durability; the latch clears
+  healthy_.store(true, std::memory_order_relaxed);
   obs::Count("storage.checkpoint.count");
+
+  // The snapshot covers every record in segments up to covered_seq: prune
+  // them (best-effort, oldest first so a crash mid-prune leaves a
+  // contiguous chain suffix).
+  if (sqo::Result<std::vector<WalSegmentFile>> segments =
+          ListWalSegments(*env_, dir_);
+      segments.ok()) {
+    for (const WalSegmentFile& segment : *segments) {
+      if (segment.seq <= covered_seq) {
+        (void)env_->RemoveFile(segment.path);
+      }
+    }
+  }
 
   // Prune checkpoints beyond the newest keep_snapshots (best-effort).
   const size_t keep = std::max<size_t>(1, options_.keep_snapshots);
-  if (sqo::Result<std::vector<std::string>> names = fs::ListDir(dir_);
+  if (sqo::Result<std::vector<std::string>> names = env_->ListDir(dir_);
       names.ok()) {
     std::vector<uint64_t> seqs;
     for (const std::string& name : *names) {
@@ -340,24 +556,34 @@ sqo::Status StorageManager::Checkpoint() {
     }
     std::sort(seqs.begin(), seqs.end(), std::greater<uint64_t>());
     for (size_t i = keep; i < seqs.size(); ++i) {
-      const sqo::Status removed = fs::RemoveFile(SnapshotPath(seqs[i]));
+      const sqo::Status removed = env_->RemoveFile(SnapshotPath(seqs[i]));
       (void)removed;  // best-effort: a stale extra snapshot is harmless
     }
   }
+  obs::Gauge("storage.healthy", 1);
+  obs::Gauge("wal.segments", 1);
   return sqo::Status::Ok();
 }
 
 sqo::Status StorageManager::Close() {
-  if (closed_) return sqo::Status::Ok();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return sqo::Status::Ok();
+  }
   sqo::Status status = sqo::Status::Ok();
   if (options_.checkpoint_on_close && wal_ != nullptr) {
     // Memory is the truth: a final checkpoint repairs durability even if
     // the log went unhealthy mid-session.
     status = Checkpoint();
   }
-  closed_ = true;
+  if (committer_ != nullptr) committer_->Stop();
+  {
+    std::lock_guard<std::mutex> gate(checkpoint_mu_);
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    wal_.reset();
+  }
   store_->SetMutationListener(nullptr);
-  wal_.reset();
   return status;
 }
 

@@ -1,33 +1,44 @@
 #ifndef SQO_STORAGE_MANAGER_H_
 #define SQO_STORAGE_MANAGER_H_
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "analysis/diagnostic.h"
+#include "common/env.h"
 #include "common/status.h"
 #include "engine/object_store.h"
 #include "sqo/semantic_compiler.h"
 #include "storage/catalog.h"
+#include "storage/group_commit.h"
 #include "storage/wal.h"
 
 /// Crash-safe persistence for one ObjectStore: checksummed snapshots plus a
-/// write-ahead log, with fail-open recovery.
+/// segmented write-ahead log with group commit, and fail-open recovery.
 ///
 /// Directory layout:
 ///   <dir>/snapshot-NNNNNN.sqo   — immutable checkpoints (newest wins;
 ///                                 the previous one is kept as fallback)
-///   <dir>/wal.log               — mutations since the newest snapshot
+///   <dir>/wal-NNNNNN.log        — mutation segments since the newest
+///                                 snapshot, chained by base LSN
 ///
-/// `Open` recovers (newest *valid* snapshot, then WAL replay, truncating at
-/// the first torn or corrupt record), installs itself as the store's
-/// mutation listener, and from then on every logical store operation is one
-/// durable WAL record before the caller's call returns OK. `Checkpoint`
-/// rewrites the snapshot and resets the log. Recovery never aborts: any
-/// corruption degrades fail-open to the best older state (or an empty
-/// store) with `RecoveryInfo.degraded` + reason set, mirroring the
-/// pipeline's governance degradation contract.
+/// `Open` recovers (newest *valid* snapshot, then replay over the WAL
+/// segment chain, truncating at the first torn or corrupt record), installs
+/// itself as the store's mutation listener, and from then on every logical
+/// store operation becomes one WAL record that is durable before the
+/// caller's call returns OK. With group commit (the default) concurrent
+/// appends share one fsync per batch: the committer thread writes whatever
+/// accumulated while the previous fsync ran, syncs once, and wakes every
+/// submitter in the batch. `Checkpoint` rewrites the snapshot, rotates to a
+/// fresh segment based at the snapshot's LSN, and prunes the segments the
+/// snapshot covers. Recovery never aborts: any corruption degrades
+/// fail-open to the best older state (or an empty store) with
+/// `RecoveryInfo.degraded` + reason set, mirroring the pipeline's
+/// governance degradation contract.
 namespace sqo::storage {
 
 struct OpenOptions {
@@ -36,9 +47,29 @@ struct OpenOptions {
   /// Must outlive the manager.
   const core::CompiledSchema* compiled = nullptr;
 
-  /// fsync the log on every append (durability = acknowledged). Turning
-  /// this off trades the last few operations for throughput.
+  /// All storage I/O goes through this Env (nullptr = the POSIX default).
+  /// Must outlive the manager. Tests interpose a FaultInjectingEnv here.
+  fs::Env* env = nullptr;
+
+  /// fsync before acknowledging: each append in the non-group path, each
+  /// batch under group commit. Turning this off trades the last few
+  /// operations for throughput (SQO-A018 flags it).
   bool sync_each_append = true;
+
+  /// Batch concurrent appends into one fsync on a committer thread. Off
+  /// means the submitting thread writes and syncs inline (the pre-group
+  /// behavior; simpler to reason about in single-threaded tests).
+  bool group_commit = true;
+
+  /// Largest group-commit batch per fsync.
+  size_t group_commit_max_batch = 64;
+
+  /// Extra accumulation time per batch (0 = natural batching). Values
+  /// above a session's deadline budget are flagged by SQO-A018.
+  std::chrono::microseconds group_commit_flush_interval{0};
+
+  /// Rotate to a new WAL segment once the current one exceeds this size.
+  uint64_t wal_segment_bytes = 1 << 20;
 
   /// Checkpoint automatically when the manager is closed/destroyed.
   bool checkpoint_on_close = true;
@@ -61,6 +92,7 @@ struct RecoveryInfo {
   std::string snapshot_path;       // empty when none loaded
   uint64_t snapshot_lsn = 0;
   uint64_t replayed_records = 0;   // WAL records applied
+  uint64_t wal_segments = 0;       // trusted segments in the recovered chain
   uint64_t truncated_bytes = 0;    // bytes cut off the log tail
   bool corruption_detected = false;
   bool degraded = false;
@@ -69,8 +101,7 @@ struct RecoveryInfo {
   bool catalog_loaded = false;
   CatalogInfo catalog;
 
-  /// SQO-A013 findings (empty when the stored catalog matches the live
-  /// schema, or no catalog was stored/configured).
+  /// SQO-A013 catalog-freshness and SQO-A018 durability-knob findings.
   analysis::AnalysisReport lint;
 };
 
@@ -87,47 +118,101 @@ class StorageManager {
   StorageManager(const StorageManager&) = delete;
   StorageManager& operator=(const StorageManager&) = delete;
 
-  /// Writes a new snapshot of the store (atomically), resets the log to an
-  /// empty one based at the snapshot's LSN, and prunes old snapshots. On
-  /// failure the previous snapshot and log remain authoritative.
+  /// Writes a new snapshot of the store (atomically), rotates the log to a
+  /// fresh segment based at the snapshot's LSN, and prunes covered segments
+  /// and old snapshots. Safe to call while appends are in flight: new
+  /// appends are gated out, the committer queue is drained first (so no
+  /// acknowledged record is left in a segment about to be pruned), and the
+  /// snapshot captures the store with everything the log acknowledged. On
+  /// failure the previous snapshot and segments remain authoritative.
   sqo::Status Checkpoint();
 
-  /// Detaches from the store (further mutations are no longer logged) and,
-  /// per options, takes a final checkpoint. Idempotent.
+  /// Detaches from the store (further mutations are no longer logged),
+  /// stops the committer thread and, per options, takes a final
+  /// checkpoint. Idempotent.
   sqo::Status Close();
 
   const RecoveryInfo& recovery_info() const { return info_; }
   const std::string& dir() const { return dir_; }
-  uint64_t last_lsn() const { return last_lsn_; }
+  uint64_t last_lsn() const;
 
-  /// False once an append or checkpoint has failed: the log can no longer
-  /// be trusted to be a prefix of memory, so every later mutation is
+  /// False once an append, sync or checkpoint has failed: the log can no
+  /// longer be trusted to be a prefix of memory, so every later mutation is
   /// reported unacknowledged until a successful Checkpoint re-bases it.
-  bool healthy() const { return healthy_; }
+  bool healthy() const { return healthy_.load(std::memory_order_relaxed); }
+
+  /// Point-in-time WAL shape, for `\status` and the obs gauges.
+  struct WalStats {
+    uint64_t segments = 0;     // live segment files
+    uint64_t bytes = 0;        // total bytes across them
+    uint64_t current_seq = 0;  // seq of the segment being appended to
+    uint64_t rotations = 0;    // size-triggered rotations this session
+  };
+  WalStats wal_stats() const;
+
+  /// Group-commit batching stats (zero batches when group commit is off).
+  GroupCommitter::Stats group_commit_stats() const;
+
+  /// Logs one mutation batch and blocks until it is durable (or rejected).
+  /// This is the store's mutation-listener entry point, exposed so serving
+  /// layers with their own apply path can log through the same committer.
+  /// Thread-safe; under group commit, concurrent callers share fsyncs.
+  sqo::Status AppendBatch(const std::vector<engine::Mutation>& batch);
 
  private:
   StorageManager(std::string dir, engine::ObjectStore* store,
                  OpenOptions options)
-      : dir_(std::move(dir)), store_(store), options_(options) {}
+      : dir_(std::move(dir)),
+        store_(store),
+        options_(options),
+        env_(options.env != nullptr ? options.env : fs::Env::Default()) {}
 
   sqo::Status Recover();
-  sqo::Status AppendBatch(const std::vector<engine::Mutation>& batch);
+
+  /// The group committer's commit function: writes `frames`, fsyncs once,
+  /// rotates if due. Runs on the committer thread, takes mu_.
+  sqo::Status WriteBatch(const std::vector<std::string>& frames);
+
   sqo::Status LoadSnapshots(const sqo::Fingerprint128& live_hash,
                             uint64_t* max_seq);
   sqo::Status RecoverWal(const sqo::Fingerprint128& live_hash);
+  sqo::Status CheckpointLocked();
+
+  /// Creates segment `wal_seq_ + 1` based at `last_lsn_` and switches the
+  /// writer to it. mu_ held.
+  sqo::Status RotateLocked();
+  void MaybeRotateLocked();
+
   std::string SnapshotPath(uint64_t seq) const;
-  std::string WalPath() const;
+  std::string SegmentPath(uint64_t seq) const;
   std::string CatalogJson() const;
   void Degrade(std::string reason, bool corruption);
+  void LintOpenOptions();
 
   std::string dir_;
   engine::ObjectStore* store_;
   OpenOptions options_;
+  fs::Env* env_;
   RecoveryInfo info_;
+
+  /// Serializes LSN assignment/enqueue, the inline append path, rotation
+  /// and the committer's WriteBatch.
+  mutable std::mutex mu_;
+
+  /// Held exclusively by Checkpoint for its whole duration and briefly by
+  /// each append before enqueueing, so a checkpoint drains in-flight
+  /// batches and blocks new appends while it snapshots and prunes.
+  /// Lock order: checkpoint_mu_ before mu_.
+  std::mutex checkpoint_mu_;
+
   std::unique_ptr<WalWriter> wal_;
-  uint64_t last_lsn_ = 0;       // highest durable LSN
+  std::unique_ptr<GroupCommitter> committer_;
+  uint64_t last_lsn_ = 0;      // highest durable (acknowledged) LSN
+  uint64_t assigned_lsn_ = 0;  // highest LSN handed to an append
+  uint64_t wal_seq_ = 0;       // seq of the segment wal_ appends to
+  uint64_t wal_rotations_ = 0;
   uint64_t next_snapshot_seq_ = 1;
-  bool healthy_ = true;
+  std::atomic<bool> healthy_{true};
   bool closed_ = false;
 };
 

@@ -100,6 +100,14 @@ sqo::Status WriteSnapshot(const std::string& path,
                           const engine::ObjectStore& store,
                           const sqo::Fingerprint128& schema_hash,
                           uint64_t last_lsn, std::string_view catalog_json) {
+  return WriteSnapshot(*fs::Env::Default(), path, store, schema_hash, last_lsn,
+                       catalog_json);
+}
+
+sqo::Status WriteSnapshot(fs::Env& env, const std::string& path,
+                          const engine::ObjectStore& store,
+                          const sqo::Fingerprint128& schema_hash,
+                          uint64_t last_lsn, std::string_view catalog_json) {
   SQO_FAILPOINT("storage.snapshot_write");
   const std::string store_section = EncodeStoreSection(store);
 
@@ -116,7 +124,7 @@ sqo::Status WriteSnapshot(const std::string& path,
   file.PutU32(MaskCrc32c(Crc32c(file.str())));
   file.PutBytes(store_section);
   file.PutBytes(catalog_json);
-  return fs::WriteFileAtomic(path, file.str());
+  return fs::WriteFileAtomic(env, path, file.str());
 }
 
 sqo::Result<SnapshotContents> ReadSnapshot(const std::string& path) {

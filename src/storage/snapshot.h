@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/env.h"
 #include "common/fingerprint.h"
 #include "common/status.h"
 #include "engine/object_store.h"
@@ -54,7 +55,12 @@ struct SnapshotContents {
 /// Serializes `store` + `catalog_json` and atomically publishes the file at
 /// `path`. Failpoint site `storage.snapshot_write` fires before any I/O;
 /// the underlying atomic write carries `storage.fsync` / `storage.rename`.
+/// The Env overload routes the publication through `env` (fault injection).
 sqo::Status WriteSnapshot(const std::string& path,
+                          const engine::ObjectStore& store,
+                          const sqo::Fingerprint128& schema_hash,
+                          uint64_t last_lsn, std::string_view catalog_json);
+sqo::Status WriteSnapshot(fs::Env& env, const std::string& path,
                           const engine::ObjectStore& store,
                           const sqo::Fingerprint128& schema_hash,
                           uint64_t last_lsn, std::string_view catalog_json);

@@ -1,5 +1,7 @@
 #include "storage/wal.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include "common/crc32c.h"
@@ -7,9 +9,8 @@
 #include "storage/format.h"
 
 namespace sqo::storage {
-namespace {
 
-std::string EncodeRecord(uint64_t lsn, std::string_view payload) {
+std::string EncodeWalRecord(uint64_t lsn, std::string_view payload) {
   BinaryWriter body;
   body.PutU64(lsn);
   body.PutBytes(payload);
@@ -19,8 +20,6 @@ std::string EncodeRecord(uint64_t lsn, std::string_view payload) {
   record.PutBytes(body.str());
   return record.TakeString();
 }
-
-}  // namespace
 
 std::string EncodeWalHeader(const WalHeader& header) {
   BinaryWriter writer;
@@ -33,34 +32,96 @@ std::string EncodeWalHeader(const WalHeader& header) {
   return writer.TakeString();
 }
 
+std::string WalSegmentFileName(uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%06llu.log",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+std::optional<uint64_t> ParseWalSegmentSeq(std::string_view name) {
+  constexpr std::string_view kPrefix = "wal-";
+  constexpr std::string_view kSuffix = ".log";
+  if (name.size() <= kPrefix.size() + kSuffix.size()) return std::nullopt;
+  if (name.substr(0, kPrefix.size()) != kPrefix) return std::nullopt;
+  if (name.substr(name.size() - kSuffix.size()) != kSuffix) return std::nullopt;
+  const std::string_view digits =
+      name.substr(kPrefix.size(), name.size() - kPrefix.size() - kSuffix.size());
+  uint64_t seq = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    seq = seq * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return seq;
+}
+
+sqo::Result<std::vector<WalSegmentFile>> ListWalSegments(
+    fs::Env& env, const std::string& dir) {
+  SQO_ASSIGN_OR_RETURN(std::vector<std::string> names, env.ListDir(dir));
+  std::vector<WalSegmentFile> segments;
+  for (const std::string& name : names) {
+    if (const std::optional<uint64_t> seq = ParseWalSegmentSeq(name)) {
+      segments.push_back({*seq, dir + "/" + name});
+    }
+  }
+  std::sort(segments.begin(), segments.end(),
+            [](const WalSegmentFile& a, const WalSegmentFile& b) {
+              return a.seq < b.seq;
+            });
+  return segments;
+}
+
+sqo::Result<WalWriter> WalWriter::Create(fs::Env& env, const std::string& path,
+                                         const WalHeader& header) {
+  SQO_RETURN_IF_ERROR(fs::WriteFileAtomic(env, path, EncodeWalHeader(header)));
+  SQO_ASSIGN_OR_RETURN(std::unique_ptr<fs::WritableFile> file,
+                       env.OpenAppend(path));
+  return WalWriter(std::move(file));
+}
+
 sqo::Result<WalWriter> WalWriter::Create(const std::string& path,
                                          const WalHeader& header) {
-  SQO_RETURN_IF_ERROR(fs::WriteFileAtomic(path, EncodeWalHeader(header)));
-  SQO_ASSIGN_OR_RETURN(fs::AppendFile file, fs::AppendFile::Open(path));
+  return Create(*fs::Env::Default(), path, header);
+}
+
+sqo::Result<WalWriter> WalWriter::OpenExisting(fs::Env& env,
+                                               const std::string& path) {
+  SQO_ASSIGN_OR_RETURN(std::unique_ptr<fs::WritableFile> file,
+                       env.OpenAppend(path));
   return WalWriter(std::move(file));
 }
 
 sqo::Result<WalWriter> WalWriter::OpenExisting(const std::string& path) {
-  SQO_ASSIGN_OR_RETURN(fs::AppendFile file, fs::AppendFile::Open(path));
-  return WalWriter(std::move(file));
+  return OpenExisting(*fs::Env::Default(), path);
 }
 
 sqo::Status WalWriter::Append(uint64_t lsn,
                               const std::vector<engine::Mutation>& batch,
                               bool sync) {
-  SQO_FAILPOINT("storage.wal_append");
-  if (!file_.open()) {
-    return sqo::InternalError("WAL file is not open");
-  }
-  SQO_RETURN_IF_ERROR(file_.Append(EncodeRecord(lsn, EncodeMutationBatch(batch))));
+  SQO_RETURN_IF_ERROR(AppendFrame(EncodeWalRecord(lsn, EncodeMutationBatch(batch))));
   if (sync) {
-    SQO_RETURN_IF_ERROR(file_.Sync());
+    SQO_RETURN_IF_ERROR(Sync());
   }
   return sqo::Status::Ok();
 }
 
-sqo::Result<WalReadResult> ReadWal(const std::string& path) {
-  SQO_ASSIGN_OR_RETURN(std::string data, fs::ReadFile(path));
+sqo::Status WalWriter::AppendFrame(std::string_view frame) {
+  SQO_FAILPOINT("storage.wal_append");
+  if (!file_) {
+    return sqo::InternalError("WAL file is not open");
+  }
+  return file_->Append(frame);
+}
+
+sqo::Status WalWriter::Sync() {
+  if (!file_) {
+    return sqo::InternalError("WAL file is not open");
+  }
+  return file_->Sync();
+}
+
+sqo::Result<WalReadResult> ReadWal(fs::Env& env, const std::string& path) {
+  SQO_ASSIGN_OR_RETURN(std::string data, env.ReadFile(path));
 
   if (data.size() < kWalHeaderSize) {
     return sqo::DataCorruptionError("WAL header truncated: " +
@@ -161,6 +222,77 @@ sqo::Result<WalReadResult> ReadWal(const std::string& path) {
     result.valid_bytes = pos;
   }
   return result;
+}
+
+sqo::Result<WalReadResult> ReadWal(const std::string& path) {
+  return ReadWal(*fs::Env::Default(), path);
+}
+
+sqo::Result<WalChainResult> ReadWalChain(fs::Env& env, const std::string& dir) {
+  SQO_ASSIGN_OR_RETURN(std::vector<WalSegmentFile> files,
+                       ListWalSegments(env, dir));
+  if (files.empty()) {
+    return sqo::NotFoundError("no WAL segments in '" + dir + "'");
+  }
+
+  WalChainResult chain;
+  chain.max_seq = files.back().seq;
+  size_t trusted = 0;  // files[0..trusted) are in the chain
+  for (size_t i = 0; i < files.size(); ++i) {
+    sqo::Result<WalReadResult> read = ReadWal(env, files[i].path);
+    if (!read.ok()) {
+      if (i == 0) {
+        // Nothing of the chain is trusted: same contract as a bad header on
+        // a single-file log.
+        return read.status();
+      }
+      chain.stopped_early = true;
+      chain.corrupt = true;
+      chain.stop_reason = "segment " + files[i].path +
+                          " header unreadable: " + read.status().message();
+      break;
+    }
+    if (i > 0 && read->header.base_lsn != chain.last_lsn) {
+      chain.stopped_early = true;
+      chain.corrupt = true;
+      chain.stop_reason =
+          "segment " + files[i].path + " base LSN " +
+          std::to_string(read->header.base_lsn) +
+          " breaks chain continuity (expected " +
+          std::to_string(chain.last_lsn) + ")";
+      break;
+    }
+    WalChainSegment segment;
+    segment.seq = files[i].seq;
+    segment.path = files[i].path;
+    segment.read = std::move(read).value();
+    if (i == 0) chain.last_lsn = segment.read.header.base_lsn;
+    for (WalRecord& record : segment.read.records) {
+      chain.records.push_back(record);
+    }
+    if (!segment.read.records.empty()) {
+      chain.last_lsn = segment.read.last_lsn;
+    }
+    chain.file_bytes += segment.read.file_bytes;
+    const bool short_segment = segment.read.stopped_early;
+    if (short_segment) {
+      chain.stopped_early = true;
+      chain.corrupt = chain.corrupt || segment.read.corrupt;
+      chain.stop_reason = segment.read.stop_reason + " in " + segment.path;
+    }
+    chain.segments.push_back(std::move(segment));
+    trusted = i + 1;
+    if (short_segment) {
+      // Later segments would leave a hole in history: even a clean torn
+      // tail here becomes corruption if anything follows it.
+      if (i + 1 < files.size()) chain.corrupt = true;
+      break;
+    }
+  }
+  for (size_t i = trusted; i < files.size(); ++i) {
+    chain.rejected_paths.push_back(files[i].path);
+  }
+  return chain;
 }
 
 }  // namespace sqo::storage

@@ -2,30 +2,36 @@
 #define SQO_STORAGE_WAL_H_
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
-#include "common/fileio.h"
+#include "common/env.h"
 #include "common/fingerprint.h"
 #include "common/status.h"
 #include "engine/object_store.h"
 
-/// Record-oriented write-ahead log for ObjectStore mutations.
+/// Record-oriented, segmented write-ahead log for ObjectStore mutations.
 ///
-/// File layout (all integers little-endian):
+/// The log is a chain of segment files `wal-NNNNNN.log` (seq ascending).
+/// Each segment has the same layout (all integers little-endian):
 ///
 ///   header:  u32 magic "SQOW" | u32 version | u64 schema_lo | u64 schema_hi
 ///            | u64 base_lsn | u32 masked-CRC32C(preceding 32 bytes)
 ///   record:  u32 masked-CRC32C(lsn..payload) | u32 payload_len | u64 lsn
 ///            | payload (one encoded mutation batch = one logical operation)
 ///
-/// `base_lsn` is the LSN of the snapshot this log extends: replay applies
-/// only records with lsn > the loaded snapshot's LSN, and refuses a log
-/// whose base lies beyond it (the intermediate history is missing). LSNs
-/// are strictly increasing within a log; a duplicate or stale LSN is
-/// corruption. The reader stops at the first torn or corrupt record and
-/// reports the valid prefix length so recovery can physically truncate —
-/// the classic "trust the longest checksummed prefix" WAL contract.
+/// `base_lsn` is the last LSN before the segment: the first segment's base
+/// is the LSN of the snapshot the chain extends, and each later segment's
+/// base must equal the last LSN of the segment before it — that continuity
+/// check is what lets recovery trust a multi-file chain. LSNs are strictly
+/// increasing within a segment and across the chain; a duplicate or stale
+/// LSN is corruption. The reader stops at the first torn or corrupt record
+/// and reports the valid prefix length so recovery can physically truncate —
+/// the classic "trust the longest checksummed prefix" WAL contract, extended
+/// rule: a segment that *follows* a short or torn segment is untrusted too
+/// (its records would leave a hole in the middle of history).
 namespace sqo::storage {
 
 struct WalHeader {
@@ -41,12 +47,12 @@ struct WalRecord {
   uint64_t lsn = 0;
   std::vector<engine::Mutation> batch;
 
-  /// Byte offset of this record's frame in the file — the truncation point
-  /// if replay must discard this record and everything after it.
+  /// Byte offset of this record's frame in its segment file — the truncation
+  /// point if replay must discard this record and everything after it.
   uint64_t offset = 0;
 };
 
-/// The result of scanning a log file.
+/// The result of scanning one segment file.
 struct WalReadResult {
   WalHeader header;
   std::vector<WalRecord> records;
@@ -71,40 +77,122 @@ struct WalReadResult {
   uint64_t last_lsn = 0;
 };
 
-/// Appender. Records become durable ("acknowledged") only once Append
-/// returns OK with sync enabled; the failpoint site `storage.wal_append`
-/// fires before any bytes are written, so an injected crash loses exactly
-/// the unacknowledged record.
+/// Segment file name for sequence number `seq`: "wal-000042.log".
+std::string WalSegmentFileName(uint64_t seq);
+
+/// Parses a segment file name; nullopt for anything else.
+std::optional<uint64_t> ParseWalSegmentSeq(std::string_view name);
+
+struct WalSegmentFile {
+  uint64_t seq = 0;
+  std::string path;
+};
+
+/// The WAL segment files in `dir`, sorted by sequence number. An empty
+/// vector (no segments) is a valid result; a missing directory is an error.
+sqo::Result<std::vector<WalSegmentFile>> ListWalSegments(
+    fs::Env& env, const std::string& dir);
+
+/// Appender over one segment. Records become durable ("acknowledged") only
+/// once appended and synced; the failpoint site `storage.wal_append` fires
+/// before any bytes are written, so an injected crash loses exactly the
+/// unacknowledged record. Under group commit the committer thread appends
+/// pre-encoded frames for a whole batch, then issues one `Sync`.
 class WalWriter {
  public:
-  /// Creates (atomically replacing any previous log) a fresh log containing
-  /// only `header`, then opens it for appending.
+  /// Creates (atomically replacing any previous file) a fresh segment
+  /// containing only `header`, then opens it for appending.
+  static sqo::Result<WalWriter> Create(fs::Env& env, const std::string& path,
+                                       const WalHeader& header);
   static sqo::Result<WalWriter> Create(const std::string& path,
                                        const WalHeader& header);
 
-  /// Opens an existing, already-validated log for appending. The caller
+  /// Opens an existing, already-validated segment for appending. The caller
   /// (recovery) must have truncated it to its trusted prefix first.
+  static sqo::Result<WalWriter> OpenExisting(fs::Env& env,
+                                             const std::string& path);
   static sqo::Result<WalWriter> OpenExisting(const std::string& path);
 
   /// Appends one record; with `sync`, fsyncs before acknowledging.
   sqo::Status Append(uint64_t lsn, const std::vector<engine::Mutation>& batch,
                      bool sync);
 
-  uint64_t size() const { return file_.size(); }
+  /// Appends one pre-encoded record frame without syncing (group commit's
+  /// per-record write; the batch fsync comes via `Sync`).
+  sqo::Status AppendFrame(std::string_view frame);
+
+  /// fsyncs the segment.
+  sqo::Status Sync();
+
+  uint64_t size() const { return file_ ? file_->size() : 0; }
 
  private:
-  explicit WalWriter(fs::AppendFile file) : file_(std::move(file)) {}
+  explicit WalWriter(std::unique_ptr<fs::WritableFile> file)
+      : file_(std::move(file)) {}
 
-  fs::AppendFile file_;
+  std::unique_ptr<fs::WritableFile> file_;
 };
 
 /// Encodes just the header bytes (exposed for corruption-corpus tests).
 std::string EncodeWalHeader(const WalHeader& header);
 
-/// Scans `path`. A missing file is kNotFound; an invalid *header* is
-/// kDataCorruption (the whole log is untrusted); per-record problems are
+/// Encodes one record frame (checksum + length + lsn + payload). The group
+/// committer encodes on the submitting thread and hands frames to the
+/// committer thread.
+std::string EncodeWalRecord(uint64_t lsn, std::string_view payload);
+
+/// Scans one segment. A missing file is kNotFound; an invalid *header* is
+/// kDataCorruption (the whole segment is untrusted); per-record problems are
 /// reported in the result, never as an error.
+sqo::Result<WalReadResult> ReadWal(fs::Env& env, const std::string& path);
 sqo::Result<WalReadResult> ReadWal(const std::string& path);
+
+/// One scanned segment of a chain.
+struct WalChainSegment {
+  uint64_t seq = 0;
+  std::string path;
+  WalReadResult read;
+};
+
+/// The result of scanning a whole segment chain.
+struct WalChainResult {
+  /// The trusted prefix of the chain, in seq order. The last entry may have
+  /// a discarded tail (`read.stopped_early`) that recovery truncates.
+  std::vector<WalChainSegment> segments;
+
+  /// Segment files after the trust horizon (bad header, broken base-LSN
+  /// continuity, or following a short segment). Recovery deletes these —
+  /// their records would sit beyond a hole in history.
+  std::vector<std::string> rejected_paths;
+
+  /// Records of the trusted chain, in LSN order.
+  std::vector<WalRecord> records;
+
+  /// True when any segment tail or chain link was discarded.
+  bool stopped_early = false;
+
+  /// True when the discard was corruption (checksum/LSN/decode/continuity),
+  /// not a clean torn tail at the chain's very end.
+  bool corrupt = false;
+  std::string stop_reason;
+
+  /// LSN of the last trusted record (first segment's base when none).
+  uint64_t last_lsn = 0;
+
+  /// Highest segment seq present in the directory (trusted or not); the
+  /// next segment created must use a higher seq.
+  uint64_t max_seq = 0;
+
+  /// Total bytes across trusted segment files as scanned.
+  uint64_t file_bytes = 0;
+};
+
+/// Scans the segment chain in `dir`. kNotFound when no segments exist; a
+/// bad header on the *first* segment is kDataCorruption (nothing of the
+/// chain is trusted). Later problems — including a corrupt mid-chain header
+/// or a continuity break — stop the chain there and are reported in the
+/// result, mirroring the per-segment prefix-trust contract.
+sqo::Result<WalChainResult> ReadWalChain(fs::Env& env, const std::string& dir);
 
 }  // namespace sqo::storage
 

@@ -1,0 +1,393 @@
+#include "workload/chaos.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "common/env.h"
+#include "common/failpoint.h"
+#include "common/fileio.h"
+#include "storage/manager.h"
+
+namespace sqo::workload {
+namespace {
+
+constexpr char kAckFileName[] = "chaos-acks.log";
+
+// Child exit codes beyond fs::kFaultCrashExitCode (86, "injected crash").
+constexpr int kChildSetupFailed = 70;   // population/pipeline broke: harness bug
+constexpr int kChildCleanFinish = 0;    // ran the whole script
+
+std::string AckPath(const std::string& dir) {
+  return dir + "/" + kAckFileName;
+}
+
+/// The ack channel must survive SIGKILL, so it bypasses every buffered
+/// layer: one raw write() per event, no fsync needed (the harness models
+/// process death, not kernel death).
+class AckFile {
+ public:
+  explicit AckFile(const std::string& path)
+      : fd_(::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+                   0644)) {}
+  ~AckFile() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool ok() const { return fd_ >= 0; }
+  void Record(char event) {
+    if (fd_ < 0) return;
+    const ssize_t written = ::write(fd_, &event, 1);
+    (void)written;  // a lost ack under-counts, which only loosens the test
+  }
+
+ private:
+  int fd_;
+};
+
+struct AckLog {
+  bool baseline = false;
+  uint64_t acked = 0;
+};
+
+AckLog ReadAckLog(const std::string& dir) {
+  AckLog log;
+  if (sqo::Result<std::string> data = fs::ReadFile(AckPath(dir)); data.ok()) {
+    for (char c : *data) {
+      if (c == 'B') log.baseline = true;
+      if (c == 'A') ++log.acked;
+    }
+  }
+  return log;
+}
+
+storage::OpenOptions MakeOpenOptions(const ChaosOptions& options,
+                                     fs::Env* env) {
+  storage::OpenOptions open_options;
+  open_options.compiled = &options.pipeline->compiled();
+  open_options.env = env;
+  open_options.group_commit = options.group_commit;
+  open_options.checkpoint_on_close = false;
+  return open_options;
+}
+
+/// Failpoint site for kFailpointError, derived from the seed the same way
+/// in the child (to arm it) and in the parent (for diagnostics).
+std::string FailpointSite(uint64_t seed) {
+  return (seed % 2 == 0) ? "storage.wal_append" : "storage.fsync";
+}
+
+/// Everything the child does after fork(). Never returns; communicates
+/// exclusively through the ack file, the database directory and its exit
+/// status. No exit() — atexit handlers belong to the parent image.
+[[noreturn]] void ChildMain(const ChaosOptions& options) {
+  engine::Database db(&options.pipeline->schema());
+  if (!PopulateUniversity(options.data, *options.pipeline, &db).ok()) {
+    ::_exit(kChildSetupFailed);
+  }
+
+  fs::FaultInjectingEnv fault_env(fs::Env::Default());
+  fs::Env* env = nullptr;
+  switch (options.mode) {
+    case ChaosCrashMode::kFailpointError: {
+      failpoint::Action action;
+      action.status = sqo::InternalError("chaos: injected storage failure");
+      action.trigger_after = options.crash_point;
+      action.max_trips = 1;
+      failpoint::Activate(FailpointSite(options.seed), action);
+      break;
+    }
+    case ChaosCrashMode::kTornWriteCrash: {
+      fs::FaultPlan plan;
+      plan.torn_write_at_byte = options.crash_point;
+      plan.crash_on_torn_write = true;  // _Exit(86) inside the write
+      fault_env.set_plan(plan);
+      env = &fault_env;
+      break;
+    }
+    case ChaosCrashMode::kFsyncCrash: {
+      fs::FaultPlan plan;
+      plan.fail_sync_at = options.crash_point;
+      plan.crash_on_failed_sync = true;  // _Exit(86) inside the fsync
+      fault_env.set_plan(plan);
+      env = &fault_env;
+      break;
+    }
+    case ChaosCrashMode::kKillMidTraffic:
+      break;  // the parent does the killing
+  }
+
+  // Open may itself die here (baseline checkpoint I/O is injected too); a
+  // surviving-but-failed Open is the same crash point, just politer.
+  if (!db.Open(options.dir, MakeOpenOptions(options, env)).ok()) {
+    ::_exit(fs::kFaultCrashExitCode);
+  }
+  AckFile acks(AckPath(options.dir));
+  if (!acks.ok()) ::_exit(kChildSetupFailed);
+  acks.Record('B');  // baseline durable: Open returned
+
+  const auto ops = ChaosOpScript(options.seed, options.ops);
+  const size_t checkpoint_at =
+      options.checkpoint_mid_stream ? std::max<size_t>(1, options.ops / 3) : 0;
+  size_t done = 0;
+  for (const auto& op : ops) {
+    if (!op(&db).ok()) {
+      // The injected failure (or its unhealthy-latch shadow): this is the
+      // crash instant — die without closing anything.
+      ::_exit(fs::kFaultCrashExitCode);
+    }
+    acks.Record('A');
+    ++done;
+    if (checkpoint_at != 0 && done == checkpoint_at) {
+      if (!db.Checkpoint().ok()) ::_exit(fs::kFaultCrashExitCode);
+    }
+    if (options.mode == ChaosCrashMode::kKillMidTraffic) {
+      // Pace the stream so the parent's SIGKILL lands mid-traffic.
+      ::usleep(300);
+    }
+  }
+  const sqo::Status closed = db.CloseStorage();
+  ::_exit(closed.ok() ? kChildCleanFinish : fs::kFaultCrashExitCode);
+}
+
+/// Reaps the child, killing it by SIGKILL per the mode (or as a hang
+/// backstop). Returns the exit code, or -signal for a signal death.
+sqo::Result<int> SuperviseChild(pid_t pid, const ChaosOptions& options) {
+  using clock = std::chrono::steady_clock;
+  const auto deadline = clock::now() + std::chrono::seconds(30);
+  bool kill_sent = false;
+  for (;;) {
+    int status = 0;
+    const pid_t reaped = ::waitpid(pid, &status, WNOHANG);
+    if (reaped == pid) {
+      if (WIFEXITED(status)) return WEXITSTATUS(status);
+      if (WIFSIGNALED(status)) return -WTERMSIG(status);
+      return sqo::InternalError("chaos child neither exited nor signaled");
+    }
+    if (reaped < 0) {
+      return sqo::InternalError("waitpid failed for chaos child");
+    }
+    if (!kill_sent && options.mode == ChaosCrashMode::kKillMidTraffic) {
+      if (ReadAckLog(options.dir).acked >= options.crash_point) {
+        ::kill(pid, SIGKILL);
+        kill_sent = true;
+      }
+    }
+    if (clock::now() > deadline) {
+      // A hung child (e.g. a committer deadlock) is itself a finding.
+      ::kill(pid, SIGKILL);
+      (void)::waitpid(pid, &status, 0);
+      return sqo::InternalError("chaos child hung past the 30s backstop");
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+}  // namespace
+
+std::string ChaosStateSignature(const engine::ObjectStore& store) {
+  std::string out;
+  for (const auto& [oid, record] : store.objects()) {
+    out += std::to_string(oid) + "|" + record.exact_relation;
+    for (const sqo::Value& v : record.row) out += "|" + v.ToString();
+    out += "\n";
+  }
+  for (const std::string& rel : store.RelationNames()) {
+    std::vector<std::pair<uint64_t, uint64_t>> pairs;
+    for (const auto& [src, dst] : store.Pairs(rel)) {
+      pairs.emplace_back(src.raw(), dst.raw());
+    }
+    if (pairs.empty()) continue;  // invisible to queries, skipped by recovery
+    std::sort(pairs.begin(), pairs.end());
+    out += rel;
+    for (const auto& [src, dst] : pairs) {
+      out += " (" + std::to_string(src) + "," + std::to_string(dst) + ")";
+    }
+    out += "\n";
+  }
+  out += "next_oid=" + std::to_string(store.next_oid());
+  return out;
+}
+
+std::vector<std::function<sqo::Status(engine::Database*)>> ChaosOpScript(
+    uint64_t seed, size_t n) {
+  std::vector<std::function<sqo::Status(engine::Database*)>> ops;
+  ops.reserve(n);
+  std::mt19937_64 rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    switch (rng() % 6) {
+      case 0:
+        ops.push_back([i](engine::Database* db) {
+          return db->store()
+              .CreateObject(
+                  "Person",
+                  {{"name", Value::String("chaos_p" + std::to_string(i))},
+                   {"age", Value::Int(20 + static_cast<int>(i % 50))}})
+              .status();
+        });
+        break;
+      case 1:
+        ops.push_back([i](engine::Database* db) {
+          return db->store()
+              .CreateObject(
+                  "Student",
+                  {{"name", Value::String("chaos_s" + std::to_string(i))},
+                   {"age", Value::Int(18 + static_cast<int>(i % 10))},
+                   {"student_id", Value::String("CHS" + std::to_string(i))}})
+              .status();
+        });
+        break;
+      case 2: {
+        const uint64_t pick = rng();
+        ops.push_back([i, pick](engine::Database* db) {
+          const auto& persons = db->store().Extent("person");
+          if (persons.empty()) return sqo::Status::Ok();
+          return db->store().UpdateAttribute(
+              persons[pick % persons.size()], "age",
+              Value::Int(21 + static_cast<int>(i % 60)));
+        });
+        break;
+      }
+      case 3: {
+        const uint64_t s = rng(), t = rng();
+        ops.push_back([s, t](engine::Database* db) {
+          const auto& students = db->store().Extent("student");
+          const auto& sections = db->store().Extent("section");
+          if (students.empty() || sections.empty()) return sqo::Status::Ok();
+          return db->store().Relate("takes", students[s % students.size()],
+                                    sections[t % sections.size()]);
+        });
+        break;
+      }
+      case 4: {
+        const uint64_t pick = rng();
+        ops.push_back([pick](engine::Database* db) {
+          const auto& takes = db->store().Pairs("takes");
+          if (takes.empty()) return sqo::Status::Ok();
+          const auto [src, dst] = takes[pick % takes.size()];
+          return db->store().Unrelate("takes", src, dst);
+        });
+        break;
+      }
+      default: {
+        const uint64_t pick = rng();
+        ops.push_back([pick](engine::Database* db) {
+          const auto& persons = db->store().Extent("person");
+          if (persons.empty()) return sqo::Status::Ok();
+          return db->store().DeleteObject(persons[pick % persons.size()]);
+        });
+        break;
+      }
+    }
+  }
+  return ops;
+}
+
+sqo::Result<ChaosOutcome> RunChaosIteration(const ChaosOptions& options) {
+  if (options.pipeline == nullptr) {
+    return sqo::InvalidArgumentError("ChaosOptions.pipeline is required");
+  }
+  if (options.dir.empty()) {
+    return sqo::InvalidArgumentError("ChaosOptions.dir is required");
+  }
+  // The child inherits a copy of the parent's memory; the fork must happen
+  // while no committer thread is alive in this process (the caller owns
+  // that — a Database with attached storage must be closed first).
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    return sqo::InternalError("fork failed for chaos child");
+  }
+  if (pid == 0) {
+    ChildMain(options);  // never returns
+  }
+
+  ChaosOutcome outcome;
+  SQO_ASSIGN_OR_RETURN(outcome.child_exit_code, SuperviseChild(pid, options));
+  if (outcome.child_exit_code == kChildSetupFailed) {
+    return sqo::InternalError("chaos child failed in setup (not an injected "
+                              "crash): harness bug");
+  }
+  outcome.child_crashed = outcome.child_exit_code != kChildCleanFinish;
+
+  const AckLog acks = ReadAckLog(options.dir);
+  outcome.baseline_durable = acks.baseline;
+  outcome.acked = acks.acked;
+
+  // Reopen in this process with a clean env: whatever the child managed to
+  // make durable is all recovery gets.
+  engine::Database recovered(&options.pipeline->schema());
+  SQO_RETURN_IF_ERROR(SetupUniversityRuntime(&recovered));
+  SQO_RETURN_IF_ERROR(
+      recovered.Open(options.dir, MakeOpenOptions(options, nullptr)));
+  const storage::RecoveryInfo* info = recovered.recovery_info();
+  outcome.degraded = info != nullptr && info->degraded;
+  std::string degradation_reason =
+      info != nullptr ? info->degradation_reason : "";
+  const std::string recovered_sig = ChaosStateSignature(recovered.store());
+  SQO_RETURN_IF_ERROR(recovered.CloseStorage());
+
+  if (!outcome.baseline_durable) {
+    // Death before Open() returned: nothing was ever acknowledged, and the
+    // atomically-published baseline either exists in full or not at all.
+    engine::Database empty(&options.pipeline->schema());
+    SQO_RETURN_IF_ERROR(SetupUniversityRuntime(&empty));
+    const std::string empty_sig = ChaosStateSignature(empty.store());
+    engine::Database baseline(&options.pipeline->schema());
+    SQO_RETURN_IF_ERROR(
+        PopulateUniversity(options.data, *options.pipeline, &baseline));
+    const std::string baseline_sig = ChaosStateSignature(baseline.store());
+    outcome.consistent =
+        recovered_sig == empty_sig || recovered_sig == baseline_sig;
+    if (!outcome.consistent) {
+      outcome.detail = "crash before baseline: recovered state matches "
+                       "neither the empty store nor the full baseline";
+    }
+    return outcome;
+  }
+
+  // Oracle: the same deterministic population + exactly the acknowledged
+  // prefix of the same script. The +1 candidate is the one in-flight record
+  // a post-write crash (failed fsync, SIGKILL between write and ack) may
+  // legitimately persist without an acknowledgment.
+  const auto ops = ChaosOpScript(options.seed, options.ops);
+  engine::Database oracle(&options.pipeline->schema());
+  SQO_RETURN_IF_ERROR(
+      PopulateUniversity(options.data, *options.pipeline, &oracle));
+  for (size_t i = 0; i < outcome.acked && i < ops.size(); ++i) {
+    SQO_RETURN_IF_ERROR(ops[i](&oracle));
+  }
+  const std::string acked_sig = ChaosStateSignature(oracle.store());
+  std::string plus_one_sig = acked_sig;
+  if (outcome.acked < ops.size()) {
+    SQO_RETURN_IF_ERROR(ops[outcome.acked](&oracle));
+    plus_one_sig = ChaosStateSignature(oracle.store());
+  }
+
+  outcome.consistent =
+      recovered_sig == acked_sig || recovered_sig == plus_one_sig;
+  if (!outcome.consistent) {
+    outcome.detail =
+        "recovered state matches neither the acked prefix (" +
+        std::to_string(outcome.acked) + " ops) nor acked+1 (mode " +
+        std::to_string(static_cast<int>(options.mode)) + ", crash_point " +
+        std::to_string(options.crash_point) + ")";
+  } else if (outcome.degraded) {
+    // Consistency with degradation means fail-open recovery papered over
+    // something a clean process kill should never produce.
+    outcome.consistent = false;
+    outcome.detail =
+        "recovery degraded after a clean process kill: " + degradation_reason;
+  }
+  return outcome;
+}
+
+}  // namespace sqo::workload

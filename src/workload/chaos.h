@@ -1,0 +1,125 @@
+#ifndef SQO_WORKLOAD_CHAOS_H_
+#define SQO_WORKLOAD_CHAOS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/database.h"
+#include "engine/object_store.h"
+#include "sqo/pipeline.h"
+#include "workload/university.h"
+
+/// Crash-under-traffic chaos harness: seeded mutation traffic against a
+/// forked child process that is killed mid-stream — at a failpoint site, at
+/// a fault-injected I/O boundary (torn write / failed fsync), or by a plain
+/// SIGKILL — then the directory is reopened in the parent and differentially
+/// compared against an in-memory oracle that replays exactly the
+/// acknowledged prefix of the same script.
+///
+/// The invariant: recovered state == oracle(acked ops), or oracle(acked+1)
+/// for kill modes that strike after the bytes hit the file but before the
+/// acknowledgment reached the caller (failed fsync, SIGKILL). Zero lost
+/// acknowledged writes, zero phantom unacknowledged ones beyond that single
+/// in-flight record.
+///
+/// Acknowledgments escape the dying child through an O_APPEND ack file in
+/// the database directory: one byte per acknowledged op, written with a raw
+/// write() immediately after the durable append returns OK. A write() that
+/// returned is visible to the parent even when the child dies by SIGKILL —
+/// the page cache survives process death (the harness models process
+/// crashes, not kernel or power failures; the WAL's fsyncs cover those).
+namespace sqo::workload {
+
+/// How the child dies.
+enum class ChaosCrashMode {
+  /// A storage failpoint ("storage.wal_append" / "storage.fsync",
+  /// alternating by seed) returns an injected error after `crash_point`
+  /// trips; the child _exits as soon as an op fails.
+  kFailpointError = 0,
+
+  /// FaultInjectingEnv cuts a write short at cumulative byte `crash_point`
+  /// and crashes inside the I/O call (a torn in-flight record).
+  kTornWriteCrash = 1,
+
+  /// FaultInjectingEnv fails fsync number `crash_point` and crashes inside
+  /// it (bytes possibly on disk, acknowledgment never delivered).
+  kFsyncCrash = 2,
+
+  /// The parent SIGKILLs the child after `crash_point` acknowledged ops —
+  /// no cooperation from the child at all.
+  kKillMidTraffic = 3,
+};
+
+struct ChaosOptions {
+  /// Seeds the op script and every in-iteration random choice.
+  uint64_t seed = 0;
+
+  /// Ops in the script; the child streams them in order until it dies.
+  size_t ops = 48;
+
+  /// Database directory (created/recovered in the child, reopened in the
+  /// parent). The ack file `chaos-acks.log` lives alongside the segments.
+  std::string dir;
+
+  /// Compiled university pipeline (shared across iterations; must outlive
+  /// the call).
+  const core::Pipeline* pipeline = nullptr;
+
+  /// Initial population the child builds before opening storage.
+  GeneratorConfig data;
+
+  ChaosCrashMode mode = ChaosCrashMode::kFailpointError;
+
+  /// Mode-specific crash coordinate: failpoint trips, cumulative env bytes,
+  /// fsync index, or acknowledged-op count (see ChaosCrashMode).
+  uint64_t crash_point = 0;
+
+  /// Checkpoint after the first third of the script, so the kill can land
+  /// across a snapshot + rotation boundary, not only inside one segment.
+  bool checkpoint_mid_stream = false;
+
+  /// Forwarded to storage::OpenOptions (both arms of the harness matrix).
+  bool group_commit = true;
+};
+
+struct ChaosOutcome {
+  /// True when the child died by the injected mechanism (crash exit code or
+  /// SIGKILL) rather than finishing the script.
+  bool child_crashed = false;
+  int child_exit_code = 0;   // -signal when killed by a signal
+  bool baseline_durable = false;  // child's Open() returned before death
+  uint64_t acked = 0;             // acknowledged ops (from the ack file)
+
+  /// True when the recovered state matched the oracle within the allowed
+  /// +1 in-flight-record slack (the invariant under test).
+  bool consistent = false;
+
+  /// Recovery degraded / flagged corruption — never expected for a clean
+  /// process kill.
+  bool degraded = false;
+  std::string detail;  // human-readable mismatch description
+};
+
+/// Runs one fork → traffic → kill → reopen → differential-compare cycle.
+/// Errors are harness failures (fork failed, child died in setup, oracle
+/// replay failed); an invariant violation is NOT an error — it comes back
+/// as `consistent == false` with `detail` set.
+sqo::Result<ChaosOutcome> RunChaosIteration(const ChaosOptions& options);
+
+/// Canonical signature of a store's logical contents (objects, non-empty
+/// relations, OID allocator): equal signatures answer every query alike.
+std::string ChaosStateSignature(const engine::ObjectStore& store);
+
+/// The deterministic mixed-mutation script both the child and the oracle
+/// replay: creates, attribute updates, relates/unrelates, deletes, seeded
+/// by `seed`. Ops resolve OIDs through extents at call time, so equal op
+/// prefixes yield equal states.
+std::vector<std::function<sqo::Status(engine::Database*)>> ChaosOpScript(
+    uint64_t seed, size_t n);
+
+}  // namespace sqo::workload
+
+#endif  // SQO_WORKLOAD_CHAOS_H_

@@ -97,6 +97,13 @@ class RecoveryTest : public ::testing::Test {
     return sig;
   }
 
+  /// Path of the newest WAL segment (the one traffic was appending to).
+  std::string NewestWalPath() const {
+    auto segments = ListWalSegments(*fs::Env::Default(), dir_);
+    EXPECT_TRUE(segments.ok() && !segments->empty());
+    return segments->back().path;
+  }
+
   /// Snapshot file paths in `dir_`, newest first.
   std::vector<std::string> SnapshotPaths() const {
     std::vector<std::string> paths;
@@ -213,7 +220,7 @@ TEST_F(RecoveryTest, BitFlippedWalRecordLosesOnlyTheTail) {
                                              {"age", Value::Int(99)}})
                     .ok());
   }
-  const std::string wal = dir_ + "/wal.log";
+  const std::string wal = NewestWalPath();
   auto data = fs::ReadFile(wal);
   ASSERT_TRUE(data.ok());
   std::string mutated = *data;
@@ -239,7 +246,7 @@ TEST_F(RecoveryTest, StaleLsnRecordTruncatesTheLog) {
   }
   // Forge a duplicate of LSN 1 at the tail, as a buggy writer would.
   {
-    auto writer = WalWriter::OpenExisting(dir_ + "/wal.log");
+    auto writer = WalWriter::OpenExisting(NewestWalPath());
     ASSERT_TRUE(writer.ok());
     engine::Mutation m;
     m.kind = engine::Mutation::Kind::kCreate;
@@ -298,7 +305,7 @@ TEST_F(RecoveryTest, VersionSkewedWalHeaderDiscardsTheLog) {
       ASSERT_TRUE(op(db.get()).ok());
     }
   }
-  const std::string wal = dir_ + "/wal.log";
+  const std::string wal = NewestWalPath();
   auto data = fs::ReadFile(wal);
   ASSERT_TRUE(data.ok());
   std::string mutated = *data;
@@ -331,7 +338,7 @@ TEST_F(RecoveryTest, GarbageWalIsDiscarded) {
   std::string garbage(512, '\0');
   std::mt19937_64 rng(99);
   for (char& c : garbage) c = static_cast<char>(rng());
-  ASSERT_TRUE(fs::WriteFileAtomic(dir_ + "/wal.log", garbage).ok());
+  ASSERT_TRUE(fs::WriteFileAtomic(NewestWalPath(), garbage).ok());
 
   auto db = MakeEmptyDb();
   ASSERT_TRUE(db->Open(dir_, ReopenOptions()).ok());

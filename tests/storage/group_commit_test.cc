@@ -1,0 +1,237 @@
+#include "storage/group_commit.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/context.h"
+#include "common/status.h"
+
+namespace sqo::storage {
+namespace {
+
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+
+TEST(GroupCommitTest, SingleAppendCommitsAlone) {
+  std::vector<std::vector<std::string>> batches;
+  GroupCommitter committer(GroupCommitter::Options{},
+                           [&](const std::vector<std::string>& frames) {
+                             batches.push_back(frames);
+                             return Status::Ok();
+                           });
+  EXPECT_TRUE(committer.Append("one").ok());
+  committer.Stop();
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0], std::vector<std::string>{"one"});
+  EXPECT_EQ(committer.stats().ops, 1u);
+  EXPECT_EQ(committer.stats().batches, 1u);
+}
+
+TEST(GroupCommitTest, ConcurrentAppendsShareFsyncs) {
+  // Make each commit slow so frames pile up behind the in-flight batch:
+  // with 8 threads x 16 appends against a ~1ms commit, batching MUST kick
+  // in — equality of batches and ops would mean every op paid its own
+  // "fsync", the regression group commit exists to prevent.
+  std::atomic<uint64_t> commits{0};
+  GroupCommitter committer(GroupCommitter::Options{},
+                           [&](const std::vector<std::string>& frames) {
+                             EXPECT_FALSE(frames.empty());
+                             commits.fetch_add(1);
+                             std::this_thread::sleep_for(milliseconds(1));
+                             return Status::Ok();
+                           });
+
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 16;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        if (!committer.Append("t" + std::to_string(t) + "." +
+                              std::to_string(i))
+                 .ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  committer.Stop();
+
+  const GroupCommitter::Stats stats = committer.stats();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(stats.ops, static_cast<uint64_t>(kThreads * kOpsPerThread));
+  EXPECT_EQ(stats.batches, commits.load());
+  EXPECT_LT(stats.batches, stats.ops);
+  EXPECT_GT(stats.max_batch_ops, 1u);
+  EXPECT_EQ(stats.failed_batches, 0u);
+}
+
+TEST(GroupCommitTest, BatchOrderIsEnqueueOrder) {
+  std::vector<std::string> order;
+  GroupCommitter committer(GroupCommitter::Options{},
+                           [&](const std::vector<std::string>& frames) {
+                             for (const std::string& f : frames)
+                               order.push_back(f);
+                             std::this_thread::sleep_for(milliseconds(1));
+                             return Status::Ok();
+                           });
+  std::vector<std::shared_ptr<GroupCommitter::Ticket>> tickets;
+  for (int i = 0; i < 32; ++i) {
+    tickets.push_back(committer.Enqueue(std::to_string(i)));
+  }
+  for (auto& ticket : tickets) {
+    EXPECT_TRUE(committer.Wait(ticket).ok());
+  }
+  committer.Stop();
+  ASSERT_EQ(order.size(), 32u);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(order[i], std::to_string(i)) << "frame " << i << " reordered";
+  }
+}
+
+TEST(GroupCommitTest, MaxBatchOpsBoundsEveryCommitCall) {
+  GroupCommitter::Options options;
+  options.max_batch_ops = 4;
+  size_t largest = 0;
+  GroupCommitter committer(options,
+                           [&](const std::vector<std::string>& frames) {
+                             largest = std::max(largest, frames.size());
+                             std::this_thread::sleep_for(milliseconds(1));
+                             return Status::Ok();
+                           });
+  std::vector<std::shared_ptr<GroupCommitter::Ticket>> tickets;
+  for (int i = 0; i < 20; ++i) tickets.push_back(committer.Enqueue("f"));
+  for (auto& ticket : tickets) EXPECT_TRUE(committer.Wait(ticket).ok());
+  committer.Stop();
+  EXPECT_LE(largest, 4u);
+  EXPECT_EQ(committer.stats().max_batch_ops, largest);
+}
+
+TEST(GroupCommitTest, FailedBatchFailsEveryOpInIt) {
+  // Once the first commit is in flight, enqueue more frames, then make the
+  // disk die: the in-flight batch succeeds, the next one fails, and every
+  // ticket in the failed batch observes the error.
+  std::atomic<bool> fail{false};
+  std::promise<void> first_started;
+  std::atomic<bool> first{true};
+  GroupCommitter committer(GroupCommitter::Options{},
+                           [&](const std::vector<std::string>&) {
+                             if (first.exchange(false)) {
+                               first_started.set_value();
+                               std::this_thread::sleep_for(milliseconds(5));
+                               return Status::Ok();  // already past its fsync
+                             }
+                             return fail.load() ? InternalError("disk died")
+                                                : Status::Ok();
+                           });
+  auto lead = committer.Enqueue("lead");
+  first_started.get_future().wait();
+  fail.store(true);
+  auto doomed_a = committer.Enqueue("a");
+  auto doomed_b = committer.Enqueue("b");
+  EXPECT_TRUE(committer.Wait(lead).ok());
+  EXPECT_FALSE(committer.Wait(doomed_a).ok());
+  EXPECT_FALSE(committer.Wait(doomed_b).ok());
+  committer.Stop();
+  EXPECT_GE(committer.stats().failed_batches, 1u);
+}
+
+TEST(GroupCommitTest, WaitHonorsTheCallersDeadline) {
+  // Block the committer on a gate, then Wait under an already-expired
+  // context deadline: the waiter must return kResourceExhausted instead of
+  // blocking, and the frame still becomes durable afterwards (ack lost,
+  // write not) — the documented crash-equivalent.
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  std::vector<std::string> committed;
+  GroupCommitter committer(GroupCommitter::Options{},
+                           [&](const std::vector<std::string>& frames) {
+                             opened.wait();
+                             for (const std::string& f : frames)
+                               committed.push_back(f);
+                             return Status::Ok();
+                           });
+  auto ticket = committer.Enqueue("slow");
+
+  ExecutionContext context;
+  context.ExpireDeadlineNow();
+  {
+    ScopedContext scoped(&context);
+    const Status expired = committer.Wait(ticket);
+    EXPECT_EQ(expired.code(), StatusCode::kResourceExhausted)
+        << expired.ToString();
+  }
+
+  gate.set_value();
+  committer.Stop();  // drains: the unacknowledged frame still commits
+  ASSERT_EQ(committed.size(), 1u);
+  EXPECT_EQ(committed[0], "slow");
+}
+
+TEST(GroupCommitTest, FlushIsABarrierForEverythingEnqueuedBefore) {
+  std::atomic<uint64_t> committed{0};
+  GroupCommitter committer(GroupCommitter::Options{},
+                           [&](const std::vector<std::string>& frames) {
+                             std::this_thread::sleep_for(milliseconds(1));
+                             committed.fetch_add(frames.size());
+                             return Status::Ok();
+                           });
+  std::vector<std::shared_ptr<GroupCommitter::Ticket>> tickets;
+  for (int i = 0; i < 24; ++i) tickets.push_back(committer.Enqueue("f"));
+  committer.Flush();
+  EXPECT_EQ(committed.load(), 24u);
+  for (auto& ticket : tickets) EXPECT_TRUE(committer.Wait(ticket).ok());
+  committer.Stop();
+}
+
+TEST(GroupCommitTest, StopDrainsThenRejectsNewWork) {
+  std::atomic<uint64_t> committed{0};
+  GroupCommitter committer(GroupCommitter::Options{},
+                           [&](const std::vector<std::string>& frames) {
+                             std::this_thread::sleep_for(milliseconds(1));
+                             committed.fetch_add(frames.size());
+                             return Status::Ok();
+                           });
+  std::vector<std::shared_ptr<GroupCommitter::Ticket>> tickets;
+  for (int i = 0; i < 12; ++i) tickets.push_back(committer.Enqueue("f"));
+  committer.Stop();
+  EXPECT_EQ(committed.load(), 12u);
+  for (auto& ticket : tickets) EXPECT_TRUE(committer.Wait(ticket).ok());
+  EXPECT_FALSE(committer.Append("late").ok());
+  committer.Stop();  // idempotent
+}
+
+TEST(GroupCommitTest, FlushIntervalWidensBatches) {
+  // With an accumulation window longer than the inter-arrival gap, frames
+  // submitted shortly after the first one ride in the same batch even
+  // though the committer was idle when the first arrived.
+  GroupCommitter::Options options;
+  options.flush_interval = microseconds(20000);
+  std::vector<size_t> batch_sizes;
+  GroupCommitter committer(options,
+                           [&](const std::vector<std::string>& frames) {
+                             batch_sizes.push_back(frames.size());
+                             return Status::Ok();
+                           });
+  auto a = committer.Enqueue("a");
+  std::this_thread::sleep_for(milliseconds(2));
+  auto b = committer.Enqueue("b");
+  EXPECT_TRUE(committer.Wait(a).ok());
+  EXPECT_TRUE(committer.Wait(b).ok());
+  committer.Stop();
+  ASSERT_FALSE(batch_sizes.empty());
+  EXPECT_EQ(batch_sizes[0], 2u);
+}
+
+}  // namespace
+}  // namespace sqo::storage

@@ -2,10 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "analysis/analyzer.h"
 #include "common/failpoint.h"
 #include "common/fileio.h"
 #include "storage/snapshot.h"
@@ -55,7 +59,9 @@ TEST_F(ManagerTest, FreshOpenCreatesBaselineAndReopens) {
   EXPECT_TRUE(db->recovery_info()->created);
   EXPECT_FALSE(db->recovery_info()->degraded);
   EXPECT_EQ(SnapshotCount(), 1u);
-  EXPECT_TRUE(fs::Exists(dir_ + "/wal.log"));
+  auto segments = ListWalSegments(*fs::Env::Default(), dir_);
+  ASSERT_TRUE(segments.ok());
+  EXPECT_EQ(segments->size(), 1u);  // the fresh post-baseline segment
   ASSERT_TRUE(db->CloseStorage().ok());
 
   auto reopened = MakeEmptyDb();
@@ -165,6 +171,117 @@ TEST_F(ManagerTest, FailedAppendLatchesUnhealthyUntilCheckpoint) {
   EXPECT_EQ(StateSignature(reopened->store()), want);
 }
 
+TEST_F(ManagerTest, CheckpointConcurrentWithInFlightBatchLosesNothing) {
+  auto db = MakePopulatedDb();
+  ASSERT_TRUE(db->Open(dir_, Options(/*checkpoint_on_close=*/false)).ok());
+
+  // Hold the committer's batch fsync open so the checkpoint begins while a
+  // batch is between dequeue and acknowledgment.
+  failpoint::Action slow;
+  slow.kind = failpoint::ActionKind::kDelayMs;
+  slow.delay_ms = 60;
+  slow.max_trips = 1;
+  failpoint::Activate("storage.fsync", slow);
+
+  std::atomic<bool> op_ok{false};
+  std::thread writer([&] {
+    op_ok = db->store()
+                .CreateObject("Person", {{"name", Value::String("mid_batch")},
+                                         {"age", Value::Int(44)}})
+                .ok();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  ASSERT_TRUE(db->Checkpoint().ok());
+  writer.join();
+  EXPECT_TRUE(op_ok.load());
+  EXPECT_GE(failpoint::TripCount("storage.fsync"), 1u);
+  failpoint::DeactivateAll();
+  EXPECT_TRUE(db->storage()->healthy());
+
+  // The checkpoint's Flush barrier means it archived no segment holding an
+  // unflushed record: the only segment left is the fresh empty one.
+  const StorageManager::WalStats stats = db->storage()->wal_stats();
+  EXPECT_EQ(stats.segments, 1u);
+
+  // The mid-batch op and a post-checkpoint op both survive a crash.
+  ASSERT_TRUE(db->store()
+                  .CreateObject("Person", {{"name", Value::String("after")},
+                                           {"age", Value::Int(45)}})
+                  .ok());
+  const std::string want = StateSignature(db->store());
+  auto reopened = MakeEmptyDb();
+  {
+    std::unique_ptr<engine::Database> crashed = std::move(db);
+    crashed.reset();  // no checkpoint on close
+  }
+  ASSERT_TRUE(reopened->Open(dir_, Options()).ok());
+  EXPECT_FALSE(reopened->recovery_info()->degraded);
+  // Only the post-checkpoint op replays; the mid-batch one is in the
+  // snapshot (memory is updated before the WAL ack, and the snapshot's LSN
+  // covers every assigned op).
+  EXPECT_EQ(reopened->recovery_info()->replayed_records, 1u);
+  EXPECT_EQ(StateSignature(reopened->store()), want);
+}
+
+TEST_F(ManagerTest, ConcurrentAppendersShareFsyncsThroughTheManager) {
+  auto db = MakePopulatedDb();
+  ASSERT_TRUE(db->Open(dir_, Options(/*checkpoint_on_close=*/false)).ok());
+
+  // ObjectStore is single-writer, so concurrency comes from raw storage
+  // appends: build frames by hand and push them through AppendBatch the way
+  // the serving layer would from multiple sessions.
+  constexpr int kThreads = 6;
+  constexpr int kOpsPerThread = 25;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        engine::Mutation m;
+        m.kind = engine::Mutation::Kind::kInsertPair;
+        m.relation = "takes";
+        m.src = sqo::Oid(1000 + t);
+        m.dst = sqo::Oid(2000 + i);
+        if (!db->storage()->AppendBatch({m}).ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  const GroupCommitter::Stats stats = db->storage()->group_commit_stats();
+  EXPECT_EQ(stats.ops, static_cast<uint64_t>(kThreads * kOpsPerThread));
+  EXPECT_LT(stats.batches, stats.ops) << "group commit never batched";
+  EXPECT_EQ(db->storage()->last_lsn(),
+            static_cast<uint64_t>(kThreads * kOpsPerThread));
+  ASSERT_TRUE(db->CloseStorage().ok());
+}
+
+TEST_F(ManagerTest, WalRotatesAtTheSegmentSizeThreshold) {
+  auto db = MakePopulatedDb();
+  OpenOptions options = Options(/*checkpoint_on_close=*/false);
+  options.wal_segment_bytes = 2048;  // tiny: force rotations under load
+  ASSERT_TRUE(db->Open(dir_, options).ok());
+  for (const auto& op : storage_test::BuildOpScript(11, 60)) {
+    ASSERT_TRUE(op(db.get()).ok());
+  }
+  const StorageManager::WalStats stats = db->storage()->wal_stats();
+  EXPECT_GT(stats.rotations, 0u);
+  EXPECT_GT(stats.segments, 1u);
+  const std::string want = StateSignature(db->store());
+
+  // Replay spans the whole chain.
+  auto reopened = MakeEmptyDb();
+  {
+    std::unique_ptr<engine::Database> crashed = std::move(db);
+    crashed.reset();
+  }
+  ASSERT_TRUE(reopened->Open(dir_, options).ok());
+  EXPECT_FALSE(reopened->recovery_info()->degraded);
+  EXPECT_GT(reopened->recovery_info()->wal_segments, 1u);
+  EXPECT_EQ(StateSignature(reopened->store()), want);
+}
+
 TEST_F(ManagerTest, StaleCatalogIsLintedNotFatal) {
   // Persist a snapshot whose catalog claims a different schema hash than
   // the live pipeline's, as if the schema changed since the save.
@@ -187,6 +304,30 @@ TEST_F(ManagerTest, StaleCatalogIsLintedNotFatal) {
   EXPECT_TRUE(info->catalog_loaded);
   ASSERT_FALSE(info->lint.empty());
   EXPECT_EQ(info->lint.diagnostics[0].code, "SQO-A013");
+}
+
+TEST_F(ManagerTest, WeakDurabilityKnobsAreLintedNotFatal) {
+  auto db = MakePopulatedDb();
+  OpenOptions options = Options();
+  options.sync_each_append = false;  // acks outrun durability: SQO-A018
+  options.keep_snapshots = 1;        // prunes the fallback snapshot
+  ASSERT_TRUE(db->Open(dir_, options).ok());
+  const RecoveryInfo* info = db->recovery_info();
+  ASSERT_NE(info, nullptr);
+  EXPECT_FALSE(info->degraded);
+  size_t weak = 0;
+  for (const auto& d : info->lint.diagnostics) {
+    if (d.code == analysis::kCodeWeakDurability) ++weak;
+  }
+  EXPECT_EQ(weak, 2u) << "expected one finding per weakened knob";
+  ASSERT_TRUE(db->CloseStorage().ok());
+
+  // The defaults are clean.
+  auto safe = MakeEmptyDb();
+  ASSERT_TRUE(safe->Open(dir_, Options()).ok());
+  for (const auto& d : safe->recovery_info()->lint.diagnostics) {
+    EXPECT_NE(d.code, analysis::kCodeWeakDurability) << d.message;
+  }
 }
 
 TEST_F(ManagerTest, DoubleOpenIsRejected) {

@@ -20,9 +20,16 @@
 namespace sqo::storage_test {
 
 /// A per-test scratch directory under the gtest temp root, wiped of any
-/// leftovers from a previous run.
+/// leftovers from a previous run. The current test's name is folded into
+/// the path so tests sharing a tag stay isolated under `ctest -j`.
 inline std::string FreshDir(const std::string& tag) {
-  const std::string dir = ::testing::TempDir() + "sqo_storage_" + tag;
+  std::string dir = ::testing::TempDir() + "sqo_storage_" + tag;
+  if (const ::testing::TestInfo* info =
+          ::testing::UnitTest::GetInstance()->current_test_info();
+      info != nullptr) {
+    dir += std::string("_") + info->name();
+    std::replace(dir.begin(), dir.end(), '/', '_');
+  }
   if (sqo::Result<std::vector<std::string>> names = fs::ListDir(dir);
       names.ok()) {
     for (const std::string& name : *names) {

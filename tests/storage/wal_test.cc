@@ -171,5 +171,177 @@ TEST_F(WalTest, AppendFailpointFailsWithoutWriting) {
   EXPECT_TRUE(read->records.empty());
 }
 
+TEST_F(WalTest, SegmentNamesRoundTrip) {
+  EXPECT_EQ(WalSegmentFileName(42), "wal-000042.log");
+  EXPECT_EQ(WalSegmentFileName(1), "wal-000001.log");
+  EXPECT_EQ(ParseWalSegmentSeq("wal-000042.log"), 42u);
+  EXPECT_EQ(ParseWalSegmentSeq("wal-123456.log"), 123456u);
+  EXPECT_FALSE(ParseWalSegmentSeq("wal.log").has_value());
+  EXPECT_FALSE(ParseWalSegmentSeq("wal-xyz.log").has_value());
+  EXPECT_FALSE(ParseWalSegmentSeq("snapshot-000001.sqo").has_value());
+  EXPECT_FALSE(ParseWalSegmentSeq("wal-000042.log.tmp.77").has_value());
+}
+
+class WalChainTest : public WalTest {
+ protected:
+  std::string SegmentPath(uint64_t seq) const {
+    return dir_ + "/" + WalSegmentFileName(seq);
+  }
+
+  /// Creates segment `seq` with `base_lsn` and one record per LSN in
+  /// `lsns` (each a single-mutation batch).
+  void MakeSegment(uint64_t seq, uint64_t base_lsn,
+                   const std::vector<uint64_t>& lsns) {
+    WalHeader header;
+    header.base_lsn = base_lsn;
+    auto writer = WalWriter::Create(SegmentPath(seq), header);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    for (uint64_t lsn : lsns) {
+      ASSERT_TRUE(writer->Append(lsn, {MakeCreate(lsn, "person")}, true).ok());
+    }
+  }
+
+  std::vector<uint64_t> ChainLsns(const WalChainResult& chain) const {
+    std::vector<uint64_t> lsns;
+    for (const WalRecord& record : chain.records) lsns.push_back(record.lsn);
+    return lsns;
+  }
+};
+
+TEST_F(WalChainTest, EmptyDirHasNoChain) {
+  auto chain = ReadWalChain(*fs::Env::Default(), dir_);
+  EXPECT_EQ(chain.status().code(), sqo::StatusCode::kNotFound);
+}
+
+TEST_F(WalChainTest, ListSortsBySeqAndSkipsForeignFiles) {
+  MakeSegment(3, 4, {5});
+  MakeSegment(1, 0, {1, 2});
+  MakeSegment(2, 2, {3, 4});
+  ASSERT_TRUE(fs::WriteFileAtomic(dir_ + "/snapshot-000001.sqo", "x").ok());
+  ASSERT_TRUE(fs::WriteFileAtomic(dir_ + "/notes.txt", "x").ok());
+
+  auto segments = ListWalSegments(*fs::Env::Default(), dir_);
+  ASSERT_TRUE(segments.ok());
+  ASSERT_EQ(segments->size(), 3u);
+  EXPECT_EQ((*segments)[0].seq, 1u);
+  EXPECT_EQ((*segments)[1].seq, 2u);
+  EXPECT_EQ((*segments)[2].seq, 3u);
+}
+
+TEST_F(WalChainTest, ContinuousChainReplaysAcrossSegments) {
+  MakeSegment(1, 0, {1, 2});
+  MakeSegment(2, 2, {3, 4, 5});
+  MakeSegment(3, 5, {6});
+
+  auto chain = ReadWalChain(*fs::Env::Default(), dir_);
+  ASSERT_TRUE(chain.ok()) << chain.status().ToString();
+  EXPECT_EQ(chain->segments.size(), 3u);
+  EXPECT_TRUE(chain->rejected_paths.empty());
+  EXPECT_EQ(ChainLsns(*chain), (std::vector<uint64_t>{1, 2, 3, 4, 5, 6}));
+  EXPECT_EQ(chain->last_lsn, 6u);
+  EXPECT_EQ(chain->max_seq, 3u);
+  EXPECT_FALSE(chain->stopped_early);
+  EXPECT_FALSE(chain->corrupt);
+}
+
+TEST_F(WalChainTest, EmptyTailSegmentIsPartOfTheChain) {
+  // The normal post-rotation shape: the newest segment holds only a header.
+  MakeSegment(1, 0, {1, 2});
+  MakeSegment(2, 2, {});
+
+  auto chain = ReadWalChain(*fs::Env::Default(), dir_);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_EQ(chain->segments.size(), 2u);
+  EXPECT_EQ(chain->last_lsn, 2u);
+  EXPECT_FALSE(chain->stopped_early);
+}
+
+TEST_F(WalChainTest, ContinuityBreakRejectsTheSuffix) {
+  MakeSegment(1, 0, {1, 2});
+  MakeSegment(2, 5, {6});  // base 5 != last trusted LSN 2: a hole
+  MakeSegment(3, 6, {7});
+
+  auto chain = ReadWalChain(*fs::Env::Default(), dir_);
+  ASSERT_TRUE(chain.ok());
+  ASSERT_EQ(chain->segments.size(), 1u);
+  EXPECT_EQ(chain->segments[0].seq, 1u);
+  ASSERT_EQ(chain->rejected_paths.size(), 2u);
+  EXPECT_EQ(chain->rejected_paths[0], SegmentPath(2));
+  EXPECT_EQ(chain->rejected_paths[1], SegmentPath(3));
+  EXPECT_EQ(ChainLsns(*chain), (std::vector<uint64_t>{1, 2}));
+  EXPECT_EQ(chain->last_lsn, 2u);
+  EXPECT_TRUE(chain->stopped_early);
+  EXPECT_TRUE(chain->corrupt);
+  EXPECT_NE(chain->stop_reason.find("continuity"), std::string::npos);
+  EXPECT_EQ(chain->max_seq, 3u);  // a new segment must still outrank seq 3
+}
+
+TEST_F(WalChainTest, SegmentAfterTornSegmentIsUntrustedEvenIfContinuous) {
+  // Tear segment 1 mid-record so its trusted prefix ends at LSN 1, then
+  // give segment 2 base 1 — continuity *looks* fine, but its records would
+  // sit after a discarded write, so trusting them reorders history.
+  MakeSegment(1, 0, {1, 2});
+  auto full = fs::ReadFile(SegmentPath(1));
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(fs::TruncateFile(SegmentPath(1), full->size() - 3).ok());
+  MakeSegment(2, 1, {2, 3});
+
+  auto chain = ReadWalChain(*fs::Env::Default(), dir_);
+  ASSERT_TRUE(chain.ok());
+  ASSERT_EQ(chain->segments.size(), 1u);
+  EXPECT_EQ(ChainLsns(*chain), (std::vector<uint64_t>{1}));
+  EXPECT_EQ(chain->last_lsn, 1u);
+  ASSERT_EQ(chain->rejected_paths.size(), 1u);
+  EXPECT_EQ(chain->rejected_paths[0], SegmentPath(2));
+  EXPECT_TRUE(chain->stopped_early);
+  // A clean torn tail at the end of the chain is benign; a torn tail with
+  // segments after it is not.
+  EXPECT_TRUE(chain->corrupt);
+}
+
+TEST_F(WalChainTest, TornTailOnTheLastSegmentIsBenign) {
+  MakeSegment(1, 0, {1, 2});
+  MakeSegment(2, 2, {3, 4});
+  auto full = fs::ReadFile(SegmentPath(2));
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(fs::TruncateFile(SegmentPath(2), full->size() - 3).ok());
+
+  auto chain = ReadWalChain(*fs::Env::Default(), dir_);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_EQ(ChainLsns(*chain), (std::vector<uint64_t>{1, 2, 3}));
+  EXPECT_TRUE(chain->stopped_early);
+  EXPECT_FALSE(chain->corrupt);  // crash mid-append, not corruption
+  EXPECT_TRUE(chain->rejected_paths.empty());
+}
+
+TEST_F(WalChainTest, MidChainBadHeaderStopsTheChain) {
+  MakeSegment(1, 0, {1, 2});
+  MakeSegment(2, 2, {3});
+  auto data = fs::ReadFile(SegmentPath(2));
+  ASSERT_TRUE(data.ok());
+  std::string mutated = *data;
+  mutated[0] ^= 0xFF;  // break the magic
+  ASSERT_TRUE(fs::WriteFileAtomic(SegmentPath(2), mutated).ok());
+
+  auto chain = ReadWalChain(*fs::Env::Default(), dir_);
+  ASSERT_TRUE(chain.ok());
+  ASSERT_EQ(chain->segments.size(), 1u);
+  EXPECT_EQ(ChainLsns(*chain), (std::vector<uint64_t>{1, 2}));
+  ASSERT_EQ(chain->rejected_paths.size(), 1u);
+  EXPECT_TRUE(chain->corrupt);
+}
+
+TEST_F(WalChainTest, BadHeaderOnTheFirstSegmentFailsTheScan) {
+  MakeSegment(1, 0, {1});
+  auto data = fs::ReadFile(SegmentPath(1));
+  ASSERT_TRUE(data.ok());
+  std::string mutated = *data;
+  mutated[0] ^= 0xFF;
+  ASSERT_TRUE(fs::WriteFileAtomic(SegmentPath(1), mutated).ok());
+
+  auto chain = ReadWalChain(*fs::Env::Default(), dir_);
+  EXPECT_EQ(chain.status().code(), sqo::StatusCode::kDataCorruption);
+}
+
 }  // namespace
 }  // namespace sqo::storage
