@@ -809,4 +809,40 @@ AnalysisReport AnalyzeProfile(const translate::TranslatedSchema& schema,
   return report;
 }
 
+AnalysisReport AnalyzeAsrStaleness(const obs::QueryProfile& profile,
+                                   const std::vector<AsrFreshness>& asrs) {
+  AnalysisReport report;
+  std::set<std::pair<std::string, std::string>> flagged;  // (relation, asr)
+  for (const obs::ProfileNode& node : profile.nodes) {
+    if (node.op != "extent-scan" && node.op != "pair-scan") continue;
+    for (const AsrFreshness& asr : asrs) {
+      if (!asr.stale) continue;
+      bool covers = asr.name == node.relation;
+      for (const std::string& hop : asr.path) {
+        if (hop == node.relation) covers = true;
+      }
+      if (!covers) continue;
+      if (!flagged.insert({node.relation, asr.name}).second) continue;
+      std::string path_text;
+      for (const std::string& hop : asr.path) {
+        if (!path_text.empty()) path_text += " . ";
+        path_text += hop;
+      }
+      report.Add(
+          Severity::kWarning, kCodeStaleAsr, node.relation,
+          "the executed plan fell back to a full " + node.op + " over '" +
+              node.relation + "' (" + std::to_string(node.rows_in) +
+              " probe(s)) although the persisted access-support relation '" +
+              asr.name + "' (path " + path_text +
+              ") covers it; the ASR has gone stale after a deletion, so the "
+              "materialized join index cannot serve the traversal",
+          "re-materialize '" + asr.name +
+              "' (ObjectStore::Materialize) so path queries traverse the "
+              "refreshed join index instead of rescanning");
+      break;  // one diagnostic per scanned relation is enough
+    }
+  }
+  return report;
+}
+
 }  // namespace sqo::analysis

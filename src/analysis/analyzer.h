@@ -68,6 +68,13 @@ namespace sqo::analysis {
 ///                                       longer than the session's deadline
 ///                                       budget, or snapshot pruning that
 ///                                       drops the only fallback snapshot
+///   SQO-A019  profile lint    warning   executed profile falls back to a
+///                                       full extent/pair scan over a
+///                                       relation covered by a persisted
+///                                       ASR that has gone stale — the
+///                                       materialized join index exists but
+///                                       cannot be trusted until
+///                                       re-materialized
 inline constexpr std::string_view kCodeUnsafeVariable = "SQO-A001";
 inline constexpr std::string_view kCodeUnknownRelation = "SQO-A002";
 inline constexpr std::string_view kCodeArityMismatch = "SQO-A003";
@@ -86,6 +93,7 @@ inline constexpr std::string_view kCodeUnjustifiedRewrite = "SQO-A015";
 inline constexpr std::string_view kCodeUnprovenElimination = "SQO-A016";
 inline constexpr std::string_view kCodeCatalogDependency = "SQO-A017";
 inline constexpr std::string_view kCodeWeakDurability = "SQO-A018";
+inline constexpr std::string_view kCodeStaleAsr = "SQO-A019";
 
 struct AnalyzerOptions {
   bool check_safety = true;          // pass 1 (SQO-A001)
@@ -181,6 +189,26 @@ AnalysisReport AnalyzeStorageOptions(bool sync_each_append,
                                      int64_t flush_interval_us,
                                      int64_t deadline_budget_ms,
                                      size_t keep_snapshots);
+
+/// Freshness of one materialized access-support relation, as plain data so
+/// the analysis layer stays independent of the engine (mirror of the
+/// store's `AsrState`): the ASR's relation name, the path of relationship
+/// hops it materializes, and whether a deletion has marked it stale.
+struct AsrFreshness {
+  std::string name;
+  std::vector<std::string> path;
+  bool stale = false;
+};
+
+/// Pass 12 over an executed query profile: flags full extent-scan or
+/// pair-scan operators over a relation that a *stale* persisted ASR covers
+/// (the scanned relation is the ASR itself or one of its path hops) —
+/// the materialized join index exists on disk but deletions invalidated
+/// it, so the plan pays the scan the ASR was built to avoid until the ASR
+/// is re-materialized (SQO-A019, warning). Fresh ASRs and probe/traverse
+/// operators are not flagged.
+AnalysisReport AnalyzeAsrStaleness(const obs::QueryProfile& profile,
+                                   const std::vector<AsrFreshness>& asrs);
 
 }  // namespace sqo::analysis
 

@@ -1,0 +1,978 @@
+#include "engine/batch_evaluator.h"
+
+#include <chrono>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "common/context.h"
+#include "common/failpoint.h"
+#include "obs/metrics.h"
+
+namespace sqo::engine {
+
+using datalog::Atom;
+using datalog::CmpOp;
+using datalog::Literal;
+using datalog::Query;
+using datalog::RelationKind;
+using datalog::RelationSignature;
+using datalog::Term;
+
+namespace {
+
+/// Structural hashing/equality for result tuples (DISTINCT dedup) and for
+/// hash-join keys. Mirrors the tuple engine's dedup semantics.
+struct TupleHash {
+  size_t operator()(const std::vector<sqo::Value>& t) const {
+    size_t h = 0xcbf29ce484222325ull;
+    for (const sqo::Value& v : t) h = h * 1099511628211ull + v.Hash();
+    return h;
+  }
+};
+struct TupleEq {
+  bool operator()(const std::vector<sqo::Value>& a,
+                  const std::vector<sqo::Value>& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!a[i].Equals(b[i])) return false;
+    }
+    return true;
+  }
+};
+struct ValueHash {
+  size_t operator()(const sqo::Value& v) const { return v.Hash(); }
+};
+struct ValueEq {
+  bool operator()(const sqo::Value& a, const sqo::Value& b) const {
+    return a.Equals(b);
+  }
+};
+
+void LabelNode(obs::ProfileNode* node, const char* op,
+               const std::string& relation, bool index_used = false) {
+  if (node == nullptr || !node->op.empty()) return;
+  node->op = op;
+  node->relation = relation;
+  node->index_used = index_used;
+}
+
+int64_t ElapsedNs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Set-at-a-time execution of one planned query. Bindings are row-major:
+/// every row of a batch has the same columns, and `col_` maps variable
+/// names to column positions. Each plan step consumes the whole batch and
+/// produces the next one, so the column layout is decided once per step
+/// (never per row) and access paths that the tuple engine repeats per
+/// binding — extent scans, hash-table builds — run once per batch.
+class BatchExecution {
+ public:
+  using Row = std::vector<sqo::Value>;
+  using Batch = std::vector<Row>;
+
+  BatchExecution(const ObjectStore& store, const Query& query,
+                 const EvalOptions& options, EvalStats& stats,
+                 obs::QueryProfile* profile, const Plan* plan)
+      : store_(store), query_(query), options_(options), stats_(stats),
+        profile_(profile), plan_(plan) {
+    for (const Term& t : query.head_args) {
+      if (t.is_variable()) var_occurrences_[t.var_name()] += 2;
+    }
+    for (const Literal& lit : query.body) {
+      std::vector<std::string> vars;
+      lit.atom.CollectVariables(&vars);
+      for (const std::string& v : vars) ++var_occurrences_[v];
+    }
+  }
+
+  sqo::Status Run(const std::vector<size_t>& order, Batch* out) {
+    order_ = &order;
+    if (profile_ != nullptr) SetUpProfile();
+    // Selection pushdown, as in the tuple engine: variables equated to
+    // constants become columns of the initial one-row batch, so index
+    // probes and OID lookups see them from the start.
+    Row seed;
+    for (const Literal& lit : query_.body) {
+      if (!lit.positive || !lit.atom.is_comparison() ||
+          lit.atom.op() != CmpOp::kEq) {
+        continue;
+      }
+      const Term& l = lit.atom.lhs();
+      const Term& r = lit.atom.rhs();
+      if (l.is_variable() && r.is_constant() &&
+          col_.count(l.var_name()) == 0) {
+        col_[l.var_name()] = width_++;
+        seed.push_back(r.constant());
+      } else if (r.is_variable() && l.is_constant() &&
+                 col_.count(r.var_name()) == 0) {
+        col_[r.var_name()] = width_++;
+        seed.push_back(l.constant());
+      }
+    }
+    Batch batch;
+    batch.push_back(std::move(seed));
+    sqo::Status status = RunSteps(&batch, out);
+    AssignInclusiveTimes();
+    return status;
+  }
+
+ private:
+  /// One argument of an atom, resolved once per step against the batch's
+  /// column layout.
+  struct ArgSlot {
+    enum Kind {
+      kConst,   // constant term
+      kCol,     // variable bound by an earlier step: compare against column
+      kNew,     // first occurrence of an unbound variable: binds
+      kNewDup,  // repeated unbound variable: compare against its binding
+    };
+    Kind kind = kNew;
+    sqo::Value constant;  // kConst
+    size_t col = 0;       // kCol: column in the input row
+    size_t append = 0;    // kNew/kNewDup: offset in the appended segment
+  };
+
+  static bool IsBound(const ArgSlot& s) {
+    return s.kind == ArgSlot::kConst || s.kind == ArgSlot::kCol;
+  }
+
+  /// The value of a bound slot for `row`; nullptr for unbound slots
+  /// (which negation treats as wildcards).
+  const sqo::Value* SlotValue(const ArgSlot& s, const Row& row) const {
+    switch (s.kind) {
+      case ArgSlot::kConst:
+        return &s.constant;
+      case ArgSlot::kCol:
+        return &row[s.col];
+      case ArgSlot::kNew:
+      case ArgSlot::kNewDup:
+        return nullptr;
+    }
+    return nullptr;
+  }
+
+  /// Resolves one term in isolation: constant, column, or unbound (kNew).
+  ArgSlot TermSlot(const Term& t) const {
+    ArgSlot s;
+    if (t.is_constant()) {
+      s.kind = ArgSlot::kConst;
+      s.constant = t.constant();
+      return s;
+    }
+    auto it = col_.find(t.var_name());
+    if (it != col_.end()) {
+      s.kind = ArgSlot::kCol;
+      s.col = it->second;
+    }
+    return s;
+  }
+
+  /// Resolves every argument of `atom` against the current column layout.
+  /// Unbound variables are assigned append offsets in first-occurrence
+  /// order; `new_vars` receives their names (register with
+  /// RegisterNewVars once the step's rows are built).
+  std::vector<ArgSlot> SlotsFor(const Atom& atom,
+                                std::vector<std::string>* new_vars) const {
+    std::map<std::string, size_t> local;
+    std::vector<ArgSlot> slots;
+    slots.reserve(atom.arity());
+    for (const Term& t : atom.args()) {
+      ArgSlot s;
+      if (t.is_constant()) {
+        s.kind = ArgSlot::kConst;
+        s.constant = t.constant();
+      } else {
+        auto it = col_.find(t.var_name());
+        if (it != col_.end()) {
+          s.kind = ArgSlot::kCol;
+          s.col = it->second;
+        } else {
+          auto seen = local.find(t.var_name());
+          if (seen != local.end()) {
+            s.kind = ArgSlot::kNewDup;
+            s.append = seen->second;
+          } else {
+            s.kind = ArgSlot::kNew;
+            s.append = new_vars->size();
+            local[t.var_name()] = s.append;
+            new_vars->push_back(t.var_name());
+          }
+        }
+      }
+      slots.push_back(std::move(s));
+    }
+    return slots;
+  }
+
+  void RegisterNewVars(const std::vector<std::string>& new_vars) {
+    for (const std::string& v : new_vars) col_[v] = width_++;
+  }
+
+  /// Unifies `cand` against the slots: bound slots compare (counting a
+  /// comparison each, stopping at the first mismatch, as the tuple engine
+  /// does), unbound slots fill the appended segment `app`.
+  bool UnifyCandidate(const std::vector<ArgSlot>& slots, const Row& in,
+                      const ObjectStore::Row& cand, Row* app) {
+    for (size_t i = 0; i < slots.size(); ++i) {
+      const ArgSlot& s = slots[i];
+      switch (s.kind) {
+        case ArgSlot::kConst:
+          ++stats_.comparisons;
+          if (!s.constant.Equals(cand[i])) return false;
+          break;
+        case ArgSlot::kCol:
+          ++stats_.comparisons;
+          if (!in[s.col].Equals(cand[i])) return false;
+          break;
+        case ArgSlot::kNew:
+          (*app)[s.append] = cand[i];
+          break;
+        case ArgSlot::kNewDup:
+          ++stats_.comparisons;
+          if (!(*app)[s.append].Equals(cand[i])) return false;
+          break;
+      }
+    }
+    return true;
+  }
+
+  /// Unifies and, on success, emits `in` extended with the new columns.
+  void AppendUnified(const std::vector<ArgSlot>& slots, size_t n_new,
+                     const Row& in, const ObjectStore::Row& cand,
+                     Batch* next) {
+    Row app(n_new);
+    if (!UnifyCandidate(slots, in, cand, &app)) return;
+    Row out = in;
+    out.insert(out.end(), std::make_move_iterator(app.begin()),
+               std::make_move_iterator(app.end()));
+    next->push_back(std::move(out));
+  }
+
+  // --- profile plumbing (all inert when profile_ is null) ---------------
+
+  void SetUpProfile() {
+    profile_->nodes.clear();
+    node_of_.assign(order_->size(), -1);
+    for (size_t k = 0; k < order_->size(); ++k) {
+      obs::ProfileNode node;
+      node.id = static_cast<int>(profile_->nodes.size());
+      node.literal_index = static_cast<int>((*order_)[k]);
+      const Literal& lit = query_.body[(*order_)[k]];
+      if (lit.atom.is_comparison()) {
+        node.relation = lit.atom.ToString();
+      } else {
+        node.relation = (lit.positive ? "" : "¬") + lit.atom.predicate();
+      }
+      if (plan_ != nullptr && k < plan_->steps.size()) {
+        node.detail = plan_->steps[k];
+      }
+      if (plan_ != nullptr && k < plan_->est_rows.size()) {
+        node.est_rows = plan_->est_rows[k];
+      }
+      node_of_[k] = node.id;
+      profile_->nodes.push_back(std::move(node));
+    }
+    obs::ProfileNode emit;
+    emit.id = static_cast<int>(profile_->nodes.size());
+    emit.op = "emit";
+    emit.relation = options_.distinct ? "distinct" : "all";
+    emit_node_ = emit.id;
+    profile_->nodes.push_back(std::move(emit));
+  }
+
+  obs::ProfileNode* NodeFor(size_t k) {
+    if (profile_ == nullptr) return nullptr;
+    return &profile_->nodes[node_of_[k]];
+  }
+
+  obs::ProfileNode* EnterNode(size_t k, size_t rows) {
+    obs::ProfileNode* node = NodeFor(k);
+    if (node != nullptr) {
+      if (node->rows_in == 0 && node->parent < 0 && last_caller_ != node->id) {
+        node->parent = last_caller_;
+      }
+      node->rows_in += rows;
+    }
+    return node;
+  }
+
+  /// The executed operators form a chain; each node's inclusive time is
+  /// its own batch-processing time plus everything downstream, so the
+  /// profile's total/self split matches the tuple engine's.
+  void AssignInclusiveTimes() {
+    if (profile_ == nullptr) return;
+    int64_t suffix = 0;
+    for (auto it = chain_.rbegin(); it != chain_.rend(); ++it) {
+      suffix += it->second;
+      profile_->nodes[it->first].total_ns = suffix;
+    }
+  }
+
+  // --- membership guards (§5.2 extent-difference scans) -----------------
+
+  std::vector<std::pair<size_t, std::string>> FindGuards(
+      size_t k, const std::string& scan_var) const {
+    std::vector<std::pair<size_t, std::string>> guards;
+    for (size_t j = k + 1; j < order_->size(); ++j) {
+      const Literal& lit = query_.body[(*order_)[j]];
+      if (lit.positive || !lit.atom.is_predicate() || lit.atom.args().empty()) {
+        continue;
+      }
+      const RelationSignature* sig =
+          store_.schema().catalog.Find(lit.atom.predicate());
+      if (sig == nullptr || (sig->kind != RelationKind::kClass &&
+                             sig->kind != RelationKind::kStructure)) {
+        continue;
+      }
+      const Term& oid = lit.atom.args()[0];
+      if (!oid.is_variable() || oid.var_name() != scan_var) continue;
+      bool wildcards = true;
+      for (size_t ai = 1; ai < lit.atom.arity(); ++ai) {
+        const Term& t = lit.atom.args()[ai];
+        auto occ = t.is_variable() ? var_occurrences_.find(t.var_name())
+                                   : var_occurrences_.end();
+        if (!t.is_variable() || occ == var_occurrences_.end() ||
+            occ->second != 1) {
+          wildcards = false;
+          break;
+        }
+      }
+      if (wildcards) guards.emplace_back(j, sig->name);
+    }
+    return guards;
+  }
+
+  void ConsumeGuards(
+      const std::vector<std::pair<size_t, std::string>>& guards,
+      obs::ProfileNode* node) {
+    for (const auto& [pos, rel] : guards) {
+      consumed_.insert(pos);
+      if (obs::ProfileNode* guard_node = NodeFor(pos);
+          guard_node != nullptr && guard_node->op.empty()) {
+        guard_node->op = "guard";
+        guard_node->parent = node != nullptr ? node->id : -1;
+      }
+    }
+  }
+
+  bool PassesGuards(const std::vector<std::pair<size_t, std::string>>& guards,
+                    sqo::Oid oid) {
+    for (const auto& [pos, rel] : guards) {
+      ++stats_.negation_checks;
+      obs::ProfileNode* guard_node = NodeFor(pos);
+      if (guard_node != nullptr) ++guard_node->rows_in;
+      if (store_.IsMember(rel, oid)) return false;
+      if (guard_node != nullptr) ++guard_node->rows_out;
+    }
+    return true;
+  }
+
+  // --- pipeline ---------------------------------------------------------
+
+  sqo::Status RunSteps(Batch* batch, Batch* out) {
+    for (size_t k = 0; k < order_->size(); ++k) {
+      if (batch->empty()) return sqo::Status::Ok();
+      // Join charges amortize across the batch: one bulk charge per step
+      // instead of one per binding (the poll stride still observes the
+      // deadline).
+      if (ExecutionContext* governance = CurrentContext()) {
+        SQO_RETURN_IF_ERROR(governance->ChargeEvalJoins(batch->size()));
+      }
+      if (consumed_.count(k) > 0) continue;
+      obs::ProfileNode* node = EnterNode(k, batch->size());
+      Batch next;
+      const auto start = std::chrono::steady_clock::now();
+      sqo::Status status = Step(k, node, *batch, &next);
+      if (node != nullptr) {
+        chain_.emplace_back(node->id, ElapsedNs(start));
+        node->rows_out += next.size();
+        if (!next.empty()) last_caller_ = node->id;
+      }
+      SQO_RETURN_IF_ERROR(status);
+      *batch = std::move(next);
+    }
+    if (batch->empty()) return sqo::Status::Ok();
+    if (ExecutionContext* governance = CurrentContext()) {
+      SQO_RETURN_IF_ERROR(governance->ChargeEvalJoins(batch->size()));
+    }
+    obs::ProfileNode* emit = nullptr;
+    if (profile_ != nullptr && emit_node_ >= 0) {
+      emit = &profile_->nodes[emit_node_];
+      if (emit->rows_in == 0 && emit->parent < 0) emit->parent = last_caller_;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    sqo::Status status = EmitBatch(*batch, emit, out);
+    if (emit != nullptr) chain_.emplace_back(emit->id, ElapsedNs(start));
+    return status;
+  }
+
+  sqo::Status Step(size_t k, obs::ProfileNode* node, Batch& in, Batch* next) {
+    const Literal& lit = query_.body[(*order_)[k]];
+    const Atom& atom = lit.atom;
+    // Comparisons filter regardless of sign (a negated comparison was
+    // normalized by the parser), matching the tuple engine's dispatch.
+    if (atom.is_comparison()) return FilterStep(atom, node, in, next);
+    const RelationSignature* sig =
+        store_.schema().catalog.Find(atom.predicate());
+    if (sig == nullptr || sig->arity() != atom.arity()) {
+      return sqo::NotFoundError("unknown relation in query: " + atom.ToString());
+    }
+    if (!lit.positive) return AntiJoinStep(atom, *sig, node, in, next);
+    switch (sig->kind) {
+      case RelationKind::kClass:
+      case RelationKind::kStructure:
+        return ClassStep(k, atom, *sig, node, in, next);
+      case RelationKind::kRelationship:
+      case RelationKind::kAsr:
+        return PairStep(atom, *sig, node, in, next);
+      case RelationKind::kMethod:
+        return MethodStep(atom, *sig, node, in, next);
+    }
+    return sqo::Status::Ok();
+  }
+
+  sqo::Status FilterStep(const Atom& atom, obs::ProfileNode* node, Batch& in,
+                         Batch* next) {
+    LabelNode(node, "filter", atom.ToString());
+    const ArgSlot ls = TermSlot(atom.lhs());
+    const ArgSlot rs = TermSlot(atom.rhs());
+    if (!IsBound(ls) || !IsBound(rs)) {
+      return sqo::InvalidArgumentError(
+          "comparison over unbound variables: " + atom.ToString() +
+          " (unsafe query)");
+    }
+    for (Row& row : in) {
+      const sqo::Value* lhs = SlotValue(ls, row);
+      const sqo::Value* rhs = SlotValue(rs, row);
+      ++stats_.comparisons;
+      bool pass;
+      if (atom.op() == CmpOp::kEq || atom.op() == CmpOp::kNe) {
+        pass = datalog::EvalCmp(atom.op(), lhs->Equals(*rhs) ? 0 : 1);
+      } else {
+        auto cmp = lhs->Compare(*rhs);
+        if (!cmp.has_value()) {
+          return sqo::InvalidArgumentError("unorderable comparison: " +
+                                           atom.ToString());
+        }
+        pass = datalog::EvalCmp(atom.op(), *cmp);
+      }
+      if (pass) next->push_back(std::move(row));
+    }
+    return sqo::Status::Ok();
+  }
+
+  sqo::Status AntiJoinStep(const Atom& atom, const RelationSignature& sig,
+                           obs::ProfileNode* node, Batch& in, Batch* next) {
+    LabelNode(node, "anti-join", "¬" + sig.name);
+    // Negation never binds: unbound slots act as wildcards.
+    std::vector<std::string> wildcards;
+    std::vector<ArgSlot> slots = SlotsFor(atom, &wildcards);
+    for (Row& row : in) {
+      ++stats_.negation_checks;
+      SQO_ASSIGN_OR_RETURN(bool exists, ExistsRow(atom, sig, slots, row));
+      if (!exists) next->push_back(std::move(row));
+    }
+    return sqo::Status::Ok();
+  }
+
+  /// Existence check for a (possibly partially bound) atom against one
+  /// row; mirrors the tuple engine's `Exists` counter for counter.
+  sqo::Result<bool> ExistsRow(const Atom& atom, const RelationSignature& sig,
+                              const std::vector<ArgSlot>& slots,
+                              const Row& row) {
+    auto matches_row = [&](const ObjectStore::Row& cand) {
+      for (size_t i = 0; i < slots.size(); ++i) {
+        const sqo::Value* bound = SlotValue(slots[i], row);
+        if (bound != nullptr) {
+          ++stats_.comparisons;
+          if (!bound->Equals(cand[i])) return false;
+        }
+      }
+      return true;
+    };
+    switch (sig.kind) {
+      case RelationKind::kClass:
+      case RelationKind::kStructure: {
+        const sqo::Value* oid = SlotValue(slots[0], row);
+        if (oid != nullptr) {
+          if (oid->kind() != sqo::ValueKind::kOid) return false;
+          bool attrs_bound = false;
+          for (size_t i = 1; i < slots.size() && !attrs_bound; ++i) {
+            attrs_bound = SlotValue(slots[i], row) != nullptr;
+          }
+          if (!attrs_bound) {
+            // Pure membership test: no object fetch needed.
+            return store_.IsMember(sig.name, oid->AsOid());
+          }
+          auto crow = store_.RowAs(sig.name, oid->AsOid());
+          if (!crow.has_value()) return false;
+          ++stats_.objects_fetched;
+          return matches_row(*crow);
+        }
+        ++stats_.extent_scans;
+        for (sqo::Oid candidate : store_.Extent(sig.name)) {
+          auto crow = store_.RowAs(sig.name, candidate);
+          ++stats_.objects_fetched;
+          if (matches_row(*crow)) return true;
+        }
+        return false;
+      }
+      case RelationKind::kRelationship:
+      case RelationKind::kAsr: {
+        const sqo::Value* src = SlotValue(slots[0], row);
+        const sqo::Value* dst = SlotValue(slots[1], row);
+        if (src != nullptr && src->kind() != sqo::ValueKind::kOid) return false;
+        if (dst != nullptr && dst->kind() != sqo::ValueKind::kOid) return false;
+        if (src != nullptr) {
+          const auto& nbrs = store_.Neighbors(sig.name, src->AsOid());
+          stats_.relationship_traversals += nbrs.size();
+          if (dst == nullptr) return !nbrs.empty();
+          for (sqo::Oid n : nbrs) {
+            if (n == dst->AsOid()) return true;
+          }
+          return false;
+        }
+        if (dst != nullptr) {
+          const auto& nbrs = store_.ReverseNeighbors(sig.name, dst->AsOid());
+          stats_.relationship_traversals += nbrs.size();
+          return !nbrs.empty();
+        }
+        return store_.PairCount(sig.name) > 0;
+      }
+      case RelationKind::kMethod: {
+        const sqo::Value* receiver = SlotValue(slots[0], row);
+        if (receiver == nullptr || receiver->kind() != sqo::ValueKind::kOid) {
+          return sqo::UnsupportedError(
+              "negated method atom requires a bound receiver");
+        }
+        std::vector<sqo::Value> args;
+        for (size_t i = 1; i + 1 < atom.arity(); ++i) {
+          const sqo::Value* arg = SlotValue(slots[i], row);
+          if (arg == nullptr) {
+            return sqo::UnsupportedError(
+                "negated method atom requires bound arguments");
+          }
+          args.push_back(*arg);
+        }
+        ++stats_.method_invocations;
+        SQO_ASSIGN_OR_RETURN(
+            sqo::Value result,
+            store_.InvokeMethod(sig.name, receiver->AsOid(), args));
+        const sqo::Value* expected = SlotValue(slots.back(), row);
+        if (expected == nullptr) return true;  // some result always exists
+        ++stats_.comparisons;
+        return expected->Equals(result);
+      }
+    }
+    return false;
+  }
+
+  sqo::Status ClassStep(size_t k, const Atom& atom,
+                        const RelationSignature& sig, obs::ProfileNode* node,
+                        Batch& in, Batch* next) {
+    std::vector<std::string> new_vars;
+    std::vector<ArgSlot> slots = SlotsFor(atom, &new_vars);
+
+    if (IsBound(slots[0])) {
+      LabelNode(node, "oid-lookup", sig.name);
+      for (const Row& row : in) {
+        const sqo::Value* oid = SlotValue(slots[0], row);
+        if (oid->kind() != sqo::ValueKind::kOid) continue;
+        auto crow = store_.RowAs(sig.name, oid->AsOid());
+        if (!crow.has_value()) continue;
+        ++stats_.objects_fetched;
+        AppendUnified(slots, new_vars.size(), row, *crow, next);
+      }
+      RegisterNewVars(new_vars);
+      return sqo::Status::Ok();
+    }
+
+    // Membership guards let every access path below skip excluded objects
+    // before fetching them (§5.2).
+    std::vector<std::pair<size_t, std::string>> guards =
+        FindGuards(k, atom.args()[0].var_name());
+    ConsumeGuards(guards, node);
+
+    auto probe_candidates = [&](const Row& row,
+                                const std::vector<sqo::Oid>& oids) {
+      for (sqo::Oid candidate : oids) {
+        if (!PassesGuards(guards, candidate)) continue;
+        auto crow = store_.RowAs(sig.name, candidate);
+        ++stats_.objects_fetched;
+        AppendUnified(slots, new_vars.size(), row, *crow, next);
+      }
+    };
+
+    // Explicit index on the first bound, indexed attribute: probe per
+    // binding (the index already is a hash join's build side).
+    for (size_t i = 1; i < atom.arity(); ++i) {
+      if (!IsBound(slots[i]) || !store_.HasIndex(sig.name, i)) continue;
+      LabelNode(node, "index-probe", sig.name + "." + sig.attributes[i],
+                /*index_used=*/true);
+      for (const Row& row : in) {
+        ++stats_.index_probes;
+        obs::Count("index.probes");
+        const sqo::Value* v = SlotValue(slots[i], row);
+        const std::vector<sqo::Oid>* oids = store_.IndexLookup(sig.name, i, *v);
+        if (oids == nullptr) continue;
+        probe_candidates(row, *oids);
+      }
+      RegisterNewVars(new_vars);
+      return sqo::Status::Ok();
+    }
+
+    // Persistent adaptive index: an equality-bound attribute with no
+    // explicit index probes the store's incrementally maintained
+    // secondary index (built on first use, delta-maintained on writes).
+    if (options_.auto_index) {
+      for (size_t i = 1; i < atom.arity(); ++i) {
+        if (!IsBound(slots[i])) continue;
+        // The build/scan decision (extent size vs. threshold) is
+        // row-independent; the first row's probe settles it.
+        bool indexed = false;
+        const sqo::Value* v0 = SlotValue(slots[i], in.front());
+        const std::vector<sqo::Oid>* first = store_.LazyIndexLookup(
+            sig.name, i, *v0, options_.auto_index_min_extent, &indexed);
+        if (!indexed) continue;  // extent under threshold: join instead
+        LabelNode(node, "lazy-index-probe",
+                  sig.name + "." + sig.attributes[i],
+                  /*index_used=*/true);
+        for (size_t r = 0; r < in.size(); ++r) {
+          ++stats_.index_probes;
+          obs::Count("index.probes");
+          const std::vector<sqo::Oid>* oids = first;
+          if (r != 0) {
+            const sqo::Value* v = SlotValue(slots[i], in[r]);
+            bool again = false;
+            oids = store_.LazyIndexLookup(sig.name, i, *v,
+                                          options_.auto_index_min_extent,
+                                          &again);
+          }
+          if (oids == nullptr) continue;
+          probe_candidates(in[r], *oids);
+        }
+        RegisterNewVars(new_vars);
+        return sqo::Status::Ok();
+      }
+    }
+
+    // Transient hash join on the first bound attribute: one guarded pass
+    // over the extent builds the table, every binding probes it. This is
+    // where the batch engine beats the tuple engine's per-binding scans.
+    // `objects_fetched` stays the *logical* per-binding count the tuple
+    // engine reports (so SQO before/after comparisons are engine-
+    // invariant); `extent_scans` records the physical amortization.
+    for (size_t i = 1; i < atom.arity(); ++i) {
+      if (!IsBound(slots[i])) continue;
+      LabelNode(node, "hash-join", sig.name + "." + sig.attributes[i]);
+      SQO_FAILPOINT("eval.scan");
+      ++stats_.extent_scans;
+      std::unordered_map<sqo::Value, std::vector<ObjectStore::Row>, ValueHash,
+                         ValueEq>
+          table;
+      uint64_t built = 0;
+      for (sqo::Oid candidate : store_.Extent(sig.name)) {
+        if (!PassesGuards(guards, candidate)) continue;
+        auto crow = store_.RowAs(sig.name, candidate);
+        ++built;
+        sqo::Value key = (*crow)[i];
+        table[std::move(key)].push_back(std::move(*crow));
+      }
+      stats_.objects_fetched += built * in.size();
+      for (const Row& row : in) {
+        const sqo::Value* v = SlotValue(slots[i], row);
+        auto it = table.find(*v);
+        if (it == table.end()) continue;
+        for (const ObjectStore::Row& crow : it->second) {
+          AppendUnified(slots, new_vars.size(), row, crow, next);
+        }
+      }
+      RegisterNewVars(new_vars);
+      return sqo::Status::Ok();
+    }
+
+    // No bound attribute: the candidate set is binding-independent, so
+    // scan once and cross-join the survivors with the batch. As with the
+    // hash join, fetches are charged per logical binding.
+    LabelNode(node, "extent-scan", sig.name);
+    SQO_FAILPOINT("eval.scan");
+    ++stats_.extent_scans;
+    const Row no_input;
+    std::vector<Row> appends;
+    uint64_t scanned = 0;
+    for (sqo::Oid candidate : store_.Extent(sig.name)) {
+      if (!PassesGuards(guards, candidate)) continue;
+      auto crow = store_.RowAs(sig.name, candidate);
+      ++scanned;
+      Row app(new_vars.size());
+      if (UnifyCandidate(slots, no_input, *crow, &app)) {
+        appends.push_back(std::move(app));
+      }
+    }
+    stats_.objects_fetched += scanned * in.size();
+    CrossJoin(in, appends, next);
+    RegisterNewVars(new_vars);
+    return sqo::Status::Ok();
+  }
+
+  sqo::Status PairStep(const Atom& atom, const RelationSignature& sig,
+                       obs::ProfileNode* node, Batch& in, Batch* next) {
+    std::vector<std::string> new_vars;
+    std::vector<ArgSlot> slots = SlotsFor(atom, &new_vars);
+    const bool src_bound = IsBound(slots[0]);
+    const bool dst_bound = IsBound(slots[1]);
+
+    if (src_bound) {
+      LabelNode(node, "traverse", sig.name);
+      for (const Row& row : in) {
+        const sqo::Value* src = SlotValue(slots[0], row);
+        if (src->kind() != sqo::ValueKind::kOid) continue;
+        if (dst_bound &&
+            SlotValue(slots[1], row)->kind() != sqo::ValueKind::kOid) {
+          continue;
+        }
+        const auto& nbrs = store_.Neighbors(sig.name, src->AsOid());
+        stats_.relationship_traversals += nbrs.size();
+        for (sqo::Oid n : nbrs) {
+          const ObjectStore::Row pair = {*src, sqo::Value::FromOid(n)};
+          AppendUnified(slots, new_vars.size(), row, pair, next);
+        }
+      }
+      RegisterNewVars(new_vars);
+      return sqo::Status::Ok();
+    }
+
+    if (dst_bound) {
+      LabelNode(node, "reverse-traverse", sig.name);
+      for (const Row& row : in) {
+        const sqo::Value* dst = SlotValue(slots[1], row);
+        if (dst->kind() != sqo::ValueKind::kOid) continue;
+        const auto& nbrs = store_.ReverseNeighbors(sig.name, dst->AsOid());
+        stats_.relationship_traversals += nbrs.size();
+        for (sqo::Oid n : nbrs) {
+          const ObjectStore::Row pair = {sqo::Value::FromOid(n), *dst};
+          AppendUnified(slots, new_vars.size(), row, pair, next);
+        }
+      }
+      RegisterNewVars(new_vars);
+      return sqo::Status::Ok();
+    }
+
+    // Neither end bound: scan the pair extent once and cross-join
+    // (traversals, like fetches, are charged per logical binding).
+    LabelNode(node, "pair-scan", sig.name);
+    const auto& pairs = store_.Pairs(sig.name);
+    stats_.relationship_traversals += pairs.size() * in.size();
+    const Row no_input;
+    std::vector<Row> appends;
+    for (const auto& [s, d] : pairs) {
+      const ObjectStore::Row pair = {sqo::Value::FromOid(s),
+                                     sqo::Value::FromOid(d)};
+      Row app(new_vars.size());
+      if (UnifyCandidate(slots, no_input, pair, &app)) {
+        appends.push_back(std::move(app));
+      }
+    }
+    CrossJoin(in, appends, next);
+    RegisterNewVars(new_vars);
+    return sqo::Status::Ok();
+  }
+
+  sqo::Status MethodStep(const Atom& atom, const RelationSignature& sig,
+                         obs::ProfileNode* node, Batch& in, Batch* next) {
+    LabelNode(node, "invoke", sig.name);
+    std::vector<std::string> new_vars;
+    std::vector<ArgSlot> slots = SlotsFor(atom, &new_vars);
+    if (!IsBound(slots[0])) {
+      return sqo::InvalidArgumentError("method atom with unbound receiver: " +
+                                       atom.ToString());
+    }
+    for (const Row& row : in) {
+      const sqo::Value* receiver = SlotValue(slots[0], row);
+      if (receiver->kind() != sqo::ValueKind::kOid) continue;
+      std::vector<sqo::Value> args;
+      bool unbound_arg = false;
+      for (size_t i = 1; i + 1 < atom.arity(); ++i) {
+        const sqo::Value* arg = SlotValue(slots[i], row);
+        if (arg == nullptr) {
+          unbound_arg = true;
+          break;
+        }
+        args.push_back(*arg);
+      }
+      if (unbound_arg) {
+        return sqo::InvalidArgumentError("method atom with unbound argument: " +
+                                         atom.ToString());
+      }
+      ++stats_.method_invocations;
+      SQO_ASSIGN_OR_RETURN(
+          sqo::Value result,
+          store_.InvokeMethod(sig.name, receiver->AsOid(), args));
+      const ArgSlot& out_slot = slots.back();
+      if (IsBound(out_slot)) {
+        ++stats_.comparisons;
+        if (!SlotValue(out_slot, row)->Equals(result)) continue;
+        next->push_back(row);
+      } else {
+        Row out = row;
+        out.push_back(std::move(result));
+        next->push_back(std::move(out));
+      }
+    }
+    RegisterNewVars(new_vars);
+    return sqo::Status::Ok();
+  }
+
+  /// Every input row pairs with every surviving candidate, input-major —
+  /// the same order the tuple engine's nested loop produces.
+  void CrossJoin(const Batch& in, const std::vector<Row>& appends,
+                 Batch* next) {
+    for (const Row& row : in) {
+      for (const Row& app : appends) {
+        Row out = row;
+        out.insert(out.end(), app.begin(), app.end());
+        next->push_back(std::move(out));
+      }
+    }
+  }
+
+  sqo::Status EmitBatch(const Batch& batch, obs::ProfileNode* emit,
+                        Batch* out) {
+    // Head projections resolve once: constants and columns (a still-
+    // unbound head variable errors on the first emitted row, like the
+    // tuple engine).
+    for (const Row& row : batch) {
+      if (emit != nullptr) ++emit->rows_in;
+      if (ExecutionContext* governance = CurrentContext()) {
+        SQO_RETURN_IF_ERROR(governance->ChargeEvalRows());
+      }
+      std::vector<sqo::Value> tuple;
+      tuple.reserve(query_.head_args.size());
+      for (const Term& t : query_.head_args) {
+        if (t.is_constant()) {
+          tuple.push_back(t.constant());
+          continue;
+        }
+        auto it = col_.find(t.var_name());
+        if (it == col_.end()) {
+          return sqo::InvalidArgumentError(
+              "projected variable never bound: " + t.ToString());
+        }
+        tuple.push_back(row[it->second]);
+      }
+      ++stats_.tuples_emitted;
+      if (options_.max_tuples != 0 &&
+          stats_.tuples_emitted > options_.max_tuples) {
+        return sqo::ResourceExhaustedError("result limit exceeded");
+      }
+      if (options_.distinct) {
+        if (!dedup_.insert(tuple).second) continue;
+      }
+      ++stats_.results;
+      if (emit != nullptr) ++emit->rows_out;
+      out->push_back(std::move(tuple));
+    }
+    return sqo::Status::Ok();
+  }
+
+  const ObjectStore& store_;
+  const Query& query_;
+  const EvalOptions& options_;
+  EvalStats& stats_;
+  obs::QueryProfile* profile_;
+  const Plan* plan_;
+
+  std::map<std::string, size_t> col_;  // variable -> column position
+  size_t width_ = 0;
+  std::map<std::string, int> var_occurrences_;
+  std::set<size_t> consumed_;  // guard positions consumed by a scan
+  const std::vector<size_t>* order_ = nullptr;
+  std::unordered_set<std::vector<sqo::Value>, TupleHash, TupleEq> dedup_;
+
+  // EXPLAIN ANALYZE state (all inert when profile_ is null).
+  std::vector<int> node_of_;
+  int emit_node_ = -1;
+  int last_caller_ = -1;
+  std::vector<std::pair<int, int64_t>> chain_;  // executed (node, self ns)
+};
+
+}  // namespace
+
+sqo::Status ExecuteBatchPlan(const ObjectStore& store, const Query& query,
+                             const EvalOptions& options, EvalStats& stats,
+                             const std::vector<size_t>& order, const Plan* plan,
+                             obs::QueryProfile* profile,
+                             std::vector<std::vector<sqo::Value>>* out) {
+  BatchExecution exec(store, query, options, stats, profile, plan);
+  return exec.Run(order, out);
+}
+
+bool PlanBenefitsFromBatching(const ObjectStore& store, const Query& query,
+                              const std::vector<size_t>& order,
+                              const EvalOptions& options) {
+  std::unordered_set<std::string> bound;
+  auto is_bound = [&](const Term& t) {
+    return !t.is_variable() || bound.count(t.var_name()) > 0;
+  };
+  for (size_t k = 0; k < order.size(); ++k) {
+    if (order[k] >= query.body.size()) return false;
+    const Literal& lit = query.body[order[k]];
+    const Atom& atom = lit.atom;
+    if (atom.is_comparison()) continue;
+    const RelationSignature* sig =
+        store.schema().catalog.Find(atom.predicate());
+    if (sig == nullptr || sig->arity() != atom.arity()) {
+      return false;  // let the tuple engine report the error
+    }
+    if (!lit.positive) continue;  // anti-joins probe per row either way
+    // The seed step (k == 0) runs against a single-row batch, so nothing
+    // amortizes there; from k > 0 on, a binding-independent access path
+    // shares work across the whole batch.
+    if (k > 0) {
+      switch (sig->kind) {
+        case RelationKind::kClass:
+        case RelationKind::kStructure: {
+          if (!is_bound(atom.args()[0])) {
+            bool attr_bound = false;
+            bool index_served = false;
+            for (size_t i = 1; i < atom.arity(); ++i) {
+              if (!is_bound(atom.args()[i])) continue;
+              attr_bound = true;
+              if (store.HasIndex(sig->name, i)) index_served = true;
+            }
+            if (!attr_bound) return true;  // shared extent scan
+            if (!index_served &&
+                (!options.auto_index ||
+                 store.Extent(sig->name).size() <
+                     options.auto_index_min_extent)) {
+              return true;  // transient hash join
+            }
+          }
+          break;
+        }
+        case RelationKind::kRelationship:
+        case RelationKind::kAsr:
+          if (!is_bound(atom.args()[0]) && !is_bound(atom.args()[1])) {
+            return true;  // shared pair scan
+          }
+          break;
+        case RelationKind::kMethod:
+          break;
+      }
+    }
+    for (const Term& t : atom.args()) {
+      if (t.is_variable()) bound.insert(t.var_name());
+    }
+  }
+  return false;
+}
+
+}  // namespace sqo::engine

@@ -1,0 +1,59 @@
+#ifndef SQO_ENGINE_BATCH_EVALUATOR_H_
+#define SQO_ENGINE_BATCH_EVALUATOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/clause.h"
+#include "engine/evaluator.h"
+#include "engine/object_store.h"
+#include "engine/planner.h"
+#include "engine/statistics.h"
+#include "obs/profile.h"
+
+namespace sqo::engine {
+
+/// Set-at-a-time executor behind `Evaluator::Evaluate` (the default,
+/// `EvalOptions::batch`): each plan step consumes the entire batch of
+/// bindings produced upstream and emits the next batch, so work that the
+/// tuple-at-a-time engine repeats per binding is shared across the batch:
+///
+///  - an equality-bound attribute with no explicit index becomes a hash
+///    build+probe join — one guarded pass over the extent builds the
+///    table, then every binding probes it ("hash-join" in profiles);
+///  - extent scans and pair scans with no bound terms run once and
+///    cross-join their survivors with the batch;
+///  - negated literals anti-join the whole batch in one operator pass.
+///
+/// Semantics mirror the tuple engine exactly: same plan, same result
+/// tuples in the same order (input-major, candidate order preserved),
+/// same governance charges (joins amortized per batch, rows per tuple),
+/// and the same `QueryProfile` tree shape with per-batch rows_in/rows_out.
+///
+/// `order` must match `query.body.size()`; `plan` and `profile` may be
+/// null. Returns the same error statuses as the tuple engine (unsafe
+/// comparisons, unbound method terms, governance violations, ...).
+sqo::Status ExecuteBatchPlan(const ObjectStore& store,
+                             const datalog::Query& query,
+                             const EvalOptions& options, EvalStats& stats,
+                             const std::vector<size_t>& order, const Plan* plan,
+                             obs::QueryProfile* profile,
+                             std::vector<std::vector<sqo::Value>>* out);
+
+/// Routing predicate for `Evaluator::Evaluate`: true iff some step past
+/// the seed position uses a binding-independent access path the batch
+/// engine amortizes — a transient hash join (bound attribute, no explicit
+/// or adaptive index), a shared extent scan, or a shared pair scan. Plans
+/// made purely of per-binding steps (oid lookups, index probes,
+/// traversals, filters, anti-joins, method calls) gain nothing from
+/// batching but pay its intermediate-batch materialization, so the
+/// evaluator keeps them on the tuple pipeline even when
+/// `EvalOptions::batch` is set.
+bool PlanBenefitsFromBatching(const ObjectStore& store,
+                              const datalog::Query& query,
+                              const std::vector<size_t>& order,
+                              const EvalOptions& options);
+
+}  // namespace sqo::engine
+
+#endif  // SQO_ENGINE_BATCH_EVALUATOR_H_

@@ -1,6 +1,8 @@
 #include "engine/evaluator.h"
 
 #include <chrono>
+
+#include "engine/batch_evaluator.h"
 #include <functional>
 #include <map>
 #include <set>
@@ -707,7 +709,7 @@ sqo::Result<std::vector<std::vector<sqo::Value>>> Evaluator::Evaluate(
   if (order != nullptr) {
     plan_order = *order;
   } else {
-    plan = PlanQuery(query, *store_);
+    plan = PlanQuery(query, *store_, PlannerOptions{options_.batch});
     plan_order = plan.order;
     plan_ptr = &plan;
   }
@@ -731,8 +733,15 @@ sqo::Result<std::vector<std::vector<sqo::Value>>> Evaluator::Evaluate(
   std::vector<std::vector<sqo::Value>> out;
   {
     obs::Span exec_span("eval.execute");
-    Execution exec(*store_, query, options_, local, profile, plan_ptr);
-    sqo::Status status = exec.Run(plan_order, &out);
+    sqo::Status status;
+    if (options_.batch &&
+        PlanBenefitsFromBatching(*store_, query, plan_order, options_)) {
+      status = ExecuteBatchPlan(*store_, query, options_, local, plan_order,
+                                plan_ptr, profile, &out);
+    } else {
+      Execution exec(*store_, query, options_, local, profile, plan_ptr);
+      status = exec.Run(plan_order, &out);
+    }
     exec_span.Tag("rows", static_cast<uint64_t>(out.size()));
     if (!status.ok()) {
       if (stats != nullptr) *stats += local;

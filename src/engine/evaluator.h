@@ -13,6 +13,15 @@
 namespace sqo::engine {
 
 struct EvalOptions {
+  /// Set-at-a-time batch execution (the default): each plan step consumes
+  /// the whole batch of bindings produced upstream, so unindexed equality
+  /// selections become hash build+probe joins and extent/pair scans are
+  /// shared across the batch instead of repeated per binding. Off falls
+  /// back to the original tuple-at-a-time engine — kept for row-for-row
+  /// differential comparison (both modes produce identical result sets in
+  /// the same order for the same plan).
+  bool batch = true;
+
   /// Deduplicate result tuples (DATALOG set semantics). OQL `select`
   /// without `distinct` would use false.
   bool distinct = true;
@@ -38,11 +47,13 @@ struct EvalOptions {
   size_t profile_threads = 0;
 };
 
-/// Tuple-at-a-time evaluator for conjunctive DATALOG queries over an
-/// ObjectStore: index nested-loop joins ordered by the greedy planner,
-/// anti-joins for negated literals, and registered-method invocation for
-/// method atoms. Fills `EvalStats` with the instrumentation counters the
-/// benchmarks report.
+/// Evaluator for conjunctive DATALOG queries over an ObjectStore, ordered
+/// by the greedy planner. Two execution engines share the entry point:
+/// the default set-at-a-time batch engine (hash build+probe joins for
+/// unindexed equality selections, shared scans, batch anti-joins) and the
+/// tuple-at-a-time fallback (`EvalOptions::batch = false`; index
+/// nested-loop joins). Both fill `EvalStats` with the instrumentation
+/// counters the benchmarks report.
 class Evaluator {
  public:
   explicit Evaluator(const ObjectStore* store, EvalOptions options = {})

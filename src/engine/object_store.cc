@@ -46,7 +46,8 @@ void ObjectStore::InstallRecord(sqo::Oid oid, const std::string& relation,
   const Row& stored = objects_.emplace(oid.raw(), std::move(record))
                           .first->second.row;
 
-  for (const std::string& member : MemberRelations(relation)) {
+  const std::vector<std::string> members = MemberRelations(relation);
+  for (const std::string& member : members) {
     extents_[member].push_back(oid);
     // Maintain any indexes on the member relation.
     auto idx_it = indexes_.find(member);
@@ -56,7 +57,7 @@ void ObjectStore::InstallRecord(sqo::Oid oid, const std::string& relation,
       }
     }
   }
-  InvalidateLazyIndexes();
+  LazyIndexInsert(members, stored, oid);
 }
 
 sqo::Result<sqo::Oid> ObjectStore::CreateInstance(
@@ -129,7 +130,6 @@ sqo::Status ObjectStore::InsertPair(const std::string& rel, sqo::Oid src,
   data.pairs.emplace_back(src, dst);
   data.fwd[src.raw()].push_back(dst);
   data.bwd[dst.raw()].push_back(src);
-  InvalidateLazyIndexes();
   if (record) {
     Mutation m;
     m.kind = Mutation::Kind::kInsertPair;
@@ -138,7 +138,9 @@ sqo::Status ObjectStore::InsertPair(const std::string& rel, sqo::Oid src,
     m.dst = dst;
     Record(std::move(m));
   }
-  return sqo::Status::Ok();
+  // Pair data never feeds the attribute indexes, so they stay intact; the
+  // new pair may extend materialized ASR paths, though.
+  return MaintainAsrsOnInsert(rel, src, dst, record);
 }
 
 sqo::Status ObjectStore::Relate(const std::string& relationship, sqo::Oid src,
@@ -208,7 +210,10 @@ void ObjectStore::ErasePair(const std::string& rel, sqo::Oid src, sqo::Oid dst,
   if (fit != data.fwd.end()) drop(fit->second, dst);
   auto bit = data.bwd.find(dst.raw());
   if (bit != data.bwd.end()) drop(bit->second, src);
-  InvalidateLazyIndexes();
+  // A removed path pair may invalidate derived ASR pairs whose only
+  // witness it was — a counting problem we do not track, so the ASR is
+  // marked for re-materialization instead.
+  MarkAsrsStaleOnErase(rel);
 }
 
 sqo::Status ObjectStore::Unrelate(const std::string& relationship, sqo::Oid src,
@@ -237,7 +242,9 @@ sqo::Status ObjectStore::UpdateRowPosition(sqo::Oid oid, size_t pos,
   const sqo::Value old_value = record.row[pos];
   record.row[pos] = std::move(value);
   // Maintain indexes on every member relation covering this position.
-  for (const std::string& member : MemberRelations(record.exact_relation)) {
+  const std::vector<std::string> members =
+      MemberRelations(record.exact_relation);
+  for (const std::string& member : members) {
     auto idx_it = indexes_.find(member);
     if (idx_it == indexes_.end()) continue;
     auto pit = idx_it->second.find(pos);
@@ -250,7 +257,7 @@ sqo::Status ObjectStore::UpdateRowPosition(sqo::Oid oid, size_t pos,
     }
     pit->second[record.row[pos]].push_back(oid);
   }
-  InvalidateLazyIndexes();
+  LazyIndexUpdate(members, pos, old_value, record.row[pos], oid);
   return sqo::Status::Ok();
 }
 
@@ -301,7 +308,9 @@ sqo::Status ObjectStore::DeleteObjectImpl(sqo::Oid oid, bool record_mutations) {
   }
 
   // Remove from extents and indexes.
-  for (const std::string& member : MemberRelations(record.exact_relation)) {
+  const std::vector<std::string> members =
+      MemberRelations(record.exact_relation);
+  for (const std::string& member : members) {
     auto ext_it = extents_.find(member);
     if (ext_it != extents_.end()) {
       auto& oids = ext_it->second;
@@ -318,9 +327,9 @@ sqo::Status ObjectStore::DeleteObjectImpl(sqo::Oid oid, bool record_mutations) {
       if (oids.empty()) index.erase(bucket);
     }
   }
+  LazyIndexErase(members, record.row, oid);
 
   objects_.erase(oid.raw());
-  InvalidateLazyIndexes();
   if (record_mutations) {
     Mutation m;
     m.kind = Mutation::Kind::kDelete;
@@ -399,8 +408,80 @@ sqo::Status ObjectStore::Materialize(const core::AsrDefinition& asr) {
     status = InsertPair(asr.name, src, dst, /*enforce_cardinality=*/false);
     if (!status.ok()) break;
   }
+  if (status.ok()) {
+    // Register (or refresh) the maintenance state: from here on, inserts
+    // into path relations extend the materialization incrementally and
+    // erasures mark it stale.
+    AsrState& state = asrs_[asr.name];
+    state.name = asr.name;
+    state.path = asr.path;
+    state.stale = false;
+  }
   const sqo::Status log_status = FlushMutations();
   return status.ok() ? log_status : status;
+}
+
+sqo::Status ObjectStore::MaintainAsrsOnInsert(const std::string& rel,
+                                              sqo::Oid src, sqo::Oid dst,
+                                              bool record) {
+  if (asrs_.empty() || asr_maintenance_depth_ >= 4) return sqo::Status::Ok();
+  ++asr_maintenance_depth_;
+  sqo::Status status = sqo::Status::Ok();
+  for (auto& [name, state] : asrs_) {
+    if (state.stale || !status.ok()) continue;
+    for (size_t hop = 0; hop < state.path.size() && status.ok(); ++hop) {
+      if (state.path[hop] != rel) continue;
+      // Origins: everything that reaches `src` through the path prefix.
+      std::vector<sqo::Oid> origins{src};
+      for (size_t i = hop; i-- > 0 && !origins.empty();) {
+        std::vector<sqo::Oid> prev;
+        std::set<uint64_t> seen;
+        for (sqo::Oid o : origins) {
+          for (sqo::Oid p : ReverseNeighbors(state.path[i], o)) {
+            if (seen.insert(p.raw()).second) prev.push_back(p);
+          }
+        }
+        origins = std::move(prev);
+      }
+      if (origins.empty()) continue;
+      // Targets: everything `dst` reaches through the path suffix.
+      std::vector<sqo::Oid> targets{dst};
+      for (size_t i = hop + 1; i < state.path.size() && !targets.empty(); ++i) {
+        std::vector<sqo::Oid> next;
+        std::set<uint64_t> seen;
+        for (sqo::Oid t : targets) {
+          for (sqo::Oid n : Neighbors(state.path[i], t)) {
+            if (seen.insert(n.raw()).second) next.push_back(n);
+          }
+        }
+        targets = std::move(next);
+      }
+      if (targets.empty()) continue;
+      obs::Count("asr.delta_pairs", origins.size() * targets.size());
+      for (sqo::Oid origin : origins) {
+        for (sqo::Oid target : targets) {
+          status = InsertPair(name, origin, target,
+                              /*enforce_cardinality=*/false, record);
+          if (!status.ok()) break;
+        }
+        if (!status.ok()) break;
+      }
+    }
+  }
+  --asr_maintenance_depth_;
+  return status;
+}
+
+void ObjectStore::MarkAsrsStaleOnErase(const std::string& rel) {
+  for (auto& [name, state] : asrs_) {
+    if (state.stale) continue;
+    if (name == rel ||
+        std::find(state.path.begin(), state.path.end(), rel) !=
+            state.path.end()) {
+      state.stale = true;
+      obs::Count("asr.marked_stale");
+    }
+  }
 }
 
 const std::vector<sqo::Oid>& ObjectStore::Extent(const std::string& relation) const {
@@ -490,9 +571,60 @@ const std::vector<sqo::Oid>* ObjectStore::IndexLookup(
   return vit == pit->second.end() ? nullptr : &vit->second;
 }
 
-void ObjectStore::InvalidateLazyIndexes() {
+void ObjectStore::LazyIndexInsert(const std::vector<std::string>& members,
+                                  const Row& row, sqo::Oid oid) {
   std::lock_guard<std::mutex> lock(lazy_mu_);
-  lazy_indexes_.clear();
+  if (lazy_indexes_.empty()) return;
+  for (const std::string& member : members) {
+    auto rel_it = lazy_indexes_.find(member);
+    if (rel_it == lazy_indexes_.end()) continue;
+    for (auto& [pos, index] : rel_it->second) {
+      if (pos >= row.size()) continue;
+      index[row[pos]].push_back(oid);
+      obs::Count("index.delta_applies");
+    }
+  }
+}
+
+void ObjectStore::LazyIndexUpdate(const std::vector<std::string>& members,
+                                  size_t pos, const sqo::Value& old_value,
+                                  const sqo::Value& new_value, sqo::Oid oid) {
+  std::lock_guard<std::mutex> lock(lazy_mu_);
+  if (lazy_indexes_.empty()) return;
+  for (const std::string& member : members) {
+    auto rel_it = lazy_indexes_.find(member);
+    if (rel_it == lazy_indexes_.end()) continue;
+    auto pos_it = rel_it->second.find(pos);
+    if (pos_it == rel_it->second.end()) continue;
+    HashIndex& index = pos_it->second;
+    auto old_bucket = index.find(old_value);
+    if (old_bucket != index.end()) {
+      auto& oids = old_bucket->second;
+      oids.erase(std::remove(oids.begin(), oids.end(), oid), oids.end());
+      if (oids.empty()) index.erase(old_bucket);
+    }
+    index[new_value].push_back(oid);
+    obs::Count("index.delta_applies");
+  }
+}
+
+void ObjectStore::LazyIndexErase(const std::vector<std::string>& members,
+                                 const Row& row, sqo::Oid oid) {
+  std::lock_guard<std::mutex> lock(lazy_mu_);
+  if (lazy_indexes_.empty()) return;
+  for (const std::string& member : members) {
+    auto rel_it = lazy_indexes_.find(member);
+    if (rel_it == lazy_indexes_.end()) continue;
+    for (auto& [pos, index] : rel_it->second) {
+      if (pos >= row.size()) continue;
+      auto bucket = index.find(row[pos]);
+      if (bucket == index.end()) continue;
+      auto& oids = bucket->second;
+      oids.erase(std::remove(oids.begin(), oids.end(), oid), oids.end());
+      if (oids.empty()) index.erase(bucket);
+      obs::Count("index.delta_applies");
+    }
+  }
 }
 
 const std::vector<sqo::Oid>* ObjectStore::LazyIndexLookup(
@@ -517,11 +649,66 @@ const std::vector<sqo::Oid>* ObjectStore::LazyIndexLookup(
       fresh[it->second.row[pos]].push_back(oid);
     }
     index = &(lazy_indexes_[relation][pos] = std::move(fresh));
-    obs::Count("index.lazy_builds");
+    // A (relation, pos) that was built before only reaches this path after
+    // Clear() wiped the tables: that is a full rebuild, the event the
+    // delta-apply maintenance exists to avoid.
+    if (ever_built_.insert({relation, pos}).second) {
+      obs::Count("index.lazy_builds");
+    } else {
+      obs::Count("index.full_rebuilds");
+    }
   }
   if (built != nullptr) *built = true;
   auto vit = index->find(value);
   return vit == index->end() ? nullptr : &vit->second;
+}
+
+std::vector<ObjectStore::SecondaryIndexDump>
+ObjectStore::DumpSecondaryIndexes() const {
+  std::lock_guard<std::mutex> lock(lazy_mu_);
+  std::vector<SecondaryIndexDump> dumps;
+  for (const auto& [relation, positions] : lazy_indexes_) {
+    for (const auto& [pos, index] : positions) {
+      SecondaryIndexDump dump;
+      dump.relation = relation;
+      dump.pos = pos;
+      dump.entries.reserve(index.size());
+      for (const auto& [value, oids] : index) {
+        dump.entries.emplace_back(value, oids);
+      }
+      // Bucket order inside the hash table is incidental; sort the dump so
+      // the snapshot encoding is stable.
+      std::sort(dump.entries.begin(), dump.entries.end(),
+                [](const auto& a, const auto& b) {
+                  return a.first.Hash() < b.first.Hash();
+                });
+      dumps.push_back(std::move(dump));
+    }
+  }
+  return dumps;
+}
+
+void ObjectStore::RestoreSecondaryIndex(SecondaryIndexDump dump) {
+  std::lock_guard<std::mutex> lock(lazy_mu_);
+  HashIndex index;
+  index.reserve(dump.entries.size());
+  for (auto& [value, oids] : dump.entries) {
+    index[value] = std::move(oids);
+  }
+  lazy_indexes_[dump.relation][dump.pos] = std::move(index);
+  ever_built_.insert({dump.relation, dump.pos});
+  obs::Count("index.restored");
+}
+
+std::vector<ObjectStore::AsrState> ObjectStore::AsrStates() const {
+  std::vector<AsrState> states;
+  states.reserve(asrs_.size());
+  for (const auto& [name, state] : asrs_) states.push_back(state);
+  return states;
+}
+
+void ObjectStore::RestoreAsrState(AsrState state) {
+  asrs_[state.name] = std::move(state);
 }
 
 size_t ObjectStore::ExtentSize(const std::string& relation) const {
@@ -606,8 +793,9 @@ sqo::Status ObjectStore::ApplyOne(const Mutation& m) {
       ErasePair(m.relation, m.src, m.dst, /*record=*/false);
       return sqo::Status::Ok();
     case Mutation::Kind::kClearRel:
+      // Clears pair data only (ASR re-materialization); the attribute
+      // indexes cover object rows and are unaffected.
       rels_.erase(m.relation);
-      InvalidateLazyIndexes();
       return sqo::Status::Ok();
   }
   return sqo::DataCorruptionError("unknown mutation kind " +
@@ -634,7 +822,14 @@ void ObjectStore::Clear() {
       index.clear();
     }
   }
-  InvalidateLazyIndexes();
+  {
+    // The adaptive indexes and ASR registrations are data-derived and go
+    // too; `ever_built_` survives so a post-Clear rebuild is counted as a
+    // full rebuild rather than a first build.
+    std::lock_guard<std::mutex> lock(lazy_mu_);
+    lazy_indexes_.clear();
+  }
+  asrs_.clear();
   next_oid_ = 1;
   pending_.clear();
 }

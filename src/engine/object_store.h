@@ -171,14 +171,18 @@ class ObjectStore {
   const std::vector<sqo::Oid>* IndexLookup(const std::string& relation, size_t pos,
                                            const sqo::Value& value) const;
 
-  /// Like IndexLookup, but over the store's *lazy* secondary indexes:
+  /// Like IndexLookup, but over the store's *adaptive* secondary indexes:
   /// the first probe of (relation, pos) whose extent has at least
-  /// `min_extent` members builds a hash index over that attribute; any
-  /// mutation (create/update/delete/relate/materialize) drops all lazy
-  /// indexes, so they are rebuilt on the next probe. Returns nullptr when
-  /// the extent is under the threshold or the value has no entry — callers
-  /// distinguish "no index" from "no match" via `built`, set to true when
-  /// an index (fresh or cached) answered the probe.
+  /// `min_extent` members builds a hash index over that attribute. Once
+  /// built, the index is persistent: mutations to members of `relation`
+  /// apply deltas in place (counter "index.delta_applies") instead of
+  /// dropping the table, and mutations to other relations never touch it.
+  /// Only Clear() discards the tables; a build after Clear counts as
+  /// "index.full_rebuilds" (first-ever builds count "index.lazy_builds").
+  /// Returns nullptr when the extent is under the threshold or the value
+  /// has no entry — callers distinguish "no index" from "no match" via
+  /// `built`, set to true when an index (fresh or cached) answered the
+  /// probe.
   ///
   /// Thread-safe for concurrent readers (one mutex-guarded table). The
   /// returned pointer is valid until the next store mutation; concurrent
@@ -203,6 +207,43 @@ class ObjectStore {
   size_t object_count() const { return objects_.size(); }
 
   // ---- Persistence support ----
+
+  /// One adaptive secondary index in snapshot-serializable form: every
+  /// (value → OIDs) bucket of the hash index on `relation`.`pos`, with the
+  /// buckets in a deterministic order.
+  struct SecondaryIndexDump {
+    std::string relation;
+    size_t pos = 0;
+    std::vector<std::pair<sqo::Value, std::vector<sqo::Oid>>> entries;
+  };
+
+  /// Maintenance state of one materialized access support relation: the
+  /// relationship path its pairs were derived from, and whether a deletion
+  /// on a path relation has left the materialization stale (pair inserts
+  /// are applied incrementally; deletions mark the ASR for
+  /// re-materialization instead).
+  struct AsrState {
+    std::string name;
+    std::vector<std::string> path;
+    bool stale = false;
+  };
+
+  /// Every built adaptive secondary index (LazyIndexLookup tables), for
+  /// snapshot serialization.
+  std::vector<SecondaryIndexDump> DumpSecondaryIndexes() const;
+
+  /// Installs one secondary index restored from a snapshot, marking it as
+  /// previously built so a later from-scratch build counts as a full
+  /// rebuild.
+  void RestoreSecondaryIndex(SecondaryIndexDump dump);
+
+  /// Maintenance states of every ASR materialized (or restored) into this
+  /// store, in name order.
+  std::vector<AsrState> AsrStates() const;
+
+  /// Re-registers one ASR maintenance state restored from a snapshot, so
+  /// incremental maintenance resumes across recovery.
+  void RestoreAsrState(AsrState state);
 
   /// Installs (or, with an empty function, removes) the mutation listener.
   /// The storage layer installs its WAL appender here *after* recovery, so
@@ -298,18 +339,48 @@ class ObjectStore {
                                        const std::map<std::string, sqo::Value>& attrs,
                                        bool is_struct);
 
-  /// Drops all lazily built secondary indexes; called by every mutation.
-  void InvalidateLazyIndexes();
+  /// Incremental maintenance of the adaptive secondary indexes, scoped to
+  /// the member relations of the mutated object (indexes over unrelated
+  /// relations are untouched). Each call that changes a built index counts
+  /// one "index.delta_applies".
+  void LazyIndexInsert(const std::vector<std::string>& members, const Row& row,
+                       sqo::Oid oid);
+  void LazyIndexUpdate(const std::vector<std::string>& members, size_t pos,
+                       const sqo::Value& old_value, const sqo::Value& new_value,
+                       sqo::Oid oid);
+  void LazyIndexErase(const std::vector<std::string>& members, const Row& row,
+                      sqo::Oid oid);
+
+  /// Derives and inserts the ASR pairs a new `(src, dst)` pair of path
+  /// relation `rel` gives rise to, for every fresh registered ASR whose
+  /// path contains `rel` (prefix reachability backwards from `src`, suffix
+  /// reachability forwards from `dst`).
+  sqo::Status MaintainAsrsOnInsert(const std::string& rel, sqo::Oid src,
+                                   sqo::Oid dst, bool record);
+
+  /// Marks every registered ASR whose path contains `rel` stale: removing
+  /// a path pair is a counting problem (a derived pair may have other
+  /// witnesses), so deletions demand re-materialization.
+  void MarkAsrsStaleOnErase(const std::string& rel);
 
   const translate::TranslatedSchema* schema_;
   std::map<uint64_t, ObjectRecord> objects_;
   std::map<std::string, std::vector<sqo::Oid>> extents_;
   std::map<std::string, RelData> rels_;
   std::map<std::string, std::map<size_t, HashIndex>> indexes_;
-  /// Lazily built attribute indexes (LazyIndexLookup). Mutable: building
-  /// happens on const read paths; `lazy_mu_` guards the whole table.
+  /// Adaptive attribute indexes (LazyIndexLookup): built on first probe,
+  /// then delta-maintained by mutations. Mutable: building happens on const
+  /// read paths; `lazy_mu_` guards the table and `ever_built_`.
   mutable std::mutex lazy_mu_;
   mutable std::map<std::string, std::map<size_t, HashIndex>> lazy_indexes_;
+  /// (relation, pos) pairs that were built at least once this store
+  /// lifetime — a later from-scratch build is a full rebuild, not a lazy
+  /// build.
+  mutable std::set<std::pair<std::string, size_t>> ever_built_;
+  /// Maintenance state of every materialized ASR, keyed by relation name.
+  std::map<std::string, AsrState> asrs_;
+  /// Recursion guard for ASRs whose paths are defined over other ASRs.
+  int asr_maintenance_depth_ = 0;
   std::map<std::string, MethodFn> methods_;
   /// relation name of a relationship -> relation name of its inverse ("")
   std::map<std::string, std::string> inverse_of_;

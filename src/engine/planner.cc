@@ -80,7 +80,8 @@ bool IsMembershipGuard(const Query& query, size_t j, const std::string& scan_var
 
 StepEstimate EstimateLiteral(const Literal& lit, const Query& query, size_t index,
                              const std::set<std::string>& bound,
-                             const ObjectStore& store) {
+                             const ObjectStore& store,
+                             const PlannerOptions& options, double card) {
   StepEstimate est;
   const auto& atom = lit.atom;
 
@@ -190,6 +191,17 @@ StepEstimate EstimateLiteral(const Literal& lit, const Query& query, size_t inde
               0.05 * n_guards;
           est.description = "index probe " + sig->name + "." +
                             sig->attributes[indexed_pos];
+        } else if (options.batch && bound_attrs > 0) {
+          // Batch hash join: the evaluator builds one hash table over the
+          // extent (amortized across the whole input batch) and probes it
+          // once per binding, so the per-binding work collapses from a
+          // full scan to build-share + probe.
+          est.cost = extent * guard_sel / std::max(1.0, card) + 1.0 +
+                     0.05 * n_guards;
+          est.fanout =
+              extent * guard_sel * std::pow(kEqSelectivity, bound_attrs);
+          est.description = "hash join " + sig->name;
+          if (n_guards > 0) est.description += " (guarded)";
         } else {
           est.cost = extent * guard_sel + 0.05 * n_guards * extent;
           est.fanout =
@@ -251,7 +263,8 @@ std::string Plan::ToString() const {
   return out;
 }
 
-Plan PlanQuery(const Query& query, const ObjectStore& store) {
+Plan PlanQuery(const Query& query, const ObjectStore& store,
+               const PlannerOptions& options) {
   obs::Span span("eval.plan");
   // PlanQuery returns a plain Plan, so governance violations latch on the
   // current context and surface at the evaluator's boundary check.
@@ -283,7 +296,8 @@ Plan PlanQuery(const Query& query, const ObjectStore& store) {
     StepEstimate best_est;
     for (size_t i = 0; i < n; ++i) {
       if (placed[i]) continue;
-      StepEstimate est = EstimateLiteral(query.body[i], query, i, bound, store);
+      StepEstimate est =
+          EstimateLiteral(query.body[i], query, i, bound, store, options, card);
       if (!est.placeable) continue;
       // Rank by the work this step adds now plus the growth it causes.
       const double score = card * est.cost + card * est.fanout;

@@ -31,6 +31,15 @@ struct Plan {
   std::string ToString() const;
 };
 
+struct PlannerOptions {
+  /// Price selections for the set-at-a-time batch evaluator: an
+  /// equality-bound attribute with no explicit index becomes a hash
+  /// build+probe join — one pass over the extent amortized across the
+  /// input batch plus one probe per binding — instead of a per-binding
+  /// extent scan. Off reproduces the tuple-at-a-time nested-loop prices.
+  bool batch = false;
+};
+
 /// Plans a conjunctive DATALOG query against the store's statistics
 /// (extent sizes, relationship fanouts, index availability). Greedy:
 /// repeatedly pick the placeable literal with the lowest estimated
@@ -40,7 +49,12 @@ struct Plan {
 /// receiver and argument terms bound; negated atoms need every variable
 /// they share with the rest of the query bound (their private variables
 /// are anti-join wildcards).
-Plan PlanQuery(const datalog::Query& query, const ObjectStore& store);
+Plan PlanQuery(const datalog::Query& query, const ObjectStore& store,
+               const PlannerOptions& options);
+
+inline Plan PlanQuery(const datalog::Query& query, const ObjectStore& store) {
+  return PlanQuery(query, store, PlannerOptions{});
+}
 
 }  // namespace sqo::engine
 

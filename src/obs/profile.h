@@ -19,10 +19,10 @@ struct ProfileNode {
   int parent = -1;
 
   /// Operator kind, fixed vocabulary: "oid-lookup", "index-probe",
-  /// "lazy-index-probe", "extent-scan", "traverse", "reverse-traverse",
-  /// "pair-scan", "filter", "anti-join", "guard", "invoke", "emit".
-  /// Empty when the operator was planned but never executed (an upstream
-  /// step produced no bindings).
+  /// "lazy-index-probe", "hash-join", "extent-scan", "traverse",
+  /// "reverse-traverse", "pair-scan", "filter", "anti-join", "guard",
+  /// "invoke", "emit". Empty when the operator was planned but never
+  /// executed (an upstream step produced no bindings).
   std::string op;
 
   /// Relation (or attribute for probes) the operator touches; the literal

@@ -25,7 +25,10 @@ namespace sqo::storage {
 /// kDataCorruption and recovery fails open to the previous good artifact.
 inline constexpr uint32_t kSnapshotMagic = 0x534F5153u;  // "SQOS"
 inline constexpr uint32_t kWalMagic = 0x574F5153u;       // "SQOW"
-inline constexpr uint32_t kSnapshotVersion = 1;
+/// Snapshot v2 added the index section (persisted secondary indexes and
+/// ASR freshness states) and grew the header to 72 bytes; v1 files are
+/// rejected as version skew.
+inline constexpr uint32_t kSnapshotVersion = 2;
 inline constexpr uint32_t kWalVersion = 1;
 
 /// Append-only binary encoder.

@@ -218,6 +218,15 @@ sqo::Status StorageManager::LoadSnapshots(const sqo::Fingerprint128& live_hash,
       continue;
     }
     store_->RestoreNextOid(contents->next_oid);
+    // Reinstall the persisted adaptive access structures before WAL
+    // replay, so replayed mutations delta-maintain them instead of the
+    // first post-recovery query rebuilding from scratch.
+    for (auto& dump : contents->indexes) {
+      store_->RestoreSecondaryIndex(std::move(dump));
+    }
+    for (auto& asr : contents->asrs) {
+      store_->RestoreAsrState(std::move(asr));
+    }
     info_.snapshot_path = path;
     info_.snapshot_lsn = contents->last_lsn;
     last_lsn_ = contents->last_lsn;

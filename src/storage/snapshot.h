@@ -12,21 +12,29 @@
 #include "engine/object_store.h"
 
 /// Versioned, checksummed snapshot of an ObjectStore extent plus the
-/// serialized semantic catalog.
+/// serialized semantic catalog and the store's adaptive access structures
+/// (persisted secondary indexes and ASR freshness states).
 ///
 /// File layout (all integers little-endian):
 ///
-///   header (60 bytes):
+///   header (72 bytes):
 ///     u32 magic "SQOS" | u32 version | u64 schema_lo | u64 schema_hi
-///     | u64 last_lsn | u64 store_len | u64 catalog_len
+///     | u64 last_lsn | u64 store_len | u64 catalog_len | u64 index_len
 ///     | u32 masked-CRC32C(store section) | u32 masked-CRC32C(catalog section)
-///     | u32 masked-CRC32C(preceding 56 header bytes)
+///     | u32 masked-CRC32C(index section)
+///     | u32 masked-CRC32C(preceding 68 header bytes)
 ///   store section (store_len bytes):
 ///     u64 next_oid | u64 object_count
 ///     | per object: u64 oid | str exact_relation | u32 row_len | values
 ///     | u64 relation_count
 ///     | per relation: str name | u64 pair_count | (u64 src, u64 dst)*
 ///   catalog section (catalog_len bytes): catalog JSON (see catalog.h)
+///   index section (index_len bytes):
+///     u64 index_count
+///     | per index: str relation | u64 attribute_pos | u64 entry_count
+///       | per entry: value key | u32 oid_count | u64 oids
+///     u64 asr_count
+///     | per asr: str name | u8 stale | u32 hop_count | str hop relations
 ///
 /// Snapshots are immutable once published: the writer builds the whole file
 /// in memory and installs it with WriteFileAtomic (temp + fsync + rename +
@@ -35,7 +43,8 @@
 /// recovery layer fails open to an older snapshot.
 namespace sqo::storage {
 
-inline constexpr size_t kSnapshotHeaderSize = 4 + 4 + 8 + 8 + 8 + 8 + 8 + 4 + 4 + 4;
+inline constexpr size_t kSnapshotHeaderSize =
+    4 + 4 + 8 + 8 + 8 + 8 + 8 + 8 + 4 + 4 + 4 + 4;
 
 /// A fully decoded and checksum-verified snapshot. The store contents are
 /// returned as replayable mutations (creates then pair inserts) so loading
@@ -50,6 +59,12 @@ struct SnapshotContents {
   std::vector<engine::Mutation> objects;  // kCreate, one per object
   std::vector<engine::Mutation> pairs;    // kInsertPair, one per stored pair
   std::string catalog_json;
+
+  /// Adaptive access structures captured at checkpoint time: secondary
+  /// index contents (restored verbatim, then delta-maintained through WAL
+  /// replay) and ASR registrations with their freshness flags.
+  std::vector<engine::ObjectStore::SecondaryIndexDump> indexes;
+  std::vector<engine::ObjectStore::AsrState> asrs;
 };
 
 /// Serializes `store` + `catalog_json` and atomically publishes the file at

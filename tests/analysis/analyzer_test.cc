@@ -487,6 +487,68 @@ TEST(AnalyzerProfileTest, A014SilentWithoutKeyOrIndex) {
       AnalyzeProfile(ts, ProfileWithNode("extent-scan", "nope", 1)).empty());
 }
 
+// --- Stale-ASR profile lint (SQO-A019) ------------------------------------
+
+TEST(AnalyzerProfileTest, A019FlagsScanCoveredByStaleAsr) {
+  std::vector<AsrFreshness> asrs = {
+      {"asr_student_ta",
+       {"takes", "is_section_of", "has_sections", "has_ta"},
+       /*stale=*/true}};
+  // Scanning the ASR relation itself...
+  auto report = AnalyzeAsrStaleness(
+      ProfileWithNode("extent-scan", "asr_student_ta", 12), asrs);
+  ASSERT_EQ(CountCode(report, kCodeStaleAsr), 1u) << report.ToString();
+  EXPECT_FALSE(report.has_errors());
+  EXPECT_EQ(report.diagnostics[0].subject, "asr_student_ta");
+  EXPECT_NE(report.diagnostics[0].message.find("asr_student_ta"),
+            std::string::npos);
+  // ...or one of its path hops is the scan the ASR was built to avoid.
+  auto hop_report =
+      AnalyzeAsrStaleness(ProfileWithNode("pair-scan", "takes", 40), asrs);
+  EXPECT_EQ(CountCode(hop_report, kCodeStaleAsr), 1u) << hop_report.ToString();
+}
+
+TEST(AnalyzerProfileTest, A019DeduplicatesPerRelationAndAsr) {
+  std::vector<AsrFreshness> asrs = {
+      {"asr_student_ta",
+       {"takes", "is_section_of", "has_sections", "has_ta"},
+       /*stale=*/true}};
+  obs::QueryProfile profile = ProfileWithNode("pair-scan", "takes", 40);
+  profile.nodes.push_back(profile.nodes[0]);  // same relation scanned twice
+  auto report = AnalyzeAsrStaleness(profile, asrs);
+  EXPECT_EQ(CountCode(report, kCodeStaleAsr), 1u) << report.ToString();
+}
+
+TEST(AnalyzerProfileTest, A019SilentForFreshAsrsProbesAndOtherRelations) {
+  std::vector<AsrFreshness> fresh = {
+      {"asr_student_ta",
+       {"takes", "is_section_of", "has_sections", "has_ta"},
+       /*stale=*/false}};
+  // A fresh ASR never fires, whatever the plan scans.
+  EXPECT_TRUE(
+      AnalyzeAsrStaleness(ProfileWithNode("pair-scan", "takes", 40), fresh)
+          .empty());
+  std::vector<AsrFreshness> stale = {
+      {"asr_student_ta",
+       {"takes", "is_section_of", "has_sections", "has_ta"},
+       /*stale=*/true}};
+  // Probe / traversal operators are what the ASR wants — not flagged.
+  EXPECT_TRUE(AnalyzeAsrStaleness(
+                  ProfileWithNode("traverse", "takes", 40), stale)
+                  .empty());
+  EXPECT_TRUE(AnalyzeAsrStaleness(
+                  ProfileWithNode("hash-join", "student", 40), stale)
+                  .empty());
+  // Scans over relations outside the ASR's coverage stay silent.
+  EXPECT_TRUE(AnalyzeAsrStaleness(
+                  ProfileWithNode("extent-scan", "faculty", 20), stale)
+                  .empty());
+  // No ASRs at all: nothing to analyze.
+  EXPECT_TRUE(AnalyzeAsrStaleness(
+                  ProfileWithNode("extent-scan", "asr_student_ta", 5), {})
+                  .empty());
+}
+
 // --- ExpectedArgumentKind -------------------------------------------------
 
 TEST(AnalyzerTest, ExpectedArgumentKindResolvesAttributeTypes) {

@@ -84,7 +84,7 @@ TEST_F(LazyIndexTest, BuildsOnFirstProbeAndAnswersLookups) {
   EXPECT_EQ(metrics.CounterValue("index.lazy_builds"), 1u);
 }
 
-TEST_F(LazyIndexTest, MutationInvalidatesLazyIndex) {
+TEST_F(LazyIndexTest, MutationDeltaMaintainsLazyIndex) {
   ObjectStore& store = db_->store();
   const size_t age_pos = AgePos();
   const sqo::Oid first = store.Extent("person").front();
@@ -97,7 +97,8 @@ TEST_F(LazyIndexTest, MutationInvalidatesLazyIndex) {
 
   ASSERT_TRUE(store.UpdateAttribute(first, "age", Value::Int(999)).ok());
 
-  // The stale index was dropped; the rebuilt one reflects the update.
+  // The update was delta-applied in place (no drop/rebuild): the index
+  // reflects the new value and the old entry is gone.
   const std::vector<sqo::Oid>* updated =
       store.LazyIndexLookup("person", age_pos, Value::Int(999), 16, &built);
   ASSERT_TRUE(built);

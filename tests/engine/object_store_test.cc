@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
 #include "odl/parser.h"
 #include "workload/university.h"
 
@@ -304,6 +305,140 @@ TEST_F(ObjectStoreTest, DeleteObjectScrubsEverything) {
   EXPECT_EQ(store_->PairCount("takes"), 0u);
   EXPECT_FALSE(store_->RowAs("student", student).has_value());
   EXPECT_FALSE(store_->DeleteObject(student).ok());  // already gone
+}
+
+TEST_F(ObjectStoreTest, LazyIndexDeltaScopedToMutatedRelation) {
+  // Two lazily built indexes over disjoint relations: mutations against
+  // one must delta-apply to that index only, never rebuild or touch the
+  // other (the old clear-on-write scheme invalidated everything).
+  for (int i = 0; i < 20; ++i) {
+    MustCreate("Person", {{"name", Value::String("p" + std::to_string(i))},
+                          {"age", Value::Int(20 + i)}});
+    MustCreate("Course", {{"cname", Value::String("c" + std::to_string(i))}});
+  }
+  bool built = false;
+  ASSERT_NE(store_->LazyIndexLookup("person", 2, Value::Int(25), 16, &built),
+            nullptr);
+  ASSERT_TRUE(built);
+  ASSERT_NE(store_->LazyIndexLookup("course", 1, Value::String("c3"), 16,
+                                    &built),
+            nullptr);
+  ASSERT_TRUE(built);
+
+  obs::MetricsRegistry metrics;
+  obs::ScopedMetrics install(&metrics);
+  // A course mutation delta-applies to the course index only.
+  const sqo::Oid course = store_->Extent("course").front();
+  ASSERT_TRUE(
+      store_->UpdateAttribute(course, "cname", Value::String("renamed")).ok());
+  EXPECT_EQ(metrics.CounterValue("index.delta_applies"), 1u);
+  EXPECT_EQ(metrics.CounterValue("index.full_rebuilds"), 0u);
+
+  // The person index is untouched: probing it is not a (re)build.
+  const auto* hits =
+      store_->LazyIndexLookup("person", 2, Value::Int(25), 16, &built);
+  ASSERT_NE(hits, nullptr);
+  EXPECT_EQ(metrics.CounterValue("index.lazy_builds"), 0u);
+  EXPECT_EQ(metrics.CounterValue("index.full_rebuilds"), 0u);
+  // The course index reflects the delta without a rebuild.
+  const auto* renamed =
+      store_->LazyIndexLookup("course", 1, Value::String("renamed"), 16,
+                              &built);
+  ASSERT_NE(renamed, nullptr);
+  EXPECT_EQ((*renamed)[0], course);
+  EXPECT_EQ(store_->LazyIndexLookup("course", 1, Value::String("c0"), 16,
+                                    &built),
+            nullptr);
+  EXPECT_EQ(metrics.CounterValue("index.lazy_builds"), 0u);
+}
+
+TEST_F(ObjectStoreTest, RelationshipChurnKeepsAttributeIndexes) {
+  for (int i = 0; i < 20; ++i) {
+    MustCreate("Student", {{"name", Value::String("s" + std::to_string(i))},
+                           {"age", Value::Int(20)}});
+  }
+  sqo::Oid section = MustCreate("Section", {});
+  bool built = false;
+  ASSERT_NE(store_->LazyIndexLookup("student", 2, Value::Int(20), 16, &built),
+            nullptr);
+  ASSERT_TRUE(built);
+
+  obs::MetricsRegistry metrics;
+  obs::ScopedMetrics install(&metrics);
+  const sqo::Oid student = store_->Extent("student").front();
+  ASSERT_TRUE(store_->Relate("takes", student, section).ok());
+  ASSERT_TRUE(store_->Unrelate("takes", student, section).ok());
+  // Pair churn is invisible to attribute indexes: no deltas, no rebuilds,
+  // and the next probe reuses the built index.
+  ASSERT_NE(store_->LazyIndexLookup("student", 2, Value::Int(20), 16, &built),
+            nullptr);
+  EXPECT_EQ(metrics.CounterValue("index.lazy_builds"), 0u);
+  EXPECT_EQ(metrics.CounterValue("index.full_rebuilds"), 0u);
+}
+
+TEST_F(ObjectStoreTest, AsrMaintainedIncrementallyOnInsert) {
+  sqo::Oid student = MustCreate("Student", {{"name", Value::String("s")}});
+  sqo::Oid course = MustCreate("Course", {});
+  sqo::Oid sec1 = MustCreate("Section", {});
+  sqo::Oid sec2 = MustCreate("Section", {});
+  sqo::Oid ta = MustCreate("TA", {{"name", Value::String("t")}});
+  ASSERT_TRUE(store_->Relate("has_sections", course, sec1).ok());
+  ASSERT_TRUE(store_->Relate("has_sections", course, sec2).ok());
+  ASSERT_TRUE(store_->Relate("takes", student, sec1).ok());
+
+  std::vector<core::AsrDefinition> registry;
+  ASSERT_TRUE(
+      core::RegisterAsr(workload::UniversityAsr(), schema_.get(), &registry).ok());
+  ASSERT_TRUE(store_->Materialize(registry[0]).ok());
+  EXPECT_TRUE(store_->Pairs("asr_student_ta").empty());  // no TA yet
+
+  // Completing the path AFTER materialization delta-extends the ASR.
+  obs::MetricsRegistry metrics;
+  obs::ScopedMetrics install(&metrics);
+  ASSERT_TRUE(store_->Relate("assists", ta, sec2).ok());
+  const auto& pairs = store_->Pairs("asr_student_ta");
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].first, student);
+  EXPECT_EQ(pairs[0].second, ta);
+  EXPECT_GE(metrics.CounterValue("asr.delta_pairs"), 1u);
+
+  // A second student joining the prefix extends it again.
+  sqo::Oid student2 = MustCreate("Student", {{"name", Value::String("u")}});
+  ASSERT_TRUE(store_->Relate("takes", student2, sec1).ok());
+  EXPECT_EQ(store_->Pairs("asr_student_ta").size(), 2u);
+  // Fresh throughout: inserts never mark the ASR stale.
+  for (const auto& asr : store_->AsrStates()) EXPECT_FALSE(asr.stale);
+}
+
+TEST_F(ObjectStoreTest, AsrMarkedStaleOnErase) {
+  sqo::Oid student = MustCreate("Student", {{"name", Value::String("s")}});
+  sqo::Oid course = MustCreate("Course", {});
+  sqo::Oid sec1 = MustCreate("Section", {});
+  sqo::Oid sec2 = MustCreate("Section", {});
+  sqo::Oid ta = MustCreate("TA", {{"name", Value::String("t")}});
+  ASSERT_TRUE(store_->Relate("has_sections", course, sec1).ok());
+  ASSERT_TRUE(store_->Relate("has_sections", course, sec2).ok());
+  ASSERT_TRUE(store_->Relate("takes", student, sec1).ok());
+  ASSERT_TRUE(store_->Relate("assists", ta, sec2).ok());
+
+  std::vector<core::AsrDefinition> registry;
+  ASSERT_TRUE(
+      core::RegisterAsr(workload::UniversityAsr(), schema_.get(), &registry).ok());
+  ASSERT_TRUE(store_->Materialize(registry[0]).ok());
+  ASSERT_EQ(store_->Pairs("asr_student_ta").size(), 1u);
+  for (const auto& asr : store_->AsrStates()) EXPECT_FALSE(asr.stale);
+
+  obs::MetricsRegistry metrics;
+  obs::ScopedMetrics install(&metrics);
+  ASSERT_TRUE(store_->Unrelate("takes", student, sec1).ok());
+  bool stale = false;
+  for (const auto& asr : store_->AsrStates()) stale |= asr.stale;
+  EXPECT_TRUE(stale);
+  EXPECT_GE(metrics.CounterValue("asr.marked_stale"), 1u);
+
+  // Re-materializing restores freshness.
+  ASSERT_TRUE(store_->Materialize(registry[0]).ok());
+  for (const auto& asr : store_->AsrStates()) EXPECT_FALSE(asr.stale);
 }
 
 }  // namespace

@@ -51,6 +51,84 @@ TEST_F(SnapshotTest, RoundTripRestoresEveryObjectAndPair) {
             storage_test::StateSignature(db->store()));
 }
 
+TEST_F(SnapshotTest, IndexSectionRoundTripsIndexesAndAsrStates) {
+  auto db = storage_test::MakePopulatedDb();
+  // Build the lazy secondary index on person.age (extent 19 >= 16) and
+  // mark the workload ASR stale, so both halves of the index section are
+  // non-trivial.
+  bool built = false;
+  db->store().LazyIndexLookup("person", 2, sqo::Value::Int(21), 16, &built);
+  ASSERT_TRUE(built);
+  ASSERT_FALSE(db->store().DumpSecondaryIndexes().empty());
+  ASSERT_FALSE(db->store().AsrStates().empty());
+  const auto& takes = db->store().Pairs("takes");
+  ASSERT_FALSE(takes.empty());
+  ASSERT_TRUE(
+      db->store().Unrelate("takes", takes[0].first, takes[0].second).ok());
+
+  const sqo::Fingerprint128 hash =
+      SchemaFingerprint(storage_test::UniversityPipeline().schema());
+  ASSERT_TRUE(WriteSnapshot(path_, db->store(), hash, 3, "{}").ok());
+
+  auto contents = ReadSnapshot(path_);
+  ASSERT_TRUE(contents.ok()) << contents.status().ToString();
+  ASSERT_EQ(contents->indexes.size(),
+            db->store().DumpSecondaryIndexes().size());
+  EXPECT_EQ(contents->indexes[0].relation, "person");
+  EXPECT_EQ(contents->indexes[0].pos, 2u);
+  EXPECT_FALSE(contents->indexes[0].entries.empty());
+  ASSERT_EQ(contents->asrs.size(), db->store().AsrStates().size());
+  bool any_stale = false;
+  for (const auto& asr : contents->asrs) {
+    EXPECT_FALSE(asr.name.empty());
+    EXPECT_FALSE(asr.path.empty());
+    any_stale |= asr.stale;
+  }
+  EXPECT_TRUE(any_stale);
+
+  // Restoring the dumps reinstalls a servable index: the next lookup is a
+  // probe, not a build.
+  auto restored = storage_test::MakeEmptyDb();
+  ASSERT_TRUE(restored->store().ApplyMutations(contents->objects).ok());
+  ASSERT_TRUE(restored->store().ApplyMutations(contents->pairs).ok());
+  restored->store().RestoreNextOid(contents->next_oid);
+  for (auto& dump : contents->indexes) {
+    restored->store().RestoreSecondaryIndex(std::move(dump));
+  }
+  for (auto& asr : contents->asrs) {
+    restored->store().RestoreAsrState(std::move(asr));
+  }
+  const auto* original =
+      db->store().LazyIndexLookup("person", 2, sqo::Value::Int(21), 16, &built);
+  const auto* probed = restored->store().LazyIndexLookup(
+      "person", 2, sqo::Value::Int(21), 16, &built);
+  ASSERT_TRUE(built);
+  if (original == nullptr) {
+    EXPECT_EQ(probed, nullptr);
+  } else {
+    ASSERT_NE(probed, nullptr);
+    EXPECT_EQ(*probed, *original);
+  }
+}
+
+TEST_F(SnapshotTest, IndexSectionBitFlipIsCorruption) {
+  auto db = storage_test::MakePopulatedDb();
+  bool built = false;
+  db->store().LazyIndexLookup("person", 2, sqo::Value::Int(21), 16, &built);
+  ASSERT_TRUE(built);
+  const sqo::Fingerprint128 hash =
+      SchemaFingerprint(storage_test::UniversityPipeline().schema());
+  ASSERT_TRUE(WriteSnapshot(path_, db->store(), hash, 3, "{}").ok());
+
+  auto bytes = fs::ReadFile(path_);
+  ASSERT_TRUE(bytes.ok());
+  std::string mutated = *bytes;
+  mutated.back() ^= 0x10;  // the index section is the file's last section
+  ASSERT_TRUE(fs::WriteFileAtomic(path_, mutated).ok());
+  auto read = ReadSnapshot(path_);
+  EXPECT_EQ(read.status().code(), sqo::StatusCode::kDataCorruption);
+}
+
 TEST_F(SnapshotTest, MissingFileIsNotFound) {
   EXPECT_EQ(ReadSnapshot(path_).status().code(), sqo::StatusCode::kNotFound);
 }
@@ -82,11 +160,11 @@ TEST_F(SnapshotTest, SectionBitFlipIsCorruption) {
   EXPECT_NE(read.status().message().find("store section"), std::string::npos);
 
   mutated = *data;
-  mutated[mutated.size() - 2] ^= 0x04;  // catalog section (at the tail)
+  mutated[mutated.size() - 2] ^= 0x04;  // index section (at the tail)
   ASSERT_TRUE(fs::WriteFileAtomic(path_, mutated).ok());
   read = ReadSnapshot(path_);
   EXPECT_EQ(read.status().code(), sqo::StatusCode::kDataCorruption);
-  EXPECT_NE(read.status().message().find("catalog section"),
+  EXPECT_NE(read.status().message().find("index section"),
             std::string::npos);
 }
 

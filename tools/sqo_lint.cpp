@@ -221,8 +221,8 @@ int main(int argc, char** argv) {
                                                    !opts.fail_closed));
   }
 
-  // Pass 10: executed-profile lint (SQO-A014). Needs a populated store, so
-  // it is available in workload mode only.
+  // Passes 10 and 12: executed-profile lints (SQO-A014, SQO-A019). Need a
+  // populated store, so they are available in workload mode only.
   if (!opts.profile_queries.empty()) {
     if (opts.workload.empty()) {
       std::fprintf(stderr, "sqo_lint: --profile requires --workload\n");
@@ -245,6 +245,12 @@ int main(int argc, char** argv) {
       if (!run.ok()) return Fail(run.status(), "profiled evaluation failed");
       report.Append(
           sqo::analysis::AnalyzeProfile(pipeline->schema(), run->profile));
+      std::vector<sqo::analysis::AsrFreshness> freshness;
+      for (const auto& state : db.store().AsrStates()) {
+        freshness.push_back({state.name, state.path, state.stale});
+      }
+      report.Append(
+          sqo::analysis::AnalyzeAsrStaleness(run->profile, freshness));
     }
   }
 
