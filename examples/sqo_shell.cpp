@@ -28,6 +28,11 @@
 //   oql> \verify select ...     -- same, for one query
 //   oql> \deadline 50           -- bound Step 3 to 50ms (0 clears); expiry
 //                                  degrades to the original query
+//   oql> \serve [clients]       -- in-process serving demo: start a server
+//                                  over this database, run N concurrent
+//                                  client sessions beside a writer, and
+//                                  report snapshot epochs, latency and the
+//                                  admission-control counters
 //   oql> \save db_dir           -- attach crash-safe storage: current state
 //                                  becomes the persisted baseline, every
 //                                  later mutation is WAL-logged
@@ -37,6 +42,7 @@
 //   oql> \quit
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -45,6 +51,8 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "analysis/analyzer.h"
 #include "analysis/diagnostic.h"
@@ -60,6 +68,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "oql/parser.h"
+#include "server/server.h"
 #include "sqo/profile_attribution.h"
 #include "storage/manager.h"
 #include "workload/university.h"
@@ -537,6 +546,100 @@ void StatusCommand(const sqo::engine::Database& db) {
               static_cast<unsigned long long>(gc.failed_batches));
 }
 
+/// \serve [clients]: in-process serving demo. Starts a Server over the
+/// shell's database, runs `clients` concurrent sessions each issuing a
+/// burst of snapshot reads while one writer session publishes mutations,
+/// then prints what the serving layer saw: epochs, latency quantiles and
+/// the admission-control counters. The writer's objects stay in the
+/// database afterwards (they went through the primary like any mutation).
+void ServeCommand(const sqo::core::Pipeline& pipeline,
+                  sqo::engine::Database* db, const std::string& arg) {
+  char* end = nullptr;
+  const unsigned long long parsed =
+      arg.empty() ? 4 : std::strtoull(arg.c_str(), &end, 10);
+  if ((!arg.empty() && (end == nullptr || *end != '\0')) || parsed == 0 ||
+      parsed > 64) {
+    std::printf("usage: \\serve [clients]   (1-64, default 4)\n");
+    return;
+  }
+  const size_t n_clients = static_cast<size_t>(parsed);
+  constexpr size_t kReadsPerClient = 25;
+  constexpr size_t kWrites = 10;
+
+  sqo::server::ServerConfig config;
+  config.workers = 4;
+  config.replicas = 2;
+  config.replica_setup = sqo::workload::SetupUniversityRuntime;
+  sqo::server::Server server(&pipeline, db, std::move(config));
+  if (auto s = server.Start(); !s.ok()) {
+    std::printf("serve error: %s\n", s.ToString().c_str());
+    return;
+  }
+  if (!server.lint().diagnostics.empty()) {
+    std::fputs(server.lint().ToString().c_str(), stdout);
+  }
+  std::printf("server started: %zu client sessions x %zu reads + 1 writer "
+              "session x %zu mutations\n",
+              n_clients, kReadsPerClient, kWrites);
+
+  const std::string read_query =
+      "select x.name from x in Person where x.age < 30";
+  std::atomic<size_t> read_failures{0};
+  std::atomic<size_t> degraded_reads{0};
+  std::vector<std::thread> clients;
+  clients.reserve(n_clients);
+  for (size_t c = 0; c < n_clients; ++c) {
+    auto session = server.OpenSession("shell-" + std::to_string(c));
+    clients.emplace_back([session, &read_query, &read_failures,
+                          &degraded_reads] {
+      for (size_t i = 0; i < kReadsPerClient; ++i) {
+        const sqo::server::QueryResponse response = session->Query(read_query);
+        if (!response.status.ok()) {
+          read_failures.fetch_add(1, std::memory_order_relaxed);
+        } else if (response.degraded) {
+          degraded_reads.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  auto writer = server.OpenSession("shell-writer");
+  size_t write_failures = 0;
+  uint64_t last_epoch = 0;
+  for (size_t i = 0; i < kWrites; ++i) {
+    const sqo::server::QueryResponse response =
+        writer->SubmitMutation([i](sqo::engine::Database* primary) {
+          return primary->store()
+              .CreateObject(
+                  "Person",
+                  {{"name", sqo::Value::String("served_" + std::to_string(i))},
+                   {"age", sqo::Value::Int(21 + static_cast<int>(i))}})
+              .status();
+        })->Wait();
+    if (!response.status.ok()) {
+      ++write_failures;
+    } else {
+      last_epoch = response.epoch;
+    }
+  }
+  for (std::thread& t : clients) t.join();
+
+  const sqo::obs::QpsMeter::Snapshot seen = server.Latency();
+  std::printf("served %llu queries: p50 %.3fms p99 %.3fms (%.1f qps)\n",
+              static_cast<unsigned long long>(seen.count),
+              static_cast<double>(seen.p50_ns) / 1e6,
+              static_cast<double>(seen.p99_ns) / 1e6, seen.qps);
+  std::printf("writes: %zu published (last epoch %llu), %zu failed; "
+              "degraded reads: %zu; read failures: %zu\n",
+              kWrites - write_failures,
+              static_cast<unsigned long long>(last_epoch), write_failures,
+              degraded_reads.load(), read_failures.load());
+  const std::string counters = server.MetricsSnapshot().ToText();
+  if (!counters.empty()) std::fputs(counters.c_str(), stdout);
+  server.Stop();
+  std::printf("server stopped (database now has %zu objects)\n",
+              db->store().object_count());
+}
+
 }  // namespace
 
 int main() {
@@ -562,8 +665,8 @@ int main() {
       "\\profile [json] <oql>  \\check [oql]  \\verify [oql]  "
       "\\deadline <ms>  \\timing  "
       "\\slow <ms>  \\journal [n | flush <path>]  \\metrics [json|prom]  "
-      "\\export [start|stop] <dir>  \\save <dir>  \\open <dir>  "
-      "\\checkpoint  \\status  \\quit\n",
+      "\\export [start|stop] <dir>  \\serve [clients]  \\save <dir>  "
+      "\\open <dir>  \\checkpoint  \\status  \\quit\n",
       db->store().object_count(), pipeline.compiled().total_residues());
 
   SessionObs session;
@@ -681,6 +784,10 @@ int main() {
     }
     if (line == "\\status") {
       StatusCommand(*db);
+      continue;
+    }
+    if (line == "\\serve" || line.rfind("\\serve ", 0) == 0) {
+      ServeCommand(pipeline, db.get(), line.size() > 6 ? line.substr(7) : "");
       continue;
     }
     if (line == "\\checkpoint") {

@@ -37,7 +37,7 @@ if [[ -f BENCH_pipeline.json ]]; then
 fi
 
 DRIVERS=(contradiction scope_reduction join_elimination asr
-         pipeline_overhead ablation wal_append batch_eval)
+         pipeline_overhead ablation wal_append batch_eval serving)
 for driver in "${DRIVERS[@]}"; do
   echo "=== bench_${driver} ==="
   SQO_BENCH_OUT_DIR="$OUT_DIR" \

@@ -2,11 +2,14 @@
 # Robustness driver: build the ASan+UBSan preset and run every test with
 # the `robustness` ctest label under the sanitizers — governance/context
 # units, failpoint units, pipeline degradation end-to-end, adversarial
-# parser input, and the crash-recovery tests (which carry both the
+# parser input, the crash-recovery tests (which carry both the
 # `recovery` and `robustness` labels; scripts/run_recovery.sh runs just
-# those, with a tunable crash loop). Failpoint-driven error paths are
-# exactly the code that rarely runs in CI, so they get sanitizer
-# coverage here.
+# those, with a tunable crash loop), and the serving tests (compound
+# `serving-robustness` label). Failpoint-driven error paths are exactly
+# the code that rarely runs in CI, so they get sanitizer coverage here.
+# The serving suite then runs again under ThreadSanitizer (serving-tsan
+# preset): the epoch store, session queues and admission control are the
+# most lock-heavy code in the repo, and TSan sees orderings ASan cannot.
 #
 # Usage: scripts/run_robustness.sh [--no-build]
 set -euo pipefail
@@ -29,5 +32,31 @@ echo "== robustness tests under ASan/UBSan =="
 if ! ctest --preset robustness-asan; then
   echo "robustness suite FAILED"
   exit 1
+fi
+
+tsan_supported() {
+  local probe ok=0
+  probe="$(mktemp -d)"
+  printf 'int main() { return 0; }\n' > "$probe/t.cc"
+  if ! c++ -fsanitize=thread "$probe/t.cc" -o "$probe/t" >/dev/null 2>&1; then
+    ok=1
+  fi
+  rm -rf "$probe"
+  return "$ok"
+}
+
+if tsan_supported; then
+  if [[ "$build" -eq 1 ]]; then
+    echo "== configuring + building tsan preset =="
+    cmake --preset tsan >/dev/null
+    cmake --build --preset tsan -j "$(nproc)" >/dev/null
+  fi
+  echo "== serving tests under TSan =="
+  if ! ctest --preset serving-tsan; then
+    echo "serving TSan suite FAILED"
+    exit 1
+  fi
+else
+  echo "== toolchain cannot link -fsanitize=thread; skipping serving TSan pass =="
 fi
 echo "robustness OK"

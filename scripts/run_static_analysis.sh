@@ -13,8 +13,10 @@
 #      (short deterministic fuzz pass; scripts/run_verify_fuzz.sh drives
 #      longer soaks),
 #   4. build the `tsan` preset and run the perf-labeled tests (thread
-#      pool, lazy indexes, parallel profiling) under ThreadSanitizer —
-#      skipped with a notice when the toolchain can't link -fsanitize=thread.
+#      pool, lazy indexes, parallel profiling) and the serving-labeled
+#      tests (epoch store, session queues, admission control, concurrent
+#      chaos) under ThreadSanitizer — skipped with a notice when the
+#      toolchain can't link -fsanitize=thread.
 #
 # Usage: scripts/run_static_analysis.sh [--tidy-only|--sanitize-only]
 set -euo pipefail
@@ -96,6 +98,12 @@ run_tsan() {
   cmake --preset tsan >/dev/null
   cmake --build --preset tsan -j "$(nproc)" >/dev/null
   if ! ctest --preset perf-tsan; then
+    failures=1
+  fi
+  echo "== TSan serving tests =="
+  # Short chaos loop here; scripts/run_robustness.sh and the env knobs
+  # (SQO_SERVING_CHAOS_ITERS/_CLIENTS/_SEED) drive longer soaks.
+  if ! SQO_SERVING_CHAOS_ITERS=4 ctest --preset serving-tsan; then
     failures=1
   fi
 }

@@ -771,6 +771,53 @@ AnalysisReport AnalyzeStorageOptions(bool sync_each_append,
   return report;
 }
 
+AnalysisReport AnalyzeServerConfig(size_t workers,
+                                   size_t hardware_concurrency,
+                                   size_t max_queue_depth,
+                                   size_t degrade_queue_depth,
+                                   uint64_t shed_wait_ms,
+                                   uint64_t default_deadline_ms) {
+  AnalysisReport report;
+  if (max_queue_depth < 1) {
+    report.Add(Severity::kWarning, kCodeServerConfig, "server",
+               "max_queue_depth is zero: admission control sheds every "
+               "request before any degradation path can engage",
+               "set a positive queue bound (degradation and shedding only "
+               "work with room to queue)");
+  }
+  if (shed_wait_ms > 0 && default_deadline_ms > 0 &&
+      shed_wait_ms < default_deadline_ms) {
+    report.Add(Severity::kWarning, kCodeServerConfig, "server",
+               "shed_wait_ms (" + std::to_string(shed_wait_ms) +
+                   "ms) is below the default deadline budget (" +
+                   std::to_string(default_deadline_ms) +
+                   "ms): requests that could still meet their deadline are "
+                   "shed by the wait estimate",
+               "raise shed_wait_ms to at least the deadline budget, so only "
+               "requests predicted to miss it are refused");
+  }
+  if (max_queue_depth >= 1 && degrade_queue_depth >= max_queue_depth) {
+    report.Add(Severity::kWarning, kCodeServerConfig, "server",
+               "degrade_queue_depth (" + std::to_string(degrade_queue_depth) +
+                   ") is at or above max_queue_depth (" +
+                   std::to_string(max_queue_depth) +
+                   "): requests are refused before fail-open degradation "
+                   "ever engages, inverting the overload posture",
+               "keep the degrade threshold well below the admission bound "
+               "so reads degrade before they are shed");
+  }
+  if (hardware_concurrency > 0 && workers > hardware_concurrency * 4) {
+    report.Add(Severity::kWarning, kCodeServerConfig, "server",
+               "workers (" + std::to_string(workers) +
+                   ") exceeds 4x hardware concurrency (" +
+                   std::to_string(hardware_concurrency) +
+                   "): oversubscribed workers add context-switch overhead "
+                   "and deepen queues without adding throughput",
+               "cap workers near the hardware concurrency");
+  }
+  return report;
+}
+
 AnalysisReport AnalyzeProfile(const translate::TranslatedSchema& schema,
                               const obs::QueryProfile& profile) {
   AnalysisReport report;

@@ -75,6 +75,17 @@ namespace sqo::analysis {
 ///                                       materialized join index exists but
 ///                                       cannot be trusted until
 ///                                       re-materialized
+///   SQO-A020  server lint     warning   serving config that defeats the
+///                                       overload posture: a zero admission
+///                                       queue bound (every request shed), a
+///                                       load-shed wait threshold below the
+///                                       default deadline budget (requests
+///                                       that could still meet their
+///                                       deadline are shed), a degrade
+///                                       threshold at/above the queue bound
+///                                       (refusal before degradation), or
+///                                       workers oversubscribed beyond 4x
+///                                       hardware concurrency
 inline constexpr std::string_view kCodeUnsafeVariable = "SQO-A001";
 inline constexpr std::string_view kCodeUnknownRelation = "SQO-A002";
 inline constexpr std::string_view kCodeArityMismatch = "SQO-A003";
@@ -94,6 +105,7 @@ inline constexpr std::string_view kCodeUnprovenElimination = "SQO-A016";
 inline constexpr std::string_view kCodeCatalogDependency = "SQO-A017";
 inline constexpr std::string_view kCodeWeakDurability = "SQO-A018";
 inline constexpr std::string_view kCodeStaleAsr = "SQO-A019";
+inline constexpr std::string_view kCodeServerConfig = "SQO-A020";
 
 struct AnalyzerOptions {
   bool check_safety = true;          // pass 1 (SQO-A001)
@@ -209,6 +221,24 @@ struct AsrFreshness {
 /// operators are not flagged.
 AnalysisReport AnalyzeAsrStaleness(const obs::QueryProfile& profile,
                                    const std::vector<AsrFreshness>& asrs);
+
+/// Pass 13 over a serving layer's configuration (SQO-A020, warning). Flags
+/// combinations that defeat the degrade-before-refuse overload posture:
+/// `max_queue_depth < 1` (admission control sheds every request), a
+/// load-shed wait threshold below the default deadline budget (requests
+/// that could still meet their deadline are shed), a degrade threshold
+/// at/above the queue bound (requests are refused before degradation ever
+/// engages), and a worker count above 4x hardware concurrency (pure
+/// context-switch overhead under load). Zero `shed_wait_ms` /
+/// `default_deadline_ms` mean the corresponding policy is off. Takes plain
+/// integers so the analysis layer stays independent of the server's
+/// option types.
+AnalysisReport AnalyzeServerConfig(size_t workers,
+                                   size_t hardware_concurrency,
+                                   size_t max_queue_depth,
+                                   size_t degrade_queue_depth,
+                                   uint64_t shed_wait_ms,
+                                   uint64_t default_deadline_ms);
 
 }  // namespace sqo::analysis
 

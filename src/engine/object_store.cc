@@ -413,6 +413,7 @@ sqo::Status ObjectStore::Materialize(const core::AsrDefinition& asr) {
     // into path relations extend the materialization incrementally and
     // erasures mark it stale.
     AsrState& state = asrs_[asr.name];
+    if (state.stale) stale_asr_count_.fetch_sub(1, std::memory_order_release);
     state.name = asr.name;
     state.path = asr.path;
     state.stale = false;
@@ -479,8 +480,72 @@ void ObjectStore::MarkAsrsStaleOnErase(const std::string& rel) {
         std::find(state.path.begin(), state.path.end(), rel) !=
             state.path.end()) {
       state.stale = true;
+      stale_asr_count_.fetch_add(1, std::memory_order_release);
       obs::Count("asr.marked_stale");
     }
+  }
+}
+
+void ObjectStore::RebuildAsrLocked(AsrState& state, int depth) {
+  if (!state.stale) return;
+  if (depth >= 4) return;  // ASR-over-ASR cycle guard; stays stale (A019)
+  // A stale hop would feed the walk invalidated pairs; heal it first.
+  for (const std::string& hop : state.path) {
+    auto hit = asrs_.find(hop);
+    if (hit != asrs_.end() && hit->second.stale && hit->first != state.name) {
+      RebuildAsrLocked(hit->second, depth + 1);
+      if (hit->second.stale) return;  // depth-bounded out: give up here too
+    }
+  }
+  // Re-walk the path breadth-first (Materialize's derivation) over raw
+  // pair data — the accessor wrappers would re-enter the stale check.
+  std::vector<std::pair<sqo::Oid, sqo::Oid>> frontier;
+  if (auto it = rels_.find(state.path.front()); it != rels_.end()) {
+    frontier.assign(it->second.pairs.begin(), it->second.pairs.end());
+  }
+  for (size_t hop = 1; hop < state.path.size(); ++hop) {
+    std::vector<std::pair<sqo::Oid, sqo::Oid>> next;
+    auto it = rels_.find(state.path[hop]);
+    if (it != rels_.end()) {
+      for (const auto& [origin, mid] : frontier) {
+        auto fit = it->second.fwd.find(mid.raw());
+        if (fit == it->second.fwd.end()) continue;
+        for (sqo::Oid dst : fit->second) next.emplace_back(origin, dst);
+      }
+    }
+    frontier = std::move(next);
+  }
+  RelData& data = rels_[state.name];
+  data.pairs.clear();
+  data.fwd.clear();
+  data.bwd.clear();
+  data.pair_set.clear();
+  for (const auto& [src, dst] : frontier) {
+    if (!data.pair_set.insert({src.raw(), dst.raw()}).second) continue;
+    data.pairs.emplace_back(src, dst);
+    data.fwd[src.raw()].push_back(dst);
+    data.bwd[dst.raw()].push_back(src);
+  }
+  state.stale = false;
+  stale_asr_count_.fetch_sub(1, std::memory_order_release);
+  obs::Count("asr.lazy_rebuilds");
+}
+
+void ObjectStore::LazyRebuildIfStale(const std::string& relation) const {
+  // Derived-state rebuild on a const read path, like LazyIndexLookup.
+  ObjectStore* self = const_cast<ObjectStore*>(this);
+  std::lock_guard<std::mutex> lock(lazy_mu_);
+  auto it = self->asrs_.find(relation);
+  if (it == self->asrs_.end() || !it->second.stale) return;
+  self->RebuildAsrLocked(it->second, 0);
+}
+
+void ObjectStore::RefreshStaleAsrs() {
+  if (stale_asr_count_.load(std::memory_order_acquire) == 0) return;
+  std::lock_guard<std::mutex> lock(lazy_mu_);
+  for (auto& [name, state] : asrs_) {
+    (void)name;
+    if (state.stale) RebuildAsrLocked(state, 0);
   }
 }
 
@@ -526,12 +591,23 @@ sqo::Result<sqo::Value> ObjectStore::AttributeOf(const std::string& relation,
 
 const std::vector<std::pair<sqo::Oid, sqo::Oid>>& ObjectStore::Pairs(
     const std::string& relation) const {
+  if (stale_asr_count_.load(std::memory_order_acquire) != 0) {
+    LazyRebuildIfStale(relation);
+  }
+  return PairsRaw(relation);
+}
+
+const std::vector<std::pair<sqo::Oid, sqo::Oid>>& ObjectStore::PairsRaw(
+    const std::string& relation) const {
   auto it = rels_.find(relation);
   return it == rels_.end() ? EmptyPairs() : it->second.pairs;
 }
 
 const std::vector<sqo::Oid>& ObjectStore::Neighbors(const std::string& relation,
                                                     sqo::Oid src) const {
+  if (stale_asr_count_.load(std::memory_order_acquire) != 0) {
+    LazyRebuildIfStale(relation);
+  }
   auto it = rels_.find(relation);
   if (it == rels_.end()) return EmptyOids();
   auto fit = it->second.fwd.find(src.raw());
@@ -540,6 +616,9 @@ const std::vector<sqo::Oid>& ObjectStore::Neighbors(const std::string& relation,
 
 const std::vector<sqo::Oid>& ObjectStore::ReverseNeighbors(
     const std::string& relation, sqo::Oid dst) const {
+  if (stale_asr_count_.load(std::memory_order_acquire) != 0) {
+    LazyRebuildIfStale(relation);
+  }
   auto it = rels_.find(relation);
   if (it == rels_.end()) return EmptyOids();
   auto bit = it->second.bwd.find(dst.raw());
@@ -708,7 +787,10 @@ std::vector<ObjectStore::AsrState> ObjectStore::AsrStates() const {
 }
 
 void ObjectStore::RestoreAsrState(AsrState state) {
-  asrs_[state.name] = std::move(state);
+  AsrState& slot = asrs_[state.name];
+  if (slot.stale) stale_asr_count_.fetch_sub(1, std::memory_order_release);
+  slot = std::move(state);
+  if (slot.stale) stale_asr_count_.fetch_add(1, std::memory_order_release);
 }
 
 size_t ObjectStore::ExtentSize(const std::string& relation) const {
@@ -830,6 +912,7 @@ void ObjectStore::Clear() {
     lazy_indexes_.clear();
   }
   asrs_.clear();
+  stale_asr_count_.store(0, std::memory_order_release);
   next_oid_ = 1;
   pending_.clear();
 }

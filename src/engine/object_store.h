@@ -1,6 +1,7 @@
 #ifndef SQO_ENGINE_OBJECT_STORE_H_
 #define SQO_ENGINE_OBJECT_STORE_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <mutex>
@@ -133,6 +134,17 @@ class ObjectStore {
   /// loading data (re-call to refresh).
   sqo::Status Materialize(const core::AsrDefinition& asr);
 
+  /// Rebuilds every stale materialized ASR in place from its path
+  /// definition, so reads trust the materialization again (counter
+  /// "asr.lazy_rebuilds" per ASR). Unlike Materialize this records no
+  /// mutations — like the adaptive indexes, the rebuilt extent is derived
+  /// state recovery re-derives on demand. The read accessors (Pairs /
+  /// Neighbors / ReverseNeighbors) invoke the same rebuild lazily on the
+  /// first access to a stale ASR; serving layers that share one store
+  /// among concurrent readers should call this eagerly before publishing
+  /// a snapshot, so the read path stays structurally immutable.
+  void RefreshStaleAsrs();
+
   // ---- Reads ----
 
   /// OIDs of all members of a class/structure relation (subclass instances
@@ -153,6 +165,12 @@ class ObjectStore {
 
   /// All (src, dst) pairs of a relationship or materialized ASR.
   const std::vector<std::pair<sqo::Oid, sqo::Oid>>& Pairs(
+      const std::string& relation) const;
+
+  /// Pairs() without the lazy stale-ASR rebuild: dump/serialization paths
+  /// (snapshots, signatures) must capture the store verbatim — including
+  /// the staleness a later access would heal — not mutate derived state.
+  const std::vector<std::pair<sqo::Oid, sqo::Oid>>& PairsRaw(
       const std::string& relation) const;
 
   /// Forward / backward adjacency.
@@ -363,6 +381,17 @@ class ObjectStore {
   /// witnesses), so deletions demand re-materialization.
   void MarkAsrsStaleOnErase(const std::string& rel);
 
+  /// Read-path half of the lazy ASR self-heal: when `relation` names a
+  /// stale ASR, re-derive its extent in place before the read proceeds.
+  /// Const because it runs on read accessors; like LazyIndexLookup the
+  /// rebuild happens under `lazy_mu_` and mutates only derived state.
+  void LazyRebuildIfStale(const std::string& relation) const;
+
+  /// Rebuilds one stale ASR (and, first, any stale ASR its path hops
+  /// through, depth-bounded like insert maintenance) by re-walking the
+  /// path over the current pair data. lazy_mu_ held; no mutation records.
+  void RebuildAsrLocked(AsrState& state, int depth);
+
   const translate::TranslatedSchema* schema_;
   std::map<uint64_t, ObjectRecord> objects_;
   std::map<std::string, std::vector<sqo::Oid>> extents_;
@@ -379,6 +408,12 @@ class ObjectStore {
   mutable std::set<std::pair<std::string, size_t>> ever_built_;
   /// Maintenance state of every materialized ASR, keyed by relation name.
   std::map<std::string, AsrState> asrs_;
+  /// Number of entries of `asrs_` with `stale == true`. The read accessors
+  /// poll this (one relaxed-ish atomic load) to keep the fresh-ASR fast
+  /// path free of map lookups; a release store after a rebuild pairs with
+  /// the acquire load, so a reader that sees zero also sees the rebuilt
+  /// pair data.
+  mutable std::atomic<size_t> stale_asr_count_{0};
   /// Recursion guard for ASRs whose paths are defined over other ASRs.
   int asr_maintenance_depth_ = 0;
   std::map<std::string, MethodFn> methods_;

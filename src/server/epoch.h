@@ -1,0 +1,135 @@
+#ifndef SQO_SERVER_EPOCH_H_
+#define SQO_SERVER_EPOCH_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/database.h"
+#include "engine/object_store.h"
+
+/// Epoch-based copy-on-write snapshots over an ObjectStore, so the serving
+/// layer's readers never block behind writers and never observe a torn
+/// mutation.
+///
+/// The mechanism: a bounded pool of replica stores plus a journal of the
+/// primary's mutation batches (the same batches the WAL logs — the store's
+/// mutation-listener seam delivers them). A reader *pins* the currently
+/// published replica (a shared_ptr handle; releasing the pin frees it for
+/// reuse). After a write is acknowledged durable, the writer *publishes*: an
+/// unpinned replica is caught up by replaying the journal suffix it is
+/// missing, stale ASRs are refreshed eagerly (so the read path stays
+/// structurally immutable), and the replica becomes the new current epoch.
+///
+/// The ack-before-publish invariant: a batch enters the journal only after
+/// the WAL acknowledged it, and readers only ever see journal prefixes — so
+/// no reader observes state that could be lost by a crash, and disk is
+/// always at or ahead of every published epoch.
+///
+/// When every replica is pinned, publishing is *skipped* (counted), not
+/// blocked: readers serve a bounded-stale epoch and the next publish catches
+/// the replica up over the whole accumulated suffix. Writers never wait for
+/// readers; readers never wait at all.
+namespace sqo::server {
+
+class EpochStore {
+ public:
+  /// Code-side setup a fresh replica needs before mutations replay into it
+  /// (method implementations, declared key indexes) — the same hook a
+  /// recovery path runs before Open (e.g. workload::SetupUniversityRuntime).
+  using ReplicaSetup = std::function<sqo::Status(engine::Database*)>;
+
+  struct Options {
+    /// Replica stores beyond the primary. Two lets one serve reads while
+    /// the other absorbs the next publish; more tolerates long-pinned
+    /// readers without publish skips.
+    size_t replicas = 2;
+
+    ReplicaSetup replica_setup;
+  };
+
+  /// One pinned epoch: a read-only view of a replica database. Valid while
+  /// the handle is held and the EpochStore is alive; holding it keeps the
+  /// replica out of the publisher's reuse pool.
+  class Snapshot {
+   public:
+    const engine::Database& db() const { return *db_; }
+    uint64_t epoch() const { return epoch_; }
+
+   private:
+    friend class EpochStore;
+    engine::Database* db_ = nullptr;
+    uint64_t epoch_ = 0;
+  };
+  using SnapshotRef = std::shared_ptr<const Snapshot>;
+
+  /// `schema` must outlive the store (it backs every replica).
+  EpochStore(const translate::TranslatedSchema* schema, Options options);
+
+  EpochStore(const EpochStore&) = delete;
+  EpochStore& operator=(const EpochStore&) = delete;
+
+  /// Builds every replica from `primary`'s current contents (encoded as
+  /// one replayable mutation batch) and publishes epoch 1. `primary` must
+  /// be quiescent for the duration and is retained for replica repair.
+  sqo::Status Initialize(const engine::Database* primary);
+
+  /// Journals one acknowledged mutation batch. Call *after* the WAL append
+  /// returned OK (the ack-before-publish invariant); never fails — once a
+  /// batch is durable it must eventually reach every replica.
+  void Append(const std::vector<engine::Mutation>& batch);
+
+  /// Catches an unpinned replica up to the journal tip and makes it the
+  /// published epoch. Skips (without error) when every other replica is
+  /// pinned, or when the current replica is already at the tip. The
+  /// `server.epoch_publish` failpoint turns a publish into a skip — readers
+  /// then serve the previous epoch, exactly the overload/fault posture.
+  sqo::Status Publish();
+
+  /// Pins the published epoch. Never blocks; nullptr before Initialize.
+  SnapshotRef Pin() const;
+
+  uint64_t published_epoch() const;
+
+  /// Journal batches appended / retained (retained > 0 means some replica
+  /// still lags the tip; grows while readers hold pins across writes).
+  uint64_t appended_batches() const;
+  uint64_t retained_batches() const;
+  uint64_t publish_skips() const;
+
+ private:
+  struct Replica {
+    std::unique_ptr<engine::Database> db;
+    uint64_t applied = 0;              // journal prefix replayed (absolute)
+    std::shared_ptr<Snapshot> handle;  // pool's reference; pins are copies
+  };
+
+  /// Rebuilds `replica` from the primary's current state. mu_ held.
+  sqo::Status BootstrapLocked(Replica* replica);
+
+  /// Replays the journal suffix `replica` is missing. mu_ held.
+  sqo::Status CatchUpLocked(Replica* replica);
+
+  void TruncateJournalLocked();
+
+  const translate::TranslatedSchema* schema_;
+  Options options_;
+  const engine::Database* primary_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::vector<Replica> replicas_;
+  std::deque<std::vector<engine::Mutation>> journal_;
+  uint64_t journal_base_ = 0;  // absolute index of journal_.front()
+  size_t current_ = SIZE_MAX;  // index into replicas_; SIZE_MAX = none
+  uint64_t epoch_ = 0;
+  uint64_t appended_ = 0;
+  uint64_t skips_ = 0;
+};
+
+}  // namespace sqo::server
+
+#endif  // SQO_SERVER_EPOCH_H_

@@ -1,0 +1,77 @@
+#include "server/session.h"
+
+#include <utility>
+
+#include "server/server.h"
+
+namespace sqo::server {
+
+const QueryResponse& PendingReply::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return done_; });
+  return response_;
+}
+
+bool PendingReply::done() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_;
+}
+
+void PendingReply::Complete(QueryResponse response) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    response_ = std::move(response);
+    done_ = true;
+  }
+  cv_.notify_all();
+}
+
+Session::Session(Server* server, std::string name, int64_t slow_threshold_ns)
+    : server_(server),
+      name_(std::move(name)),
+      journal_(obs::JournalOptions{/*capacity=*/256, slow_threshold_ns}) {}
+
+ReplyRef Session::SubmitQuery(std::string oql, uint64_t deadline_ms) {
+  Request request;
+  request.kind = Request::Kind::kQuery;
+  request.oql = std::move(oql);
+  return server_->Enqueue(shared_from_this(), std::move(request), deadline_ms);
+}
+
+QueryResponse Session::Query(const std::string& oql, uint64_t deadline_ms) {
+  return SubmitQuery(oql, deadline_ms)->Wait();
+}
+
+ReplyRef Session::SubmitMutation(
+    std::function<sqo::Status(engine::Database*)> op, uint64_t deadline_ms) {
+  Request request;
+  request.kind = Request::Kind::kMutation;
+  request.op = std::move(op);
+  return server_->Enqueue(shared_from_this(), std::move(request), deadline_ms);
+}
+
+sqo::Status Session::Mutate(std::function<sqo::Status(engine::Database*)> op,
+                            uint64_t deadline_ms) {
+  return SubmitMutation(std::move(op), deadline_ms)->Wait().status;
+}
+
+void Session::CancelAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Request& request : queue_) request.reply->Cancel();
+  if (in_flight_reply_ != nullptr) in_flight_reply_->Cancel();
+}
+
+std::vector<obs::QueryEvent> Session::JournalSnapshot() const {
+  return journal_.Snapshot();
+}
+
+obs::MetricsRegistry Session::MetricsSnapshot() const {
+  std::lock_guard<std::mutex> lock(obs_mu_);
+  obs::MetricsRegistry copy;
+  copy.MergeFrom(metrics_);
+  return copy;
+}
+
+obs::QpsMeter::Snapshot Session::Latency() const { return qps_.Summarize(); }
+
+}  // namespace sqo::server

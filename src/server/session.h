@@ -1,0 +1,179 @@
+#ifndef SQO_SERVER_SESSION_H_
+#define SQO_SERVER_SESSION_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/context.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "engine/database.h"
+#include "obs/export.h"
+#include "obs/journal.h"
+#include "obs/metrics.h"
+#include "server/epoch.h"
+
+namespace sqo::server {
+
+class Server;
+
+/// Tuning for one Server. Every knob has a serving-safe default; the
+/// SQO-A020 lint (analysis::AnalyzeServerConfig) flags the combinations
+/// that defeat the overload posture (zero queue bound, a shed threshold
+/// tighter than the deadline budget, gross worker oversubscription).
+struct ServerConfig {
+  /// Worker threads executing requests (0 = ThreadPool::DefaultSize()).
+  size_t workers = 0;
+
+  /// Epoch replica pool size (see EpochStore::Options::replicas).
+  size_t replicas = 2;
+
+  /// Admission bound: total admitted-but-unfinished requests across all
+  /// sessions. At this depth new requests are shed with
+  /// kResourceExhausted and `retry_after_ms` instead of queueing.
+  size_t max_queue_depth = 128;
+
+  /// Overload threshold: above this depth queries skip Step-3
+  /// optimization and serve the original translated query with the
+  /// `degraded` flag — the server degrades reads before refusing them.
+  size_t degrade_queue_depth = 32;
+
+  /// Load shedding by estimated wait (0 = off): once the server has seen
+  /// >= 32 queries, shed when queue depth x observed p99 exceeds this.
+  uint64_t shed_wait_ms = 0;
+
+  /// Hint returned with every shed response.
+  uint64_t retry_after_ms = 50;
+
+  /// Deadline for requests that do not carry one (0 = none). The clock
+  /// starts at admission, so time spent queued counts against it.
+  uint64_t default_deadline_ms = 0;
+
+  /// Work budgets copied into every request's ExecutionContext.
+  WorkBudgets budgets;
+
+  /// Per-session journal slow-query threshold (0 = never slow).
+  int64_t slow_threshold_ns = 0;
+
+  /// Runtime setup for epoch replicas (method implementations, key
+  /// indexes) — see EpochStore::ReplicaSetup.
+  EpochStore::ReplicaSetup replica_setup;
+};
+
+/// What one request produced. `status` is the only field meaningful on
+/// failure; `retry_after_ms` is set (nonzero) when admission control shed
+/// the request and it is worth retrying.
+struct QueryResponse {
+  sqo::Status status = sqo::Status::Ok();
+  std::vector<std::vector<sqo::Value>> rows;
+
+  bool contradiction = false;  // proven empty under the ICs; not evaluated
+  bool degraded = false;       // served without Step-3 optimization
+  std::string degradation_reason;
+  int chosen_alternative = 0;
+  uint64_t n_alternatives = 0;
+
+  uint64_t epoch = 0;           // snapshot epoch read / published
+  uint64_t retry_after_ms = 0;  // nonzero when shed by admission control
+};
+
+/// Completion handle for one submitted request. The request's
+/// ExecutionContext lives here, so `Cancel` can reach in-flight work from
+/// any thread (cooperative: the worker observes it at its next governance
+/// check and latches kCancelled).
+class PendingReply {
+ public:
+  /// Blocks until the request completes (served, shed, or cancelled).
+  const QueryResponse& Wait();
+  bool done() const;
+
+  /// Requests cooperative cancellation; safe from any thread, idempotent.
+  void Cancel() { context_.RequestCancellation(); }
+
+ private:
+  friend class Server;
+  friend class Session;
+
+  void Complete(QueryResponse response);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  QueryResponse response_;
+  ExecutionContext context_;
+};
+using ReplyRef = std::shared_ptr<PendingReply>;
+
+/// One client connection. Requests submitted on a session execute in
+/// submission order (per-session FIFO) on the server's shared worker
+/// pool; different sessions interleave freely. A session also owns its
+/// observability: a query journal, latency meter and metrics registry
+/// fed by whichever worker thread serves its requests.
+///
+/// Thread-safe. Sessions are created by Server::OpenSession and must not
+/// outlive their server.
+class Session : public std::enable_shared_from_this<Session> {
+ public:
+  /// Submits an OQL query against the currently published snapshot epoch.
+  /// `deadline_ms` 0 means the server's default deadline.
+  ReplyRef SubmitQuery(std::string oql, uint64_t deadline_ms = 0);
+  QueryResponse Query(const std::string& oql, uint64_t deadline_ms = 0);
+
+  /// Submits a write. `op` runs serialized against the primary database;
+  /// its mutations reach the WAL first and the epoch journal after the
+  /// ack, then a new epoch is published (ack-before-publish).
+  ReplyRef SubmitMutation(std::function<sqo::Status(engine::Database*)> op,
+                          uint64_t deadline_ms = 0);
+  sqo::Status Mutate(std::function<sqo::Status(engine::Database*)> op,
+                     uint64_t deadline_ms = 0);
+
+  /// Cooperatively cancels every queued and in-flight request of this
+  /// session. Requests still complete (with kCancelled) in FIFO order.
+  void CancelAll();
+
+  const std::string& name() const { return name_; }
+
+  std::vector<obs::QueryEvent> JournalSnapshot() const;
+  obs::MetricsRegistry MetricsSnapshot() const;
+  obs::QpsMeter::Snapshot Latency() const;
+
+ private:
+  friend class Server;
+
+  struct Request {
+    enum class Kind { kQuery, kMutation };
+    Kind kind = Kind::kQuery;
+    std::string oql;                                    // kQuery
+    std::function<sqo::Status(engine::Database*)> op;   // kMutation
+    ReplyRef reply;
+    std::chrono::steady_clock::time_point admitted;
+  };
+
+  Session(Server* server, std::string name, int64_t slow_threshold_ns);
+
+  Server* server_;
+  std::string name_;
+
+  std::mutex mu_;  // guards queue_, in_flight_, in_flight_reply_
+  std::deque<Request> queue_;
+  bool in_flight_ = false;
+  ReplyRef in_flight_reply_;
+
+  // Per-session observability (the "SessionObs" seam). journal_/qps_ are
+  // internally synchronized; metrics_ merges under obs_mu_.
+  mutable std::mutex obs_mu_;
+  obs::MetricsRegistry metrics_;
+  mutable obs::QueryJournal journal_;
+  obs::QpsMeter qps_;
+};
+
+}  // namespace sqo::server
+
+#endif  // SQO_SERVER_SESSION_H_

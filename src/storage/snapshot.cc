@@ -24,7 +24,7 @@ std::string EncodeStoreSection(const engine::ObjectStore& store) {
   writer.PutU64(rels.size());
   for (const std::string& rel : rels) {
     writer.PutString(rel);
-    const auto& pairs = store.Pairs(rel);
+    const auto& pairs = store.PairsRaw(rel);
     writer.PutU64(pairs.size());
     for (const auto& [src, dst] : pairs) {
       writer.PutU64(src.raw());

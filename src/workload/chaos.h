@@ -120,6 +120,83 @@ std::string ChaosStateSignature(const engine::ObjectStore& store);
 std::vector<std::function<sqo::Status(engine::Database*)>> ChaosOpScript(
     uint64_t seed, size_t n);
 
+// ---------------------------------------------------------------------------
+// Concurrent serving chaos: N client threads against a server::Server in the
+// forked child, killed mid-traffic, with a per-client acked-prefix oracle.
+// ---------------------------------------------------------------------------
+
+/// Options for one concurrent crash-under-traffic iteration. The child
+/// populates the university baseline, opens storage, starts a
+/// server::Server over it, and runs `clients` threads, each submitting its
+/// own deterministic mutation script through a Session (one ack byte per
+/// acknowledged op escapes through the ack file). The crash mechanism is
+/// the same matrix as ChaosOptions; for kKillMidTraffic the parent kills
+/// at `crash_point` *total* acknowledged ops across clients.
+struct ConcurrentChaosOptions {
+  uint64_t seed = 0;
+  size_t clients = 8;
+  size_t ops_per_client = 12;
+  std::string dir;
+  const core::Pipeline* pipeline = nullptr;
+  GeneratorConfig data;
+  ChaosCrashMode mode = ChaosCrashMode::kKillMidTraffic;
+  uint64_t crash_point = 0;
+  bool group_commit = true;
+
+  /// Server worker threads and every `query_every`-th op each client also
+  /// issues a snapshot read (result ignored; exercises epoch pinning under
+  /// the write stream). 0 disables the read mix.
+  size_t server_workers = 2;
+  size_t query_every = 4;
+};
+
+struct ConcurrentChaosOutcome {
+  bool child_crashed = false;
+  int child_exit_code = 0;
+  bool baseline_durable = false;
+  std::vector<uint64_t> acked;  // per client, from the ack file
+  uint64_t total_acked = 0;
+
+  /// True when every client's recovered projection matched its oracle
+  /// within the per-client +1 in-flight slack AND the baseline projection
+  /// matched exactly.
+  bool consistent = false;
+  bool degraded = false;
+  std::string detail;
+};
+
+/// Runs one fork → serve-N-clients → kill → reopen → per-client
+/// differential compare cycle. The invariant: for every client k the
+/// recovered state restricted to k's objects equals replay(acked_k) or
+/// replay(acked_k + 1) of k's script, and the restriction to baseline
+/// objects equals the untouched population. Clients only ever touch
+/// objects they created (names carry a per-client prefix), so their
+/// scripts commute and each projection is deterministic.
+sqo::Result<ConcurrentChaosOutcome> RunConcurrentChaosIteration(
+    const ConcurrentChaosOptions& options);
+
+/// The name prefix ("cc<k>_") that marks every object client `k` creates.
+std::string ChaosClientPrefix(size_t client);
+
+/// Client k's deterministic script: creates (Person/Student/Section),
+/// own-object attribute updates, takes relates/unrelates and deletes, all
+/// addressed by prefixed name — never by OID and never touching another
+/// client's or the baseline's objects.
+std::vector<std::function<sqo::Status(engine::Database*)>> ChaosClientScript(
+    uint64_t seed, size_t client, size_t n);
+
+/// OID-independent signature of the store restricted to objects whose
+/// rows carry `prefix`-prefixed strings (plus pairs between two such
+/// objects, endpoint OIDs replaced by row identities). Equal projections
+/// answer every query about that client's objects alike.
+std::string ChaosClientSignature(const engine::ObjectStore& store,
+                                 const std::string& prefix);
+
+/// OID-exact signature of the store restricted to objects owned by *no*
+/// client (and pairs between two such objects). Excludes the OID
+/// allocator, which client creates legitimately advance.
+std::string ChaosBaselineSignature(const engine::ObjectStore& store);
+
 }  // namespace sqo::workload
 
 #endif  // SQO_WORKLOAD_CHAOS_H_

@@ -549,6 +549,70 @@ TEST(AnalyzerProfileTest, A019SilentForFreshAsrsProbesAndOtherRelations) {
                   .empty());
 }
 
+// --- SQO-A020: server config sanity ---------------------------------------
+
+TEST(AnalyzerServerConfigTest, A020SilentForAServingSafeConfig) {
+  // The ServerConfig defaults: bounded queue, degradation engages well
+  // before the admission bound, no shed/deadline inversion, sane workers.
+  EXPECT_TRUE(AnalyzeServerConfig(/*workers=*/4, /*hardware_concurrency=*/4,
+                                  /*max_queue_depth=*/128,
+                                  /*degrade_queue_depth=*/32,
+                                  /*shed_wait_ms=*/0,
+                                  /*default_deadline_ms=*/0)
+                  .empty());
+}
+
+TEST(AnalyzerServerConfigTest, A020FlagsZeroQueueBound) {
+  AnalysisReport report = AnalyzeServerConfig(4, 4, /*max_queue_depth=*/0,
+                                              /*degrade_queue_depth=*/0, 0, 0);
+  ASSERT_EQ(report.diagnostics.size(), 1u) << report.ToString();
+  EXPECT_EQ(report.diagnostics[0].code, kCodeServerConfig);
+  EXPECT_NE(report.diagnostics[0].message.find("max_queue_depth"),
+            std::string::npos);
+}
+
+TEST(AnalyzerServerConfigTest, A020FlagsShedTighterThanDeadline) {
+  AnalysisReport report =
+      AnalyzeServerConfig(4, 4, 128, 32, /*shed_wait_ms=*/10,
+                          /*default_deadline_ms=*/100);
+  ASSERT_EQ(report.diagnostics.size(), 1u) << report.ToString();
+  EXPECT_EQ(report.diagnostics[0].code, kCodeServerConfig);
+  EXPECT_NE(report.diagnostics[0].message.find("shed_wait_ms"),
+            std::string::npos);
+  // Shed at or above the deadline budget is the intended shape.
+  EXPECT_TRUE(AnalyzeServerConfig(4, 4, 128, 32, 100, 100).empty());
+  EXPECT_TRUE(AnalyzeServerConfig(4, 4, 128, 32, 10, 0).empty());
+}
+
+TEST(AnalyzerServerConfigTest, A020FlagsInvertedOverloadPosture) {
+  // degrade >= shed bound: requests are refused before degradation ever
+  // engages — exactly the posture the serving layer exists to avoid.
+  AnalysisReport report =
+      AnalyzeServerConfig(4, 4, /*max_queue_depth=*/100,
+                          /*degrade_queue_depth=*/200, 0, 0);
+  ASSERT_EQ(report.diagnostics.size(), 1u) << report.ToString();
+  EXPECT_NE(report.diagnostics[0].message.find("degrade_queue_depth"),
+            std::string::npos);
+}
+
+TEST(AnalyzerServerConfigTest, A020FlagsGrossWorkerOversubscription) {
+  AnalysisReport report = AnalyzeServerConfig(
+      /*workers=*/64, /*hardware_concurrency=*/4, 128, 32, 0, 0);
+  ASSERT_EQ(report.diagnostics.size(), 1u) << report.ToString();
+  EXPECT_NE(report.diagnostics[0].message.find("workers"), std::string::npos);
+  // 4x is the tolerated ceiling; unknown hardware concurrency stays silent.
+  EXPECT_TRUE(AnalyzeServerConfig(16, 4, 128, 32, 0, 0).empty());
+  EXPECT_TRUE(AnalyzeServerConfig(64, 0, 128, 32, 0, 0).empty());
+}
+
+TEST(AnalyzerServerConfigTest, A020FindingsRenderLikeEveryOtherLint) {
+  AnalysisReport report = AnalyzeServerConfig(64, 4, 0, 0, 10, 100);
+  EXPECT_GE(report.diagnostics.size(), 3u);
+  const std::string rendered = RenderReport(report);
+  EXPECT_NE(rendered.find("SQO-A020"), std::string::npos);
+  EXPECT_NE(rendered.find("warning"), std::string::npos);
+}
+
 // --- ExpectedArgumentKind -------------------------------------------------
 
 TEST(AnalyzerTest, ExpectedArgumentKindResolvesAttributeTypes) {

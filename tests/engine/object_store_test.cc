@@ -441,5 +441,101 @@ TEST_F(ObjectStoreTest, AsrMarkedStaleOnErase) {
   for (const auto& asr : store_->AsrStates()) EXPECT_FALSE(asr.stale);
 }
 
+TEST_F(ObjectStoreTest, StaleAsrLazilyRebuildsOnNextAccess) {
+  // The erase "counting problem": instead of serving a stale extent (and
+  // an SQO-A019 warning) until someone re-materializes by hand, the first
+  // access after an erase rebuilds the extent in place.
+  sqo::Oid student = MustCreate("Student", {{"name", Value::String("s")}});
+  sqo::Oid course = MustCreate("Course", {});
+  sqo::Oid sec1 = MustCreate("Section", {});
+  sqo::Oid sec2 = MustCreate("Section", {});
+  sqo::Oid ta = MustCreate("TA", {{"name", Value::String("t")}});
+  ASSERT_TRUE(store_->Relate("has_sections", course, sec1).ok());
+  ASSERT_TRUE(store_->Relate("has_sections", course, sec2).ok());
+  ASSERT_TRUE(store_->Relate("takes", student, sec1).ok());
+  ASSERT_TRUE(store_->Relate("assists", ta, sec2).ok());
+
+  std::vector<core::AsrDefinition> registry;
+  ASSERT_TRUE(
+      core::RegisterAsr(workload::UniversityAsr(), schema_.get(), &registry).ok());
+  ASSERT_TRUE(store_->Materialize(registry[0]).ok());
+  ASSERT_EQ(store_->Pairs("asr_student_ta").size(), 1u);
+
+  obs::MetricsRegistry metrics;
+  obs::ScopedMetrics install(&metrics);
+  ASSERT_TRUE(store_->Unrelate("takes", student, sec1).ok());
+
+  // The access itself heals: the broken path's pair is gone, the ASR is
+  // fresh again, and the rebuild was counted.
+  EXPECT_TRUE(store_->Pairs("asr_student_ta").empty());
+  for (const auto& asr : store_->AsrStates()) EXPECT_FALSE(asr.stale);
+  EXPECT_GE(metrics.CounterValue("asr.lazy_rebuilds"), 1u);
+
+  // Delta maintenance resumes on the rebuilt extent: re-completing the
+  // path re-derives the pair without another rebuild.
+  const uint64_t rebuilds = metrics.CounterValue("asr.lazy_rebuilds");
+  ASSERT_TRUE(store_->Relate("takes", student, sec1).ok());
+  EXPECT_EQ(store_->Pairs("asr_student_ta").size(), 1u);
+  EXPECT_EQ(metrics.CounterValue("asr.lazy_rebuilds"), rebuilds);
+}
+
+TEST_F(ObjectStoreTest, NeighborAccessAlsoTriggersTheLazyRebuild) {
+  sqo::Oid student = MustCreate("Student", {{"name", Value::String("s")}});
+  sqo::Oid course = MustCreate("Course", {});
+  sqo::Oid sec1 = MustCreate("Section", {});
+  sqo::Oid sec2 = MustCreate("Section", {});
+  sqo::Oid ta = MustCreate("TA", {{"name", Value::String("t")}});
+  ASSERT_TRUE(store_->Relate("has_sections", course, sec1).ok());
+  ASSERT_TRUE(store_->Relate("has_sections", course, sec2).ok());
+  ASSERT_TRUE(store_->Relate("takes", student, sec1).ok());
+  ASSERT_TRUE(store_->Relate("assists", ta, sec2).ok());
+
+  std::vector<core::AsrDefinition> registry;
+  ASSERT_TRUE(
+      core::RegisterAsr(workload::UniversityAsr(), schema_.get(), &registry).ok());
+  ASSERT_TRUE(store_->Materialize(registry[0]).ok());
+  ASSERT_EQ(store_->Neighbors("asr_student_ta", student).size(), 1u);
+
+  obs::MetricsRegistry metrics;
+  obs::ScopedMetrics install(&metrics);
+  ASSERT_TRUE(store_->Unrelate("assists", ta, sec2).ok());
+  EXPECT_TRUE(store_->Neighbors("asr_student_ta", student).empty());
+  EXPECT_TRUE(store_->ReverseNeighbors("asr_student_ta", ta).empty());
+  for (const auto& asr : store_->AsrStates()) EXPECT_FALSE(asr.stale);
+  EXPECT_GE(metrics.CounterValue("asr.lazy_rebuilds"), 1u);
+}
+
+TEST_F(ObjectStoreTest, RefreshStaleAsrsRebuildsEagerly) {
+  // The epoch publisher's hook: refresh everything stale up front so a
+  // replica handed to concurrent readers never rebuilds under their feet.
+  sqo::Oid student = MustCreate("Student", {{"name", Value::String("s")}});
+  sqo::Oid course = MustCreate("Course", {});
+  sqo::Oid sec1 = MustCreate("Section", {});
+  sqo::Oid sec2 = MustCreate("Section", {});
+  sqo::Oid ta = MustCreate("TA", {{"name", Value::String("t")}});
+  ASSERT_TRUE(store_->Relate("has_sections", course, sec1).ok());
+  ASSERT_TRUE(store_->Relate("has_sections", course, sec2).ok());
+  ASSERT_TRUE(store_->Relate("takes", student, sec1).ok());
+  ASSERT_TRUE(store_->Relate("assists", ta, sec2).ok());
+
+  std::vector<core::AsrDefinition> registry;
+  ASSERT_TRUE(
+      core::RegisterAsr(workload::UniversityAsr(), schema_.get(), &registry).ok());
+  ASSERT_TRUE(store_->Materialize(registry[0]).ok());
+
+  obs::MetricsRegistry metrics;
+  obs::ScopedMetrics install(&metrics);
+  ASSERT_TRUE(store_->Unrelate("takes", student, sec1).ok());
+  store_->RefreshStaleAsrs();
+  for (const auto& asr : store_->AsrStates()) EXPECT_FALSE(asr.stale);
+  EXPECT_GE(metrics.CounterValue("asr.lazy_rebuilds"), 1u);
+  EXPECT_TRUE(store_->Pairs("asr_student_ta").empty());
+
+  // Idempotent and free when nothing is stale.
+  const uint64_t rebuilds = metrics.CounterValue("asr.lazy_rebuilds");
+  store_->RefreshStaleAsrs();
+  EXPECT_EQ(metrics.CounterValue("asr.lazy_rebuilds"), rebuilds);
+}
+
 }  // namespace
 }  // namespace sqo::engine

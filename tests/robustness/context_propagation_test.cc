@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/context.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "server/server.h"
+#include "workload/university.h"
+#include "../storage/storage_test_util.h"
+
+/// ExecutionContext inheritance across thread-pool dispatch — the seam the
+/// serving layer rides: a request's context is created on the submitting
+/// thread, installed (ScopedContext) on whichever pool worker serves it,
+/// and cancelled from a third thread. Runs under the serving-tsan preset,
+/// which is the point: RequestCancellation/ok() are the only cross-thread
+/// edges a context allows, and TSan proves they are race-free.
+namespace sqo {
+namespace {
+
+TEST(ContextPropagationTest, DeadlineSeedsPerTaskContextsAcrossThePool) {
+  // The documented fan-out pattern: one caller deadline, N pooled tasks
+  // each governed by a child context carrying the same absolute deadline.
+  ExecutionContext parent;
+  parent.SetDeadlineAfter(std::chrono::minutes(5));
+
+  ThreadPool pool(4);
+  constexpr int kTasks = 16;
+  std::atomic<int> live_checks{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < kTasks; ++i) {
+    tasks.push_back([&parent, &live_checks] {
+      ExecutionContext child;
+      child.SetDeadline(parent.deadline());
+      ScopedContext scoped(&child);
+      if (CurrentContext()->Check("test.fanout").ok()) live_checks.fetch_add(1);
+    });
+  }
+  pool.RunBatch(tasks);
+  EXPECT_EQ(live_checks.load(), kTasks);
+}
+
+TEST(ContextPropagationTest, CancellationReachesAPooledWorkerMidTask) {
+  // One shared context: the pooled task polls it under ScopedContext while
+  // the main thread cancels — the worker must observe kCancelled and bail.
+  ExecutionContext context;
+  ThreadPool pool(2);
+  std::promise<void> task_running;
+  std::promise<Status> observed;
+
+  std::vector<std::function<void()>> tasks;
+  tasks.push_back([&] {
+    ScopedContext scoped(&context);
+    task_running.set_value();
+    Status seen = Status::Ok();
+    while (seen.ok()) {
+      seen = CurrentContext()->Check("test.poll");
+      if (seen.ok()) std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    observed.set_value(std::move(seen));
+  });
+  std::thread runner([&] { pool.RunBatch(tasks); });
+
+  task_running.get_future().wait();
+  context.RequestCancellation();  // cross-thread: the one allowed edge
+  const Status seen = observed.get_future().get();
+  runner.join();
+  EXPECT_EQ(seen.code(), StatusCode::kCancelled) << seen.ToString();
+  EXPECT_FALSE(context.ok());
+}
+
+TEST(ContextPropagationTest, ExpiredParentDeadlineFailsEveryInheritor) {
+  ExecutionContext parent;
+  parent.ExpireDeadlineNow();
+
+  ThreadPool pool(2);
+  constexpr int kTasks = 8;
+  std::atomic<int> expired{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < kTasks; ++i) {
+    tasks.push_back([&parent, &expired] {
+      ExecutionContext child;
+      child.SetDeadline(parent.deadline());
+      ScopedContext scoped(&child);
+      if (CurrentContext()->Check("test.expired").code() ==
+          StatusCode::kResourceExhausted) {
+        expired.fetch_add(1);
+      }
+    });
+  }
+  pool.RunBatch(tasks);
+  EXPECT_EQ(expired.load(), kTasks);
+}
+
+TEST(ContextPropagationTest, PendingReplyCancelReachesTheServingWorker) {
+  // The full serving path: the request's context lives in its PendingReply,
+  // the worker installs it via ScopedContext, and Cancel() crosses threads
+  // through RequestCancellation while the op spins on CurrentContext().
+  auto primary = storage_test::MakePopulatedDb();
+  server::ServerConfig config;
+  config.workers = 2;
+  config.replica_setup = workload::SetupUniversityRuntime;
+  server::Server server(&storage_test::UniversityPipeline(), primary.get(),
+                        std::move(config));
+  ASSERT_TRUE(server.Start().ok());
+  auto session = server.OpenSession("cancel-path");
+
+  std::promise<void> op_running;
+  server::ReplyRef reply =
+      session->SubmitMutation([&op_running](engine::Database*) {
+        op_running.set_value();
+        // Cooperative loop: the worker's installed context is this
+        // request's context; Cancel() must break the loop.
+        while (CurrentContext() != nullptr && CurrentContext()->ok()) {
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
+        return CurrentContext() != nullptr
+                   ? CurrentContext()->Check("test.op")
+                   : InternalError("no context installed on the worker");
+      });
+
+  op_running.get_future().wait();
+  reply->Cancel();
+  const server::QueryResponse& response = reply->Wait();
+  EXPECT_EQ(response.status.code(), StatusCode::kCancelled)
+      << response.status.ToString();
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace sqo

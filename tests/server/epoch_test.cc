@@ -1,0 +1,180 @@
+#include "server/epoch.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/value.h"
+#include "engine/database.h"
+#include "workload/university.h"
+#include "../storage/storage_test_util.h"
+
+/// EpochStore unit tests: bootstrap fidelity, snapshot isolation across
+/// publishes, the skip-not-block posture when every replica is pinned, and
+/// the `server.epoch_publish` failpoint.
+namespace sqo::server {
+namespace {
+
+using storage_test::StateSignature;
+
+class EpochTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    failpoint::DeactivateAll();
+    primary_ = storage_test::MakePopulatedDb();
+  }
+  void TearDown() override {
+    // The listener captures `epochs_`; drop it before the store dies.
+    primary_->store().SetMutationListener(nullptr);
+    failpoint::DeactivateAll();
+  }
+
+  /// An initialized EpochStore whose journal is fed by the primary's
+  /// mutation listener — the same wiring Server::Start installs (minus
+  /// the WAL leg; these tests run storage-free).
+  std::unique_ptr<EpochStore> MakeEpochs(size_t replicas) {
+    EpochStore::Options options;
+    options.replicas = replicas;
+    options.replica_setup = workload::SetupUniversityRuntime;
+    auto epochs = std::make_unique<EpochStore>(
+        &storage_test::UniversityPipeline().schema(), options);
+    EXPECT_TRUE(epochs->Initialize(primary_.get()).ok());
+    EpochStore* raw = epochs.get();
+    primary_->store().SetMutationListener(
+        [raw](const std::vector<engine::Mutation>& batch) {
+          raw->Append(batch);
+          return sqo::Status::Ok();
+        });
+    return epochs;
+  }
+
+  sqo::Status CreatePerson(const std::string& name, int age) {
+    return primary_->store()
+        .CreateObject("Person", {{"name", Value::String(name)},
+                                 {"age", Value::Int(age)}})
+        .status();
+  }
+
+  std::unique_ptr<engine::Database> primary_;
+};
+
+TEST_F(EpochTest, PinBeforeInitializeReturnsNull) {
+  EpochStore::Options options;
+  options.replica_setup = workload::SetupUniversityRuntime;
+  EpochStore epochs(&storage_test::UniversityPipeline().schema(), options);
+  EXPECT_EQ(epochs.Pin(), nullptr);
+  EXPECT_EQ(epochs.published_epoch(), 0u);
+}
+
+TEST_F(EpochTest, BootstrapReproducesThePrimaryExactly) {
+  auto epochs = MakeEpochs(2);
+  EXPECT_EQ(epochs->published_epoch(), 1u);
+
+  EpochStore::SnapshotRef snapshot = epochs->Pin();
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_EQ(snapshot->epoch(), 1u);
+  // OID-exact, relations, ASR extents and the OID allocator all match:
+  // the snapshot answers every query the primary would.
+  EXPECT_EQ(StateSignature(snapshot->db().store()),
+            StateSignature(primary_->store()));
+}
+
+TEST_F(EpochTest, PublishMakesAckedWritesVisibleWithoutDisturbingPins) {
+  auto epochs = MakeEpochs(2);
+  EpochStore::SnapshotRef before = epochs->Pin();
+  const std::string before_sig = StateSignature(before->db().store());
+
+  ASSERT_TRUE(CreatePerson("epoch_new", 19).ok());
+  EXPECT_EQ(epochs->appended_batches(), 1u);
+  // Not yet published: readers still pin the old epoch.
+  EXPECT_EQ(epochs->Pin()->epoch(), 1u);
+
+  ASSERT_TRUE(epochs->Publish().ok());
+  EpochStore::SnapshotRef after = epochs->Pin();
+  EXPECT_EQ(after->epoch(), 2u);
+  EXPECT_EQ(StateSignature(after->db().store()),
+            StateSignature(primary_->store()));
+
+  // Snapshot isolation: the pinned pre-publish epoch is untouched.
+  EXPECT_EQ(StateSignature(before->db().store()), before_sig);
+  EXPECT_NE(before_sig, StateSignature(after->db().store()));
+}
+
+TEST_F(EpochTest, PublishAtTipIsANoOp) {
+  auto epochs = MakeEpochs(2);
+  ASSERT_TRUE(epochs->Publish().ok());
+  EXPECT_EQ(epochs->published_epoch(), 1u);
+  EXPECT_EQ(epochs->publish_skips(), 0u);
+}
+
+TEST_F(EpochTest, PublishSkipsWhenEveryReplicaIsPinnedThenCatchesUp) {
+  auto epochs = MakeEpochs(1);
+  EpochStore::SnapshotRef pin = epochs->Pin();
+
+  ASSERT_TRUE(CreatePerson("skipped", 21).ok());
+  ASSERT_TRUE(epochs->Publish().ok());  // skip, not block and not fail
+  EXPECT_EQ(epochs->published_epoch(), 1u);
+  EXPECT_EQ(epochs->publish_skips(), 1u);
+  EXPECT_GE(epochs->retained_batches(), 1u);
+
+  // Readers serve the bounded-stale epoch meanwhile.
+  EXPECT_EQ(pin->epoch(), 1u);
+
+  // Releasing the pin lets the next publish replay the whole suffix.
+  pin.reset();
+  ASSERT_TRUE(epochs->Publish().ok());
+  EXPECT_EQ(epochs->published_epoch(), 2u);
+  EXPECT_EQ(StateSignature(epochs->Pin()->db().store()),
+            StateSignature(primary_->store()));
+  EXPECT_EQ(epochs->retained_batches(), 0u);
+}
+
+TEST_F(EpochTest, FailpointTurnsPublishIntoASkip) {
+  auto epochs = MakeEpochs(2);
+  ASSERT_TRUE(CreatePerson("faulted", 33).ok());
+
+  failpoint::Activate("server.epoch_publish", failpoint::Action{});
+  ASSERT_TRUE(epochs->Publish().ok());
+  EXPECT_EQ(epochs->published_epoch(), 1u);
+  EXPECT_EQ(epochs->publish_skips(), 1u);
+
+  failpoint::Deactivate("server.epoch_publish");
+  ASSERT_TRUE(epochs->Publish().ok());
+  EXPECT_EQ(epochs->published_epoch(), 2u);
+  EXPECT_EQ(StateSignature(epochs->Pin()->db().store()),
+            StateSignature(primary_->store()));
+}
+
+TEST_F(EpochTest, ManyPublishesConvergeAcrossTheReplicaPool) {
+  // Alternating writes and publishes cycles through both replicas; each
+  // published epoch must equal the primary at its publish point.
+  auto epochs = MakeEpochs(2);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(CreatePerson("cycle_" + std::to_string(i), 20 + i).ok());
+    ASSERT_TRUE(epochs->Publish().ok());
+    EXPECT_EQ(epochs->published_epoch(), static_cast<uint64_t>(i + 2));
+    EXPECT_EQ(StateSignature(epochs->Pin()->db().store()),
+              StateSignature(primary_->store()));
+  }
+  EXPECT_EQ(epochs->appended_batches(), 6u);
+}
+
+TEST_F(EpochTest, SnapshotServesQueriesWhilePrimaryMutates) {
+  auto epochs = MakeEpochs(2);
+  EpochStore::SnapshotRef snapshot = epochs->Pin();
+  const size_t persons_at_pin = snapshot->db().store().ExtentSize("person");
+
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(CreatePerson("mut_" + std::to_string(i), 40 + i).ok());
+    ASSERT_TRUE(epochs->Publish().ok());
+  }
+  // The pinned view still reports the extent size from its epoch.
+  EXPECT_EQ(snapshot->db().store().ExtentSize("person"), persons_at_pin);
+  EXPECT_EQ(primary_->store().ExtentSize("person"), persons_at_pin + 3);
+}
+
+}  // namespace
+}  // namespace sqo::server

@@ -1,0 +1,135 @@
+#include "workload/chaos.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <random>
+#include <string>
+
+#include "common/failpoint.h"
+#include "../storage/storage_test_util.h"
+
+/// Crash-under-concurrent-traffic chaos: every iteration forks a child that
+/// starts a server::Server over a real database directory, runs N client
+/// threads submitting their own mutation scripts through sessions (plus a
+/// snapshot-read mix), kills the child mid-traffic via the usual mechanism
+/// matrix — failpoint error, torn write, failed fsync, SIGKILL, or a
+/// serving-layer reply fault — then reopens the directory and checks each
+/// client's acked prefix against its own oracle replay, and the baseline
+/// population byte for byte. Knobs:
+///
+///   SQO_SERVING_CHAOS_ITERS    iterations (default 8 here; CI sets 200+)
+///   SQO_SERVING_CHAOS_SEED     base seed (default 20260809)
+///   SQO_SERVING_CHAOS_CLIENTS  concurrent client threads (default 8)
+namespace sqo::workload {
+namespace {
+
+uint64_t EnvOr(const char* name, uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  return std::strtoull(raw, nullptr, 10);
+}
+
+const char* ModeName(ChaosCrashMode mode) {
+  switch (mode) {
+    case ChaosCrashMode::kFailpointError:
+      return "failpoint-error";
+    case ChaosCrashMode::kTornWriteCrash:
+      return "torn-write-crash";
+    case ChaosCrashMode::kFsyncCrash:
+      return "fsync-crash";
+    case ChaosCrashMode::kKillMidTraffic:
+      return "kill-mid-traffic";
+  }
+  return "?";
+}
+
+class ServingChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override { failpoint::DeactivateAll(); }
+  void TearDown() override { failpoint::DeactivateAll(); }
+
+  ConcurrentChaosOptions MakeOptions(uint64_t seed, uint64_t i) {
+    std::mt19937_64 rng(seed + i * 6151);
+    ConcurrentChaosOptions options;
+    options.seed = seed + i;
+    options.clients = EnvOr("SQO_SERVING_CHAOS_CLIENTS", 8);
+    options.ops_per_client = 10;
+    options.dir = storage_test::FreshDir("serving_chaos_" + std::to_string(i));
+    options.pipeline = &storage_test::UniversityPipeline();
+    options.data = storage_test::SmallConfig();
+    options.mode = static_cast<ChaosCrashMode>(i % 4);
+    options.group_commit = (rng() % 4) != 0;  // mostly on, inline arm too
+    options.server_workers = 2;
+    options.query_every = 4;
+    const uint64_t total_ops = options.clients * options.ops_per_client;
+    switch (options.mode) {
+      case ChaosCrashMode::kFailpointError:
+        // Small enough to land during traffic; seed%3==2 iterations arm
+        // the serving-layer "server.reply" site instead of a storage one.
+        options.crash_point = rng() % (total_ops / 2 + 1);
+        break;
+      case ChaosCrashMode::kTornWriteCrash:
+        options.crash_point = 512 + rng() % 24000;
+        break;
+      case ChaosCrashMode::kFsyncCrash:
+        options.crash_point = rng() % 40;
+        break;
+      case ChaosCrashMode::kKillMidTraffic:
+        options.crash_point = rng() % total_ops;
+        break;
+    }
+    return options;
+  }
+};
+
+TEST_F(ServingChaosTest, ConcurrentKillNeverLosesAnAcknowledgedWrite) {
+  const uint64_t iters = EnvOr("SQO_SERVING_CHAOS_ITERS", 8);
+  const uint64_t seed = EnvOr("SQO_SERVING_CHAOS_SEED", 20260809);
+  uint64_t crashed = 0;
+
+  for (uint64_t i = 0; i < iters; ++i) {
+    const ConcurrentChaosOptions options = MakeOptions(seed, i);
+    SCOPED_TRACE("iteration " + std::to_string(i) + " seed " +
+                 std::to_string(options.seed) + " clients " +
+                 std::to_string(options.clients) + " mode " +
+                 ModeName(options.mode) + " crash_point " +
+                 std::to_string(options.crash_point));
+    auto outcome = RunConcurrentChaosIteration(options);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    if (outcome->child_crashed) ++crashed;
+    EXPECT_TRUE(outcome->consistent)
+        << "total_acked=" << outcome->total_acked
+        << " exit=" << outcome->child_exit_code << " " << outcome->detail;
+    EXPECT_FALSE(outcome->degraded) << outcome->detail;
+  }
+  // The matrix must actually kill children; an all-survivors run means the
+  // crash coordinates regressed into no-ops.
+  if (iters >= 8) EXPECT_GT(crashed, 0u);
+}
+
+TEST_F(ServingChaosTest, CleanRunMatchesEveryClientOracleExactly) {
+  // No crash mechanism at all: every client completes its script, so every
+  // per-client projection must match its full oracle replay with zero
+  // slack, and the child must exit cleanly.
+  ConcurrentChaosOptions options;
+  options.seed = EnvOr("SQO_SERVING_CHAOS_SEED", 20260809) + 977;
+  options.clients = 4;
+  options.ops_per_client = 8;
+  options.dir = storage_test::FreshDir("serving_chaos_clean");
+  options.pipeline = &storage_test::UniversityPipeline();
+  options.data = storage_test::SmallConfig();
+  options.mode = ChaosCrashMode::kKillMidTraffic;
+  options.crash_point = 10'000'000;  // far beyond the script: never kills
+  options.server_workers = 2;
+
+  auto outcome = RunConcurrentChaosIteration(options);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_FALSE(outcome->child_crashed);
+  EXPECT_TRUE(outcome->consistent) << outcome->detail;
+  EXPECT_EQ(outcome->total_acked, 4u * 8u);
+  for (uint64_t acked : outcome->acked) EXPECT_EQ(acked, 8u);
+}
+
+}  // namespace
+}  // namespace sqo::workload

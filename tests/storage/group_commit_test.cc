@@ -178,6 +178,48 @@ TEST(GroupCommitTest, WaitHonorsTheCallersDeadline) {
   EXPECT_EQ(committed[0], "slow");
 }
 
+TEST(GroupCommitTest, WaitDeadlineExpiresWhileBatchIsMidFsync) {
+  // Deterministic mid-fsync variant of the deadline test above: there the
+  // frame may still be *queued* when Wait gives up; here the commit fn
+  // signals after it has the batch in hand and before it blocks, so the
+  // deadline provably expires while the frame is inside the fsync. The
+  // abandoned ticket's batch still completes once the gate opens (ack
+  // lost, write not), and a later deadline-free Wait on the same ticket
+  // returns the real batch outcome.
+  std::promise<void> entered;
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  std::vector<std::string> committed;
+  GroupCommitter committer(
+      GroupCommitter::Options{},
+      [&, signalled = false](const std::vector<std::string>& frames) mutable {
+        if (!signalled) {
+          signalled = true;
+          entered.set_value();
+        }
+        opened.wait();
+        for (const std::string& f : frames) committed.push_back(f);
+        return Status::Ok();
+      });
+  auto ticket = committer.Enqueue("inflight");
+  entered.get_future().wait();  // the batch is now mid-"fsync"
+
+  ExecutionContext context;
+  context.ExpireDeadlineNow();
+  {
+    ScopedContext scoped(&context);
+    const Status expired = committer.Wait(ticket);
+    EXPECT_EQ(expired.code(), StatusCode::kResourceExhausted)
+        << expired.ToString();
+  }
+
+  gate.set_value();
+  committer.Stop();
+  ASSERT_EQ(committed.size(), 1u);
+  EXPECT_EQ(committed[0], "inflight");
+  EXPECT_TRUE(committer.Wait(ticket).ok());  // the outcome was never lost
+}
+
 TEST(GroupCommitTest, FlushIsABarrierForEverythingEnqueuedBefore) {
   std::atomic<uint64_t> committed{0};
   GroupCommitter committer(GroupCommitter::Options{},

@@ -99,7 +99,9 @@ inline std::string StateSignature(const engine::ObjectStore& store) {
   }
   for (const std::string& rel : store.RelationNames()) {
     std::vector<std::pair<uint64_t, uint64_t>> pairs;
-    for (const auto& [src, dst] : store.Pairs(rel)) {
+    // PairsRaw: a signature is a verbatim capture — reading it must not
+    // heal a stale ASR (Pairs() would, and would change what we compare).
+    for (const auto& [src, dst] : store.PairsRaw(rel)) {
       pairs.emplace_back(src.raw(), dst.raw());
     }
     if (pairs.empty()) continue;
